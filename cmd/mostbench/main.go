@@ -1,0 +1,42 @@
+// mostbench regenerates every experiment table (E1..E12): the paper's
+// quantitative claims, measured on this implementation.  See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for claim-versus-measured.
+//
+// Usage:
+//
+//	mostbench [-quick] [-only E3,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mostdb/most/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, tbl := range experiments.All(*quick) {
+		if len(want) > 0 && !want[tbl.ID] {
+			continue
+		}
+		fmt.Println(tbl.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "mostbench: no experiment matches %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package mostdb_test
+
+import (
+	"fmt"
+
+	mostdb "github.com/mostdb/most"
+)
+
+// Example shows the core MOST idea: insert a motion vector once, then
+// query positions and futures at any time without further updates.
+func Example() {
+	db := mostdb.NewDatabase()
+	vehicles, _ := mostdb.NewClass("Vehicles", true)
+	if err := db.DefineClass(vehicles); err != nil {
+		panic(err)
+	}
+	car, _ := mostdb.NewObject("car-1", vehicles)
+	car, _ = car.WithPosition(mostdb.MovingFrom(mostdb.Point{X: 0}, mostdb.Vector{X: 2}, 0))
+	if err := db.Insert(car); err != nil {
+		panic(err)
+	}
+
+	for _, t := range []mostdb.Tick{0, 10} {
+		p, _ := car.PositionAt(t)
+		fmt.Printf("t=%d x=%.0f\n", t, p.X)
+	}
+	// Output:
+	// t=0 x=0
+	// t=10 x=20
+}
+
+// ExampleEngine_InstantaneousRelation evaluates a future query: when will
+// the car be inside the region?
+func ExampleEngine_InstantaneousRelation() {
+	db := mostdb.NewDatabase()
+	vehicles, _ := mostdb.NewClass("Vehicles", true)
+	if err := db.DefineClass(vehicles); err != nil {
+		panic(err)
+	}
+	car, _ := mostdb.NewObject("car-1", vehicles)
+	car, _ = car.WithPosition(mostdb.MovingFrom(mostdb.Point{X: 0}, mostdb.Vector{X: 2}, 0))
+	if err := db.Insert(car); err != nil {
+		panic(err)
+	}
+
+	engine := mostdb.NewEngine(db)
+	q := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, downtown)`)
+	rel, err := engine.InstantaneousRelation(q, mostdb.QueryOptions{
+		Horizon: 100,
+		Regions: map[string]mostdb.Polygon{"downtown": mostdb.RectPolygon(30, -10, 50, 10)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range rel.Answers() {
+		fmt.Printf("%s inside during %s\n", a.Vals[0], a.Interval)
+	}
+	// Output:
+	// car-1 inside during [15 25]
+}
+
+// ExampleAttrIndex answers a range query over many trajectories with one
+// index probe.
+func ExampleAttrIndex() {
+	ix := mostdb.NewAttrIndex(0, 100)
+	var rising, falling mostdb.DynamicAttr
+	rising.Function = mostdb.Linear(1)
+	falling.Value = 100
+	falling.Function = mostdb.Linear(-1)
+	if err := ix.Insert("up", rising); err != nil {
+		panic(err)
+	}
+	if err := ix.Insert("down", falling); err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.InstantQuery(49, 51, 50))
+	fmt.Println(ix.InstantQuery(79, 81, 80))
+	// Output:
+	// [down up]
+	// [up]
+}
+
+// ExampleAccelerating shows the quadratic (nonlinear) extension.
+func ExampleAccelerating() {
+	var braking mostdb.DynamicAttr
+	braking.Value = 0
+	braking.Function = mostdb.Accelerating(20, -2) // speed 20, decelerating
+	for _, t := range []mostdb.Tick{0, 5, 10} {
+		fmt.Printf("t=%d v=%.0f speed=%.0f\n", t, braking.At(t), braking.SpeedAt(t))
+	}
+	// Output:
+	// t=0 v=0 speed=20
+	// t=5 v=75 speed=10
+	// t=10 v=100 speed=0
+}

@@ -1,0 +1,101 @@
+// Air traffic control: the paper's §1 motivating query Q — "retrieve all
+// the airplanes that will come within 30 miles of the airport in the next
+// 10 minutes" — over a simulated airspace, plus a tentative-answer
+// demonstration: after an aircraft's motion vector is updated to steer it
+// away, the same query no longer returns it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mostdb "github.com/mostdb/most"
+)
+
+func main() {
+	airport := mostdb.Point{X: 0, Y: 0}
+	db, err := mostdb.Airspace(mostdb.AirspaceSpec{
+		N:       60,
+		Radius:  60, // inbound at 5 mi/min reach the 30-mile ring in 6 min
+		Airport: airport,
+		Speed:   5,
+		Inbound: 0.3,
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Represent the airport as a stationary object so DIST can refer to it.
+	towers, err := mostdb.NewClass("Towers", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.DefineClass(towers); err != nil {
+		log.Fatal(err)
+	}
+	tower, _ := mostdb.NewObject("ORD", towers)
+	tower, _ = tower.WithPosition(mostdb.PositionAt(airport, 0))
+	if err := db.Insert(tower); err != nil {
+		log.Fatal(err)
+	}
+
+	engine := mostdb.NewEngine(db)
+	q := mostdb.MustParseQuery(`
+		RETRIEVE a, t FROM Aircraft a, Towers t
+		WHERE EVENTUALLY WITHIN 10 DIST(a, t) <= 30`)
+	opts := mostdb.QueryOptions{Horizon: 60}
+
+	rows, err := engine.Instantaneous(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aircraft arriving within 30 miles of %s in the next 10 minutes: %d\n", "ORD", len(rows))
+	for i, r := range rows {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(rows)-5)
+			break
+		}
+		fmt.Printf("  %s\n", r[0])
+	}
+	if len(rows) == 0 {
+		log.Fatal("airspace misconfigured: no inbound aircraft")
+	}
+
+	// The answer is tentative (§1): divert the first aircraft and re-ask.
+	diverted := mostdb.ObjectID(rows[0][0].String())
+	if err := db.SetMotion(diverted, mostdb.Vector{X: 5}); err != nil {
+		log.Fatal(err)
+	}
+	rows2, err := engine.Instantaneous(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	still := false
+	for _, r := range rows2 {
+		if r[0].String() == string(diverted) {
+			still = true
+		}
+	}
+	fmt.Printf("after diverting %s: %d arrivals; diverted aircraft still listed: %v\n",
+		diverted, len(rows2), still)
+
+	// A relationship query: aircraft pairs in dangerous proximity (within
+	// a 5-mile sphere for 2 consecutive minutes).
+	conflict := mostdb.MustParseQuery(`
+		RETRIEVE a, b FROM Aircraft a, Aircraft b
+		WHERE ALWAYS FOR 2 WITHIN_SPHERE(2.5, a, b)`)
+	rel, err := engine.InstantaneousRelation(conflict, mostdb.QueryOptions{Horizon: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := 0
+	for _, ans := range rel.Answers() {
+		if ans.Vals[0].String() < ans.Vals[1].String() { // each unordered pair once
+			pairs++
+			if pairs <= 3 {
+				fmt.Printf("conflict: %s and %s during %s\n", ans.Vals[0], ans.Vals[1], ans.Interval)
+			}
+		}
+	}
+	fmt.Printf("predicted proximity conflicts in the next 20 minutes: %d pair windows\n", pairs)
+}

@@ -1,0 +1,98 @@
+// Convoy: the distributed architecture of §5.3.  Every vehicle's object
+// lives only on the vehicle's own computer; queries are classified as
+// self-referencing, object, or relationship queries, and the two object-
+// query processing strategies — ship every object to the issuer versus
+// broadcast the query and let satisfying nodes reply — are compared on
+// real message counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mostdb "github.com/mostdb/most"
+)
+
+func main() {
+	const fleet = 50
+
+	build := func(seed int64) *mostdb.Sim {
+		sim := mostdb.NewSim(seed)
+		vehicles, err := mostdb.NewClass("Vehicles", true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A convoy of 8 trucks driving together, and independent traffic.
+		for i := 0; i < fleet; i++ {
+			id := mostdb.ObjectID(fmt.Sprintf("truck-%02d", i))
+			o, err := mostdb.NewObject(id, vehicles)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var pos mostdb.Position
+			if i < 8 {
+				// Convoy members: nose-to-tail, same velocity.
+				pos = mostdb.MovingFrom(mostdb.Point{X: float64(i) * 2}, mostdb.Vector{X: 1}, 0)
+			} else {
+				pos = mostdb.MovingFrom(
+					mostdb.Point{X: float64(i * 50), Y: float64(i%10) * 30},
+					mostdb.Vector{X: float64(i%5) - 2, Y: 1},
+					0)
+			}
+			o, err = o.WithPosition(pos)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sim.AddNode(o); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sim.Regions["depot"] = mostdb.RectPolygon(90, -20, 130, 20)
+		return sim
+	}
+
+	// Self-referencing query: answered with zero communication.
+	sim := build(1)
+	self := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 120 INSIDE(o, depot)`)
+	rel, err := sim.SelfQuery("truck-00", self, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-referencing: will truck-00 reach the depot within 120 min? %v (messages: %d)\n",
+		rel.Len() > 0, sim.Net.Messages)
+
+	// Object query under both strategies.
+	objQ := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 120 INSIDE(o, depot)`)
+	shipSim := build(2)
+	ship, err := shipSim.RunObjectQuery("truck-00", objQ, 200, mostdb.ShipObjects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bcastSim := build(2)
+	bcast, err := bcastSim.RunObjectQuery("truck-00", objQ, 200, mostdb.BroadcastQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("object query (%d nodes, %d qualify):\n", fleet, ship.Relation.Len())
+	fmt.Printf("  ship-objects:    %4d messages, %6d bytes\n", ship.Traffic.Messages, ship.Traffic.Bytes)
+	fmt.Printf("  broadcast-query: %4d messages, %6d bytes\n", bcast.Traffic.Messages, bcast.Traffic.Bytes)
+
+	// Relationship query: which trucks stay within 2 miles of each other
+	// for the next 30 minutes?  Processed centrally at the issuer.
+	relSim := build(3)
+	relQ := mostdb.MustParseQuery(`
+		RETRIEVE o, n FROM Vehicles o, Vehicles n
+		WHERE ALWAYS FOR 30 DIST(o, n) <= 2`)
+	res, err := relSim.RunRelationshipQuery("truck-00", relQ, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := 0
+	for _, t := range res.Relation.Tuples() {
+		if t.Vals[0].String() < t.Vals[1].String() {
+			pairs++
+		}
+	}
+	fmt.Printf("relationship query: %d convoy pairs found; %d messages to centralize\n",
+		pairs, res.Traffic.Messages)
+}

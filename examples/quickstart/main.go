@@ -1,0 +1,75 @@
+// Quickstart: a single car, a dynamic position, and one future query.
+//
+// It shows the core MOST idea: after inserting the car's motion vector
+// once, the database answers position queries at any time — and future
+// queries like "when will the car be inside downtown?" — without receiving
+// any further updates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mostdb "github.com/mostdb/most"
+)
+
+func main() {
+	db := mostdb.NewDatabase()
+	vehicles, err := mostdb.NewClass("Vehicles", true,
+		mostdb.AttrDef{Name: "PLATE", Kind: mostdb.Static})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.DefineClass(vehicles); err != nil {
+		log.Fatal(err)
+	}
+
+	// One car at the origin, heading east at 2 units per tick.  This is the
+	// only message the database ever receives about it.
+	car, err := mostdb.NewObject("car-1", vehicles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	car, _ = car.WithStatic("PLATE", mostdb.Str("RWW860"))
+	car, err = car.WithPosition(mostdb.MovingFrom(mostdb.Point{X: 0, Y: 0}, mostdb.Vector{X: 2}, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Insert(car); err != nil {
+		log.Fatal(err)
+	}
+
+	// The position is a function of time: no updates, different answers.
+	for _, t := range []mostdb.Tick{0, 5, 10} {
+		p, _ := car.PositionAt(t)
+		fmt.Printf("t=%-3d position = (%.0f, %.0f)\n", t, p.X, p.Y)
+	}
+
+	// A future query: when is the car inside downtown (x in [30,50])?
+	engine := mostdb.NewEngine(db)
+	q := mostdb.MustParseQuery(`
+		RETRIEVE o FROM Vehicles o
+		WHERE EVENTUALLY INSIDE(o, downtown)`)
+	opts := mostdb.QueryOptions{
+		Horizon: 100,
+		Regions: map[string]mostdb.Polygon{"downtown": mostdb.RectPolygon(30, -10, 50, 10)},
+	}
+	rel, err := engine.InstantaneousRelation(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ans := range rel.Answers() {
+		fmt.Printf("%s satisfies the query during %s\n", ans.Vals[0], ans.Interval)
+	}
+
+	// The answer interval is when EVENTUALLY INSIDE holds; the car itself
+	// is inside downtown during [15,25] (x = 2t crosses [30,50]).
+	inside := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, downtown)`)
+	rel, err = engine.InstantaneousRelation(inside, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ans := range rel.Answers() {
+		fmt.Printf("%s is inside downtown during %s\n", ans.Vals[0], ans.Interval)
+	}
+}

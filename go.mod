@@ -1,0 +1,3 @@
+module github.com/mostdb/most
+
+go 1.22

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"sort"
+
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file simulates §5.2, "Continuous queries from moving objects": a
+// centralized MOST server computes Answer(CQ) for a continuous query issued
+// from a moving object M, and must transmit the tuples to M, which displays
+// each instantiation between its begin and end times.  Two approaches:
+//
+//   - Immediate: "the whole set is transmitted immediately after being
+//     computed"; if M's memory only fits B tuples, "the set Answer(CQ)
+//     needs to be sorted by the begin attribute, and transmitted in blocks
+//     of B tuples";
+//   - Delayed: "each tuple (S, begin, end) in the set is transmitted to M
+//     at time begin".
+//
+// The trade-off is driven by disconnection probability and update rate —
+// this simulation measures exactly those quantities.
+
+// DeliveryMode selects the transmission approach.
+type DeliveryMode uint8
+
+// Delivery modes.
+const (
+	Immediate DeliveryMode = iota
+	Delayed
+)
+
+// DeliveryStats reports one delivery simulation.
+type DeliveryStats struct {
+	Messages int
+	Bytes    int
+	// MissedDisplays counts (tuple, display-window) losses: tuples that M
+	// failed to display during their interval because the transmission was
+	// dropped while M was disconnected.
+	MissedDisplays int
+	// PeakMemory is the largest number of tuples M held at once.
+	PeakMemory int
+}
+
+// DeliverAnswer simulates transmitting Answer(CQ) to the moving client
+// over [from, to] ticks.  answers is the materialized set; memoryB is the
+// client's tuple capacity (0 = unlimited); connected(t) reports whether the
+// client is reachable at tick t.
+func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB int, from, to temporal.Tick, connected func(temporal.Tick) bool) DeliveryStats {
+	stats := DeliveryStats{}
+	sorted := append([]eval.Answer{}, answers...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Interval.Start != sorted[j].Interval.Start {
+			return sorted[i].Interval.Start < sorted[j].Interval.Start
+		}
+		return sorted[i].Interval.End < sorted[j].Interval.End
+	})
+
+	received := make([]bool, len(sorted))
+	switch mode {
+	case Immediate:
+		if memoryB <= 0 {
+			// One message with everything at the start.
+			stats.Messages++
+			stats.Bytes += len(sorted) * s.Cost.TupleBytes
+			ok := connected(from)
+			for i := range sorted {
+				received[i] = ok
+			}
+			if ok {
+				stats.PeakMemory = len(sorted)
+			}
+		} else {
+			// Blocks of B tuples, sorted by begin.  Block k is transmitted
+			// when the client has room: when the still-active tuples of
+			// earlier blocks plus the new block fit, i.e. just in time for
+			// the block's first begin.
+			for start := 0; start < len(sorted); start += memoryB {
+				end := min(start+memoryB, len(sorted))
+				sendAt := from
+				if start > 0 {
+					sendAt = sorted[start].Interval.Start
+					if sendAt < from {
+						sendAt = from
+					}
+				}
+				stats.Messages++
+				stats.Bytes += (end - start) * s.Cost.TupleBytes
+				ok := connected(sendAt)
+				for i := start; i < end; i++ {
+					received[i] = ok
+				}
+			}
+			stats.PeakMemory = memoryB
+		}
+	case Delayed:
+		// One message per tuple at its begin time.  The client holds a
+		// tuple only while it is on display, so memory tracks the number
+		// of concurrently active intervals.
+		var activeEnds []temporal.Tick
+		for i, a := range sorted {
+			sendAt := a.Interval.Start
+			if sendAt < from {
+				sendAt = from
+			}
+			stats.Messages++
+			stats.Bytes += s.Cost.TupleBytes
+			if connected(sendAt) {
+				received[i] = true
+				kept := activeEnds[:0]
+				for _, e := range activeEnds {
+					if e >= sendAt {
+						kept = append(kept, e)
+					}
+				}
+				activeEnds = append(kept, a.Interval.End)
+				if len(activeEnds) > stats.PeakMemory {
+					stats.PeakMemory = len(activeEnds)
+				}
+			}
+		}
+	}
+	for i, a := range sorted {
+		if !received[i] {
+			// The display window overlapping [from, to] is lost.
+			if a.Interval.End >= from && a.Interval.Start <= to {
+				stats.MissedDisplays++
+			}
+		}
+	}
+	return stats
+}
+
+// RandomConnectivity returns a connectivity function where the client is
+// reachable at each tick independently with probability 1-p, seeded
+// deterministically.
+func RandomConnectivity(seed int64, p float64) func(temporal.Tick) bool {
+	cache := map[temporal.Tick]bool{}
+	state := seed
+	next := func() float64 {
+		// xorshift64*, deterministic across runs.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(uint64(state)%1_000_000) / 1_000_000
+	}
+	return func(t temporal.Tick) bool {
+		if v, ok := cache[t]; ok {
+			return v
+		}
+		v := next() >= p
+		cache[t] = v
+		return v
+	}
+}

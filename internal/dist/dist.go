@@ -1,0 +1,365 @@
+// Package dist simulates the mobile distributed architecture of §5.2–5.3:
+// every object in the database "resides in the computer on the moving
+// vehicle it represents, but nowhere else", nodes exchange messages over a
+// simulated wireless network with disconnections, and queries are
+// classified as self-referencing, object, or relationship queries, each
+// with the processing strategies the paper describes.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// CostModel sizes the three kinds of payloads exchanged.
+type CostModel struct {
+	ObjectBytes int // one object's attributes + motion vector
+	QueryBytes  int // a query text
+	TupleBytes  int // one answer tuple
+}
+
+// DefaultCost is a plausible sizing: objects are bigger than tuples, which
+// are bigger than nothing; query text is a few hundred bytes.
+var DefaultCost = CostModel{ObjectBytes: 256, QueryBytes: 128, TupleBytes: 64}
+
+// Counters accumulate network traffic.
+type Counters struct {
+	Messages int
+	Bytes    int
+	Dropped  int // messages lost to disconnection
+}
+
+func (c *Counters) send(bytes int) {
+	c.Messages++
+	c.Bytes += bytes
+}
+
+// Node is one mobile computer hosting exactly one object.
+type Node struct {
+	Object       *most.Object
+	Disconnected bool
+}
+
+// Sim is the distributed system: a fleet of nodes, a clock, and a network.
+type Sim struct {
+	Cost    CostModel
+	Net     Counters
+	Regions map[string]geom.Polygon
+
+	clock temporal.Tick
+	nodes map[most.ObjectID]*Node
+	order []most.ObjectID
+	rng   *rand.Rand
+	// PDisconnect is the per-delivery probability that the destination is
+	// unreachable (§5.2: "it is possible that due to disconnection, an
+	// object cannot continuously update its position").
+	PDisconnect float64
+}
+
+// NewSim returns an empty simulation with the default cost model.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		Cost:    DefaultCost,
+		Regions: map[string]geom.Polygon{},
+		nodes:   map[most.ObjectID]*Node{},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the simulation clock.
+func (s *Sim) Now() temporal.Tick { return s.clock }
+
+// Advance moves the clock forward.
+func (s *Sim) Advance(d temporal.Tick) temporal.Tick {
+	s.clock = s.clock.Add(d)
+	return s.clock
+}
+
+// AddNode registers a mobile computer hosting the object.
+func (s *Sim) AddNode(o *most.Object) (*Node, error) {
+	if _, dup := s.nodes[o.ID()]; dup {
+		return nil, fmt.Errorf("dist: node %s already exists", o.ID())
+	}
+	n := &Node{Object: o}
+	s.nodes[o.ID()] = n
+	s.order = append(s.order, o.ID())
+	return n, nil
+}
+
+// Node returns the node hosting the object.
+func (s *Sim) Node(id most.ObjectID) (*Node, bool) {
+	n, ok := s.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all node ids in insertion order.
+func (s *Sim) Nodes() []most.ObjectID { return s.order }
+
+// deliver simulates one message of the given size to a destination node,
+// applying the disconnection probability.  It reports delivery success.
+func (s *Sim) deliver(dst *Node, bytes int) bool {
+	s.Net.send(bytes)
+	if dst.Disconnected || s.rng.Float64() < s.PDisconnect {
+		s.Net.Dropped++
+		return false
+	}
+	return true
+}
+
+// QueryClass is the taxonomy of §5.3.
+type QueryClass uint8
+
+// Query classes.
+const (
+	// SelfReferencing queries examine only the issuing object: "Will I
+	// reach the point (a,b) in 3 minutes".
+	SelfReferencing QueryClass = iota
+	// ObjectQuery predicates are decided per object independently:
+	// "Retrieve the objects that will reach the point (a,b) in 3 minutes".
+	ObjectQuery
+	// RelationshipQuery predicates need two or more objects: "Retrieve the
+	// objects that will stay within 2 miles of each other ...".
+	RelationshipQuery
+)
+
+func (qc QueryClass) String() string {
+	switch qc {
+	case SelfReferencing:
+		return "self-referencing"
+	case ObjectQuery:
+		return "object"
+	default:
+		return "relationship"
+	}
+}
+
+// Classify determines the §5.3 class of a query: by the number of object
+// variables it ranges over, and whether the single variable is pinned to
+// the issuer.
+func Classify(q *ftl.Query, issuerBound bool) QueryClass {
+	switch {
+	case len(q.Bindings) >= 2:
+		return RelationshipQuery
+	case len(q.Bindings) == 1 && !issuerBound:
+		return ObjectQuery
+	default:
+		return SelfReferencing
+	}
+}
+
+// evalContext builds a context over an explicit object universe.
+func (s *Sim) evalContext(objects map[most.ObjectID]*most.Object, horizon temporal.Tick) *eval.Context {
+	return &eval.Context{
+		Now:     s.clock,
+		Horizon: horizon,
+		Objects: objects,
+		Regions: s.Regions,
+		Params:  map[string]eval.Val{},
+		Domains: map[string][]eval.Val{},
+	}
+}
+
+// bindOver binds every FROM variable of q to the given universe.
+func bindOver(ctx *eval.Context, q *ftl.Query, ids []most.ObjectID) {
+	dom := make([]eval.Val, len(ids))
+	for i, id := range ids {
+		dom[i] = eval.ObjVal(id)
+	}
+	for _, b := range q.Bindings {
+		ctx.Domains[b.Var] = dom
+	}
+}
+
+// SelfQuery answers a self-referencing query at the issuing node with no
+// communication at all (§5.3: "self-referencing queries can be answered
+// without any inter-computer communication").
+func (s *Sim) SelfQuery(issuer most.ObjectID, q *ftl.Query, horizon temporal.Tick) (*eval.Relation, error) {
+	n, ok := s.nodes[issuer]
+	if !ok {
+		return nil, fmt.Errorf("dist: no node %s", issuer)
+	}
+	ctx := s.evalContext(map[most.ObjectID]*most.Object{issuer: n.Object}, horizon)
+	bindOver(ctx, q, []most.ObjectID{issuer})
+	return eval.EvalQuery(q, ctx)
+}
+
+// Strategy selects how an object query is processed (§5.3).
+type Strategy uint8
+
+// Object-query strategies.
+const (
+	// ShipObjects requests every node's object, then evaluates centrally:
+	// "first is to request that the object of each mobile computer be sent
+	// to M; then M processes the query."
+	ShipObjects Strategy = iota
+	// BroadcastQuery sends the query to all nodes; each evaluates locally
+	// and only satisfying nodes reply: "the second approach is more
+	// efficient since it processes the query in parallel."
+	BroadcastQuery
+)
+
+// ObjectQueryResult carries the answer and the traffic it cost.
+type ObjectQueryResult struct {
+	Relation *eval.Relation
+	Traffic  Counters
+}
+
+// RunObjectQuery processes an object query issued at issuer under the
+// given strategy and returns the merged answer relation.
+func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon temporal.Tick, strat Strategy) (*ObjectQueryResult, error) {
+	if len(q.Bindings) != 1 {
+		return nil, fmt.Errorf("dist: object query must range over one variable, got %d", len(q.Bindings))
+	}
+	issuerNode, ok := s.nodes[issuer]
+	if !ok {
+		return nil, fmt.Errorf("dist: no node %s", issuer)
+	}
+	before := s.Net
+
+	switch strat {
+	case ShipObjects:
+		// Request + every node ships its object to the issuer.
+		universe := map[most.ObjectID]*most.Object{}
+		var ids []most.ObjectID
+		for _, id := range s.order {
+			n := s.nodes[id]
+			if id != issuer {
+				// The request reaches the remote node...
+				if !s.deliver(n, s.Cost.QueryBytes) {
+					continue
+				}
+				// ...and its object ships back to the issuer.
+				if !s.deliver(issuerNode, s.Cost.ObjectBytes) {
+					continue
+				}
+			}
+			universe[id] = n.Object
+			ids = append(ids, id)
+		}
+		ctx := s.evalContext(universe, horizon)
+		bindOver(ctx, q, ids)
+		rel, err := eval.EvalQuery(q, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.Net)}, nil
+
+	case BroadcastQuery:
+		merged := eval.NewRelation(q.Targets...)
+		for _, id := range s.order {
+			n := s.nodes[id]
+			if id != issuer {
+				if !s.deliver(n, s.Cost.QueryBytes) {
+					continue
+				}
+			}
+			// The node evaluates the predicate on its own object.
+			ctx := s.evalContext(map[most.ObjectID]*most.Object{id: n.Object}, horizon)
+			bindOver(ctx, q, []most.ObjectID{id})
+			rel, err := eval.EvalQuery(q, ctx)
+			if err != nil {
+				return nil, err
+			}
+			for _, tup := range rel.Tuples() {
+				// Only satisfying nodes reply (one tuple message each).
+				if id != issuer {
+					if !s.deliver(issuerNode, s.Cost.TupleBytes) {
+						continue
+					}
+				}
+				merged.Add(tup.Vals, tup.Times)
+			}
+		}
+		return &ObjectQueryResult{Relation: merged, Traffic: diff(before, s.Net)}, nil
+
+	default:
+		return nil, fmt.Errorf("dist: unknown strategy %d", strat)
+	}
+}
+
+// RunRelationshipQuery ships every object to the issuing node and evaluates
+// there: "the most efficient way to answer a relationship query is to send
+// all the objects to a central location ... the computer issuing the
+// query" (§5.3).
+func (s *Sim) RunRelationshipQuery(issuer most.ObjectID, q *ftl.Query, horizon temporal.Tick) (*ObjectQueryResult, error) {
+	issuerNode, ok := s.nodes[issuer]
+	if !ok {
+		return nil, fmt.Errorf("dist: no node %s", issuer)
+	}
+	before := s.Net
+	universe := map[most.ObjectID]*most.Object{}
+	var ids []most.ObjectID
+	for _, id := range s.order {
+		n := s.nodes[id]
+		if id != issuer {
+			if !s.deliver(n, s.Cost.QueryBytes) {
+				continue
+			}
+			if !s.deliver(issuerNode, s.Cost.ObjectBytes) {
+				continue
+			}
+		}
+		universe[id] = n.Object
+		ids = append(ids, id)
+	}
+	ctx := s.evalContext(universe, horizon)
+	bindOver(ctx, q, ids)
+	rel, err := eval.EvalQuery(q, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.Net)}, nil
+}
+
+func diff(before, after Counters) Counters {
+	return Counters{
+		Messages: after.Messages - before.Messages,
+		Bytes:    after.Bytes - before.Bytes,
+		Dropped:  after.Dropped - before.Dropped,
+	}
+}
+
+// ContinuousTraffic compares the two strategies for a *continuous* object
+// query over a stream of motion updates (§5.3): under ShipObjects the
+// remote node must transmit its object on every change; under
+// BroadcastQuery it "evaluates the predicate each time the object changes,
+// and transmits [it] to M when the predicate is satisfied".
+//
+// updates maps node id -> number of motion changes during the observation
+// window; satisfied reports whether a given change leaves the node's
+// predicate satisfied.
+func (s *Sim) ContinuousTraffic(q *ftl.Query, updates map[most.ObjectID]int, satisfied func(most.ObjectID, int) bool) (ship, broadcast Counters) {
+	// Initial dissemination: one query message per node either way (under
+	// ShipObjects it is the "send me your object" request).
+	n := len(s.order)
+	ship.Messages += n
+	ship.Bytes += n * s.Cost.QueryBytes
+	broadcast.Messages += n
+	broadcast.Bytes += n * s.Cost.QueryBytes
+
+	ids := make([]most.ObjectID, 0, len(updates))
+	for id := range updates {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for k := 0; k < updates[id]; k++ {
+			// ShipObjects: every change ships the whole object.
+			ship.Messages++
+			ship.Bytes += s.Cost.ObjectBytes
+			// BroadcastQuery: only satisfying states are reported.
+			if satisfied(id, k) {
+				broadcast.Messages++
+				broadcast.Bytes += s.Cost.TupleBytes
+			}
+		}
+	}
+	return ship, broadcast
+}

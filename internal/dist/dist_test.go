@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+var vehicleClass = most.MustClass("Vehicles", true)
+
+func newFleet(t *testing.T, s *Sim, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := most.ObjectID(fmt.Sprintf("v%03d", i))
+		o, err := most.NewObject(id, vehicleClass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every third vehicle heads toward the region P = [100,110]x[-10,10].
+		v := geom.Vector{X: 0}
+		if i%3 == 0 {
+			v = geom.Vector{X: 1}
+		}
+		o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: float64(i % 7 * 10)}, v, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddNode(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Regions["P"] = geom.RectPolygon(100, -10, 110, 10)
+}
+
+func TestClassify(t *testing.T) {
+	self := ftl.MustParse(`RETRIEVE o WHERE INSIDE(o, P)`)
+	obj := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P)`)
+	rel := ftl.MustParse(`RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE DIST(o, n) <= 2`)
+	if got := Classify(self, true); got != SelfReferencing {
+		t.Errorf("self = %v", got)
+	}
+	if got := Classify(obj, false); got != ObjectQuery {
+		t.Errorf("obj = %v", got)
+	}
+	if got := Classify(rel, false); got != RelationshipQuery {
+		t.Errorf("rel = %v", got)
+	}
+	if SelfReferencing.String() != "self-referencing" || ObjectQuery.String() != "object" || RelationshipQuery.String() != "relationship" {
+		t.Error("String rendering wrong")
+	}
+}
+
+func TestSelfQueryNoTraffic(t *testing.T) {
+	s := NewSim(1)
+	newFleet(t, s, 10)
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
+	rel, err := s.SelfQuery("v000", q, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v000 starts at x=0 heading +x: reaches P within 200 ticks.
+	if rel.Len() != 1 {
+		t.Fatalf("self answer = %d", rel.Len())
+	}
+	if s.Net.Messages != 0 {
+		t.Fatalf("self query sent %d messages", s.Net.Messages)
+	}
+}
+
+func TestObjectQueryStrategiesAgree(t *testing.T) {
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
+	s1 := NewSim(1)
+	newFleet(t, s1, 30)
+	ship, err := s1.RunObjectQuery("v001", q, 300, ShipObjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSim(1)
+	newFleet(t, s2, 30)
+	bcast, err := s2.RunObjectQuery("v001", q, 300, BroadcastQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answers.
+	a, b := ship.Relation.Tuples(), bcast.Relation.Tuples()
+	if len(a) != len(b) {
+		t.Fatalf("ship %d answers, broadcast %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Vals[0] != b[i].Vals[0] || !a[i].Times.Equal(b[i].Times) {
+			t.Fatalf("answer %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Broadcast ships fewer bytes: replies only from the 10 satisfying
+	// nodes (tuples), not 29 whole objects.
+	if bcast.Traffic.Bytes >= ship.Traffic.Bytes {
+		t.Fatalf("broadcast bytes %d >= ship bytes %d", bcast.Traffic.Bytes, ship.Traffic.Bytes)
+	}
+}
+
+func TestRelationshipQueryCentralized(t *testing.T) {
+	s := NewSim(1)
+	newFleet(t, s, 12)
+	q := ftl.MustParse(`RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE ALWAYS FOR 3 DIST(o, n) <= 2`)
+	res, err := s.RunRelationshipQuery("v000", q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least the reflexive pairs qualify.
+	if res.Relation.Len() < 12 {
+		t.Fatalf("relationship answers = %d", res.Relation.Len())
+	}
+	// All 11 remote objects shipped plus 11 requests.
+	if res.Traffic.Messages != 22 {
+		t.Fatalf("messages = %d, want 22", res.Traffic.Messages)
+	}
+}
+
+func TestDisconnectionDropsMessages(t *testing.T) {
+	s := NewSim(7)
+	newFleet(t, s, 40)
+	s.PDisconnect = 0.5
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
+	res, err := s.RunObjectQuery("v000", q, 300, ShipObjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traffic.Dropped == 0 {
+		t.Fatal("expected dropped messages at p=0.5")
+	}
+	// The answer is incomplete but still includes the issuer.
+	found := false
+	for _, tup := range res.Relation.Tuples() {
+		if tup.Vals[0] == eval.ObjVal("v000") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("issuer's own object must always be present")
+	}
+}
+
+func TestContinuousTraffic(t *testing.T) {
+	s := NewSim(1)
+	newFleet(t, s, 10)
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P)`)
+	updates := map[most.ObjectID]int{}
+	for _, id := range s.Nodes() {
+		updates[id] = 10
+	}
+	// Only 20% of the updates leave the predicate satisfied.
+	ship, bcast := s.ContinuousTraffic(q, updates, func(_ most.ObjectID, k int) bool {
+		return k%5 == 0
+	})
+	if ship.Messages != 10+100 {
+		t.Fatalf("ship messages = %d", ship.Messages)
+	}
+	if bcast.Messages != 10+20 {
+		t.Fatalf("broadcast messages = %d", bcast.Messages)
+	}
+	if bcast.Bytes >= ship.Bytes {
+		t.Fatalf("broadcast bytes %d >= ship %d", bcast.Bytes, ship.Bytes)
+	}
+}
+
+func mkAnswers(n int, spacing temporal.Tick) []eval.Answer {
+	out := make([]eval.Answer, n)
+	for i := range out {
+		start := temporal.Tick(i) * spacing
+		out[i] = eval.Answer{
+			Vals:     []eval.Val{eval.NumVal(float64(i))},
+			Interval: temporal.Interval{Start: start, End: start + 5},
+		}
+	}
+	return out
+}
+
+func TestDeliverImmediateUnlimited(t *testing.T) {
+	s := NewSim(1)
+	answers := mkAnswers(10, 10)
+	stats := s.DeliverAnswer(answers, Immediate, 0, 0, 100, func(temporal.Tick) bool { return true })
+	if stats.Messages != 1 {
+		t.Fatalf("messages = %d", stats.Messages)
+	}
+	if stats.Bytes != 10*s.Cost.TupleBytes {
+		t.Fatalf("bytes = %d", stats.Bytes)
+	}
+	if stats.MissedDisplays != 0 || stats.PeakMemory != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestDeliverImmediateBlocks(t *testing.T) {
+	s := NewSim(1)
+	answers := mkAnswers(10, 10)
+	stats := s.DeliverAnswer(answers, Immediate, 3, 0, 100, func(temporal.Tick) bool { return true })
+	if stats.Messages != 4 { // ceil(10/3)
+		t.Fatalf("messages = %d", stats.Messages)
+	}
+	if stats.PeakMemory != 3 {
+		t.Fatalf("peak memory = %d", stats.PeakMemory)
+	}
+}
+
+func TestDeliverDelayed(t *testing.T) {
+	s := NewSim(1)
+	answers := mkAnswers(10, 10)
+	stats := s.DeliverAnswer(answers, Delayed, 0, 0, 100, func(temporal.Tick) bool { return true })
+	if stats.Messages != 10 {
+		t.Fatalf("messages = %d", stats.Messages)
+	}
+	// Intervals are disjoint: at most one tuple held at a time.
+	if stats.PeakMemory != 1 {
+		t.Fatalf("peak memory = %d", stats.PeakMemory)
+	}
+}
+
+func TestDeliveryUnderDisconnection(t *testing.T) {
+	s := NewSim(1)
+	answers := mkAnswers(50, 5)
+	conn := RandomConnectivity(42, 0.4)
+	im := s.DeliverAnswer(answers, Immediate, 0, 0, 300, conn)
+	de := s.DeliverAnswer(answers, Delayed, 0, 0, 300, conn)
+	// Immediate risks everything on the initial instant: either all or
+	// nothing.  Delayed loses roughly p of the tuples.
+	if im.MissedDisplays != 0 && im.MissedDisplays != 50 {
+		t.Fatalf("immediate misses = %d", im.MissedDisplays)
+	}
+	if de.MissedDisplays == 0 || de.MissedDisplays == 50 {
+		t.Fatalf("delayed misses = %d", de.MissedDisplays)
+	}
+}
+
+func TestRandomConnectivityDeterministic(t *testing.T) {
+	a := RandomConnectivity(5, 0.3)
+	b := RandomConnectivity(5, 0.3)
+	for tt := temporal.Tick(0); tt < 100; tt++ {
+		if a(tt) != b(tt) {
+			t.Fatal("connectivity not deterministic")
+		}
+	}
+	// p=0 always connected; p=1 never.
+	always := RandomConnectivity(1, 0)
+	never := RandomConnectivity(1, 1)
+	for tt := temporal.Tick(0); tt < 20; tt++ {
+		if !always(tt) || never(tt) {
+			t.Fatal("edge probabilities wrong")
+		}
+	}
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	s := NewSim(1)
+	o, _ := most.NewObject("x", vehicleClass)
+	o, _ = o.WithPosition(motion.PositionAt(geom.Point{}, 0))
+	if _, err := s.AddNode(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddNode(o); err == nil {
+		t.Fatal("duplicate node should fail")
+	}
+	if _, err := s.SelfQuery("ghost", ftl.MustParse(`RETRIEVE o FROM V o WHERE TRUE`), 10); err == nil {
+		t.Fatal("unknown issuer should fail")
+	}
+	if _, ok := s.Node("x"); !ok {
+		t.Fatal("node lookup failed")
+	}
+}

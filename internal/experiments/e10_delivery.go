@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mostdb/most/internal/dist"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// E10ImmediateVsDelayed reproduces §5.2's design trade-off: transmitting
+// Answer(CQ) to a moving client immediately (in blocks of B when memory is
+// limited) versus at each tuple's begin time, under varying disconnection
+// probability.
+func E10ImmediateVsDelayed(quick bool) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Answer(CQ) delivery to a moving client: immediate vs delayed (§5.2)",
+		Claim:   "immediate delivery minimizes messages and risk concentrates at transmission instants; delayed delivery bounds client memory but exposes every tuple to disconnection",
+		Columns: []string{"tuples", "memory B", "p(disconnect)", "mode", "msgs", "bytes", "missed displays", "peak memory"},
+	}
+	sim := dist.NewSim(1)
+	nTuples := 200
+	if quick {
+		nTuples = 80
+	}
+	answers := make([]eval.Answer, nTuples)
+	for i := range answers {
+		start := temporal.Tick(i * 5)
+		answers[i] = eval.Answer{
+			Vals:     []eval.Val{eval.NumVal(float64(i))},
+			Interval: temporal.Interval{Start: start, End: start + 8},
+		}
+	}
+	to := temporal.Tick(nTuples*5 + 20)
+	for _, p := range []float64{0, 0.1, 0.3} {
+		for _, b := range []int{0, 16} {
+			conn := dist.RandomConnectivity(99, p)
+			im := sim.DeliverAnswer(answers, dist.Immediate, b, 0, to, conn)
+			de := sim.DeliverAnswer(answers, dist.Delayed, b, 0, to, conn)
+			bs := "inf"
+			if b > 0 {
+				bs = itoa(b)
+			}
+			t.AddRow(itoa(nTuples), bs, f2(p), "immediate", itoa(im.Messages), itoa(im.Bytes), itoa(im.MissedDisplays), itoa(im.PeakMemory))
+			t.AddRow(itoa(nTuples), bs, f2(p), "delayed", itoa(de.Messages), itoa(de.Bytes), itoa(de.MissedDisplays), itoa(de.PeakMemory))
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("window: %d ticks; tuple displays last 8 ticks, starting every 5", int(to)),
+		`"the choice ... depends on the probability that an update ... can be propagated to M before the effects of the update need to be displayed" — the missed-display column quantifies it`)
+	return t
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// E11IndexMechanisms carries out the paper's §7 future-work item: "we
+// intend to experimentally compare various mechanisms for indexing dynamic
+// attributes".  It compares the R-tree index, a uniform (time, value) grid,
+// and the no-index full scan on instantaneous and continuous range
+// queries, across fleet sizes.
+func E11IndexMechanisms(quick bool) *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "index mechanisms: R-tree vs uniform grid vs scan (§7 future work)",
+		Claim:   "both spatial-index mechanisms beat the scan and answer continuous queries from one probe; the grid trades memory-at-resolution for simpler probes",
+		Columns: []string{"objects", "scan instant", "rtree instant", "grid instant", "rtree continuous", "grid continuous"},
+	}
+	sizes := []int{1000, 10000, 50000}
+	reps := 100
+	if quick {
+		sizes = []int{1000, 10000}
+		reps = 30
+	}
+	const horizon = temporal.Tick(1000)
+	for _, n := range sizes {
+		rt, attrs := indexedFleet(n, horizon, 3, 5)
+		grid := index.NewGridIndex(0, horizon, -4200, 4200, 64, 64)
+		for id, a := range attrs {
+			if err := grid.Insert(id, a); err != nil {
+				panic(err)
+			}
+		}
+		lo, hi := 100.0, 104.0
+		at := temporal.Tick(500)
+		// All three mechanisms must agree.
+		want := scanRange(attrs, lo, hi, at)
+		if got := len(rt.InstantQuery(lo, hi, at)); got != want {
+			panic(fmt.Sprintf("E11: rtree answered %d, scan %d", got, want))
+		}
+		if got := len(grid.InstantQuery(lo, hi, at)); got != want {
+			panic(fmt.Sprintf("E11: grid answered %d, scan %d", got, want))
+		}
+		scanT := timeIt(reps, func() { scanRange(attrs, lo, hi, at) })
+		rtT := timeIt(reps, func() { rt.InstantQuery(lo, hi, at) })
+		gridT := timeIt(reps, func() { grid.InstantQuery(lo, hi, at) })
+		rtC := timeIt(reps/5+1, func() { rt.ContinuousQuery(lo, hi, 0) })
+		gridC := timeIt(reps/5+1, func() { grid.ContinuousQuery(lo, hi, 0) })
+		t.AddRow(itoa(n), ns(scanT), ns(rtT), ns(gridT), ns(rtC), ns(gridC))
+	}
+	t.Notes = append(t.Notes, "grid: 64x64 cells over values [-4200,4200] x the time horizon; answers cross-checked for equality against the scan")
+	return t
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// E12HorizonChoice explores §4's open question: "the index needs to be
+// reconstructed every T time units.  Choosing an appropriate value for T
+// is an important future-research question."  With the strip width held
+// fixed, a larger T means proportionally more rectangles per object: the
+// experiment measures, per choice of T over a fixed operating period, the
+// rebuild cost and its amortization, the probe cost, and the reach of
+// continuous queries (a continuous query is only answerable to the end of
+// the indexed window).
+func E12HorizonChoice(quick bool) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "index horizon T: rebuild cost vs probe cost vs continuous reach (§4 future work)",
+		Claim:   "rebuild cost grows with T but amortizes over proportionally more ticks; probe cost grows mildly; small T truncates continuous answers — T should match the query horizon",
+		Columns: []string{"objects", "T", "entries", "rebuilds/period", "rebuild cost", "amortized/tick", "instant probe", "continuous reach"},
+	}
+	n := 10000
+	reps := 50
+	if quick {
+		n = 3000
+		reps = 20
+	}
+	const period = temporal.Tick(4000) // operating period to amortize over
+	const stripWidth = 16.0
+	r := rand.New(rand.NewSource(5))
+	attrs := make(map[most.ObjectID]motion.DynamicAttr, n)
+	for i := 0; i < n; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%06d", i))
+		attrs[id] = motion.DynamicAttr{
+			Value:    r.Float64()*2000 - 1000,
+			Function: motion.Linear(r.Float64()*6 - 3),
+		}
+	}
+	for _, T := range []temporal.Tick{250, 1000, 4000} {
+		ix := index.NewAttrIndexSlice(0, T, stripWidth)
+		rebuild := timeIt(3, func() { ix.Rebuild(0, attrs) })
+		rebuilds := int(period / T)
+		amortized := time.Duration(float64(rebuild) * float64(rebuilds) / float64(period))
+		probe := timeIt(reps, func() { ix.InstantQuery(100, 104, T/2) })
+		reach := ix.End()
+		entries := 0
+		for range attrs {
+			entries += int(float64(T) / stripWidth)
+		}
+		t.AddRow(itoa(n), itoa(int(T)), itoa(entries), itoa(rebuilds),
+			ns(rebuild), ns(amortized), ns(probe), itoa(int(reach)))
+	}
+	t.Notes = append(t.Notes,
+		"strip width fixed at 16 ticks, so entries scale linearly with T",
+		"a continuous query entered at time 0 can only be answered to tick T; T below the query horizon forces re-probing after every rebuild")
+	return t
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// E2UpdateTraffic validates the paper's §1 motivation: tracking positions
+// by explicit per-tick updates "would impose a serious performance and
+// wireless-bandwidth overhead", while representing the motion vector means
+// the database is updated only when the vector changes.
+func E2UpdateTraffic(quick bool) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "update messages: per-tick position tracking vs motion-vector updates (§1)",
+		Claim:   "motion-vector updates are orders of magnitude fewer than per-tick position updates, shrinking as vectors change less often",
+		Columns: []string{"vehicles", "vector-change rate", "ticks", "position msgs", "vector msgs", "reduction"},
+	}
+	sizes := []int{100, 1000, 10000}
+	if quick {
+		sizes = []int{100, 1000}
+	}
+	const ticks = temporal.Tick(600)
+	region := geom.Rect{Max: geom.Point{X: 10000, Y: 10000}}
+	for _, n := range sizes {
+		for _, rate := range []float64{0.001, 0.01, 0.05} {
+			spec := workload.FleetSpec{N: n, Region: region, MaxSpeed: 3, Seed: 17}
+			pos, vec := workload.UpdateTraffic(spec, rate, ticks)
+			red := "inf"
+			if vec > 0 {
+				red = f2(float64(pos)/float64(vec)) + "x"
+			}
+			t.AddRow(itoa(n), f2(rate), itoa(int(ticks)), itoa(pos), itoa(vec), red)
+		}
+	}
+	return t
+}

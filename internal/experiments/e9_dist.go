@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mostdb/most/internal/dist"
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+)
+
+// distFleet builds a simulation where selectivity*n of the nodes will
+// satisfy "EVENTUALLY INSIDE(o, P)".
+func distFleet(n int, selectivity float64, seed int64) *dist.Sim {
+	sim := dist.NewSim(seed)
+	cls := most.MustClass("Vehicles", true)
+	match := int(float64(n) * selectivity)
+	for i := 0; i < n; i++ {
+		id := most.ObjectID(fmt.Sprintf("v%05d", i))
+		o, err := most.NewObject(id, cls)
+		if err != nil {
+			panic(err)
+		}
+		v := geom.Vector{Y: 1} // heads away from P
+		if i < match {
+			v = geom.Vector{X: 1} // heads into P
+		}
+		o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: float64(-10 - i%40)}, v, 0))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := sim.AddNode(o); err != nil {
+			panic(err)
+		}
+	}
+	sim.Regions["P"] = geom.RectPolygon(0, -5, 1000, 5)
+	return sim
+}
+
+// E9DistStrategies compares the §5.3 object-query strategies by actual
+// message and byte counts, one-shot and continuous.
+func E9DistStrategies(quick bool) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "distributed object query: ship-objects vs broadcast-query (§5.3)",
+		Claim:   "broadcasting the query and letting satisfying nodes reply costs less than shipping every object, and the gap widens for continuous queries",
+		Columns: []string{"nodes", "selectivity", "ship msgs", "ship bytes", "bcast msgs", "bcast bytes", "cont. ship bytes", "cont. bcast bytes"},
+	}
+	sizes := []int{50, 200, 1000}
+	if quick {
+		sizes = []int{50, 200}
+	}
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 100 INSIDE(o, P)`)
+	for _, n := range sizes {
+		for _, sel := range []float64{0.05, 0.25} {
+			shipSim := distFleet(n, sel, 1)
+			ship, err := shipSim.RunObjectQuery(shipSim.Nodes()[0], q, 200, dist.ShipObjects)
+			if err != nil {
+				panic(err)
+			}
+			bSim := distFleet(n, sel, 1)
+			bcast, err := bSim.RunObjectQuery(bSim.Nodes()[0], q, 200, dist.BroadcastQuery)
+			if err != nil {
+				panic(err)
+			}
+			if ship.Relation.Len() != bcast.Relation.Len() {
+				panic("E9: strategies disagree on the answer")
+			}
+			// Continuous variant: each node changes course 20 times; a
+			// change satisfies the predicate with probability = selectivity.
+			cSim := distFleet(n, sel, 2)
+			updates := map[most.ObjectID]int{}
+			for _, id := range cSim.Nodes() {
+				updates[id] = 20
+			}
+			period := int(1 / sel)
+			cs, cb := cSim.ContinuousTraffic(q, updates, func(_ most.ObjectID, k int) bool {
+				return k%period == 0
+			})
+			t.AddRow(itoa(n), f2(sel), itoa(ship.Traffic.Messages), itoa(ship.Traffic.Bytes),
+				itoa(bcast.Traffic.Messages), itoa(bcast.Traffic.Bytes),
+				itoa(cs.Bytes), itoa(cb.Bytes))
+		}
+	}
+	t.Notes = append(t.Notes, "cost model: object = 256 bytes, query = 128 bytes, answer tuple = 64 bytes")
+	return t
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates the paper's quantitative claims.  The
+// paper (ICDE 1997) has no numbered result tables — its only figure is the
+// conceptual history diagram — so each experiment (E1..E10, plus the §7 future-work studies E11 and E12) validates one of
+// the concrete claims its text makes; DESIGN.md maps each to the paper
+// section, and EXPERIMENTS.md records claim-versus-measured.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Table is one regenerated result table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being validated
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment (quick=true shrinks sweeps for CI-speed runs).
+func All(quick bool) []*Table {
+	return []*Table{
+		E1QueryTypes(),
+		E2UpdateTraffic(quick),
+		E3IndexVsScan(quick),
+		E4ContinuousIndex(quick),
+		E5ContinuousVsPerTick(quick),
+		E6UntilJoin(quick),
+		E7Decomposition(quick),
+		E8RewriteWithIndex(quick),
+		E9DistStrategies(quick),
+		E10ImmediateVsDelayed(quick),
+		E11IndexMechanisms(quick),
+		E12HorizonChoice(quick),
+	}
+}
+
+// timeIt measures fn over reps runs and returns the per-run duration.  A
+// collection runs first so garbage from fixture construction is not billed
+// to the measured operation.
+func timeIt(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	runtime.GC()
+	fn() // warm caches
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+func ns(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

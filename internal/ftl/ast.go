@@ -1,0 +1,357 @@
+package ftl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed FTL query: RETRIEVE targets FROM bindings WHERE formula.
+// The FROM clause binds each variable to an object class; targets must be
+// bound variables.
+type Query struct {
+	Targets  []string
+	Bindings []Binding
+	Where    Formula
+}
+
+// Binding associates a query variable with an object class.
+type Binding struct {
+	Var   string
+	Class string
+}
+
+// Formula is an FTL formula node.
+type Formula interface {
+	fNode()
+	String() string
+}
+
+// Expr is an FTL term node.
+type Expr interface {
+	eNode()
+	String() string
+}
+
+// ---- formulas ----
+
+// And is conjunction f AND g.
+type And struct{ L, R Formula }
+
+// Or is disjunction f OR g (definable from NOT and AND, §3.3).
+type Or struct{ L, R Formula }
+
+// Not is negation.  The processing algorithm accepts it only where the
+// instantiation domain is closed (the paper restricts to conjunctive
+// formulas for safety; see eval).
+type Not struct{ F Formula }
+
+// Implies is logical implication f IMPLIES g == (NOT f) OR g.
+type Implies struct{ L, R Formula }
+
+// Until is f UNTIL g; if Within is non-nil it is the bounded form
+// f UNTIL WITHIN c g (§3.4).
+type Until struct {
+	L, R   Formula
+	Within Expr // nil for the unbounded operator
+}
+
+// Nexttime is NEXTTIME f.
+type Nexttime struct{ F Formula }
+
+// Eventually is EVENTUALLY f, or its bounded forms: EVENTUALLY WITHIN c f
+// (Within non-nil) and EVENTUALLY AFTER c f (After non-nil).
+type Eventually struct {
+	F      Formula
+	Within Expr
+	After  Expr
+}
+
+// Always is ALWAYS f, or ALWAYS FOR c f when For is non-nil.
+type Always struct {
+	F   Formula
+	For Expr
+}
+
+// Assign is the assignment quantifier [x <- t] f: x is bound to the value
+// of term t in the current state, and f is evaluated with that binding
+// (§3.2: "the assignment is the only quantifier").
+type Assign struct {
+	Var  string
+	Term Expr
+	Body Formula
+}
+
+// Compare is an atomic comparison t1 op t2 with op in
+// {<, <=, >, >=, =, !=}.
+type Compare struct {
+	Op   string
+	L, R Expr
+}
+
+// Inside is the spatial predicate INSIDE(o, R); Region names a polygon
+// supplied at evaluation time.
+type Inside struct {
+	Obj    Expr
+	Region Expr
+}
+
+// Outside is OUTSIDE(o, R).
+type Outside struct {
+	Obj    Expr
+	Region Expr
+}
+
+// WithinSphere is WITHIN_SPHERE(r, o1, ..., ok).
+type WithinSphere struct {
+	Radius Expr
+	Objs   []Expr
+}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+func (And) fNode()          {}
+func (Or) fNode()           {}
+func (Not) fNode()          {}
+func (Implies) fNode()      {}
+func (Until) fNode()        {}
+func (Nexttime) fNode()     {}
+func (Eventually) fNode()   {}
+func (Always) fNode()       {}
+func (Assign) fNode()       {}
+func (Compare) fNode()      {}
+func (Inside) fNode()       {}
+func (Outside) fNode()      {}
+func (WithinSphere) fNode() {}
+func (BoolLit) fNode()      {}
+
+func (f And) String() string     { return fmt.Sprintf("(%s AND %s)", f.L, f.R) }
+func (f Or) String() string      { return fmt.Sprintf("(%s OR %s)", f.L, f.R) }
+func (f Not) String() string     { return fmt.Sprintf("(NOT %s)", f.F) }
+func (f Implies) String() string { return fmt.Sprintf("(%s IMPLIES %s)", f.L, f.R) }
+func (f Until) String() string {
+	if f.Within != nil {
+		return fmt.Sprintf("(%s UNTIL WITHIN %s %s)", f.L, f.Within, f.R)
+	}
+	return fmt.Sprintf("(%s UNTIL %s)", f.L, f.R)
+}
+func (f Nexttime) String() string { return fmt.Sprintf("(NEXTTIME %s)", f.F) }
+func (f Eventually) String() string {
+	switch {
+	case f.Within != nil:
+		return fmt.Sprintf("(EVENTUALLY WITHIN %s %s)", f.Within, f.F)
+	case f.After != nil:
+		return fmt.Sprintf("(EVENTUALLY AFTER %s %s)", f.After, f.F)
+	default:
+		return fmt.Sprintf("(EVENTUALLY %s)", f.F)
+	}
+}
+func (f Always) String() string {
+	if f.For != nil {
+		return fmt.Sprintf("(ALWAYS FOR %s %s)", f.For, f.F)
+	}
+	return fmt.Sprintf("(ALWAYS %s)", f.F)
+}
+func (f Assign) String() string  { return fmt.Sprintf("[%s <- %s] %s", f.Var, f.Term, f.Body) }
+func (f Compare) String() string { return fmt.Sprintf("%s %s %s", f.L, f.Op, f.R) }
+func (f Inside) String() string  { return fmt.Sprintf("INSIDE(%s, %s)", f.Obj, f.Region) }
+func (f Outside) String() string { return fmt.Sprintf("OUTSIDE(%s, %s)", f.Obj, f.Region) }
+func (f WithinSphere) String() string {
+	parts := make([]string, 0, len(f.Objs)+1)
+	parts = append(parts, f.Radius.String())
+	for _, o := range f.Objs {
+		parts = append(parts, o.String())
+	}
+	return fmt.Sprintf("WITHIN_SPHERE(%s)", strings.Join(parts, ", "))
+}
+func (f BoolLit) String() string {
+	if f.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// ---- expressions ----
+
+// Var references a variable (FROM-bound object variable, assignment-bound
+// value, or an evaluation-time parameter such as a named polygon).
+type Var struct{ Name string }
+
+// Num is a numeric literal.
+type Num struct{ V float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ S string }
+
+// BoolExpr is a boolean literal used as a term (e.g. m.AVAILABLE = TRUE).
+type BoolExpr struct{ V bool }
+
+// AttrRef is attribute access obj.Path, e.g. o.PRICE or o.X.POSITION; a
+// trailing VALUE, UPDATETIME or SPEED component accesses the dynamic
+// attribute's sub-attributes (A.value, A.updatetime, and the slope of
+// A.function).
+type AttrRef struct {
+	Obj  Expr
+	Path []string
+}
+
+// Bin is arithmetic: Op in {+, -, *, /}.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct{ E Expr }
+
+// DistOf is DIST(o1, o2): the distance between two point-objects (§2).
+type DistOf struct{ A, B Expr }
+
+// SpeedOf is SPEED(o.Attr): the rate of change of a dynamic attribute —
+// how "the objects whose speed in the X direction is 5" are expressed
+// (§2.1 queries sub-attribute A.function).
+type SpeedOf struct{ Attr AttrRef }
+
+// TimeRef is the special database object "time" (§2).
+type TimeRef struct{}
+
+// Call is a builtin numeric function: ABS, MIN, MAX.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Var) eNode()      {}
+func (Num) eNode()      {}
+func (StrLit) eNode()   {}
+func (BoolExpr) eNode() {}
+func (AttrRef) eNode()  {}
+func (Bin) eNode()      {}
+func (Neg) eNode()      {}
+func (DistOf) eNode()   {}
+func (SpeedOf) eNode()  {}
+func (TimeRef) eNode()  {}
+func (Call) eNode()     {}
+
+func (e Var) String() string    { return e.Name }
+func (e Num) String() string    { return fmt.Sprintf("%g", e.V) }
+func (e StrLit) String() string { return fmt.Sprintf("%q", e.S) }
+func (e BoolExpr) String() string {
+	if e.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+func (e AttrRef) String() string {
+	return fmt.Sprintf("%s.%s", e.Obj, strings.Join(e.Path, "."))
+}
+func (e Bin) String() string     { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e Neg) String() string     { return fmt.Sprintf("(-%s)", e.E) }
+func (e DistOf) String() string  { return fmt.Sprintf("DIST(%s, %s)", e.A, e.B) }
+func (e SpeedOf) String() string { return fmt.Sprintf("SPEED(%s)", e.Attr) }
+func (e TimeRef) String() string { return "time" }
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ", "))
+}
+
+// FreeVars returns the free variables of a formula in first-use order.
+func FreeVars(f Formula) []string {
+	var out []string
+	seen := map[string]bool{}
+	var bound []string
+	collectFormula(f, &out, seen, &bound)
+	return out
+}
+
+func collectFormula(f Formula, out *[]string, seen map[string]bool, bound *[]string) {
+	switch n := f.(type) {
+	case And:
+		collectFormula(n.L, out, seen, bound)
+		collectFormula(n.R, out, seen, bound)
+	case Or:
+		collectFormula(n.L, out, seen, bound)
+		collectFormula(n.R, out, seen, bound)
+	case Implies:
+		collectFormula(n.L, out, seen, bound)
+		collectFormula(n.R, out, seen, bound)
+	case Not:
+		collectFormula(n.F, out, seen, bound)
+	case Until:
+		collectFormula(n.L, out, seen, bound)
+		collectFormula(n.R, out, seen, bound)
+		if n.Within != nil {
+			collectExpr(n.Within, out, seen, bound)
+		}
+	case Nexttime:
+		collectFormula(n.F, out, seen, bound)
+	case Eventually:
+		collectFormula(n.F, out, seen, bound)
+		if n.Within != nil {
+			collectExpr(n.Within, out, seen, bound)
+		}
+		if n.After != nil {
+			collectExpr(n.After, out, seen, bound)
+		}
+	case Always:
+		collectFormula(n.F, out, seen, bound)
+		if n.For != nil {
+			collectExpr(n.For, out, seen, bound)
+		}
+	case Assign:
+		collectExpr(n.Term, out, seen, bound)
+		*bound = append(*bound, n.Var)
+		collectFormula(n.Body, out, seen, bound)
+		*bound = (*bound)[:len(*bound)-1]
+	case Compare:
+		collectExpr(n.L, out, seen, bound)
+		collectExpr(n.R, out, seen, bound)
+	case Inside:
+		collectExpr(n.Obj, out, seen, bound)
+		collectExpr(n.Region, out, seen, bound)
+	case Outside:
+		collectExpr(n.Obj, out, seen, bound)
+		collectExpr(n.Region, out, seen, bound)
+	case WithinSphere:
+		collectExpr(n.Radius, out, seen, bound)
+		for _, o := range n.Objs {
+			collectExpr(o, out, seen, bound)
+		}
+	case BoolLit:
+	}
+}
+
+func collectExpr(e Expr, out *[]string, seen map[string]bool, bound *[]string) {
+	switch n := e.(type) {
+	case Var:
+		for _, b := range *bound {
+			if b == n.Name {
+				return
+			}
+		}
+		if !seen[n.Name] {
+			seen[n.Name] = true
+			*out = append(*out, n.Name)
+		}
+	case AttrRef:
+		collectExpr(n.Obj, out, seen, bound)
+	case Bin:
+		collectExpr(n.L, out, seen, bound)
+		collectExpr(n.R, out, seen, bound)
+	case Neg:
+		collectExpr(n.E, out, seen, bound)
+	case DistOf:
+		collectExpr(n.A, out, seen, bound)
+		collectExpr(n.B, out, seen, bound)
+	case SpeedOf:
+		collectExpr(n.Attr, out, seen, bound)
+	case Call:
+		for _, a := range n.Args {
+			collectExpr(a, out, seen, bound)
+		}
+	case Num, StrLit, BoolExpr, TimeRef:
+	}
+}

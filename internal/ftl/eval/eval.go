@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/most"
+)
+
+// BindDomains populates the context's variable domains from a query's FROM
+// clause, using classOf to enumerate each class's objects.
+func (c *Context) BindDomains(q *ftl.Query, idsOf func(class string) []most.ObjectID) error {
+	if c.Domains == nil {
+		c.Domains = map[string][]Val{}
+	}
+	for _, b := range q.Bindings {
+		if _, dup := c.Domains[b.Var]; dup {
+			return errf("variable %q bound twice", b.Var)
+		}
+		ids := idsOf(b.Class)
+		dom := make([]Val, len(ids))
+		for i, id := range ids {
+			dom[i] = ObjVal(id)
+		}
+		c.Domains[b.Var] = dom
+	}
+	return nil
+}
+
+// EvalQuery evaluates a full query and returns Answer(CQ): a relation over
+// the target variables whose tuples carry, per instantiation, the interval
+// set during which the instantiation satisfies the WHERE formula (§3.5).
+// The caller must have populated Domains (directly or via BindDomains).
+func EvalQuery(q *ftl.Query, c *Context) (*Relation, error) {
+	for _, tgt := range q.Targets {
+		if _, ok := c.Domains[tgt]; !ok {
+			return nil, errf("target variable %q has no FROM binding", tgt)
+		}
+	}
+	rel, err := c.EvalFormula(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Expand(q.Targets, c.Domains)
+}

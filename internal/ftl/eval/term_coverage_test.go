@@ -1,0 +1,189 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// runQuery evaluates src against the fixture and returns the relation or
+// the error.
+func (f *fixture) tryRun(src string) (*Relation, error) {
+	q, err := ftl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range q.Bindings {
+		if _, ok := f.ctx.Domains[b.Var]; !ok {
+			f.ctx.Domains[b.Var] = append([]Val{}, f.ctx.Domains["o"]...)
+		}
+	}
+	return EvalQuery(q, f.ctx)
+}
+
+func TestArithmeticAndCalls(t *testing.T) {
+	f := newFixture(t)
+	f.ctx.Horizon = 20
+	f.addCar(t, "v", 60, geom.Point{X: 0}, geom.Vector{X: 2})
+
+	cases := []struct {
+		src  string
+		want bool // satisfied at tick 0
+	}{
+		{`RETRIEVE o FROM V o WHERE o.PRICE / 2 = 30`, true},
+		{`RETRIEVE o FROM V o WHERE o.PRICE * 2 >= 120`, true},
+		{`RETRIEVE o FROM V o WHERE -o.PRICE <= -60`, true},
+		{`RETRIEVE o FROM V o WHERE ABS(0 - o.PRICE) = 60`, true},
+		{`RETRIEVE o FROM V o WHERE MIN(o.PRICE, 10) = 10`, true},
+		{`RETRIEVE o FROM V o WHERE MAX(o.PRICE, o.X.POSITION) >= 60`, true},
+		{`RETRIEVE o FROM V o WHERE o.PRICE + 1 - 1 = o.PRICE`, true},
+		{`RETRIEVE o FROM V o WHERE o.X.POSITION * o.X.POSITION >= 100`, false}, // x(0)=0
+		{`RETRIEVE o FROM V o WHERE o.X.POSITION.value = 0`, true},
+		{`RETRIEVE o FROM V o WHERE o.X.POSITION.updatetime = 0`, true},
+		{`RETRIEVE o FROM V o WHERE o.X.POSITION.speed = 2`, true},
+	}
+	for _, tc := range cases {
+		rel, err := f.tryRun(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		got := len(rel.At(0)) == 1
+		if got != tc.want {
+			t.Errorf("%s: satisfied=%v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestTermErrorPaths(t *testing.T) {
+	f := newFixture(t)
+	f.addCar(t, "v", 60, geom.Point{}, geom.Vector{})
+	bad := []string{
+		`RETRIEVE o FROM V o WHERE o.PRICE / 0 = 1`,                // division by zero
+		`RETRIEVE o FROM V o WHERE o.NOPE = 1`,                     // unknown attribute
+		`RETRIEVE o FROM V o WHERE SPEED(o.NOPE) = 1`,              // SPEED of unknown attr
+		`RETRIEVE o FROM V o WHERE DIST(o, 3) <= 5`,                // DIST arg not an object
+		`RETRIEVE o FROM V o WHERE 'a' + 1 = 2`,                    // non-numeric arithmetic
+		`RETRIEVE o FROM V o WHERE WITHIN_SPHERE(o.X.POSITION, o)`, // non-constant radius
+		`RETRIEVE o FROM V o WHERE EVENTUALLY WITHIN o.PRICE TRUE`, // non-constant bound
+		`RETRIEVE o FROM V o WHERE [o <- 1] TRUE`,                  // shadowing a FROM var
+		`RETRIEVE o FROM V o WHERE [x <- zzz] x = 1`,               // unbound term var
+		`RETRIEVE o FROM V o WHERE INSIDE(3, P)`,                   // non-variable object
+		`RETRIEVE o FROM V o WHERE ABS('x') = 1`,                   // non-numeric call arg
+	}
+	for _, src := range bad {
+		if _, err := f.tryRun(src); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestNegativeBoundRejected(t *testing.T) {
+	f := newFixture(t)
+	f.addCar(t, "v", 1, geom.Point{}, geom.Vector{})
+	if _, err := f.tryRun(`RETRIEVE o FROM V o WHERE EVENTUALLY WITHIN 0-5 TRUE`); err == nil {
+		t.Error("negative bound should fail")
+	}
+}
+
+func TestStringAndBoolComparisons(t *testing.T) {
+	f := newFixture(t)
+	f.ctx.Horizon = 5
+	f.addCar(t, "v", 60, geom.Point{}, geom.Vector{})
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`RETRIEVE o FROM V o WHERE 'abc' < 'abd'`, true},
+		{`RETRIEVE o FROM V o WHERE 'abc' != 'abd'`, true},
+		{`RETRIEVE o FROM V o WHERE (TRUE) = TRUE`, true},
+		{`RETRIEVE o FROM V o WHERE (FALSE) != TRUE`, true},
+		{`RETRIEVE o FROM V o WHERE 'a' = 'b'`, false},
+	}
+	for _, tc := range cases {
+		rel, err := f.tryRun(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if got := len(rel.At(0)) == 1; got != tc.want {
+			t.Errorf("%s: satisfied=%v want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestRelationExpandErrors(t *testing.T) {
+	r := NewRelation("x")
+	r.Add([]Val{NumVal(1)}, temporal.NewSet(temporal.Interval{Start: 0, End: 5}))
+	if _, err := r.Expand([]string{"x", "y"}, map[string][]Val{}); err == nil {
+		t.Error("expanding over a variable without a domain should fail")
+	}
+	if _, err := r.ComplementOver(map[string][]Val{}, temporal.Interval{Start: 0, End: 5}); err == nil {
+		t.Error("complement without domains should fail")
+	}
+	// Valid expansion multiplies instantiations.
+	out, err := r.Expand([]string{"x", "y"}, map[string][]Val{"y": {StrVal("a"), StrVal("b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("expanded Len = %d", out.Len())
+	}
+}
+
+func TestWindowSphereRadiusVariable(t *testing.T) {
+	// A radius bound through Params is constant and accepted.
+	f := newFixture(t)
+	f.ctx.Horizon = 10
+	f.ctx.Params["r"] = NumVal(100)
+	f.addCar(t, "a", 0, geom.Point{X: 0}, geom.Vector{})
+	f.addCar(t, "b", 0, geom.Point{X: 50}, geom.Vector{})
+	q := ftl.MustParse(`RETRIEVE o, n FROM V o, V n WHERE WITHIN_SPHERE(r, o, n)`)
+	f.ctx.Domains["n"] = append([]Val{}, f.ctx.Domains["o"]...)
+	rel, err := EvalQuery(q, f.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("pairs = %d, want 4", rel.Len())
+	}
+}
+
+func TestValStringRendering(t *testing.T) {
+	vals := map[string]Val{
+		"obj-1": ObjVal("obj-1"),
+		"2.5":   NumVal(2.5),
+		"hi":    StrVal("hi"),
+		"true":  BoolVal(true),
+		"NULL":  {},
+	}
+	for want, v := range vals {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+	if ObjVal("a").Compare(ObjVal("b")) >= 0 || NumVal(1).Compare(StrVal("x")) >= 0 {
+		t.Error("Compare ordering wrong")
+	}
+}
+
+func TestDumpAndAnswerHelpers(t *testing.T) {
+	f := newFixture(t)
+	f.ctx.Horizon = 10
+	f.addCar(t, "v", 10, geom.Point{X: 15}, geom.Vector{})
+	rel, err := f.tryRun(`RETRIEVE o FROM V o WHERE INSIDE(o, P)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := rel.Answers()
+	if len(ans) != 1 || ans[0].Interval.Start != 0 {
+		t.Fatalf("answers = %+v", ans)
+	}
+	if s := dumpRelation(rel); !strings.Contains(s, "v") {
+		t.Fatalf("dump = %q", s)
+	}
+	if s := dumpRelation(NewRelation()); s != "(empty)" {
+		t.Fatalf("empty dump = %q", s)
+	}
+}

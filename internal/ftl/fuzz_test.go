@@ -1,0 +1,38 @@
+package ftl
+
+import "testing"
+
+// FuzzParse asserts the FTL parser never panics and that anything it
+// accepts renders to a string that parses again to the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`RETRIEVE o FROM V o WHERE TRUE`,
+		`RETRIEVE o, n FROM A o, B n WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))`,
+		`RETRIEVE o WHERE [x <- SPEED(o.X.POSITION)] EVENTUALLY WITHIN 10 SPEED(o.X.POSITION) >= 2 * x`,
+		`RETRIEVE o WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P))`,
+		`RETRIEVE o WHERE NOT OUTSIDE(o, P) OR o.PRICE != 'cheap'`,
+		`RETRIEVE o WHERE time + 1 >= 2 IMPLIES NEXTTIME TRUE`,
+		`RETRIEVE o WHERE WITHIN_SPHERE(2.5, a, b, c)`,
+		`RETRIEVE`,
+		`[`,
+		`RETRIEVE o WHERE ((((TRUE))))`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Round-trip stability for accepted inputs.
+		rendered := q.Where.String()
+		again, err := ParseFormula(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted input does not re-parse: %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package ftl
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer turns FTL source text into tokens.
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Lex tokenizes the whole input; the last token is TokEOF.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// SQL-style line comment.
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := Token{Pos: lx.pos, Line: lx.line, Col: lx.col}
+	c, ok := lx.peekByte()
+	if !ok {
+		start.Kind = TokEOF
+		return start, nil
+	}
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(start), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(start)
+	case c == '\'' || c == '"':
+		return lx.lexString(start)
+	default:
+		return lx.lexSymbol(start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) lexIdent(start Token) Token {
+	b := strings.Builder{}
+	for {
+		c, ok := lx.peekByte()
+		if !ok || !isIdentPart(c) {
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	text := b.String()
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		start.Kind = TokKeyword
+		start.Text = upper
+		return start
+	}
+	start.Kind = TokIdent
+	start.Text = text
+	return start
+}
+
+func (lx *lexer) lexNumber(start Token) (Token, error) {
+	b := strings.Builder{}
+	seenDot := false
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			break
+		}
+		if c == '.' {
+			// Only consume the dot if a digit follows (so "3.PRICE" stays
+			// separable; attribute access uses the dot symbol).
+			if seenDot || lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] < '0' || lx.src[lx.pos+1] > '9' {
+				break
+			}
+			seenDot = true
+			b.WriteByte(lx.advance())
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	n, err := strconv.ParseFloat(b.String(), 64)
+	if err != nil {
+		return Token{}, errAt(start, "bad number %q", b.String())
+	}
+	start.Kind = TokNumber
+	start.Num = n
+	start.Text = b.String()
+	return start, nil
+}
+
+func (lx *lexer) lexString(start Token) (Token, error) {
+	quote := lx.advance()
+	b := strings.Builder{}
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return Token{}, errAt(start, "unterminated string")
+		}
+		lx.advance()
+		if c == quote {
+			break
+		}
+		b.WriteByte(c)
+	}
+	start.Kind = TokString
+	start.Text = b.String()
+	return start, nil
+}
+
+// twoByteSymbols are matched before single-byte ones.
+var twoByteSymbols = map[string]bool{
+	"<-": true, "<=": true, ">=": true, "!=": true, "<>": true, "==": true,
+}
+
+func (lx *lexer) lexSymbol(start Token) (Token, error) {
+	c := lx.advance()
+	if next, ok := lx.peekByte(); ok {
+		two := string([]byte{c, next})
+		if twoByteSymbols[two] {
+			lx.advance()
+			start.Kind = TokSymbol
+			start.Text = two
+			return start, nil
+		}
+	}
+	switch c {
+	case '(', ')', '[', ']', ',', '.', '<', '>', '=', '+', '-', '*', '/':
+		start.Kind = TokSymbol
+		start.Text = string(c)
+		return start, nil
+	}
+	return Token{}, errAt(start, "unexpected character %q", string(c))
+}

@@ -1,0 +1,516 @@
+package ftl
+
+import "fmt"
+
+// Parse parses a full FTL query:
+//
+//	RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE <formula>
+//
+// The FROM clause is optional when the evaluation context supplies variable
+// bindings externally.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, errAt(p.peek(), "unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+// ParseFormula parses a bare FTL formula (no RETRIEVE/WHERE wrapper).
+func ParseFormula(src string) (Formula, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, errAt(p.peek(), "unexpected %s after formula", p.peek())
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token   { return p.toks[p.pos] }
+func (p *parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+// at reports whether the current token has the given kind and (when text is
+// non-empty) text.
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[TokKind]string{TokIdent: "identifier", TokNumber: "number"}[kind]
+	}
+	return Token{}, errAt(p.peek(), "expected %q, found %s", want, p.peek())
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(TokKeyword, "RETRIEVE"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		id, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		q.Targets = append(q.Targets, id.Text)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		for {
+			class, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			q.Bindings = append(q.Bindings, Binding{Var: v.Text, Class: class.Text})
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokKeyword, "WHERE"); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = f
+	return q, nil
+}
+
+// parseFormula = or-level.
+func (p *parser) parseFormula() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokKeyword, "OR"):
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = Or{L: l, R: r}
+		case p.accept(TokKeyword, "IMPLIES"):
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = Implies{L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseUntil is right-associative: a UNTIL b UNTIL c == a UNTIL (b UNTIL c).
+func (p *parser) parseUntil() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokKeyword, "UNTIL") {
+		return l, nil
+	}
+	var within Expr
+	if p.accept(TokKeyword, "WITHIN") {
+		within, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	r, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	return Until{L: l, R: r, Within: within}, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch {
+	case p.accept(TokKeyword, "NOT"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case p.accept(TokKeyword, "NEXTTIME"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Nexttime{F: f}, nil
+	case p.accept(TokKeyword, "EVENTUALLY"):
+		var within, after Expr
+		var err error
+		if p.accept(TokKeyword, "WITHIN") {
+			if within, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		} else if p.accept(TokKeyword, "AFTER") {
+			if after, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Eventually{F: f, Within: within, After: after}, nil
+	case p.accept(TokKeyword, "ALWAYS"):
+		var bound Expr
+		var err error
+		if p.accept(TokKeyword, "FOR") {
+			if bound, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Always{F: f, For: bound}, nil
+	case p.accept(TokSymbol, "["):
+		v, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "<-"); err != nil {
+			return nil, err
+		}
+		term, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Var: v.Text, Term: term, Body: body}, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+var relops = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "=": true, "==": true, "!=": true, "<>": true}
+
+func (p *parser) parseAtom() (Formula, error) {
+	switch {
+	case p.accept(TokKeyword, "TRUE"):
+		return BoolLit{V: true}, nil
+	case p.accept(TokKeyword, "FALSE"):
+		return BoolLit{V: false}, nil
+	case p.at(TokKeyword, "INSIDE"), p.at(TokKeyword, "OUTSIDE"):
+		kw := p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		obj, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ","); err != nil {
+			return nil, err
+		}
+		region, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if kw.Text == "INSIDE" {
+			return Inside{Obj: obj, Region: region}, nil
+		}
+		return Outside{Obj: obj, Region: region}, nil
+	case p.accept(TokKeyword, "WITHIN_SPHERE"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		radius, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ws := WithinSphere{Radius: radius}
+		for p.accept(TokSymbol, ",") {
+			o, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ws.Objs = append(ws.Objs, o)
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(ws.Objs) == 0 {
+			return nil, errAt(p.peek(), "WITHIN_SPHERE needs at least one object")
+		}
+		return ws, nil
+	case p.at(TokSymbol, "("):
+		// Could be a parenthesized formula or a parenthesized arithmetic
+		// expression starting a comparison; try the formula reading first
+		// and fall back.
+		snapshot := p.save()
+		p.next() // consume '('
+		f, err := p.parseFormula()
+		if err == nil {
+			if _, err2 := p.expect(TokSymbol, ")"); err2 == nil {
+				if !relops[p.peek().Text] && !arithOps[p.peek().Text] {
+					return f, nil
+				}
+			}
+		}
+		p.restore(snapshot)
+		return p.parseCompare()
+	default:
+		return p.parseCompare()
+	}
+}
+
+var arithOps = map[string]bool{"+": true, "-": true, "*": true, "/": true}
+
+func (p *parser) parseCompare() (Formula, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.Kind != TokSymbol || !relops[op.Text] {
+		return nil, errAt(op, "expected comparison operator, found %s", op)
+	}
+	p.next()
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	text := op.Text
+	switch text {
+	case "==":
+		text = "="
+	case "<>":
+		text = "!="
+	}
+	return Compare{Op: text, L: l, R: r}, nil
+}
+
+// ---- expressions ----
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "+") || p.at(TokSymbol, "-") {
+		op := p.next().Text
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "*") || p.at(TokSymbol, "/") {
+		op := p.next().Text
+		r, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryExpr() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.peek()
+	switch {
+	case tok.Kind == TokNumber:
+		p.next()
+		return Num{V: tok.Num}, nil
+	case tok.Kind == TokString:
+		p.next()
+		return StrLit{S: tok.Text}, nil
+	case tok.Kind == TokKeyword && tok.Text == "TIME":
+		p.next()
+		return TimeRef{}, nil
+	case tok.Kind == TokKeyword && (tok.Text == "TRUE" || tok.Text == "FALSE"):
+		p.next()
+		return BoolExpr{V: tok.Text == "TRUE"}, nil
+	case tok.Kind == TokKeyword && tok.Text == "DIST":
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ","); err != nil {
+			return nil, err
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return DistOf{A: a, B: b}, nil
+	case tok.Kind == TokKeyword && tok.Text == "SPEED":
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := e.(AttrRef)
+		if !ok {
+			return nil, errAt(tok, "SPEED expects an attribute reference like o.X.POSITION")
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return SpeedOf{Attr: ref}, nil
+	case tok.Kind == TokKeyword && (tok.Text == "ABS" || tok.Text == "MIN" || tok.Text == "MAX"):
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		call := Call{Name: tok.Text}
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if tok.Text == "ABS" && len(call.Args) != 1 {
+			return nil, errAt(tok, "ABS takes one argument")
+		}
+		if tok.Text != "ABS" && len(call.Args) < 2 {
+			return nil, errAt(tok, "%s takes at least two arguments", tok.Text)
+		}
+		return call, nil
+	case tok.Kind == TokIdent:
+		p.next()
+		if !p.at(TokSymbol, ".") {
+			return Var{Name: tok.Text}, nil
+		}
+		ref := AttrRef{Obj: Var{Name: tok.Text}}
+		for p.accept(TokSymbol, ".") {
+			part := p.peek()
+			if part.Kind != TokIdent && part.Kind != TokKeyword {
+				return nil, errAt(part, "expected attribute name, found %s", part)
+			}
+			p.next()
+			ref.Path = append(ref.Path, part.Text)
+		}
+		return ref, nil
+	case tok.Kind == TokSymbol && tok.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(tok, "expected expression, found %s", tok)
+	}
+}
+
+// MustParse parses a query and panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("ftl.MustParse: %v", err))
+	}
+	return q
+}

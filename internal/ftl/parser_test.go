@@ -1,0 +1,312 @@
+package ftl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("RETRIEVE o WHERE o.PRICE <= 100 -- comment\n AND [x <- 3.5] TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{
+		TokKeyword, TokIdent, TokKeyword, TokIdent, TokSymbol, TokIdent,
+		TokSymbol, TokNumber, TokKeyword, TokSymbol, TokIdent, TokSymbol,
+		TokNumber, TokSymbol, TokKeyword, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+	if toks[12].Num != 3.5 {
+		t.Errorf("number token = %v", toks[12])
+	}
+}
+
+func TestLexStringsAndErrors(t *testing.T) {
+	toks, err := Lex(`name = 'Super 8' AND city = "Chicago"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "Super 8" {
+		t.Errorf("string token = %v", toks[2])
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("a ; b"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestLexNumberDotDisambiguation(t *testing.T) {
+	// "o.X" must lex as ident, dot, ident even after a number.
+	toks, err := Lex("3.PRICE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokNumber || toks[0].Num != 3 {
+		t.Fatalf("toks = %v", toks)
+	}
+	if toks[1].Text != "." || toks[2].Text != "PRICE" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestParsePaperQueryI(t *testing.T) {
+	// §3.4 (I): objects entering P within 3 time units with PRICE <= 100.
+	q, err := Parse(`
+		RETRIEVE o
+		FROM Objects o
+		WHERE o.PRICE <= 100 AND EVENTUALLY WITHIN 3 INSIDE(o, P)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Targets) != 1 || q.Targets[0] != "o" {
+		t.Fatalf("targets = %v", q.Targets)
+	}
+	if len(q.Bindings) != 1 || q.Bindings[0] != (Binding{Var: "o", Class: "Objects"}) {
+		t.Fatalf("bindings = %+v", q.Bindings)
+	}
+	want := "(o.PRICE <= 100 AND (EVENTUALLY WITHIN 3 INSIDE(o, P)))"
+	if got := q.Where.String(); got != want {
+		t.Errorf("formula = %s, want %s", got, want)
+	}
+}
+
+func TestParsePaperQueryII(t *testing.T) {
+	// §3.4 (II): enter P within 3, stay for 2.
+	q, err := Parse(`
+		RETRIEVE o FROM Objects o
+		WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P) AND ALWAYS FOR 2 INSIDE(o, P))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(EVENTUALLY WITHIN 3 (INSIDE(o, P) AND (ALWAYS FOR 2 INSIDE(o, P))))"
+	if got := q.Where.String(); got != want {
+		t.Errorf("formula = %s, want %s", got, want)
+	}
+}
+
+func TestParsePaperQueryIII(t *testing.T) {
+	// §3.4 (III): enter P within 3, stay 2, after at least 5 enter Q.
+	q, err := Parse(`
+		RETRIEVE o FROM Objects o
+		WHERE EVENTUALLY WITHIN 3 (INSIDE(o, P)
+			AND ALWAYS FOR 2 INSIDE(o, P)
+			AND EVENTUALLY AFTER 5 INSIDE(o, Q))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.Where.String(), "EVENTUALLY AFTER 5 INSIDE(o, Q)") {
+		t.Errorf("formula = %s", q.Where)
+	}
+}
+
+func TestParsePaperUntilQuery(t *testing.T) {
+	// §3.2: DIST(o,n) <= 5 UNTIL (INSIDE(o,P) AND INSIDE(n,P)).
+	q, err := Parse(`
+		RETRIEVE o, n
+		FROM Moving_Objects o, Moving_Objects n
+		WHERE DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := q.Where.(Until)
+	if !ok {
+		t.Fatalf("formula = %T", q.Where)
+	}
+	if u.Within != nil {
+		t.Error("unbounded until should have nil Within")
+	}
+	if _, ok := u.L.(Compare); !ok {
+		t.Errorf("left = %T", u.L)
+	}
+	if _, ok := u.R.(And); !ok {
+		t.Errorf("right = %T", u.R)
+	}
+	if got := FreeVars(q.Where); len(got) != 3 || got[0] != "o" || got[1] != "n" || got[2] != "P" {
+		t.Errorf("free vars = %v", got)
+	}
+}
+
+func TestParseAssignment(t *testing.T) {
+	// §3.3's example: [x <- RETRIEVE(o)] NEXTTIME (RETRIEVE(o) != x),
+	// expressed over an attribute.
+	f, err := ParseFormula(`[x <- o.X.POSITION] NEXTTIME o.X.POSITION != x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := f.(Assign)
+	if !ok {
+		t.Fatalf("formula = %T", f)
+	}
+	if a.Var != "x" {
+		t.Errorf("var = %s", a.Var)
+	}
+	ref, ok := a.Term.(AttrRef)
+	if !ok || len(ref.Path) != 2 || ref.Path[0] != "X" || ref.Path[1] != "POSITION" {
+		t.Errorf("term = %#v", a.Term)
+	}
+	if _, ok := a.Body.(Nexttime); !ok {
+		t.Errorf("body = %T", a.Body)
+	}
+	// x is bound, so free vars are just o.
+	if got := FreeVars(f); len(got) != 1 || got[0] != "o" {
+		t.Errorf("free vars = %v", got)
+	}
+}
+
+func TestParseSpeedAndTime(t *testing.T) {
+	f, err := ParseFormula(`[x <- SPEED(o.X.POSITION)] EVENTUALLY WITHIN 10 SPEED(o.X.POSITION) >= 2 * x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(Assign); !ok {
+		t.Fatalf("formula = %T", f)
+	}
+	f2, err := ParseFormula(`time >= 5 AND time + 10 <= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f2.(And); !ok {
+		t.Fatalf("formula = %T", f2)
+	}
+}
+
+func TestParseUntilWithin(t *testing.T) {
+	f, err := ParseFormula(`INSIDE(o, P) UNTIL WITHIN 7 INSIDE(o, Q)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := f.(Until)
+	if !ok || u.Within == nil {
+		t.Fatalf("formula = %#v", f)
+	}
+	if n, ok := u.Within.(Num); !ok || n.V != 7 {
+		t.Errorf("within = %#v", u.Within)
+	}
+}
+
+func TestParseUntilRightAssociative(t *testing.T) {
+	f, err := ParseFormula(`TRUE UNTIL FALSE UNTIL TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.(Until)
+	if _, ok := u.R.(Until); !ok {
+		t.Errorf("until should be right-associative: %s", f)
+	}
+}
+
+func TestParseWithinSphere(t *testing.T) {
+	f, err := ParseFormula(`ALWAYS FOR 3 WITHIN_SPHERE(2, a, b, c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := f.(Always)
+	ws, ok := al.F.(WithinSphere)
+	if !ok || len(ws.Objs) != 3 {
+		t.Fatalf("formula = %#v", al.F)
+	}
+	if _, err := ParseFormula(`WITHIN_SPHERE(2)`); err == nil {
+		t.Error("sphere without objects should fail")
+	}
+}
+
+func TestParseParenDisambiguation(t *testing.T) {
+	// Parenthesized arithmetic on the left of a comparison.
+	f, err := ParseFormula(`(o.A + 1) * 2 <= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(Compare); !ok {
+		t.Fatalf("formula = %T", f)
+	}
+	// Parenthesized formula.
+	f2, err := ParseFormula(`(o.A <= 10 AND o.B >= 2) OR o.C = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f2.(Or); !ok {
+		t.Fatalf("formula = %T", f2)
+	}
+}
+
+func TestParseNotImpliesBool(t *testing.T) {
+	f, err := ParseFormula(`NOT INSIDE(o, P) IMPLIES TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, ok := f.(Implies)
+	if !ok {
+		t.Fatalf("formula = %T", f)
+	}
+	if _, ok := im.L.(Not); !ok {
+		t.Errorf("left = %T", im.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"RETRIEVE",
+		"RETRIEVE o WHERE",
+		"RETRIEVE o FROM WHERE TRUE",
+		"RETRIEVE o WHERE o.PRICE",
+		"RETRIEVE o WHERE o.PRICE <=",
+		"RETRIEVE o WHERE [x <-] TRUE",
+		"RETRIEVE o WHERE [x <- 3 TRUE",
+		"RETRIEVE o WHERE INSIDE(o)",
+		"RETRIEVE o WHERE SPEED(3) > 1",
+		"RETRIEVE o WHERE ABS(1, 2) > 1",
+		"RETRIEVE o WHERE MIN(1) > 1",
+		"RETRIEVE o WHERE TRUE extra",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	if _, err := ParseFormula("TRUE TRUE"); err == nil {
+		t.Error("trailing tokens after formula should fail")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestFormulaStringRoundTrip(t *testing.T) {
+	// Formula String() output re-parses to the same string (stability).
+	srcs := []string{
+		`o.PRICE <= 100 AND EVENTUALLY WITHIN 3 INSIDE(o, P)`,
+		`DIST(o, n) <= 5 UNTIL (INSIDE(o, P) AND INSIDE(n, P))`,
+		`[x <- o.A] ALWAYS o.A >= x`,
+		`NOT OUTSIDE(o, P) OR WITHIN_SPHERE(1, a, b)`,
+		`NEXTTIME time >= 1`,
+	}
+	for _, src := range srcs {
+		f1, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		f2, err := ParseFormula(f1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", f1.String(), err)
+		}
+		if f1.String() != f2.String() {
+			t.Errorf("round trip: %q != %q", f1.String(), f2.String())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package ftl implements the Future Temporal Logic query language of the
+// paper (§3): its lexer, parser and abstract syntax.  Queries have the form
+//
+//	RETRIEVE <target-list> [FROM <class> <var>, ...] WHERE <condition>
+//
+// where the condition is an FTL formula built from atomic predicates
+// (spatial methods and comparisons), the connectives AND, OR, NOT, the
+// assignment quantifier [x <- term], and the temporal operators UNTIL,
+// NEXTTIME, EVENTUALLY and ALWAYS with their bounded forms (§3.4):
+// EVENTUALLY WITHIN c, EVENTUALLY AFTER c, ALWAYS FOR c, and
+// f UNTIL WITHIN c g.
+//
+// Evaluation lives in the ftl/eval subpackage.
+package ftl
+
+import "fmt"
+
+// TokKind enumerates the lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokKind
+	Text string  // identifier/keyword (upper-cased for keywords), symbol, or raw string
+	Num  float64 // valid for TokNumber
+	Pos  int     // byte offset in the input
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNumber:
+		return fmt.Sprintf("number %g", t.Num)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the language.  Identifiers are matched case-insensitively
+// against this set.
+var keywords = map[string]bool{
+	"RETRIEVE": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "IMPLIES": true,
+	"UNTIL": true, "NEXTTIME": true, "EVENTUALLY": true, "ALWAYS": true,
+	"WITHIN": true, "AFTER": true, "FOR": true,
+	"INSIDE": true, "OUTSIDE": true, "DIST": true, "WITHIN_SPHERE": true,
+	"TRUE": true, "FALSE": true, "TIME": true,
+	"SPEED": true, "VALUE": true, "UPDATETIME": true,
+	"ABS": true, "MIN": true, "MAX": true,
+}
+
+// Error is a syntax error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("ftl: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(tok Token, format string, args ...any) error {
+	return &Error{Line: tok.Line, Col: tok.Col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,202 @@
+package geom
+
+import "math"
+
+// MovingPoint is a point-object whose position is a linear function of
+// time: the paper's "higher level of data abstraction, where an object's
+// motion vector (rather than its position) is represented as an attribute
+// of the object" (§1).  At reference time T the object is at P; at time t
+// it is at P + V*(t-T).
+type MovingPoint struct {
+	P Point   // position at reference time T
+	V Vector  // motion vector, distance per clock tick
+	T float64 // reference time (ticks)
+}
+
+// At returns the object's position at absolute time t.
+func (m MovingPoint) At(t float64) Point { return m.P.Add(m.V.Scale(t - m.T)) }
+
+// Static wraps a stationary point as a MovingPoint.
+func Static(p Point) MovingPoint { return MovingPoint{P: p} }
+
+// DistWithinTimes returns the set of real times t in [lo,hi] at which
+// DIST(a(t), b(t)) <= r.  Relative motion is linear, so the squared
+// distance is a quadratic in t and the solution is a single interval (or
+// everything, or nothing).  This is the kinetic form of the paper's DIST
+// method, and the engine behind queries like "retrieve all the airplanes
+// that will come within 30 miles of the airport in the next 10 minutes".
+func DistWithinTimes(a, b MovingPoint, r, lo, hi float64) RealSet {
+	if r < 0 {
+		return RealSet{}
+	}
+	// Relative position at time t: d0 + dv*t, with both expressed at t=0.
+	d0 := a.At(0).Sub(b.At(0))
+	dv := a.V.Sub(b.V)
+	// |d0 + dv t|^2 <= r^2  =>  A t^2 + B t + C <= 0.
+	A := dv.Dot(dv)
+	B := 2 * d0.Dot(dv)
+	C := d0.Dot(d0) - r*r
+	return solveQuadraticLE(A, B, C, lo, hi)
+}
+
+// DistBeyondTimes returns the times in [lo,hi] at which DIST(a,b) >= r.
+func DistBeyondTimes(a, b MovingPoint, r, lo, hi float64) RealSet {
+	return DistWithinTimes(a, b, r, lo, hi).ComplementWithin(lo, hi)
+}
+
+// QuadraticLE returns {t in [lo,hi] : A t^2 + B t + C <= 0} — the shared
+// root-solving primitive behind DIST predicates and quadratic (accelerating)
+// dynamic attributes.
+func QuadraticLE(A, B, C, lo, hi float64) RealSet {
+	return solveQuadraticLE(A, B, C, lo, hi)
+}
+
+// solveQuadraticLE returns {t in [lo,hi] : A t^2 + B t + C <= 0}.
+func solveQuadraticLE(A, B, C, lo, hi float64) RealSet {
+	const eps = 1e-12
+	if math.Abs(A) < eps {
+		if math.Abs(B) < eps {
+			if C <= eps {
+				return NewRealSet(RealInterval{lo, hi})
+			}
+			return RealSet{}
+		}
+		// Linear: B t + C <= 0.
+		root := -C / B
+		if B > 0 {
+			return NewRealSet(RealInterval{lo, math.Min(hi, root)})
+		}
+		return NewRealSet(RealInterval{math.Max(lo, root), hi})
+	}
+	disc := B*B - 4*A*C
+	if A > 0 {
+		if disc < 0 {
+			return RealSet{} // parabola opens up, never <= 0
+		}
+		s := math.Sqrt(disc)
+		t1, t2 := (-B-s)/(2*A), (-B+s)/(2*A)
+		return NewRealSet(RealInterval{math.Max(lo, t1), math.Min(hi, t2)})
+	}
+	// A < 0: <= 0 outside the roots.
+	if disc < 0 {
+		return NewRealSet(RealInterval{lo, hi})
+	}
+	s := math.Sqrt(disc)
+	t1, t2 := (-B+s)/(2*A), (-B-s)/(2*A) // t1 <= t2 for A < 0
+	return NewRealSet(
+		RealInterval{lo, math.Min(hi, t1)},
+		RealInterval{math.Max(lo, t2), hi},
+	)
+}
+
+// InsideTimes returns the set of real times t in [lo,hi] at which the
+// moving point is inside polygon pg (boundary included): the kinetic form
+// of the paper's INSIDE(o, P) method.  The object's path is a straight
+// line, so it alternates between inside and outside at the times it crosses
+// polygon edges; we collect all crossing times and classify each maximal
+// crossing-free span by testing its midpoint.
+func InsideTimes(m MovingPoint, pg Polygon, lo, hi float64) RealSet {
+	if lo > hi {
+		return RealSet{}
+	}
+	if m.V.IsZero() {
+		if pg.Contains(m.P) {
+			return NewRealSet(RealInterval{lo, hi})
+		}
+		return RealSet{}
+	}
+	cuts := []float64{lo, hi}
+	vs := pg.Vertices()
+	n := len(vs)
+	for i := 0; i < n; i++ {
+		a, b := vs[i], vs[(i+1)%n]
+		for _, t := range segmentCrossTimes(m, a, b, lo, hi) {
+			cuts = append(cuts, t)
+		}
+	}
+	return classifySpans(cuts, lo, hi, func(t float64) bool { return pg.Contains(m.At(t)) })
+}
+
+// OutsideTimes returns the times in [lo,hi] at which the moving point is
+// strictly outside the polygon: the paper's OUTSIDE(o, P) method.
+func OutsideTimes(m MovingPoint, pg Polygon, lo, hi float64) RealSet {
+	return InsideTimes(m, pg, lo, hi).ComplementWithin(lo, hi)
+}
+
+// segmentCrossTimes returns the times in [lo,hi] at which the moving point's
+// line crosses the closed segment ab (XY plane).
+func segmentCrossTimes(m MovingPoint, a, b Point, lo, hi float64) []float64 {
+	// m.At(t) = p0 + v*t (re-expressed at t=0); solve p0 + v t = a + s (b-a).
+	p0 := m.At(0)
+	e := b.Sub(a)
+	// | v.X  -e.X | (t)   (a.X - p0.X)
+	// | v.Y  -e.Y | (s) = (a.Y - p0.Y)
+	det := m.V.X*(-e.Y) - (-e.X)*m.V.Y
+	rx, ry := a.X-p0.X, a.Y-p0.Y
+	const eps = 1e-12
+	if math.Abs(det) > eps {
+		t := (rx*(-e.Y) - (-e.X)*ry) / det
+		s := (m.V.X*ry - m.V.Y*rx) / det
+		if s >= -eps && s <= 1+eps && t >= lo-eps && t <= hi+eps {
+			return []float64{t}
+		}
+		return nil
+	}
+	// Path parallel to the edge.  If collinear, entering/leaving happens at
+	// the projections of the segment endpoints onto the path.
+	cross := m.V.X*ry - m.V.Y*rx
+	if math.Abs(cross) > eps*math.Max(1, m.V.Norm()) {
+		return nil // parallel, never meets
+	}
+	var out []float64
+	for _, q := range []Point{a, b} {
+		var t float64
+		if math.Abs(m.V.X) > math.Abs(m.V.Y) {
+			t = (q.X - p0.X) / m.V.X
+		} else if math.Abs(m.V.Y) > eps {
+			t = (q.Y - p0.Y) / m.V.Y
+		} else {
+			continue
+		}
+		if t >= lo-eps && t <= hi+eps {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// classifySpans sorts the cut times and returns the union of spans whose
+// midpoint satisfies pred.
+func classifySpans(cuts []float64, lo, hi float64, pred func(float64) bool) RealSet {
+	clipped := cuts[:0]
+	for _, c := range cuts {
+		if c >= lo && c <= hi {
+			clipped = append(clipped, c)
+		}
+	}
+	sortFloats(clipped)
+	var out []RealInterval
+	for i := 0; i+1 < len(clipped); i++ {
+		a, b := clipped[i], clipped[i+1]
+		if b-a < 1e-12 {
+			// Degenerate span: a touch point.  Include it if satisfied there.
+			if pred(a) {
+				out = append(out, RealInterval{a, b})
+			}
+			continue
+		}
+		if pred((a + b) / 2) {
+			out = append(out, RealInterval{a, b})
+		}
+	}
+	return NewRealSet(out...)
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: cut lists are tiny (2 + crossings).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

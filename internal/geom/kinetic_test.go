@@ -1,0 +1,216 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestDistWithinTimesHeadOn(t *testing.T) {
+	// Two objects approaching head-on at combined speed 2, starting 20 apart.
+	a := MovingPoint{P: Point{0, 0, 0}, V: Vector{1, 0, 0}}
+	b := MovingPoint{P: Point{20, 0, 0}, V: Vector{-1, 0, 0}}
+	got := DistWithinTimes(a, b, 4, 0, 100)
+	ivs := got.Intervals()
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	// Distance is |20-2t| <= 4  =>  t in [8, 12].
+	if math.Abs(ivs[0].Lo-8) > 1e-9 || math.Abs(ivs[0].Hi-12) > 1e-9 {
+		t.Fatalf("interval = %+v, want [8,12]", ivs[0])
+	}
+}
+
+func TestDistWithinTimesNeverClose(t *testing.T) {
+	// Parallel tracks 10 apart.
+	a := MovingPoint{P: Point{0, 0, 0}, V: Vector{1, 0, 0}}
+	b := MovingPoint{P: Point{0, 10, 0}, V: Vector{1, 0, 0}}
+	if got := DistWithinTimes(a, b, 5, 0, 100); !got.IsEmpty() {
+		t.Fatalf("got %v, want empty", got.Intervals())
+	}
+	if got := DistWithinTimes(a, b, 10, 0, 100); got.IsEmpty() {
+		t.Fatal("exactly at range should hold")
+	}
+	// Beyond is the complement.
+	if got := DistBeyondTimes(a, b, 11, 0, 100); !got.IsEmpty() {
+		t.Fatalf("DistBeyondTimes = %v, want empty", got.Intervals())
+	}
+}
+
+func TestDistWithinTimesStatic(t *testing.T) {
+	a := Static(Point{0, 0, 0})
+	b := Static(Point{3, 4, 0})
+	if got := DistWithinTimes(a, b, 5, 0, 10); got.IsEmpty() {
+		t.Fatal("distance 5 <= 5 should hold everywhere")
+	}
+	if got := DistWithinTimes(a, b, 4.9, 0, 10); !got.IsEmpty() {
+		t.Fatal("distance 5 > 4.9 should hold nowhere")
+	}
+	if got := DistWithinTimes(a, b, -1, 0, 10); !got.IsEmpty() {
+		t.Fatal("negative radius holds nowhere")
+	}
+}
+
+func TestDistWithinTimesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		a := MovingPoint{
+			P: Point{r.Float64()*40 - 20, r.Float64()*40 - 20, 0},
+			V: Vector{r.Float64()*4 - 2, r.Float64()*4 - 2, 0},
+		}
+		b := MovingPoint{
+			P: Point{r.Float64()*40 - 20, r.Float64()*40 - 20, 0},
+			V: Vector{r.Float64()*4 - 2, r.Float64()*4 - 2, 0},
+		}
+		rad := r.Float64() * 15
+		got := DistWithinTimes(a, b, rad, 0, 50)
+		for tt := 0.25; tt < 50; tt += 0.5 {
+			want := Dist(a.At(tt), b.At(tt)) <= rad
+			if got.Contains(tt) != want {
+				// Tolerate disagreement within root noise of the boundary.
+				if math.Abs(Dist(a.At(tt), b.At(tt))-rad) < 1e-6 {
+					continue
+				}
+				t.Fatalf("case %d t=%v: got %v want %v (d=%v r=%v, set=%v)",
+					i, tt, got.Contains(tt), want, Dist(a.At(tt), b.At(tt)), rad, got.Intervals())
+			}
+		}
+	}
+}
+
+func TestInsideTimesCrossing(t *testing.T) {
+	// Object crossing a 10x10 square from the left at unit speed.
+	square := RectPolygon(10, 0, 20, 10)
+	m := MovingPoint{P: Point{0, 5, 0}, V: Vector{1, 0, 0}}
+	got := InsideTimes(m, square, 0, 100)
+	ivs := got.Intervals()
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	if math.Abs(ivs[0].Lo-10) > 1e-9 || math.Abs(ivs[0].Hi-20) > 1e-9 {
+		t.Fatalf("interval = %+v, want [10,20]", ivs[0])
+	}
+	// Outside is the complement within the window.
+	out := OutsideTimes(m, square, 0, 100)
+	if !out.Contains(5) || out.Contains(15) || !out.Contains(25) {
+		t.Fatalf("OutsideTimes = %v", out.Intervals())
+	}
+}
+
+func TestInsideTimesMiss(t *testing.T) {
+	square := RectPolygon(10, 0, 20, 10)
+	m := MovingPoint{P: Point{0, 50, 0}, V: Vector{1, 0, 0}}
+	if got := InsideTimes(m, square, 0, 100); !got.IsEmpty() {
+		t.Fatalf("got %v, want empty", got.Intervals())
+	}
+}
+
+func TestInsideTimesStatic(t *testing.T) {
+	square := RectPolygon(0, 0, 10, 10)
+	if got := InsideTimes(Static(Point{5, 5, 0}), square, 0, 9); got.IsEmpty() {
+		t.Fatal("static inside point should hold everywhere")
+	}
+	if got := InsideTimes(Static(Point{50, 5, 0}), square, 0, 9); !got.IsEmpty() {
+		t.Fatal("static outside point should hold nowhere")
+	}
+}
+
+func TestInsideTimesConcaveDoubleEntry(t *testing.T) {
+	// Crossing the "U" horizontally at prong height enters twice.
+	u := MustPolygon(
+		Point{0, 0, 0}, Point{10, 0, 0}, Point{10, 10, 0}, Point{7, 10, 0},
+		Point{7, 3, 0}, Point{3, 3, 0}, Point{3, 10, 0}, Point{0, 10, 0},
+	)
+	m := MovingPoint{P: Point{-5, 7, 0}, V: Vector{1, 0, 0}}
+	got := InsideTimes(m, u, 0, 30)
+	ivs := got.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v, want two entries", ivs)
+	}
+	// Prongs span x in [0,3] and [7,10]; entry times t = x+5.
+	if math.Abs(ivs[0].Lo-5) > 1e-9 || math.Abs(ivs[0].Hi-8) > 1e-9 {
+		t.Errorf("first = %+v, want [5,8]", ivs[0])
+	}
+	if math.Abs(ivs[1].Lo-12) > 1e-9 || math.Abs(ivs[1].Hi-15) > 1e-9 {
+		t.Errorf("second = %+v, want [12,15]", ivs[1])
+	}
+}
+
+func TestInsideTimesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 200; i++ {
+		n := 3 + r.Intn(5)
+		pg := RegularPolygon(Point{r.Float64()*20 - 10, r.Float64()*20 - 10, 0}, 1+r.Float64()*8, n)
+		m := MovingPoint{
+			P: Point{r.Float64()*60 - 30, r.Float64()*60 - 30, 0},
+			V: Vector{r.Float64()*4 - 2, r.Float64()*4 - 2, 0},
+		}
+		got := InsideTimes(m, pg, 0, 40)
+		for tt := 0.13; tt < 40; tt += 0.37 {
+			want := pg.Contains(m.At(tt))
+			if got.Contains(tt) != want {
+				// Tolerate points within noise of the boundary.
+				if nearBoundary(pg, m.At(tt), 1e-6) {
+					continue
+				}
+				t.Fatalf("case %d t=%v: got %v want %v (set=%v)", i, tt, got.Contains(tt), want, got.Intervals())
+			}
+		}
+	}
+}
+
+func nearBoundary(pg Polygon, p Point, eps float64) bool {
+	vs := pg.Vertices()
+	n := len(vs)
+	for i := 0; i < n; i++ {
+		a, b := vs[i], vs[(i+1)%n]
+		if distPointSegment(p, a, b) < eps {
+			return true
+		}
+	}
+	return false
+}
+
+func distPointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	t := p.Sub(a).Dot(ab) / math.Max(ab.Norm2(), 1e-18)
+	t = math.Max(0, math.Min(1, t))
+	return Dist(p, a.Add(ab.Scale(t)))
+}
+
+func TestRealSetTicks(t *testing.T) {
+	s := NewRealSet(RealInterval{1.2, 4.8}, RealInterval{10, 12})
+	w := temporal.Interval{Start: 0, End: 100}
+	got := s.Ticks(w)
+	want := temporal.NewSet(temporal.Interval{Start: 2, End: 4}, temporal.Interval{Start: 10, End: 12})
+	if !got.Equal(want) {
+		t.Fatalf("Ticks = %s, want %s", got, want)
+	}
+	// An interval with no integer inside yields nothing.
+	if got := NewRealSet(RealInterval{1.2, 1.8}).Ticks(w); !got.IsEmpty() {
+		t.Fatalf("Ticks of fractional sliver = %s", got)
+	}
+	// Clipping applies.
+	if got := s.Ticks(temporal.Interval{Start: 3, End: 11}); !got.Equal(temporal.NewSet(temporal.Interval{Start: 3, End: 4}, temporal.Interval{Start: 10, End: 11})) {
+		t.Fatalf("clipped Ticks = %s", got)
+	}
+}
+
+func TestRealSetOps(t *testing.T) {
+	a := NewRealSet(RealInterval{0, 5}, RealInterval{10, 15})
+	b := NewRealSet(RealInterval{4, 11})
+	u := a.Union(b)
+	if len(u.Intervals()) != 1 || u.Intervals()[0] != (RealInterval{0, 15}) {
+		t.Fatalf("Union = %v", u.Intervals())
+	}
+	x := a.Intersect(b)
+	if len(x.Intervals()) != 2 {
+		t.Fatalf("Intersect = %v", x.Intervals())
+	}
+	c := a.ComplementWithin(-5, 20)
+	if !c.Contains(-1) || c.Contains(2) || !c.Contains(7) || c.Contains(12) || !c.Contains(18) {
+		t.Fatalf("Complement = %v", c.Intervals())
+	}
+}

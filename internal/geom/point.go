@@ -1,0 +1,94 @@
+// Package geom provides the spatial types and methods of the MOST model
+// (paper §2) — points, polygons, and the spatial relations INSIDE, OUTSIDE,
+// DIST and WITHIN-A-SPHERE — together with their *kinetic* forms: given
+// objects whose positions are linear functions of time, the kinetic solvers
+// return the exact time intervals during which a spatial relation holds.
+// Those intervals are what the FTL query-processing algorithm (paper
+// appendix) consumes as its atomic-predicate relations.
+package geom
+
+import "math"
+
+// Point is a position in up to three dimensions (the paper's X.POSITION,
+// Y.POSITION, Z.POSITION attributes).  Planar workloads leave Z at zero.
+type Point struct {
+	X, Y, Z float64
+}
+
+// Vector is a displacement or velocity; a motion vector in the paper's
+// sense is a Vector interpreted as distance per clock tick.
+type Vector struct {
+	X, Y, Z float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.X, p.Y + v.Y, p.Z + v.Z} }
+
+// Sub returns the displacement from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Scale returns v multiplied by the scalar k.
+func (v Vector) Scale(k float64) Vector { return Vector{v.X * k, v.Y * k, v.Z * k} }
+
+// AddVec returns the component-wise sum of two vectors.
+func (v Vector) AddVec(w Vector) Vector { return Vector{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v minus w.
+func (v Vector) Sub(w Vector) Vector { return Vector{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Dot returns the inner product of two vectors.
+func (v Vector) Dot(w Vector) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the Euclidean length of the vector.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length (avoids the sqrt).
+func (v Vector) Norm2() float64 { return v.Dot(v) }
+
+// IsZero reports whether all components are exactly zero.
+func (v Vector) IsZero() bool { return v.X == 0 && v.Y == 0 && v.Z == 0 }
+
+// Dist implements the paper's DIST(o1,o2) method: the Euclidean distance
+// between two point-objects.
+func Dist(p, q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared distance between two points.
+func Dist2(p, q Point) float64 { return p.Sub(q).Norm2() }
+
+// Heading returns a unit vector in the XY plane at the given angle
+// (radians, counter-clockwise from the positive X axis).  Convenience for
+// building motion vectors like "north at 60 miles/hour".
+func Heading(angle float64) Vector { return Vector{math.Cos(angle), math.Sin(angle), 0} }
+
+// Rect is an axis-aligned box.  With Min.Z == Max.Z == 0 it is a rectangle
+// in the plane.
+type Rect struct {
+	Min, Max Point
+}
+
+// Valid reports whether Min <= Max on every axis.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y && r.Min.Z <= r.Max.Z
+}
+
+// ContainsPoint reports whether p lies inside the box (boundaries included).
+func (r Rect) ContainsPoint(p Point) bool {
+	return r.Min.X <= p.X && p.X <= r.Max.X &&
+		r.Min.Y <= p.Y && p.Y <= r.Max.Y &&
+		r.Min.Z <= p.Z && p.Z <= r.Max.Z
+}
+
+// Intersects reports whether two boxes share any point.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y &&
+		r.Min.Z <= o.Max.Z && o.Min.Z <= r.Max.Z
+}
+
+// Expand grows the box to include p.
+func (r Rect) Expand(p Point) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, p.X), math.Min(r.Min.Y, p.Y), math.Min(r.Min.Z, p.Z)},
+		Max: Point{math.Max(r.Max.X, p.X), math.Max(r.Max.Y, p.Y), math.Max(r.Max.Z, p.Z)},
+	}
+}

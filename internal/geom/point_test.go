@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4, 0}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if got := v.Scale(2); got != (Vector{6, 8, 0}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.AddVec(Vector{1, 1, 1}); got != (Vector{4, 5, 1}) {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := v.Sub(Vector{3, 4, 0}); !got.IsZero() {
+		t.Errorf("Sub = %v, want zero", got)
+	}
+	if got := v.Dot(Vector{1, 2, 3}); got != 11 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Add(Vector{1, 1, 1})
+	if q != (Point{2, 3, 4}) {
+		t.Errorf("Add = %v", q)
+	}
+	if d := q.Sub(p); d != (Vector{1, 1, 1}) {
+		t.Errorf("Sub = %v", d)
+	}
+	if got := Dist(Point{0, 0, 0}, Point{3, 4, 0}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := Dist2(Point{0, 0, 0}, Point{3, 4, 0}); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	for angle, want := range map[float64]Vector{
+		0:               {1, 0, 0},
+		math.Pi / 2:     {0, 1, 0},
+		math.Pi:         {-1, 0, 0},
+		3 * math.Pi / 2: {0, -1, 0},
+	} {
+		got := Heading(angle)
+		if math.Abs(got.X-want.X) > 1e-12 || math.Abs(got.Y-want.Y) > 1e-12 {
+			t.Errorf("Heading(%v) = %v, want %v", angle, got, want)
+		}
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Min: Point{0, 0, 0}, Max: Point{10, 10, 0}}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+	if !r.ContainsPoint(Point{5, 5, 0}) || !r.ContainsPoint(Point{0, 0, 0}) || !r.ContainsPoint(Point{10, 10, 0}) {
+		t.Error("ContainsPoint boundary/interior failed")
+	}
+	if r.ContainsPoint(Point{11, 5, 0}) || r.ContainsPoint(Point{5, -1, 0}) {
+		t.Error("ContainsPoint exterior failed")
+	}
+	if !r.Intersects(Rect{Min: Point{10, 10, 0}, Max: Point{20, 20, 0}}) {
+		t.Error("touching rects should intersect")
+	}
+	if r.Intersects(Rect{Min: Point{11, 0, 0}, Max: Point{20, 20, 0}}) {
+		t.Error("disjoint rects should not intersect")
+	}
+	grown := r.Expand(Point{-5, 3, 0})
+	if grown.Min != (Point{-5, 0, 0}) || grown.Max != (Point{10, 10, 0}) {
+		t.Errorf("Expand = %+v", grown)
+	}
+}
+
+func TestMovingPointAt(t *testing.T) {
+	m := MovingPoint{P: Point{10, 0, 0}, V: Vector{2, -1, 0}, T: 5}
+	if got := m.At(5); got != (Point{10, 0, 0}) {
+		t.Errorf("At(T) = %v", got)
+	}
+	if got := m.At(8); got != (Point{16, -3, 0}) {
+		t.Errorf("At(8) = %v", got)
+	}
+	if got := m.At(0); got != (Point{0, 5, 0}) {
+		t.Errorf("At(0) = %v", got)
+	}
+	s := Static(Point{1, 2, 0})
+	if got := s.At(100); got != (Point{1, 2, 0}) {
+		t.Errorf("static At = %v", got)
+	}
+}

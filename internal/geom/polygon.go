@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// Polygon is a simple polygon in the XY plane, given by its vertices in
+// order (either orientation).  The closing edge from the last vertex back
+// to the first is implicit.  Polygons are the region arguments of the
+// paper's INSIDE and OUTSIDE spatial methods.
+type Polygon struct {
+	vertices []Point
+}
+
+// ErrDegeneratePolygon is returned for polygons with fewer than 3 vertices.
+var ErrDegeneratePolygon = errors.New("geom: polygon needs at least 3 vertices")
+
+// NewPolygon builds a polygon from the given vertices (Z is ignored).
+func NewPolygon(vertices ...Point) (Polygon, error) {
+	if len(vertices) < 3 {
+		return Polygon{}, ErrDegeneratePolygon
+	}
+	vs := make([]Point, len(vertices))
+	copy(vs, vertices)
+	return Polygon{vertices: vs}, nil
+}
+
+// MustPolygon is NewPolygon that panics on error; for literals in tests,
+// examples and workload generators.
+func MustPolygon(vertices ...Point) Polygon {
+	p, err := NewPolygon(vertices...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RectPolygon returns the axis-aligned rectangle [x0,x1] x [y0,y1] as a
+// polygon.
+func RectPolygon(x0, y0, x1, y1 float64) Polygon {
+	return MustPolygon(Point{X: x0, Y: y0}, Point{X: x1, Y: y0}, Point{X: x1, Y: y1}, Point{X: x0, Y: y1})
+}
+
+// RegularPolygon returns an n-gon centred at c with circumradius r.
+func RegularPolygon(c Point, r float64, n int) Polygon {
+	vs := make([]Point, n)
+	for i := range vs {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		vs[i] = Point{X: c.X + r*math.Cos(a), Y: c.Y + r*math.Sin(a)}
+	}
+	return MustPolygon(vs...)
+}
+
+// Vertices returns the polygon's vertices; the slice must not be modified.
+func (pg Polygon) Vertices() []Point { return pg.vertices }
+
+// Len returns the number of vertices.
+func (pg Polygon) Len() int { return len(pg.vertices) }
+
+// Bounds returns the axis-aligned bounding box of the polygon.
+func (pg Polygon) Bounds() Rect {
+	r := Rect{Min: pg.vertices[0], Max: pg.vertices[0]}
+	for _, v := range pg.vertices[1:] {
+		r = r.Expand(v)
+	}
+	return r
+}
+
+// Area returns the (positive) area via the shoelace formula.
+func (pg Polygon) Area() float64 {
+	var s float64
+	n := len(pg.vertices)
+	for i := 0; i < n; i++ {
+		a, b := pg.vertices[i], pg.vertices[(i+1)%n]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return math.Abs(s) / 2
+}
+
+// Centroid returns the area centroid of the polygon.
+func (pg Polygon) Centroid() Point {
+	var cx, cy, s float64
+	n := len(pg.vertices)
+	for i := 0; i < n; i++ {
+		a, b := pg.vertices[i], pg.vertices[(i+1)%n]
+		cross := a.X*b.Y - b.X*a.Y
+		s += cross
+		cx += (a.X + b.X) * cross
+		cy += (a.Y + b.Y) * cross
+	}
+	if s == 0 {
+		return pg.vertices[0]
+	}
+	return Point{X: cx / (3 * s), Y: cy / (3 * s)}
+}
+
+// Contains implements the paper's INSIDE(o, P) spatial method for a static
+// point: it reports whether p lies inside the polygon, boundary included.
+// It uses the even-odd ray-casting rule with an explicit on-edge check so
+// the boundary is handled deterministically.
+func (pg Polygon) Contains(p Point) bool {
+	n := len(pg.vertices)
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		a, b := pg.vertices[j], pg.vertices[i]
+		if onSegment(p, a, b) {
+			return true
+		}
+		if (b.Y > p.Y) != (a.Y > p.Y) {
+			xCross := (a.X-b.X)*(p.Y-b.Y)/(a.Y-b.Y) + b.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// onSegment reports whether p lies on the closed segment ab (XY only).
+func onSegment(p, a, b Point) bool {
+	const eps = 1e-12
+	cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+	if math.Abs(cross) > eps*math.Max(1, math.Max(math.Abs(b.X-a.X), math.Abs(b.Y-a.Y))) {
+		return false
+	}
+	dot := (p.X-a.X)*(b.X-a.X) + (p.Y-a.Y)*(b.Y-a.Y)
+	if dot < -eps {
+		return false
+	}
+	return dot <= (b.X-a.X)*(b.X-a.X)+(b.Y-a.Y)*(b.Y-a.Y)+eps
+}
+
+// IsConvex reports whether the polygon is convex (collinear edges allowed).
+func (pg Polygon) IsConvex() bool {
+	n := len(pg.vertices)
+	sign := 0
+	for i := 0; i < n; i++ {
+		a, b, c := pg.vertices[i], pg.vertices[(i+1)%n], pg.vertices[(i+2)%n]
+		cross := (b.X-a.X)*(c.Y-b.Y) - (b.Y-a.Y)*(c.X-b.X)
+		if cross == 0 {
+			continue
+		}
+		s := 1
+		if cross < 0 {
+			s = -1
+		}
+		if sign == 0 {
+			sign = s
+		} else if s != sign {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewPolygonValidation(t *testing.T) {
+	if _, err := NewPolygon(Point{0, 0, 0}, Point{1, 0, 0}); err != ErrDegeneratePolygon {
+		t.Fatalf("err = %v, want ErrDegeneratePolygon", err)
+	}
+	if _, err := NewPolygon(Point{0, 0, 0}, Point{1, 0, 0}, Point{0, 1, 0}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	square := RectPolygon(0, 0, 10, 10)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Point{5, 5, 0}, true},
+		{"outside right", Point{11, 5, 0}, false},
+		{"outside diag", Point{-1, -1, 0}, false},
+		{"on edge", Point{0, 5, 0}, true},
+		{"on corner", Point{10, 10, 0}, true},
+		{"just inside", Point{9.999, 9.999, 0}, true},
+		{"just outside", Point{10.001, 5, 0}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := square.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// A "U" shape: the notch between the prongs is outside.
+	u := MustPolygon(
+		Point{0, 0, 0}, Point{10, 0, 0}, Point{10, 10, 0}, Point{7, 10, 0},
+		Point{7, 3, 0}, Point{3, 3, 0}, Point{3, 10, 0}, Point{0, 10, 0},
+	)
+	if u.Contains(Point{5, 7, 0}) {
+		t.Error("notch point should be outside")
+	}
+	if !u.Contains(Point{5, 1, 0}) {
+		t.Error("base point should be inside")
+	}
+	if !u.Contains(Point{1.5, 8, 0}) || !u.Contains(Point{8.5, 8, 0}) {
+		t.Error("prong points should be inside")
+	}
+	if u.IsConvex() {
+		t.Error("U shape should not be convex")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := RectPolygon(2, 3, 6, 9)
+	if got := sq.Area(); got != 24 {
+		t.Errorf("Area = %v, want 24", got)
+	}
+	c := sq.Centroid()
+	if math.Abs(c.X-4) > 1e-12 || math.Abs(c.Y-6) > 1e-12 {
+		t.Errorf("Centroid = %v, want (4,6)", c)
+	}
+	tri := MustPolygon(Point{0, 0, 0}, Point{4, 0, 0}, Point{0, 3, 0})
+	if got := tri.Area(); got != 6 {
+		t.Errorf("triangle Area = %v, want 6", got)
+	}
+}
+
+func TestPolygonBounds(t *testing.T) {
+	pg := MustPolygon(Point{1, 5, 0}, Point{7, -2, 0}, Point{3, 9, 0})
+	b := pg.Bounds()
+	if b.Min != (Point{1, -2, 0}) || b.Max != (Point{7, 9, 0}) {
+		t.Errorf("Bounds = %+v", b)
+	}
+}
+
+func TestRegularPolygon(t *testing.T) {
+	hex := RegularPolygon(Point{0, 0, 0}, 2, 6)
+	if hex.Len() != 6 {
+		t.Fatalf("Len = %d", hex.Len())
+	}
+	if !hex.IsConvex() {
+		t.Error("regular polygon should be convex")
+	}
+	if !hex.Contains(Point{0, 0, 0}) {
+		t.Error("centre should be inside")
+	}
+	// Area of regular hexagon with circumradius r: (3*sqrt(3)/2) r^2.
+	want := 3 * math.Sqrt(3) / 2 * 4
+	if got := hex.Area(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+}
+
+func TestPolygonContainsMatchesWinding(t *testing.T) {
+	// Property: for random convex polygons, Contains agrees with the
+	// half-plane test on every edge.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		n := 3 + r.Intn(6)
+		pg := RegularPolygon(Point{r.Float64() * 10, r.Float64() * 10, 0}, 1+r.Float64()*5, n)
+		vs := pg.Vertices()
+		for j := 0; j < 50; j++ {
+			p := Point{r.Float64()*30 - 10, r.Float64()*30 - 10, 0}
+			inside := true
+			for k := 0; k < n; k++ {
+				a, b := vs[k], vs[(k+1)%n]
+				cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+				if cross < -1e-9 { // CCW polygon: negative means outside
+					inside = false
+					break
+				}
+			}
+			if got := pg.Contains(p); got != inside {
+				t.Fatalf("case %d/%d: Contains(%v) = %v, half-plane says %v", i, j, p, got, inside)
+			}
+		}
+	}
+}

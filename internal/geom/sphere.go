@@ -1,0 +1,262 @@
+package geom
+
+import "math"
+
+// This file implements the paper's WITHIN-A-SPHERE(r, o1, ..., ok) spatial
+// method: "indicates whether or not the point-objects can be enclosed
+// within a sphere of radius r" (§2) — i.e. whether the minimal enclosing
+// ball of the points has radius <= r — plus its kinetic form over moving
+// points.
+
+// Ball is a sphere given by centre and radius.
+type Ball struct {
+	Center Point
+	Radius float64
+}
+
+// Contains reports whether p lies in the closed ball (with tolerance).
+func (b Ball) Contains(p Point) bool {
+	return Dist2(b.Center, p) <= b.Radius*b.Radius+1e-9*(1+b.Radius)
+}
+
+// MinEnclosingBall returns the smallest ball containing all points, by
+// Welzl's move-to-front algorithm with support sets of up to four points.
+// It is exact (up to floating point) in 2-D and 3-D.
+func MinEnclosingBall(points []Point) Ball {
+	if len(points) == 0 {
+		return Ball{}
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	return welzl(ps, len(ps), nil)
+}
+
+func welzl(ps []Point, n int, boundary []Point) Ball {
+	if n == 0 || len(boundary) == 4 {
+		return ballFromBoundary(boundary)
+	}
+	p := ps[n-1]
+	b := welzl(ps, n-1, boundary)
+	if b.Contains(p) {
+		return b
+	}
+	return welzl(ps, n-1, append(boundary, p))
+}
+
+func ballFromBoundary(b []Point) Ball {
+	switch len(b) {
+	case 0:
+		return Ball{Radius: -1} // empty: contains nothing
+	case 1:
+		return Ball{Center: b[0]}
+	case 2:
+		return ballFrom2(b[0], b[1])
+	case 3:
+		return ballFrom3(b[0], b[1], b[2])
+	default:
+		return ballFrom4(b[0], b[1], b[2], b[3])
+	}
+}
+
+func ballFrom2(a, b Point) Ball {
+	c := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2, (a.Z + b.Z) / 2}
+	return Ball{Center: c, Radius: Dist(c, a)}
+}
+
+// ballFrom3 returns the ball whose boundary passes through a, b, c: the
+// circumcircle of the triangle, embedded in the triangle's plane.
+func ballFrom3(a, b, c Point) Ball {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	cr := crossV(ab, ac)
+	den := 2 * cr.Dot(cr)
+	if den < 1e-18 {
+		// Collinear: the diameter is the farthest pair.
+		best := ballFrom2(a, b)
+		if alt := ballFrom2(a, c); alt.Radius > best.Radius {
+			best = alt
+		}
+		if alt := ballFrom2(b, c); alt.Radius > best.Radius {
+			best = alt
+		}
+		return best
+	}
+	// Circumcentre = a + [ (|ac|^2 (cr x ab)) + (|ab|^2 (ac x cr)) ] / den.
+	t1 := crossV(cr, ab).Scale(ac.Dot(ac))
+	t2 := crossV(ac, cr).Scale(ab.Dot(ab))
+	off := t1.AddVec(t2).Scale(1 / den)
+	center := a.Add(off)
+	return Ball{Center: center, Radius: Dist(center, a)}
+}
+
+// ballFrom4 returns the circumsphere of four points by solving the linear
+// system arising from equal squared distances to the centre.
+func ballFrom4(a, b, c, d Point) Ball {
+	// 2(b-a).x0 = |b|^2-|a|^2, etc.
+	m := [3][3]float64{
+		{b.X - a.X, b.Y - a.Y, b.Z - a.Z},
+		{c.X - a.X, c.Y - a.Y, c.Z - a.Z},
+		{d.X - a.X, d.Y - a.Y, d.Z - a.Z},
+	}
+	sq := func(p Point) float64 { return p.X*p.X + p.Y*p.Y + p.Z*p.Z }
+	rhs := [3]float64{
+		(sq(b) - sq(a)) / 2,
+		(sq(c) - sq(a)) / 2,
+		(sq(d) - sq(a)) / 2,
+	}
+	x, ok := solve3(m, rhs)
+	if !ok {
+		// Coplanar/degenerate: fall back to the best three-point ball.
+		best := ballFrom3(a, b, c)
+		for _, alt := range []Ball{ballFrom3(a, b, d), ballFrom3(a, c, d), ballFrom3(b, c, d)} {
+			if alt.Radius > best.Radius {
+				best = alt
+			}
+		}
+		return best
+	}
+	center := Point{x[0], x[1], x[2]}
+	return Ball{Center: center, Radius: Dist(center, a)}
+}
+
+func crossV(a, b Vector) Vector {
+	return Vector{
+		X: a.Y*b.Z - a.Z*b.Y,
+		Y: a.Z*b.X - a.X*b.Z,
+		Z: a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, rhs [3]float64) ([3]float64, bool) {
+	for col := 0; col < 3; col++ {
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 3; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	return [3]float64{rhs[0] / m[0][0], rhs[1] / m[1][1], rhs[2] / m[2][2]}, true
+}
+
+// WithinSphere implements WITHIN-A-SPHERE at a single instant.
+func WithinSphere(r float64, points ...Point) bool {
+	if len(points) == 0 {
+		return true
+	}
+	return MinEnclosingBall(points).Radius <= r+1e-9
+}
+
+// WithinSphereTimes returns the set of real times t in [lo,hi] at which the
+// moving points can be enclosed in a sphere of radius r.  For two points
+// this is exact (DIST <= 2r); for more, the minimal-enclosing-ball radius
+// is a piecewise-smooth function of time, so the solver samples it densely
+// and refines each sign change by bisection.  samples controls the grid
+// (<= 0 selects a default of 512).
+func WithinSphereTimes(r float64, pts []MovingPoint, lo, hi float64, samples int) RealSet {
+	switch len(pts) {
+	case 0:
+		return NewRealSet(RealInterval{lo, hi})
+	case 1:
+		return NewRealSet(RealInterval{lo, hi})
+	case 2:
+		return DistWithinTimes(pts[0], pts[1], 2*r, lo, hi)
+	}
+	if samples <= 0 {
+		samples = 512
+	}
+	f := func(t float64) float64 {
+		cur := make([]Point, len(pts))
+		for i, p := range pts {
+			cur[i] = p.At(t)
+		}
+		return MinEnclosingBall(cur).Radius - r
+	}
+	return solveByBisection(f, lo, hi, samples)
+}
+
+// SolveLE returns an approximation of {t in [lo,hi] : f(t) <= 0} for a
+// piecewise-smooth f, by uniform sampling plus bisection refinement.  It is
+// the generic fallback for predicates with no closed-form kinetic solver.
+func SolveLE(f func(float64) float64, lo, hi float64, samples int) RealSet {
+	if samples <= 0 {
+		samples = 512
+	}
+	return solveByBisection(f, lo, hi, samples)
+}
+
+// solveByBisection returns an approximation of {t in [lo,hi] : f(t) <= 0}
+// for a piecewise-smooth f, by uniform sampling plus bisection refinement
+// of every bracketed sign change.
+func solveByBisection(f func(float64) float64, lo, hi float64, samples int) RealSet {
+	if lo > hi {
+		return RealSet{}
+	}
+	if lo == hi {
+		if f(lo) <= 0 {
+			return NewRealSet(RealInterval{lo, hi})
+		}
+		return RealSet{}
+	}
+	step := (hi - lo) / float64(samples)
+	type node struct {
+		t   float64
+		neg bool
+	}
+	nodes := make([]node, 0, samples+1)
+	for i := 0; i <= samples; i++ {
+		t := lo + float64(i)*step
+		nodes = append(nodes, node{t, f(t) <= 0})
+	}
+	refine := func(a, b float64, negAtA bool) float64 {
+		for i := 0; i < 50; i++ {
+			mid := (a + b) / 2
+			if (f(mid) <= 0) == negAtA {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		return (a + b) / 2
+	}
+	var out []RealInterval
+	var start float64
+	open := false
+	if nodes[0].neg {
+		start, open = lo, true
+	}
+	for i := 1; i < len(nodes); i++ {
+		prev, cur := nodes[i-1], nodes[i]
+		if prev.neg == cur.neg {
+			continue
+		}
+		cross := refine(prev.t, cur.t, prev.neg)
+		if prev.neg {
+			out = append(out, RealInterval{start, cross})
+			open = false
+		} else {
+			start, open = cross, true
+		}
+	}
+	if open {
+		out = append(out, RealInterval{start, hi})
+	}
+	return NewRealSet(out...)
+}

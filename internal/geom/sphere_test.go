@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinEnclosingBallBasics(t *testing.T) {
+	tests := []struct {
+		name   string
+		pts    []Point
+		center Point
+		radius float64
+	}{
+		{"single", []Point{{3, 4, 0}}, Point{3, 4, 0}, 0},
+		{"pair", []Point{{0, 0, 0}, {6, 0, 0}}, Point{3, 0, 0}, 3},
+		{"right triangle", []Point{{0, 0, 0}, {6, 0, 0}, {0, 8, 0}}, Point{3, 4, 0}, 5},
+		{"square", []Point{{0, 0, 0}, {2, 0, 0}, {2, 2, 0}, {0, 2, 0}}, Point{1, 1, 0}, math.Sqrt2},
+		{"interior point ignored", []Point{{0, 0, 0}, {6, 0, 0}, {3, 1, 0}}, Point{3, 0, 0}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := MinEnclosingBall(tt.pts)
+			if Dist(b.Center, tt.center) > 1e-9 || math.Abs(b.Radius-tt.radius) > 1e-9 {
+				t.Fatalf("ball = %+v, want center %v radius %v", b, tt.center, tt.radius)
+			}
+		})
+	}
+}
+
+func TestMinEnclosingBall3D(t *testing.T) {
+	// Regular tetrahedron vertices on the unit sphere.
+	k := 1 / math.Sqrt(3)
+	pts := []Point{{k, k, k}, {k, -k, -k}, {-k, k, -k}, {-k, -k, k}}
+	b := MinEnclosingBall(pts)
+	if math.Abs(b.Radius-1) > 1e-9 || Dist(b.Center, Point{0, 0, 0}) > 1e-9 {
+		t.Fatalf("ball = %+v, want unit sphere at origin", b)
+	}
+}
+
+func TestMinEnclosingBallProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(12)
+		pts := make([]Point, n)
+		for j := range pts {
+			pts[j] = Point{r.Float64()*20 - 10, r.Float64()*20 - 10, r.Float64()*20 - 10}
+		}
+		b := MinEnclosingBall(pts)
+		// Soundness: every point is inside.
+		for _, p := range pts {
+			if Dist(b.Center, p) > b.Radius+1e-6 {
+				t.Fatalf("case %d: point %v outside ball %+v", i, p, b)
+			}
+		}
+		// Near-minimality: no ball centred at any point pair midpoint with a
+		// smaller radius also contains everything.
+		for a := 0; a < n; a++ {
+			for c := a + 1; c < n; c++ {
+				mid := Point{(pts[a].X + pts[c].X) / 2, (pts[a].Y + pts[c].Y) / 2, (pts[a].Z + pts[c].Z) / 2}
+				maxD := 0.0
+				for _, p := range pts {
+					maxD = math.Max(maxD, Dist(mid, p))
+				}
+				if maxD < b.Radius-1e-6 {
+					t.Fatalf("case %d: found smaller ball (r=%v) than MEB (r=%v)", i, maxD, b.Radius)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinSphere(t *testing.T) {
+	pts := []Point{{0, 0, 0}, {6, 0, 0}, {0, 8, 0}} // MEB radius 5
+	if !WithinSphere(5, pts...) {
+		t.Error("radius 5 should enclose")
+	}
+	if WithinSphere(4.9, pts...) {
+		t.Error("radius 4.9 should not enclose")
+	}
+	if !WithinSphere(0, Point{1, 2, 3}) {
+		t.Error("single point encloses at radius 0")
+	}
+	if !WithinSphere(1) {
+		t.Error("no points always encloses")
+	}
+}
+
+func TestWithinSphereTimesTwoPoints(t *testing.T) {
+	// Exactly DIST <= 2r for a pair.
+	a := MovingPoint{P: Point{0, 0, 0}, V: Vector{1, 0, 0}}
+	b := MovingPoint{P: Point{20, 0, 0}, V: Vector{-1, 0, 0}}
+	got := WithinSphereTimes(2, []MovingPoint{a, b}, 0, 100, 0)
+	ivs := got.Intervals()
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-8) > 1e-9 || math.Abs(ivs[0].Hi-12) > 1e-9 {
+		t.Fatalf("intervals = %v, want [8,12]", ivs)
+	}
+}
+
+func TestWithinSphereTimesConverging(t *testing.T) {
+	// Three objects converging on the origin then dispersing.
+	pts := []MovingPoint{
+		{P: Point{-30, 0, 0}, V: Vector{1, 0, 0}},
+		{P: Point{30, 0, 0}, V: Vector{-1, 0, 0}},
+		{P: Point{0, 30, 0}, V: Vector{0, -1, 0}},
+	}
+	got := WithinSphereTimes(5, pts, 0, 60, 600)
+	if got.IsEmpty() {
+		t.Fatal("expected an enclosure window around t=30")
+	}
+	if !got.Contains(30) {
+		t.Fatalf("t=30 should be enclosed, got %v", got.Intervals())
+	}
+	if got.Contains(0) || got.Contains(60) {
+		t.Fatalf("endpoints should not be enclosed, got %v", got.Intervals())
+	}
+	// Cross-check against direct MEB sampling.
+	for tt := 0.5; tt < 60; tt += 1.0 {
+		cur := []Point{pts[0].At(tt), pts[1].At(tt), pts[2].At(tt)}
+		want := MinEnclosingBall(cur).Radius <= 5
+		if got.Contains(tt) != want {
+			if math.Abs(MinEnclosingBall(cur).Radius-5) < 1e-3 {
+				continue // boundary noise
+			}
+			t.Fatalf("t=%v: got %v want %v", tt, got.Contains(tt), want)
+		}
+	}
+}
+
+func TestSolveByBisection(t *testing.T) {
+	// f(t) = (t-3)(t-7): negative on (3,7).
+	f := func(t float64) float64 { return (t - 3) * (t - 7) }
+	got := solveByBisection(f, 0, 10, 100)
+	ivs := got.Intervals()
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-3) > 1e-6 || math.Abs(ivs[0].Hi-7) > 1e-6 {
+		t.Fatalf("intervals = %v, want [3,7]", ivs)
+	}
+	// Always negative.
+	got = solveByBisection(func(float64) float64 { return -1 }, 0, 10, 16)
+	if ivs := got.Intervals(); len(ivs) != 1 || ivs[0] != (RealInterval{0, 10}) {
+		t.Fatalf("always-negative = %v", ivs)
+	}
+	// Never negative.
+	if got := solveByBisection(func(float64) float64 { return 1 }, 0, 10, 16); !got.IsEmpty() {
+		t.Fatalf("never-negative = %v", got.Intervals())
+	}
+}

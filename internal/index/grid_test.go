@@ -1,0 +1,181 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestGridInstantQuery(t *testing.T) {
+	g := NewGridIndex(0, 100, -200, 200, 16, 16)
+	if err := g.Insert("a", motion.LinearFrom(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert("b", motion.Static(45)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert("c", motion.LinearFrom(0, 0, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InstantQuery(40, 50, 45); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("InstantQuery(45) = %v", got)
+	}
+	if got := g.InstantQuery(40, 50, 10); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("InstantQuery(10) = %v", got)
+	}
+	if err := g.Insert("a", motion.Static(0)); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestGridValueClamping(t *testing.T) {
+	// Values escaping the covered range land in boundary rows but answers
+	// stay correct.
+	g := NewGridIndex(0, 100, -10, 10, 8, 8)
+	if err := g.Insert("fast", motion.LinearFrom(0, 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InstantQuery(4900, 5100, 50); len(got) != 1 {
+		t.Fatalf("out-of-range value lookup = %v", got)
+	}
+	if got := g.InstantQuery(0, 1, 50); len(got) != 0 {
+		t.Fatalf("near-zero lookup = %v", got)
+	}
+}
+
+func TestGridContinuousQuery(t *testing.T) {
+	g := NewGridIndex(0, 100, -200, 200, 16, 16)
+	if err := g.Insert("a", motion.LinearFrom(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ans := g.ContinuousQuery(40, 50, 0)
+	if len(ans) != 1 || ans[0].ID != "a" {
+		t.Fatalf("answers = %+v", ans)
+	}
+	ivs := ans[0].Times.Intervals()
+	if len(ivs) != 1 || ivs[0].Lo != 40 || ivs[0].Hi != 50 {
+		t.Fatalf("times = %v", ivs)
+	}
+}
+
+func TestGridUpdateRemove(t *testing.T) {
+	g := NewGridIndex(0, 100, -200, 200, 16, 16)
+	attr := motion.LinearFrom(0, 0, 1)
+	if err := g.Insert("a", attr); err != nil {
+		t.Fatal(err)
+	}
+	attr = attr.Updated(20, motion.Linear(-1))
+	if err := g.Update("a", attr, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InstantQuery(40, 50, 45); len(got) != 0 {
+		t.Fatalf("after reversal = %v", got)
+	}
+	if got := g.InstantQuery(9, 11, 10); len(got) != 1 {
+		t.Fatalf("past unchanged = %v", got)
+	}
+	if err := g.Update("ghost", attr, 5); err == nil {
+		t.Error("update unknown should fail")
+	}
+	if !g.Remove("a") || g.Remove("a") {
+		t.Error("remove behaviour wrong")
+	}
+	if got := g.InstantQuery(-1000, 1000, 10); len(got) != 0 {
+		t.Fatalf("after remove = %v", got)
+	}
+}
+
+func TestGridMatchesScanRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	g := NewGridIndex(0, 200, -400, 400, 32, 32)
+	attrs := map[most.ObjectID]motion.DynamicAttr{}
+	for i := 0; i < 200; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%03d", i))
+		pieces := []motion.Piece{{Start: 0, Slope: float64(r.Intn(9) - 4)}}
+		if r.Intn(2) == 0 {
+			pieces = append(pieces, motion.Piece{Start: float64(10 + r.Intn(100)), Slope: float64(r.Intn(9) - 4)})
+		}
+		a := motion.DynamicAttr{Value: float64(r.Intn(200) - 100), Function: motion.MustFunc(pieces...)}
+		attrs[id] = a
+		if err := g.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave random updates with queries.
+	for step := 0; step < 60; step++ {
+		if step%5 == 4 {
+			tick := temporal.Tick(step * 3)
+			id := most.ObjectID(fmt.Sprintf("o%03d", r.Intn(200)))
+			next := attrs[id].Updated(tick, motion.Linear(float64(r.Intn(9)-4)))
+			attrs[id] = next
+			if err := g.Update(id, next, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lo := float64(r.Intn(600) - 300)
+		hi := lo + float64(r.Intn(40))
+		// Query at or after the latest update: the ground-truth map holds
+		// only the current revision, which is not valid for the past.
+		at := temporal.Tick(3*step + r.Intn(200-3*step))
+		got := g.InstantQuery(lo, hi, at)
+		gotSet := map[most.ObjectID]bool{}
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for id, a := range attrs {
+			v := a.At(at)
+			want := v >= lo && v <= hi
+			if gotSet[id] != want {
+				t.Fatalf("step %d (lo=%v hi=%v t=%d) %s: got %v want %v (v=%v)",
+					step, lo, hi, at, id, gotSet[id], want, v)
+			}
+		}
+	}
+}
+
+func TestGridAgreesWithRTree(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := NewGridIndex(0, 300, -1000, 1000, 32, 32)
+	rt := NewAttrIndex(0, 300)
+	for i := 0; i < 150; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%03d", i))
+		a := motion.DynamicAttr{Value: float64(r.Intn(800) - 400), Function: motion.Linear(float64(r.Intn(7) - 3))}
+		if err := g.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 60; q++ {
+		lo := float64(r.Intn(1200) - 600)
+		hi := lo + float64(r.Intn(60))
+		at := temporal.Tick(r.Intn(300))
+		a := g.InstantQuery(lo, hi, at)
+		b := rt.InstantQuery(lo, hi, at)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: grid %d vs rtree %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d: %v vs %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad grid parameters should panic")
+		}
+	}()
+	NewGridIndex(0, 0, 0, 1, 1, 1)
+}

@@ -1,0 +1,331 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestInstantQuery(t *testing.T) {
+	ix := NewAttrIndex(0, 100)
+	// a: A(t) = t (crosses [40,50] during t in [40,50]).
+	if err := ix.Insert("a", motion.LinearFrom(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// b: constant 45 (always in range).
+	if err := ix.Insert("b", motion.Static(45)); err != nil {
+		t.Fatal(err)
+	}
+	// c: A(t) = -t (never in [40,50] for t >= 0).
+	if err := ix.Insert("c", motion.LinearFrom(0, 0, -1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.InstantQuery(40, 50, 45); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("InstantQuery(45) = %v", got)
+	}
+	if got := ix.InstantQuery(40, 50, 10); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("InstantQuery(10) = %v", got)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.Insert("a", motion.Static(0)); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}
+
+func TestContinuousQuery(t *testing.T) {
+	ix := NewAttrIndex(0, 100)
+	if err := ix.Insert("a", motion.LinearFrom(0, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ans := ix.ContinuousQuery(40, 50, 0)
+	if len(ans) != 1 || ans[0].ID != "a" {
+		t.Fatalf("answers = %+v", ans)
+	}
+	ivs := ans[0].Times.Intervals()
+	if len(ivs) != 1 || ivs[0].Lo != 40 || ivs[0].Hi != 50 {
+		t.Fatalf("times = %v", ivs)
+	}
+	// Entered later, the interval is clipped at the entry time.
+	ans = ix.ContinuousQuery(40, 50, 45)
+	if ivs := ans[0].Times.Intervals(); ivs[0].Lo != 45 || ivs[0].Hi != 50 {
+		t.Fatalf("clipped times = %v", ivs)
+	}
+	// Outside the horizon nothing is found.
+	if got := ix.ContinuousQuery(140, 150, 0); len(got) != 0 {
+		t.Fatalf("beyond horizon = %+v", got)
+	}
+}
+
+func TestUpdateRedirectsTrajectory(t *testing.T) {
+	ix := NewAttrIndex(0, 100)
+	attr := motion.LinearFrom(0, 0, 1)
+	if err := ix.Insert("a", attr); err != nil {
+		t.Fatal(err)
+	}
+	// At t=20 (value 20) the object reverses direction.
+	attr = attr.Updated(20, motion.Linear(-1))
+	if err := ix.Update("a", attr, 20); err != nil {
+		t.Fatal(err)
+	}
+	// It never reaches 40 now.
+	if got := ix.InstantQuery(40, 50, 45); len(got) != 0 {
+		t.Fatalf("after update = %v", got)
+	}
+	// But it is at 15 at t=25.
+	if got := ix.InstantQuery(14, 16, 25); len(got) != 1 {
+		t.Fatalf("reversed position = %v", got)
+	}
+	// The past (t<20) is untouched: value 10 at t=10.
+	if got := ix.InstantQuery(9, 11, 10); len(got) != 1 {
+		t.Fatalf("past unchanged = %v", got)
+	}
+	if err := ix.Update("ghost", attr, 20); err == nil {
+		t.Error("update of unindexed object should fail")
+	}
+}
+
+func TestRemoveAndRebuild(t *testing.T) {
+	ix := NewAttrIndex(0, 50)
+	for i := 0; i < 10; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%d", i))
+		if err := ix.Insert(id, motion.LinearFrom(float64(i), 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ix.Remove("o3") {
+		t.Fatal("remove failed")
+	}
+	if ix.Remove("o3") {
+		t.Fatal("double remove should fail")
+	}
+	got := ix.InstantQuery(-1000, 1000, 10)
+	if len(got) != 9 {
+		t.Fatalf("after remove: %v", got)
+	}
+	// Rebuild for a new window.
+	if !ix.NeedsRebuild(50) || ix.NeedsRebuild(49) {
+		t.Fatal("NeedsRebuild wrong")
+	}
+	attrs := map[most.ObjectID]motion.DynamicAttr{
+		"x": motion.LinearFrom(100, 50, 2),
+	}
+	ix.Rebuild(50, attrs)
+	if ix.Base() != 50 || ix.End() != 100 || ix.Len() != 1 {
+		t.Fatalf("after rebuild: base=%d end=%d len=%d", ix.Base(), ix.End(), ix.Len())
+	}
+	if got := ix.InstantQuery(100, 120, 55); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("rebuilt query = %v", got)
+	}
+}
+
+func TestIndexMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	ix := NewAttrIndex(0, 200)
+	attrs := map[most.ObjectID]motion.DynamicAttr{}
+	for i := 0; i < 300; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%03d", i))
+		pieces := []motion.Piece{{Start: 0, Slope: float64(r.Intn(9) - 4)}}
+		if r.Intn(2) == 0 {
+			pieces = append(pieces, motion.Piece{Start: float64(10 + r.Intn(100)), Slope: float64(r.Intn(9) - 4)})
+		}
+		a := motion.DynamicAttr{Value: float64(r.Intn(200) - 100), Function: motion.MustFunc(pieces...)}
+		attrs[id] = a
+		if err := ix.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 100; q++ {
+		lo := float64(r.Intn(300) - 150)
+		hi := lo + float64(r.Intn(40))
+		tick := temporal.Tick(r.Intn(200))
+		got := ix.InstantQuery(lo, hi, tick)
+		gotSet := map[most.ObjectID]bool{}
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for id, a := range attrs {
+			v := a.At(tick)
+			want := v >= lo && v <= hi
+			if gotSet[id] != want {
+				t.Fatalf("query %d (lo=%v hi=%v t=%d) object %s: got %v want %v (v=%v)",
+					q, lo, hi, tick, id, gotSet[id], want, v)
+			}
+		}
+	}
+}
+
+func TestIndexUpdateStormMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	ix := NewAttrIndex(0, 100)
+	attrs := map[most.ObjectID]motion.DynamicAttr{}
+	for i := 0; i < 50; i++ {
+		id := most.ObjectID(fmt.Sprintf("o%02d", i))
+		a := motion.LinearFrom(float64(r.Intn(100)-50), 0, float64(r.Intn(7)-3))
+		attrs[id] = a
+		if err := ix.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Apply random updates at increasing times, re-checking queries.
+	for tick := temporal.Tick(10); tick < 100; tick += 10 {
+		for i := 0; i < 10; i++ {
+			id := most.ObjectID(fmt.Sprintf("o%02d", r.Intn(50)))
+			next := attrs[id].Updated(tick, motion.Linear(float64(r.Intn(7)-3)))
+			attrs[id] = next
+			if err := ix.Update(id, next, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q := 0; q < 10; q++ {
+			lo := float64(r.Intn(200) - 100)
+			hi := lo + float64(r.Intn(30))
+			qt := tick + temporal.Tick(r.Intn(int(100-tick)))
+			got := ix.InstantQuery(lo, hi, qt)
+			gotSet := map[most.ObjectID]bool{}
+			for _, id := range got {
+				gotSet[id] = true
+			}
+			for id, a := range attrs {
+				v := a.At(qt)
+				want := v >= lo && v <= hi
+				if gotSet[id] != want {
+					t.Fatalf("t=%d query %d object %s: got %v want %v (v=%v lo=%v hi=%v)",
+						qt, q, id, gotSet[id], want, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestMotionIndexInsidePolygon(t *testing.T) {
+	ix := NewMotionIndex(0, 100)
+	// Crosses the square x in [50,60] during t in [50,60].
+	if err := ix.Insert("crosser", motion.MovingFrom(geom.Point{X: 0, Y: 5}, geom.Vector{X: 1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Parked inside.
+	if err := ix.Insert("parked", motion.PositionAt(geom.Point{X: 55, Y: 5}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Far away.
+	if err := ix.Insert("far", motion.MovingFrom(geom.Point{X: 0, Y: 500}, geom.Vector{X: 1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sq := geom.RectPolygon(50, 0, 60, 10)
+	ans := ix.InsidePolygonDuring(sq, 0, 100)
+	if len(ans) != 2 {
+		t.Fatalf("answers = %+v", ans)
+	}
+	if ans[0].ID != "crosser" || ans[1].ID != "parked" {
+		t.Fatalf("ids = %v %v", ans[0].ID, ans[1].ID)
+	}
+	ivs := ans[0].Times.Intervals()
+	if len(ivs) != 1 || ivs[0].Lo != 50 || ivs[0].Hi != 60 {
+		t.Fatalf("crosser times = %v", ivs)
+	}
+	// Time-restricted query misses the crosser.
+	ans = ix.InsidePolygonDuring(sq, 0, 30)
+	if len(ans) != 1 || ans[0].ID != "parked" {
+		t.Fatalf("restricted = %+v", ans)
+	}
+}
+
+func TestMotionIndexUpdateAndRemove(t *testing.T) {
+	ix := NewMotionIndex(0, 100)
+	pos := motion.MovingFrom(geom.Point{X: 0, Y: 5}, geom.Vector{X: 1}, 0)
+	if err := ix.Insert("v", pos); err != nil {
+		t.Fatal(err)
+	}
+	// At t=20 the object turns away (heads -X), so it never reaches x=50.
+	pos = pos.Retarget(20, geom.Vector{X: -1})
+	if err := ix.Update("v", pos, 20); err != nil {
+		t.Fatal(err)
+	}
+	sq := geom.RectPolygon(50, 0, 60, 10)
+	if got := ix.InsidePolygonDuring(sq, 0, 100); len(got) != 0 {
+		t.Fatalf("after turn = %+v", got)
+	}
+	// Its past presence at x=10 (t=10) is still indexed.
+	early := geom.RectPolygon(9, 0, 11, 10)
+	if got := ix.InsidePolygonDuring(early, 0, 15); len(got) != 1 {
+		t.Fatalf("past presence = %+v", got)
+	}
+	if !ix.Remove("v") || ix.Remove("v") {
+		t.Fatal("remove behaviour wrong")
+	}
+	if ix.Len() != 0 {
+		t.Fatal("index should be empty")
+	}
+	ix.Rebuild(100, map[most.ObjectID]motion.Position{"w": motion.PositionAt(geom.Point{X: 55, Y: 5}, 100)})
+	if got := ix.InsidePolygonDuring(sq, 100, 150); len(got) != 1 || got[0].ID != "w" {
+		t.Fatalf("after rebuild = %+v", got)
+	}
+}
+
+func TestMotionIndexMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ix := NewMotionIndex(0, 60)
+	positions := map[most.ObjectID]motion.Position{}
+	for i := 0; i < 120; i++ {
+		id := most.ObjectID(fmt.Sprintf("m%03d", i))
+		p := motion.MovingFrom(
+			geom.Point{X: float64(r.Intn(200) - 100), Y: float64(r.Intn(200) - 100)},
+			geom.Vector{X: float64(r.Intn(7) - 3), Y: float64(r.Intn(7) - 3)},
+			0)
+		positions[id] = p
+		if err := ix.Insert(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 50; q++ {
+		x0 := float64(r.Intn(200) - 100)
+		y0 := float64(r.Intn(200) - 100)
+		pg := geom.RectPolygon(x0, y0, x0+30, y0+30)
+		t0 := float64(r.Intn(50))
+		t1 := t0 + float64(r.Intn(int(60-t0))+1)
+		ans := ix.InsidePolygonDuring(pg, t0, t1)
+		gotSet := map[most.ObjectID]geom.RealSet{}
+		for _, a := range ans {
+			gotSet[a.ID] = a.Times
+		}
+		for id, p := range positions {
+			// Brute force at quarter-tick resolution.
+			for tt := t0; tt <= t1; tt += 0.25 {
+				want := pg.Contains(p.AtReal(tt))
+				got := gotSet[id].Contains(tt)
+				if got != want {
+					// Boundary tolerance.
+					pt := p.AtReal(tt)
+					if pt.X >= x0-1e-6 && pt.X <= x0+30+1e-6 && (pt.Y >= y0-1e-6 && pt.Y <= y0+30+1e-6) &&
+						(abs(pt.X-x0) < 1e-6 || abs(pt.X-x0-30) < 1e-6 || abs(pt.Y-y0) < 1e-6 || abs(pt.Y-y0-30) < 1e-6) {
+						continue
+					}
+					t.Fatalf("query %d object %s t=%v: got %v want %v", q, id, tt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHorizonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero horizon should panic")
+		}
+	}()
+	NewAttrIndex(0, 0)
+}

@@ -1,0 +1,100 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// TestQuadraticTrajectoriesIndexed checks both index mechanisms against a
+// scan over accelerating attributes — the §4 "nonlinear functions"
+// extension.
+func TestQuadraticTrajectoriesIndexed(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	rt := NewAttrIndex(0, 100)
+	grid := NewGridIndex(0, 100, -6000, 6000, 32, 32)
+	attrs := map[most.ObjectID]motion.DynamicAttr{}
+	for i := 0; i < 150; i++ {
+		id := most.ObjectID(fmt.Sprintf("q%03d", i))
+		a := motion.DynamicAttr{
+			Value:    float64(r.Intn(200) - 100),
+			Function: motion.Accelerating(float64(r.Intn(11)-5), float64(r.Intn(5)-2)*0.25),
+		}
+		attrs[id] = a
+		if err := rt.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := grid.Insert(id, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 80; q++ {
+		lo := float64(r.Intn(800) - 400)
+		hi := lo + float64(r.Intn(80))
+		at := temporal.Tick(r.Intn(100))
+		want := map[most.ObjectID]bool{}
+		for id, a := range attrs {
+			if v := a.At(at); v >= lo && v <= hi {
+				want[id] = true
+			}
+		}
+		for _, mech := range []struct {
+			name string
+			got  []most.ObjectID
+		}{
+			{"rtree", rt.InstantQuery(lo, hi, at)},
+			{"grid", grid.InstantQuery(lo, hi, at)},
+		} {
+			if len(mech.got) != len(want) {
+				t.Fatalf("query %d %s: got %d, want %d (lo=%v hi=%v t=%d)",
+					q, mech.name, len(mech.got), len(want), lo, hi, at)
+			}
+			for _, id := range mech.got {
+				if !want[id] {
+					t.Fatalf("query %d %s: unexpected %s", q, mech.name, id)
+				}
+			}
+		}
+	}
+}
+
+// TestQuadraticContinuousQuery verifies interval answers for a parabola
+// that leaves and re-enters the band.
+func TestQuadraticContinuousQuery(t *testing.T) {
+	ix := NewAttrIndex(0, 100)
+	// v(t) = 50 - 10t + t^2/2: dips to 0 at t=10, back to 50 at t=20.
+	a := motion.DynamicAttr{Value: 50, Function: motion.Accelerating(-10, 1)}
+	if err := ix.Insert("dip", a); err != nil {
+		t.Fatal(err)
+	}
+	ans := ix.ContinuousQuery(0, 10, 0)
+	if len(ans) != 1 {
+		t.Fatalf("answers = %+v", ans)
+	}
+	ivs := ans[0].Times.Intervals()
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %v, want one dip window", ivs)
+	}
+	// v <= 10 while (t-10)^2/2 <= 10 → |t-10| <= sqrt(20) ≈ 4.47.
+	if ivs[0].Lo < 5 || ivs[0].Lo > 6 || ivs[0].Hi < 14 || ivs[0].Hi > 15 {
+		t.Fatalf("dip window = %+v", ivs[0])
+	}
+	// Updates on quadratic trajectories keep the index consistent.
+	a2 := a.Updated(10, motion.Linear(3))
+	if err := ix.Update("dip", a2, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   temporal.Tick
+		want float64
+	}{{5, 12.5}, {10, 0}, {20, 30}} {
+		got := ix.InstantQuery(tc.want-0.5, tc.want+0.5, tc.at)
+		if len(got) != 1 {
+			t.Fatalf("after update at t=%d (want v=%v): %v", tc.at, tc.want, got)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package integration cross-checks the independent stacks of the library
+// against each other on shared scenarios: the FTL evaluator, the dynamic-
+// attribute indexes, the MOST-on-DBMS layer, and the distributed simulator
+// must all agree on the same fleets.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mostdb/most/internal/dist"
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/mostsql"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// fleet builds n vehicles with 1-D motion on the X axis in both a MOST
+// database and a raw attribute map.
+func fleet(t *testing.T, n int, seed int64) (*most.Database, map[most.ObjectID]motion.DynamicAttr) {
+	t.Helper()
+	db := most.NewDatabase()
+	cls := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(cls); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	attrs := map[most.ObjectID]motion.DynamicAttr{}
+	for i := 0; i < n; i++ {
+		id := most.ObjectID(fmt.Sprintf("v%03d", i))
+		x := motion.DynamicAttr{
+			Value:    float64(r.Intn(400) - 200),
+			Function: motion.Linear(float64(r.Intn(9) - 4)),
+		}
+		attrs[id] = x
+		o, err := most.NewObject(id, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err = o.WithPosition(motion.Position{X: x, Y: motion.Static(0), Z: motion.Static(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, attrs
+}
+
+func idsOfRows(rows []query.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFTLAgreesWithAttrIndex(t *testing.T) {
+	db, attrs := fleet(t, 120, 5)
+	engine := query.NewEngine(db)
+	ix := index.NewAttrIndex(0, 300)
+	ix.Rebuild(0, attrs)
+
+	const lo, hi = 40.0, 55.0
+	// Continuous FTL query over the X position.
+	q := ftl.MustParse(fmt.Sprintf(
+		`RETRIEVE o FROM Vehicles o WHERE o.X.POSITION >= %g AND o.X.POSITION <= %g`, lo, hi))
+	rel, err := engine.InstantaneousRelation(q, query.Options{Horizon: 299})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixAns := ix.ContinuousQuery(lo, hi, 0)
+	ixByID := map[most.ObjectID]geom.RealSet{}
+	for _, a := range ixAns {
+		ixByID[a.ID] = a.Times
+	}
+	// Every tick must agree between the FTL relation and the index answer.
+	for tick := temporal.Tick(0); tick < 300; tick += 7 {
+		ftlIDs := map[string]bool{}
+		for _, vals := range rel.At(tick) {
+			ftlIDs[vals[0].String()] = true
+		}
+		for id, times := range ixByID {
+			// The index's real intervals may shave boundary instants the
+			// tick semantics keeps; compare via the attribute value when
+			// they disagree.
+			if times.Contains(float64(tick)) != ftlIDs[string(id)] {
+				v := attrs[id].At(tick)
+				if v >= lo-1e-9 && v <= hi+1e-9 && (v < lo+1e-9 || v > hi-1e-9) {
+					continue // boundary instant
+				}
+				t.Fatalf("tick %d object %s: index %v, ftl %v (x=%v)",
+					tick, id, times.Contains(float64(tick)), ftlIDs[string(id)], v)
+			}
+		}
+		// And nothing in the FTL answer is missing from the index.
+		for id := range ftlIDs {
+			if _, ok := ixByID[most.ObjectID(id)]; !ok {
+				v := attrs[most.ObjectID(id)].At(tick)
+				t.Fatalf("tick %d: ftl reports %s (x=%v) unknown to the index", tick, id, v)
+			}
+		}
+	}
+}
+
+func TestFTLAgreesWithMostSQL(t *testing.T) {
+	db, attrs := fleet(t, 80, 9)
+	engine := query.NewEngine(db)
+
+	now := temporal.Tick(0)
+	sys := mostsql.New(relstore.NewStore(), func() temporal.Tick { return now })
+	if _, err := sys.CreateTable("vehicles", "id", nil, []string{"X"}); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]most.ObjectID, 0, len(attrs))
+	for id := range attrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := sys.Insert("vehicles", relstore.Str(string(id)), nil,
+			map[string]motion.DynamicAttr{"X": attrs[id]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE o.X.POSITION >= -20 AND o.X.POSITION <= 60`)
+	for _, tick := range []temporal.Tick{0, 13, 47} {
+		for db.Now() < tick {
+			db.Tick()
+		}
+		now = tick
+		rows, err := engine.Instantaneous(q, query.Options{Horizon: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftlIDs := idsOfRows(rows)
+
+		rs, err := sys.Query("SELECT id FROM vehicles WHERE X >= -20 AND X <= 60")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlIDs := make([]string, 0, len(rs.Rows))
+		for _, r := range rs.Rows {
+			sqlIDs = append(sqlIDs, r[0].String())
+		}
+		sort.Strings(sqlIDs)
+
+		if strings.Join(ftlIDs, ",") != strings.Join(sqlIDs, ",") {
+			t.Fatalf("t=%d: FTL %v vs SQL %v", tick, ftlIDs, sqlIDs)
+		}
+	}
+}
+
+func TestFTLAgreesWithMotionIndex(t *testing.T) {
+	db := most.NewDatabase()
+	cls := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(cls); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	ix := index.NewMotionIndex(0, 200)
+	for i := 0; i < 100; i++ {
+		id := most.ObjectID(fmt.Sprintf("v%03d", i))
+		pos := motion.MovingFrom(
+			geom.Point{X: float64(r.Intn(400) - 200), Y: float64(r.Intn(400) - 200)},
+			geom.Vector{X: float64(r.Intn(7) - 3), Y: float64(r.Intn(7) - 3)},
+			0)
+		o, _ := most.NewObject(id, cls)
+		o, err := o.WithPosition(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Insert(id, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine := query.NewEngine(db)
+	pg := geom.RectPolygon(0, 0, 60, 60)
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
+	rel, err := engine.InstantaneousRelation(q, query.Options{
+		Horizon: 199,
+		Regions: map[string]geom.Polygon{"P": pg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftlIDs := map[string]bool{}
+	for _, vals := range rel.At(0) {
+		ftlIDs[vals[0].String()] = true
+	}
+	ixIDs := map[string]bool{}
+	for _, a := range ix.InsidePolygonDuring(pg, 0, 199) {
+		ixIDs[string(a.ID)] = true
+	}
+	if len(ftlIDs) != len(ixIDs) {
+		t.Fatalf("FTL %d objects, index %d", len(ftlIDs), len(ixIDs))
+	}
+	for id := range ftlIDs {
+		if !ixIDs[id] {
+			t.Fatalf("FTL found %s, index did not", id)
+		}
+	}
+}
+
+func TestDistributedAgreesWithCentral(t *testing.T) {
+	// The broadcast-query strategy over per-node evaluation must equal the
+	// central engine's answer on the same fleet.
+	db, attrs := fleet(t, 60, 11)
+	engine := query.NewEngine(db)
+	sim := dist.NewSim(1)
+	for _, o := range db.Objects("Vehicles") {
+		if _, err := sim.AddNode(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pg := geom.RectPolygon(50, -10, 120, 10)
+	sim.Regions["P"] = pg
+	opts := query.Options{Horizon: 100, Regions: map[string]geom.Polygon{"P": pg}}
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 100 INSIDE(o, P)`)
+
+	rows, err := engine.Instantaneous(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central := idsOfRows(rows)
+
+	res, err := sim.RunObjectQuery(sim.Nodes()[0], q, 100, dist.BroadcastQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var distributed []string
+	for _, vals := range res.Relation.At(0) {
+		distributed = append(distributed, vals[0].String())
+	}
+	sort.Strings(distributed)
+	if strings.Join(central, ",") != strings.Join(distributed, ",") {
+		t.Fatalf("central %v vs distributed %v", central, distributed)
+	}
+	_ = attrs
+}
+
+func TestConcurrentUpdatesAndQueries(t *testing.T) {
+	// The engine and database must tolerate concurrent updates, clock
+	// advancement and query evaluation (run with -race).
+	db, _ := fleet(t, 30, 21)
+	engine := query.NewEngine(db)
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE o.X.POSITION >= 0`)
+	cq, err := engine.Continuous(q, query.Options{Horizon: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	writers.Add(2)
+	go func() {
+		defer writers.Done()
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 50; i++ {
+			id := most.ObjectID(fmt.Sprintf("v%03d", r.Intn(30)))
+			if err := db.SetMotion(id, geom.Vector{X: float64(r.Intn(7) - 3)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 25; i++ {
+			db.Tick()
+		}
+	}()
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := cq.Current(db.Now()); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := engine.Instantaneous(q, query.Options{Horizon: 50}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	// A final evaluation on the quiesced database still works.
+	if _, err := engine.Instantaneous(q, query.Options{Horizon: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinuousQueryDeliveredToMovingClient(t *testing.T) {
+	// End to end across the server and network layers: a continuous query's
+	// materialized Answer(CQ) is computed by the central engine (§2.3) and
+	// transmitted to a moving client under both §5.2 approaches; with full
+	// connectivity the client displays exactly the same rows per tick that
+	// the server would.
+	db, _ := fleet(t, 40, 31)
+	engine := query.NewEngine(db)
+	pg := geom.RectPolygon(20, -10, 80, 10)
+	opts := query.Options{Horizon: 150, Regions: map[string]geom.Polygon{"P": pg}}
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P)`)
+	cq, err := engine.Continuous(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cq.Answer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := rel.Answers()
+	if len(answers) == 0 {
+		t.Fatal("scenario produced no answers")
+	}
+	sim := dist.NewSim(3)
+	always := func(temporal.Tick) bool { return true }
+	for _, mode := range []dist.DeliveryMode{dist.Immediate, dist.Delayed} {
+		st := sim.DeliverAnswer(answers, mode, 8, 0, 150, always)
+		if st.MissedDisplays != 0 {
+			t.Fatalf("mode %v: %d missed displays with full connectivity", mode, st.MissedDisplays)
+		}
+		if st.Bytes != len(answers)*sim.Cost.TupleBytes {
+			t.Fatalf("mode %v: bytes = %d, want %d", mode, st.Bytes, len(answers)*sim.Cost.TupleBytes)
+		}
+	}
+}
+
+func TestPersistentSurvivesTeleport(t *testing.T) {
+	// History synthesis encodes value discontinuities (explicit teleports)
+	// as sub-tick ramps; a persistent spatial query sees the object's
+	// actual past positions on both sides of the jump.
+	db := most.NewDatabase()
+	cls := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(cls); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := most.NewObject("v", cls)
+	o, err := o.WithPosition(motion.MovingFrom(geom.Point{X: 0}, geom.Vector{}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(o); err != nil {
+		t.Fatal(err)
+	}
+	engine := query.NewEngine(db)
+	pg := geom.RectPolygon(95, -5, 105, 5)
+	opts := query.Options{Horizon: 60, Regions: map[string]geom.Polygon{"P": pg}}
+	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
+	pq, err := engine.Persistent(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows, _ := pq.Current(); len(rows) != 0 {
+		t.Fatal("parked at origin: should not reach P")
+	}
+	// Teleport into P at t=10 (both sub-attributes explicitly updated).
+	db.Advance(10)
+	cur, _ := db.Get("v")
+	pos, _ := cur.Position()
+	if err := db.SetDynamic("v", most.XPosition, pos.X.SetAt(10, 100, motion.Constant())); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pq.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatal("after teleporting into P the persistent query should fire")
+	}
+}

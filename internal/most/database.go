@@ -1,0 +1,316 @@
+package most
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// UpdateKind classifies explicit database updates.
+type UpdateKind uint8
+
+// Update kinds.
+const (
+	UpdateInsert UpdateKind = iota
+	UpdateDelete
+	UpdateStatic
+	UpdateDynamic
+)
+
+// Update is one explicit modification of the database: the unit the history
+// log records and the event continuous-query maintenance reacts to (§2.3:
+// "a continuous query CQ has to be reevaluated when an update occurs that
+// may change the set of tuples Answer(CQ)").
+type Update struct {
+	Tick   temporal.Tick
+	Kind   UpdateKind
+	Object ObjectID
+	Attr   string // set for UpdateStatic/UpdateDynamic
+	// Before/After capture the object revisions around the update; Before
+	// is nil for inserts, After is nil for deletes.
+	Before, After *Object
+}
+
+// Listener observes explicit updates, synchronously, in commit order.
+type Listener func(Update)
+
+// Database is a MOST database: a set of object classes and their current
+// objects, a global discrete clock, and a log of explicit updates.  The
+// paper's "database history" (§2.2) is implicit: the past is reconstructed
+// from the log, and the future from the dynamic attributes' functions.
+//
+// The database is safe for concurrent use.  We assume instantaneous
+// updates: valid-time equals transaction-time (§2.1).
+type Database struct {
+	mu        sync.RWMutex
+	classes   map[string]*Class
+	objects   map[ObjectID]*Object
+	byClass   map[string][]ObjectID
+	now       temporal.Tick
+	log       []Update
+	listeners []Listener
+}
+
+// NewDatabase returns an empty database with the clock at tick 0.
+func NewDatabase() *Database {
+	return &Database{
+		classes: map[string]*Class{},
+		objects: map[ObjectID]*Object{},
+		byClass: map[string][]ObjectID{},
+	}
+}
+
+// Now returns the current tick of the special "time" object.
+func (db *Database) Now() temporal.Tick {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.now
+}
+
+// Tick advances the clock by one (its value "increases by one in each clock
+// tick", §2) and returns the new time.
+func (db *Database) Tick() temporal.Tick { return db.Advance(1) }
+
+// Advance moves the clock forward by d ticks and returns the new time.
+func (db *Database) Advance(d temporal.Tick) temporal.Tick {
+	if d < 0 {
+		panic("most: the clock cannot run backwards")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.now = db.now.Add(d)
+	return db.now
+}
+
+// DefineClass registers an object class.
+func (db *Database) DefineClass(c *Class) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.classes[c.Name()]; dup {
+		return fmt.Errorf("most: class %s already defined", c.Name())
+	}
+	db.classes[c.Name()] = c
+	return nil
+}
+
+// Class looks up a class by name.
+func (db *Database) Class(name string) (*Class, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.classes[name]
+	return c, ok
+}
+
+// Subscribe registers a listener for explicit updates.  Listeners run
+// synchronously while the update lock is NOT held, in commit order.
+func (db *Database) Subscribe(l Listener) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.listeners = append(db.listeners, l)
+}
+
+// Insert adds a new object.
+func (db *Database) Insert(o *Object) error {
+	db.mu.Lock()
+	if _, dup := db.objects[o.id]; dup {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s already exists", o.id)
+	}
+	if db.classes[o.class.Name()] != o.class {
+		db.mu.Unlock()
+		return fmt.Errorf("most: class %s of object %s is not defined in this database", o.class.Name(), o.id)
+	}
+	db.objects[o.id] = o
+	db.byClass[o.class.Name()] = append(db.byClass[o.class.Name()], o.id)
+	u := Update{Tick: db.now, Kind: UpdateInsert, Object: o.id, After: o}
+	db.commitLocked(u)
+	return nil
+}
+
+// Delete removes an object.
+func (db *Database) Delete(id ObjectID) error {
+	db.mu.Lock()
+	o, ok := db.objects[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	delete(db.objects, id)
+	ids := db.byClass[o.class.Name()]
+	for i, cand := range ids {
+		if cand == id {
+			db.byClass[o.class.Name()] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	u := Update{Tick: db.now, Kind: UpdateDelete, Object: id, Before: o}
+	db.commitLocked(u)
+	return nil
+}
+
+// commitLocked appends to the log and releases the lock before notifying.
+func (db *Database) commitLocked(u Update) {
+	db.log = append(db.log, u)
+	ls := db.listeners
+	db.mu.Unlock()
+	for _, l := range ls {
+		l(u)
+	}
+}
+
+// Get returns the current revision of the object.
+func (db *Database) Get(id ObjectID) (*Object, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.objects[id]
+	return o, ok
+}
+
+// Objects returns the current revisions of all objects of a class, in
+// insertion order.  With class == "" it returns every object.
+func (db *Database) Objects(class string) []*Object {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if class != "" {
+		ids := db.byClass[class]
+		out := make([]*Object, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, db.objects[id])
+		}
+		return out
+	}
+	ids := make([]string, 0, len(db.objects))
+	for id := range db.objects {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	out := make([]*Object, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, db.objects[ObjectID(id)])
+	}
+	return out
+}
+
+// Count returns the number of live objects (all classes).
+func (db *Database) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.objects)
+}
+
+// SetStatic explicitly updates a static attribute at the current time.
+func (db *Database) SetStatic(id ObjectID, attr string, v Value) error {
+	db.mu.Lock()
+	o, ok := db.objects[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	next, err := o.WithStatic(attr, v)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.objects[id] = next
+	u := Update{Tick: db.now, Kind: UpdateStatic, Object: id, Attr: attr, Before: o, After: next}
+	db.commitLocked(u)
+	return nil
+}
+
+// SetDynamic explicitly updates a dynamic attribute's sub-attributes at the
+// current time ("an explicit update of a dynamic attribute may change its
+// value sub-attribute, or its function sub-attribute, or both", §2.1).
+func (db *Database) SetDynamic(id ObjectID, attr string, a motion.DynamicAttr) error {
+	db.mu.Lock()
+	o, ok := db.objects[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	next, err := o.WithDynamic(attr, a)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.objects[id] = next
+	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: attr, Before: o, After: next}
+	db.commitLocked(u)
+	return nil
+}
+
+// UpdateFunction re-bases the dynamic attribute to its current value and
+// installs a new function — the motion-vector update a vehicle's sensor
+// issues "when it senses a change in speed or direction" (§1).
+func (db *Database) UpdateFunction(id ObjectID, attr string, f motion.Func) error {
+	db.mu.Lock()
+	o, ok := db.objects[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	cur, err := o.Dynamic(attr)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	next, err := o.WithDynamic(attr, cur.Updated(db.now, f))
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.objects[id] = next
+	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: attr, Before: o, After: next}
+	db.commitLocked(u)
+	return nil
+}
+
+// SetMotion updates a spatial object's motion vector at the current time,
+// keeping its position continuous.
+func (db *Database) SetMotion(id ObjectID, v geom.Vector) error {
+	db.mu.Lock()
+	o, ok := db.objects[id]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	pos, err := o.Position()
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	next, err := o.WithPosition(pos.Retarget(db.now, v))
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.objects[id] = next
+	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: XPosition, Before: o, After: next}
+	db.commitLocked(u)
+	return nil
+}
+
+// Log returns a copy of the explicit-update log since the beginning of the
+// database's life; persistent queries replay it (§2.3: "the evaluation of
+// persistent queries requires saving of information about the way the
+// database is updated over time").
+func (db *Database) Log() []Update {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Update, len(db.log))
+	copy(out, db.log)
+	return out
+}
+
+// LogSince returns the log entries with Tick >= t.
+func (db *Database) LogSince(t temporal.Tick) []Update {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i := sort.Search(len(db.log), func(i int) bool { return db.log[i].Tick >= t })
+	out := make([]Update, len(db.log)-i)
+	copy(out, db.log[i:])
+	return out
+}

@@ -1,0 +1,106 @@
+package most
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// History is a consistent view of the database's history: the actual past
+// (reconstructed from the explicit-update log) concatenated with the
+// implicit future of the current state (§2.2: "each state in the future
+// history is identical to the state at time t, except for the value of the
+// dynamic attributes").  It is a snapshot — updates committed after History
+// was taken do not affect it.
+type History struct {
+	now     temporal.Tick
+	current map[ObjectID]*Object
+	log     []Update
+}
+
+// History captures the current history view.
+func (db *Database) History() History {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cur := make(map[ObjectID]*Object, len(db.objects))
+	for id, o := range db.objects {
+		cur[id] = o
+	}
+	logCopy := make([]Update, len(db.log))
+	copy(logCopy, db.log)
+	return History{now: db.now, current: cur, log: logCopy}
+}
+
+// Now returns the tick at which the view was taken.
+func (h History) Now() temporal.Tick { return h.now }
+
+// Updates returns the captured explicit-update log in commit order; the
+// slice must not be modified.
+func (h History) Updates() []Update { return h.log }
+
+// Current returns the object revisions as of the snapshot; the map must
+// not be modified.
+func (h History) Current() map[ObjectID]*Object { return h.current }
+
+// RevisionAt returns the object revision in effect at tick t, or false if
+// the object did not exist then.  For t >= the snapshot time it returns the
+// current revision (the future history repeats the current state).
+func (h History) RevisionAt(id ObjectID, t temporal.Tick) (*Object, bool) {
+	if t >= h.now {
+		o, ok := h.current[id]
+		return o, ok
+	}
+	// Find the last update to this object with Tick <= t.  The log is in
+	// commit order, hence sorted by tick.
+	hi := sort.Search(len(h.log), func(i int) bool { return h.log[i].Tick > t })
+	for i := hi - 1; i >= 0; i-- {
+		u := h.log[i]
+		if u.Object != id {
+			continue
+		}
+		if u.Kind == UpdateDelete {
+			return nil, false
+		}
+		return u.After, true
+	}
+	return nil, false
+}
+
+// ValueAt returns the attribute value of the object in database state t:
+// the revision in effect at t, with dynamic attributes evaluated at t.
+func (h History) ValueAt(id ObjectID, attr string, t temporal.Tick) (Value, error) {
+	o, ok := h.RevisionAt(id, t)
+	if !ok {
+		return Value{}, fmt.Errorf("most: object %s does not exist at tick %d", id, t)
+	}
+	return o.ValueAt(attr, t)
+}
+
+// LiveIDs returns the ids of the objects alive in state t, sorted.
+func (h History) LiveIDs(t temporal.Tick) []ObjectID {
+	alive := map[ObjectID]bool{}
+	if t >= h.now {
+		for id := range h.current {
+			alive[id] = true
+		}
+	} else {
+		for _, u := range h.log {
+			if u.Tick > t {
+				break
+			}
+			switch u.Kind {
+			case UpdateInsert:
+				alive[u.Object] = true
+			case UpdateDelete:
+				delete(alive, u.Object)
+			}
+		}
+	}
+	out := make([]ObjectID, 0, len(alive))
+	for id := range alive {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,186 @@
+package most
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// ObjectID identifies an object across all classes.
+type ObjectID string
+
+// Object is one immutable revision of a database object.  Updates go
+// through the Database, which installs a new revision; holders of an old
+// *Object continue to see the state as of when they fetched it.
+type Object struct {
+	id       ObjectID
+	class    *Class
+	statics  map[string]Value
+	dynamics map[string]motion.DynamicAttr
+}
+
+// NewObject builds an object of the given class.  Unset static attributes
+// are NULL; unset dynamic attributes are the constant 0.
+func NewObject(id ObjectID, class *Class) (*Object, error) {
+	if id == "" {
+		return nil, fmt.Errorf("most: object id must not be empty")
+	}
+	if class == nil {
+		return nil, fmt.Errorf("most: object %s: class must not be nil", id)
+	}
+	return &Object{
+		id:       id,
+		class:    class,
+		statics:  map[string]Value{},
+		dynamics: map[string]motion.DynamicAttr{},
+	}, nil
+}
+
+// ID returns the object identifier.
+func (o *Object) ID() ObjectID { return o.id }
+
+// Class returns the object's class.
+func (o *Object) Class() *Class { return o.class }
+
+// clone returns a deep copy sharing nothing mutable with the receiver.
+func (o *Object) clone() *Object {
+	c := &Object{
+		id:       o.id,
+		class:    o.class,
+		statics:  make(map[string]Value, len(o.statics)),
+		dynamics: make(map[string]motion.DynamicAttr, len(o.dynamics)),
+	}
+	for k, v := range o.statics {
+		c.statics[k] = v
+	}
+	for k, v := range o.dynamics {
+		c.dynamics[k] = v
+	}
+	return c
+}
+
+// checkAttr validates that name exists on the class with the wanted kind.
+func (o *Object) checkAttr(name string, kind AttrKind) error {
+	def, ok := o.class.Attr(name)
+	if !ok {
+		return fmt.Errorf("most: class %s has no attribute %s", o.class.Name(), name)
+	}
+	if def.Kind != kind {
+		return fmt.Errorf("most: attribute %s.%s is %s, not %s", o.class.Name(), name, def.Kind, kind)
+	}
+	return nil
+}
+
+// WithStatic returns a revision with the static attribute set.
+func (o *Object) WithStatic(name string, v Value) (*Object, error) {
+	if err := o.checkAttr(name, Static); err != nil {
+		return nil, err
+	}
+	c := o.clone()
+	c.statics[name] = v
+	return c, nil
+}
+
+// WithDynamic returns a revision with the dynamic attribute replaced.
+// POSITION attributes must have piecewise-linear functions: the kinetic
+// polygon and distance solvers work on straight paths (non-positional
+// dynamic attributes may be quadratic).
+func (o *Object) WithDynamic(name string, a motion.DynamicAttr) (*Object, error) {
+	if err := o.checkAttr(name, Dynamic); err != nil {
+		return nil, err
+	}
+	if isPositionAttr(name) && !a.Function.IsLinear() {
+		return nil, fmt.Errorf("most: %s.%s must be piecewise linear; approximate acceleration with linear pieces", o.class.Name(), name)
+	}
+	c := o.clone()
+	c.dynamics[name] = a
+	return c, nil
+}
+
+// isPositionAttr reports whether name is one of the implicit POSITION
+// attributes of spatial classes.
+func isPositionAttr(name string) bool {
+	return name == XPosition || name == YPosition || name == ZPosition
+}
+
+// WithPosition returns a revision with all three POSITION attributes set.
+func (o *Object) WithPosition(p motion.Position) (*Object, error) {
+	if !o.class.Spatial() {
+		return nil, fmt.Errorf("most: class %s is not spatial", o.class.Name())
+	}
+	for _, a := range []motion.DynamicAttr{p.X, p.Y, p.Z} {
+		if !a.Function.IsLinear() {
+			return nil, fmt.Errorf("most: POSITION attributes of %s must be piecewise linear", o.class.Name())
+		}
+	}
+	c := o.clone()
+	c.dynamics[XPosition] = p.X
+	c.dynamics[YPosition] = p.Y
+	c.dynamics[ZPosition] = p.Z
+	return c, nil
+}
+
+// Static returns the static attribute's value (NULL if never set).
+func (o *Object) Static(name string) (Value, error) {
+	if err := o.checkAttr(name, Static); err != nil {
+		return Value{}, err
+	}
+	return o.statics[name], nil
+}
+
+// Dynamic returns the dynamic attribute's sub-attribute triple.
+func (o *Object) Dynamic(name string) (motion.DynamicAttr, error) {
+	if err := o.checkAttr(name, Dynamic); err != nil {
+		return motion.DynamicAttr{}, err
+	}
+	return o.dynamics[name], nil
+}
+
+// ValueAt returns the attribute's value at tick t: for static attributes
+// the stored value; for dynamic ones A.value + A.function(t - A.updatetime)
+// (§2.1 — "the answer returned by the DBMS consists of the value of the
+// attribute at the time the query is entered").
+func (o *Object) ValueAt(name string, t temporal.Tick) (Value, error) {
+	def, ok := o.class.Attr(name)
+	if !ok {
+		return Value{}, fmt.Errorf("most: class %s has no attribute %s", o.class.Name(), name)
+	}
+	if def.Kind == Static {
+		return o.statics[name], nil
+	}
+	return Float(o.dynamics[name].At(t)), nil
+}
+
+// Position returns the object's position attributes as a motion.Position.
+func (o *Object) Position() (motion.Position, error) {
+	if !o.class.Spatial() {
+		return motion.Position{}, fmt.Errorf("most: class %s is not spatial", o.class.Name())
+	}
+	return motion.Position{
+		X: o.dynamics[XPosition],
+		Y: o.dynamics[YPosition],
+		Z: o.dynamics[ZPosition],
+	}, nil
+}
+
+// PositionAt returns the object's location at tick t.
+func (o *Object) PositionAt(t temporal.Tick) (geom.Point, error) {
+	p, err := o.Position()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return p.At(t), nil
+}
+
+// AttrNames returns the object's attribute names in sorted order.
+func (o *Object) AttrNames() []string {
+	names := make([]string, 0, len(o.class.attrs))
+	for _, a := range o.class.attrs {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

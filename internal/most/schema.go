@@ -1,0 +1,100 @@
+package most
+
+import "fmt"
+
+// Positional attribute names of spatial object classes (paper §2: "a
+// spatial object class has three attributes called X.POSITION, Y.POSITION,
+// Z.POSITION, denoting the object's position in space").
+const (
+	XPosition = "X.POSITION"
+	YPosition = "Y.POSITION"
+	ZPosition = "Z.POSITION"
+)
+
+// AttrKind says whether an attribute changes only under explicit update
+// (static) or continuously as a function of time (dynamic) — §2.1.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	Static AttrKind = iota
+	Dynamic
+)
+
+func (k AttrKind) String() string {
+	if k == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// AttrDef declares one attribute of an object class.  Dynamic attributes
+// are always numeric (they evolve along a function of time); static ones
+// may hold any Value kind.
+type AttrDef struct {
+	Name string
+	Kind AttrKind
+}
+
+// Class is an object class: a named set of attributes (§2).  Spatial
+// classes implicitly carry the three POSITION dynamic attributes.
+type Class struct {
+	name    string
+	spatial bool
+	attrs   []AttrDef
+	byName  map[string]int
+}
+
+// NewClass declares an object class.  Attribute names must be unique; for
+// spatial classes the POSITION attributes are added automatically and must
+// not be declared explicitly.
+func NewClass(name string, spatial bool, attrs ...AttrDef) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("most: class name must not be empty")
+	}
+	c := &Class{name: name, spatial: spatial, byName: make(map[string]int)}
+	if spatial {
+		for _, p := range []string{XPosition, YPosition, ZPosition} {
+			c.byName[p] = len(c.attrs)
+			c.attrs = append(c.attrs, AttrDef{Name: p, Kind: Dynamic})
+		}
+	}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("most: class %s: attribute name must not be empty", name)
+		}
+		if _, dup := c.byName[a.Name]; dup {
+			return nil, fmt.Errorf("most: class %s: duplicate attribute %s", name, a.Name)
+		}
+		c.byName[a.Name] = len(c.attrs)
+		c.attrs = append(c.attrs, a)
+	}
+	return c, nil
+}
+
+// MustClass is NewClass that panics on error; for declarations.
+func MustClass(name string, spatial bool, attrs ...AttrDef) *Class {
+	c, err := NewClass(name, spatial, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Spatial reports whether the class is spatial.
+func (c *Class) Spatial() bool { return c.spatial }
+
+// Attrs returns the attribute declarations; the slice must not be modified.
+func (c *Class) Attrs() []AttrDef { return c.attrs }
+
+// Attr looks up an attribute declaration by name.
+func (c *Class) Attr(name string) (AttrDef, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return AttrDef{}, false
+	}
+	return c.attrs[i], true
+}

@@ -1,0 +1,97 @@
+package most
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db, c := newTestDB(t)
+	plain := MustClass("Plain", false,
+		AttrDef{Name: "NAME", Kind: Static},
+		AttrDef{Name: "TEMP", Kind: Dynamic},
+	)
+	if err := db.DefineClass(plain); err != nil {
+		t.Fatal(err)
+	}
+	insertCar(t, db, c, "car", geom.Point{X: 3, Y: 4}, geom.Vector{X: 1, Y: -2})
+	if err := db.SetStatic("car", "PRICE", Float(120)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewObject("sensor", plain)
+	p, _ = p.WithStatic("NAME", Str("roof"))
+	p, _ = p.WithDynamic("TEMP", motion.DynamicAttr{
+		Value: 20, UpdateTime: 0,
+		Function: motion.MustFunc(motion.Piece{Start: 0, Slope: 0.5}, motion.Piece{Start: 10, Slope: -0.25}),
+	})
+	if err := db.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	db.Advance(7)
+
+	data, err := db.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "X.POSITION") {
+		t.Fatal("snapshot missing dynamic attributes")
+	}
+	db2, err := LoadSnapshotJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Now() != 7 {
+		t.Fatalf("restored clock = %d", db2.Now())
+	}
+	if db2.Count() != 2 {
+		t.Fatalf("restored objects = %d", db2.Count())
+	}
+	// All values agree at several future instants.
+	for _, id := range []ObjectID{"car", "sensor"} {
+		o1, _ := db.Get(id)
+		o2, ok := db2.Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		for _, attr := range o1.AttrNames() {
+			for _, tick := range []temporal.Tick{7, 20, 100} {
+				v1, err1 := o1.ValueAt(attr, tick)
+				v2, err2 := o2.ValueAt(attr, tick)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s.%s: %v %v", id, attr, err1, err2)
+				}
+				if v1 != v2 {
+					t.Fatalf("%s.%s at %d: %v vs %v", id, attr, tick, v1, v2)
+				}
+			}
+		}
+	}
+	// Double round-trip is stable.
+	data2, err := db2.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("snapshot not stable under round trip")
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"classes":[{"name":""}]}`,
+		`{"objects":[{"id":"x","class":"missing"}]}`,
+		`{"classes":[{"name":"C"}],"objects":[{"id":"x","class":"C","statics":{"A":{"kind":"float"}}}]}`,
+		`{"classes":[{"name":"C","attrs":[{"name":"A","dynamic":true}]}],"objects":[{"id":"x","class":"C","dynamics":{"A":{"function":"bogus"}}}]}`,
+		`{"classes":[{"name":"C"}],"objects":[{"id":"x","class":"C","statics":{"A":{"kind":"alien"}}}]}`,
+	}
+	for _, src := range bad {
+		if _, err := LoadSnapshotJSON([]byte(src)); err == nil {
+			t.Errorf("LoadSnapshotJSON(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package most
+
+import (
+	"fmt"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file provides the paper's spatial methods (§2) as instantaneous
+// predicates over objects: "intuitively, these methods represent spatial
+// relationships among the objects at a certain point in time, and they
+// return true or false".  Their kinetic (interval-valued) counterparts live
+// in the FTL evaluator, built on geom's solvers.
+
+// Inside implements INSIDE(o, P) at tick t.
+func Inside(o *Object, p geom.Polygon, t temporal.Tick) (bool, error) {
+	pt, err := o.PositionAt(t)
+	if err != nil {
+		return false, err
+	}
+	return p.Contains(pt), nil
+}
+
+// Outside implements OUTSIDE(o, P) at tick t.
+func Outside(o *Object, p geom.Polygon, t temporal.Tick) (bool, error) {
+	in, err := Inside(o, p, t)
+	return !in, err
+}
+
+// DistBetween implements DIST(o1, o2) at tick t.
+func DistBetween(o1, o2 *Object, t temporal.Tick) (float64, error) {
+	p1, err := o1.PositionAt(t)
+	if err != nil {
+		return 0, err
+	}
+	p2, err := o2.PositionAt(t)
+	if err != nil {
+		return 0, err
+	}
+	return geom.Dist(p1, p2), nil
+}
+
+// WithinASphere implements WITHIN-A-SPHERE(r, o1, ..., ok) at tick t.
+func WithinASphere(r float64, t temporal.Tick, objs ...*Object) (bool, error) {
+	if len(objs) == 0 {
+		return true, nil
+	}
+	pts := make([]geom.Point, len(objs))
+	for i, o := range objs {
+		p, err := o.PositionAt(t)
+		if err != nil {
+			return false, fmt.Errorf("most: WITHIN-A-SPHERE argument %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return geom.WithinSphere(r, pts...), nil
+}

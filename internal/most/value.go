@@ -1,0 +1,111 @@
+// Package most implements the Moving Objects Spatio-Temporal data model of
+// the paper (§2): a database is a set of object-classes; a special object
+// "time" gives the current time; attributes are static or dynamic; spatial
+// object classes carry X/Y/Z.POSITION dynamic attributes and spatial
+// methods (INSIDE, OUTSIDE, DIST, WITHIN-A-SPHERE).
+//
+// Objects are immutable values: every explicit update produces a new
+// revision that replaces the old one in the database, and the update is
+// recorded in the database's history log (the information persistent
+// queries need, §2.3).  Readers therefore always observe a consistent
+// object state without holding locks during evaluation.
+package most
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates static attribute values.
+type ValueKind uint8
+
+// Static value kinds.
+const (
+	KindNull ValueKind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Value is a static attribute value: a tagged union of float64, string and
+// bool.  The zero Value is NULL.  Value is comparable and usable as a map
+// key.
+type Value struct {
+	Kind ValueKind
+	F    float64
+	S    string
+	B    bool
+}
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Int wraps an integer as a float value (the model's numeric domain).
+func Int(i int64) Value { return Value{Kind: KindFloat, F: float64(i)} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Null is the NULL value.
+func Null() Value { return Value{} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat returns the numeric content, and whether the value is numeric.
+func (v Value) AsFloat() (float64, bool) { return v.F, v.Kind == KindFloat }
+
+// Compare orders two values of the same kind: -1, 0, +1.  Values of
+// different kinds compare by kind (NULL < float < string < bool).
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindFloat:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+	case KindString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+	case KindBool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	default:
+		return "NULL"
+	}
+}
+
+// GoString aids debugging output in tests.
+func (v Value) GoString() string { return fmt.Sprintf("most.Value(%s)", v.String()) }

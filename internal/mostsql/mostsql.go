@@ -1,0 +1,292 @@
+// Package mostsql implements §5.1 of the paper: the MOST system layered on
+// top of an existing (non-temporal) DBMS.  Each dynamic attribute A is
+// stored as three ordinary columns A_value, A_updatetime and A_function;
+// queries that reference A directly are intercepted, decomposed into
+// dynamic-free queries for the underlying DBMS, and post-processed:
+//
+//   - a reference to A in the SELECT clause is replaced by its three
+//     sub-attributes, and the MOST layer computes A's current value before
+//     returning the rows;
+//   - an atom p over dynamic attributes in the WHERE clause is eliminated
+//     via the equivalence F = (F' AND p) OR (F” AND NOT p), where F' is F
+//     with p replaced by true and F” with p replaced by false; with k
+//     dynamic atoms this evaluates up to 2^k dynamic-free queries;
+//   - with a dynamic-attribute index available, instead of evaluating p on
+//     every retrieved tuple, the tuples satisfying p are fetched from the
+//     index and joined on the table key.
+package mostsql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// TableInfo describes a MOST table: which columns are static and which
+// names denote dynamic attributes (each backed by three DBMS columns).
+type TableInfo struct {
+	Name    string
+	Key     string
+	Static  []string
+	Dynamic []string
+
+	dynamic map[string]bool
+}
+
+// IsDynamic reports whether name is one of the table's dynamic attributes.
+func (ti *TableInfo) IsDynamic(name string) bool { return ti.dynamic[name] }
+
+// Sub-attribute column names for a dynamic attribute.
+func valueCol(a string) string  { return a + "_value" }
+func updateCol(a string) string { return a + "_updatetime" }
+func funcCol(a string) string   { return a + "_function" }
+
+// System is the MOST wrapper around an underlying store.
+type System struct {
+	store *relstore.Store
+	now   func() temporal.Tick
+
+	mu      sync.Mutex
+	tables  map[string]*TableInfo
+	indexes map[string]*index.AttrIndex // "table\x00attr"
+
+	queriesIssued int
+}
+
+// New wraps a store; now supplies the current clock tick (the MOST layer
+// computes dynamic values "at the time the query is entered").
+func New(store *relstore.Store, now func() temporal.Tick) *System {
+	return &System{
+		store:   store,
+		now:     now,
+		tables:  map[string]*TableInfo{},
+		indexes: map[string]*index.AttrIndex{},
+	}
+}
+
+// QueriesIssued returns how many queries were submitted to the underlying
+// DBMS since the last ResetCounters — the cost measure of the §5.1
+// decomposition (up to 2^k dynamic-free queries for k dynamic atoms).
+func (s *System) QueriesIssued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queriesIssued
+}
+
+// ResetCounters zeroes the query counter.
+func (s *System) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queriesIssued = 0
+}
+
+func (s *System) countQuery() {
+	s.mu.Lock()
+	s.queriesIssued++
+	s.mu.Unlock()
+}
+
+// CreateTable declares a MOST table with the given key column, static
+// columns and dynamic attributes.
+func (s *System) CreateTable(name, key string, static, dynamic []string) (*TableInfo, error) {
+	cols := []string{key}
+	cols = append(cols, static...)
+	for _, a := range dynamic {
+		cols = append(cols, valueCol(a), updateCol(a), funcCol(a))
+	}
+	if _, err := s.store.CreateTable(name, cols...); err != nil {
+		return nil, err
+	}
+	ti := &TableInfo{
+		Name:    name,
+		Key:     key,
+		Static:  append([]string{}, static...),
+		Dynamic: append([]string{}, dynamic...),
+		dynamic: map[string]bool{},
+	}
+	for _, a := range dynamic {
+		ti.dynamic[a] = true
+	}
+	s.mu.Lock()
+	s.tables[name] = ti
+	s.mu.Unlock()
+	return ti, nil
+}
+
+// tableInfo fetches the MOST metadata of a table.
+func (s *System) tableInfo(name string) (*TableInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ti, ok := s.tables[name]
+	return ti, ok
+}
+
+// Insert adds an object row.
+func (s *System) Insert(table string, key relstore.Value, static map[string]relstore.Value, dynamic map[string]motion.DynamicAttr) error {
+	ti, ok := s.tableInfo(table)
+	if !ok {
+		return fmt.Errorf("mostsql: no MOST table %s", table)
+	}
+	t, _ := s.store.Table(table)
+	row := make(relstore.Row, 0, len(t.Columns))
+	row = append(row, key)
+	for _, c := range ti.Static {
+		row = append(row, static[c])
+	}
+	for _, a := range ti.Dynamic {
+		d := dynamic[a]
+		row = append(row,
+			relstore.Num(d.Value),
+			relstore.Num(float64(d.UpdateTime)),
+			relstore.Str(d.Function.String()),
+		)
+	}
+	if err := t.Insert(row); err != nil {
+		return err
+	}
+	for _, a := range ti.Dynamic {
+		if ix := s.indexFor(table, a); ix != nil {
+			if err := ix.Insert(keyID(key), dynamic[a]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateDynamic explicitly updates a dynamic attribute of the row with the
+// given key, updating any index on it.
+func (s *System) UpdateDynamic(table string, key relstore.Value, attr string, d motion.DynamicAttr) error {
+	ti, ok := s.tableInfo(table)
+	if !ok {
+		return fmt.Errorf("mostsql: no MOST table %s", table)
+	}
+	if !ti.IsDynamic(attr) {
+		return fmt.Errorf("mostsql: %s.%s is not a dynamic attribute", table, attr)
+	}
+	stmt := fmt.Sprintf("UPDATE %s SET %s = %s, %s = %s, %s = '%s' WHERE %s = %s",
+		table,
+		valueCol(attr), relstore.Num(d.Value).String(),
+		updateCol(attr), relstore.Num(float64(d.UpdateTime)).String(),
+		funcCol(attr), d.Function.String(),
+		ti.Key, renderValue(key),
+	)
+	s.countQuery()
+	rs, err := s.store.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	if rs.Rows[0][0] == relstore.Num(0) {
+		return fmt.Errorf("mostsql: no row in %s with key %s", table, key)
+	}
+	if ix := s.indexFor(table, attr); ix != nil {
+		return ix.Update(keyID(key), d, d.UpdateTime)
+	}
+	return nil
+}
+
+// CreateDynamicIndex attaches a §4 dynamic-attribute index to table.attr,
+// built from the current rows, covering [base, base+T).
+func (s *System) CreateDynamicIndex(table, attr string, base, T temporal.Tick) error {
+	ti, ok := s.tableInfo(table)
+	if !ok {
+		return fmt.Errorf("mostsql: no MOST table %s", table)
+	}
+	if !ti.IsDynamic(attr) {
+		return fmt.Errorf("mostsql: %s.%s is not a dynamic attribute", table, attr)
+	}
+	ix := index.NewAttrIndex(base, T)
+	t, _ := s.store.Table(table)
+	ki, _ := t.ColIndex(ti.Key)
+	var ierr error
+	t.Scan(func(r relstore.Row) bool {
+		d, err := rowDynamicAttr(t, r, attr)
+		if err != nil {
+			ierr = err
+			return false
+		}
+		if err := ix.Insert(keyID(r[ki]), d); err != nil {
+			ierr = err
+			return false
+		}
+		return true
+	})
+	if ierr != nil {
+		return ierr
+	}
+	s.mu.Lock()
+	s.indexes[table+"\x00"+attr] = ix
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *System) indexFor(table, attr string) *index.AttrIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.indexes[table+"\x00"+attr]
+}
+
+// keyID converts a key value to an object id for the index.
+func keyID(v relstore.Value) most.ObjectID { return most.ObjectID(v.String()) }
+
+func renderValue(v relstore.Value) string {
+	if v.Kind == relstore.KStr {
+		return "'" + v.S + "'"
+	}
+	return v.String()
+}
+
+// rowDynamicAttr reconstructs a dynamic attribute from its three columns.
+func rowDynamicAttr(t *relstore.Table, r relstore.Row, attr string) (motion.DynamicAttr, error) {
+	vi, ok := t.ColIndex(valueCol(attr))
+	if !ok {
+		return motion.DynamicAttr{}, fmt.Errorf("mostsql: missing column %s", valueCol(attr))
+	}
+	ui, _ := t.ColIndex(updateCol(attr))
+	fi, _ := t.ColIndex(funcCol(attr))
+	f, err := motion.ParseFunc(r[fi].S)
+	if err != nil {
+		return motion.DynamicAttr{}, err
+	}
+	return motion.DynamicAttr{
+		Value:      r[vi].F,
+		UpdateTime: temporal.Tick(r[ui].F),
+		Function:   f,
+	}, nil
+}
+
+// dynamicRefs returns the dynamic attribute names referenced by e.
+func dynamicRefs(e relstore.Expr, ti *TableInfo) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(relstore.Expr)
+	walk = func(e relstore.Expr) {
+		switch n := e.(type) {
+		case relstore.ColExpr:
+			_, col := n.Parts()
+			if ti.IsDynamic(col) && !seen[col] {
+				seen[col] = true
+				out = append(out, col)
+			}
+		case relstore.BinExpr:
+			_, l, r := n.Parts()
+			walk(l)
+			walk(r)
+		case relstore.NotExpr:
+			walk(n.Inner())
+		}
+	}
+	walk(e)
+	return out
+}
+
+// errNoMOSTTable formats the common error.
+func errNoMOSTTable(names []string) error {
+	return fmt.Errorf("mostsql: FROM must name exactly one MOST table, got %s", strings.Join(names, ", "))
+}

@@ -1,0 +1,298 @@
+package mostsql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// fixture builds a MOST system over a vehicles table with a dynamic X
+// position and static price.
+func fixture(t *testing.T) (*System, *temporal.Tick) {
+	t.Helper()
+	now := temporal.Tick(0)
+	s := New(relstore.NewStore(), func() temporal.Tick { return now })
+	if _, err := s.CreateTable("vehicles", "id", []string{"price"}, []string{"X"}); err != nil {
+		t.Fatal(err)
+	}
+	return s, &now
+}
+
+func addVehicle(t *testing.T, s *System, id string, price, x0, vx float64) {
+	t.Helper()
+	err := s.Insert("vehicles", relstore.Str(id),
+		map[string]relstore.Value{"price": relstore.Num(price)},
+		map[string]motion.DynamicAttr{"X": motion.LinearFrom(x0, 0, vx)})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func column(rs *relstore.ResultSet, col string) []string {
+	ci := -1
+	for i, c := range rs.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	var out []string
+	for _, r := range rs.Rows {
+		out = append(out, r[ci].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPassThroughStaticQuery(t *testing.T) {
+	s, _ := fixture(t)
+	addVehicle(t, s, "a", 50, 0, 1)
+	addVehicle(t, s, "b", 150, 0, 1)
+	s.ResetCounters()
+	rs, err := s.Query("SELECT id FROM vehicles WHERE price <= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("rows = %v", got)
+	}
+	if s.QueriesIssued() != 1 {
+		t.Fatalf("static query issued %d DBMS queries", s.QueriesIssued())
+	}
+}
+
+func TestSelectClauseDynamicValue(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "a", 50, 10, 2)
+	*now = 5
+	rs, err := s.Query("SELECT id, X FROM vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][1] != relstore.Num(20) {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	// The answer tracks the clock without any update.
+	*now = 10
+	rs, err = s.Query("SELECT X FROM vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0] != relstore.Num(30) {
+		t.Fatalf("at t=10: %v", rs.Rows)
+	}
+}
+
+func TestWhereSingleDynamicAtom(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "fast", 50, 0, 10)  // X(5) = 50
+	addVehicle(t, s, "slow", 50, 0, 1)   // X(5) = 5
+	addVehicle(t, s, "rich", 999, 0, 10) // filtered by price
+	*now = 5
+	s.ResetCounters()
+	rs, err := s.Query("SELECT id FROM vehicles WHERE X >= 40 AND price <= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 1 || got[0] != "fast" {
+		t.Fatalf("rows = %v", got)
+	}
+	// One dynamic atom: 2^1 = 2 underlying queries.
+	if s.QueriesIssued() != 2 {
+		t.Fatalf("issued %d queries, want 2", s.QueriesIssued())
+	}
+}
+
+func TestWhereMultipleAtoms2k(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "a", 10, 0, 1)
+	addVehicle(t, s, "b", 10, 100, -1)
+	*now = 10
+	s.ResetCounters()
+	// Two dynamic atoms: 4 underlying queries.
+	rs, err := s.Query("SELECT id FROM vehicles WHERE X >= 5 AND X <= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("rows = %v", got)
+	}
+	if s.QueriesIssued() != 4 {
+		t.Fatalf("issued %d queries, want 4", s.QueriesIssued())
+	}
+}
+
+func TestWhereDisjunctionWithDynamicAtom(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "near", 999, 0, 1)
+	addVehicle(t, s, "cheap", 10, -500, 0)
+	addVehicle(t, s, "neither", 999, -500, 0)
+	*now = 5
+	rs, err := s.Query("SELECT id FROM vehicles WHERE X >= 0 OR price <= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 2 || got[0] != "cheap" || got[1] != "near" {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestUpdateDynamicRedirects(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "a", 10, 0, 1)
+	*now = 10 // X = 10
+	if err := s.UpdateDynamic("vehicles", relstore.Str("a"), "X", motion.LinearFrom(10, 10, -1)); err != nil {
+		t.Fatal(err)
+	}
+	*now = 15
+	rs, err := s.Query("SELECT X FROM vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0] != relstore.Num(5) {
+		t.Fatalf("after update X = %v", rs.Rows)
+	}
+	if err := s.UpdateDynamic("vehicles", relstore.Str("ghost"), "X", motion.Static(0)); err == nil {
+		t.Fatal("updating a missing key should fail")
+	}
+	if err := s.UpdateDynamic("vehicles", relstore.Str("a"), "price", motion.Static(0)); err == nil {
+		t.Fatal("updating a static attribute as dynamic should fail")
+	}
+}
+
+func TestSubAttributesDirectlyQueryable(t *testing.T) {
+	// §2.1: "the user can ask for the objects for which
+	// X.POSITION.function = 5t".
+	s, _ := fixture(t)
+	addVehicle(t, s, "five", 0, 0, 5)
+	addVehicle(t, s, "three", 0, 0, 3)
+	rs, err := s.Query("SELECT id FROM vehicles WHERE X_function = '5t'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 1 || got[0] != "five" {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestQueryWithIndexMatchesWithout(t *testing.T) {
+	s, now := fixture(t)
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		addVehicle(t, s, fmt.Sprintf("v%03d", i),
+			float64(r.Intn(200)), float64(r.Intn(100)-50), float64(r.Intn(9)-4))
+	}
+	if err := s.CreateDynamicIndex("vehicles", "X", 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT id FROM vehicles WHERE X >= 20",
+		"SELECT id FROM vehicles WHERE X < -10 AND price <= 100",
+		"SELECT id FROM vehicles WHERE X >= -5 AND X <= 5",
+		"SELECT id FROM vehicles WHERE 30 <= X",
+		"SELECT id FROM vehicles WHERE X = 0",
+	}
+	for _, tick := range []temporal.Tick{0, 7, 33} {
+		*now = tick
+		for _, q := range queries {
+			plain, err := s.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			indexed, err := s.QueryWithIndex(q)
+			if err != nil {
+				t.Fatalf("%s (indexed): %v", q, err)
+			}
+			a, b := column(plain, "id"), column(indexed, "id")
+			if len(a) != len(b) {
+				t.Fatalf("t=%d %s: plain %d rows, indexed %d rows", tick, q, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("t=%d %s: %v vs %v", tick, q, a, b)
+				}
+			}
+		}
+	}
+	// Index stays consistent under updates.
+	*now = 40
+	if err := s.UpdateDynamic("vehicles", relstore.Str("v000"), "X", motion.LinearFrom(1000, 40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.QueryWithIndex("SELECT id FROM vehicles WHERE X >= 900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := column(rs, "id"); len(got) != 1 || got[0] != "v000" {
+		t.Fatalf("after update = %v", got)
+	}
+}
+
+func TestStarSelectComputesDynamics(t *testing.T) {
+	s, now := fixture(t)
+	addVehicle(t, s, "a", 42, 7, 3)
+	*now = 1
+	rs, err := s.Query("SELECT * FROM vehicles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 3 || rs.Columns[2] != "X" {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	if rs.Rows[0][2] != relstore.Num(10) {
+		t.Fatalf("X = %v", rs.Rows[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := fixture(t)
+	if _, err := s.Query("SELECT id FROM a, b"); err == nil {
+		t.Error("multi-table MOST query should fail")
+	}
+	if _, err := s.Query("not sql"); err == nil {
+		t.Error("bad sql should fail")
+	}
+	if err := s.Insert("missing", relstore.Str("k"), nil, nil); err == nil {
+		t.Error("insert into unknown MOST table should fail")
+	}
+	if err := s.CreateDynamicIndex("missing", "X", 0, 10); err == nil {
+		t.Error("index on unknown table should fail")
+	}
+	if err := s.CreateDynamicIndex("vehicles", "price", 0, 10); err == nil {
+		t.Error("index on static column should fail")
+	}
+	// Pass-through for non-MOST tables still works.
+	s.store.MustExec("CREATE TABLE plain (a)")
+	s.store.MustExec("INSERT INTO plain VALUES (1)")
+	rs, err := s.Query("SELECT a FROM plain")
+	if err != nil || len(rs.Rows) != 1 {
+		t.Fatalf("pass-through: %v %v", rs, err)
+	}
+}
+
+func TestParseFuncRoundTrip(t *testing.T) {
+	funcs := []motion.Func{
+		motion.Constant(),
+		motion.Linear(5),
+		motion.Linear(-2.5),
+		motion.MustFunc(motion.Piece{Start: 0, Slope: 1}, motion.Piece{Start: 10, Slope: -3}),
+	}
+	for _, f := range funcs {
+		got, err := motion.ParseFunc(f.String())
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !got.Equal(f) {
+			t.Errorf("round trip %s -> %s", f, got)
+		}
+	}
+	for _, bad := range []string{"x", "{5t", "{a:1t}", "{0:xt}", "5"} {
+		if _, err := motion.ParseFunc(bad); err == nil {
+			t.Errorf("ParseFunc(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package mostsql
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// Query processes a MOST query per §5.1.  Queries are SELECTs over exactly
+// one MOST table and may reference dynamic attributes by name in both the
+// SELECT and WHERE clauses; sub-attribute columns (A_value, A_updatetime,
+// A_function) remain directly addressable.  useIndex selects the
+// index-assisted variant for atoms of the form A op constant when a
+// dynamic-attribute index exists.
+func (s *System) Query(sql string) (*relstore.ResultSet, error) {
+	return s.query(sql, false)
+}
+
+// QueryWithIndex is Query using available dynamic-attribute indexes.
+func (s *System) QueryWithIndex(sql string) (*relstore.ResultSet, error) {
+	return s.query(sql, true)
+}
+
+func (s *System) query(sql string, useIndex bool) (*relstore.ResultSet, error) {
+	stmt, err := relstore.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.Tables) != 1 {
+		return nil, errNoMOSTTable(stmt.Tables)
+	}
+	ti, ok := s.tableInfo(stmt.Tables[0])
+	if !ok {
+		// Not a MOST table: pass the query through untouched.
+		s.countQuery()
+		return s.store.Exec(sql)
+	}
+
+	// Fast path: no dynamic references anywhere — pass through (§5.1: "if
+	// the query does not contain a reference to a dynamic attribute ...
+	// the query is simply passed to the DBMS").
+	hasDynamicTargets := false
+	if !stmt.Star {
+		for _, tgt := range stmt.Targets {
+			if len(dynamicRefs(tgt.Expr, ti)) > 0 {
+				hasDynamicTargets = true
+				break
+			}
+		}
+	} else {
+		hasDynamicTargets = len(ti.Dynamic) > 0
+	}
+	var whereAtoms []relstore.Expr
+	if stmt.Where != nil {
+		whereAtoms = collectDynamicAtoms(stmt.Where, ti)
+	}
+	if !hasDynamicTargets && len(whereAtoms) == 0 {
+		s.countQuery()
+		return s.store.Exec(sql)
+	}
+
+	now := s.now()
+	t, _ := s.store.Table(ti.Name)
+
+	// Decompose the WHERE clause: evaluate up to 2^k dynamic-free queries.
+	type branch struct {
+		where      relstore.Expr
+		polarities []bool
+	}
+	var rows []relstore.Row
+	var rec func(b branch, remaining []relstore.Expr) error
+	rec = func(b branch, remaining []relstore.Expr) error {
+		if len(remaining) > 0 {
+			p := remaining[0]
+			tr := branch{where: substituteAtom(b.where, p, relstore.Lit(relstore.Bool(true))), polarities: append(append([]bool{}, b.polarities...), true)}
+			fa := branch{where: substituteAtom(b.where, p, relstore.Lit(relstore.Bool(false))), polarities: append(append([]bool{}, b.polarities...), false)}
+			if err := rec(tr, remaining[1:]); err != nil {
+				return err
+			}
+			return rec(fa, remaining[1:])
+		}
+		// Leaf: dynamic-free query against the DBMS.  The target list is
+		// widened to the full row (sub-attributes plus key) so the MOST
+		// layer can evaluate the eliminated atoms on each returned tuple.
+		leaf := &relstore.SelectStmt{Star: true, Tables: []string{ti.Name}, Where: b.where}
+		s.countQuery()
+		rs, err := s.store.Exec(leaf.SQL())
+		if err != nil {
+			return err
+		}
+		// Per-atom satisfier sets from indexes, when requested.
+		var indexSets []map[string]bool
+		if useIndex {
+			indexSets = make([]map[string]bool, len(whereAtoms))
+			for i, atom := range whereAtoms {
+				indexSets[i] = s.indexSatisfiers(ti, atom, now)
+			}
+		}
+		for _, row := range rs.Rows {
+			keep := true
+			for i, atom := range whereAtoms {
+				var sat bool
+				if useIndex && indexSets != nil && indexSets[i] != nil {
+					ki, _ := t.ColIndex(ti.Key)
+					sat = indexSets[i][row[ki].String()]
+				} else {
+					v, err := s.evalOnRow(atom, ti, t, row, now)
+					if err != nil {
+						return err
+					}
+					if v.Kind != relstore.KBool {
+						return fmt.Errorf("mostsql: dynamic atom is not boolean")
+					}
+					sat = v.B
+				}
+				if sat != b.polarities[i] {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				rows = append(rows, row)
+			}
+		}
+		return nil
+	}
+	if err := rec(branch{where: stmt.Where}, whereAtoms); err != nil {
+		return nil, err
+	}
+
+	// Project onto the original target list, computing dynamic values.
+	out := &relstore.ResultSet{}
+	if stmt.Star {
+		out.Columns = append(out.Columns, ti.Key)
+		out.Columns = append(out.Columns, ti.Static...)
+		out.Columns = append(out.Columns, ti.Dynamic...)
+	} else {
+		for _, tgt := range stmt.Targets {
+			out.Columns = append(out.Columns, tgt.Name)
+		}
+	}
+	for _, row := range rows {
+		var orow relstore.Row
+		if stmt.Star {
+			ki, _ := t.ColIndex(ti.Key)
+			orow = append(orow, row[ki])
+			for _, c := range ti.Static {
+				ci, _ := t.ColIndex(c)
+				orow = append(orow, row[ci])
+			}
+			for _, a := range ti.Dynamic {
+				d, err := rowDynamicAttr(t, row, a)
+				if err != nil {
+					return nil, err
+				}
+				orow = append(orow, relstore.Num(d.At(now)))
+			}
+		} else {
+			for _, tgt := range stmt.Targets {
+				v, err := s.evalOnRow(tgt.Expr, ti, t, row, now)
+				if err != nil {
+					return nil, err
+				}
+				orow = append(orow, v)
+			}
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	return out, nil
+}
+
+// evalOnRow evaluates an expression over one fetched row, substituting
+// dynamic attribute references by their value at time now.
+func (s *System) evalOnRow(e relstore.Expr, ti *TableInfo, t *relstore.Table, row relstore.Row, now temporal.Tick) (relstore.Value, error) {
+	return relstore.EvalExpr(e, func(_, col string) (relstore.Value, error) {
+		if ti.IsDynamic(col) {
+			d, err := rowDynamicAttr(t, row, col)
+			if err != nil {
+				return relstore.Value{}, err
+			}
+			return relstore.Num(d.At(now)), nil
+		}
+		ci, ok := t.ColIndex(col)
+		if !ok {
+			return relstore.Value{}, fmt.Errorf("mostsql: unknown column %s", col)
+		}
+		return row[ci], nil
+	})
+}
+
+// collectDynamicAtoms returns the maximal comparison atoms of the WHERE
+// clause that reference a dynamic attribute (§5.1's "atoms that refer to
+// dynamic attributes").
+func collectDynamicAtoms(e relstore.Expr, ti *TableInfo) []relstore.Expr {
+	var out []relstore.Expr
+	var walk func(relstore.Expr)
+	walk = func(e relstore.Expr) {
+		switch n := e.(type) {
+		case relstore.BinExpr:
+			op, l, r := n.Parts()
+			switch op {
+			case "AND", "OR":
+				walk(l)
+				walk(r)
+			default:
+				if len(dynamicRefs(n, ti)) > 0 {
+					out = append(out, n)
+				}
+			}
+		case relstore.NotExpr:
+			walk(n.Inner())
+		}
+	}
+	walk(e)
+	return out
+}
+
+// substituteAtom replaces every occurrence of atom in e by repl (atoms are
+// compared structurally via their SQL rendering).
+func substituteAtom(e, atom, repl relstore.Expr) relstore.Expr {
+	if e == nil {
+		return nil
+	}
+	if relstore.SQLString(e) == relstore.SQLString(atom) {
+		return repl
+	}
+	switch n := e.(type) {
+	case relstore.BinExpr:
+		op, l, r := n.Parts()
+		return relstore.Bin(op, substituteAtom(l, atom, repl), substituteAtom(r, atom, repl))
+	case relstore.NotExpr:
+		return relstore.Not(substituteAtom(n.Inner(), atom, repl))
+	default:
+		return e
+	}
+}
+
+// indexSatisfiers answers atom via a dynamic-attribute index when the atom
+// has the shape A op constant and an index on A exists; it returns nil when
+// the index path does not apply.  Candidates from the index probe are
+// verified exactly, so strict operators are handled correctly.
+func (s *System) indexSatisfiers(ti *TableInfo, atom relstore.Expr, now temporal.Tick) map[string]bool {
+	bin, ok := atom.(relstore.BinExpr)
+	if !ok {
+		return nil
+	}
+	op, l, r := bin.Parts()
+	colE, okL := l.(relstore.ColExpr)
+	litE, okR := r.(relstore.LitExpr)
+	if !okL || !okR {
+		// Try constant op column.
+		if litE2, ok2 := l.(relstore.LitExpr); ok2 {
+			if colE2, ok3 := r.(relstore.ColExpr); ok3 {
+				colE, litE = colE2, litE2
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+				okL, okR = true, true
+			}
+		}
+		if !okL || !okR {
+			return nil
+		}
+	}
+	_, col := colE.Parts()
+	if !ti.IsDynamic(col) || litE.Value().Kind != relstore.KNum {
+		return nil
+	}
+	ix := s.indexFor(ti.Name, col)
+	if ix == nil {
+		return nil
+	}
+	c := litE.Value().F
+	var lo, hi float64
+	switch op {
+	case "=", "<=", "<":
+		lo, hi = math.Inf(-1), c
+		if op == "=" {
+			lo = c
+		}
+	case ">=", ">":
+		lo, hi = c, math.Inf(1)
+	default:
+		return nil
+	}
+	out := map[string]bool{}
+	for _, id := range ix.InstantQuery(lo, hi, now) {
+		out[string(id)] = true
+	}
+	if op == "<" || op == ">" {
+		// Exclude the exact-boundary candidates.
+		for _, id := range ix.InstantQuery(c, c, now) {
+			delete(out, string(id))
+		}
+	}
+	return out
+}

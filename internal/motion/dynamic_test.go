@@ -1,0 +1,241 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestDynamicAttrAt(t *testing.T) {
+	// Paper §2.3's example object: X.POSITION changes according to 5t.
+	a := LinearFrom(0, 0, 5)
+	for tick, want := range map[temporal.Tick]float64{0: 0, 1: 5, 10: 50} {
+		if got := a.At(tick); got != want {
+			t.Errorf("At(%d) = %v, want %v", tick, got, want)
+		}
+	}
+	if got := a.SpeedAt(7); got != 5 {
+		t.Errorf("SpeedAt = %v, want 5", got)
+	}
+	s := Static(42)
+	if s.At(0) != 42 || s.At(1000) != 42 {
+		t.Error("static attribute must not drift")
+	}
+}
+
+func TestDynamicAttrUpdate(t *testing.T) {
+	// Paper §2.3: function 5t, updated to 7t after one minute, then 10t.
+	a := LinearFrom(0, 0, 5)
+	a = a.Updated(1, Linear(7))
+	if a.Value != 5 || a.UpdateTime != 1 {
+		t.Fatalf("after first update: %+v", a)
+	}
+	a = a.Updated(2, Linear(10))
+	if a.Value != 12 || a.UpdateTime != 2 {
+		t.Fatalf("after second update: %+v", a)
+	}
+	if got := a.At(3); got != 22 {
+		t.Errorf("At(3) = %v, want 22", got)
+	}
+	if got := a.SpeedAt(2); got != 10 {
+		t.Errorf("speed after updates = %v, want 10", got)
+	}
+	b := a.SetAt(5, 100, Linear(-1))
+	if b.At(5) != 100 || b.At(7) != 98 {
+		t.Errorf("SetAt: At(5)=%v At(7)=%v", b.At(5), b.At(7))
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	a := DynamicAttr{Value: 10, UpdateTime: 5, Function: MustFunc(Piece{0, 2, 0}, Piece{10, -1, 0})}
+	segs := a.Trajectory(5, 25)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if segs[0].T0 != 5 || segs[0].T1 != 15 || segs[0].V0 != 10 || segs[0].Slope != 2 {
+		t.Errorf("seg0 = %+v", segs[0])
+	}
+	if segs[1].T0 != 15 || segs[1].T1 != 25 || segs[1].V0 != 30 || segs[1].Slope != -1 {
+		t.Errorf("seg1 = %+v", segs[1])
+	}
+	// Bounds of a decreasing segment order the values.
+	tMin, tMax, vMin, vMax := segs[1].Bounds()
+	if tMin != 15 || tMax != 25 || vMin != 20 || vMax != 30 {
+		t.Errorf("Bounds = %v %v %v %v", tMin, tMax, vMin, vMax)
+	}
+	// Clipped window.
+	segs = a.Trajectory(7, 9)
+	if len(segs) != 1 || segs[0].V0 != 14 {
+		t.Errorf("clipped = %+v", segs)
+	}
+	if got := a.Trajectory(9, 7); got != nil {
+		t.Errorf("inverted window = %+v", got)
+	}
+}
+
+func TestRangeTimes(t *testing.T) {
+	// A(t) = 5t from time 0: in [4,5] during t in [0.8, 1].
+	a := LinearFrom(0, 0, 5)
+	got := a.RangeTimes(4, 5, 0, 100)
+	ivs := got.Intervals()
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-0.8) > 1e-9 || math.Abs(ivs[0].Hi-1) > 1e-9 {
+		t.Fatalf("RangeTimes = %v", ivs)
+	}
+	// Piecewise up-down crosses the band twice.
+	b := DynamicAttr{Value: 0, UpdateTime: 0, Function: MustFunc(Piece{0, 1, 0}, Piece{20, -1, 0})}
+	got = b.RangeTimes(5, 10, 0, 40)
+	if len(got.Intervals()) != 2 {
+		t.Fatalf("up-down RangeTimes = %v", got.Intervals())
+	}
+	// Constant inside the band holds everywhere.
+	if got := Static(7).RangeTimes(5, 10, 0, 9); got.IsEmpty() {
+		t.Fatal("constant in band should hold")
+	}
+	if got := Static(70).RangeTimes(5, 10, 0, 9); !got.IsEmpty() {
+		t.Fatal("constant out of band should not hold")
+	}
+}
+
+func TestCompareTicksStrictness(t *testing.T) {
+	// A(t) = 5t: A(2) == 10 exactly.
+	a := LinearFrom(0, 0, 5)
+	w := temporal.Interval{Start: 0, End: 10}
+
+	le, err := a.CompareTicks("<=", 10, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !le.Equal(temporal.NewSet(temporal.Interval{Start: 0, End: 2})) {
+		t.Errorf("<= 10 ticks = %s", le)
+	}
+	lt, err := a.CompareTicks("<", 10, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lt.Equal(temporal.NewSet(temporal.Interval{Start: 0, End: 1})) {
+		t.Errorf("< 10 ticks = %s", lt)
+	}
+	eq, err := a.CompareTicks("=", 10, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Equal(temporal.SinglePoint(2)) {
+		t.Errorf("= 10 ticks = %s", eq)
+	}
+	ne, err := a.CompareTicks("!=", 10, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Contains(2) || !ne.Contains(1) || !ne.Contains(3) {
+		t.Errorf("!= 10 ticks = %s", ne)
+	}
+	if _, err := a.CompareTicks("~", 10, w); err == nil {
+		t.Error("unknown operator should fail")
+	}
+}
+
+func TestCompareTicksBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	w := temporal.Interval{Start: 0, End: 50}
+	ops := []string{"<", "<=", ">", ">=", "=", "!="}
+	for i := 0; i < 200; i++ {
+		a := DynamicAttr{
+			Value:      float64(r.Intn(41) - 20),
+			UpdateTime: temporal.Tick(r.Intn(10)),
+			Function:   randomFunc(r),
+		}
+		c := float64(r.Intn(81) - 40)
+		for _, op := range ops {
+			got, err := a.CompareTicks(op, c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tick := w.Start; tick <= w.End; tick++ {
+				v := a.At(tick)
+				var want bool
+				switch op {
+				case "<":
+					want = v < c
+				case "<=":
+					want = v <= c
+				case ">":
+					want = v > c
+				case ">=":
+					want = v >= c
+				case "=":
+					want = v == c
+				case "!=":
+					want = v != c
+				}
+				if got.Contains(tick) != want {
+					if math.Abs(v-c) < 1e-6 {
+						continue // float noise at the boundary
+					}
+					t.Fatalf("case %d op %s tick %d: got %v want %v (v=%v c=%v attr=%+v)",
+						i, op, tick, got.Contains(tick), want, v, c, a)
+				}
+			}
+		}
+	}
+}
+
+func TestPosition(t *testing.T) {
+	p := MovingFrom(geom.Point{X: 0, Y: 0}, geom.Vector{X: 1, Y: 2}, 0)
+	if got := p.At(10); got != (geom.Point{X: 10, Y: 20}) {
+		t.Errorf("At(10) = %v", got)
+	}
+	if got := p.VelocityAt(5); got != (geom.Vector{X: 1, Y: 2}) {
+		t.Errorf("VelocityAt = %v", got)
+	}
+	// Retarget at t=10: continuity preserved, new vector applies after.
+	p2 := p.Retarget(10, geom.Vector{X: -1, Y: 0})
+	if got := p2.At(10); got != (geom.Point{X: 10, Y: 20}) {
+		t.Errorf("position must be continuous across retarget, got %v", got)
+	}
+	if got := p2.At(12); got != (geom.Point{X: 8, Y: 20}) {
+		t.Errorf("At(12) after retarget = %v", got)
+	}
+	p3 := p.Teleport(10, geom.Point{X: 100, Y: 100}, geom.Vector{})
+	if got := p3.At(20); got != (geom.Point{X: 100, Y: 100}) {
+		t.Errorf("teleport = %v", got)
+	}
+}
+
+func TestPositionStaticHelper(t *testing.T) {
+	p := PositionAt(geom.Point{X: 3, Y: 4, Z: 5}, 7)
+	if got := p.At(100); got != (geom.Point{X: 3, Y: 4, Z: 5}) {
+		t.Errorf("static position drifted: %v", got)
+	}
+	if !p.VelocityAt(8).IsZero() {
+		t.Error("static position should have zero velocity")
+	}
+}
+
+func TestMovingPointsOver(t *testing.T) {
+	// X has a breakpoint at absolute time 10 (speed 1 then 3).
+	p := Position{
+		X: DynamicAttr{Value: 0, UpdateTime: 0, Function: MustFunc(Piece{0, 1, 0}, Piece{10, 3, 0})},
+		Y: LinearFrom(5, 0, 0),
+	}
+	spans := p.MovingPointsOver(0, 20)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].From != 0 || spans[0].To != 10 || spans[0].MP.V.X != 1 {
+		t.Errorf("span0 = %+v", spans[0])
+	}
+	if spans[1].From != 10 || spans[1].To != 20 || spans[1].MP.V.X != 3 {
+		t.Errorf("span1 = %+v", spans[1])
+	}
+	// Spans agree with the position itself.
+	for _, s := range spans {
+		for tt := s.From; tt <= s.To; tt += 2.5 {
+			if d := geom.Dist(s.MP.At(tt), p.AtReal(tt)); d > 1e-9 {
+				t.Fatalf("span disagrees with position at %v by %v", tt, d)
+			}
+		}
+	}
+}

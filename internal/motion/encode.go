@@ -1,0 +1,72 @@
+package motion
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFunc parses the textual rendering produced by Func.String — "0",
+// "5t", or "{0:5t, 10:-2t}" — back into a Func.  It is how the
+// MOST-on-a-DBMS layer stores the A.function sub-attribute in an ordinary
+// string column (§5.1: "we store each dynamic attribute A as three DBMS
+// attributes A.value, A.updatetime, and A.function").
+func ParseFunc(s string) (Func, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return Constant(), nil
+	}
+	if !strings.HasPrefix(s, "{") {
+		// Single linear piece "5t".
+		if !strings.HasSuffix(s, "t") {
+			return Func{}, fmt.Errorf("motion: bad function %q", s)
+		}
+		slope, err := strconv.ParseFloat(strings.TrimSuffix(s, "t"), 64)
+		if err != nil {
+			return Func{}, fmt.Errorf("motion: bad function %q: %v", s, err)
+		}
+		return Linear(slope), nil
+	}
+	if !strings.HasSuffix(s, "}") {
+		return Func{}, fmt.Errorf("motion: bad function %q", s)
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	var pieces []Piece
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		colon := strings.Index(part, ":")
+		if colon < 0 {
+			return Func{}, fmt.Errorf("motion: bad function piece %q", part)
+		}
+		start, err := strconv.ParseFloat(part[:colon], 64)
+		if err != nil {
+			return Func{}, fmt.Errorf("motion: bad piece offset in %q: %v", part, err)
+		}
+		body := part[colon+1:]
+		accel := 0.0
+		if strings.HasSuffix(body, "t2") {
+			// Quadratic piece: "<slope>t<+accel>t2".
+			tPos := strings.Index(body, "t")
+			if tPos < 0 || tPos+1 >= len(body) {
+				return Func{}, fmt.Errorf("motion: bad quadratic piece %q", part)
+			}
+			accel, err = strconv.ParseFloat(strings.TrimSuffix(body[tPos+1:], "t2"), 64)
+			if err != nil {
+				return Func{}, fmt.Errorf("motion: bad piece acceleration in %q: %v", part, err)
+			}
+			body = body[:tPos+1]
+		}
+		if !strings.HasSuffix(body, "t") {
+			return Func{}, fmt.Errorf("motion: bad function piece %q", part)
+		}
+		slope, err := strconv.ParseFloat(strings.TrimSuffix(body, "t"), 64)
+		if err != nil {
+			return Func{}, fmt.Errorf("motion: bad piece slope in %q: %v", part, err)
+		}
+		pieces = append(pieces, Piece{Start: start, Slope: slope, Accel: accel})
+	}
+	return NewFunc(pieces...)
+}

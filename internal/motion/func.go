@@ -1,0 +1,208 @@
+// Package motion implements the paper's dynamic attributes (§2.1): "a
+// dynamic attribute A is represented by three sub-attributes, A.value,
+// A.updatetime, and A.function, where A.function is a function of a single
+// variable t that has value 0 at t = 0.  At time A.updatetime the value of
+// A is A.value, and until the next update of A the value of A at time
+// A.updatetime + t0 is given by A.value + A.function(t0)."
+//
+// Functions are piecewise polynomial: linear pieces are the paper's base
+// case ("for the sake of simplicity we assume that the functions are
+// linear"), and quadratic pieces — uniformly accelerating attributes — are
+// the nonlinear extension §4 anticipates ("the ideas can be extended to
+// nonlinear functions").  Range predicates, comparisons and both index
+// mechanisms solve quadratic pieces exactly; spatial POSITION attributes
+// remain piecewise linear (the kinetic polygon/distance solvers work on
+// straight paths).
+package motion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Piece is one polynomial segment of a Func: for offsets t in [Start, end
+// of piece), the instantaneous rate of change is Slope + Accel*(t-Start).
+// The value at Start is implied by continuity from the preceding pieces
+// (Func has value 0 at offset 0).  Linear motion has Accel == 0; a nonzero
+// Accel gives the quadratic (uniformly accelerating) extension the paper's
+// §4 anticipates: "the ideas can be extended to nonlinear functions".
+type Piece struct {
+	Start float64 // offset at which this piece begins
+	Slope float64 // value change per clock tick at the piece start
+	Accel float64 // change of the slope per clock tick
+}
+
+// Func is a continuous piecewise-polynomial (linear or quadratic) function
+// of a single variable t with f(0) = 0, defined for t >= 0 (the paper's
+// A.function).  The zero value is the constant-zero function.  Funcs are
+// immutable.
+type Func struct {
+	pieces []Piece // sorted by Start; empty means identically zero
+}
+
+// Linear returns the single-slope function f(t) = slope * t — the common
+// case: "the objects whose speed in the X direction is 5" have
+// X.POSITION.function = 5*t (§2.1).
+func Linear(slope float64) Func {
+	if slope == 0 {
+		return Func{}
+	}
+	return Func{pieces: []Piece{{Start: 0, Slope: slope}}}
+}
+
+// Constant returns the identically-zero function (a parked object).
+func Constant() Func { return Func{} }
+
+// Accelerating returns the single-piece quadratic function
+// f(t) = slope*t + accel*t^2/2 — an object with initial speed slope and
+// constant acceleration.
+func Accelerating(slope, accel float64) Func {
+	if slope == 0 && accel == 0 {
+		return Func{}
+	}
+	return Func{pieces: []Piece{{Start: 0, Slope: slope, Accel: accel}}}
+}
+
+// NewFunc builds a piecewise-polynomial function from pieces.  Pieces must have
+// non-negative, strictly increasing Start offsets; if the first piece does
+// not start at 0 a zero-slope lead-in is implied.
+func NewFunc(pieces ...Piece) (Func, error) {
+	ps := make([]Piece, len(pieces))
+	copy(ps, pieces)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	for i, p := range ps {
+		if p.Start < 0 {
+			return Func{}, fmt.Errorf("motion: piece %d starts at negative offset %v", i, p.Start)
+		}
+		if i > 0 && p.Start == ps[i-1].Start {
+			return Func{}, fmt.Errorf("motion: duplicate piece offset %v", p.Start)
+		}
+	}
+	if len(ps) > 0 && ps[0].Start > 0 {
+		ps = append([]Piece{{Start: 0, Slope: 0}}, ps...)
+	}
+	return Func{pieces: ps}, nil
+}
+
+// MustFunc is NewFunc that panics on error; for literals.
+func MustFunc(pieces ...Piece) Func {
+	f, err := NewFunc(pieces...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Pieces returns the function's pieces; the slice must not be modified.
+func (f Func) Pieces() []Piece { return f.pieces }
+
+// IsZero reports whether the function is identically zero.
+func (f Func) IsZero() bool {
+	for _, p := range f.pieces {
+		if p.Slope != 0 || p.Accel != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLinear reports whether every piece has zero acceleration.  Spatial
+// POSITION attributes require linear pieces (the kinetic polygon and
+// distance solvers work on straight paths).
+func (f Func) IsLinear() bool {
+	for _, p := range f.pieces {
+		if p.Accel != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns f(t).  For t < 0 (queries about instants before the last
+// update, which the MOST future-history semantics never produces) the first
+// piece is extrapolated backwards.
+func (f Func) Value(t float64) float64 {
+	if len(f.pieces) == 0 {
+		return 0
+	}
+	var v float64
+	for i, p := range f.pieces {
+		end := math.Inf(1)
+		if i+1 < len(f.pieces) {
+			end = f.pieces[i+1].Start
+		}
+		if t <= end || i == len(f.pieces)-1 {
+			d := t - p.Start
+			return v + p.Slope*d + p.Accel*d*d/2
+		}
+		d := end - p.Start
+		v += p.Slope*d + p.Accel*d*d/2
+	}
+	return v
+}
+
+// SlopeAt returns the slope in effect at offset t (the object's speed along
+// this attribute).  At a breakpoint the incoming piece's slope is reported
+// for t exactly at a piece start the new slope applies.
+func (f Func) SlopeAt(t float64) float64 {
+	if len(f.pieces) == 0 {
+		return 0
+	}
+	i := sort.Search(len(f.pieces), func(i int) bool { return f.pieces[i].Start > t })
+	if i == 0 {
+		i = 1
+	}
+	p := f.pieces[i-1]
+	return p.Slope + p.Accel*(t-p.Start)
+}
+
+// Scale returns the function t -> k * f(t).
+func (f Func) Scale(k float64) Func {
+	if len(f.pieces) == 0 || k == 1 {
+		return f
+	}
+	out := make([]Piece, len(f.pieces))
+	for i, p := range f.pieces {
+		out[i] = Piece{Start: p.Start, Slope: p.Slope * k, Accel: p.Accel * k}
+	}
+	return Func{pieces: out}
+}
+
+// Equal reports whether two functions have identical pieces (after zero
+// normalization they represent the same function).
+func (f Func) Equal(g Func) bool {
+	if f.IsZero() && g.IsZero() {
+		return true
+	}
+	if len(f.pieces) != len(g.pieces) {
+		return false
+	}
+	for i := range f.pieces {
+		if f.pieces[i] != g.pieces[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the function as "5t", "{0:1t, 3:2t}", or with quadratic
+// pieces "{0:5t+1t2}" (meaning slope 5, acceleration 1).
+func (f Func) String() string {
+	if f.IsZero() {
+		return "0"
+	}
+	if len(f.pieces) == 1 && f.pieces[0].Start == 0 && f.pieces[0].Accel == 0 {
+		return fmt.Sprintf("%gt", f.pieces[0].Slope)
+	}
+	parts := make([]string, len(f.pieces))
+	for i, p := range f.pieces {
+		if p.Accel != 0 {
+			parts[i] = fmt.Sprintf("%g:%gt%+gt2", p.Start, p.Slope, p.Accel)
+		} else {
+			parts[i] = fmt.Sprintf("%g:%gt", p.Start, p.Slope)
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,134 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearValue(t *testing.T) {
+	f := Linear(5)
+	for _, tc := range []struct{ t, want float64 }{{0, 0}, {1, 5}, {2.5, 12.5}, {-1, -5}} {
+		if got := f.Value(tc.t); got != tc.want {
+			t.Errorf("Value(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if !Constant().IsZero() || !Linear(0).IsZero() {
+		t.Error("zero functions should report IsZero")
+	}
+	if Linear(5).IsZero() {
+		t.Error("5t is not zero")
+	}
+}
+
+func TestNewFuncValidation(t *testing.T) {
+	if _, err := NewFunc(Piece{Start: -1, Slope: 2}); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := NewFunc(Piece{Start: 0, Slope: 1}, Piece{Start: 0, Slope: 2}); err == nil {
+		t.Error("duplicate offset should fail")
+	}
+	// A leading gap gets a zero lead-in.
+	f := MustFunc(Piece{Start: 10, Slope: 3})
+	if got := f.Value(10); got != 0 {
+		t.Errorf("Value(10) = %v, want 0 (zero lead-in)", got)
+	}
+	if got := f.Value(12); got != 6 {
+		t.Errorf("Value(12) = %v, want 6", got)
+	}
+}
+
+func TestPiecewiseValueContinuity(t *testing.T) {
+	// Speed 5 for 10 ticks, then 7 for 10 ticks, then -2.
+	f := MustFunc(Piece{0, 5, 0}, Piece{10, 7, 0}, Piece{20, -2, 0})
+	tests := []struct{ t, want float64 }{
+		{0, 0}, {10, 50}, {15, 85}, {20, 120}, {25, 110},
+	}
+	for _, tc := range tests {
+		if got := f.Value(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Value(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ t, want float64 }{{0, 5}, {9.9, 5}, {10.1, 7}, {25, -2}} {
+		if got := f.SlopeAt(tc.t); got != tc.want {
+			t.Errorf("SlopeAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestFuncScale(t *testing.T) {
+	f := MustFunc(Piece{0, 4, 0}, Piece{5, -2, 0})
+	g := f.Scale(0.5)
+	for _, tt := range []float64{0, 3, 5, 8} {
+		if got, want := g.Value(tt), f.Value(tt)/2; math.Abs(got-want) > 1e-12 {
+			t.Errorf("scaled Value(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if got := Linear(5).String(); got != "5t" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Constant().String(); got != "0" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MustFunc(Piece{0, 1, 0}, Piece{3, 2, 0}).String(); got != "{0:1t, 3:2t}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randomFunc builds a random piecewise-linear function with up to 4 pieces.
+func randomFunc(r *rand.Rand) Func {
+	n := 1 + r.Intn(4)
+	pieces := make([]Piece, n)
+	off := 0.0
+	for i := range pieces {
+		pieces[i] = Piece{Start: off, Slope: float64(r.Intn(21) - 10)}
+		off += 1 + float64(r.Intn(10))
+	}
+	return MustFunc(pieces...)
+}
+
+func TestFuncQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	// f(0) == 0 always (the paper's defining constraint).
+	zeroAtZero := func(seed int64) bool {
+		f := randomFunc(rand.New(rand.NewSource(seed)))
+		return f.Value(0) == 0
+	}
+	if err := quick.Check(zeroAtZero, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Continuity at breakpoints.
+	continuous := func(seed int64) bool {
+		f := randomFunc(rand.New(rand.NewSource(seed)))
+		for _, p := range f.Pieces() {
+			if math.Abs(f.Value(p.Start-1e-9)-f.Value(p.Start+1e-9)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(continuous, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Value is the integral of SlopeAt: check by finite differences.
+	integral := func(seed int64) bool {
+		f := randomFunc(rand.New(rand.NewSource(seed)))
+		for x := 0.25; x < 40; x += 1.0 {
+			got := (f.Value(x+1e-6) - f.Value(x-1e-6)) / 2e-6
+			if math.Abs(got-f.SlopeAt(x)) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(integral, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package motion
+
+import (
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// Position bundles the spatial object class's X.POSITION, Y.POSITION and
+// Z.POSITION dynamic attributes (§2).  Each coordinate evolves
+// independently as a piecewise-linear function of time.
+type Position struct {
+	X, Y, Z DynamicAttr
+}
+
+// PositionAt returns a stationary Position at p, updated at tick t0.
+func PositionAt(p geom.Point, t0 temporal.Tick) Position {
+	return Position{
+		X: DynamicAttr{Value: p.X, UpdateTime: t0},
+		Y: DynamicAttr{Value: p.Y, UpdateTime: t0},
+		Z: DynamicAttr{Value: p.Z, UpdateTime: t0},
+	}
+}
+
+// MovingFrom returns a Position at p at tick t0 moving with motion vector v
+// (distance per tick): the paper's "the position of a car is given as a
+// function of its motion vector (e.g., north, at 60 miles/hour)".
+func MovingFrom(p geom.Point, v geom.Vector, t0 temporal.Tick) Position {
+	return Position{
+		X: LinearFrom(p.X, t0, v.X),
+		Y: LinearFrom(p.Y, t0, v.Y),
+		Z: LinearFrom(p.Z, t0, v.Z),
+	}
+}
+
+// At returns the position at tick t.
+func (p Position) At(t temporal.Tick) geom.Point {
+	return geom.Point{X: p.X.At(t), Y: p.Y.At(t), Z: p.Z.At(t)}
+}
+
+// AtReal returns the position at a real-valued instant.
+func (p Position) AtReal(t float64) geom.Point {
+	return geom.Point{X: p.X.AtReal(t), Y: p.Y.AtReal(t), Z: p.Z.AtReal(t)}
+}
+
+// VelocityAt returns the motion vector in effect at tick t.
+func (p Position) VelocityAt(t temporal.Tick) geom.Vector {
+	return geom.Vector{X: p.X.SpeedAt(t), Y: p.Y.SpeedAt(t), Z: p.Z.SpeedAt(t)}
+}
+
+// Retarget returns a copy whose motion vector is replaced by v at tick t,
+// re-basing each coordinate to its current value (an explicit update of the
+// motion vector, the event that actually reaches the database in MOST).
+func (p Position) Retarget(t temporal.Tick, v geom.Vector) Position {
+	return Position{
+		X: p.X.Updated(t, Linear(v.X)),
+		Y: p.Y.Updated(t, Linear(v.Y)),
+		Z: p.Z.Updated(t, Linear(v.Z)),
+	}
+}
+
+// Teleport returns a copy placed at point pt with motion vector v at tick t
+// (both sub-attributes explicitly updated).
+func (p Position) Teleport(t temporal.Tick, pt geom.Point, v geom.Vector) Position {
+	return MovingFrom(pt, v, t)
+}
+
+// MovingPointAt linearizes the position around tick t: a geom.MovingPoint
+// valid until the next breakpoint of any coordinate's function.  For
+// single-segment (pure motion-vector) positions it is exact for all future
+// time; kinetic solvers that must respect breakpoints should use
+// MovingPointsOver instead.
+func (p Position) MovingPointAt(t temporal.Tick) geom.MovingPoint {
+	return geom.MovingPoint{P: p.At(t), V: p.VelocityAt(t), T: float64(t)}
+}
+
+// Span is a time range on which a Position is exactly linear.
+type Span struct {
+	From, To float64
+	MP       geom.MovingPoint
+}
+
+// MovingPointsOver splits [from, to] at every breakpoint of the coordinate
+// functions and returns the exact linear spans, so kinetic predicates can
+// be solved piece by piece.
+func (p Position) MovingPointsOver(from, to float64) []Span {
+	if from > to {
+		return nil
+	}
+	cuts := []float64{from, to}
+	for _, a := range []DynamicAttr{p.X, p.Y, p.Z} {
+		for _, piece := range a.Function.Pieces() {
+			c := float64(a.UpdateTime) + piece.Start
+			if c > from && c < to {
+				cuts = append(cuts, c)
+			}
+		}
+	}
+	// Sort the small cut list.
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	var out []Span
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if b-a < 1e-12 && i+2 < len(cuts) {
+			continue
+		}
+		mid := (a + b) / 2
+		v := geom.Vector{
+			X: p.X.Function.SlopeAt(mid - float64(p.X.UpdateTime)),
+			Y: p.Y.Function.SlopeAt(mid - float64(p.Y.UpdateTime)),
+			Z: p.Z.Function.SlopeAt(mid - float64(p.Z.UpdateTime)),
+		}
+		out = append(out, Span{From: a, To: b, MP: geom.MovingPoint{P: p.AtReal(a), V: v, T: a}})
+	}
+	return out
+}

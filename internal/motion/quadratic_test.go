@@ -1,0 +1,164 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestAcceleratingValueAndSlope(t *testing.T) {
+	// f(t) = 3t + t^2 (slope 3, accel 2).
+	f := Accelerating(3, 2)
+	for _, tc := range []struct{ t, v, s float64 }{
+		{0, 0, 3}, {1, 4, 5}, {2, 10, 7}, {10, 130, 23},
+	} {
+		if got := f.Value(tc.t); math.Abs(got-tc.v) > 1e-12 {
+			t.Errorf("Value(%v) = %v, want %v", tc.t, got, tc.v)
+		}
+		if got := f.SlopeAt(tc.t); math.Abs(got-tc.s) > 1e-12 {
+			t.Errorf("SlopeAt(%v) = %v, want %v", tc.t, got, tc.s)
+		}
+	}
+	if Accelerating(0, 0).String() != "0" {
+		t.Error("zero accelerating should normalize")
+	}
+	if f.IsLinear() || !Linear(3).IsLinear() {
+		t.Error("IsLinear wrong")
+	}
+}
+
+func TestQuadraticPiecewiseContinuity(t *testing.T) {
+	// Accelerate (accel 2) for 5 ticks from rest, then cruise at the
+	// reached speed 10.
+	f := MustFunc(Piece{0, 0, 2}, Piece{5, 10, 0})
+	if got := f.Value(5); got != 25 {
+		t.Fatalf("Value(5) = %v, want 25", got)
+	}
+	if got := f.Value(7); got != 45 {
+		t.Fatalf("Value(7) = %v, want 45", got)
+	}
+	if got := f.SlopeAt(4.999); math.Abs(got-9.998) > 1e-9 {
+		t.Fatalf("SlopeAt(4.999) = %v", got)
+	}
+	if got := f.SlopeAt(6); got != 10 {
+		t.Fatalf("SlopeAt(6) = %v", got)
+	}
+}
+
+func TestQuadraticSegmentBounds(t *testing.T) {
+	// Parabola dipping inside the span: v(t) = (t-5)^2 anchored at T0=0:
+	// V0=25, Slope=-10, Accel=2 over [0,10]; min 0 at t=5.
+	s := Segment{T0: 0, T1: 10, V0: 25, Slope: -10, Accel: 2}
+	_, _, vMin, vMax := s.Bounds()
+	if vMin != 0 || vMax != 25 {
+		t.Fatalf("Bounds = [%v, %v], want [0, 25]", vMin, vMax)
+	}
+	// Sub re-anchors exactly.
+	sub := s.Sub(3, 8)
+	if math.Abs(sub.V0-4) > 1e-12 || math.Abs(sub.Slope+4) > 1e-12 || sub.Accel != 2 {
+		t.Fatalf("Sub = %+v", sub)
+	}
+	for tt := 3.0; tt <= 8; tt += 0.5 {
+		if math.Abs(sub.ValueAt(tt)-s.ValueAt(tt)) > 1e-9 {
+			t.Fatalf("Sub disagrees at %v", tt)
+		}
+	}
+}
+
+func TestQuadraticRangeTimes(t *testing.T) {
+	// v(t) = t^2/2 (accel 1): in [8, 18] for t in [4, 6].
+	a := DynamicAttr{Function: Accelerating(0, 1)}
+	got := a.RangeTimes(8, 18, 0, 100)
+	ivs := got.Intervals()
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-4) > 1e-9 || math.Abs(ivs[0].Hi-6) > 1e-9 {
+		t.Fatalf("RangeTimes = %v, want [4,6]", ivs)
+	}
+	// A dipping parabola enters the band twice: v(t) = (t-10)^2/1 - no,
+	// use V0=50, slope -10, accel 1: v(t)=50-10t+t^2/2, min 0 at t=10.
+	b := DynamicAttr{Value: 50, Function: Accelerating(-10, 1)}
+	got = b.RangeTimes(20, 30, 0, 100)
+	if len(got.Intervals()) != 2 {
+		t.Fatalf("dip RangeTimes = %v, want two crossings", got.Intervals())
+	}
+}
+
+// randomQuadFunc builds a random piecewise function with acceleration.
+func randomQuadFunc(r *rand.Rand) Func {
+	n := 1 + r.Intn(3)
+	pieces := make([]Piece, n)
+	off := 0.0
+	for i := range pieces {
+		pieces[i] = Piece{
+			Start: off,
+			Slope: float64(r.Intn(11) - 5),
+			Accel: float64(r.Intn(5) - 2),
+		}
+		off += 2 + float64(r.Intn(10))
+	}
+	return MustFunc(pieces...)
+}
+
+func TestQuadraticCompareTicksBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	w := temporal.Interval{Start: 0, End: 40}
+	ops := []string{"<", "<=", ">", ">=", "=", "!="}
+	for i := 0; i < 200; i++ {
+		a := DynamicAttr{
+			Value:      float64(r.Intn(41) - 20),
+			UpdateTime: temporal.Tick(r.Intn(5)),
+			Function:   randomQuadFunc(r),
+		}
+		c := float64(r.Intn(201) - 100)
+		for _, op := range ops {
+			got, err := a.CompareTicks(op, c, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tick := w.Start; tick <= w.End; tick++ {
+				v := a.At(tick)
+				var want bool
+				switch op {
+				case "<":
+					want = v < c
+				case "<=":
+					want = v <= c
+				case ">":
+					want = v > c
+				case ">=":
+					want = v >= c
+				case "=":
+					want = v == c
+				case "!=":
+					want = v != c
+				}
+				if got.Contains(tick) != want {
+					if math.Abs(v-c) < 1e-6 {
+						continue
+					}
+					t.Fatalf("case %d op %s tick %d: got %v want %v (v=%v c=%v f=%s)",
+						i, op, tick, got.Contains(tick), want, v, c, a.Function)
+				}
+			}
+		}
+	}
+}
+
+func TestQuadraticStringRoundTrip(t *testing.T) {
+	funcs := []Func{
+		Accelerating(3, 2),
+		Accelerating(0, -1.5),
+		MustFunc(Piece{0, 0, 2}, Piece{5, 10, 0}),
+		MustFunc(Piece{0, 1, 0}, Piece{4, -2, 0.5}),
+	}
+	for _, f := range funcs {
+		got, err := ParseFunc(f.String())
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !got.Equal(f) {
+			t.Errorf("round trip %s -> %s", f, got)
+		}
+	}
+}

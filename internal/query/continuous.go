@@ -1,0 +1,128 @@
+package query
+
+import (
+	"sync"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// Continuous is a registered continuous query: Answer(CQ) is materialized
+// once at registration and maintained under explicit updates.  Between
+// updates, presentation at each clock tick is a lookup, not a reevaluation
+// — the paper's central efficiency claim for continuous queries ("our query
+// processing algorithm facilitates a single evaluation of the query;
+// reevaluation has to occur only if the motion vector of the car changes").
+type Continuous struct {
+	id     int
+	engine *Engine
+	query  *ftl.Query
+	opts   Options
+
+	mu        sync.Mutex
+	answer    *eval.Relation
+	err       error
+	listeners []func(*eval.Relation)
+	cancelled bool
+
+	// vars the query depends on: used to skip irrelevant updates.
+	classes map[string]bool
+}
+
+// Continuous registers a continuous query, evaluating it once.
+func (e *Engine) Continuous(q *ftl.Query, opts Options) (*Continuous, error) {
+	cq := &Continuous{engine: e, query: q, opts: opts, classes: map[string]bool{}}
+	for _, b := range q.Bindings {
+		cq.classes[b.Class] = true
+	}
+	rel, err := e.InstantaneousRelation(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	cq.answer = rel
+	e.mu.Lock()
+	e.nextID++
+	cq.id = e.nextID
+	e.continuous[cq.id] = cq
+	e.mu.Unlock()
+	return cq, nil
+}
+
+// Answer returns the materialized Answer(CQ) relation.
+func (cq *Continuous) Answer() (*eval.Relation, error) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if cq.cancelled {
+		return nil, errUnregistered
+	}
+	return cq.answer, cq.err
+}
+
+// Current returns the instantiations presented at tick t: "the system
+// presents to the user at each clock-tick t the instantiations of the
+// tuples having an interval that contains t" (§3.5).
+func (cq *Continuous) Current(t temporal.Tick) ([]Row, error) {
+	rel, err := cq.Answer()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, vals := range rel.At(t) {
+		rows = append(rows, Row(vals))
+	}
+	return rows, nil
+}
+
+// Subscribe registers a listener invoked with the new Answer(CQ) after
+// every maintenance reevaluation.  Coupled with an action this is a
+// temporal trigger (§2.3).
+func (cq *Continuous) Subscribe(fn func(*eval.Relation)) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.listeners = append(cq.listeners, fn)
+}
+
+// Cancel unregisters the query ("until cancelled", §2.3).
+func (cq *Continuous) Cancel() {
+	cq.engine.mu.Lock()
+	delete(cq.engine.continuous, cq.id)
+	cq.engine.mu.Unlock()
+	cq.mu.Lock()
+	cq.cancelled = true
+	cq.mu.Unlock()
+}
+
+// relevant reports whether an update may change Answer(CQ).  Updates to
+// objects of classes the query does not range over cannot affect it.
+func (cq *Continuous) relevant(u most.Update) bool {
+	var class string
+	switch {
+	case u.After != nil:
+		class = u.After.Class().Name()
+	case u.Before != nil:
+		class = u.Before.Class().Name()
+	default:
+		return true
+	}
+	return cq.classes[class]
+}
+
+// reevaluate recomputes Answer(CQ) from the current state.
+func (cq *Continuous) reevaluate() {
+	rel, err := cq.engine.InstantaneousRelation(cq.query, cq.opts)
+	cq.mu.Lock()
+	if cq.cancelled {
+		cq.mu.Unlock()
+		return
+	}
+	cq.answer, cq.err = rel, err
+	ls := append([]func(*eval.Relation){}, cq.listeners...)
+	cq.mu.Unlock()
+	if err == nil {
+		for _, fn := range ls {
+			fn(rel)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package query implements the three MOST query types of §2.3 on top of
+// the FTL evaluator:
+//
+//   - an instantaneous query at time t is evaluated once on the implicit
+//     future history beginning at t;
+//   - a continuous query is evaluated once into the materialized relation
+//     Answer(CQ) and presented per clock tick; "reevaluation has to occur
+//     only if the motion vector ... changes", which the engine performs by
+//     subscribing to the database's explicit updates;
+//   - a persistent query at time t is a sequence of instantaneous queries
+//     all anchored at t, re-run whenever the database is updated, over the
+//     actual logged history concatenated with the current implicit future.
+//     (The paper defines these semantics and postpones evaluation to future
+//     work; this package implements them.)
+//
+// Continuous and persistent queries coupled with an action form the
+// temporal triggers of §2.3.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// Options configure one query evaluation.
+type Options struct {
+	// Horizon is the query expiry: how far into the future the evaluation
+	// window extends (§2.3).  Zero selects DefaultHorizon.
+	Horizon temporal.Tick
+	// Regions names the polygons referenced by INSIDE/OUTSIDE.
+	Regions map[string]geom.Polygon
+	// Params binds free variables to external constants.
+	Params map[string]eval.Val
+	// MaxAssignStates and BisectSamples tune the evaluator (see eval).
+	MaxAssignStates int
+	BisectSamples   int
+	// MotionIndex, when set, accelerates INSIDE atoms: the evaluator probes
+	// the index for candidate objects instead of examining every object
+	// (§4).  The index must cover the same objects the query ranges over
+	// and a window containing [now, now+horizon].
+	MotionIndex *index.MotionIndex
+}
+
+// DefaultHorizon is the query expiry used when Options.Horizon is zero.
+const DefaultHorizon temporal.Tick = 1000
+
+func (o Options) horizon() temporal.Tick {
+	if o.Horizon <= 0 {
+		return DefaultHorizon
+	}
+	return o.Horizon
+}
+
+// Engine evaluates queries against a MOST database and maintains the
+// materialized answers of registered continuous and persistent queries.
+type Engine struct {
+	db *most.Database
+
+	mu         sync.Mutex
+	nextID     int
+	continuous map[int]*Continuous
+	persistent map[int]*Persistent
+
+	// Evals counts full query evaluations, for the experiments comparing
+	// evaluate-once against per-tick reevaluation.
+	evals int
+}
+
+// NewEngine returns an engine bound to db, subscribed to its updates.
+func NewEngine(db *most.Database) *Engine {
+	e := &Engine{
+		db:         db,
+		continuous: map[int]*Continuous{},
+		persistent: map[int]*Persistent{},
+	}
+	db.Subscribe(e.onUpdate)
+	return e
+}
+
+// Evaluations returns the number of full FTL evaluations performed.
+func (e *Engine) Evaluations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+func (e *Engine) countEval() {
+	e.mu.Lock()
+	e.evals++
+	e.mu.Unlock()
+}
+
+// context builds an eval context over the current database state.
+func (e *Engine) context(q *ftl.Query, opts Options, now temporal.Tick) (*eval.Context, error) {
+	ctx := &eval.Context{
+		Now:             now,
+		Horizon:         opts.horizon(),
+		Objects:         map[most.ObjectID]*most.Object{},
+		Regions:         opts.Regions,
+		Params:          opts.Params,
+		Domains:         map[string][]eval.Val{},
+		MaxAssignStates: opts.MaxAssignStates,
+		BisectSamples:   opts.BisectSamples,
+	}
+	for _, o := range e.db.Objects("") {
+		ctx.Objects[o.ID()] = o
+	}
+	if ix := opts.MotionIndex; ix != nil {
+		ctx.InsideCandidates = func(pg geom.Polygon, w temporal.Interval) []most.ObjectID {
+			return ix.CandidatesInRect(pg.Bounds(), float64(w.Start), float64(w.End))
+		}
+	}
+	if err := ctx.BindDomains(q, eval.IDsOf(e.db)); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// Row is one presented answer instantiation.
+type Row []eval.Val
+
+// Instantaneous evaluates q at the current time and returns the
+// instantiations satisfying it now, i.e. whose answer interval contains the
+// entry tick (§2.3, §3.5).
+func (e *Engine) Instantaneous(q *ftl.Query, opts Options) ([]Row, error) {
+	now := e.db.Now()
+	ctx, err := e.context(q, opts, now)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := eval.EvalQuery(q, ctx)
+	if err != nil {
+		return nil, err
+	}
+	e.countEval()
+	var rows []Row
+	for _, vals := range rel.At(now) {
+		rows = append(rows, Row(vals))
+	}
+	return rows, nil
+}
+
+// InstantaneousRelation evaluates q at the current time and returns the
+// full Answer relation (every instantiation with its interval set).
+func (e *Engine) InstantaneousRelation(q *ftl.Query, opts Options) (*eval.Relation, error) {
+	ctx, err := e.context(q, opts, e.db.Now())
+	if err != nil {
+		return nil, err
+	}
+	rel, err := eval.EvalQuery(q, ctx)
+	if err != nil {
+		return nil, err
+	}
+	e.countEval()
+	return rel, nil
+}
+
+// onUpdate reevaluates registered queries after an explicit update (§2.3:
+// "a continuous query CQ has to be reevaluated when an update occurs that
+// may change the set of tuples Answer(CQ)").
+func (e *Engine) onUpdate(u most.Update) {
+	e.mu.Lock()
+	cqs := make([]*Continuous, 0, len(e.continuous))
+	for _, cq := range e.continuous {
+		cqs = append(cqs, cq)
+	}
+	pqs := make([]*Persistent, 0, len(e.persistent))
+	for _, pq := range e.persistent {
+		pqs = append(pqs, pq)
+	}
+	e.mu.Unlock()
+	sort.Slice(cqs, func(i, j int) bool { return cqs[i].id < cqs[j].id })
+	sort.Slice(pqs, func(i, j int) bool { return pqs[i].id < pqs[j].id })
+	for _, cq := range cqs {
+		if cq.relevant(u) {
+			cq.reevaluate()
+		}
+	}
+	for _, pq := range pqs {
+		pq.reevaluate()
+	}
+}
+
+// errUnregistered guards handle reuse after Cancel.
+var errUnregistered = fmt.Errorf("query: handle was cancelled")

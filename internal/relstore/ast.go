@@ -1,0 +1,276 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file exposes the SELECT syntax tree so layers above the DBMS can
+// rewrite queries — exactly the architecture of the paper's §5.1: "any
+// query posed to the DBMS is first examined (and possibly modified) by the
+// MOST system".  The MOST layer parses a query, transforms the WHERE
+// clause, renders it back to SQL and submits it to the store.
+
+// Lit builds a literal expression.
+func Lit(v Value) Expr { return LitExpr{v: v} }
+
+// Col builds a column reference; table may be empty.
+func Col(table, col string) Expr { return ColExpr{table: table, col: col} }
+
+// Bin builds a binary expression (arithmetic, comparison, AND/OR).
+func Bin(op string, l, r Expr) Expr { return BinExpr{op: op, l: l, r: r} }
+
+// Not builds a negation.
+func Not(e Expr) Expr { return NotExpr{e: e} }
+
+// Value returns the literal's value.
+func (e LitExpr) Value() Value { return e.v }
+
+// Parts returns the column reference's qualifier and name.
+func (e ColExpr) Parts() (table, col string) { return e.table, e.col }
+
+// Parts returns the operator and operands.
+func (e BinExpr) Parts() (op string, l, r Expr) { return e.op, e.l, e.r }
+
+// Inner returns the negated expression.
+func (e NotExpr) Inner() Expr { return e.e }
+
+// SQLString renders an expression back to SQL text.
+func SQLString(e Expr) string {
+	switch n := e.(type) {
+	case LitExpr:
+		switch n.v.Kind {
+		case KStr:
+			return "'" + n.v.S + "'"
+		case KBool:
+			if n.v.B {
+				return "TRUE"
+			}
+			return "FALSE"
+		case KNull:
+			return "NULL"
+		default:
+			return n.v.String()
+		}
+	case ColExpr:
+		if n.table != "" {
+			return n.table + "." + n.col
+		}
+		return n.col
+	case BinExpr:
+		return "(" + SQLString(n.l) + " " + n.op + " " + SQLString(n.r) + ")"
+	case NotExpr:
+		return "(NOT " + SQLString(n.e) + ")"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// EvalExpr evaluates an expression with an external column resolver,
+// letting layers above the store (the MOST system) compute predicates over
+// rows they fetched — with dynamic attributes substituted by their current
+// values.
+func EvalExpr(e Expr, lookup func(table, col string) (Value, error)) (Value, error) {
+	env := &externEnv{lookup: lookup}
+	return exprEvalExtern(e, env)
+}
+
+type externEnv struct {
+	lookup func(table, col string) (Value, error)
+}
+
+// evalExtern mirrors eval but resolves columns through the external lookup.
+func (e LitExpr) evalExtern(*externEnv) (Value, error) { return e.v, nil }
+
+func (e ColExpr) evalExtern(env *externEnv) (Value, error) { return env.lookup(e.table, e.col) }
+
+func (e NotExpr) evalExtern(env *externEnv) (Value, error) {
+	v, err := exprEvalExtern(e.e, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind != KBool {
+		return Value{}, fmt.Errorf("relstore: NOT needs a boolean")
+	}
+	return Bool(!v.B), nil
+}
+
+func (e BinExpr) evalExtern(env *externEnv) (Value, error) {
+	// Delegate to the row-based evaluator via a shim environment.
+	l, err := exprEvalExtern(e.l, env)
+	if err != nil {
+		return Value{}, err
+	}
+	if e.op == "AND" || e.op == "OR" {
+		if l.Kind != KBool {
+			return Value{}, fmt.Errorf("relstore: %s needs booleans", e.op)
+		}
+		if e.op == "AND" && !l.B {
+			return Bool(false), nil
+		}
+		if e.op == "OR" && l.B {
+			return Bool(true), nil
+		}
+		r, err := exprEvalExtern(e.r, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KBool {
+			return Value{}, fmt.Errorf("relstore: %s needs booleans", e.op)
+		}
+		return r, nil
+	}
+	r, err := exprEvalExtern(e.r, env)
+	if err != nil {
+		return Value{}, err
+	}
+	return applyBinOp(e.op, l, r)
+}
+
+func exprEvalExtern(e Expr, env *externEnv) (Value, error) {
+	switch n := e.(type) {
+	case LitExpr:
+		return n.evalExtern(env)
+	case ColExpr:
+		return n.evalExtern(env)
+	case NotExpr:
+		return n.evalExtern(env)
+	case BinExpr:
+		return n.evalExtern(env)
+	default:
+		return Value{}, fmt.Errorf("relstore: unknown expression node %T", e)
+	}
+}
+
+// applyBinOp applies a non-boolean binary operator to evaluated operands.
+func applyBinOp(op string, l, r Value) (Value, error) {
+	switch op {
+	case "+", "-", "*", "/":
+		if l.Kind != KNum || r.Kind != KNum {
+			return Value{}, fmt.Errorf("relstore: arithmetic needs numbers")
+		}
+		switch op {
+		case "+":
+			return Num(l.F + r.F), nil
+		case "-":
+			return Num(l.F - r.F), nil
+		case "*":
+			return Num(l.F * r.F), nil
+		default:
+			if r.F == 0 {
+				return Value{}, fmt.Errorf("relstore: division by zero")
+			}
+			return Num(l.F / r.F), nil
+		}
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		c := l.Compare(r)
+		switch op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=", "<>":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	}
+	return Value{}, fmt.Errorf("relstore: unknown operator %s", op)
+}
+
+// SelectItem is one target of a SELECT.
+type SelectItem struct {
+	Expr Expr
+	Name string
+}
+
+// SelectStmt is a parsed (not yet executed) SELECT.
+type SelectStmt struct {
+	Star    bool
+	Targets []SelectItem
+	Tables  []string
+	Where   Expr // nil when absent
+}
+
+// ParseSelect parses a SELECT without executing it and without resolving
+// table names.
+func ParseSelect(sql string) (*SelectStmt, error) {
+	toks, err := sqlLex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.acceptSym("*") {
+		stmt.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			name := "expr"
+			if ce, ok := e.(ColExpr); ok {
+				name = ce.col
+			}
+			stmt.Targets = append(stmt.Targets, SelectItem{Expr: e, Name: name})
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Tables = append(stmt.Tables, name)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.peek().kind != sqlEOF {
+		return nil, fmt.Errorf("relstore: unexpected %v after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// SQL renders the statement back to executable SQL.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, t := range s.Targets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(SQLString(t.Expr))
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(s.Tables, ", "))
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(SQLString(s.Where))
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package relstore
+
+// btreeIndex is an ordered secondary index: a B-tree mapping column values
+// to the row ids holding them.  Written from scratch (order-16 nodes,
+// standard split-on-insert, lazy deletion of row ids within a key's
+// posting list).
+type btreeIndex struct {
+	root *btreeNode
+}
+
+const btreeOrder = 16 // max keys per node
+
+type btreeEntry struct {
+	key  Value
+	rids []int
+}
+
+type btreeNode struct {
+	leaf     bool
+	entries  []btreeEntry
+	children []*btreeNode // len(entries)+1 when internal
+}
+
+func newBTreeIndex() *btreeIndex {
+	return &btreeIndex{root: &btreeNode{leaf: true}}
+}
+
+// find returns the position of key in n.entries, or the child slot to
+// descend into.
+func (n *btreeNode) find(key Value) (int, bool) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := key.Compare(n.entries[mid].key); {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+func (idx *btreeIndex) insert(key Value, rid int) {
+	root := idx.root
+	if len(root.entries) >= btreeOrder {
+		newRoot := &btreeNode{leaf: false, children: []*btreeNode{root}}
+		newRoot.splitChild(0)
+		idx.root = newRoot
+		root = newRoot
+	}
+	root.insertNonFull(key, rid)
+}
+
+func (n *btreeNode) insertNonFull(key Value, rid int) {
+	pos, found := n.find(key)
+	if found {
+		n.entries[pos].rids = append(n.entries[pos].rids, rid)
+		return
+	}
+	if n.leaf {
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = btreeEntry{key: key, rids: []int{rid}}
+		return
+	}
+	child := n.children[pos]
+	if len(child.entries) >= btreeOrder {
+		n.splitChild(pos)
+		// The separator moved up; re-locate.
+		if c := key.Compare(n.entries[pos].key); c == 0 {
+			n.entries[pos].rids = append(n.entries[pos].rids, rid)
+			return
+		} else if c > 0 {
+			pos++
+		}
+	}
+	n.children[pos].insertNonFull(key, rid)
+}
+
+// splitChild splits the full child at slot i, hoisting its median entry.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.entries) / 2
+	sep := child.entries[mid]
+
+	right := &btreeNode{leaf: child.leaf}
+	right.entries = append(right.entries, child.entries[mid+1:]...)
+	if !child.leaf {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+
+	n.entries = append(n.entries, btreeEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// remove deletes one occurrence of rid under key.  The key entry remains
+// (with an empty posting list) — acceptable for an in-memory index whose
+// table compacts on rebuild.
+func (idx *btreeIndex) remove(key Value, rid int) {
+	n := idx.root
+	for {
+		pos, found := n.find(key)
+		if found {
+			rids := n.entries[pos].rids
+			for i, r := range rids {
+				if r == rid {
+					n.entries[pos].rids = append(rids[:i], rids[i+1:]...)
+					return
+				}
+			}
+			return
+		}
+		if n.leaf {
+			return
+		}
+		n = n.children[pos]
+	}
+}
+
+// scanRange visits row ids with lo <= key <= hi in key order; nil bounds
+// are open.  fn returning false stops the scan.
+func (idx *btreeIndex) scanRange(lo, hi *Value, fn func(rid int) bool) {
+	idx.root.scanRange(lo, hi, fn)
+}
+
+func (n *btreeNode) scanRange(lo, hi *Value, fn func(rid int) bool) bool {
+	start := 0
+	if lo != nil {
+		start, _ = n.find(*lo)
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.leaf {
+			if !n.children[i].scanRange(lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		if lo != nil && e.key.Compare(*lo) < 0 {
+			continue
+		}
+		if hi != nil && e.key.Compare(*hi) > 0 {
+			return false
+		}
+		for _, rid := range e.rids {
+			if !fn(rid) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// height returns the tree height, for tests asserting logarithmic growth.
+func (idx *btreeIndex) height() int {
+	h, n := 1, idx.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}

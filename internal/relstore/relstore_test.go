@@ -1,0 +1,338 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCreateInsertSelect(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE motels (name, x, y, price, rooms)")
+	s.MustExec("INSERT INTO motels VALUES ('Super8', 10, 20, 60, 12), ('Ritz', 5, 5, 400, 0)")
+
+	rs := s.MustExec("SELECT name, price FROM motels WHERE price <= 100")
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != Str("Super8") {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	if rs.Columns[0] != "name" || rs.Columns[1] != "price" {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	rs = s.MustExec("SELECT * FROM motels")
+	if len(rs.Rows) != 2 || len(rs.Columns) != 5 {
+		t.Fatalf("star select = %v / %v", rs.Columns, rs.Rows)
+	}
+}
+
+func TestWhereExpressions(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (a, b, c)")
+	s.MustExec("INSERT INTO t VALUES (1, 2, 'x'), (3, 4, 'y'), (5, 6, 'x')")
+
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"a = 1", 1},
+		{"a != 1", 2},
+		{"a + b >= 9", 1},
+		{"a * 2 = b + 2", 1},
+		{"a * 2 > b", 2},
+		{"c = 'x' AND a < 5", 1},
+		{"c = 'x' OR c = 'y'", 3},
+		{"NOT (c = 'x')", 1},
+		{"(a = 1 OR a = 3) AND b <= 4", 2},
+		{"a - 1 = 0", 1},
+		{"b / 2 = 1", 1},
+	}
+	for _, tt := range tests {
+		rs, err := s.Exec("SELECT a FROM t WHERE " + tt.where)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.where, err)
+		}
+		if len(rs.Rows) != tt.want {
+			t.Errorf("%s: got %d rows, want %d", tt.where, len(rs.Rows), tt.want)
+		}
+	}
+}
+
+func TestNegativeNumbersAndBools(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (a, ok)")
+	s.MustExec("INSERT INTO t VALUES (-5, TRUE), (5, FALSE)")
+	rs := s.MustExec("SELECT a FROM t WHERE a < 0")
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != Num(-5) {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	rs = s.MustExec("SELECT a FROM t WHERE ok = TRUE")
+	if len(rs.Rows) != 1 || rs.Rows[0][0] != Num(-5) {
+		t.Fatalf("bool rows = %v", rs.Rows)
+	}
+	// Subtraction still works (binary minus).
+	rs = s.MustExec("SELECT a FROM t WHERE a - 1 = 4")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("subtraction rows = %v", rs.Rows)
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE a (id, val)")
+	s.MustExec("CREATE TABLE b (id, tag)")
+	s.MustExec("INSERT INTO a VALUES (1, 10), (2, 20)")
+	s.MustExec("INSERT INTO b VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+	rs := s.MustExec("SELECT a.val, b.tag FROM a, b WHERE a.id = b.id")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("join rows = %v", rs.Rows)
+	}
+	// Ambiguous unqualified column errors.
+	if _, err := s.Exec("SELECT id FROM a, b"); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestDeleteUpdate(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (a, b)")
+	s.MustExec("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3)")
+	rs := s.MustExec("DELETE FROM t WHERE a = 2")
+	if rs.Rows[0][0] != Num(1) {
+		t.Fatalf("delete count = %v", rs.Rows)
+	}
+	if got := s.MustExec("SELECT a FROM t"); len(got.Rows) != 2 {
+		t.Fatalf("after delete = %v", got.Rows)
+	}
+	rs = s.MustExec("UPDATE t SET b = b * 10 WHERE a >= 1")
+	if rs.Rows[0][0] != Num(2) {
+		t.Fatalf("update count = %v", rs.Rows)
+	}
+	got := s.MustExec("SELECT b FROM t WHERE a = 3")
+	if got.Rows[0][0] != Num(30) {
+		t.Fatalf("updated value = %v", got.Rows)
+	}
+}
+
+func TestIndexedSelectMatchesScan(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (id, v)")
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, r.Intn(100)))
+	}
+	// Baseline without index.
+	baseline := map[string]int{}
+	for _, q := range []string{"v = 50", "v <= 10", "v >= 90", "v > 42 AND v < 58", "id = 250"} {
+		rs := s.MustExec("SELECT id FROM t WHERE " + q)
+		baseline[q] = len(rs.Rows)
+	}
+	s.MustExec("CREATE INDEX ON t (v)")
+	s.MustExec("CREATE INDEX ON t (id)")
+	for q, want := range baseline {
+		rs := s.MustExec("SELECT id FROM t WHERE " + q)
+		if len(rs.Rows) != want {
+			t.Errorf("%s: indexed %d rows, scan %d", q, len(rs.Rows), want)
+		}
+	}
+	// Index survives deletes and updates.
+	s.MustExec("DELETE FROM t WHERE v = 50")
+	rs := s.MustExec("SELECT id FROM t WHERE v = 50")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("after delete, v=50 rows = %d", len(rs.Rows))
+	}
+	s.MustExec("UPDATE t SET v = 50 WHERE v = 51")
+	rs2 := s.MustExec("SELECT id FROM t WHERE v = 51")
+	if len(rs2.Rows) != 0 {
+		t.Fatalf("after update, v=51 rows = %d", len(rs2.Rows))
+	}
+}
+
+func TestBTreeOrderedScan(t *testing.T) {
+	idx := newBTreeIndex()
+	r := rand.New(rand.NewSource(3))
+	perm := r.Perm(2000)
+	for rid, k := range perm {
+		idx.insert(Num(float64(k)), rid)
+	}
+	// Full scan yields keys in order.
+	var keys []float64
+	idx.scanRange(nil, nil, func(rid int) bool {
+		keys = append(keys, float64(perm[rid]))
+		return true
+	})
+	if len(keys) != 2000 {
+		t.Fatalf("scanned %d keys", len(keys))
+	}
+	if !sort.Float64sAreSorted(keys) {
+		t.Fatal("scan not in key order")
+	}
+	// Range scan.
+	var got []float64
+	lo, hi := Num(100), Num(110)
+	idx.scanRange(&lo, &hi, func(rid int) bool {
+		got = append(got, float64(perm[rid]))
+		return true
+	})
+	if len(got) != 11 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Height is logarithmic.
+	if h := idx.height(); h > 5 {
+		t.Errorf("height = %d for 2000 keys", h)
+	}
+	// Early stop.
+	count := 0
+	idx.scanRange(nil, nil, func(int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeDuplicatesAndRemove(t *testing.T) {
+	idx := newBTreeIndex()
+	for rid := 0; rid < 10; rid++ {
+		idx.insert(Num(7), rid)
+	}
+	var rids []int
+	k := Num(7)
+	idx.scanRange(&k, &k, func(rid int) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	if len(rids) != 10 {
+		t.Fatalf("duplicates = %v", rids)
+	}
+	idx.remove(Num(7), 3)
+	idx.remove(Num(7), 3) // double remove is a no-op
+	rids = rids[:0]
+	idx.scanRange(&k, &k, func(rid int) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	if len(rids) != 9 {
+		t.Fatalf("after remove = %v", rids)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (a)")
+	bad := []string{
+		"CREATE TABLE t (a)",              // duplicate table
+		"CREATE TABLE u (a, a)",           // duplicate column
+		"CREATE TABLE v ()",               // no columns
+		"INSERT INTO missing VALUES (1)",  // no table
+		"INSERT INTO t VALUES (1, 2)",     // arity
+		"SELECT a FROM missing",           // no table
+		"SELECT zzz FROM t",               // no column (validated statically)
+		"SELECT a FROM t WHERE a = 'x' +", // syntax
+		"UPDATE t SET zzz = 1",            // bad column
+		"DROP SOMETHING",                  // unknown statement
+		"SELECT a FROM t extra",           // trailing tokens
+		"CREATE INDEX ON t (zzz)",         // bad index column
+	}
+	for _, q := range bad {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+	// Type errors and division by zero surface when a row is evaluated.
+	s.MustExec("INSERT INTO t VALUES (1)")
+	if _, err := s.Exec("SELECT a FROM t WHERE a / 0 = 1"); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := s.Exec("SELECT a FROM t WHERE a"); err == nil {
+		t.Error("non-boolean WHERE should fail")
+	}
+}
+
+func TestStoreTableManagement(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE b (x)")
+	s.MustExec("CREATE TABLE a (x)")
+	if got := s.Tables(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Tables = %v", got)
+	}
+	if err := s.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("a"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if _, ok := s.Table("a"); ok {
+		t.Error("dropped table still visible")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (name, score)")
+	s.MustExec("INSERT INTO t VALUES ('c', 30), ('a', 10), ('d', 40), ('b', 20)")
+
+	rs := s.MustExec("SELECT name FROM t ORDER BY score")
+	var got []string
+	for _, r := range rs.Rows {
+		got = append(got, r[0].S)
+	}
+	if strings.Join(got, "") != "abcd" {
+		t.Fatalf("ascending = %v", got)
+	}
+	rs = s.MustExec("SELECT name FROM t ORDER BY score DESC")
+	got = got[:0]
+	for _, r := range rs.Rows {
+		got = append(got, r[0].S)
+	}
+	if strings.Join(got, "") != "dcba" {
+		t.Fatalf("descending = %v", got)
+	}
+	rs = s.MustExec("SELECT name FROM t ORDER BY score DESC LIMIT 2")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "d" || rs.Rows[1][0].S != "c" {
+		t.Fatalf("top-2 = %v", rs.Rows)
+	}
+	rs = s.MustExec("SELECT name FROM t LIMIT 0")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("limit 0 = %v", rs.Rows)
+	}
+	// ORDER BY expressions and ASC keyword.
+	rs = s.MustExec("SELECT name FROM t ORDER BY 0 - score ASC LIMIT 1")
+	if rs.Rows[0][0].S != "d" {
+		t.Fatalf("expr order = %v", rs.Rows)
+	}
+	// ORDER BY on an indexed scan path.
+	s.MustExec("CREATE INDEX ON t (score)")
+	rs = s.MustExec("SELECT name FROM t WHERE score >= 20 ORDER BY score DESC LIMIT 2")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "d" {
+		t.Fatalf("indexed order = %v", rs.Rows)
+	}
+	// Errors.
+	for _, q := range []string{
+		"SELECT name FROM t ORDER score",
+		"SELECT name FROM t ORDER BY zzz",
+		"SELECT name FROM t LIMIT -1",
+		"SELECT name FROM t LIMIT 1.5",
+		"SELECT name FROM t LIMIT x",
+	} {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestDropTableStatement(t *testing.T) {
+	s := NewStore()
+	s.MustExec("CREATE TABLE t (a)")
+	s.MustExec("DROP TABLE t")
+	if _, ok := s.Table("t"); ok {
+		t.Fatal("table should be gone")
+	}
+	if _, err := s.Exec("DROP TABLE t"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+	if _, err := s.Exec("DROP SOMETHING"); err == nil {
+		t.Fatal("bad drop should fail")
+	}
+}

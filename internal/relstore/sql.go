@@ -1,0 +1,363 @@
+package relstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ResultSet is the output of a SELECT.
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Exec parses and executes one SQL statement against the store.  SELECT
+// returns a ResultSet; other statements return a ResultSet whose single
+// row holds the affected-row count.
+func (s *Store) Exec(sql string) (*ResultSet, error) {
+	toks, err := sqlLex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{store: s, toks: toks}
+	return p.statement()
+}
+
+// MustExec is Exec that panics on error; for fixtures.
+func (s *Store) MustExec(sql string) *ResultSet {
+	rs, err := s.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("relstore.MustExec(%q): %v", sql, err))
+	}
+	return rs
+}
+
+// ---- lexer ----
+
+type sqlTok struct {
+	kind sqlTokKind
+	text string
+	num  float64
+}
+
+type sqlTokKind uint8
+
+const (
+	sqlEOF sqlTokKind = iota
+	sqlIdent
+	sqlNum
+	sqlStr
+	sqlSym
+)
+
+var sqlKeywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"DELETE": true, "UPDATE": true, "SET": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DROP": true,
+	"AND":  true, "OR": true, "NOT": true,
+	"TRUE": true, "FALSE": true, "NULL": true,
+}
+
+func sqlLex(src string) ([]sqlTok, error) {
+	var out []sqlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i
+			for j < len(src) && (src[j] == '_' || unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				j++
+			}
+			word := src[i:j]
+			if sqlKeywords[strings.ToUpper(word)] {
+				out = append(out, sqlTok{kind: sqlIdent, text: strings.ToUpper(word)})
+			} else {
+				out = append(out, sqlTok{kind: sqlIdent, text: word})
+			}
+			i = j
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' && numContext(out)):
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			f, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: bad number %q", src[i:j])
+			}
+			out = append(out, sqlTok{kind: sqlNum, num: f})
+			i = j
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("relstore: unterminated string")
+			}
+			out = append(out, sqlTok{kind: sqlStr, text: src[i+1 : j]})
+			i = j + 1
+		default:
+			for _, two := range []string{"<=", ">=", "!=", "<>"} {
+				if strings.HasPrefix(src[i:], two) {
+					out = append(out, sqlTok{kind: sqlSym, text: two})
+					i += 2
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.':
+				out = append(out, sqlTok{kind: sqlSym, text: string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("relstore: unexpected character %q", string(c))
+			}
+		next:
+		}
+	}
+	out = append(out, sqlTok{kind: sqlEOF})
+	return out, nil
+}
+
+// numContext reports whether a '-' here starts a negative literal (after an
+// operator or opening paren or comma) rather than a subtraction.
+func numContext(toks []sqlTok) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	if last.kind == sqlSym {
+		switch last.text {
+		case ")", ".":
+			return false
+		}
+		return true
+	}
+	if last.kind == sqlIdent {
+		switch last.text {
+		case "VALUES", "WHERE", "AND", "OR", "NOT", "SET":
+			return true
+		}
+	}
+	return false
+}
+
+// ---- parser / executor ----
+
+type sqlParser struct {
+	store *Store
+	toks  []sqlTok
+	pos   int
+}
+
+func (p *sqlParser) peek() sqlTok { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlTok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) acceptKw(kw string) bool {
+	if p.peek().kind == sqlIdent && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) acceptSym(sym string) bool {
+	if p.peek().kind == sqlSym && p.peek().text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("relstore: expected %s, found %v", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectSym(sym string) error {
+	if !p.acceptSym(sym) {
+		return fmt.Errorf("relstore: expected %q, found %v", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != sqlIdent || sqlKeywords[t.text] {
+		return "", fmt.Errorf("relstore: expected identifier, found %v", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sqlParser) statement() (*ResultSet, error) {
+	switch {
+	case p.acceptKw("CREATE"):
+		if p.acceptKw("TABLE") {
+			return p.createTable()
+		}
+		if p.acceptKw("INDEX") {
+			return p.createIndex()
+		}
+		return nil, fmt.Errorf("relstore: CREATE must be followed by TABLE or INDEX")
+	case p.acceptKw("INSERT"):
+		return p.insert()
+	case p.acceptKw("SELECT"):
+		return p.selectStmt()
+	case p.acceptKw("DELETE"):
+		return p.deleteStmt()
+	case p.acceptKw("UPDATE"):
+		return p.updateStmt()
+	case p.acceptKw("DROP"):
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.store.DropTable(name); err != nil {
+			return nil, err
+		}
+		return countResult(0), nil
+	default:
+		return nil, fmt.Errorf("relstore: unknown statement starting with %v", p.peek().text)
+	}
+}
+
+func countResult(n int) *ResultSet {
+	return &ResultSet{Columns: []string{"count"}, Rows: []Row{{Num(float64(n))}}}
+}
+
+func (p *sqlParser) createTable() (*ResultSet, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.store.CreateTable(name, cols...); err != nil {
+		return nil, err
+	}
+	return countResult(0), nil
+}
+
+func (p *sqlParser) createIndex() (*ResultSet, error) {
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	t, ok := p.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", name)
+	}
+	if err := t.CreateIndex(col); err != nil {
+		return nil, err
+	}
+	return countResult(0), nil
+}
+
+func (p *sqlParser) insert() (*ResultSet, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", name)
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	n := 0
+	for {
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var row Row
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return countResult(n), nil
+}
+
+func (p *sqlParser) literal() (Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == sqlNum:
+		p.pos++
+		return Num(t.num), nil
+	case t.kind == sqlStr:
+		p.pos++
+		return Str(t.text), nil
+	case t.kind == sqlIdent && t.text == "TRUE":
+		p.pos++
+		return Bool(true), nil
+	case t.kind == sqlIdent && t.text == "FALSE":
+		p.pos++
+		return Bool(false), nil
+	case t.kind == sqlIdent && t.text == "NULL":
+		p.pos++
+		return Null(), nil
+	default:
+		return Value{}, fmt.Errorf("relstore: expected literal, found %v", t.text)
+	}
+}

@@ -1,0 +1,706 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ---- expression AST ----
+
+type Expr interface {
+	eval(env *rowEnv) (Value, error)
+}
+
+type LitExpr struct{ v Value }
+
+type ColExpr struct {
+	table string // optional qualifier
+	col   string
+}
+
+type BinExpr struct {
+	op   string
+	l, r Expr
+}
+
+type NotExpr struct{ e Expr }
+
+func (e LitExpr) eval(*rowEnv) (Value, error) { return e.v, nil }
+
+func (e ColExpr) eval(env *rowEnv) (Value, error) { return env.lookup(e.table, e.col) }
+
+func (e NotExpr) eval(env *rowEnv) (Value, error) {
+	v, err := e.e.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind != KBool {
+		return Value{}, fmt.Errorf("relstore: NOT needs a boolean")
+	}
+	return Bool(!v.B), nil
+}
+
+func (e BinExpr) eval(env *rowEnv) (Value, error) {
+	l, err := e.l.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit booleans.
+	if e.op == "AND" || e.op == "OR" {
+		if l.Kind != KBool {
+			return Value{}, fmt.Errorf("relstore: %s needs booleans", e.op)
+		}
+		if e.op == "AND" && !l.B {
+			return Bool(false), nil
+		}
+		if e.op == "OR" && l.B {
+			return Bool(true), nil
+		}
+		r, err := e.r.eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KBool {
+			return Value{}, fmt.Errorf("relstore: %s needs booleans", e.op)
+		}
+		return r, nil
+	}
+	r, err := e.r.eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.op {
+	case "+", "-", "*", "/":
+		if l.Kind != KNum || r.Kind != KNum {
+			return Value{}, fmt.Errorf("relstore: arithmetic needs numbers")
+		}
+		switch e.op {
+		case "+":
+			return Num(l.F + r.F), nil
+		case "-":
+			return Num(l.F - r.F), nil
+		case "*":
+			return Num(l.F * r.F), nil
+		default:
+			if r.F == 0 {
+				return Value{}, fmt.Errorf("relstore: division by zero")
+			}
+			return Num(l.F / r.F), nil
+		}
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		c := l.Compare(r)
+		switch e.op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=", "<>":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	}
+	return Value{}, fmt.Errorf("relstore: unknown operator %s", e.op)
+}
+
+// validateExpr statically checks that every column reference resolves to
+// exactly one FROM table.
+func validateExpr(e Expr, tables []*Table) error {
+	switch n := e.(type) {
+	case LitExpr:
+		return nil
+	case ColExpr:
+		found := 0
+		for _, t := range tables {
+			if n.table != "" && t.Name != n.table {
+				continue
+			}
+			if _, ok := t.ColIndex(n.col); ok {
+				found++
+			}
+		}
+		switch found {
+		case 0:
+			return fmt.Errorf("relstore: unknown column %s", n.col)
+		case 1:
+			return nil
+		default:
+			return fmt.Errorf("relstore: ambiguous column %s", n.col)
+		}
+	case NotExpr:
+		return validateExpr(n.e, tables)
+	case BinExpr:
+		if err := validateExpr(n.l, tables); err != nil {
+			return err
+		}
+		return validateExpr(n.r, tables)
+	default:
+		return fmt.Errorf("relstore: unknown expression node %T", e)
+	}
+}
+
+// rowEnv resolves column references over the current rows of the FROM
+// tables.
+type rowEnv struct {
+	tables []*Table
+	rows   []Row
+}
+
+func (env *rowEnv) lookup(table, col string) (Value, error) {
+	found := -1
+	for i, t := range env.tables {
+		if table != "" && t.Name != table {
+			continue
+		}
+		if _, ok := t.ColIndex(col); ok {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("relstore: ambiguous column %s", col)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return Value{}, fmt.Errorf("relstore: unknown column %s.%s", table, col)
+	}
+	ci, _ := env.tables[found].ColIndex(col)
+	return env.rows[found][ci], nil
+}
+
+// ---- expression parsing ----
+
+func (p *sqlParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{e: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var sqlRelops = []string{"<=", ">=", "!=", "<>", "=", "<", ">"}
+
+func (p *sqlParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == sqlSym {
+		for _, op := range sqlRelops {
+			if t.text == op {
+				p.pos++
+				r, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				return BinExpr{op: op, l: l, r: r}, nil
+			}
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == sqlSym && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parseMul() (Expr, error) {
+	l, err := p.parsePrim()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == sqlSym && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.parsePrim()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parsePrim() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == sqlNum, t.kind == sqlStr,
+		t.kind == sqlIdent && (t.text == "TRUE" || t.text == "FALSE" || t.text == "NULL"):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{v: v}, nil
+	case t.kind == sqlSym && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == sqlIdent && !sqlKeywords[t.text]:
+		p.pos++
+		if p.acceptSym(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColExpr{table: t.text, col: col}, nil
+		}
+		return ColExpr{col: t.text}, nil
+	default:
+		return nil, fmt.Errorf("relstore: expected expression, found %v", t.text)
+	}
+}
+
+// ---- SELECT / DELETE / UPDATE ----
+
+type selectTarget struct {
+	expr Expr
+	name string
+}
+
+func (p *sqlParser) selectStmt() (*ResultSet, error) {
+	var targets []selectTarget
+	star := false
+	if p.acceptSym("*") {
+		star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			name := "expr"
+			if ce, ok := e.(ColExpr); ok {
+				name = ce.col
+			}
+			targets = append(targets, selectTarget{expr: e, name: name})
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := p.store.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("relstore: no table %s", name)
+		}
+		tables = append(tables, t)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	var where Expr
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		where = e
+	}
+	var orderBy Expr
+	orderDesc := false
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		orderBy = e
+		if p.acceptKw("DESC") {
+			orderDesc = true
+		} else {
+			p.acceptKw("ASC")
+		}
+	}
+	limit := -1
+	if p.acceptKw("LIMIT") {
+		tok := p.peek()
+		if tok.kind != sqlNum || tok.num < 0 || tok.num != float64(int(tok.num)) {
+			return nil, fmt.Errorf("relstore: LIMIT needs a non-negative integer")
+		}
+		p.pos++
+		limit = int(tok.num)
+	}
+	if p.peek().kind != sqlEOF {
+		return nil, fmt.Errorf("relstore: unexpected %v after statement", p.peek().text)
+	}
+	if star {
+		for _, t := range tables {
+			for _, c := range t.Columns {
+				targets = append(targets, selectTarget{expr: ColExpr{table: t.Name, col: c}, name: c})
+			}
+		}
+	}
+	for _, tgt := range targets {
+		if err := validateExpr(tgt.expr, tables); err != nil {
+			return nil, err
+		}
+	}
+	if where != nil {
+		if err := validateExpr(where, tables); err != nil {
+			return nil, err
+		}
+	}
+	if orderBy != nil {
+		if err := validateExpr(orderBy, tables); err != nil {
+			return nil, err
+		}
+	}
+	rs := &ResultSet{}
+	for _, tgt := range targets {
+		rs.Columns = append(rs.Columns, tgt.name)
+	}
+	env := &rowEnv{tables: tables, rows: make([]Row, len(tables))}
+	var sortKeys []Value
+	emit := func() error {
+		if where != nil {
+			v, err := where.eval(env)
+			if err != nil {
+				return err
+			}
+			if v.Kind != KBool {
+				return fmt.Errorf("relstore: WHERE must be boolean")
+			}
+			if !v.B {
+				return nil
+			}
+		}
+		out := make(Row, len(targets))
+		for i, tgt := range targets {
+			v, err := tgt.expr.eval(env)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		if orderBy != nil {
+			k, err := orderBy.eval(env)
+			if err != nil {
+				return err
+			}
+			sortKeys = append(sortKeys, k)
+		}
+		rs.Rows = append(rs.Rows, out)
+		return nil
+	}
+	finish := func() *ResultSet {
+		if orderBy != nil {
+			idx := make([]int, len(rs.Rows))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				c := sortKeys[idx[a]].Compare(sortKeys[idx[b]])
+				if orderDesc {
+					return c > 0
+				}
+				return c < 0
+			})
+			ordered := make([]Row, len(rs.Rows))
+			for i, j := range idx {
+				ordered[i] = rs.Rows[j]
+			}
+			rs.Rows = ordered
+		}
+		if limit >= 0 && len(rs.Rows) > limit {
+			rs.Rows = rs.Rows[:limit]
+		}
+		return rs
+	}
+	// Single-table scans can use an index range when the WHERE clause pins
+	// an indexed column.
+	if len(tables) == 1 {
+		if col, lo, hi, ok := indexablePredicate(where, tables[0]); ok {
+			var ferr error
+			err := tables[0].IndexRange(col, lo, hi, func(r Row) bool {
+				env.rows[0] = r
+				if err := emit(); err != nil {
+					ferr = err
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			if ferr != nil {
+				return nil, ferr
+			}
+			return finish(), nil
+		}
+	}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(tables) {
+			return emit()
+		}
+		var ferr error
+		tables[i].Scan(func(r Row) bool {
+			env.rows[i] = r
+			if err := rec(i + 1); err != nil {
+				ferr = err
+				return false
+			}
+			return true
+		})
+		return ferr
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return finish(), nil
+}
+
+// indexablePredicate extracts a range [lo,hi] on one indexed column from
+// the top-level AND conjuncts of where.
+func indexablePredicate(where Expr, t *Table) (col string, lo, hi *Value, ok bool) {
+	var conjuncts []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if b, isBin := e.(BinExpr); isBin && b.op == "AND" {
+			flatten(b.l)
+			flatten(b.r)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	if where == nil {
+		return "", nil, nil, false
+	}
+	flatten(where)
+	for _, c := range conjuncts {
+		b, isBin := c.(BinExpr)
+		if !isBin {
+			continue
+		}
+		ce, okL := b.l.(ColExpr)
+		le, okR := b.r.(LitExpr)
+		op := b.op
+		if !okL || !okR {
+			// Try the flipped orientation const op col.
+			if le2, okL2 := b.l.(LitExpr); okL2 {
+				if ce2, okR2 := b.r.(ColExpr); okR2 {
+					ce, le, okL, okR = ce2, le2, true, true
+					switch op {
+					case "<":
+						op = ">"
+					case "<=":
+						op = ">="
+					case ">":
+						op = "<"
+					case ">=":
+						op = "<="
+					}
+				}
+			}
+		}
+		if !okL || !okR || !t.HasIndex(ce.col) {
+			continue
+		}
+		v := le.v
+		switch op {
+		case "=":
+			return ce.col, &v, &v, true
+		case "<", "<=":
+			return ce.col, nil, &v, true
+		case ">", ">=":
+			return ce.col, &v, nil, true
+		}
+	}
+	return "", nil, nil, false
+}
+
+func (p *sqlParser) deleteStmt() (*ResultSet, error) {
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", name)
+	}
+	var where Expr
+	if p.acceptKw("WHERE") {
+		where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	env := &rowEnv{tables: []*Table{t}, rows: make([]Row, 1)}
+	var evalErr error
+	n := t.deleteWhere(func(r Row) bool {
+		if where == nil {
+			return true
+		}
+		env.rows[0] = r
+		v, err := where.eval(env)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return v.Kind == KBool && v.B
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return countResult(n), nil
+}
+
+func (p *sqlParser) updateStmt() (*ResultSet, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := p.store.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %s", name)
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	type assignment struct {
+		col  int
+		expr Expr
+	}
+	var sets []assignment
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci, ok := t.ColIndex(col)
+		if !ok {
+			return nil, fmt.Errorf("relstore: table %s has no column %s", name, col)
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, assignment{col: ci, expr: e})
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	var where Expr
+	if p.acceptKw("WHERE") {
+		where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	env := &rowEnv{tables: []*Table{t}, rows: make([]Row, 1)}
+	var evalErr error
+	n := t.updateWhere(
+		func(r Row) bool {
+			if evalErr != nil {
+				return false
+			}
+			if where == nil {
+				return true
+			}
+			env.rows[0] = r
+			v, err := where.eval(env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return v.Kind == KBool && v.B
+		},
+		func(r Row) Row {
+			next := make(Row, len(r))
+			copy(next, r)
+			env.rows[0] = r
+			for _, a := range sets {
+				v, err := a.expr.eval(env)
+				if err != nil {
+					evalErr = err
+					return r
+				}
+				next[a.col] = v
+			}
+			return next
+		},
+	)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return countResult(n), nil
+}

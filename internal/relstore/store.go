@@ -1,0 +1,302 @@
+// Package relstore is a small in-memory relational DBMS with an SQL subset
+// — the substrate §5.1 of the paper assumes: "our system ... can be
+// implemented by a software system, called MOST, built on top of an
+// existing DBMS".  The paper names Sybase; this package is the from-scratch
+// replacement that preserves what the MOST layer relies on: non-temporal
+// SELECT/FROM/WHERE evaluation over relations, keys, and secondary indexes.
+//
+// Supported statements:
+//
+//	CREATE TABLE t (col, col, ...)
+//	INSERT INTO t VALUES (v, v, ...)
+//	SELECT cols FROM t [, t2 ...] [WHERE cond]
+//	DELETE FROM t [WHERE cond]
+//	UPDATE t SET col = expr [, ...] [WHERE cond]
+//
+// Conditions are boolean combinations (AND/OR/NOT) of comparisons between
+// columns, constants and arithmetic over them.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Value is a relational value: NULL, number, string or bool.
+type Value struct {
+	Kind ValueKind
+	F    float64
+	S    string
+	B    bool
+}
+
+// ValueKind discriminates Value.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	KNull ValueKind = iota
+	KNum
+	KStr
+	KBool
+)
+
+// Num wraps a number.
+func Num(f float64) Value { return Value{Kind: KNum, F: f} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{Kind: KStr, S: s} }
+
+// Bool wraps a bool.
+func Bool(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// Null is the NULL value.
+func Null() Value { return Value{} }
+
+// Compare orders values; differing kinds order by kind.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KNum:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+	case KStr:
+		return strings.Compare(v.S, o.S)
+	case KBool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNum:
+		return fmt.Sprintf("%g", v.F)
+	case KStr:
+		return v.S
+	case KBool:
+		return fmt.Sprintf("%t", v.B)
+	default:
+		return "NULL"
+	}
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Table is a named relation.
+type Table struct {
+	Name    string
+	Columns []string
+	colIdx  map[string]int
+	rows    []Row
+	indexes map[string]*btreeIndex
+}
+
+// Store is a collection of tables, safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: map[string]*Table{}}
+}
+
+// CreateTable registers a new table.
+func (s *Store) CreateTable(name string, columns ...string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %s already exists", name)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("relstore: table %s needs at least one column", name)
+	}
+	t := &Table{
+		Name:    name,
+		Columns: append([]string{}, columns...),
+		colIdx:  map[string]int{},
+		indexes: map[string]*btreeIndex{},
+	}
+	for i, c := range columns {
+		if _, dup := t.colIdx[c]; dup {
+			return nil, fmt.Errorf("relstore: table %s: duplicate column %s", name, c)
+		}
+		t.colIdx[c] = i
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("relstore: no table %s", name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Table looks a table up by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns the table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColIndex returns the position of a column.
+func (t *Table) ColIndex(col string) (int, bool) {
+	i, ok := t.colIdx[col]
+	return i, ok
+}
+
+// Insert appends a row.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("relstore: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	cp := make(Row, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	for col, idx := range t.indexes {
+		idx.insert(cp[t.colIdx[col]], len(t.rows)-1)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Scan invokes fn on every row; returning false stops early.
+func (t *Table) Scan(fn func(Row) bool) {
+	for _, r := range t.rows {
+		if r == nil {
+			continue // deleted
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Rows returns a copy of the live rows.
+func (t *Table) Rows() []Row {
+	out := make([]Row, 0, len(t.rows))
+	t.Scan(func(r Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// CreateIndex builds a secondary ordered index on a column.
+func (t *Table) CreateIndex(col string) error {
+	i, ok := t.colIdx[col]
+	if !ok {
+		return fmt.Errorf("relstore: table %s has no column %s", t.Name, col)
+	}
+	if _, dup := t.indexes[col]; dup {
+		return fmt.Errorf("relstore: index on %s.%s already exists", t.Name, col)
+	}
+	idx := newBTreeIndex()
+	for rid, r := range t.rows {
+		if r != nil {
+			idx.insert(r[i], rid)
+		}
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the column is indexed.
+func (t *Table) HasIndex(col string) bool {
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// IndexRange scans rows with lo <= row[col] <= hi via the index; either
+// bound may be nil for open-ended scans.
+func (t *Table) IndexRange(col string, lo, hi *Value, fn func(Row) bool) error {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return fmt.Errorf("relstore: no index on %s.%s", t.Name, col)
+	}
+	idx.scanRange(lo, hi, func(rid int) bool {
+		if r := t.rows[rid]; r != nil {
+			return fn(r)
+		}
+		return true
+	})
+	return nil
+}
+
+// deleteWhere removes rows matching pred, returning the count.
+func (t *Table) deleteWhere(pred func(Row) bool) int {
+	n := 0
+	for rid, r := range t.rows {
+		if r == nil || !pred(r) {
+			continue
+		}
+		for col, idx := range t.indexes {
+			idx.remove(r[t.colIdx[col]], rid)
+		}
+		t.rows[rid] = nil
+		n++
+	}
+	return n
+}
+
+// updateWhere applies set to rows matching pred, returning the count.
+func (t *Table) updateWhere(pred func(Row) bool, set func(Row) Row) int {
+	n := 0
+	for rid, r := range t.rows {
+		if r == nil || !pred(r) {
+			continue
+		}
+		next := set(r)
+		for col, idx := range t.indexes {
+			ci := t.colIdx[col]
+			if r[ci].Compare(next[ci]) != 0 {
+				idx.remove(r[ci], rid)
+				idx.insert(next[ci], rid)
+			}
+		}
+		t.rows[rid] = next
+		n++
+	}
+	return n
+}

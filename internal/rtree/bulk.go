@@ -1,0 +1,92 @@
+package rtree
+
+import "sort"
+
+// BulkLoad replaces the tree's contents with the given entries, packed by
+// the Sort-Tile-Recursive method (Leutenegger et al.): entries are ordered
+// by recursive tiling over the axes and packed into full leaves, giving
+// tight, barely-overlapping nodes — the preferred way to (re)build the
+// periodic dynamic-attribute index, whose §4 reconstruction every T time
+// units starts from the complete set of trajectories.
+func (t *Tree[T]) BulkLoad(rects []Rect, values []T) {
+	if len(rects) != len(values) {
+		panic("rtree: BulkLoad length mismatch")
+	}
+	t.size = len(rects)
+	if len(rects) == 0 {
+		t.root = &node[T]{leaf: true}
+		return
+	}
+	order := make([]int, len(rects))
+	for i := range order {
+		order[i] = i
+	}
+	t.strSort(order, rects, 0)
+
+	// Pack leaves.
+	var level []*node[T]
+	for start := 0; start < len(order); start += t.maxEntry {
+		end := start + t.maxEntry
+		if end > len(order) {
+			end = len(order)
+		}
+		n := &node[T]{leaf: true}
+		for _, idx := range order[start:end] {
+			n.entries = append(n.entries, entry[T]{rect: rects[idx], value: values[idx]})
+		}
+		level = append(level, n)
+	}
+	// Pack upward until a single root remains.
+	for len(level) > 1 {
+		var next []*node[T]
+		for start := 0; start < len(level); start += t.maxEntry {
+			end := start + t.maxEntry
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &node[T]{leaf: false}
+			for _, child := range level[start:end] {
+				n.entries = append(n.entries, entry[T]{rect: boundsOf(child, t.dims), child: child})
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+}
+
+// strSort orders idx by recursive tiling: sort by the centre of dim, cut
+// into vertical slices sized so each holds a square-ish tile of leaves,
+// and recurse on the remaining dims within each slice.
+func (t *Tree[T]) strSort(idx []int, rects []Rect, dim int) {
+	center := func(i int) float64 { return (rects[i].Min[dim] + rects[i].Max[dim]) / 2 }
+	sort.Slice(idx, func(a, b int) bool { return center(idx[a]) < center(idx[b]) })
+	if dim >= t.dims-1 {
+		return
+	}
+	leaves := (len(idx) + t.maxEntry - 1) / t.maxEntry
+	// Number of slices along this axis: leaves^(1/remaining-dims).
+	remaining := t.dims - dim
+	slices := 1
+	for slices < leaves {
+		p := 1
+		for r := 0; r < remaining; r++ {
+			p *= slices + 1
+		}
+		if p > leaves {
+			break
+		}
+		slices++
+	}
+	sliceSize := (len(idx) + slices - 1) / slices
+	if sliceSize < t.maxEntry {
+		sliceSize = t.maxEntry
+	}
+	for start := 0; start < len(idx); start += sliceSize {
+		end := start + sliceSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		t.strSort(idx[start:end], rects, dim+1)
+	}
+}

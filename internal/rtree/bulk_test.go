@@ -1,0 +1,132 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		for _, n := range []int{0, 1, 5, 16, 17, 100, 1000} {
+			r := rand.New(rand.NewSource(int64(dims*1000 + n)))
+			rects := make([]Rect, n)
+			vals := make([]int, n)
+			inc := New[int](dims, 16)
+			for i := 0; i < n; i++ {
+				rects[i] = randRect(r, dims, 200, 10)
+				vals[i] = i
+				inc.Insert(rects[i], i)
+			}
+			bulk := New[int](dims, 16)
+			bulk.BulkLoad(rects, vals)
+			if bulk.Len() != n {
+				t.Fatalf("dims=%d n=%d: bulk Len = %d", dims, n, bulk.Len())
+			}
+			for q := 0; q < 30; q++ {
+				query := randRect(r, dims, 200, 40)
+				a := inc.SearchAll(query)
+				b := bulk.SearchAll(query)
+				sort.Ints(a)
+				sort.Ints(b)
+				if len(a) != len(b) {
+					t.Fatalf("dims=%d n=%d query %d: incremental %d hits, bulk %d", dims, n, q, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("dims=%d n=%d query %d: %v vs %v", dims, n, q, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	n := 300
+	rects := make([]Rect, n)
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		rects[i] = randRect(r, 2, 100, 5)
+		vals[i] = i
+	}
+	tr := New[int](2, 16)
+	tr.BulkLoad(rects, vals)
+	// Deletes and inserts keep working on a bulk-loaded tree.
+	for i := 0; i < n; i += 3 {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := n; i < n+50; i++ {
+		tr.Insert(randRect(r, 2, 100, 5), i)
+	}
+	if tr.Len() != n-100+50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchAll(Rect2(-1e9, -1e9, 1e9, 1e9))
+	if len(got) != tr.Len() {
+		t.Fatalf("full search = %d, Len = %d", len(got), tr.Len())
+	}
+}
+
+func TestBulkLoadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	New[int](2, 16).BulkLoad(make([]Rect, 2), make([]int, 3))
+}
+
+func TestBulkLoadReplacesContents(t *testing.T) {
+	tr := New[int](2, 16)
+	tr.Insert(Rect2(0, 0, 1, 1), 99)
+	tr.BulkLoad([]Rect{Rect2(5, 5, 6, 6)}, []int{1})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.SearchAll(Rect2(0, 0, 1, 1)); len(got) != 0 {
+		t.Fatalf("old contents survived: %v", got)
+	}
+	// Empty bulk load leaves a usable empty tree.
+	tr.BulkLoad(nil, nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty bulk load should clear")
+	}
+	tr.Insert(Rect2(0, 0, 1, 1), 1)
+	if got := tr.SearchAll(Rect2(0, 0, 2, 2)); len(got) != 1 {
+		t.Fatalf("insert after empty bulk load: %v", got)
+	}
+}
+
+func TestDeleteNonexistentAndRootCollapse(t *testing.T) {
+	tr := New[int](2, 8)
+	if tr.Delete(Rect2(0, 0, 1, 1), 999) {
+		t.Fatal("delete from empty tree should fail")
+	}
+	// Fill enough to gain height, then delete everything: root collapses.
+	r := rand.New(rand.NewSource(5))
+	boxes := make([]Rect, 200)
+	for i := range boxes {
+		boxes[i] = randRect(r, 2, 50, 4)
+		tr.Insert(boxes[i], i)
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree should have grown")
+	}
+	for i, b := range boxes {
+		if !tr.Delete(b, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("after emptying: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	// Tree still usable.
+	tr.Insert(Rect2(0, 0, 1, 1), 1)
+	if got := tr.SearchAll(Rect2(0, 0, 2, 2)); len(got) != 1 {
+		t.Fatalf("reuse after collapse: %v", got)
+	}
+}

@@ -1,0 +1,375 @@
+// Package rtree is a from-scratch in-memory R-tree (Guttman 1984, the
+// classic representative of the spatial access methods the paper's §4
+// builds its dynamic-attribute index on: "we use a spatial index (see [9]
+// for a survey of spatial access indexes) for each dynamic attribute A").
+//
+// The tree is dimension-generic up to three axes, so the same structure
+// serves the (time, value) plane of a one-dimensional dynamic attribute and
+// the (x, y, time) space of an object moving in the plane ("for an object
+// moving in 2-dimensional space, the above scheme can be mimicked using an
+// index of 3-dimensional space, with the third dimension being, obviously,
+// time").
+package rtree
+
+import "math"
+
+// MaxDims is the maximum number of axes supported.
+const MaxDims = 3
+
+// Rect is an axis-aligned box in up to MaxDims dimensions; only the first
+// Dims axes are significant.
+type Rect struct {
+	Min, Max [MaxDims]float64
+}
+
+// Rect2 builds a 2-D rectangle.
+func Rect2(minX, minY, maxX, maxY float64) Rect {
+	return Rect{Min: [MaxDims]float64{minX, minY, 0}, Max: [MaxDims]float64{maxX, maxY, 0}}
+}
+
+// Rect3 builds a 3-D box.
+func Rect3(minX, minY, minZ, maxX, maxY, maxZ float64) Rect {
+	return Rect{Min: [MaxDims]float64{minX, minY, minZ}, Max: [MaxDims]float64{maxX, maxY, maxZ}}
+}
+
+// Intersects reports whether two boxes share any point in the first dims
+// axes.
+func (r Rect) Intersects(o Rect, dims int) bool {
+	for d := 0; d < dims; d++ {
+		if r.Min[d] > o.Max[d] || o.Min[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports whether o lies entirely within r.
+func (r Rect) contains(o Rect, dims int) bool {
+	for d := 0; d < dims; d++ {
+		if o.Min[d] < r.Min[d] || o.Max[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// union returns the bounding box of r and o.
+func (r Rect) union(o Rect, dims int) Rect {
+	out := r
+	for d := 0; d < dims; d++ {
+		out.Min[d] = math.Min(r.Min[d], o.Min[d])
+		out.Max[d] = math.Max(r.Max[d], o.Max[d])
+	}
+	return out
+}
+
+// area returns the volume of the box in the first dims axes.
+func (r Rect) area(dims int) float64 {
+	a := 1.0
+	for d := 0; d < dims; d++ {
+		a *= r.Max[d] - r.Min[d]
+	}
+	return a
+}
+
+// enlargement returns how much r's volume grows to absorb o.
+func (r Rect) enlargement(o Rect, dims int) float64 {
+	return r.union(o, dims).area(dims) - r.area(dims)
+}
+
+// Tree is an R-tree mapping rectangles to values of type T.  Values are
+// compared with == on deletion.  The zero value is not ready to use; call
+// New.
+type Tree[T comparable] struct {
+	dims     int
+	maxEntry int
+	minEntry int
+	root     *node[T]
+	size     int
+}
+
+type entry[T comparable] struct {
+	rect  Rect
+	child *node[T] // nil at leaves
+	value T
+}
+
+type node[T comparable] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// New returns an empty R-tree over the given number of dimensions (1 to 3).
+// maxEntries controls the node fan-out; values below 4 default to 16.
+func New[T comparable](dims, maxEntries int) *Tree[T] {
+	if dims < 1 || dims > MaxDims {
+		panic("rtree: dims must be between 1 and 3")
+	}
+	if maxEntries < 4 {
+		maxEntries = 16
+	}
+	return &Tree[T]{
+		dims:     dims,
+		maxEntry: maxEntries,
+		minEntry: maxEntries * 2 / 5, // Guttman suggests m ~ 40% of M
+		root:     &node[T]{leaf: true},
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds value with bounding box r.
+func (t *Tree[T]) Insert(r Rect, value T) {
+	t.insertEntry(entry[T]{rect: r, value: value})
+	t.size++
+}
+
+func (t *Tree[T]) insertEntry(e entry[T]) {
+	path := t.descend(e.rect)
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, e)
+	t.splitAlong(path)
+}
+
+// descend walks from the root to the leaf whose box needs least enlargement
+// to absorb r (ties broken by smaller area), widening boxes on the way down,
+// and returns the path root..leaf.
+func (t *Tree[T]) descend(r Rect) []*node[T] {
+	path := []*node[T]{t.root}
+	n := t.root
+	for !n.leaf {
+		best := -1
+		bestEnl, bestArea := math.Inf(1), math.Inf(1)
+		for i := range n.entries {
+			enl := n.entries[i].rect.enlargement(r, t.dims)
+			area := n.entries[i].rect.area(t.dims)
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.union(r, t.dims)
+		n = n.entries[best].child
+		path = append(path, n)
+	}
+	return path
+}
+
+// splitAlong splits overfull nodes from the leaf at the end of the path
+// back up to the root.
+func (t *Tree[T]) splitAlong(path []*node[T]) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) <= t.maxEntry {
+			return
+		}
+		left, right := t.splitNode(n)
+		if i == 0 {
+			t.root = &node[T]{
+				leaf: false,
+				entries: []entry[T]{
+					{rect: boundsOf(left, t.dims), child: left},
+					{rect: boundsOf(right, t.dims), child: right},
+				},
+			}
+			return
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = entry[T]{rect: boundsOf(left, t.dims), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry[T]{rect: boundsOf(right, t.dims), child: right})
+	}
+}
+
+// splitNode performs Guttman's quadratic split, returning two nodes that
+// partition n's entries.
+func (t *Tree[T]) splitNode(n *node[T]) (*node[T], *node[T]) {
+	es := n.entries
+	// Pick seeds: the pair wasting the most area if grouped.
+	si, sj, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			d := es[i].rect.union(es[j].rect, t.dims).area(t.dims) -
+				es[i].rect.area(t.dims) - es[j].rect.area(t.dims)
+			if d > worst {
+				si, sj, worst = i, j, d
+			}
+		}
+	}
+	left := &node[T]{leaf: n.leaf, entries: []entry[T]{es[si]}}
+	right := &node[T]{leaf: n.leaf, entries: []entry[T]{es[sj]}}
+	lBox, rBox := es[si].rect, es[sj].rect
+	rest := make([]entry[T], 0, len(es)-2)
+	for i := range es {
+		if i != si && i != sj {
+			rest = append(rest, es[i])
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take everything to reach the minimum, do so.
+		if len(left.entries)+len(rest) == t.minEntry {
+			left.entries = append(left.entries, rest...)
+			for _, e := range rest {
+				lBox = lBox.union(e.rect, t.dims)
+			}
+			break
+		}
+		if len(right.entries)+len(rest) == t.minEntry {
+			right.entries = append(right.entries, rest...)
+			for _, e := range rest {
+				rBox = rBox.union(e.rect, t.dims)
+			}
+			break
+		}
+		// PickNext: entry with the greatest preference difference.
+		bi, bd := 0, math.Inf(-1)
+		for i, e := range rest {
+			d1 := lBox.enlargement(e.rect, t.dims)
+			d2 := rBox.enlargement(e.rect, t.dims)
+			if diff := math.Abs(d1 - d2); diff > bd {
+				bi, bd = i, diff
+			}
+		}
+		e := rest[bi]
+		rest[bi] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		d1 := lBox.enlargement(e.rect, t.dims)
+		d2 := rBox.enlargement(e.rect, t.dims)
+		if d1 < d2 || (d1 == d2 && len(left.entries) < len(right.entries)) {
+			left.entries = append(left.entries, e)
+			lBox = lBox.union(e.rect, t.dims)
+		} else {
+			right.entries = append(right.entries, e)
+			rBox = rBox.union(e.rect, t.dims)
+		}
+	}
+	return left, right
+}
+
+func boundsOf[T comparable](n *node[T], dims int) Rect {
+	b := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		b = b.union(e.rect, dims)
+	}
+	return b
+}
+
+// Search invokes fn for every entry whose box intersects q; returning false
+// from fn stops the search early.
+func (t *Tree[T]) Search(q Rect, fn func(Rect, T) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree[T]) search(n *node[T], q Rect, fn func(Rect, T) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(q, t.dims) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.value) {
+				return false
+			}
+		} else if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAll returns all values whose boxes intersect q.
+func (t *Tree[T]) SearchAll(q Rect) []T {
+	var out []T
+	t.Search(q, func(_ Rect, v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Delete removes one entry with the given value whose box intersects r,
+// reporting whether an entry was removed.  Underfull nodes are condensed
+// and their entries reinserted (Guttman's CondenseTree).
+func (t *Tree[T]) Delete(r Rect, value T) bool {
+	var orphans []entry[T]
+	removed := t.deleteRec(t.root, r, value, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node[T]{leaf: true}
+	}
+	for _, e := range orphans {
+		if e.child == nil {
+			t.insertEntry(e)
+		} else {
+			t.reinsertSubtree(e.child)
+		}
+	}
+	return true
+}
+
+func (t *Tree[T]) reinsertSubtree(n *node[T]) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.insertEntry(e)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+// deleteRec removes the entry from the subtree; underfull children are cut
+// out and queued for reinsertion.
+func (t *Tree[T]) deleteRec(n *node[T], r Rect, value T, orphans *[]entry[T]) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].value == value && n.entries[i].rect.Intersects(r, t.dims) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.rect.Intersects(r, t.dims) {
+			continue
+		}
+		if t.deleteRec(e.child, r, value, orphans) {
+			if len(e.child.entries) < t.minEntry {
+				// Cut the child out; its surviving entries reinsert later.
+				for _, oe := range e.child.entries {
+					*orphans = append(*orphans, oe)
+				}
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				e.rect = boundsOf(e.child, t.dims)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Height returns the tree height (leaf = 1); exposed so tests and the E3
+// experiment can verify logarithmic growth.
+func (t *Tree[T]) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.entries[0].child
+	}
+	return h
+}

@@ -1,0 +1,236 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randRect(r *rand.Rand, dims int, span, size float64) Rect {
+	var rc Rect
+	for d := 0; d < dims; d++ {
+		lo := r.Float64() * span
+		rc.Min[d] = lo
+		rc.Max[d] = lo + r.Float64()*size
+	}
+	return rc
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect2(0, 0, 10, 10)
+	b := Rect2(5, 5, 15, 15)
+	c := Rect2(11, 0, 20, 10)
+	if !a.Intersects(b, 2) || a.Intersects(c, 2) {
+		t.Error("Intersects wrong")
+	}
+	if !a.Intersects(Rect2(10, 10, 20, 20), 2) {
+		t.Error("touching boxes should intersect")
+	}
+	u := a.union(b, 2)
+	if u != Rect2(0, 0, 15, 15) {
+		t.Errorf("union = %+v", u)
+	}
+	if got := a.area(2); got != 100 {
+		t.Errorf("area = %v", got)
+	}
+	if got := a.enlargement(b, 2); got != 125 {
+		t.Errorf("enlargement = %v, want 125", got)
+	}
+	if !u.contains(a, 2) || a.contains(u, 2) {
+		t.Error("contains wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dims=0 should panic")
+		}
+	}()
+	New[int](0, 16)
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New[int](2, 4)
+	boxes := []Rect{
+		Rect2(0, 0, 1, 1),
+		Rect2(10, 10, 11, 11),
+		Rect2(0.5, 0.5, 2, 2),
+		Rect2(-5, -5, -4, -4),
+	}
+	for i, b := range boxes {
+		tr.Insert(b, i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchAll(Rect2(0, 0, 3, 3))
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("SearchAll = %v", got)
+	}
+	if got := tr.SearchAll(Rect2(100, 100, 101, 101)); len(got) != 0 {
+		t.Fatalf("empty search = %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New[int](2, 4)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Rect2(0, 0, 1, 1), i)
+	}
+	count := 0
+	tr.Search(Rect2(0, 0, 1, 1), func(Rect, int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		r := rand.New(rand.NewSource(int64(dims)))
+		tr := New[int](dims, 8)
+		var boxes []Rect
+		for i := 0; i < 500; i++ {
+			b := randRect(r, dims, 100, 10)
+			boxes = append(boxes, b)
+			tr.Insert(b, i)
+		}
+		for q := 0; q < 100; q++ {
+			query := randRect(r, dims, 100, 25)
+			got := tr.SearchAll(query)
+			sort.Ints(got)
+			var want []int
+			for i, b := range boxes {
+				if b.Intersects(query, dims) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("dims %d query %d: got %d hits, want %d", dims, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dims %d query %d: got %v, want %v", dims, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int](2, 4)
+	boxes := make([]Rect, 200)
+	r := rand.New(rand.NewSource(5))
+	for i := range boxes {
+		boxes[i] = randRect(r, 2, 50, 5)
+		tr.Insert(boxes[i], i)
+	}
+	// Delete the even entries.
+	for i := 0; i < len(boxes); i += 2 {
+		if !tr.Delete(boxes[i], i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	// Deleting again fails.
+	if tr.Delete(boxes[0], 0) {
+		t.Fatal("double delete should fail")
+	}
+	// The odd entries are all still findable.
+	got := tr.SearchAll(Rect2(-1000, -1000, 1000, 1000))
+	sort.Ints(got)
+	if len(got) != 100 {
+		t.Fatalf("survivors = %d", len(got))
+	}
+	for i, v := range got {
+		if v != 2*i+1 {
+			t.Fatalf("survivors[%d] = %d, want %d", i, v, 2*i+1)
+		}
+	}
+}
+
+func TestRandomizedInsertDeleteSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tr := New[int](2, 8)
+	live := map[int]Rect{}
+	next := 0
+	for step := 0; step < 3000; step++ {
+		switch {
+		case len(live) == 0 || r.Float64() < 0.55:
+			b := randRect(r, 2, 80, 8)
+			tr.Insert(b, next)
+			live[next] = b
+			next++
+		default:
+			// Delete a random live entry.
+			var id int
+			k := r.Intn(len(live))
+			for cand := range live {
+				if k == 0 {
+					id = cand
+					break
+				}
+				k--
+			}
+			if !tr.Delete(live[id], id) {
+				t.Fatalf("step %d: delete %d failed", step, id)
+			}
+			delete(live, id)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d want %d", step, tr.Len(), len(live))
+		}
+		if step%100 == 0 {
+			query := randRect(r, 2, 80, 20)
+			got := tr.SearchAll(query)
+			sort.Ints(got)
+			var want []int
+			for id, b := range live {
+				if b.Intersects(query, 2) {
+					want = append(want, id)
+				}
+			}
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: got %d hits want %d", step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: got %v want %v", step, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{100, 1000, 10000} {
+		tr := New[int](2, 16)
+		for i := 0; i < n; i++ {
+			tr.Insert(randRect(r, 2, 1000, 2), i)
+		}
+		// Height must be O(log_m n); with minEntry ~6, generous bound:
+		maxH := int(math.Ceil(math.Log(float64(n))/math.Log(4))) + 2
+		if h := tr.Height(); h > maxH {
+			t.Errorf("n=%d: height %d exceeds bound %d", n, h, maxH)
+		}
+	}
+}
+
+func TestRect3(t *testing.T) {
+	b := Rect3(0, 1, 2, 3, 4, 5)
+	if b.Min != [3]float64{0, 1, 2} || b.Max != [3]float64{3, 4, 5} {
+		t.Errorf("Rect3 = %+v", b)
+	}
+	if got := b.area(3); got != 27 {
+		t.Errorf("area = %v", got)
+	}
+}

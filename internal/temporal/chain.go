@@ -1,0 +1,151 @@
+package temporal
+
+import "sort"
+
+// This file is the literal transcription of the appendix's Until algorithm:
+// maximal chains over the interval sets I1 (for f) and I2 (for h) of a pair
+// of joining tuples.  The production evaluator uses the equivalent
+// closed-form Until in operators.go; UntilChains is kept because it is the
+// algorithm as published, and the test suite proves the two agree.
+
+// Chain is a sequence of intervals [l1 u1],[m1 n1],...,[lk uk],[mk nk]
+// alternating between I1 and I2 such that each interval is compatible with
+// its successor (appendix).  FromI1 records whether the first link comes
+// from I1; the paper's chains always do, but an h-interval with no
+// compatible preceding f-run still satisfies "f Until h" on its own (h at
+// the current state satisfies the formula), so we admit degenerate chains
+// that start directly in I2.
+type Chain struct {
+	Links  []Interval
+	FromI1 bool
+}
+
+// Interval returns interval(s) = [l1 nk]: the formula f Until h is
+// satisfied throughout it.
+func (c Chain) Interval() Interval {
+	return Interval{Start: c.Links[0].Start, End: c.Links[len(c.Links)-1].End}
+}
+
+// MaximalChains computes all maximal chains over the normalized sets f (I1)
+// and h (I2) by "sorting the sets individually and running a modified merge
+// algorithm" (appendix).  Because both sets are normalized (disjoint and
+// non-consecutive), each interval has at most one compatible successor in
+// the other set, so chains are unique paths and maximal chains are the
+// paths that start at an interval with no predecessor.
+func MaximalChains(f, h Set) []Chain {
+	i1 := f.Intervals()
+	i2 := h.Intervals()
+
+	// succ1[i] is the index in i2 compatible with i1[i], or -1.
+	succ1 := make([]int, len(i1))
+	hasPred2 := make([]bool, len(i2))
+	for i, iv := range i1 {
+		succ1[i] = compatibleSuccessor(iv, i2)
+		if succ1[i] >= 0 {
+			hasPred2[succ1[i]] = true
+		}
+	}
+	succ2 := make([]int, len(i2))
+	hasPred1 := make([]bool, len(i1))
+	for j, iv := range i2 {
+		succ2[j] = compatibleSuccessor(iv, i1)
+		if succ2[j] >= 0 {
+			hasPred1[succ2[j]] = true
+		}
+	}
+
+	var chains []Chain
+	// Paper chains: start at an I1 interval with no I2 predecessor, but only
+	// if the chain reaches at least one I2 interval (a chain must end with
+	// [mk nk] for the formula to be witnessed).
+	for i := range i1 {
+		if hasPred1[i] {
+			continue
+		}
+		c := Chain{FromI1: true}
+		ci, inI1 := i, true
+		for {
+			if inI1 {
+				c.Links = append(c.Links, i1[ci])
+				if succ1[ci] < 0 {
+					break
+				}
+				ci, inI1 = succ1[ci], false
+			} else {
+				c.Links = append(c.Links, i2[ci])
+				if succ2[ci] < 0 {
+					break
+				}
+				ci, inI1 = succ2[ci], true
+			}
+		}
+		// Trim a trailing I1 link: satisfaction requires a future h-witness.
+		if len(c.Links)%2 == 1 {
+			c.Links = c.Links[:len(c.Links)-1]
+		}
+		if len(c.Links) > 0 {
+			chains = append(chains, c)
+		}
+	}
+	// Degenerate chains: I2 intervals with no compatible I1 predecessor.
+	for j := range i2 {
+		if hasPred2[j] {
+			continue
+		}
+		c := Chain{Links: []Interval{i2[j]}}
+		ci := j
+		for succ2[ci] >= 0 {
+			ni := succ2[ci]
+			c.Links = append(c.Links, i1[ni])
+			if succ1[ni] < 0 {
+				c.Links = c.Links[:len(c.Links)-1]
+				break
+			}
+			ci = succ1[ni]
+			c.Links = append(c.Links, i2[ci])
+		}
+		chains = append(chains, c)
+	}
+	return chains
+}
+
+// compatibleSuccessor returns the index of the unique interval in sorted
+// that iv is compatible with, or -1.  Compatibility of [a b] with [c d]
+// requires c <= b+1 and d >= b.
+func compatibleSuccessor(iv Interval, sorted []Interval) int {
+	// The candidate is the first interval ending at or after iv.End.
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].End >= iv.End })
+	if i < len(sorted) && iv.Compatible(sorted[i]) {
+		return i
+	}
+	return -1
+}
+
+// UntilChains evaluates "f Until h" by the appendix's pairwise scheme: for
+// every pair of a tuple interval in I1 and one in I2 it emits the satisfied
+// span, and normalization coalesces overlapping spans into the maximal-chain
+// intervals.  Its cost is proportional to |I1| x |I2| in the worst case —
+// exactly the bound the appendix states ("in the worst case, this algorithm
+// may run in time proportional to the product of the sizes of R1 and R2").
+//
+// Note on fidelity: the appendix requires full compatibility (m <= u+1 AND
+// n >= u) for every link, but for the *final* link of a chain only the start
+// condition m <= u+1 is semantically required (the witness need not outlast
+// the f-run).  We emit [l, n] for every such start-compatible pair; interior
+// links still coalesce through normalization, so the union equals the
+// maximal-chain union with that repair applied.  Tests prove equivalence
+// with Until and with a brute-force per-tick evaluator.
+func UntilChains(f, h Set, w Interval) Set {
+	fw, hw := f.Clip(w), h.Clip(w)
+	var out []Interval
+	// An h-interval alone satisfies f Until h at every tick it covers.
+	out = append(out, hw.Intervals()...)
+	for _, fr := range fw.Intervals() {
+		for _, hv := range hw.Intervals() {
+			if hv.Start >= fr.Start && hv.Start <= fr.End.Add(1) {
+				out = append(out, Interval{Start: fr.Start, End: hv.End})
+			}
+		}
+	}
+	return NewSet(out...)
+}

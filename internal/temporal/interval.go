@@ -1,0 +1,101 @@
+package temporal
+
+import "fmt"
+
+// Interval is a closed interval of clock ticks [Start, End], both endpoints
+// inclusive, matching the paper's notation "[l u]".  An interval is valid
+// when Start <= End; the zero Interval{0,0} is the single tick 0.
+type Interval struct {
+	Start Tick
+	End   Tick
+}
+
+// NewInterval returns the closed interval [start, end] and reports whether
+// it is non-empty (start <= end).
+func NewInterval(start, end Tick) (Interval, bool) {
+	if start > end {
+		return Interval{}, false
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Point returns the degenerate interval [t, t].
+func Point(t Tick) Interval { return Interval{Start: t, End: t} }
+
+// Valid reports whether the interval is non-empty.
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+// Len returns the number of ticks in the interval (End-Start+1), saturated.
+func (iv Interval) Len() Tick {
+	if !iv.Valid() {
+		return 0
+	}
+	return iv.End.Sub(iv.Start).Add(1)
+}
+
+// Contains reports whether tick t lies inside the interval.
+func (iv Interval) Contains(t Tick) bool { return iv.Start <= t && t <= iv.End }
+
+// ContainsInterval reports whether other lies entirely inside iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two intervals share at least one tick.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Compatible implements the appendix's compatibility test between ordered
+// intervals: "[l1 u1] is compatible with [m1 n1] if m1 <= u1+1 and n1 >= u1,
+// i.e. the two intervals either overlap or they are consecutive".
+func (iv Interval) Compatible(other Interval) bool {
+	return other.Start <= iv.End.Add(1) && other.End >= iv.End
+}
+
+// Consecutive reports whether other starts exactly one tick after iv ends.
+func (iv Interval) Consecutive(other Interval) bool {
+	return other.Start == iv.End.Add(1)
+}
+
+// Intersect returns the common sub-interval and whether it is non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s, e := iv.Start, iv.End
+	if other.Start > s {
+		s = other.Start
+	}
+	if other.End < e {
+		e = other.End
+	}
+	return NewInterval(s, e)
+}
+
+// Hull returns the smallest interval covering both iv and other.
+func (iv Interval) Hull(other Interval) Interval {
+	s, e := iv.Start, iv.End
+	if other.Start < s {
+		s = other.Start
+	}
+	if other.End > e {
+		e = other.End
+	}
+	return Interval{Start: s, End: e}
+}
+
+// Shift translates the interval by d ticks (negative d shifts earlier),
+// saturating at the representable range.
+func (iv Interval) Shift(d Tick) Interval {
+	return Interval{Start: iv.Start.Add(d), End: iv.End.Add(d)}
+}
+
+// Clip restricts the interval to the window w, reporting emptiness.
+func (iv Interval) Clip(w Interval) (Interval, bool) { return iv.Intersect(w) }
+
+// String renders the interval in the paper's "[l u]" form; an End of
+// MaxTick prints as "inf".
+func (iv Interval) String() string {
+	if iv.End >= MaxTick {
+		return fmt.Sprintf("[%d inf]", iv.Start)
+	}
+	return fmt.Sprintf("[%d %d]", iv.Start, iv.End)
+}

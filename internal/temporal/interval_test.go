@@ -1,0 +1,128 @@
+package temporal
+
+import "testing"
+
+func TestNewInterval(t *testing.T) {
+	tests := []struct {
+		name       string
+		start, end Tick
+		ok         bool
+	}{
+		{"point", 5, 5, true},
+		{"normal", 1, 9, true},
+		{"inverted", 9, 1, false},
+		{"negative", -4, -2, true},
+		{"full range", MinTick, MaxTick, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			iv, ok := NewInterval(tt.start, tt.end)
+			if ok != tt.ok {
+				t.Fatalf("NewInterval(%d,%d) ok = %v, want %v", tt.start, tt.end, ok, tt.ok)
+			}
+			if ok && (iv.Start != tt.start || iv.End != tt.end) {
+				t.Fatalf("NewInterval(%d,%d) = %v", tt.start, tt.end, iv)
+			}
+		})
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 3, End: 7}
+	for tick, want := range map[Tick]bool{2: false, 3: true, 5: true, 7: true, 8: false} {
+		if got := iv.Contains(tick); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", tick, got, want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Interval
+		want   Interval
+		wantOK bool
+	}{
+		{"overlap", Interval{1, 5}, Interval{3, 9}, Interval{3, 5}, true},
+		{"touch", Interval{1, 5}, Interval{5, 9}, Interval{5, 5}, true},
+		{"disjoint", Interval{1, 4}, Interval{6, 9}, Interval{}, false},
+		{"contained", Interval{1, 9}, Interval{3, 4}, Interval{3, 4}, true},
+		{"consecutive", Interval{1, 4}, Interval{5, 9}, Interval{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := tt.a.Intersect(tt.b)
+			if ok != tt.wantOK || (ok && got != tt.want) {
+				t.Fatalf("Intersect(%v,%v) = %v,%v; want %v,%v", tt.a, tt.b, got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestIntervalCompatible(t *testing.T) {
+	// Appendix: [l1 u1] compatible with [m1 n1] iff m1 <= u1+1 and n1 >= u1.
+	tests := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"overlap extending", Interval{0, 5}, Interval{4, 9}, true},
+		{"consecutive", Interval{0, 5}, Interval{6, 9}, true},
+		{"gap", Interval{0, 5}, Interval{7, 9}, false},
+		{"contained ends early", Interval{0, 5}, Interval{2, 3}, false},
+		{"same end", Interval{0, 5}, Interval{2, 5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compatible(tt.b); got != tt.want {
+				t.Fatalf("Compatible(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntervalShiftSaturates(t *testing.T) {
+	iv := Interval{Start: MaxTick - 1, End: MaxTick}
+	got := iv.Shift(10)
+	if got.End != MaxTick || got.Start > got.End {
+		t.Fatalf("Shift past MaxTick = %v, want saturated valid interval", got)
+	}
+	iv = Interval{Start: MinTick, End: MinTick + 1}
+	got = iv.Shift(-10)
+	if got.Start != MinTick || !got.Valid() {
+		t.Fatalf("Shift past MinTick = %v, want saturated valid interval", got)
+	}
+}
+
+func TestFloorCeilTick(t *testing.T) {
+	tests := []struct {
+		x           float64
+		floor, ceil Tick
+	}{
+		{2.0, 2, 2},
+		{2.3, 2, 3},
+		{-2.3, -3, -2},
+		{1e30, MaxTick, MaxTick},
+		{-1e30, MinTick, MinTick},
+	}
+	for _, tt := range tests {
+		if got := FloorTick(tt.x); got != tt.floor {
+			t.Errorf("FloorTick(%v) = %d, want %d", tt.x, got, tt.floor)
+		}
+		if got := CeilTick(tt.x); got != tt.ceil {
+			t.Errorf("CeilTick(%v) = %d, want %d", tt.x, got, tt.ceil)
+		}
+	}
+}
+
+func TestIntervalLenAndHull(t *testing.T) {
+	if got := (Interval{3, 7}).Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+	if got := (Interval{7, 3}).Len(); got != 0 {
+		t.Errorf("invalid Len = %d, want 0", got)
+	}
+	if got := (Interval{1, 3}).Hull(Interval{7, 9}); got != (Interval{1, 9}) {
+		t.Errorf("Hull = %v, want [1 9]", got)
+	}
+}

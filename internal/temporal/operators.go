@@ -1,0 +1,133 @@
+package temporal
+
+import "sort"
+
+// This file implements the FTL temporal operators as transformations on
+// per-instantiation satisfaction sets.  For a fixed instantiation of the
+// free variables, let F be the set of ticks at which subformula f holds and
+// H the set at which h holds; each operator computes the set at which the
+// compound formula holds.
+//
+// The evaluation window is the query expiry horizon (paper §2.3: "we will
+// assume in this paper that a continuous query expires after a predefined
+// (but very large) amount of time").  Operators that quantify over all
+// future states (Always) quantify up to the end of the window.
+
+// Nexttime returns the ticks at which "Nexttime f" holds: f holds at the
+// next state of the history (paper §3.3).
+func Nexttime(f Set) Set { return f.Shift(-1) }
+
+// Eventually returns the ticks t in window w at which "Eventually f" holds:
+// f is satisfied at some state t' >= t.  It is definable as true Until f
+// (paper §3.3).
+func Eventually(f Set, w Interval) Set {
+	fw := f.Clip(w)
+	out := make([]Interval, 0, fw.Len())
+	for _, iv := range fw.Intervals() {
+		out = append(out, Interval{Start: w.Start, End: iv.End})
+	}
+	return NewSet(out...)
+}
+
+// Always returns the ticks t in window w at which "Always f" holds: f is
+// satisfied at all states from t (inclusive) to the end of the window.
+func Always(f Set, w Interval) Set {
+	if !w.Valid() {
+		return Set{}
+	}
+	fw := f.Clip(w)
+	ivs := fw.Intervals()
+	if n := len(ivs); n > 0 && ivs[n-1].End >= w.End {
+		return NewSet(ivs[n-1])
+	}
+	return Set{}
+}
+
+// EventuallyWithin returns the ticks at which "Eventually_within_c f" holds:
+// f will be satisfied within c time units from the current position
+// (paper §3.4).  Each f-interval [s,e] admits every t in [s-c, e].
+func EventuallyWithin(f Set, c Tick, w Interval) Set {
+	fw := f.Clip(w)
+	out := make([]Interval, 0, fw.Len())
+	for _, iv := range fw.Intervals() {
+		out = append(out, Interval{Start: iv.Start.Sub(c), End: iv.End})
+	}
+	return NewSet(out...).Clip(w)
+}
+
+// EventuallyAfter returns the ticks at which "Eventually_after_c f" holds:
+// f holds at some state at least c units in the future (paper §3.4).
+// t qualifies iff some f-interval [s,e] has e >= t+c, i.e. t <= e-c.
+func EventuallyAfter(f Set, c Tick, w Interval) Set {
+	fw := f.Clip(w)
+	last, ok := fw.Max()
+	if !ok {
+		return Set{}
+	}
+	iv, ok := NewInterval(w.Start, last.Sub(c))
+	if !ok {
+		return Set{}
+	}
+	return NewSet(iv).Clip(w)
+}
+
+// AlwaysFor returns the ticks at which "Always_for_c f" holds: f holds
+// continuously for the next c units of time, i.e. on all of [t, t+c]
+// (paper §3.4).  Each f-interval [s,e] contributes [s, e-c].
+func AlwaysFor(f Set, c Tick, w Interval) Set {
+	fw := f.Clip(w)
+	out := make([]Interval, 0, fw.Len())
+	for _, iv := range fw.Intervals() {
+		if e := iv.End.Sub(c); e >= iv.Start {
+			out = append(out, Interval{Start: iv.Start, End: e})
+		}
+	}
+	return NewSet(out...)
+}
+
+// Until returns the ticks t in window w at which "f Until h" holds: either
+// h is satisfied at t, or there is a future state w' where h is satisfied
+// and until then f continues to be satisfied (paper §3.3).
+//
+// For each h-interval [m,n]: every t in [m,n] qualifies immediately, and a
+// t < m qualifies iff f holds on all of [t, m-1], i.e. t lies in the f-run
+// that covers m-1.  The union over h-intervals equals the union of the
+// paper's maximal chains (see UntilChains, kept as the literal appendix
+// algorithm and cross-checked in tests).
+func Until(f, h Set, w Interval) Set {
+	return untilBounded(f, h, MaxTick, w)
+}
+
+// UntilWithin returns the ticks at which "f until_within_c h" holds: there
+// is a future instance within c units where h holds, and until then f
+// continues to be satisfied (paper §3.4).
+func UntilWithin(f, h Set, c Tick, w Interval) Set {
+	return untilBounded(f, h, c, w)
+}
+
+func untilBounded(f, h Set, c Tick, w Interval) Set {
+	fw := f.Clip(w)
+	hw := h.Clip(w)
+	runs := fw.Intervals()
+	out := make([]Interval, 0, 2*hw.Len())
+	for _, hv := range hw.Intervals() {
+		out = append(out, hv)
+		if hv.Start == MinTick {
+			continue
+		}
+		prev := hv.Start - 1
+		// Find the f-run containing prev: first run with End >= prev.
+		i := sort.Search(len(runs), func(i int) bool { return runs[i].End >= prev })
+		if i == len(runs) || runs[i].Start > prev {
+			continue
+		}
+		start := runs[i].Start
+		if withWitness := hv.Start.Sub(c); withWitness > start {
+			start = withWitness
+		}
+		if start <= prev {
+			out = append(out, Interval{Start: start, End: prev})
+		}
+	}
+	return NewSet(out...)
+}

@@ -1,0 +1,226 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteUntil evaluates "f Until h" at tick t by the definitional semantics
+// (paper §3.3): h holds at t, or some future t' <= bound has h and f holds
+// at every state in [t, t'-1].  The witness search is limited to the window.
+func bruteUntil(f, h Set, t Tick, c Tick, w Interval) bool {
+	for wit := t; wit <= w.End; wit++ {
+		if wit-t > c {
+			break
+		}
+		if h.Contains(wit) {
+			return true
+		}
+		if !f.Contains(wit) {
+			return false
+		}
+	}
+	return false
+}
+
+func TestUntilExamples(t *testing.T) {
+	w := Interval{0, 100}
+	tests := []struct {
+		name string
+		f, h Set
+		want string
+	}{
+		{"h alone", NewSet(), NewSet(Interval{3, 5}), "[3 5]"},
+		{"backward through f-run", NewSet(Interval{0, 5}), NewSet(Interval{3, 4}), "[0 4]"},
+		{"chain across runs", NewSet(Interval{0, 5}, Interval{8, 10}), NewSet(Interval{4, 9}, Interval{12, 13}), "[0 9] [12 13]"},
+		{"gap blocks", NewSet(Interval{0, 2}), NewSet(Interval{5, 6}), "[5 6]"},
+		{"consecutive f then h", NewSet(Interval{0, 4}), NewSet(Interval{5, 6}), "[0 6]"},
+		{"empty h", NewSet(Interval{0, 9}), NewSet(), "{}"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Until(tt.f, tt.h, w).String(); got != tt.want {
+				t.Errorf("Until = %s, want %s", got, tt.want)
+			}
+			if got := UntilChains(tt.f, tt.h, w).String(); got != tt.want {
+				t.Errorf("UntilChains = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUntilAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	w := Interval{-10, 70}
+	for i := 0; i < 500; i++ {
+		f, h := randomSet(r), randomSet(r)
+		got := Until(f, h, w)
+		chains := UntilChains(f, h, w)
+		if !got.Equal(chains) {
+			t.Fatalf("case %d: Until=%s UntilChains=%s (f=%s h=%s)", i, got, chains, f, h)
+		}
+		for tick := w.Start; tick <= w.End; tick++ {
+			want := bruteUntil(f, h, tick, MaxTick, w)
+			if got.Contains(tick) != want {
+				t.Fatalf("case %d tick %d: Until=%v want %v (f=%s h=%s got=%s)",
+					i, tick, got.Contains(tick), want, f, h, got)
+			}
+		}
+	}
+}
+
+func TestUntilWithinAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	w := Interval{-10, 70}
+	for i := 0; i < 400; i++ {
+		f, h := randomSet(r), randomSet(r)
+		c := Tick(r.Intn(15))
+		got := UntilWithin(f, h, c, w)
+		for tick := w.Start; tick <= w.End; tick++ {
+			want := bruteUntil(f, h, tick, c, w)
+			if got.Contains(tick) != want {
+				t.Fatalf("case %d c=%d tick %d: got %v want %v (f=%s h=%s res=%s)",
+					i, c, tick, got.Contains(tick), want, f, h, got)
+			}
+		}
+	}
+}
+
+func TestEventuallyAndAlways(t *testing.T) {
+	w := Interval{0, 20}
+	f := NewSet(Interval{5, 8}, Interval{15, 20})
+
+	if got := Eventually(f, w).String(); got != "[0 8] [0 20]" && got != "[0 20]" {
+		// Normalization folds [0 8] into [0 20].
+		t.Errorf("Eventually = %s", got)
+	}
+	if got := Eventually(f, w); !got.Equal(NewSet(Interval{0, 20})) {
+		t.Errorf("Eventually = %s, want [0 20]", got)
+	}
+
+	// Always holds only where f covers through the window end.
+	if got := Always(f, w); !got.Equal(NewSet(Interval{15, 20})) {
+		t.Errorf("Always = %s, want [15 20]", got)
+	}
+	if got := Always(NewSet(Interval{5, 8}), w); !got.IsEmpty() {
+		t.Errorf("Always of non-suffix = %s, want empty", got)
+	}
+	if got := Always(NewSet(Interval{0, 20}), w); !got.Equal(NewSet(Interval{0, 20})) {
+		t.Errorf("Always of full window = %s", got)
+	}
+}
+
+func TestEventuallyIsTrueUntil(t *testing.T) {
+	// Paper §3.3: Eventually f == true Until f.
+	r := rand.New(rand.NewSource(9))
+	w := Interval{-5, 60}
+	tru := NewSet(w)
+	for i := 0; i < 200; i++ {
+		f := randomSet(r)
+		if got, want := Eventually(f, w), Until(tru, f, w); !got.Equal(want) {
+			t.Fatalf("case %d: Eventually=%s trueUntil=%s (f=%s)", i, got, want, f)
+		}
+	}
+}
+
+func TestBoundedOperators(t *testing.T) {
+	w := Interval{0, 100}
+	f := NewSet(Interval{10, 14}, Interval{30, 50})
+
+	// Eventually within 5: each [s,e] widens to [s-5, e].
+	if got := EventuallyWithin(f, 5, w); !got.Equal(NewSet(Interval{5, 14}, Interval{25, 50})) {
+		t.Errorf("EventuallyWithin = %s", got)
+	}
+	// Eventually after 20: t <= lastEnd-20 = 30.
+	if got := EventuallyAfter(f, 20, w); !got.Equal(NewSet(Interval{0, 30})) {
+		t.Errorf("EventuallyAfter = %s", got)
+	}
+	// Always for 10: runs shorter than 11 ticks vanish; [30,50] -> [30,40].
+	if got := AlwaysFor(f, 10, w); !got.Equal(NewSet(Interval{30, 40})) {
+		t.Errorf("AlwaysFor = %s", got)
+	}
+	// Always for 0 is f itself.
+	if got := AlwaysFor(f, 0, w); !got.Equal(f) {
+		t.Errorf("AlwaysFor(0) = %s, want %s", got, f)
+	}
+}
+
+func TestBoundedOperatorsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	w := Interval{-10, 70}
+	for i := 0; i < 300; i++ {
+		f := randomSet(r)
+		c := Tick(r.Intn(12))
+		ew := EventuallyWithin(f, c, w)
+		ea := EventuallyAfter(f, c, w)
+		af := AlwaysFor(f, c, w)
+		nx := Nexttime(f)
+		for tick := w.Start; tick <= w.End; tick++ {
+			// Eventually within c: exists t' in [t, t+c] with f (inside window).
+			want := false
+			for tt := tick; tt <= tick+c && tt <= w.End; tt++ {
+				if f.Contains(tt) {
+					want = true
+					break
+				}
+			}
+			if ew.Contains(tick) != want {
+				t.Fatalf("case %d EventuallyWithin c=%d tick=%d got %v want %v (f=%s)", i, c, tick, ew.Contains(tick), want, f)
+			}
+			// Eventually after c: exists t' >= t+c with f inside window.
+			want = false
+			for tt := tick + c; tt <= w.End; tt++ {
+				if f.Contains(tt) {
+					want = true
+					break
+				}
+			}
+			if ea.Contains(tick) != want {
+				t.Fatalf("case %d EventuallyAfter c=%d tick=%d got %v want %v (f=%s)", i, c, tick, ea.Contains(tick), want, f)
+			}
+			// Always for c: f on all of [t, t+c] (only meaningful inside window).
+			if tick+c <= w.End {
+				want = true
+				for tt := tick; tt <= tick+c; tt++ {
+					if !f.Contains(tt) {
+						want = false
+						break
+					}
+				}
+				if af.Contains(tick) != want {
+					t.Fatalf("case %d AlwaysFor c=%d tick=%d got %v want %v (f=%s)", i, c, tick, af.Contains(tick), want, f)
+				}
+			}
+			// Nexttime: f at t+1.
+			if nx.Contains(tick) != f.Contains(tick+1) {
+				t.Fatalf("case %d Nexttime tick=%d", i, tick)
+			}
+		}
+	}
+}
+
+func TestMaximalChains(t *testing.T) {
+	f := NewSet(Interval{0, 5}, Interval{8, 10})
+	h := NewSet(Interval{4, 9}, Interval{12, 13})
+	chains := MaximalChains(f, h)
+	if len(chains) == 0 {
+		t.Fatal("no chains found")
+	}
+	// The first chain must start at f [0,5], pass through h [4,9], and end
+	// there ([8,10] is not fully compatible with [12,13] since 12 > 10+1).
+	c := chains[0]
+	if !c.FromI1 || c.Links[0] != (Interval{0, 5}) {
+		t.Fatalf("chain = %+v", c)
+	}
+	if got := c.Interval(); got != (Interval{0, 9}) {
+		t.Fatalf("chain interval = %v, want [0 9]", got)
+	}
+}
+
+func TestMaximalChainsDegenerate(t *testing.T) {
+	// h with no preceding f-run still yields a (degenerate) chain.
+	chains := MaximalChains(NewSet(), NewSet(Interval{3, 5}))
+	if len(chains) != 1 || chains[0].FromI1 || chains[0].Interval() != (Interval{3, 5}) {
+		t.Fatalf("chains = %+v", chains)
+	}
+}

@@ -1,0 +1,69 @@
+// Package temporal implements the discrete time model of the MOST paper
+// (Sistla, Wolfson, Chamberlain, Dao; ICDE 1997) and the interval algebra
+// its FTL query-processing algorithm (appendix) is built on.
+//
+// Time is a global discrete clock: the special database object "time" has
+// the natural numbers as its domain and increases by one on each clock tick
+// (paper §2).  A database history associates one database state with each
+// tick (§2.2).  FTL formulas are answered with sets of (instantiation,
+// interval) tuples whose interval sets are disjoint and non-consecutive —
+// the normalization invariant the appendix relies on.
+package temporal
+
+import "math"
+
+// Tick is one instant of the global discrete clock.  The paper's domain is
+// the natural numbers; we use a signed 64-bit carrier so interval arithmetic
+// (shifting by Nexttime, widening by bounded operators) cannot overflow for
+// any realistic horizon.
+type Tick int64
+
+// Sentinel ticks.  They are kept well inside the int64 range so that
+// shifting an interval endpoint by a query constant can never wrap around.
+const (
+	// MinTick is the smallest representable tick.
+	MinTick Tick = math.MinInt64 / 4
+	// MaxTick is the largest representable tick.  An interval ending at
+	// MaxTick is treated as unbounded ("until the query expires").
+	MaxTick Tick = math.MaxInt64 / 4
+)
+
+// clampTick keeps arithmetic results inside [MinTick, MaxTick].
+func clampTick(t Tick) Tick {
+	if t < MinTick {
+		return MinTick
+	}
+	if t > MaxTick {
+		return MaxTick
+	}
+	return t
+}
+
+// Add returns t+d saturated to the representable tick range.
+func (t Tick) Add(d Tick) Tick { return clampTick(t + d) }
+
+// Sub returns t-d saturated to the representable tick range.
+func (t Tick) Sub(d Tick) Tick { return clampTick(t - d) }
+
+// FloorTick converts a real-valued time (e.g. the root of a kinetic
+// quadratic) to the last tick at or before it.
+func FloorTick(x float64) Tick {
+	if x <= float64(MinTick) {
+		return MinTick
+	}
+	if x >= float64(MaxTick) {
+		return MaxTick
+	}
+	return Tick(math.Floor(x))
+}
+
+// CeilTick converts a real-valued time to the first tick at or after it.
+func CeilTick(x float64) Tick {
+	if x <= float64(MinTick) {
+		return MinTick
+	}
+	if x >= float64(MaxTick) {
+		return MaxTick
+	}
+	return Tick(math.Ceil(x))
+}

@@ -1,0 +1,238 @@
+// Package workload generates the synthetic scenarios the experiments and
+// examples run on: vehicle fleets with motion-vector update streams, the
+// MOTELS relation of the paper's introduction, and an air-traffic-control
+// airspace for the §1 query "retrieve all the airplanes that will come
+// within 30 miles of the airport in the next 10 minutes".
+//
+// Real GPS traces are not available (and the paper used none); generators
+// are seeded and deterministic so every experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// VehicleClass is the spatial class used by fleet scenarios.
+var VehicleClass = most.MustClass("Vehicles", true,
+	most.AttrDef{Name: "PRICE", Kind: most.Static},
+)
+
+// AircraftClass is the spatial class used by air-traffic scenarios.
+var AircraftClass = most.MustClass("Aircraft", true,
+	most.AttrDef{Name: "FLIGHT", Kind: most.Static},
+	most.AttrDef{Name: "FUEL", Kind: most.Dynamic},
+)
+
+// MotelClass is the static class of the MOTELS relation (§1: "a relation
+// MOTELS ... giving for each motel its geographic-coordinates, room-price,
+// and availability").
+var MotelClass = most.MustClass("Motels", true,
+	most.AttrDef{Name: "NAME", Kind: most.Static},
+	most.AttrDef{Name: "PRICE", Kind: most.Static},
+	most.AttrDef{Name: "AVAILABLE", Kind: most.Static},
+)
+
+// FleetSpec parameterizes a vehicle fleet.
+type FleetSpec struct {
+	N        int
+	Region   geom.Rect // initial positions drawn uniformly from this box
+	MaxSpeed float64   // per-tick speed drawn from [0, MaxSpeed]
+	Seed     int64
+}
+
+// Fleet builds a database holding N moving vehicles.
+func Fleet(spec FleetSpec) (*most.Database, error) {
+	db := most.NewDatabase()
+	if err := db.DefineClass(VehicleClass); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	for i := 0; i < spec.N; i++ {
+		id := most.ObjectID(fmt.Sprintf("car-%05d", i))
+		o, err := most.NewObject(id, VehicleClass)
+		if err != nil {
+			return nil, err
+		}
+		o, err = o.WithStatic("PRICE", most.Float(float64(20+r.Intn(300))))
+		if err != nil {
+			return nil, err
+		}
+		p := randPoint(r, spec.Region)
+		v := randVelocity(r, spec.MaxSpeed)
+		o, err = o.WithPosition(motion.MovingFrom(p, v, db.Now()))
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Insert(o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func randPoint(r *rand.Rand, box geom.Rect) geom.Point {
+	return geom.Point{
+		X: box.Min.X + r.Float64()*(box.Max.X-box.Min.X),
+		Y: box.Min.Y + r.Float64()*(box.Max.Y-box.Min.Y),
+	}
+}
+
+func randVelocity(r *rand.Rand, maxSpeed float64) geom.Vector {
+	speed := r.Float64() * maxSpeed
+	return geom.Heading(r.Float64() * 2 * math.Pi).Scale(speed)
+}
+
+// UpdateEvent is one motion-vector change: the event that actually reaches
+// a MOST database (§1: "the motion vector of an object can change (thus it
+// can be updated), but in most cases it does so less frequently than the
+// position of the object").
+type UpdateEvent struct {
+	Tick   temporal.Tick
+	Object most.ObjectID
+	Vector geom.Vector
+}
+
+// UpdateStream generates motion-vector changes for a fleet over [1, until]:
+// each vehicle changes course independently with probability rate per tick.
+func UpdateStream(spec FleetSpec, rate float64, until temporal.Tick) []UpdateEvent {
+	r := rand.New(rand.NewSource(spec.Seed + 1))
+	var out []UpdateEvent
+	for t := temporal.Tick(1); t <= until; t++ {
+		for i := 0; i < spec.N; i++ {
+			if r.Float64() < rate {
+				out = append(out, UpdateEvent{
+					Tick:   t,
+					Object: most.ObjectID(fmt.Sprintf("car-%05d", i)),
+					Vector: randVelocity(r, spec.MaxSpeed),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Apply advances the database clock to each event's tick and applies the
+// motion update, returning the number applied.
+func Apply(db *most.Database, events []UpdateEvent) (int, error) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+	n := 0
+	for _, e := range events {
+		if e.Tick > db.Now() {
+			db.Advance(e.Tick - db.Now())
+		}
+		if err := db.SetMotion(e.Object, e.Vector); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// MotelsSpec parameterizes the MOTELS relation.
+type MotelsSpec struct {
+	N      int
+	Region geom.Rect
+	Seed   int64
+}
+
+// AddMotels inserts N stationary motels into db (defining MotelClass if
+// needed).
+func AddMotels(db *most.Database, spec MotelsSpec) error {
+	if _, ok := db.Class(MotelClass.Name()); !ok {
+		if err := db.DefineClass(MotelClass); err != nil {
+			return err
+		}
+	}
+	r := rand.New(rand.NewSource(spec.Seed + 2))
+	for i := 0; i < spec.N; i++ {
+		id := most.ObjectID(fmt.Sprintf("motel-%04d", i))
+		o, err := most.NewObject(id, MotelClass)
+		if err != nil {
+			return err
+		}
+		o, _ = o.WithStatic("NAME", most.Str(fmt.Sprintf("Motel %d", i)))
+		o, _ = o.WithStatic("PRICE", most.Float(float64(30+r.Intn(200))))
+		o, _ = o.WithStatic("AVAILABLE", most.Bool(r.Intn(4) != 0))
+		o, err = o.WithPosition(motion.PositionAt(randPoint(r, spec.Region), db.Now()))
+		if err != nil {
+			return err
+		}
+		if err := db.Insert(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AirspaceSpec parameterizes an air-traffic scenario.
+type AirspaceSpec struct {
+	N       int
+	Radius  float64    // aircraft start on a ring of this radius
+	Airport geom.Point // the airport's location
+	Speed   float64    // per-tick speed
+	Inbound float64    // fraction of aircraft headed at the airport
+	Seed    int64
+}
+
+// Airspace builds a database of aircraft, a fraction of which are headed
+// directly at the airport — the §1 air-traffic-control setting.
+func Airspace(spec AirspaceSpec) (*most.Database, error) {
+	db := most.NewDatabase()
+	if err := db.DefineClass(AircraftClass); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(spec.Seed + 3))
+	for i := 0; i < spec.N; i++ {
+		id := most.ObjectID(fmt.Sprintf("AC%04d", i))
+		o, err := most.NewObject(id, AircraftClass)
+		if err != nil {
+			return nil, err
+		}
+		o, _ = o.WithStatic("FLIGHT", most.Str(fmt.Sprintf("FL%04d", 100+i)))
+		angle := r.Float64() * 2 * math.Pi
+		p := geom.Point{
+			X: spec.Airport.X + spec.Radius*math.Cos(angle),
+			Y: spec.Airport.Y + spec.Radius*math.Sin(angle),
+		}
+		var v geom.Vector
+		if r.Float64() < spec.Inbound {
+			// Straight at the airport.
+			d := spec.Airport.Sub(p)
+			v = d.Scale(spec.Speed / d.Norm())
+		} else {
+			// Tangential: passes by without approaching.
+			v = geom.Heading(angle + math.Pi/2).Scale(spec.Speed)
+		}
+		o, err = o.WithPosition(motion.MovingFrom(p, v, db.Now()))
+		if err != nil {
+			return nil, err
+		}
+		// Fuel burns linearly.
+		o, err = o.WithDynamic("FUEL", motion.LinearFrom(1000+float64(r.Intn(500)), db.Now(), -1))
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Insert(o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// UpdateTraffic models the §1 bandwidth argument: a fleet tracked by
+// per-tick position updates sends N messages every tick, while a MOST
+// database receives only the motion-vector changes.  It returns both
+// message counts over the window.
+func UpdateTraffic(spec FleetSpec, rate float64, until temporal.Tick) (positionMsgs, vectorMsgs int) {
+	positionMsgs = spec.N * int(until)
+	vectorMsgs = len(UpdateStream(spec, rate, until))
+	return positionMsgs, vectorMsgs
+}

@@ -1,0 +1,303 @@
+// Package mostdb is a Go implementation of the MOST data model and FTL
+// query language for moving-objects databases, after "Modeling and Querying
+// Moving Objects" (Sistla, Wolfson, Chamberlain, Dao; ICDE 1997).
+//
+// The library models moving objects by their motion functions instead of
+// their sampled positions: a dynamic attribute holds (value, updatetime,
+// function) and the database answers queries about the attribute's value at
+// any time — past the last update, into the predicted future — without
+// being told new positions every tick.  On top of the model sit:
+//
+//   - FTL, a future temporal logic query language with Until, Nexttime,
+//     Eventually, Always, bounded operators and an assignment quantifier,
+//     evaluated by the paper's interval-relation algorithm;
+//   - the three MOST query types: instantaneous, continuous (materialized
+//     Answer(CQ), maintained under updates) and persistent (anchored to
+//     entry time, replaying the logged history);
+//   - dynamic-attribute indexing: an R-tree over the (time, value) plane of
+//     attribute trajectories, with the 3-D (x, y, time) variant for planar
+//     movement;
+//   - the MOST-on-a-DBMS layer: dynamic attributes stored as ordinary
+//     columns of a bundled in-memory relational engine, with the 2^k
+//     WHERE-clause decomposition and index-assisted rewriting;
+//   - a simulator for the mobile distributed architecture: per-vehicle
+//     computers, query classification, ship-objects versus broadcast-query
+//     strategies, and immediate versus delayed answer delivery.
+//
+// This file is the public facade: it re-exports the library's types and
+// constructors so applications depend on a single import path.
+package mostdb
+
+import (
+	"github.com/mostdb/most/internal/dist"
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/index"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/mostsql"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// ---- time ----
+
+// Tick is one instant of the global discrete clock.
+type Tick = temporal.Tick
+
+// Interval is a closed interval of ticks.
+type Interval = temporal.Interval
+
+// TickSet is a normalized set of ticks (disjoint, non-consecutive
+// intervals).
+type TickSet = temporal.Set
+
+// ---- geometry ----
+
+// Point is a position in space.
+type Point = geom.Point
+
+// Vector is a displacement or motion vector (distance per tick).
+type Vector = geom.Vector
+
+// Polygon is a simple polygon in the XY plane.
+type Polygon = geom.Polygon
+
+// RectPolygon returns the axis-aligned rectangle [x0,x1] x [y0,y1].
+func RectPolygon(x0, y0, x1, y1 float64) Polygon { return geom.RectPolygon(x0, y0, x1, y1) }
+
+// RectRegion is an axis-aligned box, used to bound workload regions.
+type RectRegion = geom.Rect
+
+// Rect builds an axis-aligned box from corner coordinates.
+func Rect(x0, y0, x1, y1 float64) RectRegion {
+	return geom.Rect{Min: geom.Point{X: x0, Y: y0}, Max: geom.Point{X: x1, Y: y1}}
+}
+
+// NewPolygon builds a polygon from vertices.
+func NewPolygon(vertices ...Point) (Polygon, error) { return geom.NewPolygon(vertices...) }
+
+// Dist returns the distance between two points (the DIST spatial method).
+func Dist(p, q Point) float64 { return geom.Dist(p, q) }
+
+// ---- motion ----
+
+// MotionFunc is a piecewise-polynomial (linear or quadratic) function of
+// time with f(0) = 0 — the A.function sub-attribute.
+type MotionFunc = motion.Func
+
+// Linear returns the function f(t) = slope*t.
+func Linear(slope float64) MotionFunc { return motion.Linear(slope) }
+
+// Accelerating returns the quadratic function f(t) = slope*t + accel*t^2/2
+// — the paper's "nonlinear functions" extension, supported exactly by
+// comparisons, range queries and the indexes (POSITION attributes must
+// remain piecewise linear).
+func Accelerating(slope, accel float64) MotionFunc { return motion.Accelerating(slope, accel) }
+
+// DynamicAttr is a dynamic attribute: (value, updatetime, function).
+type DynamicAttr = motion.DynamicAttr
+
+// Position bundles the X/Y/Z.POSITION dynamic attributes.
+type Position = motion.Position
+
+// MovingFrom places an object at p at tick t0 with motion vector v.
+func MovingFrom(p Point, v Vector, t0 Tick) Position { return motion.MovingFrom(p, v, t0) }
+
+// PositionAt places a stationary object at p.
+func PositionAt(p Point, t0 Tick) Position { return motion.PositionAt(p, t0) }
+
+// ---- the MOST data model ----
+
+// Database is a MOST database: classes, objects, a clock, an update log.
+type Database = most.Database
+
+// Class is an object class; spatial classes carry POSITION attributes.
+type Class = most.Class
+
+// AttrDef declares one attribute of a class.
+type AttrDef = most.AttrDef
+
+// Attribute kinds.
+const (
+	Static  = most.Static
+	Dynamic = most.Dynamic
+)
+
+// Object is one immutable object revision.
+type Object = most.Object
+
+// ObjectID identifies an object.
+type ObjectID = most.ObjectID
+
+// Value is a static attribute value.
+type Value = most.Value
+
+// NewDatabase returns an empty database with the clock at 0.
+func NewDatabase() *Database { return most.NewDatabase() }
+
+// LoadSnapshotJSON rebuilds a database from a SnapshotJSON payload.
+func LoadSnapshotJSON(data []byte) (*Database, error) { return most.LoadSnapshotJSON(data) }
+
+// NewClass declares an object class.
+func NewClass(name string, spatial bool, attrs ...AttrDef) (*Class, error) {
+	return most.NewClass(name, spatial, attrs...)
+}
+
+// NewObject builds an object of a class.
+func NewObject(id ObjectID, class *Class) (*Object, error) { return most.NewObject(id, class) }
+
+// Float, Str and Bool wrap static attribute values.
+func Float(f float64) Value { return most.Float(f) }
+
+// Str wraps a string value.
+func Str(s string) Value { return most.Str(s) }
+
+// Bool wraps a boolean value.
+func Bool(b bool) Value { return most.Bool(b) }
+
+// Position attribute names of spatial classes.
+const (
+	XPosition = most.XPosition
+	YPosition = most.YPosition
+	ZPosition = most.ZPosition
+)
+
+// ---- FTL ----
+
+// Query is a parsed FTL query.
+type Query = ftl.Query
+
+// ParseQuery parses "RETRIEVE ... FROM ... WHERE <FTL formula>".
+func ParseQuery(src string) (*Query, error) { return ftl.Parse(src) }
+
+// MustParseQuery parses a query and panics on error.
+func MustParseQuery(src string) *Query { return ftl.MustParse(src) }
+
+// Relation is a materialized FTL answer: instantiations with the interval
+// sets during which they satisfy the query.
+type Relation = eval.Relation
+
+// Answer is one (instantiation, begin, end) tuple of Answer(CQ).
+type Answer = eval.Answer
+
+// Val is a value an FTL variable takes in an answer.
+type Val = eval.Val
+
+// ---- query engine ----
+
+// Engine evaluates instantaneous, continuous and persistent queries.
+type Engine = query.Engine
+
+// QueryOptions configure an evaluation (horizon, regions, parameters).
+type QueryOptions = query.Options
+
+// ContinuousQuery is a registered continuous query with a maintained
+// Answer(CQ).
+type ContinuousQuery = query.Continuous
+
+// PersistentQuery is a registered persistent query anchored at entry time.
+type PersistentQuery = query.Persistent
+
+// Trigger couples a continuous query with an action.
+type Trigger = query.Trigger
+
+// Row is one presented answer instantiation.
+type Row = query.Row
+
+// NewEngine returns a query engine bound to db.
+func NewEngine(db *Database) *Engine { return query.NewEngine(db) }
+
+// ---- indexing ----
+
+// AttrIndex is the dynamic-attribute index of §4 ((time, value)-plane
+// R-tree over trajectory segments).
+type AttrIndex = index.AttrIndex
+
+// MotionIndex is the 3-D (x, y, time) variant for planar movement.
+type MotionIndex = index.MotionIndex
+
+// NewAttrIndex returns an index covering [base, base+T).
+func NewAttrIndex(base, T Tick) *AttrIndex { return index.NewAttrIndex(base, T) }
+
+// NewMotionIndex returns a motion index covering [base, base+T).
+func NewMotionIndex(base, T Tick) *MotionIndex { return index.NewMotionIndex(base, T) }
+
+// GridIndex is the alternative uniform-grid mechanism for indexing dynamic
+// attributes (compared against the R-tree in experiment E11).
+type GridIndex = index.GridIndex
+
+// NewGridIndex returns a grid index over time [base, base+T) and values
+// [vMin, vMax) at the given cell resolution.
+func NewGridIndex(base, T Tick, vMin, vMax float64, cols, rows int) *GridIndex {
+	return index.NewGridIndex(base, T, vMin, vMax, cols, rows)
+}
+
+// ---- MOST on a DBMS ----
+
+// Store is the bundled in-memory relational DBMS.
+type Store = relstore.Store
+
+// NewStore returns an empty store.
+func NewStore() *Store { return relstore.NewStore() }
+
+// SQLSystem is the MOST layer over a Store (§5.1).
+type SQLSystem = mostsql.System
+
+// NewSQLSystem wraps a store; now supplies the clock.
+func NewSQLSystem(store *Store, now func() Tick) *SQLSystem { return mostsql.New(store, now) }
+
+// SQLValue is a value of the bundled relational DBMS.
+type SQLValue = relstore.Value
+
+// SQLNum wraps a number for the relational layer.
+func SQLNum(f float64) SQLValue { return relstore.Num(f) }
+
+// SQLStr wraps a string for the relational layer.
+func SQLStr(s string) SQLValue { return relstore.Str(s) }
+
+// SQLBool wraps a bool for the relational layer.
+func SQLBool(b bool) SQLValue { return relstore.Bool(b) }
+
+// ---- distributed ----
+
+// Sim is the mobile distributed simulation (§5.2–5.3).
+type Sim = dist.Sim
+
+// NewSim returns an empty simulation.
+func NewSim(seed int64) *Sim { return dist.NewSim(seed) }
+
+// Object-query strategies.
+const (
+	ShipObjects    = dist.ShipObjects
+	BroadcastQuery = dist.BroadcastQuery
+)
+
+// Delivery modes for Answer(CQ) transmission.
+const (
+	Immediate = dist.Immediate
+	Delayed   = dist.Delayed
+)
+
+// ---- workloads ----
+
+// FleetSpec parameterizes a synthetic vehicle fleet.
+type FleetSpec = workload.FleetSpec
+
+// Fleet builds a database of moving vehicles.
+func Fleet(spec FleetSpec) (*Database, error) { return workload.Fleet(spec) }
+
+// AirspaceSpec parameterizes an air-traffic scenario.
+type AirspaceSpec = workload.AirspaceSpec
+
+// Airspace builds a database of aircraft around an airport.
+func Airspace(spec AirspaceSpec) (*Database, error) { return workload.Airspace(spec) }
+
+// MotelsSpec parameterizes the MOTELS relation.
+type MotelsSpec = workload.MotelsSpec
+
+// AddMotels inserts stationary motels into a database.
+func AddMotels(db *Database, spec MotelsSpec) error { return workload.AddMotels(db, spec) }

@@ -1,0 +1,277 @@
+// End-to-end tests through the public facade: what a downstream user of
+// the library would write.
+package mostdb_test
+
+import (
+	"strings"
+	"testing"
+
+	mostdb "github.com/mostdb/most"
+)
+
+// buildCity assembles a database with vehicles and motels through the
+// public API only.
+func buildCity(t *testing.T) (*mostdb.Database, *mostdb.Engine, mostdb.QueryOptions) {
+	t.Helper()
+	db := mostdb.NewDatabase()
+	vehicles, err := mostdb.NewClass("Vehicles", true,
+		mostdb.AttrDef{Name: "PLATE", Kind: mostdb.Static},
+		mostdb.AttrDef{Name: "FUEL", Kind: mostdb.Dynamic},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass(vehicles); err != nil {
+		t.Fatal(err)
+	}
+	add := func(id mostdb.ObjectID, plate string, p mostdb.Point, v mostdb.Vector, fuel float64) {
+		o, err := mostdb.NewObject(id, vehicles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ = o.WithStatic("PLATE", mostdb.Str(plate))
+		o, err = o.WithPosition(mostdb.MovingFrom(p, v, db.Now()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fuelAttr mostdb.DynamicAttr
+		fuelAttr.Value = fuel
+		fuelAttr.Function = mostdb.Linear(-0.5)
+		o, err = o.WithDynamic("FUEL", fuelAttr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("taxi", "RWW860", mostdb.Point{X: 0}, mostdb.Vector{X: 2}, 100)
+	add("bus", "CTA1", mostdb.Point{X: 100}, mostdb.Vector{X: -1}, 300)
+	add("parked", "ZZZ999", mostdb.Point{X: 35}, mostdb.Vector{}, 50)
+
+	if err := mostdb.AddMotels(db, mostdb.MotelsSpec{N: 10, Region: mostdb.Rect(0, -5, 200, 5), Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	opts := mostdb.QueryOptions{
+		Horizon: 200,
+		Regions: map[string]mostdb.Polygon{
+			"downtown": mostdb.RectPolygon(30, -10, 50, 10),
+		},
+	}
+	return db, mostdb.NewEngine(db), opts
+}
+
+func TestFacadeFutureQuery(t *testing.T) {
+	_, engine, opts := buildCity(t)
+	q := mostdb.MustParseQuery(`
+		RETRIEVE o FROM Vehicles o
+		WHERE EVENTUALLY WITHIN 30 INSIDE(o, downtown)`)
+	rel, err := engine.InstantaneousRelation(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// taxi reaches x=30 at t=15 (within 30); parked is already inside;
+	// bus reaches x in [30,50] at t in [50,70] (not within 30 of t=0).
+	at0 := rel.At(0)
+	if len(at0) != 2 {
+		t.Fatalf("answers at 0 = %v", at0)
+	}
+}
+
+func TestFacadeTentativeAnswer(t *testing.T) {
+	db, engine, opts := buildCity(t)
+	q := mostdb.MustParseQuery(`
+		RETRIEVE o FROM Vehicles o
+		WHERE EVENTUALLY WITHIN 30 INSIDE(o, downtown)`)
+	rows, err := engine.Instantaneous(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasTaxi bool
+	for _, r := range rows {
+		if r[0].String() == "taxi" {
+			hasTaxi = true
+		}
+	}
+	if !hasTaxi {
+		t.Fatal("taxi should be tentatively reported")
+	}
+	// Divert the taxi; the same query no longer reports it.
+	if err := db.SetMotion("taxi", mostdb.Vector{Y: 5}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = engine.Instantaneous(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r[0].String() == "taxi" {
+			t.Fatal("diverted taxi still reported")
+		}
+	}
+}
+
+func TestFacadeContinuousAndTrigger(t *testing.T) {
+	db, engine, opts := buildCity(t)
+	q := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, downtown)`)
+	cq, err := engine.Continuous(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// taxi (x=2t) is inside downtown during [15,25].
+	rows, err := cq.Current(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r[0].String() == "taxi" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("taxi should be inside downtown at t=20")
+	}
+	var fired int
+	tr, err := engine.NewTrigger(q, opts, func(rows []mostdb.Row) { fired += len(rows) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := db.Now(); tick <= 30; tick = db.Tick() {
+		tr.Poll(tick)
+	}
+	if fired == 0 {
+		t.Fatal("trigger never fired")
+	}
+}
+
+func TestFacadeSubAttributeQuery(t *testing.T) {
+	_, engine, opts := buildCity(t)
+	// FUEL drains at 0.5/tick from different levels: find low-fuel vehicles
+	// within 100 ticks.
+	q := mostdb.MustParseQuery(`
+		RETRIEVE o FROM Vehicles o
+		WHERE EVENTUALLY WITHIN 100 o.FUEL <= 10`)
+	rel, err := engine.InstantaneousRelation(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// taxi: 100 - 0.5t <= 10 at t=180 (not within 100 of t<=..); parked:
+	// 50-0.5t <= 10 at t=80: qualifies at t=0.
+	ans := rel.At(0)
+	if len(ans) != 1 || ans[0][0].String() != "parked" {
+		t.Fatalf("low fuel at 0 = %v", ans)
+	}
+}
+
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	db, _, opts := buildCity(t)
+	data, err := db.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := mostdb.LoadSnapshotJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine2 := mostdb.NewEngine(db2)
+	q := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, downtown)`)
+	rel, err := engine2.InstantaneousRelation(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Fatal("restored database answers nothing")
+	}
+}
+
+func TestFacadeIndexes(t *testing.T) {
+	ix := mostdb.NewAttrIndex(0, 100)
+	var a mostdb.DynamicAttr
+	a.Value = 0
+	a.Function = mostdb.Linear(1)
+	if err := ix.Insert("o", a); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.InstantQuery(40, 60, 50); len(got) != 1 {
+		t.Fatalf("rtree index = %v", got)
+	}
+	g := mostdb.NewGridIndex(0, 100, -200, 200, 16, 16)
+	if err := g.Insert("o", a); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InstantQuery(40, 60, 50); len(got) != 1 {
+		t.Fatalf("grid index = %v", got)
+	}
+	mi := mostdb.NewMotionIndex(0, 100)
+	if err := mi.Insert("m", mostdb.MovingFrom(mostdb.Point{}, mostdb.Vector{X: 1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	hits := mi.InsidePolygonDuring(mostdb.RectPolygon(40, -5, 60, 5), 0, 100)
+	if len(hits) != 1 {
+		t.Fatalf("motion index = %v", hits)
+	}
+}
+
+func TestFacadeSQLSystem(t *testing.T) {
+	now := mostdb.Tick(0)
+	sys := mostdb.NewSQLSystem(mostdb.NewStore(), func() mostdb.Tick { return now })
+	if _, err := sys.CreateTable("cars", "id", []string{"color"}, []string{"X"}); err != nil {
+		t.Fatal(err)
+	}
+	var x mostdb.DynamicAttr
+	x.Value = 0
+	x.Function = mostdb.Linear(3)
+	err := sys.Insert("cars", mostdb.SQLStr("c1"),
+		map[string]mostdb.SQLValue{"color": mostdb.SQLStr("red")},
+		map[string]mostdb.DynamicAttr{"X": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 10
+	rs, err := sys.Query("SELECT id, X FROM cars WHERE X >= 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][1].String() != "30" {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+}
+
+func TestFacadeDistributed(t *testing.T) {
+	sim := mostdb.NewSim(1)
+	cls, err := mostdb.NewClass("V", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []mostdb.ObjectID{"a", "b", "c"} {
+		o, _ := mostdb.NewObject(id, cls)
+		o, _ = o.WithPosition(mostdb.MovingFrom(mostdb.Point{}, mostdb.Vector{X: 1}, 0))
+		if _, err := sim.AddNode(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Regions["P"] = mostdb.RectPolygon(5, -5, 15, 5)
+	q := mostdb.MustParseQuery(`RETRIEVE o FROM V o WHERE EVENTUALLY INSIDE(o, P)`)
+	res, err := sim.RunObjectQuery("a", q, 50, mostdb.BroadcastQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != 3 {
+		t.Fatalf("answers = %d", res.Relation.Len())
+	}
+}
+
+func TestFacadeQueryLanguageErrors(t *testing.T) {
+	if _, err := mostdb.ParseQuery("garbage"); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := mostdb.ParseQuery("RETRIEVE o FROM V o WHERE"); err == nil {
+		t.Error("truncated query should fail")
+	}
+	// Error messages carry position info.
+	_, err := mostdb.ParseQuery("RETRIEVE o WHERE o.PRICE <= ")
+	if err == nil || !strings.Contains(err.Error(), "line") {
+		t.Errorf("error should carry position, got %v", err)
+	}
+}
