@@ -1,0 +1,32 @@
+# Development gates.  `make check` is the tier-1 verification the CI and
+# every PR must keep green; `make race` runs the concurrency regression
+# tests under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench parallel
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Sequential-vs-parallel evaluation sweep; writes BENCH_parallel.json.
+parallel:
+	$(GO) run ./cmd/mostbench -parallel

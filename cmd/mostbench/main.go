@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7]
+//	mostbench [-quick] [-only E3,E7] [-parallel]
+//
+// With -parallel it instead runs the parallel-evaluation benchmark
+// (sequential vs worker-pool at 1k/10k/100k objects) and writes the
+// machine-readable results to BENCH_parallel.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +24,24 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
+	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
 	flag.Parse()
+
+	if *parallel {
+		rep := experiments.ParallelBench(*quick)
+		fmt.Println(rep.Table().Render())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_parallel.json")
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

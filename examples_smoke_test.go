@@ -64,6 +64,23 @@ func TestToolsRun(t *testing.T) {
 		t.Fatal("mostbench with unknown experiment should fail")
 	}
 
+	// mostbench -parallel writes BENCH_parallel.json in its working dir.
+	par := exec.Command(bench, "-parallel", "-quick")
+	par.Dir = tmp
+	out, err = par.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mostbench -parallel: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(filepath.Join(tmp, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatalf("BENCH_parallel.json not written: %v", err)
+	}
+	for _, want := range []string{"gomaxprocs", "sequential_ns", "parallel_ns", "speedup"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("BENCH_parallel.json missing %q:\n%s", want, data)
+		}
+	}
+
 	// mostsim.
 	sim := filepath.Join(tmp, "mostsim")
 	if out, err := exec.Command("go", "build", "-o", sim, "./cmd/mostsim").CombinedOutput(); err != nil {
@@ -101,5 +118,60 @@ func TestToolsRun(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Fatalf("mostql output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestREADMEQuickstart extracts the quickstart program from README.md,
+// compiles it in a scratch module that depends on this repository, and
+// runs it — so the README cannot drift from the public API.
+func TestREADMEQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping quickstart execution in -short mode")
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const open, close = "```go\n", "```"
+	start := strings.Index(string(readme), open)
+	if start < 0 {
+		t.Fatal("README.md has no ```go block")
+	}
+	rest := string(readme)[start+len(open):]
+	end := strings.Index(rest, close)
+	if end < 0 {
+		t.Fatal("README.md ```go block is unterminated")
+	}
+	program := rest[:end]
+	if !strings.Contains(program, "package main") {
+		t.Fatalf("quickstart block is not a main program:\n%s", program)
+	}
+
+	repo, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "main.go"), []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module quickstart\n\ngo 1.22\n\nrequire github.com/mostdb/most v0.0.0\n\nreplace github.com/mostdb/most => " + repo + "\n"
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tidy := exec.Command("go", "mod", "tidy")
+	tidy.Dir = tmp
+	if out, err := tidy.CombinedOutput(); err != nil {
+		t.Fatalf("go mod tidy: %v\n%s", err, out)
+	}
+	run := exec.Command("go", "run", ".")
+	run.Dir = tmp
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "satisfies during") {
+		t.Fatalf("quickstart output unexpected:\n%s", out)
 	}
 }

@@ -218,3 +218,21 @@ func parseDur(t *testing.T, s string) float64 {
 		return 0
 	}
 }
+
+func TestParallelBenchShape(t *testing.T) {
+	rep := ParallelBench(true)
+	if rep.GOMAXPROCS < 1 {
+		t.Fatalf("GOMAXPROCS = %d", rep.GOMAXPROCS)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rep.Results {
+		if r.SequentialNs <= 0 || r.ParallelNs <= 0 || r.Speedup <= 0 {
+			t.Errorf("objects=%d: bad timings %+v", r.Objects, r)
+		}
+	}
+	if out := rep.Table().Render(); !strings.Contains(out, "PAR") {
+		t.Errorf("table renders badly:\n%s", out)
+	}
+}

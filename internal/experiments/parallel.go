@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// ParallelResult is one row of the parallel-evaluation benchmark: the same
+// instantaneous query over an n-vehicle fleet, evaluated sequentially and
+// on the worker pool.
+type ParallelResult struct {
+	Objects      int     `json:"objects"`
+	Workers      int     `json:"workers"`
+	SequentialNs int64   `json:"sequential_ns"`
+	ParallelNs   int64   `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// ParallelReport is the payload mostbench -parallel writes to
+// BENCH_parallel.json.
+type ParallelReport struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Results    []ParallelResult `json:"results"`
+}
+
+// ParallelBench times sequential versus pooled evaluation of one RETRIEVE
+// over fleets of growing size.  The answers are identical by construction
+// (the pool merges in deterministic instantiation order); only wall-clock
+// time differs, and only when GOMAXPROCS > 1.
+func ParallelBench(quick bool) *ParallelReport {
+	sizes := []int{1000, 10000, 100000}
+	reps := 3
+	if quick {
+		sizes = []int{1000, 10000}
+		reps = 1
+	}
+	rep := &ParallelReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range sizes {
+		db, err := workload.Fleet(workload.FleetSpec{
+			N:        n,
+			Region:   geom.Rect{Max: geom.Point{X: 1000, Y: 1000}},
+			MaxSpeed: 3,
+			Seed:     7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		e := query.NewEngine(db)
+		q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE Eventually INSIDE(o, P)`)
+		opts := query.Options{
+			Horizon: 200,
+			Regions: map[string]geom.Polygon{"P": geom.RectPolygon(200, 200, 600, 600)},
+		}
+		run := func(parallelism int) time.Duration {
+			o := opts
+			o.Parallelism = parallelism
+			return timeIt(reps, func() {
+				if _, err := e.InstantaneousRelation(q, o); err != nil {
+					panic(err)
+				}
+			})
+		}
+		seq := run(1)
+		par := run(-1)
+		rep.Results = append(rep.Results, ParallelResult{
+			Objects:      n,
+			Workers:      rep.GOMAXPROCS,
+			SequentialNs: seq.Nanoseconds(),
+			ParallelNs:   par.Nanoseconds(),
+			Speedup:      float64(seq) / float64(par),
+		})
+	}
+	return rep
+}
+
+// Table renders the report in the experiment-table format.
+func (r *ParallelReport) Table() *Table {
+	t := &Table{
+		ID:      "PAR",
+		Title:   "parallel query evaluation (worker pool vs sequential)",
+		Claim:   "per-object evaluation is embarrassingly parallel; the pooled evaluator returns the identical relation faster when GOMAXPROCS > 1",
+		Columns: []string{"objects", "workers", "sequential", "parallel", "speedup"},
+	}
+	for _, res := range r.Results {
+		t.AddRow(
+			itoa(res.Objects),
+			itoa(res.Workers),
+			ns(time.Duration(res.SequentialNs)),
+			ns(time.Duration(res.ParallelNs)),
+			f2(res.Speedup)+"x",
+		)
+	}
+	if r.GOMAXPROCS == 1 {
+		t.Notes = append(t.Notes, "GOMAXPROCS=1: the pool degenerates to the sequential path; run on a multi-core host to see speedup")
+	}
+	return t
+}

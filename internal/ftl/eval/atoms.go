@@ -58,21 +58,22 @@ func (c *Context) forEachInstantiation(cols []string, fn func(env, []Val) error)
 }
 
 // evalAtom computes the relation of an atomic formula by solving it per
-// instantiation.
+// instantiation — in parallel when the context's Parallelism asks for it;
+// the merge into the relation is always sequential and in instantiation
+// order, so the result does not depend on the worker count.
 func (c *Context) evalAtom(f ftl.Formula, solve func(env) (temporal.Set, error)) (*Relation, error) {
 	cols, err := c.atomCols(f)
 	if err != nil {
 		return nil, err
 	}
 	rel := NewRelation(cols...)
-	err = c.forEachInstantiation(cols, func(en env, vals []Val) error {
-		set, err := solve(en)
-		if err != nil {
-			return err
-		}
-		rel.Add(vals, set)
-		return nil
-	})
+	err = solveInstantiations(c,
+		cols,
+		func(en env, _ []Val) (temporal.Set, error) { return solve(en) },
+		func(vals []Val, set temporal.Set) error {
+			rel.Add(vals, set)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file fans the evaluator's per-instantiation loops out over a bounded
+// worker pool.  The appendix algorithm's hot loop — "for each possible
+// relevant instantiation of values to the free variables in g" — is
+// embarrassingly parallel: every instantiation is solved independently
+// against read-only context state (immutable object revisions, domains,
+// regions, parameters), and only the merge into the relation orders them.
+// Workers therefore solve blocks of the domain product concurrently, and a
+// single merge pass consumes the results in ascending instantiation order,
+// so the resulting relation is byte-for-byte identical to the sequential
+// evaluation.
+
+// workers resolves the Parallelism knob to a concrete pool size.
+func (c *Context) workers() int {
+	switch {
+	case c.Parallelism == 0 || c.Parallelism == 1:
+		return 1
+	case c.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return c.Parallelism
+	}
+}
+
+// parallelBlock is how many instantiations one merge round covers.  Workers
+// split a block between them; results are buffered per block, bounding
+// memory to one block regardless of domain-product size.
+const parallelBlock = 8192
+
+// solveInstantiations enumerates the domain product of cols.  For every
+// instantiation it calls solve (concurrently when the context asks for
+// parallelism) and then merge, sequentially, in ascending instantiation
+// order — the same order the sequential recursion visits, so callers
+// building relations get deterministic results.
+//
+// solve runs on pool goroutines: it must treat the context as read-only
+// (every solver in this package does) and must not retain en or vals, which
+// are reused.  merge runs on the calling goroutine only.
+func solveInstantiations[T any](c *Context, cols []string, solve func(en env, vals []Val) (T, error), merge func(vals []Val, res T) error) error {
+	sizes := make([]int, len(cols))
+	total := 1
+	for i, col := range cols {
+		sizes[i] = len(c.Domains[col])
+		total *= sizes[i]
+	}
+	if total == 0 {
+		return nil
+	}
+
+	nw := c.workers()
+	if nw > total {
+		nw = total
+	}
+	if nw <= 1 {
+		vals := make([]Val, len(cols))
+		en := env{}
+		for idx := 0; idx < total; idx++ {
+			instantiate(c, cols, sizes, idx, en, vals)
+			res, err := solve(en, vals)
+			if err != nil {
+				return err
+			}
+			if err := merge(vals, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		res T
+		ok  bool
+	}
+	buf := make([]slot, parallelBlock)
+	var firstErr error
+	var errMu sync.Mutex
+	var failed atomic.Bool
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+
+	mergeVals := make([]Val, len(cols))
+	mergeEnv := env{}
+	for blockStart := 0; blockStart < total; blockStart += parallelBlock {
+		blockLen := total - blockStart
+		if blockLen > parallelBlock {
+			blockLen = parallelBlock
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				vals := make([]Val, len(cols))
+				en := env{}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= blockLen || failed.Load() {
+						return
+					}
+					instantiate(c, cols, sizes, blockStart+i, en, vals)
+					res, err := solve(en, vals)
+					if err != nil {
+						fail(err)
+						return
+					}
+					buf[i] = slot{res: res, ok: true}
+				}
+			}()
+		}
+		wg.Wait()
+		if failed.Load() {
+			return firstErr
+		}
+		for i := 0; i < blockLen; i++ {
+			instantiate(c, cols, sizes, blockStart+i, mergeEnv, mergeVals)
+			if err := merge(mergeVals, buf[i].res); err != nil {
+				return err
+			}
+			buf[i] = slot{}
+		}
+	}
+	return nil
+}
+
+// instantiate decodes a mixed-radix index into the instantiation it names,
+// writing the values into vals and en (both len(cols)).
+func instantiate(c *Context, cols []string, sizes []int, idx int, en env, vals []Val) {
+	for i := len(cols) - 1; i >= 0; i-- {
+		d := idx % sizes[i]
+		idx /= sizes[i]
+		v := c.Domains[cols[i]][d]
+		vals[i] = v
+		en[cols[i]] = v
+	}
+}

@@ -50,6 +50,13 @@ type Context struct {
 	// §4's purpose: answering "retrieve the objects that are currently in
 	// the polygon P" without examining all the objects.
 	InsideCandidates func(pg geom.Polygon, w temporal.Interval) []most.ObjectID
+
+	// Parallelism bounds the worker pool the per-instantiation loops (atom
+	// solving, assignment-term enumeration) fan out over: 0 or 1 evaluates
+	// sequentially, n > 1 uses n workers, and any negative value uses
+	// GOMAXPROCS.  Results are merged in instantiation order, so the answer
+	// relation is identical at every setting.
+	Parallelism int
 }
 
 // Window returns the evaluation window [Now, Now+Horizon].

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
@@ -23,7 +24,12 @@ import (
 // rectangles", with a single-level decomposition.  Values escaping the
 // covered range are clamped into the boundary rows, so answers remain
 // correct (boundary cells just collect more strips).
+//
+// GridIndex is safe for concurrent use: probes take a read lock and run in
+// parallel; mutators take the write lock.  InsertBatch releases the write
+// lock between chunks so probes interleave with a bulk load.
 type GridIndex struct {
+	mu      sync.RWMutex
 	base    temporal.Tick
 	horizon temporal.Tick
 	vMin    float64
@@ -58,10 +64,21 @@ func NewGridIndex(base, T temporal.Tick, vMin, vMax float64, cols, rows int) *Gr
 }
 
 // End returns the exclusive end of the indexed window.
-func (g *GridIndex) End() temporal.Tick { return g.base.Add(g.horizon) }
+func (g *GridIndex) End() temporal.Tick {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.end()
+}
+
+// end is End without the lock, for methods already holding it.
+func (g *GridIndex) end() temporal.Tick { return g.base.Add(g.horizon) }
 
 // Len returns the number of indexed objects.
-func (g *GridIndex) Len() int { return len(g.objects) }
+func (g *GridIndex) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.objects)
+}
 
 // col maps a time to a column, clamped.
 func (g *GridIndex) col(t float64) int {
@@ -91,6 +108,8 @@ func (g *GridIndex) row(v float64) int {
 
 // Insert indexes the object's trajectory over the window.
 func (g *GridIndex) Insert(id most.ObjectID, attr motion.DynamicAttr) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, dup := g.objects[id]; dup {
 		return fmt.Errorf("index: object %s already indexed", id)
 	}
@@ -98,9 +117,31 @@ func (g *GridIndex) Insert(id most.ObjectID, attr motion.DynamicAttr) error {
 	return nil
 }
 
+// InsertBatch indexes many objects at once, taking the write lock per chunk
+// of insertChunk objects so concurrent probes interleave with the load.
+func (g *GridIndex) InsertBatch(entries []AttrEntry) error {
+	for start := 0; start < len(entries); start += insertChunk {
+		chunkEnd := start + insertChunk
+		if chunkEnd > len(entries) {
+			chunkEnd = len(entries)
+		}
+		g.mu.Lock()
+		for i := start; i < chunkEnd; i++ {
+			e := entries[i]
+			if _, dup := g.objects[e.ID]; dup {
+				g.mu.Unlock()
+				return fmt.Errorf("index: object %s already indexed", e.ID)
+			}
+			g.insertFrom(e.ID, e.Attr, float64(g.base))
+		}
+		g.mu.Unlock()
+	}
+	return nil
+}
+
 func (g *GridIndex) insertFrom(id most.ObjectID, attr motion.DynamicAttr, from float64) {
 	recs := g.objects[id]
-	for _, seg := range attr.Trajectory(from, float64(g.End())) {
+	for _, seg := range attr.Trajectory(from, float64(g.end())) {
 		// Walk the columns the segment spans; within each column the value
 		// range gives the row span crossed.
 		recs = append(recs, g.placeSegment(id, seg))
@@ -110,6 +151,8 @@ func (g *GridIndex) insertFrom(id most.ObjectID, attr motion.DynamicAttr, from f
 
 // Remove drops an object.
 func (g *GridIndex) Remove(id most.ObjectID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	recs, ok := g.objects[id]
 	if !ok {
 		return false
@@ -135,6 +178,8 @@ func (g *GridIndex) removeStrip(id most.ObjectID, rec gridRecord) {
 
 // Update replaces the trajectory from tick t on.
 func (g *GridIndex) Update(id most.ObjectID, attr motion.DynamicAttr, t temporal.Tick) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	recs, ok := g.objects[id]
 	if !ok {
 		return fmt.Errorf("index: object %s not indexed", id)
@@ -187,6 +232,8 @@ func (g *GridIndex) placeSegment(id most.ObjectID, seg motion.Segment) gridRecor
 // InstantQuery answers "which objects currently have lo <= A <= hi" at
 // tick t by examining the cells the query rectangle touches.
 func (g *GridIndex) InstantQuery(lo, hi float64, t temporal.Tick) []most.ObjectID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	at := float64(t)
 	c := g.col(at)
 	r0, r1 := g.row(lo), g.row(hi)
@@ -217,8 +264,10 @@ func (g *GridIndex) InstantQuery(lo, hi float64, t temporal.Tick) []most.ObjectI
 // ContinuousQuery returns, per object, the time intervals in [t, T) during
 // which lo <= A <= hi.
 func (g *GridIndex) ContinuousQuery(lo, hi float64, t temporal.Tick) []ContinuousAnswer {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	from := float64(t)
-	to := float64(g.End())
+	to := float64(g.end())
 	c0, c1 := g.col(from), g.col(to-1e-9)
 	r0, r1 := g.row(lo), g.row(hi)
 	type key struct {

@@ -19,6 +19,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
@@ -26,6 +27,11 @@ import (
 	"github.com/mostdb/most/internal/rtree"
 	"github.com/mostdb/most/internal/temporal"
 )
+
+// insertChunk is how many objects a batched insert indexes per write-lock
+// hold.  Between chunks the lock is released, so concurrent probes (read
+// lock) interleave with a bulk load instead of stalling behind it.
+const insertChunk = 64
 
 // strip is one indexed rectangle: a time-bounded piece of one object's
 // trajectory.  It is the R-tree's stored value, so a probe can verify the
@@ -42,8 +48,12 @@ type segRecord struct {
 }
 
 // AttrIndex indexes one dynamic attribute over the time horizon
-// [Base, Base+T).  It is not safe for concurrent mutation.
+// [Base, Base+T).  It is safe for concurrent use: probes take a read lock
+// and run in parallel with each other; mutators take the write lock.
+// InsertBatch releases the write lock between chunks so probes interleave
+// with a bulk load.
 type AttrIndex struct {
+	mu      sync.RWMutex
 	base    temporal.Tick
 	horizon temporal.Tick
 	slice   float64 // max time width of one indexed rectangle
@@ -78,24 +88,50 @@ func NewAttrIndexSlice(base, T temporal.Tick, slice float64) *AttrIndex {
 }
 
 // Base returns the start of the indexed time window.
-func (ix *AttrIndex) Base() temporal.Tick { return ix.base }
+func (ix *AttrIndex) Base() temporal.Tick {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.base
+}
 
 // End returns the exclusive end of the indexed time window (Base + T).
-func (ix *AttrIndex) End() temporal.Tick { return ix.base.Add(ix.horizon) }
+func (ix *AttrIndex) End() temporal.Tick {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.end()
+}
+
+// end is End without the lock, for use by methods already holding it
+// (RWMutex is not reentrant).
+func (ix *AttrIndex) end() temporal.Tick { return ix.base.Add(ix.horizon) }
 
 // Len returns the number of indexed objects.
-func (ix *AttrIndex) Len() int { return len(ix.objects) }
+func (ix *AttrIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.objects)
+}
 
 // TreeHeight returns the underlying R-tree's height; experiments use it to
 // demonstrate logarithmic growth.
-func (ix *AttrIndex) TreeHeight() int { return ix.tree.Height() }
+func (ix *AttrIndex) TreeHeight() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Height()
+}
 
 // NeedsRebuild reports whether t has run past the indexed window, i.e. the
 // periodic reconstruction is due.
-func (ix *AttrIndex) NeedsRebuild(t temporal.Tick) bool { return t >= ix.End() }
+func (ix *AttrIndex) NeedsRebuild(t temporal.Tick) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return t >= ix.end()
+}
 
 // Insert indexes the object's attribute trajectory over the window.
 func (ix *AttrIndex) Insert(id most.ObjectID, attr motion.DynamicAttr) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, dup := ix.objects[id]; dup {
 		return fmt.Errorf("index: object %s already indexed", id)
 	}
@@ -103,10 +139,63 @@ func (ix *AttrIndex) Insert(id most.ObjectID, attr motion.DynamicAttr) error {
 	return nil
 }
 
+// AttrEntry is one object of a batched attribute-index insert.
+type AttrEntry struct {
+	ID   most.ObjectID
+	Attr motion.DynamicAttr
+}
+
+// InsertBatch indexes many objects at once.  The strip records are computed
+// under the read lock — concurrent probes keep running — and applied to the
+// tree in chunks of insertChunk objects per write-lock hold, so probes
+// interleave with the load instead of waiting for all of it.  If the window
+// is rebuilt concurrently the batch aborts with an error rather than mixing
+// strips from two windows.
+func (ix *AttrIndex) InsertBatch(entries []AttrEntry) error {
+	ix.mu.RLock()
+	base := ix.base
+	for _, e := range entries {
+		if _, dup := ix.objects[e.ID]; dup {
+			ix.mu.RUnlock()
+			return fmt.Errorf("index: object %s already indexed", e.ID)
+		}
+	}
+	recs := make([][]segRecord, len(entries))
+	for i, e := range entries {
+		recs[i] = ix.makeRecords(e.ID, e.Attr, float64(base))
+	}
+	ix.mu.RUnlock()
+
+	for start := 0; start < len(entries); start += insertChunk {
+		chunkEnd := start + insertChunk
+		if chunkEnd > len(entries) {
+			chunkEnd = len(entries)
+		}
+		ix.mu.Lock()
+		if ix.base != base {
+			ix.mu.Unlock()
+			return fmt.Errorf("index: window rebuilt during batch insert")
+		}
+		for i := start; i < chunkEnd; i++ {
+			id := entries[i].ID
+			if _, dup := ix.objects[id]; dup {
+				ix.mu.Unlock()
+				return fmt.Errorf("index: object %s already indexed", id)
+			}
+			for _, rec := range recs[i] {
+				ix.tree.Insert(rec.rect, rec.strip)
+			}
+			ix.objects[id] = append(ix.objects[id], recs[i]...)
+		}
+		ix.mu.Unlock()
+	}
+	return nil
+}
+
 // makeRecords builds the strip records of one trajectory without touching
-// the tree.
+// the tree.  Callers hold the lock (either mode).
 func (ix *AttrIndex) makeRecords(id most.ObjectID, attr motion.DynamicAttr, from float64) []segRecord {
-	segs := attr.Trajectory(from, float64(ix.End()))
+	segs := attr.Trajectory(from, float64(ix.end()))
 	var out []segRecord
 	for _, s := range segs {
 		for _, piece := range sliceSegment(s, ix.slice) {
@@ -146,6 +235,8 @@ func sliceSegment(s motion.Segment, width float64) []motion.Segment {
 
 // Remove drops all of the object's segments.
 func (ix *AttrIndex) Remove(id most.ObjectID) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	recs, ok := ix.objects[id]
 	if !ok {
 		return false
@@ -162,6 +253,8 @@ func (ix *AttrIndex) Remove(id most.ObjectID) bool {
 // it is added to the records representing rectangles crossed by the new
 // function-line" — only the part of the trajectory at or after t changes.
 func (ix *AttrIndex) Update(id most.ObjectID, attr motion.DynamicAttr, t temporal.Tick) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	recs, ok := ix.objects[id]
 	if !ok {
 		return fmt.Errorf("index: object %s not indexed", id)
@@ -196,6 +289,8 @@ func (ix *AttrIndex) Update(id most.ObjectID, attr motion.DynamicAttr, t tempora
 // intersect the query rectangle [t0,t1] x [lo,hi] — the index probe of §4,
 // before the exact per-object check.
 func (ix *AttrIndex) Candidates(lo, hi float64, t0, t1 float64) []most.ObjectID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	seen := map[most.ObjectID]bool{}
 	var out []most.ObjectID
 	ix.tree.Search(rtree.Rect2(t0, lo, t1, hi), func(_ rtree.Rect, s strip) bool {
@@ -214,6 +309,8 @@ func (ix *AttrIndex) Candidates(lo, hi float64, t0, t1 float64) []most.ObjectID 
 // [lo,hi] x [t,t], then "for each object id in these records we check
 // whether currently lo < A < hi" — directly on the hit strips.
 func (ix *AttrIndex) InstantQuery(lo, hi float64, t temporal.Tick) []most.ObjectID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	at := float64(t)
 	var out []most.ObjectID
 	var dup map[most.ObjectID]bool
@@ -251,8 +348,10 @@ type ContinuousAnswer struct {
 // answer "by examining each object id in these records, and determining the
 // time intervals when lo < o.A < hi" (§4).
 func (ix *AttrIndex) ContinuousQuery(lo, hi float64, t temporal.Tick) []ContinuousAnswer {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	from := float64(t)
-	to := float64(ix.End())
+	to := float64(ix.end())
 	hits := map[most.ObjectID][]geom.RealInterval{}
 	ix.tree.Search(rtree.Rect2(from, lo, to, hi), func(_ rtree.Rect, s strip) bool {
 		if set, ok := segmentRange(s.seg, lo, hi, from, to); ok {
@@ -298,6 +397,8 @@ func segmentRange(seg motion.Segment, lo, hi, from, to float64) (geom.RealSet, b
 // R-tree is bulk-loaded (STR packing), which is both faster and yields a
 // better tree than incremental insertion.
 func (ix *AttrIndex) Rebuild(base temporal.Tick, attrs map[most.ObjectID]motion.DynamicAttr) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ix.base = base
 	ix.objects = make(map[most.ObjectID][]segRecord, len(attrs))
 	ids := make([]most.ObjectID, 0, len(attrs))

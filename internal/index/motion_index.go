@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
@@ -29,7 +30,12 @@ type motionRecord struct {
 // scheme can be mimicked using an index of 3-dimensional space, with the
 // third dimension being, obviously, time."  Each linear span of an object's
 // position is sliced into strips contributing one (x, y, t) box each.
+//
+// MotionIndex is safe for concurrent use: probes take a read lock and run
+// in parallel; mutators take the write lock.  InsertBatch releases the
+// write lock between chunks so probes interleave with a bulk load.
 type MotionIndex struct {
+	mu      sync.RWMutex
 	base    temporal.Tick
 	horizon temporal.Tick
 	slice   float64
@@ -56,16 +62,33 @@ func NewMotionIndex(base, T temporal.Tick) *MotionIndex {
 }
 
 // End returns the exclusive end of the indexed window.
-func (ix *MotionIndex) End() temporal.Tick { return ix.base.Add(ix.horizon) }
+func (ix *MotionIndex) End() temporal.Tick {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.end()
+}
+
+// end is End without the lock, for methods already holding it.
+func (ix *MotionIndex) end() temporal.Tick { return ix.base.Add(ix.horizon) }
 
 // Len returns the number of indexed objects.
-func (ix *MotionIndex) Len() int { return len(ix.objects) }
+func (ix *MotionIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.objects)
+}
 
 // NeedsRebuild reports whether the window has been outrun.
-func (ix *MotionIndex) NeedsRebuild(t temporal.Tick) bool { return t >= ix.End() }
+func (ix *MotionIndex) NeedsRebuild(t temporal.Tick) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return t >= ix.end()
+}
 
 // Insert indexes an object's position over the window.
 func (ix *MotionIndex) Insert(id most.ObjectID, pos motion.Position) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, dup := ix.objects[id]; dup {
 		return fmt.Errorf("index: object %s already indexed", id)
 	}
@@ -73,10 +96,61 @@ func (ix *MotionIndex) Insert(id most.ObjectID, pos motion.Position) error {
 	return nil
 }
 
+// MotionEntry is one object of a batched motion-index insert.
+type MotionEntry struct {
+	ID  most.ObjectID
+	Pos motion.Position
+}
+
+// InsertBatch indexes many objects at once: strip records are computed
+// under the read lock and applied in chunks of insertChunk objects per
+// write-lock hold, so concurrent probes interleave with the bulk load.
+// Aborts with an error if the window is rebuilt mid-batch.
+func (ix *MotionIndex) InsertBatch(entries []MotionEntry) error {
+	ix.mu.RLock()
+	base := ix.base
+	for _, e := range entries {
+		if _, dup := ix.objects[e.ID]; dup {
+			ix.mu.RUnlock()
+			return fmt.Errorf("index: object %s already indexed", e.ID)
+		}
+	}
+	recs := make([][]motionRecord, len(entries))
+	for i, e := range entries {
+		recs[i] = ix.makeRecords(e.ID, e.Pos, float64(base))
+	}
+	ix.mu.RUnlock()
+
+	for start := 0; start < len(entries); start += insertChunk {
+		chunkEnd := start + insertChunk
+		if chunkEnd > len(entries) {
+			chunkEnd = len(entries)
+		}
+		ix.mu.Lock()
+		if ix.base != base {
+			ix.mu.Unlock()
+			return fmt.Errorf("index: window rebuilt during batch insert")
+		}
+		for i := start; i < chunkEnd; i++ {
+			id := entries[i].ID
+			if _, dup := ix.objects[id]; dup {
+				ix.mu.Unlock()
+				return fmt.Errorf("index: object %s already indexed", id)
+			}
+			for _, rec := range recs[i] {
+				ix.tree.Insert(rec.rect, rec.strip)
+			}
+			ix.objects[id] = append(ix.objects[id], recs[i]...)
+		}
+		ix.mu.Unlock()
+	}
+	return nil
+}
+
 // makeRecords builds the strip records of one trajectory without touching
-// the tree.
+// the tree.  Callers hold the lock (either mode).
 func (ix *MotionIndex) makeRecords(id most.ObjectID, pos motion.Position, from float64) []motionRecord {
-	spans := pos.MovingPointsOver(from, float64(ix.End()))
+	spans := pos.MovingPointsOver(from, float64(ix.end()))
 	var out []motionRecord
 	for _, sp := range spans {
 		t0 := sp.From
@@ -115,6 +189,8 @@ func (ix *MotionIndex) insertFrom(id most.ObjectID, pos motion.Position, from fl
 
 // Remove drops an object.
 func (ix *MotionIndex) Remove(id most.ObjectID) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	recs, ok := ix.objects[id]
 	if !ok {
 		return false
@@ -129,6 +205,8 @@ func (ix *MotionIndex) Remove(id most.ObjectID) bool {
 // Update replaces the object's trajectory from time t on (a motion-vector
 // update).
 func (ix *MotionIndex) Update(id most.ObjectID, pos motion.Position, t temporal.Tick) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	recs, ok := ix.objects[id]
 	if !ok {
 		return fmt.Errorf("index: object %s not indexed", id)
@@ -160,6 +238,8 @@ func (ix *MotionIndex) Update(id most.ObjectID, pos motion.Position, t temporal.
 // CandidatesInRect returns the distinct ids whose trajectory boxes
 // intersect the spatial rectangle during [t0, t1].
 func (ix *MotionIndex) CandidatesInRect(r geom.Rect, t0, t1 float64) []most.ObjectID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	q := rtree.Rect3(r.Min.X, r.Min.Y, t0, r.Max.X, r.Max.Y, t1)
 	seen := map[most.ObjectID]bool{}
 	var out []most.ObjectID
@@ -178,6 +258,8 @@ func (ix *MotionIndex) CandidatesInRect(r geom.Rect, t0, t1 float64) []most.Obje
 // polygon P at some time in [t0, t1]": an index probe with the polygon's
 // bounding box followed by the exact kinetic check on the hit strips.
 func (ix *MotionIndex) InsidePolygonDuring(pg geom.Polygon, t0, t1 float64) []ContinuousAnswer {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	box := pg.Bounds()
 	q := rtree.Rect3(box.Min.X, box.Min.Y, t0, box.Max.X, box.Max.Y, t1)
 	hits := map[most.ObjectID]geom.RealSet{}
@@ -213,6 +295,8 @@ func (ix *MotionIndex) InsidePolygonDuring(pg geom.Polygon, t0, t1 float64) []Co
 // Rebuild reconstructs the motion index for a new window, bulk-loading the
 // R-tree (STR packing).
 func (ix *MotionIndex) Rebuild(base temporal.Tick, positions map[most.ObjectID]motion.Position) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ix.base = base
 	ix.objects = make(map[most.ObjectID][]motionRecord, len(positions))
 	ids := make([]most.ObjectID, 0, len(positions))

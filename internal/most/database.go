@@ -2,6 +2,7 @@ package most
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 
@@ -35,39 +36,98 @@ type Update struct {
 	Before, After *Object
 }
 
-// Listener observes explicit updates, synchronously, in commit order.
+// Listener observes explicit updates.  Listeners run synchronously on the
+// updater's goroutine, after every lock has been released.  When updates
+// are issued from a single goroutine, listeners observe them in commit
+// order; concurrent updaters may interleave their notifications (each
+// notification still carries a consistent Before/After pair).
 type Listener func(Update)
+
+// objShardCount is the number of object shards.  A fixed power of two keeps
+// shardFor branch-free; 16 shards suffice to spread update traffic across
+// many more cores than that, because each shard lock is held only for the
+// few instructions of one revision swap.
+const objShardCount = 16
+
+// objShard is one slice of the object map with its own lock, so updates to
+// objects in different shards never contend.
+type objShard struct {
+	mu      sync.RWMutex
+	objects map[ObjectID]*Object
+}
 
 // Database is a MOST database: a set of object classes and their current
 // objects, a global discrete clock, and a log of explicit updates.  The
 // paper's "database history" (§2.2) is implicit: the past is reconstructed
 // from the log, and the future from the dynamic attributes' functions.
 //
-// The database is safe for concurrent use.  We assume instantaneous
-// updates: valid-time equals transaction-time (§2.1).
+// The database is safe for concurrent use by any number of updaters and
+// readers.  We assume instantaneous updates: valid-time equals
+// transaction-time (§2.1).
+//
+// # Locking discipline
+//
+// Objects live in objShardCount shards hashed by id, each under its own
+// RWMutex, so explicit updates to distinct objects proceed in parallel and
+// readers never block readers.  Four locks exist, and every code path that
+// holds more than one acquires them in this fixed order (releases may
+// happen in any order):
+//
+//	clockMu (read)  <  shard.mu (ascending shard index)  <  metaMu  <  logMu
+//
+// clockMu guards the clock.  Every update holds it shared for the whole
+// operation so the clock cannot advance between the tick an update is
+// stamped with and the tick its revision is rebased at; Advance takes it
+// exclusively and therefore serializes against in-flight updates, which
+// keeps the log sorted by tick.  metaMu guards the class registry and the
+// per-class membership lists.  logMu guards the update log and the
+// listener registry; because an updater still holds its shard lock while
+// appending to the log, any reader holding all shard locks (History,
+// SnapshotJSON) observes object state and log atomically consistent.
+//
+// Object revisions themselves are immutable: reads taken under a shard
+// read-lock remain valid — and internally consistent — after the lock is
+// released (copy-on-read snapshot semantics).  Snapshot and History hand
+// out such stable views for query evaluation.
 type Database struct {
-	mu        sync.RWMutex
-	classes   map[string]*Class
-	objects   map[ObjectID]*Object
-	byClass   map[string][]ObjectID
-	now       temporal.Tick
+	clockMu sync.RWMutex
+	now     temporal.Tick
+
+	shards [objShardCount]objShard
+
+	metaMu  sync.RWMutex
+	classes map[string]*Class
+	byClass map[string][]ObjectID
+
+	logMu     sync.Mutex
 	log       []Update
 	listeners []Listener
 }
 
-// NewDatabase returns an empty database with the clock at tick 0.
-func NewDatabase() *Database {
-	return &Database{
-		classes: map[string]*Class{},
-		objects: map[ObjectID]*Object{},
-		byClass: map[string][]ObjectID{},
-	}
+// shardSeed is the process-wide seed for the shard hash.
+var shardSeed = maphash.MakeSeed()
+
+func (db *Database) shardFor(id ObjectID) *objShard {
+	return &db.shards[maphash.String(shardSeed, string(id))&(objShardCount-1)]
 }
 
-// Now returns the current tick of the special "time" object.
+// NewDatabase returns an empty database with the clock at tick 0.
+func NewDatabase() *Database {
+	db := &Database{
+		classes: map[string]*Class{},
+		byClass: map[string][]ObjectID{},
+	}
+	for i := range db.shards {
+		db.shards[i].objects = map[ObjectID]*Object{}
+	}
+	return db
+}
+
+// Now returns the current tick of the special "time" object.  Safe for
+// concurrent use.
 func (db *Database) Now() temporal.Tick {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.clockMu.RLock()
+	defer db.clockMu.RUnlock()
 	return db.now
 }
 
@@ -75,21 +135,23 @@ func (db *Database) Now() temporal.Tick {
 // tick", §2) and returns the new time.
 func (db *Database) Tick() temporal.Tick { return db.Advance(1) }
 
-// Advance moves the clock forward by d ticks and returns the new time.
+// Advance moves the clock forward by d ticks and returns the new time.  It
+// waits for in-flight updates, so no update is ever stamped with a tick
+// other than the one its revisions were computed at.
 func (db *Database) Advance(d temporal.Tick) temporal.Tick {
 	if d < 0 {
 		panic("most: the clock cannot run backwards")
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.clockMu.Lock()
+	defer db.clockMu.Unlock()
 	db.now = db.now.Add(d)
 	return db.now
 }
 
 // DefineClass registers an object class.
 func (db *Database) DefineClass(c *Class) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
 	if _, dup := db.classes[c.Name()]; dup {
 		return fmt.Errorf("most: class %s already defined", c.Name())
 	}
@@ -99,47 +161,72 @@ func (db *Database) DefineClass(c *Class) error {
 
 // Class looks up a class by name.
 func (db *Database) Class(name string) (*Class, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	c, ok := db.classes[name]
 	return c, ok
 }
 
-// Subscribe registers a listener for explicit updates.  Listeners run
-// synchronously while the update lock is NOT held, in commit order.
+// Subscribe registers a listener for explicit updates.
 func (db *Database) Subscribe(l Listener) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	db.listeners = append(db.listeners, l)
+}
+
+// appendLog stamps the update into the log and returns the listener list to
+// notify.  The caller must still hold the object's shard lock (so state and
+// log commit atomically with respect to History) and must notify only after
+// releasing every lock.
+func (db *Database) appendLog(u Update) []Listener {
+	db.logMu.Lock()
+	db.log = append(db.log, u)
+	ls := db.listeners
+	db.logMu.Unlock()
+	return ls
 }
 
 // Insert adds a new object.
 func (db *Database) Insert(o *Object) error {
-	db.mu.Lock()
-	if _, dup := db.objects[o.id]; dup {
-		db.mu.Unlock()
+	db.clockMu.RLock()
+	s := db.shardFor(o.id)
+	s.mu.Lock()
+	if _, dup := s.objects[o.id]; dup {
+		s.mu.Unlock()
+		db.clockMu.RUnlock()
 		return fmt.Errorf("most: object %s already exists", o.id)
 	}
+	db.metaMu.Lock()
 	if db.classes[o.class.Name()] != o.class {
-		db.mu.Unlock()
+		db.metaMu.Unlock()
+		s.mu.Unlock()
+		db.clockMu.RUnlock()
 		return fmt.Errorf("most: class %s of object %s is not defined in this database", o.class.Name(), o.id)
 	}
-	db.objects[o.id] = o
 	db.byClass[o.class.Name()] = append(db.byClass[o.class.Name()], o.id)
+	db.metaMu.Unlock()
+	s.objects[o.id] = o
 	u := Update{Tick: db.now, Kind: UpdateInsert, Object: o.id, After: o}
-	db.commitLocked(u)
+	ls := db.appendLog(u)
+	s.mu.Unlock()
+	db.clockMu.RUnlock()
+	notify(ls, u)
 	return nil
 }
 
 // Delete removes an object.
 func (db *Database) Delete(id ObjectID) error {
-	db.mu.Lock()
-	o, ok := db.objects[id]
+	db.clockMu.RLock()
+	s := db.shardFor(id)
+	s.mu.Lock()
+	o, ok := s.objects[id]
 	if !ok {
-		db.mu.Unlock()
+		s.mu.Unlock()
+		db.clockMu.RUnlock()
 		return fmt.Errorf("most: object %s does not exist", id)
 	}
-	delete(db.objects, id)
+	delete(s.objects, id)
+	db.metaMu.Lock()
 	ids := db.byClass[o.class.Name()]
 	for i, cand := range ids {
 		if cand == id {
@@ -147,150 +234,168 @@ func (db *Database) Delete(id ObjectID) error {
 			break
 		}
 	}
+	db.metaMu.Unlock()
 	u := Update{Tick: db.now, Kind: UpdateDelete, Object: id, Before: o}
-	db.commitLocked(u)
+	ls := db.appendLog(u)
+	s.mu.Unlock()
+	db.clockMu.RUnlock()
+	notify(ls, u)
 	return nil
 }
 
-// commitLocked appends to the log and releases the lock before notifying.
-func (db *Database) commitLocked(u Update) {
-	db.log = append(db.log, u)
-	ls := db.listeners
-	db.mu.Unlock()
+func notify(ls []Listener, u Update) {
 	for _, l := range ls {
 		l(u)
 	}
 }
 
+// mutate applies fn to the object's current revision and commits the result
+// as an explicit update, under the locking discipline described on
+// Database.
+func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, fn func(o *Object, now temporal.Tick) (*Object, error)) error {
+	db.clockMu.RLock()
+	now := db.now
+	s := db.shardFor(id)
+	s.mu.Lock()
+	o, ok := s.objects[id]
+	if !ok {
+		s.mu.Unlock()
+		db.clockMu.RUnlock()
+		return fmt.Errorf("most: object %s does not exist", id)
+	}
+	next, err := fn(o, now)
+	if err != nil {
+		s.mu.Unlock()
+		db.clockMu.RUnlock()
+		return err
+	}
+	s.objects[id] = next
+	u := Update{Tick: now, Kind: kind, Object: id, Attr: attr, Before: o, After: next}
+	ls := db.appendLog(u)
+	s.mu.Unlock()
+	db.clockMu.RUnlock()
+	notify(ls, u)
+	return nil
+}
+
 // Get returns the current revision of the object.
 func (db *Database) Get(id ObjectID) (*Object, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o, ok := db.objects[id]
+	s := db.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[id]
 	return o, ok
 }
 
 // Objects returns the current revisions of all objects of a class, in
-// insertion order.  With class == "" it returns every object.
+// insertion order.  With class == "" it returns every object, sorted by id.
 func (db *Database) Objects(class string) []*Object {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	if class != "" {
-		ids := db.byClass[class]
+		db.metaMu.RLock()
+		ids := make([]ObjectID, len(db.byClass[class]))
+		copy(ids, db.byClass[class])
+		db.metaMu.RUnlock()
 		out := make([]*Object, 0, len(ids))
 		for _, id := range ids {
-			out = append(out, db.objects[id])
+			// An object may be deleted between the membership copy and the
+			// shard read; skip it rather than return a nil revision.
+			if o, ok := db.Get(id); ok {
+				out = append(out, o)
+			}
 		}
 		return out
 	}
-	ids := make([]string, 0, len(db.objects))
-	for id := range db.objects {
-		ids = append(ids, string(id))
+	var out []*Object
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for _, o := range s.objects {
+			out = append(out, o)
+		}
+		s.mu.RUnlock()
 	}
-	sort.Strings(ids)
-	out := make([]*Object, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, db.objects[ObjectID(id)])
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Snapshot returns a copy-on-read view of every current object revision.
+// The returned map is owned by the caller; the *Object revisions in it are
+// immutable, so the view stays internally consistent while updaters keep
+// committing.  Query evaluation runs against such snapshots, which is what
+// lets explicit updates and query evaluation proceed simultaneously.
+func (db *Database) Snapshot() map[ObjectID]*Object {
+	out := make(map[ObjectID]*Object, db.Count())
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for id, o := range s.objects {
+			out[id] = o
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
 
 // Count returns the number of live objects (all classes).
 func (db *Database) Count() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.objects)
+	n := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		n += len(s.objects)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Version returns the number of committed explicit updates.  It increases
+// monotonically; continuous/persistent maintenance uses it to discard stale
+// reevaluation results under concurrent updates.
+func (db *Database) Version() uint64 {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	return uint64(len(db.log))
 }
 
 // SetStatic explicitly updates a static attribute at the current time.
 func (db *Database) SetStatic(id ObjectID, attr string, v Value) error {
-	db.mu.Lock()
-	o, ok := db.objects[id]
-	if !ok {
-		db.mu.Unlock()
-		return fmt.Errorf("most: object %s does not exist", id)
-	}
-	next, err := o.WithStatic(attr, v)
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	db.objects[id] = next
-	u := Update{Tick: db.now, Kind: UpdateStatic, Object: id, Attr: attr, Before: o, After: next}
-	db.commitLocked(u)
-	return nil
+	return db.mutate(id, UpdateStatic, attr, func(o *Object, _ temporal.Tick) (*Object, error) {
+		return o.WithStatic(attr, v)
+	})
 }
 
 // SetDynamic explicitly updates a dynamic attribute's sub-attributes at the
 // current time ("an explicit update of a dynamic attribute may change its
 // value sub-attribute, or its function sub-attribute, or both", §2.1).
 func (db *Database) SetDynamic(id ObjectID, attr string, a motion.DynamicAttr) error {
-	db.mu.Lock()
-	o, ok := db.objects[id]
-	if !ok {
-		db.mu.Unlock()
-		return fmt.Errorf("most: object %s does not exist", id)
-	}
-	next, err := o.WithDynamic(attr, a)
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	db.objects[id] = next
-	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: attr, Before: o, After: next}
-	db.commitLocked(u)
-	return nil
+	return db.mutate(id, UpdateDynamic, attr, func(o *Object, _ temporal.Tick) (*Object, error) {
+		return o.WithDynamic(attr, a)
+	})
 }
 
 // UpdateFunction re-bases the dynamic attribute to its current value and
 // installs a new function — the motion-vector update a vehicle's sensor
 // issues "when it senses a change in speed or direction" (§1).
 func (db *Database) UpdateFunction(id ObjectID, attr string, f motion.Func) error {
-	db.mu.Lock()
-	o, ok := db.objects[id]
-	if !ok {
-		db.mu.Unlock()
-		return fmt.Errorf("most: object %s does not exist", id)
-	}
-	cur, err := o.Dynamic(attr)
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	next, err := o.WithDynamic(attr, cur.Updated(db.now, f))
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	db.objects[id] = next
-	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: attr, Before: o, After: next}
-	db.commitLocked(u)
-	return nil
+	return db.mutate(id, UpdateDynamic, attr, func(o *Object, now temporal.Tick) (*Object, error) {
+		cur, err := o.Dynamic(attr)
+		if err != nil {
+			return nil, err
+		}
+		return o.WithDynamic(attr, cur.Updated(now, f))
+	})
 }
 
 // SetMotion updates a spatial object's motion vector at the current time,
 // keeping its position continuous.
 func (db *Database) SetMotion(id ObjectID, v geom.Vector) error {
-	db.mu.Lock()
-	o, ok := db.objects[id]
-	if !ok {
-		db.mu.Unlock()
-		return fmt.Errorf("most: object %s does not exist", id)
-	}
-	pos, err := o.Position()
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	next, err := o.WithPosition(pos.Retarget(db.now, v))
-	if err != nil {
-		db.mu.Unlock()
-		return err
-	}
-	db.objects[id] = next
-	u := Update{Tick: db.now, Kind: UpdateDynamic, Object: id, Attr: XPosition, Before: o, After: next}
-	db.commitLocked(u)
-	return nil
+	return db.mutate(id, UpdateDynamic, XPosition, func(o *Object, now temporal.Tick) (*Object, error) {
+		pos, err := o.Position()
+		if err != nil {
+			return nil, err
+		}
+		return o.WithPosition(pos.Retarget(now, v))
+	})
 }
 
 // Log returns a copy of the explicit-update log since the beginning of the
@@ -298,8 +403,8 @@ func (db *Database) SetMotion(id ObjectID, v geom.Vector) error {
 // persistent queries requires saving of information about the way the
 // database is updated over time").
 func (db *Database) Log() []Update {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	out := make([]Update, len(db.log))
 	copy(out, db.log)
 	return out
@@ -307,10 +412,27 @@ func (db *Database) Log() []Update {
 
 // LogSince returns the log entries with Tick >= t.
 func (db *Database) LogSince(t temporal.Tick) []Update {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
 	i := sort.Search(len(db.log), func(i int) bool { return db.log[i].Tick >= t })
 	out := make([]Update, len(db.log)-i)
 	copy(out, db.log[i:])
 	return out
+}
+
+// lockAllRead acquires the clock and every shard in the documented order,
+// giving the caller a fully consistent read view; release with
+// unlockAllRead.  While held, no update can commit.
+func (db *Database) lockAllRead() {
+	db.clockMu.RLock()
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+	}
+}
+
+func (db *Database) unlockAllRead() {
+	for i := range db.shards {
+		db.shards[i].mu.RUnlock()
+	}
+	db.clockMu.RUnlock()
 }

@@ -19,16 +19,23 @@ type History struct {
 	log     []Update
 }
 
-// History captures the current history view.
+// History captures the current history view.  It briefly quiesces commits
+// (taking the clock and every object shard in read mode, then the log) so
+// the object state and the log in the snapshot are mutually consistent even
+// under concurrent updaters.
 func (db *Database) History() History {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	cur := make(map[ObjectID]*Object, len(db.objects))
-	for id, o := range db.objects {
-		cur[id] = o
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	cur := make(map[ObjectID]*Object)
+	for i := range db.shards {
+		for id, o := range db.shards[i].objects {
+			cur[id] = o
+		}
 	}
+	db.logMu.Lock()
 	logCopy := make([]Update, len(db.log))
 	copy(logCopy, db.log)
+	db.logMu.Unlock()
 	return History{now: db.now, current: cur, log: logCopy}
 }
 

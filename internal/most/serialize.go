@@ -54,11 +54,21 @@ type dynDTO struct {
 	Function   string        `json:"function"`
 }
 
-// SnapshotJSON serializes the database's current state.
+// SnapshotJSON serializes the database's current state.  Like History, it
+// quiesces commits while copying so the serialized state is consistent.
 func (db *Database) SnapshotJSON() ([]byte, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
 	dto := snapshotDTO{Now: db.now}
+
+	objects := map[ObjectID]*Object{}
+	for i := range db.shards {
+		for id, o := range db.shards[i].objects {
+			objects[id] = o
+		}
+	}
 
 	classNames := make([]string, 0, len(db.classes))
 	for name := range db.classes {
@@ -77,13 +87,13 @@ func (db *Database) SnapshotJSON() ([]byte, error) {
 		dto.Classes = append(dto.Classes, cd)
 	}
 
-	ids := make([]string, 0, len(db.objects))
-	for id := range db.objects {
+	ids := make([]string, 0, len(objects))
+	for id := range objects {
 		ids = append(ids, string(id))
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		o := db.objects[ObjectID(id)]
+		o := objects[ObjectID(id)]
 		od := objectDTO{ID: id, Class: o.class.name}
 		if len(o.statics) > 0 {
 			od.Statics = map[string]valueDTO{}

@@ -27,6 +27,16 @@ type Continuous struct {
 	listeners []func(*eval.Relation)
 	cancelled bool
 
+	// version is the database version (update-log length) the materialized
+	// answer reflects; installs are monotonic in it, so a slow evaluation
+	// finishing late never overwrites a newer answer.  evaluating/pending
+	// coalesce concurrent maintenance: one goroutine evaluates at a time and
+	// re-runs once if updates arrived meanwhile, instead of queueing a full
+	// reevaluation per update.
+	version    uint64
+	evaluating bool
+	pending    bool
+
 	// vars the query depends on: used to skip irrelevant updates.
 	classes map[string]bool
 }
@@ -109,20 +119,53 @@ func (cq *Continuous) relevant(u most.Update) bool {
 	return cq.classes[class]
 }
 
-// reevaluate recomputes Answer(CQ) from the current state.
+// reevaluate recomputes Answer(CQ) from the current state.  Concurrent
+// calls coalesce: if an evaluation is already in flight it is marked
+// pending and this call returns immediately; the in-flight evaluation then
+// runs one more round, which covers every update that arrived while it was
+// working.  Installs are version-stamped so a stale result never replaces
+// a newer one.  With a single caller this reduces to exactly one
+// evaluation per call, i.e. the sequential semantics.
 func (cq *Continuous) reevaluate() {
-	rel, err := cq.engine.InstantaneousRelation(cq.query, cq.opts)
 	cq.mu.Lock()
-	if cq.cancelled {
+	if cq.evaluating {
+		cq.pending = true
 		cq.mu.Unlock()
 		return
 	}
-	cq.answer, cq.err = rel, err
-	ls := append([]func(*eval.Relation){}, cq.listeners...)
+	cq.evaluating = true
 	cq.mu.Unlock()
-	if err == nil {
+	for {
+		// The version is read before the snapshot, so the evaluated state is
+		// at least as new as v and the install guard stays conservative.
+		v := cq.engine.db.Version()
+		rel, err := cq.engine.InstantaneousRelation(cq.query, cq.opts)
+		cq.mu.Lock()
+		if cq.cancelled {
+			cq.evaluating = false
+			cq.pending = false
+			cq.mu.Unlock()
+			return
+		}
+		var ls []func(*eval.Relation)
+		if v >= cq.version {
+			cq.version = v
+			cq.answer, cq.err = rel, err
+			if err == nil {
+				ls = append([]func(*eval.Relation){}, cq.listeners...)
+			}
+		}
+		again := cq.pending
+		cq.pending = false
+		if !again {
+			cq.evaluating = false
+		}
+		cq.mu.Unlock()
 		for _, fn := range ls {
 			fn(rel)
+		}
+		if !again {
+			return
 		}
 	}
 }

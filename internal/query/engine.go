@@ -19,8 +19,10 @@ package query
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mostdb/most/internal/ftl"
 	"github.com/mostdb/most/internal/ftl/eval"
@@ -47,6 +49,12 @@ type Options struct {
 	// (§4).  The index must cover the same objects the query ranges over
 	// and a window containing [now, now+horizon].
 	MotionIndex *index.MotionIndex
+	// Parallelism fans the evaluator's per-object and per-binding loops out
+	// over a bounded worker pool: 0 or 1 evaluates sequentially, n > 1 uses
+	// n workers, and any negative value uses GOMAXPROCS.  The answer is
+	// identical at every setting (results merge in deterministic
+	// instantiation order); only the wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultHorizon is the query expiry used when Options.Horizon is zero.
@@ -100,18 +108,18 @@ func (e *Engine) countEval() {
 
 // context builds an eval context over the current database state.
 func (e *Engine) context(q *ftl.Query, opts Options, now temporal.Tick) (*eval.Context, error) {
+	// Snapshot is a copy-on-read view: the evaluator works off immutable
+	// object revisions, so updaters keep committing while the query runs.
 	ctx := &eval.Context{
 		Now:             now,
 		Horizon:         opts.horizon(),
-		Objects:         map[most.ObjectID]*most.Object{},
+		Objects:         e.db.Snapshot(),
 		Regions:         opts.Regions,
 		Params:          opts.Params,
 		Domains:         map[string][]eval.Val{},
 		MaxAssignStates: opts.MaxAssignStates,
 		BisectSamples:   opts.BisectSamples,
-	}
-	for _, o := range e.db.Objects("") {
-		ctx.Objects[o.ID()] = o
+		Parallelism:     opts.Parallelism,
 	}
 	if ix := opts.MotionIndex; ix != nil {
 		ctx.InsideCandidates = func(pg geom.Polygon, w temporal.Interval) []most.ObjectID {
@@ -165,7 +173,12 @@ func (e *Engine) InstantaneousRelation(q *ftl.Query, opts Options) (*eval.Relati
 
 // onUpdate reevaluates registered queries after an explicit update (§2.3:
 // "a continuous query CQ has to be reevaluated when an update occurs that
-// may change the set of tuples Answer(CQ)").
+// may change the set of tuples Answer(CQ)").  Independent queries
+// reevaluate concurrently on a pool bounded by GOMAXPROCS.  With a single
+// updater, onUpdate returns only once every registered query reflects the
+// update — exactly the sequential semantics; under concurrent updaters a
+// reevaluation already in flight absorbs this update instead (see
+// Continuous.reevaluate).
 func (e *Engine) onUpdate(u most.Update) {
 	e.mu.Lock()
 	cqs := make([]*Continuous, 0, len(e.continuous))
@@ -179,14 +192,48 @@ func (e *Engine) onUpdate(u most.Update) {
 	e.mu.Unlock()
 	sort.Slice(cqs, func(i, j int) bool { return cqs[i].id < cqs[j].id })
 	sort.Slice(pqs, func(i, j int) bool { return pqs[i].id < pqs[j].id })
+	work := make([]func(), 0, len(cqs)+len(pqs))
 	for _, cq := range cqs {
 		if cq.relevant(u) {
-			cq.reevaluate()
+			work = append(work, cq.reevaluate)
 		}
 	}
 	for _, pq := range pqs {
-		pq.reevaluate()
+		work = append(work, pq.reevaluate)
 	}
+	runBounded(work)
+}
+
+// runBounded runs the tasks on at most GOMAXPROCS goroutines and waits for
+// all of them.  A single task runs inline.
+func runBounded(work []func()) {
+	if len(work) == 0 {
+		return
+	}
+	if len(work) == 1 {
+		work[0]()
+		return
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(work) {
+		nw = len(work)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				work[i]()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // errUnregistered guards handle reuse after Cancel.

@@ -35,6 +35,12 @@ type Persistent struct {
 	err       error
 	listeners []func([]Row)
 	cancelled bool
+
+	// version/evaluating/pending implement the same monotonic-install and
+	// coalescing scheme as Continuous: see the comment there.
+	version    uint64
+	evaluating bool
+	pending    bool
 }
 
 // Persistent registers a persistent query anchored at the current time.
@@ -83,16 +89,39 @@ func (pq *Persistent) Cancel() {
 	pq.mu.Unlock()
 }
 
+// reevaluate replays the query against the updated history.  Concurrent
+// calls coalesce exactly as in Continuous.reevaluate.
 func (pq *Persistent) reevaluate() {
-	if err := pq.evalOnce(); err != nil {
-		pq.mu.Lock()
-		pq.err = err
+	pq.mu.Lock()
+	if pq.evaluating {
+		pq.pending = true
 		pq.mu.Unlock()
+		return
+	}
+	pq.evaluating = true
+	pq.mu.Unlock()
+	for {
+		err := pq.evalOnce()
+		pq.mu.Lock()
+		if err != nil {
+			pq.err = err
+		}
+		again := pq.pending && !pq.cancelled
+		pq.pending = false
+		if !again {
+			pq.evaluating = false
+		}
+		pq.mu.Unlock()
+		if !again {
+			return
+		}
 	}
 }
 
 func (pq *Persistent) evalOnce() error {
 	e := pq.engine
+	// Version before History: the replayed log is at least as new as v.
+	v := e.db.Version()
 	h := e.db.History()
 	horizonEnd := pq.anchor.Add(pq.opts.horizon())
 	objects := synthesizeHistory(h, pq.anchor, horizonEnd)
@@ -106,6 +135,7 @@ func (pq *Persistent) evalOnce() error {
 		Domains:         map[string][]eval.Val{},
 		MaxAssignStates: pq.opts.MaxAssignStates,
 		BisectSamples:   pq.opts.BisectSamples,
+		Parallelism:     pq.opts.Parallelism,
 	}
 	if err := ctx.BindDomains(pq.query, eval.IDsOf(e.db)); err != nil {
 		return err
@@ -124,8 +154,12 @@ func (pq *Persistent) evalOnce() error {
 		pq.mu.Unlock()
 		return nil
 	}
-	pq.answer, pq.err = rows, nil
-	ls := append([]func([]Row){}, pq.listeners...)
+	var ls []func([]Row)
+	if v >= pq.version {
+		pq.version = v
+		pq.answer, pq.err = rows, nil
+		ls = append([]func([]Row){}, pq.listeners...)
+	}
 	pq.mu.Unlock()
 	for _, fn := range ls {
 		fn(rows)

@@ -24,6 +24,17 @@
 //     computers, query classification, ship-objects versus broadcast-query
 //     strategies, and immediate versus delayed answer delivery.
 //
+// # Concurrency
+//
+// Database, Engine, ContinuousQuery, PersistentQuery, Trigger and the three
+// index types are safe for concurrent use by multiple goroutines; value
+// types (Tick, Interval, Point, MotionFunc, DynamicAttr, Query, ...) are
+// immutable.  QueryOptions.Parallelism additionally fans one evaluation's
+// per-object loops over a worker pool — the answer is identical at every
+// setting.  Store, SQLSystem and Sim model single-site systems and must be
+// driven from one goroutine.  See ARCHITECTURE.md for the locking
+// discipline and snapshot semantics.
+//
 // This file is the public facade: it re-exports the library's types and
 // constructors so applications depend on a single import path.
 package mostdb
@@ -45,121 +56,155 @@ import (
 
 // ---- time ----
 
-// Tick is one instant of the global discrete clock.
+// Tick is one instant of the global discrete clock (§2.1's "the database
+// clock").  Immutable value; safe to share.
 type Tick = temporal.Tick
 
-// Interval is a closed interval of ticks.
+// Interval is a closed interval of ticks (§2.3's answer intervals).
+// Immutable value; safe to share.
 type Interval = temporal.Interval
 
 // TickSet is a normalized set of ticks (disjoint, non-consecutive
-// intervals).
+// intervals) — the satisfaction sets of the appendix algorithm.  Immutable
+// value; safe to share.
 type TickSet = temporal.Set
 
 // ---- geometry ----
 
-// Point is a position in space.
+// Point is a position in space (§2.1 POSITION values).  Immutable value;
+// safe to share.
 type Point = geom.Point
 
-// Vector is a displacement or motion vector (distance per tick).
+// Vector is a displacement or motion vector, distance per tick (§1's
+// "motion vector").  Immutable value; safe to share.
 type Vector = geom.Vector
 
-// Polygon is a simple polygon in the XY plane.
+// Polygon is a simple polygon in the XY plane — the regions of §3's
+// INSIDE/OUTSIDE predicates.  Immutable after construction; safe to share.
 type Polygon = geom.Polygon
 
-// RectPolygon returns the axis-aligned rectangle [x0,x1] x [y0,y1].
+// RectPolygon returns the axis-aligned rectangle [x0,x1] x [y0,y1] as a
+// Polygon for INSIDE/OUTSIDE (§3.4).  Safe for concurrent callers.
 func RectPolygon(x0, y0, x1, y1 float64) Polygon { return geom.RectPolygon(x0, y0, x1, y1) }
 
-// RectRegion is an axis-aligned box, used to bound workload regions.
+// RectRegion is an axis-aligned box, used to bound workload regions and
+// index probes (§4).  Immutable value; safe to share.
 type RectRegion = geom.Rect
 
-// Rect builds an axis-aligned box from corner coordinates.
+// Rect builds an axis-aligned box from corner coordinates.  Safe for
+// concurrent callers.
 func Rect(x0, y0, x1, y1 float64) RectRegion {
 	return geom.Rect{Min: geom.Point{X: x0, Y: y0}, Max: geom.Point{X: x1, Y: y1}}
 }
 
-// NewPolygon builds a polygon from vertices.
+// NewPolygon builds a polygon from vertices (§3 region predicates).  Safe
+// for concurrent callers.
 func NewPolygon(vertices ...Point) (Polygon, error) { return geom.NewPolygon(vertices...) }
 
-// Dist returns the distance between two points (the DIST spatial method).
+// Dist returns the distance between two points — the DIST spatial method of
+// §3.2.  Pure function; safe for concurrent callers.
 func Dist(p, q Point) float64 { return geom.Dist(p, q) }
 
 // ---- motion ----
 
 // MotionFunc is a piecewise-polynomial (linear or quadratic) function of
-// time with f(0) = 0 — the A.function sub-attribute.
+// time with f(0) = 0 — the A.function sub-attribute of §2.1.  Immutable
+// value; safe to share.
 type MotionFunc = motion.Func
 
-// Linear returns the function f(t) = slope*t.
+// Linear returns the function f(t) = slope*t (§2.1's base case).  Safe for
+// concurrent callers.
 func Linear(slope float64) MotionFunc { return motion.Linear(slope) }
 
 // Accelerating returns the quadratic function f(t) = slope*t + accel*t^2/2
-// — the paper's "nonlinear functions" extension, supported exactly by
+// — the paper's "nonlinear functions" extension (§7), supported exactly by
 // comparisons, range queries and the indexes (POSITION attributes must
-// remain piecewise linear).
+// remain piecewise linear).  Safe for concurrent callers.
 func Accelerating(slope, accel float64) MotionFunc { return motion.Accelerating(slope, accel) }
 
-// DynamicAttr is a dynamic attribute: (value, updatetime, function).
+// DynamicAttr is a dynamic attribute, the triple (value, updatetime,
+// function) of §2.1; its value at time t is value + function(t -
+// updatetime).  Immutable value; safe to share.
 type DynamicAttr = motion.DynamicAttr
 
-// Position bundles the X/Y/Z.POSITION dynamic attributes.
+// Position bundles the X/Y/Z.POSITION dynamic attributes of a spatial
+// object (§2.1).  Immutable value; safe to share.
 type Position = motion.Position
 
-// MovingFrom places an object at p at tick t0 with motion vector v.
+// MovingFrom places an object at p at tick t0 with motion vector v —
+// §2.1's "location of a moving object is a dynamic attribute".  Safe for
+// concurrent callers.
 func MovingFrom(p Point, v Vector, t0 Tick) Position { return motion.MovingFrom(p, v, t0) }
 
-// PositionAt places a stationary object at p.
+// PositionAt places a stationary object at p (motion vector zero).  Safe
+// for concurrent callers.
 func PositionAt(p Point, t0 Tick) Position { return motion.PositionAt(p, t0) }
 
 // ---- the MOST data model ----
 
-// Database is a MOST database: classes, objects, a clock, an update log.
+// Database is a MOST database (§2.1): classes, objects, a clock, an update
+// log.  Safe for concurrent use by any number of updaters and readers; see
+// ARCHITECTURE.md for the sharded locking discipline.  Snapshot-based
+// reads mean queries never block explicit updates.
 type Database = most.Database
 
-// Class is an object class; spatial classes carry POSITION attributes.
+// Class is an object class (§2.1); spatial classes carry the POSITION
+// dynamic attributes.  Immutable after construction; safe to share.
 type Class = most.Class
 
-// AttrDef declares one attribute of a class.
+// AttrDef declares one attribute of a class as Static or Dynamic (§2.1).
+// Immutable value; safe to share.
 type AttrDef = most.AttrDef
 
-// Attribute kinds.
+// Attribute kinds (§2.1: attributes are "of two types: static and
+// dynamic").
 const (
 	Static  = most.Static
 	Dynamic = most.Dynamic
 )
 
-// Object is one immutable object revision.
+// Object is one immutable object revision; mutations through the Database
+// produce new revisions (the basis of the copy-on-read snapshots).  Safe
+// to share across goroutines.
 type Object = most.Object
 
-// ObjectID identifies an object.
+// ObjectID identifies an object.  Immutable value; safe to share.
 type ObjectID = most.ObjectID
 
-// Value is a static attribute value.
+// Value is a static attribute value (§2.1).  Immutable value; safe to
+// share.
 type Value = most.Value
 
-// NewDatabase returns an empty database with the clock at 0.
+// NewDatabase returns an empty database with the clock at 0.  The returned
+// Database is safe for concurrent use.
 func NewDatabase() *Database { return most.NewDatabase() }
 
-// LoadSnapshotJSON rebuilds a database from a SnapshotJSON payload.
+// LoadSnapshotJSON rebuilds a database from a SnapshotJSON payload.  Safe
+// for concurrent callers; the returned Database is safe for concurrent
+// use.
 func LoadSnapshotJSON(data []byte) (*Database, error) { return most.LoadSnapshotJSON(data) }
 
-// NewClass declares an object class.
+// NewClass declares an object class (§2.1).  Safe for concurrent callers.
 func NewClass(name string, spatial bool, attrs ...AttrDef) (*Class, error) {
 	return most.NewClass(name, spatial, attrs...)
 }
 
-// NewObject builds an object of a class.
+// NewObject builds an object of a class (§2.1).  Safe for concurrent
+// callers; the object is immutable.
 func NewObject(id ObjectID, class *Class) (*Object, error) { return most.NewObject(id, class) }
 
-// Float, Str and Bool wrap static attribute values.
+// Float wraps a number as a static attribute value (§2.1).  Safe for
+// concurrent callers.
 func Float(f float64) Value { return most.Float(f) }
 
-// Str wraps a string value.
+// Str wraps a string value (§2.1).  Safe for concurrent callers.
 func Str(s string) Value { return most.Str(s) }
 
-// Bool wraps a boolean value.
+// Bool wraps a boolean value (§2.1).  Safe for concurrent callers.
 func Bool(b bool) Value { return most.Bool(b) }
 
-// Position attribute names of spatial classes.
+// Position attribute names of spatial classes (§2.1's X.POSITION,
+// Y.POSITION, Z.POSITION).
 const (
 	XPosition = most.XPosition
 	YPosition = most.YPosition
@@ -168,115 +213,157 @@ const (
 
 // ---- FTL ----
 
-// Query is a parsed FTL query.
+// Query is a parsed FTL query (§3: RETRIEVE ... FROM ... WHERE formula).
+// Immutable after parsing; safe to share and to evaluate concurrently.
 type Query = ftl.Query
 
-// ParseQuery parses "RETRIEVE ... FROM ... WHERE <FTL formula>".
+// ParseQuery parses "RETRIEVE ... FROM ... WHERE <FTL formula>" (§3.1
+// syntax).  Safe for concurrent callers.
 func ParseQuery(src string) (*Query, error) { return ftl.Parse(src) }
 
-// MustParseQuery parses a query and panics on error.
+// MustParseQuery parses a query and panics on error (§3.1).  Safe for
+// concurrent callers.
 func MustParseQuery(src string) *Query { return ftl.MustParse(src) }
 
-// Relation is a materialized FTL answer: instantiations with the interval
-// sets during which they satisfy the query.
+// Relation is a materialized FTL answer (§2.3, appendix): instantiations
+// with the interval sets during which they satisfy the query.  Immutable
+// once returned by an evaluation; safe to share.
 type Relation = eval.Relation
 
-// Answer is one (instantiation, begin, end) tuple of Answer(CQ).
+// Answer is one (instantiation, begin, end) tuple of Answer(CQ) (§2.3).
+// Immutable value; safe to share.
 type Answer = eval.Answer
 
-// Val is a value an FTL variable takes in an answer.
+// Val is a value an FTL variable takes in an answer (§3.3
+// instantiations).  Immutable value; safe to share.
 type Val = eval.Val
 
 // ---- query engine ----
 
-// Engine evaluates instantaneous, continuous and persistent queries.
+// Engine evaluates instantaneous, continuous and persistent queries
+// (§2.3) against one Database.  Safe for concurrent use: evaluations run
+// on copy-on-read snapshots, and maintenance of registered queries
+// coalesces under concurrent updates.
 type Engine = query.Engine
 
-// QueryOptions configure an evaluation (horizon, regions, parameters).
+// QueryOptions configure an evaluation (§2.3, §3): horizon (query
+// expiry), regions, parameters, and the Parallelism knob that fans the
+// evaluator's per-object loops over a worker pool (0/1 sequential, n > 1
+// workers, negative = GOMAXPROCS) with an identical answer at every
+// setting.  Immutable value; safe to share.
 type QueryOptions = query.Options
 
 // ContinuousQuery is a registered continuous query with a maintained
-// Answer(CQ).
+// Answer(CQ) (§2.3): evaluated once, reevaluated only when a relevant
+// update commits.  Safe for concurrent use; Answer/Current may be called
+// while maintenance runs.
 type ContinuousQuery = query.Continuous
 
-// PersistentQuery is a registered persistent query anchored at entry time.
+// PersistentQuery is a registered persistent query anchored at entry time
+// (§2.3): reevaluated over the logged history on every update.  Safe for
+// concurrent use.
 type PersistentQuery = query.Persistent
 
-// Trigger couples a continuous query with an action.
+// Trigger couples a continuous query with an action — the temporal
+// triggers of §2.3.  Safe for concurrent use.
 type Trigger = query.Trigger
 
-// Row is one presented answer instantiation.
+// Row is one presented answer instantiation (§3.5 per-tick presentation).
+// Treat as immutable once returned.
 type Row = query.Row
 
-// NewEngine returns a query engine bound to db.
+// NewEngine returns a query engine bound to db, subscribed to its updates
+// (§2.3 continuous-query maintenance).  The returned Engine is safe for
+// concurrent use.
 func NewEngine(db *Database) *Engine { return query.NewEngine(db) }
 
 // ---- indexing ----
 
-// AttrIndex is the dynamic-attribute index of §4 ((time, value)-plane
-// R-tree over trajectory segments).
+// AttrIndex is the dynamic-attribute index of §4: a (time, value)-plane
+// R-tree over trajectory strips within a finite window.  Safe for
+// concurrent use — probes share a read lock; InsertBatch interleaves a
+// bulk load with probes.
 type AttrIndex = index.AttrIndex
 
-// MotionIndex is the 3-D (x, y, time) variant for planar movement.
+// MotionIndex is the 3-D (x, y, time) variant of §4 for objects moving in
+// the plane.  Safe for concurrent use, like AttrIndex.
 type MotionIndex = index.MotionIndex
 
-// NewAttrIndex returns an index covering [base, base+T).
+// NewAttrIndex returns an index covering [base, base+T) (§4's finite
+// indexed window).  Safe for concurrent callers.
 func NewAttrIndex(base, T Tick) *AttrIndex { return index.NewAttrIndex(base, T) }
 
-// NewMotionIndex returns a motion index covering [base, base+T).
+// NewMotionIndex returns a motion index covering [base, base+T) (§4).
+// Safe for concurrent callers.
 func NewMotionIndex(base, T Tick) *MotionIndex { return index.NewMotionIndex(base, T) }
 
 // GridIndex is the alternative uniform-grid mechanism for indexing dynamic
-// attributes (compared against the R-tree in experiment E11).
+// attributes (the §7 future-work comparison, run in experiment E11).  Safe
+// for concurrent use, like AttrIndex.
 type GridIndex = index.GridIndex
 
 // NewGridIndex returns a grid index over time [base, base+T) and values
-// [vMin, vMax) at the given cell resolution.
+// [vMin, vMax) at the given cell resolution (§4 variant).  Safe for
+// concurrent callers.
 func NewGridIndex(base, T Tick, vMin, vMax float64, cols, rows int) *GridIndex {
 	return index.NewGridIndex(base, T, vMin, vMax, cols, rows)
 }
 
 // ---- MOST on a DBMS ----
 
-// Store is the bundled in-memory relational DBMS.
+// Store is the bundled in-memory relational DBMS standing in for §5.1's
+// "existing DBMS".  Not synchronized: drive from one goroutine.
 type Store = relstore.Store
 
-// NewStore returns an empty store.
+// NewStore returns an empty store (§5.1).  The returned Store must be
+// driven from one goroutine.
 func NewStore() *Store { return relstore.NewStore() }
 
-// SQLSystem is the MOST layer over a Store (§5.1).
+// SQLSystem is the MOST layer over a Store (§5.1): dynamic attributes as
+// ordinary columns, 2^k WHERE decomposition, index-assisted rewriting.
+// Not synchronized: drive from one goroutine.
 type SQLSystem = mostsql.System
 
-// NewSQLSystem wraps a store; now supplies the clock.
+// NewSQLSystem wraps a store; now supplies the clock (§5.1).  The returned
+// system must be driven from one goroutine.
 func NewSQLSystem(store *Store, now func() Tick) *SQLSystem { return mostsql.New(store, now) }
 
-// SQLValue is a value of the bundled relational DBMS.
+// SQLValue is a value of the bundled relational DBMS (§5.1).  Immutable
+// value; safe to share.
 type SQLValue = relstore.Value
 
-// SQLNum wraps a number for the relational layer.
+// SQLNum wraps a number for the relational layer (§5.1).  Safe for
+// concurrent callers.
 func SQLNum(f float64) SQLValue { return relstore.Num(f) }
 
-// SQLStr wraps a string for the relational layer.
+// SQLStr wraps a string for the relational layer (§5.1).  Safe for
+// concurrent callers.
 func SQLStr(s string) SQLValue { return relstore.Str(s) }
 
-// SQLBool wraps a bool for the relational layer.
+// SQLBool wraps a bool for the relational layer (§5.1).  Safe for
+// concurrent callers.
 func SQLBool(b bool) SQLValue { return relstore.Bool(b) }
 
 // ---- distributed ----
 
-// Sim is the mobile distributed simulation (§5.2–5.3).
+// Sim is the mobile distributed simulation of §5.2–5.3: per-object mobile
+// computers, query classification, strategy and delivery costs.  Not
+// synchronized: drive from one goroutine.
 type Sim = dist.Sim
 
-// NewSim returns an empty simulation.
+// NewSim returns an empty simulation (§5.2).  The returned Sim must be
+// driven from one goroutine.
 func NewSim(seed int64) *Sim { return dist.NewSim(seed) }
 
-// Object-query strategies.
+// Object-query strategies (§5.3: ship the objects to the query versus
+// broadcast the query to the objects).
 const (
 	ShipObjects    = dist.ShipObjects
 	BroadcastQuery = dist.BroadcastQuery
 )
 
-// Delivery modes for Answer(CQ) transmission.
+// Delivery modes for Answer(CQ) transmission to a mobile client (§5.3:
+// immediate versus delayed delivery).
 const (
 	Immediate = dist.Immediate
 	Delayed   = dist.Delayed
@@ -284,20 +371,26 @@ const (
 
 // ---- workloads ----
 
-// FleetSpec parameterizes a synthetic vehicle fleet.
+// FleetSpec parameterizes a synthetic vehicle fleet (the motivating
+// vehicles of §1).  Immutable value; safe to share.
 type FleetSpec = workload.FleetSpec
 
-// Fleet builds a database of moving vehicles.
+// Fleet builds a database of moving vehicles (§1 scenario).  Safe for
+// concurrent callers; the returned Database is safe for concurrent use.
 func Fleet(spec FleetSpec) (*Database, error) { return workload.Fleet(spec) }
 
-// AirspaceSpec parameterizes an air-traffic scenario.
+// AirspaceSpec parameterizes an air-traffic scenario (§1's ATC queries).
+// Immutable value; safe to share.
 type AirspaceSpec = workload.AirspaceSpec
 
-// Airspace builds a database of aircraft around an airport.
+// Airspace builds a database of aircraft around an airport (§1).  Safe for
+// concurrent callers; the returned Database is safe for concurrent use.
 func Airspace(spec AirspaceSpec) (*Database, error) { return workload.Airspace(spec) }
 
-// MotelsSpec parameterizes the MOTELS relation.
+// MotelsSpec parameterizes the MOTELS relation (§1's motel query).
+// Immutable value; safe to share.
 type MotelsSpec = workload.MotelsSpec
 
-// AddMotels inserts stationary motels into a database.
+// AddMotels inserts stationary motels into a database (§1).  Safe for
+// concurrent callers.
 func AddMotels(db *Database, spec MotelsSpec) error { return workload.AddMotels(db, spec) }
