@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel
+.PHONY: check fmt vet build test race bench parallel faults fuzzwal
 
 check: fmt vet build test
 
@@ -30,3 +30,13 @@ bench:
 # Sequential-vs-parallel evaluation sweep; writes BENCH_parallel.json.
 parallel:
 	$(GO) run ./cmd/mostbench -parallel
+
+# Fault-tolerance sweep (loss x partition x crashes; legacy vs reliable
+# delivery, staleness marking, WAL recovery); writes BENCH_faults.json.
+faults:
+	$(GO) run ./cmd/mostbench -faults -quick
+
+# Fuzz the WAL replay path: corrupted/truncated logs must fail safe with a
+# partial-recovery report, never a panic.
+fuzzwal:
+	$(GO) test ./internal/most -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s

@@ -1,14 +1,16 @@
-// mostbench regenerates every experiment table (E1..E12): the paper's
+// mostbench regenerates every experiment table (E1..E13): the paper's
 // quantitative claims, measured on this implementation.  See DESIGN.md for
 // the experiment index and EXPERIMENTS.md for claim-versus-measured.
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel]
+//	mostbench [-quick] [-only E3,E7] [-parallel] [-faults]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
-// machine-readable results to BENCH_parallel.json.
+// machine-readable results to BENCH_parallel.json.  With -faults it runs
+// the fault-tolerance sweep (loss × partition × crashes; legacy vs reliable
+// delivery, staleness marking, WAL recovery) and writes BENCH_faults.json.
 package main
 
 import (
@@ -25,7 +27,24 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
 	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
+	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
 	flag.Parse()
+
+	if *faultsSweep {
+		rep := experiments.FaultsBench(*quick)
+		fmt.Println(rep.Table().Render())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_faults.json")
+		return
+	}
 
 	if *parallel {
 		rep := experiments.ParallelBench(*quick)

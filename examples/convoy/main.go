@@ -59,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("self-referencing: will truck-00 reach the depot within 120 min? %v (messages: %d)\n",
-		rel.Len() > 0, sim.Net.Messages)
+		rel.Len() > 0, sim.NetStats().Messages)
 
 	// Object query under both strategies.
 	objQ := mostdb.MustParseQuery(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 120 INSIDE(o, depot)`)

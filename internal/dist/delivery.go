@@ -39,6 +39,10 @@ type DeliveryStats struct {
 	// failed to display during their interval because the transmission was
 	// dropped while M was disconnected.
 	MissedDisplays int
+	// RecoveredDisplays counts tuples whose first transmission was dropped
+	// but that a re-attempt on reconnection delivered before the display
+	// window closed (DeliverAnswerWithRetry only; always 0 otherwise).
+	RecoveredDisplays int
 	// PeakMemory is the largest number of tuples M held at once.
 	PeakMemory int
 }
@@ -48,6 +52,20 @@ type DeliveryStats struct {
 // client's tuple capacity (0 = unlimited); connected(t) reports whether the
 // client is reachable at tick t.
 func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB int, from, to temporal.Tick, connected func(temporal.Tick) bool) DeliveryStats {
+	return s.deliverAnswer(answers, mode, memoryB, from, to, connected, false)
+}
+
+// DeliverAnswerWithRetry is DeliverAnswer plus re-attempts on reconnection:
+// a tuple whose transmission was dropped is retransmitted each tick until
+// the client is reachable again, giving up when the display window closes
+// (or the simulation ends).  Tuples of a dropped Immediate block are
+// re-attempted individually.  Deliveries that a re-attempt saves are counted
+// in RecoveredDisplays instead of MissedDisplays.
+func (s *Sim) DeliverAnswerWithRetry(answers []eval.Answer, mode DeliveryMode, memoryB int, from, to temporal.Tick, connected func(temporal.Tick) bool) DeliveryStats {
+	return s.deliverAnswer(answers, mode, memoryB, from, to, connected, true)
+}
+
+func (s *Sim) deliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB int, from, to temporal.Tick, connected func(temporal.Tick) bool, retry bool) DeliveryStats {
 	stats := DeliveryStats{}
 	sorted := append([]eval.Answer{}, answers...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -58,6 +76,7 @@ func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB in
 	})
 
 	received := make([]bool, len(sorted))
+	tried := make([]temporal.Tick, len(sorted)) // tick of each tuple's first transmission
 	switch mode {
 	case Immediate:
 		if memoryB <= 0 {
@@ -67,6 +86,7 @@ func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB in
 			ok := connected(from)
 			for i := range sorted {
 				received[i] = ok
+				tried[i] = from
 			}
 			if ok {
 				stats.PeakMemory = len(sorted)
@@ -90,9 +110,10 @@ func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB in
 				ok := connected(sendAt)
 				for i := start; i < end; i++ {
 					received[i] = ok
+					tried[i] = sendAt
 				}
 			}
-			stats.PeakMemory = memoryB
+			stats.PeakMemory = min(memoryB, len(sorted))
 		}
 	case Delayed:
 		// One message per tuple at its begin time.  The client holds a
@@ -106,6 +127,7 @@ func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB in
 			}
 			stats.Messages++
 			stats.Bytes += s.Cost.TupleBytes
+			tried[i] = sendAt
 			if connected(sendAt) {
 				received[i] = true
 				kept := activeEnds[:0]
@@ -117,6 +139,28 @@ func (s *Sim) DeliverAnswer(answers []eval.Answer, mode DeliveryMode, memoryB in
 				activeEnds = append(kept, a.Interval.End)
 				if len(activeEnds) > stats.PeakMemory {
 					stats.PeakMemory = len(activeEnds)
+				}
+			}
+		}
+	}
+	if retry {
+		// Re-attempt each dropped tuple every tick after its failed
+		// transmission until the client reconnects; a tuple is worth
+		// retransmitting only while its display window is open.
+		for i, a := range sorted {
+			if received[i] {
+				continue
+			}
+			deadline := min(to, a.Interval.End)
+			for t := tried[i].Add(1); t <= deadline; t = t.Add(1) {
+				stats.Messages++
+				stats.Bytes += s.Cost.TupleBytes
+				if connected(t) {
+					received[i] = true
+					if a.Interval.End >= from && a.Interval.Start <= to {
+						stats.RecoveredDisplays++
+					}
+					break
 				}
 			}
 		}

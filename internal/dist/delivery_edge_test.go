@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// §5.2 edge cases: the degenerate memory settings, empty answer sets, and
+// display windows that close before the client ever reconnects.
+
+// TestDeliverMemoryZeroVsOne: memoryB=0 means unlimited (one bulk message);
+// memoryB=1 degenerates Immediate into one message per tuple, each timed to
+// the tuple's begin — the extreme of the paper's "blocks of B tuples".
+func TestDeliverMemoryZeroVsOne(t *testing.T) {
+	s := NewSim(1)
+	answers := mkAnswers(6, 10)
+	always := func(temporal.Tick) bool { return true }
+
+	unlimited := s.DeliverAnswer(answers, Immediate, 0, 0, 100, always)
+	if unlimited.Messages != 1 || unlimited.PeakMemory != 6 {
+		t.Fatalf("memoryB=0: %+v", unlimited)
+	}
+	one := s.DeliverAnswer(answers, Immediate, 1, 0, 100, always)
+	if one.Messages != 6 || one.PeakMemory != 1 {
+		t.Fatalf("memoryB=1: %+v", one)
+	}
+	if one.Bytes != unlimited.Bytes {
+		t.Fatalf("blocking changed total bytes: %d vs %d", one.Bytes, unlimited.Bytes)
+	}
+	if one.MissedDisplays != 0 || unlimited.MissedDisplays != 0 {
+		t.Fatal("perfect connectivity missed displays")
+	}
+}
+
+// TestDeliverEmptyAnswerSet: no tuples, no traffic, no misses — in every
+// mode, with and without retry.
+func TestDeliverEmptyAnswerSet(t *testing.T) {
+	s := NewSim(1)
+	never := func(temporal.Tick) bool { return false }
+	for _, mode := range []DeliveryMode{Immediate, Delayed} {
+		for _, memoryB := range []int{0, 1, 3} {
+			got := s.DeliverAnswer(nil, mode, memoryB, 0, 100, never)
+			want := DeliveryStats{}
+			if mode == Immediate && memoryB <= 0 {
+				want.Messages = 1 // the (empty) bulk transmission
+			}
+			got.Bytes = 0
+			if got != want {
+				t.Fatalf("mode %d memoryB %d: %+v", mode, memoryB, got)
+			}
+			retry := s.DeliverAnswerWithRetry(nil, mode, memoryB, 0, 100, never)
+			retry.Bytes = 0
+			if retry != want {
+				t.Fatalf("retry mode %d memoryB %d: %+v", mode, memoryB, retry)
+			}
+		}
+	}
+}
+
+// TestRetryRecoversAfterReconnection: the client is unreachable when the
+// tuples are first sent but reconnects while their windows are still open;
+// the retrying path converts every miss into a recovery.
+func TestRetryRecoversAfterReconnection(t *testing.T) {
+	s := NewSim(1)
+	answers := []eval.Answer{
+		{Vals: []eval.Val{eval.NumVal(1)}, Interval: temporal.Interval{Start: 0, End: 40}},
+		{Vals: []eval.Val{eval.NumVal(2)}, Interval: temporal.Interval{Start: 5, End: 40}},
+	}
+	conn := func(t temporal.Tick) bool { return t >= 10 } // reconnect at 10
+	legacy := s.DeliverAnswer(answers, Delayed, 0, 0, 100, conn)
+	if legacy.MissedDisplays != 2 || legacy.RecoveredDisplays != 0 {
+		t.Fatalf("legacy: %+v", legacy)
+	}
+	retry := s.DeliverAnswerWithRetry(answers, Delayed, 0, 0, 100, conn)
+	if retry.MissedDisplays != 0 || retry.RecoveredDisplays != 2 {
+		t.Fatalf("retry: %+v", retry)
+	}
+	if retry.Messages <= legacy.Messages {
+		t.Fatalf("retry traffic %d not above legacy %d", retry.Messages, legacy.Messages)
+	}
+}
+
+// TestWindowEndsBeforeFirstReconnection: the display window closes while
+// the client is still unreachable — even the retrying path must report the
+// display as missed, and must stop retransmitting at the window's end.
+func TestWindowEndsBeforeFirstReconnection(t *testing.T) {
+	s := NewSim(1)
+	answers := []eval.Answer{
+		{Vals: []eval.Val{eval.NumVal(1)}, Interval: temporal.Interval{Start: 0, End: 8}},
+	}
+	conn := func(t temporal.Tick) bool { return t >= 50 } // reconnects too late
+	retry := s.DeliverAnswerWithRetry(answers, Delayed, 0, 0, 100, conn)
+	if retry.MissedDisplays != 1 || retry.RecoveredDisplays != 0 {
+		t.Fatalf("retry: %+v", retry)
+	}
+	// 1 initial send at begin=0 plus re-attempts at ticks 1..8 only: the
+	// server gives up when the window closes instead of spamming until 100.
+	if retry.Messages != 1+8 {
+		t.Fatalf("messages = %d, want 9", retry.Messages)
+	}
+}
+
+// TestRetryWindowClampedBySimulationEnd: re-attempts also stop at the
+// simulation horizon when it precedes the window end.
+func TestRetryWindowClampedBySimulationEnd(t *testing.T) {
+	s := NewSim(1)
+	answers := []eval.Answer{
+		{Vals: []eval.Val{eval.NumVal(1)}, Interval: temporal.Interval{Start: 0, End: 1000}},
+	}
+	never := func(temporal.Tick) bool { return false }
+	retry := s.DeliverAnswerWithRetry(answers, Immediate, 0, 0, 20, never)
+	if retry.MissedDisplays != 1 {
+		t.Fatalf("retry: %+v", retry)
+	}
+	if retry.Messages != 1+20 { // initial bulk + retries at 1..20
+		t.Fatalf("messages = %d, want 21", retry.Messages)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/mostdb/most/internal/ftl"
 	"github.com/mostdb/most/internal/ftl/eval"
@@ -48,18 +49,23 @@ type Node struct {
 }
 
 // Sim is the distributed system: a fleet of nodes, a clock, and a network.
+// Queries may be issued from multiple goroutines concurrently; the clock,
+// the traffic counters, and the disconnection coin-flips are guarded by one
+// mutex.  Node registration (AddNode) is not concurrent with queries.
 type Sim struct {
 	Cost    CostModel
-	Net     Counters
 	Regions map[string]geom.Polygon
 
+	mu    sync.Mutex // guards clock, net, rng
+	net   Counters
 	clock temporal.Tick
 	nodes map[most.ObjectID]*Node
 	order []most.ObjectID
 	rng   *rand.Rand
 	// PDisconnect is the per-delivery probability that the destination is
 	// unreachable (§5.2: "it is possible that due to disconnection, an
-	// object cannot continuously update its position").
+	// object cannot continuously update its position").  Set it before
+	// issuing queries.
 	PDisconnect float64
 }
 
@@ -74,12 +80,25 @@ func NewSim(seed int64) *Sim {
 }
 
 // Now returns the simulation clock.
-func (s *Sim) Now() temporal.Tick { return s.clock }
+func (s *Sim) Now() temporal.Tick {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
 
 // Advance moves the clock forward.
 func (s *Sim) Advance(d temporal.Tick) temporal.Tick {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.clock = s.clock.Add(d)
 	return s.clock
+}
+
+// NetStats returns a snapshot of the accumulated traffic counters.
+func (s *Sim) NetStats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
 }
 
 // AddNode registers a mobile computer hosting the object.
@@ -105,9 +124,11 @@ func (s *Sim) Nodes() []most.ObjectID { return s.order }
 // deliver simulates one message of the given size to a destination node,
 // applying the disconnection probability.  It reports delivery success.
 func (s *Sim) deliver(dst *Node, bytes int) bool {
-	s.Net.send(bytes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net.send(bytes)
 	if dst.Disconnected || s.rng.Float64() < s.PDisconnect {
-		s.Net.Dropped++
+		s.net.Dropped++
 		return false
 	}
 	return true
@@ -157,7 +178,7 @@ func Classify(q *ftl.Query, issuerBound bool) QueryClass {
 // evalContext builds a context over an explicit object universe.
 func (s *Sim) evalContext(objects map[most.ObjectID]*most.Object, horizon temporal.Tick) *eval.Context {
 	return &eval.Context{
-		Now:     s.clock,
+		Now:     s.Now(),
 		Horizon: horizon,
 		Objects: objects,
 		Regions: s.Regions,
@@ -221,7 +242,7 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 	if !ok {
 		return nil, fmt.Errorf("dist: no node %s", issuer)
 	}
-	before := s.Net
+	before := s.NetStats()
 
 	switch strat {
 	case ShipObjects:
@@ -249,7 +270,7 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 		if err != nil {
 			return nil, err
 		}
-		return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.Net)}, nil
+		return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.NetStats())}, nil
 
 	case BroadcastQuery:
 		merged := eval.NewRelation(q.Targets...)
@@ -277,7 +298,7 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 				merged.Add(tup.Vals, tup.Times)
 			}
 		}
-		return &ObjectQueryResult{Relation: merged, Traffic: diff(before, s.Net)}, nil
+		return &ObjectQueryResult{Relation: merged, Traffic: diff(before, s.NetStats())}, nil
 
 	default:
 		return nil, fmt.Errorf("dist: unknown strategy %d", strat)
@@ -293,7 +314,7 @@ func (s *Sim) RunRelationshipQuery(issuer most.ObjectID, q *ftl.Query, horizon t
 	if !ok {
 		return nil, fmt.Errorf("dist: no node %s", issuer)
 	}
-	before := s.Net
+	before := s.NetStats()
 	universe := map[most.ObjectID]*most.Object{}
 	var ids []most.ObjectID
 	for _, id := range s.order {
@@ -315,7 +336,7 @@ func (s *Sim) RunRelationshipQuery(issuer most.ObjectID, q *ftl.Query, horizon t
 	if err != nil {
 		return nil, err
 	}
-	return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.Net)}, nil
+	return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.NetStats())}, nil
 }
 
 func diff(before, after Counters) Counters {

@@ -68,8 +68,8 @@ func TestSelfQueryNoTraffic(t *testing.T) {
 	if rel.Len() != 1 {
 		t.Fatalf("self answer = %d", rel.Len())
 	}
-	if s.Net.Messages != 0 {
-		t.Fatalf("self query sent %d messages", s.Net.Messages)
+	if s.NetStats().Messages != 0 {
+		t.Fatalf("self query sent %d messages", s.NetStats().Messages)
 	}
 }
 

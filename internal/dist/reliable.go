@@ -1,0 +1,350 @@
+package dist
+
+import (
+	"sort"
+
+	"github.com/mostdb/most/internal/faults"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file puts the §5.2 answer delivery and the §5.3 update propagation on
+// top of the reliable transfer layer of internal/faults: acknowledged
+// at-least-once transmission with retransmission and idempotent receipt,
+// driven over the same deterministic fault schedule the legacy
+// connectivity-function paths see (faults.Network.Connected is exactly the
+// predicate Send applies).  That makes "legacy vs reliable under identical
+// faults" a well-posed comparison — experiment E13 runs it.
+
+// ReliableDeliveryStats extends DeliveryStats with the retransmission
+// traffic the reliable layer spent.
+type ReliableDeliveryStats struct {
+	DeliveryStats
+	Retries    int // frame retransmissions
+	RetryBytes int // bytes spent on retransmissions alone
+	Abandoned  int // transfers dropped after the retry cap
+	Duplicates int // duplicate frames the receiver suppressed
+}
+
+// answerBatch is the frame payload of one answer transmission: the indices
+// (into the begin-sorted answer set) it carries.
+type answerBatch struct {
+	idx []int
+}
+
+// ReliableDeliverAnswer transmits Answer(CQ) to the moving client over the
+// fault-injecting network using acknowledged, retransmitted transfers.  The
+// transmission schedule mirrors DeliverAnswer: Immediate sends everything at
+// from (in begin-sorted blocks of memoryB when memoryB > 0), Delayed sends
+// each tuple at its begin time.  A tuple counts as displayed when its first
+// delivery happens no later than min(to, interval end); duplicates are
+// suppressed by the transfer layer, so the client displays each tuple once.
+//
+// The network clock must be at or before from; the call drives the network
+// to tick to.
+func (s *Sim) ReliableDeliverAnswer(net *faults.Network, server, client faults.NodeID, policy faults.RetryPolicy, answers []eval.Answer, mode DeliveryMode, memoryB int, from, to temporal.Tick) ReliableDeliveryStats {
+	stats := ReliableDeliveryStats{}
+	sorted := append([]eval.Answer{}, answers...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Interval.Start != sorted[j].Interval.Start {
+			return sorted[i].Interval.Start < sorted[j].Interval.Start
+		}
+		return sorted[i].Interval.End < sorted[j].Interval.End
+	})
+
+	// Build the transmission schedule.
+	var batches []*answerSchedule
+	clamp := func(t temporal.Tick) temporal.Tick {
+		if t < from {
+			return from
+		}
+		return t
+	}
+	switch {
+	case mode == Immediate && memoryB <= 0:
+		all := make([]int, len(sorted))
+		for i := range sorted {
+			all[i] = i
+		}
+		if len(all) > 0 {
+			batches = append(batches, &answerSchedule{sendAt: from, idx: all})
+		}
+	case mode == Immediate:
+		for start := 0; start < len(sorted); start += memoryB {
+			end := min(start+memoryB, len(sorted))
+			sendAt := from
+			if start > 0 {
+				sendAt = clamp(sorted[start].Interval.Start)
+			}
+			idx := make([]int, 0, end-start)
+			for i := start; i < end; i++ {
+				idx = append(idx, i)
+			}
+			batches = append(batches, &answerSchedule{sendAt: sendAt, idx: idx})
+		}
+	default: // Delayed
+		for i, a := range sorted {
+			batches = append(batches, &answerSchedule{sendAt: clamp(a.Interval.Start), idx: []int{i}})
+		}
+	}
+
+	const never = temporal.Tick(-1)
+	deliveredAt := make([]temporal.Tick, len(sorted))
+	for i := range deliveredAt {
+		deliveredAt[i] = never
+	}
+
+	srv := faults.NewEndpoint(net, server, policy)
+	cli := faults.NewEndpoint(net, client, policy)
+	var activeEnds []temporal.Tick
+	cli.OnDeliver = func(_ faults.NodeID, _ uint64, payload any) {
+		b, ok := payload.(answerBatch)
+		if !ok {
+			return
+		}
+		now := net.Now()
+		for _, i := range b.idx {
+			if deliveredAt[i] == never {
+				deliveredAt[i] = now
+			}
+		}
+		// Track the client's tuple memory: delivered tuples are held while
+		// their display interval is open.
+		kept := activeEnds[:0]
+		for _, e := range activeEnds {
+			if e >= now {
+				kept = append(kept, e)
+			}
+		}
+		activeEnds = kept
+		for _, i := range b.idx {
+			activeEnds = append(activeEnds, sorted[i].Interval.End)
+		}
+		if len(activeEnds) > stats.PeakMemory {
+			stats.PeakMemory = len(activeEnds)
+		}
+	}
+
+	before := net.Stats()
+	sendDue := func(now temporal.Tick) {
+		for _, b := range batches {
+			if !b.sent && b.sendAt <= now {
+				b.sent = true
+				srv.Send(client, len(b.idx)*s.Cost.TupleBytes, answerBatch{idx: b.idx})
+			}
+		}
+	}
+	for net.Now() < from {
+		net.Step()
+	}
+	sendDue(net.Now())
+	for net.Now() < to {
+		net.Step()
+		sendDue(net.Now())
+		srv.Tick()
+		cli.Tick()
+	}
+
+	after := net.Stats()
+	stats.Messages = after.Sent - before.Sent
+	stats.Bytes = after.Bytes - before.Bytes
+	ss := srv.Stats()
+	stats.Retries = ss.Retries
+	stats.RetryBytes = ss.RetryBytes
+	stats.Abandoned = ss.Abandoned
+	stats.Duplicates = cli.Stats().DupsSeen
+	for i, a := range sorted {
+		if a.Interval.End < from || a.Interval.Start > to {
+			continue // display window outside the simulation
+		}
+		if deliveredAt[i] == never || deliveredAt[i] > min(to, a.Interval.End) {
+			stats.MissedDisplays++
+		} else if !net.Connected(server, client, sendTickOf(batches, i)) {
+			// The first transmission would have been dropped — exactly the
+			// case where the legacy path misses the display — but a
+			// retransmission delivered the tuple in time.
+			stats.RecoveredDisplays++
+		}
+	}
+	return stats
+}
+
+// answerSchedule is one scheduled answer transmission.
+type answerSchedule struct {
+	sendAt temporal.Tick
+	idx    []int
+	sent   bool
+}
+
+// sendTickOf returns the scheduled first-transmission tick of tuple i.
+func sendTickOf(batches []*answerSchedule, i int) temporal.Tick {
+	for _, b := range batches {
+		for _, j := range b.idx {
+			if j == i {
+				return b.sendAt
+			}
+		}
+	}
+	return 0
+}
+
+// MotionUpdate is one explicit motion-vector update (§2.3) issued by a
+// moving object: at Tick the object's motion vector became Vector.  Version
+// is the object's per-object update sequence number; the server installs an
+// update only if its version exceeds the last installed one, which makes
+// receipt idempotent under duplication and reordering.
+type MotionUpdate struct {
+	Object  most.ObjectID
+	Version int
+	Tick    temporal.Tick
+	Vector  geom.Vector
+}
+
+// PropagationStats reports one update-propagation run.
+type PropagationStats struct {
+	Offered    int // updates the objects attempted to send
+	Installed  int // updates the server installed
+	Lost       int // updates that never reached the server
+	Superseded int // deliveries skipped because a newer version was installed
+	Duplicates int // duplicate frames suppressed (reliable path only)
+	Retries    int // retransmissions (reliable path only)
+}
+
+// PropagateUpdates replays a trace of motion-vector updates from their
+// source nodes to the server over the fault-injecting network, either
+// unacknowledged (each update transmitted once, as §5.3's baseline) or
+// through the reliable transfer layer.  install is invoked for every update
+// the server accepts, in installation order; the version-stamp filter has
+// already been applied.  The network is driven until tick until.
+func PropagateUpdates(net *faults.Network, server faults.NodeID, updates []MotionUpdate, reliable bool, policy faults.RetryPolicy, bytes int, until temporal.Tick, install func(MotionUpdate)) PropagationStats {
+	stats := PropagationStats{Offered: len(updates)}
+	installed := map[most.ObjectID]int{}
+	accept := func(u MotionUpdate) {
+		if u.Version <= installed[u.Object] {
+			stats.Superseded++
+			return
+		}
+		installed[u.Object] = u.Version
+		stats.Installed++
+		if install != nil {
+			install(u)
+		}
+	}
+
+	sorted := append([]MotionUpdate{}, updates...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Tick < sorted[j].Tick })
+
+	var endpoints map[most.ObjectID]*faults.Endpoint
+	if reliable {
+		se := faults.NewEndpoint(net, server, policy)
+		se.OnDeliver = func(_ faults.NodeID, _ uint64, payload any) {
+			if u, ok := payload.(MotionUpdate); ok {
+				accept(u)
+			}
+		}
+		endpoints = map[most.ObjectID]*faults.Endpoint{}
+		for _, u := range sorted {
+			if _, ok := endpoints[u.Object]; !ok {
+				endpoints[u.Object] = faults.NewEndpoint(net, faults.NodeID(u.Object), policy)
+			}
+		}
+	} else {
+		net.Attach(server, func(m faults.Message) {
+			if u, ok := m.Payload.(MotionUpdate); ok {
+				accept(u)
+			}
+		})
+	}
+
+	next := 0
+	sendDue := func(now temporal.Tick) {
+		for next < len(sorted) && sorted[next].Tick <= now {
+			u := sorted[next]
+			next++
+			if reliable {
+				endpoints[u.Object].Send(server, bytes, u)
+			} else {
+				net.Send(faults.NodeID(u.Object), server, bytes, u)
+			}
+		}
+	}
+	sendDue(net.Now())
+	for net.Now() < until {
+		net.Step()
+		sendDue(net.Now())
+		for _, id := range sortedObjectIDs(endpoints) {
+			endpoints[id].Tick()
+		}
+	}
+
+	if reliable {
+		for _, id := range sortedObjectIDs(endpoints) {
+			stats.Retries += endpoints[id].Stats().Retries
+			stats.Duplicates += endpoints[id].Stats().DupsSeen
+		}
+	}
+	stats.Lost = stats.Offered - stats.Installed - stats.Superseded
+	return stats
+}
+
+// sortedObjectIDs returns the endpoint keys in deterministic order.
+func sortedObjectIDs(m map[most.ObjectID]*faults.Endpoint) []most.ObjectID {
+	ids := make([]most.ObjectID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AnnotatedAnswer pairs one answer tuple with its staleness marking.
+type AnnotatedAnswer struct {
+	Answer eval.Answer
+	// Uncertain is set when any object the tuple references has a motion
+	// vector older than the staleness bound — its predicted positions, and
+	// hence the tuple's satisfaction interval, may no longer hold (§5.2:
+	// disconnection means "an object cannot continuously update its
+	// position").
+	Uncertain bool
+	// Stale lists the referenced objects whose vectors breached the bound.
+	Stale []most.ObjectID
+}
+
+// AnnotateStaleness implements graceful degradation for answers computed
+// from possibly-outdated motion vectors: every tuple referencing an object
+// whose POSITION update time is more than bound ticks before now is marked
+// uncertain rather than silently presented as exact.  Objects missing from
+// the database (e.g. deleted) also mark the tuple.  It returns the
+// annotated tuples and the number marked uncertain.
+func AnnotateStaleness(db *most.Database, answers []eval.Answer, now, bound temporal.Tick) ([]AnnotatedAnswer, int) {
+	out := make([]AnnotatedAnswer, 0, len(answers))
+	marked := 0
+	for _, a := range answers {
+		aa := AnnotatedAnswer{Answer: a}
+		for _, v := range a.Vals {
+			if v.Kind != eval.ValObj {
+				continue
+			}
+			o, ok := db.Get(v.Obj)
+			if !ok {
+				aa.Stale = append(aa.Stale, v.Obj)
+				continue
+			}
+			pos, err := o.Position()
+			if err != nil {
+				continue // non-spatial objects have no motion vector
+			}
+			if now > pos.X.UpdateTime.Add(bound) {
+				aa.Stale = append(aa.Stale, v.Obj)
+			}
+		}
+		aa.Uncertain = len(aa.Stale) > 0
+		if aa.Uncertain {
+			marked++
+		}
+		out = append(out, aa)
+	}
+	return out, marked
+}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/faults"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+const (
+	serverNode = faults.NodeID("M-server")
+	clientNode = faults.NodeID("m-client")
+)
+
+// newFaultyNet builds the scripted fault schedule of the acceptance test:
+// 30% probabilistic loss plus one mid-run partition isolating the client
+// for ticks [60, 90).  Two networks built by this function inject exactly
+// the same faults (loss is a pure hash of seed, node, and tick).
+func newFaultyNet(seed int64) *faults.Network {
+	net := faults.New(faults.Config{Seed: seed, DropRate: 0.3})
+	net.AddPartition(faults.Partition{Start: 60, End: 90, GroupA: []faults.NodeID{clientNode}})
+	return net
+}
+
+// longAnswers returns n tuples spaced 10 ticks apart with 80-tick display
+// windows — long enough that a retransmission after the 30-tick partition
+// still lands inside the window.
+func longAnswers(n int) []eval.Answer {
+	out := make([]eval.Answer, n)
+	for i := range out {
+		start := temporal.Tick(i) * 10
+		out[i] = eval.Answer{
+			Vals:     []eval.Val{eval.NumVal(float64(i))},
+			Interval: temporal.Interval{Start: start, End: start + 80},
+		}
+	}
+	return out
+}
+
+// TestReliableBeatsLegacyUnderFaults is the acceptance criterion of the
+// fault-tolerance work: under scripted 30% loss plus a mid-run partition,
+// the legacy §5.2 paths (Immediate blocks, Delayed) miss displays, while
+// reliable delivery over the identical fault schedule misses none.
+func TestReliableBeatsLegacyUnderFaults(t *testing.T) {
+	const seed, from, to = 7, 0, 300
+	answers := longAnswers(12)
+	policy := faults.RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 6, MaxRetries: 40, AckBytes: 16}
+
+	s := NewSim(1)
+	conn := func(tk temporal.Tick) bool {
+		return newFaultyNet(seed).Connected(serverNode, clientNode, tk)
+	}
+	legacyIm := s.DeliverAnswer(answers, Immediate, 3, from, to, conn)
+	legacyDe := s.DeliverAnswer(answers, Delayed, 0, from, to, conn)
+
+	// The partition alone guarantees legacy losses: the Immediate block at
+	// begin=60 and the Delayed tuples beginning in [60, 90) are all dropped.
+	if legacyIm.MissedDisplays == 0 {
+		t.Fatal("legacy Immediate missed nothing under 30% loss + partition")
+	}
+	if legacyDe.MissedDisplays == 0 {
+		t.Fatal("legacy Delayed missed nothing under 30% loss + partition")
+	}
+
+	relIm := s.ReliableDeliverAnswer(newFaultyNet(seed), serverNode, clientNode, policy, answers, Immediate, 3, from, to)
+	relDe := s.ReliableDeliverAnswer(newFaultyNet(seed), serverNode, clientNode, policy, answers, Delayed, 0, from, to)
+	if relIm.MissedDisplays != 0 {
+		t.Fatalf("reliable Immediate missed %d displays", relIm.MissedDisplays)
+	}
+	if relDe.MissedDisplays != 0 {
+		t.Fatalf("reliable Delayed missed %d displays", relDe.MissedDisplays)
+	}
+	// The reliability is paid for in retransmissions.
+	if relIm.Retries == 0 || relDe.Retries == 0 {
+		t.Fatalf("expected retransmissions, got %d / %d", relIm.Retries, relDe.Retries)
+	}
+	// Tuples the legacy path would have dropped were recovered.
+	if relDe.RecoveredDisplays == 0 {
+		t.Fatal("reliable Delayed recovered no first-send losses")
+	}
+}
+
+// TestReliableDeliverDeterministic: same seed and schedule, same stats.
+func TestReliableDeliverDeterministic(t *testing.T) {
+	answers := longAnswers(8)
+	s := NewSim(1)
+	run := func() ReliableDeliveryStats {
+		return s.ReliableDeliverAnswer(newFaultyNet(11), serverNode, clientNode,
+			faults.DefaultRetryPolicy, answers, Delayed, 0, 0, 250)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic reliable delivery: %+v vs %+v", a, b)
+	}
+}
+
+// TestReliablePerfectNetworkNoRetries: with no faults the reliable path
+// delivers everything with zero retransmissions.
+func TestReliablePerfectNetworkNoRetries(t *testing.T) {
+	answers := longAnswers(5)
+	s := NewSim(1)
+	net := faults.New(faults.Config{Seed: 1})
+	stats := s.ReliableDeliverAnswer(net, serverNode, clientNode,
+		faults.DefaultRetryPolicy, answers, Immediate, 0, 0, 200)
+	if stats.MissedDisplays != 0 || stats.Retries != 0 || stats.RecoveredDisplays != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PeakMemory != 5 {
+		t.Fatalf("peak memory = %d", stats.PeakMemory)
+	}
+}
+
+func mkUpdates(objs []most.ObjectID, versions int, spacing temporal.Tick) []MotionUpdate {
+	var out []MotionUpdate
+	for v := 1; v <= versions; v++ {
+		for i, id := range objs {
+			out = append(out, MotionUpdate{
+				Object:  id,
+				Version: v,
+				Tick:    temporal.Tick(v-1)*spacing + temporal.Tick(i),
+				Vector:  geom.Vector{X: float64(v)},
+			})
+		}
+	}
+	return out
+}
+
+// TestPropagateUpdatesReliableLosesNothing: under 30% loss and duplication
+// the reliable path installs every update (or a newer version of it), while
+// the legacy fire-and-forget path loses some.
+func TestPropagateUpdatesReliableLosesNothing(t *testing.T) {
+	objs := []most.ObjectID{"car1", "car2", "car3"}
+	updates := mkUpdates(objs, 8, 10)
+	cfg := faults.Config{Seed: 3, DropRate: 0.3, DupRate: 0.2}
+
+	legacy := PropagateUpdates(faults.New(cfg), serverNode, updates, false,
+		faults.DefaultRetryPolicy, 64, 200, nil)
+	if legacy.Lost == 0 {
+		t.Fatal("legacy propagation lost nothing under 30% loss")
+	}
+
+	final := map[most.ObjectID]int{}
+	reliable := PropagateUpdates(faults.New(cfg), serverNode, updates, true,
+		faults.DefaultRetryPolicy, 64, 200, func(u MotionUpdate) { final[u.Object] = u.Version })
+	if reliable.Lost != 0 {
+		t.Fatalf("reliable propagation lost %d updates", reliable.Lost)
+	}
+	if reliable.Retries == 0 {
+		t.Fatal("reliable propagation needed no retries under 30% loss")
+	}
+	for _, id := range objs {
+		if final[id] != 8 {
+			t.Fatalf("object %s ended at version %d, want 8", id, final[id])
+		}
+	}
+}
+
+// TestPropagateUpdatesIdempotent: the version-stamp filter makes receipt
+// idempotent — duplicated frames never install twice, and a version is
+// never installed over a newer one.
+func TestPropagateUpdatesIdempotent(t *testing.T) {
+	updates := mkUpdates([]most.ObjectID{"car1"}, 5, 4)
+	cfg := faults.Config{Seed: 9, DropRate: 0.2, DupRate: 0.5, DelayMin: 1, DelayMax: 4}
+	installs := 0
+	last := 0
+	stats := PropagateUpdates(faults.New(cfg), serverNode, updates, true,
+		faults.DefaultRetryPolicy, 64, 150, func(u MotionUpdate) {
+			installs++
+			if u.Version <= last {
+				t.Fatalf("installed version %d after %d", u.Version, last)
+			}
+			last = u.Version
+		})
+	if stats.Lost != 0 {
+		t.Fatalf("lost %d updates", stats.Lost)
+	}
+	if stats.Installed != installs {
+		t.Fatalf("Installed=%d but install ran %d times", stats.Installed, installs)
+	}
+	if stats.Installed+stats.Superseded != stats.Offered {
+		t.Fatalf("accounting broken: %+v", stats)
+	}
+	if last != 5 {
+		t.Fatalf("final version %d, want 5", last)
+	}
+}
+
+// TestAnnotateStaleness: tuples referencing an object whose motion vector
+// is older than the bound are marked uncertain; fresh objects are not.
+func TestAnnotateStaleness(t *testing.T) {
+	db := most.NewDatabase()
+	c := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(c); err != nil {
+		t.Fatal(err)
+	}
+	add := func(id most.ObjectID, at temporal.Tick) {
+		o, err := most.NewObject(id, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err = o.WithPosition(motion.MovingFrom(geom.Point{}, geom.Vector{X: 1}, at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("fresh", 95)
+	add("stale", 10)
+
+	answers := []eval.Answer{
+		{Vals: []eval.Val{eval.ObjVal("fresh")}, Interval: temporal.Interval{Start: 100, End: 110}},
+		{Vals: []eval.Val{eval.ObjVal("stale")}, Interval: temporal.Interval{Start: 100, End: 110}},
+		{Vals: []eval.Val{eval.ObjVal("gone")}, Interval: temporal.Interval{Start: 100, End: 110}},
+		{Vals: []eval.Val{eval.NumVal(3)}, Interval: temporal.Interval{Start: 100, End: 110}},
+	}
+	annotated, marked := AnnotateStaleness(db, answers, 100, 20)
+	if marked != 2 {
+		t.Fatalf("marked = %d, want 2", marked)
+	}
+	if annotated[0].Uncertain {
+		t.Fatal("fresh object marked uncertain")
+	}
+	if !annotated[1].Uncertain || annotated[1].Stale[0] != "stale" {
+		t.Fatalf("stale object not marked: %+v", annotated[1])
+	}
+	if !annotated[2].Uncertain {
+		t.Fatal("deleted object not marked uncertain")
+	}
+	if annotated[3].Uncertain {
+		t.Fatal("constant-only tuple marked uncertain")
+	}
+}

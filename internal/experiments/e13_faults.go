@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/mostdb/most/internal/dist"
+	"github.com/mostdb/most/internal/faults"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// E13 measures fault tolerance: the §5.2 answer-delivery and §5.3
+// update-propagation paths under a deterministic fault schedule (seeded
+// loss × scripted partition × scripted crashes), comparing the paper's
+// fire-and-forget transmission against the reliable (acknowledged,
+// retransmitted, idempotent) layer, plus graceful degradation (staleness
+// marking) and crash recovery (WAL replay) of the server database.
+
+// FaultsResult is one row of the fault-tolerance sweep.
+type FaultsResult struct {
+	DropRate       float64 `json:"drop_rate"`
+	PartitionTicks int     `json:"partition_ticks"`
+	Crashes        int     `json:"crashes"`
+
+	// §5.2 answer delivery: missed displays out of AnswerTuples.
+	AnswerTuples     int `json:"answer_tuples"`
+	LegacyImmMissed  int `json:"legacy_immediate_missed"`
+	LegacyDelMissed  int `json:"legacy_delayed_missed"`
+	ReliableMissed   int `json:"reliable_missed"`
+	RecoveredTuples  int `json:"recovered_tuples"`
+	DeliveryRetries  int `json:"delivery_retries"`
+	DeliveryRetryKiB int `json:"delivery_retry_kib"`
+
+	// §5.3 update propagation: losses out of UpdatesOffered.
+	UpdatesOffered      int `json:"updates_offered"`
+	LegacyUpdatesLost   int `json:"legacy_updates_lost"`
+	ReliableUpdatesLost int `json:"reliable_updates_lost"`
+	UpdateRetries       int `json:"update_retries"`
+
+	// Graceful degradation: answer tuples marked uncertain because the
+	// referenced object's motion vector breached the staleness bound.
+	StaleLegacy   int `json:"stale_marked_legacy"`
+	StaleReliable int `json:"stale_marked_reliable"`
+
+	// Crash recovery: WAL replay time for the update trace, with the
+	// replayed state verified byte-identical to the live database.
+	RecoveryNs int64 `json:"recovery_ns"`
+}
+
+// FaultsReport is the payload mostbench -faults writes to BENCH_faults.json.
+type FaultsReport struct {
+	Seed    int64          `json:"seed"`
+	Results []FaultsResult `json:"results"`
+}
+
+const (
+	e13Server = faults.NodeID("M")
+	e13Client = faults.NodeID("m0")
+	// e13Horizon is the simulated window; every display interval closes
+	// inside it.
+	e13Horizon = temporal.Tick(400)
+	// e13Now / e13Bound parameterize the staleness marking: a vector older
+	// than e13Bound ticks at e13Now marks its tuples uncertain.
+	e13Now   = temporal.Tick(300)
+	e13Bound = temporal.Tick(100)
+)
+
+// e13Policy rides out the longest scripted partition (40 ticks) plus a
+// crash with room to spare.
+var e13Policy = faults.RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 6, MaxRetries: 60, AckBytes: 16}
+
+type faultScenario struct {
+	seed    int64
+	drop    float64
+	part    temporal.Tick // partition length in ticks (0 = none)
+	crashes int
+}
+
+// net builds the scenario's network: isolate is cut off during the
+// partition, crash goes down for 10 ticks per scripted crash.  Two networks
+// from the same scenario inject identical faults (loss is a pure hash), so
+// every sub-measurement of a row faces the same schedule.
+func (sc faultScenario) net(isolate, crash faults.NodeID) *faults.Network {
+	net := faults.New(faults.Config{Seed: sc.seed, DropRate: sc.drop})
+	if sc.part > 0 {
+		net.AddPartition(faults.Partition{Start: 60, End: 60 + sc.part, GroupA: []faults.NodeID{isolate}})
+	}
+	// Crashes are timed onto the update bursts (ticks 160.., 200..) so a
+	// downed server actually loses traffic.
+	for i := 0; i < sc.crashes; i++ {
+		down := temporal.Tick(160 + i*40)
+		net.AddCrash(faults.Crash{Node: crash, Down: down, Up: down + 10})
+	}
+	return net
+}
+
+func e13ObjectID(i int) most.ObjectID {
+	return most.ObjectID(fmt.Sprintf("v%02d", i))
+}
+
+// e13Answers is the Answer(CQ) fixture: one tuple per object, begins spaced
+// 10 ticks apart, display windows 120 ticks long — long enough that a
+// retransmission after the worst scripted outage still lands inside.
+func e13Answers(n int) []eval.Answer {
+	out := make([]eval.Answer, n)
+	for i := range out {
+		start := temporal.Tick(i) * 10
+		out[i] = eval.Answer{
+			Vals:     []eval.Val{eval.ObjVal(e13ObjectID(i))},
+			Interval: temporal.Interval{Start: start, End: start + 120},
+		}
+	}
+	return out
+}
+
+// e13Updates is the §2.3 explicit-update trace: each object revises its
+// motion vector `versions` times, 40 ticks apart.
+func e13Updates(n, versions int) []dist.MotionUpdate {
+	var out []dist.MotionUpdate
+	for v := 1; v <= versions; v++ {
+		for i := 0; i < n; i++ {
+			out = append(out, dist.MotionUpdate{
+				Object:  e13ObjectID(i),
+				Version: v,
+				Tick:    temporal.Tick((v-1)*40 + i),
+				Vector:  geom.Vector{X: float64(v), Y: float64(i)},
+			})
+		}
+	}
+	return out
+}
+
+// e13StalenessDB builds a database whose objects carry the motion vectors
+// the server actually installed: lastTick maps object -> tick of its newest
+// installed update (objects absent from the map never got one through).
+func e13StalenessDB(n int, lastTick map[most.ObjectID]temporal.Tick) *most.Database {
+	db := most.NewDatabase()
+	c := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(c); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		id := e13ObjectID(i)
+		o, err := most.NewObject(id, c)
+		if err != nil {
+			panic(err)
+		}
+		o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: float64(i)}, geom.Vector{X: 1}, lastTick[id]))
+		if err != nil {
+			panic(err)
+		}
+		if err := db.Insert(o); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// e13Recovery applies the update trace to a WAL-attached database, then
+// times a full crash recovery (replay from the log alone) and verifies the
+// replayed state byte-identical to the live one.
+func e13Recovery(n int, updates []dist.MotionUpdate) int64 {
+	var buf bytes.Buffer
+	db := most.NewDatabase()
+	if err := db.AttachWAL(most.NewWAL(&buf)); err != nil {
+		panic(err)
+	}
+	c := most.MustClass("Vehicles", true)
+	if err := db.DefineClass(c); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		o, err := most.NewObject(e13ObjectID(i), c)
+		if err != nil {
+			panic(err)
+		}
+		o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: float64(i)}, geom.Vector{}, 0))
+		if err != nil {
+			panic(err)
+		}
+		if err := db.Insert(o); err != nil {
+			panic(err)
+		}
+	}
+	for _, u := range updates {
+		if u.Tick > db.Now() {
+			db.Advance(u.Tick - db.Now())
+		}
+		if err := db.SetMotion(u.Object, u.Vector); err != nil {
+			panic(err)
+		}
+	}
+	want, err := db.SnapshotJSON()
+	if err != nil {
+		panic(err)
+	}
+
+	start := time.Now()
+	rec, report, err := most.Recover(nil, buf.Bytes())
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(err)
+	}
+	if report.Truncated {
+		panic("E13: intact WAL reported truncated")
+	}
+	got, err := rec.SnapshotJSON()
+	if err != nil {
+		panic(err)
+	}
+	if !bytes.Equal(want, got) {
+		panic("E13: WAL replay did not reproduce the database state")
+	}
+	return elapsed.Nanoseconds()
+}
+
+// FaultsBench sweeps loss rate × partition length × crash count and runs
+// every fault-tolerance measurement on each schedule.
+func FaultsBench(quick bool) *FaultsReport {
+	drops := []float64{0.1, 0.3}
+	parts := []temporal.Tick{0, 40}
+	crashCounts := []int{0, 2}
+	objects, versions := 12, 6
+	if quick {
+		drops = []float64{0.3}
+		crashCounts = []int{0, 1}
+	}
+
+	rep := &FaultsReport{Seed: 17}
+	answers := e13Answers(objects)
+	updates := e13Updates(objects, versions)
+	for _, drop := range drops {
+		for _, part := range parts {
+			for _, crashes := range crashCounts {
+				sc := faultScenario{seed: rep.Seed, drop: drop, part: part, crashes: crashes}
+				res := FaultsResult{
+					DropRate:       drop,
+					PartitionTicks: int(part),
+					Crashes:        crashes,
+					AnswerTuples:   len(answers),
+					UpdatesOffered: len(updates),
+				}
+
+				// §5.2 delivery: legacy vs reliable under identical faults.
+				s := dist.NewSim(1)
+				connNet := sc.net(e13Client, e13Client)
+				conn := func(t temporal.Tick) bool {
+					return connNet.Connected(e13Server, e13Client, t)
+				}
+				res.LegacyImmMissed = s.DeliverAnswer(answers, dist.Immediate, 3, 0, e13Horizon, conn).MissedDisplays
+				res.LegacyDelMissed = s.DeliverAnswer(answers, dist.Delayed, 0, 0, e13Horizon, conn).MissedDisplays
+				rel := s.ReliableDeliverAnswer(sc.net(e13Client, e13Client), e13Server, e13Client,
+					e13Policy, answers, dist.Delayed, 0, 0, e13Horizon)
+				res.ReliableMissed = rel.MissedDisplays
+				res.RecoveredTuples = rel.RecoveredDisplays
+				res.DeliveryRetries = rel.Retries
+				res.DeliveryRetryKiB = rel.RetryBytes / 1024
+
+				// §5.3 propagation: what the server's picture misses.
+				legacyLast := map[most.ObjectID]temporal.Tick{}
+				lp := dist.PropagateUpdates(sc.net(e13Server, e13Server), e13Server, updates, false,
+					e13Policy, 64, e13Horizon, func(u dist.MotionUpdate) { legacyLast[u.Object] = u.Tick })
+				reliableLast := map[most.ObjectID]temporal.Tick{}
+				rp := dist.PropagateUpdates(sc.net(e13Server, e13Server), e13Server, updates, true,
+					e13Policy, 64, e13Horizon, func(u dist.MotionUpdate) { reliableLast[u.Object] = u.Tick })
+				res.LegacyUpdatesLost = lp.Lost
+				res.ReliableUpdatesLost = rp.Lost
+				res.UpdateRetries = rp.Retries
+
+				// Graceful degradation: answers over stale vectors are
+				// marked uncertain rather than presented as exact.
+				_, res.StaleLegacy = dist.AnnotateStaleness(e13StalenessDB(objects, legacyLast), answers, e13Now, e13Bound)
+				_, res.StaleReliable = dist.AnnotateStaleness(e13StalenessDB(objects, reliableLast), answers, e13Now, e13Bound)
+
+				// Crash recovery of the server database.
+				res.RecoveryNs = e13Recovery(objects, updates)
+
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	return rep
+}
+
+// Table renders the report in the experiment-table format.
+func (r *FaultsReport) Table() *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "fault tolerance: reliable delivery, staleness marking, crash recovery",
+		Claim: "acknowledged retransmission with idempotent receipt delivers every display and every update through loss, partitions, and crashes that the paper's fire-and-forget transmission loses; WAL replay reconstructs the server state exactly",
+		Columns: []string{
+			"loss", "part", "crash",
+			"miss-imm", "miss-del", "miss-rel", "recovered", "retries",
+			"upd-lost", "upd-rel", "stale-leg", "stale-rel", "recovery",
+		},
+	}
+	for _, res := range r.Results {
+		t.AddRow(
+			f2(res.DropRate),
+			itoa(res.PartitionTicks),
+			itoa(res.Crashes),
+			fmt.Sprintf("%d/%d", res.LegacyImmMissed, res.AnswerTuples),
+			fmt.Sprintf("%d/%d", res.LegacyDelMissed, res.AnswerTuples),
+			fmt.Sprintf("%d/%d", res.ReliableMissed, res.AnswerTuples),
+			itoa(res.RecoveredTuples),
+			itoa(res.DeliveryRetries+res.UpdateRetries),
+			fmt.Sprintf("%d/%d", res.LegacyUpdatesLost, res.UpdatesOffered),
+			fmt.Sprintf("%d/%d", res.ReliableUpdatesLost, res.UpdatesOffered),
+			itoa(res.StaleLegacy),
+			itoa(res.StaleReliable),
+			ns(time.Duration(res.RecoveryNs)),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"identical fault schedules per row: loss is a pure hash of (seed, node, tick), partitions and crashes are scripted",
+		"recovery = WAL replay of the full update trace, verified byte-identical to the live snapshot")
+	return t
+}
+
+// E13Faults wraps the sweep as a standard experiment table.
+func E13Faults(quick bool) *Table {
+	return FaultsBench(quick).Table()
+}

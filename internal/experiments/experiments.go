@@ -1,6 +1,7 @@
 // Package experiments regenerates the paper's quantitative claims.  The
 // paper (ICDE 1997) has no numbered result tables — its only figure is the
-// conceptual history diagram — so each experiment (E1..E10, plus the §7 future-work studies E11 and E12) validates one of
+// conceptual history diagram — so each experiment (E1..E10, the §7
+// future-work studies E11 and E12, and the robustness study E13) validates one of
 // the concrete claims its text makes; DESIGN.md maps each to the paper
 // section, and EXPERIMENTS.md records claim-versus-measured.
 package experiments
@@ -82,6 +83,7 @@ func All(quick bool) []*Table {
 		E10ImmediateVsDelayed(quick),
 		E11IndexMechanisms(quick),
 		E12HorizonChoice(quick),
+		E13Faults(quick),
 	}
 }
 

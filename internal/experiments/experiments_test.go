@@ -236,3 +236,44 @@ func TestParallelBenchShape(t *testing.T) {
 		t.Errorf("table renders badly:\n%s", out)
 	}
 }
+
+// TestE13FaultsRobustness asserts the robustness claims on the quick sweep:
+// on every fault schedule the reliable paths lose no more than the legacy
+// ones; the legacy paths demonstrably lose displays and updates; and the
+// reliable paths lose nothing at all (the schedules are crafted so every
+// display window outlasts the worst outage plus the retry backoff).
+func TestE13FaultsRobustness(t *testing.T) {
+	rep := FaultsBench(true)
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rep.Results {
+		if r.ReliableMissed > r.LegacyImmMissed || r.ReliableMissed > r.LegacyDelMissed {
+			t.Errorf("row %+v: reliable missed more than legacy", r)
+		}
+		if r.ReliableMissed != 0 {
+			t.Errorf("row %+v: reliable missed %d displays", r, r.ReliableMissed)
+		}
+		if r.LegacyImmMissed == 0 || r.LegacyDelMissed == 0 {
+			t.Errorf("row %+v: legacy delivery missed nothing under faults", r)
+		}
+		if r.ReliableUpdatesLost != 0 {
+			t.Errorf("row %+v: reliable propagation lost %d updates", r, r.ReliableUpdatesLost)
+		}
+		if r.LegacyUpdatesLost == 0 {
+			t.Errorf("row %+v: legacy propagation lost nothing under faults", r)
+		}
+		if r.StaleReliable != 0 {
+			t.Errorf("row %+v: reliable picture marked %d answers stale", r, r.StaleReliable)
+		}
+		if r.StaleLegacy == 0 {
+			t.Errorf("row %+v: legacy picture marked nothing stale", r)
+		}
+		if r.RecoveryNs <= 0 {
+			t.Errorf("row %+v: no recovery measurement", r)
+		}
+	}
+	if out := FaultsBench(true).Table().Render(); !strings.Contains(out, "E13") {
+		t.Errorf("table renders badly:\n%s", out)
+	}
+}

@@ -1,0 +1,340 @@
+// Package faults is a seeded, deterministic fault injector for the
+// simulated mobile network of §5.2–5.3.  It replaces the bare per-delivery
+// disconnection coin-flip of internal/dist with a Network that can drop,
+// delay, duplicate and (through randomized delays) reorder messages,
+// partition node groups, and crash and restart nodes on a scripted
+// schedule.  Every run with the same seed and schedule produces the same
+// fault sequence, so fault-tolerance tests are exactly reproducible.
+//
+// The model is tick-synchronous: senders enqueue messages at the current
+// tick, Step advances the clock by one and delivers every message whose
+// transit delay has elapsed.  Loss is modeled as a per-(destination, tick)
+// outage — "due to disconnection, an object cannot continuously update its
+// position" (§5.2) — computed by a pure hash of (seed, node, tick), so the
+// same connectivity question always has the same answer regardless of how
+// many messages probe it.  That property is what lets the legacy
+// connectivity-function delivery paths and the reliable paths be compared
+// under literally identical fault schedules.
+package faults
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// NodeID names one node of the simulated network (a mobile computer or the
+// central server M).
+type NodeID string
+
+// Message is one delivered message.
+type Message struct {
+	ID      uint64 // unique per Send; duplicates share the ID
+	From    NodeID
+	To      NodeID
+	SentAt  temporal.Tick
+	Bytes   int
+	Payload any
+}
+
+// Handler consumes messages delivered to a node.  Handlers run on the
+// goroutine calling Step, with no network lock held, so they may call Send.
+type Handler func(Message)
+
+// Config sets the probabilistic fault model.  The zero value is a perfect
+// network with a one-tick transit delay.
+type Config struct {
+	// Seed drives every probabilistic decision; same seed, same faults.
+	Seed int64
+	// DropRate is the probability that a destination is unreachable at a
+	// given tick.  A message sent to an unreachable destination is lost.
+	DropRate float64
+	// DelayMin/DelayMax bound the uniform random transit delay in ticks.
+	// Values below 1 are clamped to 1.  Unequal bounds make messages
+	// overtake each other: reordering falls out of delay variance.
+	DelayMin, DelayMax temporal.Tick
+	// DupRate is the probability that a delivered message is delivered a
+	// second time one tick later (e.g. a retransmitting link layer).
+	DupRate float64
+}
+
+// Partition splits the nodes into two groups for [Start, End): messages
+// between a node in GroupA and a node outside it are lost.  Traffic within
+// a group is unaffected.
+type Partition struct {
+	Start, End temporal.Tick
+	GroupA     []NodeID
+}
+
+// Crash takes a node down for [Down, Up): messages addressed to it are
+// lost, and the node's own transmissions (guarded by Crashed) stop.  The
+// node's volatile state is the application's concern — see most.WAL for
+// what a database node must do to survive this.
+type Crash struct {
+	Node     NodeID
+	Down, Up temporal.Tick
+}
+
+// Stats counts network traffic and injected faults.
+type Stats struct {
+	Sent       int // Send calls
+	Bytes      int // payload bytes offered (per Send, not per copy)
+	Delivered  int // handler invocations, duplicates included
+	Dropped    int // losses: outage, partition, or crashed endpoint
+	Duplicated int // extra copies injected
+}
+
+// envelope is one scheduled delivery.
+type envelope struct {
+	deliverAt temporal.Tick
+	seq       uint64 // tie-break so delivery order is deterministic
+	msg       Message
+}
+
+type envelopeHeap []envelope
+
+func (h envelopeHeap) Len() int { return len(h) }
+func (h envelopeHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h envelopeHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *envelopeHeap) Push(x any)    { *h = append(*h, x.(envelope)) }
+func (h *envelopeHeap) Pop() any      { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h envelopeHeap) Peek() envelope { return h[0] }
+
+// Network is the fault-injecting link layer.  Safe for concurrent use;
+// determinism is guaranteed when Send/Step are driven from one goroutine
+// (the simulators do so), because delivery order then depends only on the
+// seed and the schedule.
+type Network struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	now      temporal.Tick
+	nextID   uint64
+	nextSeq  uint64
+	inflight envelopeHeap
+	handlers map[NodeID]Handler
+	parts    []partition
+	crashes  []Crash
+	stats    Stats
+}
+
+type partition struct {
+	Partition
+	inA map[NodeID]bool
+}
+
+// New returns a network at tick 0 under the given fault model.
+func New(cfg Config) *Network {
+	if cfg.DelayMin < 1 {
+		cfg.DelayMin = 1
+	}
+	if cfg.DelayMax < cfg.DelayMin {
+		cfg.DelayMax = cfg.DelayMin
+	}
+	return &Network{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: map[NodeID]Handler{},
+	}
+}
+
+// Attach registers (or replaces) the handler receiving a node's messages.
+func (n *Network) Attach(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// AddPartition schedules a scripted partition.
+func (n *Network) AddPartition(p Partition) {
+	inA := make(map[NodeID]bool, len(p.GroupA))
+	for _, id := range p.GroupA {
+		inA[id] = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts = append(n.parts, partition{Partition: p, inA: inA})
+}
+
+// AddCrash schedules a scripted node crash and restart.
+func (n *Network) AddCrash(c Crash) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashes = append(n.crashes, c)
+}
+
+// Now returns the network clock.
+func (n *Network) Now() temporal.Tick {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// outage reports whether the destination is unreachable at tick t under the
+// probabilistic loss model.  It is a pure function of (seed, id, t): every
+// caller asking about the same node and tick gets the same answer.
+func (n *Network) outage(id NodeID, t temporal.Tick) bool {
+	if n.cfg.DropRate <= 0 {
+		return false
+	}
+	return hash01(n.cfg.Seed, id, t) < n.cfg.DropRate
+}
+
+// hash01 maps (seed, id, t) to a uniform value in [0, 1) with an FNV-1a
+// accumulation and an xorshift64* finalizer.
+func hash01(seed int64, id NodeID, t temporal.Tick) float64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	mix(uint64(t))
+	h ^= h >> 12
+	h ^= h << 25
+	h ^= h >> 27
+	h *= 2685821657736338717
+	return float64(h>>11) / float64(1<<53)
+}
+
+func (n *Network) crashedLocked(id NodeID, t temporal.Tick) bool {
+	for _, c := range n.crashes {
+		if c.Node == id && t >= c.Down && t < c.Up {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) partitionedLocked(a, b NodeID, t temporal.Tick) bool {
+	for _, p := range n.parts {
+		if t >= p.Start && t < p.End && p.inA[a] != p.inA[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// Crashed reports whether the node is down at tick t per the scripted
+// schedule.  Applications use it to suspend a crashed node's activity.
+func (n *Network) Crashed(id NodeID, t temporal.Tick) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashedLocked(id, t)
+}
+
+// Connected reports whether a message from -> to sent at tick t would
+// survive the scripted faults and the probabilistic outage.  It is
+// deterministic per (from, to, t) and is exactly the predicate Send applies,
+// which makes it the drop-in connectivity function for the legacy §5.2
+// delivery paths: legacy and reliable delivery then face identical faults.
+func (n *Network) Connected(from, to NodeID, t temporal.Tick) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.connectedLocked(from, to, t)
+}
+
+func (n *Network) connectedLocked(from, to NodeID, t temporal.Tick) bool {
+	return !n.crashedLocked(from, t) &&
+		!n.crashedLocked(to, t) &&
+		!n.partitionedLocked(from, to, t) &&
+		!n.outage(to, t)
+}
+
+// Send offers one message to the network at the current tick.  It reports
+// whether the message was accepted for delivery; false means it was lost to
+// an outage, partition, or crashed endpoint.  Accepted messages arrive
+// after a randomized transit delay (and possibly twice).
+func (n *Network) Send(from, to NodeID, bytes int, payload any) (uint64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	id := n.nextID
+	n.stats.Sent++
+	n.stats.Bytes += bytes
+	m := Message{ID: id, From: from, To: to, SentAt: n.now, Bytes: bytes, Payload: payload}
+	if !n.connectedLocked(from, to, n.now) {
+		n.stats.Dropped++
+		return id, false
+	}
+	delay := n.cfg.DelayMin
+	if n.cfg.DelayMax > n.cfg.DelayMin {
+		delay += temporal.Tick(n.rng.Int63n(int64(n.cfg.DelayMax - n.cfg.DelayMin + 1)))
+	}
+	n.push(envelope{deliverAt: n.now.Add(delay), msg: m})
+	if n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		n.stats.Duplicated++
+		n.push(envelope{deliverAt: n.now.Add(delay + 1), msg: m})
+	}
+	return id, true
+}
+
+func (n *Network) push(e envelope) {
+	n.nextSeq++
+	e.seq = n.nextSeq
+	heap.Push(&n.inflight, e)
+}
+
+// Step advances the clock by one tick and delivers every message due,
+// in deterministic (deliverAt, send-sequence) order.  A message whose
+// destination is crashed at its delivery tick is lost.
+func (n *Network) Step() temporal.Tick {
+	n.mu.Lock()
+	n.now++
+	now := n.now
+	var due []envelope
+	for len(n.inflight) > 0 && n.inflight.Peek().deliverAt <= now {
+		due = append(due, heap.Pop(&n.inflight).(envelope))
+	}
+	type delivery struct {
+		h Handler
+		m Message
+	}
+	var run []delivery
+	for _, e := range due {
+		h := n.handlers[e.msg.To]
+		if h == nil || n.crashedLocked(e.msg.To, now) {
+			n.stats.Dropped++
+			continue
+		}
+		n.stats.Delivered++
+		run = append(run, delivery{h, e.msg})
+	}
+	n.mu.Unlock()
+	for _, d := range run {
+		d.h(d.m)
+	}
+	return now
+}
+
+// Run steps the network until tick t, invoking tick (if non-nil) after each
+// step with the new clock value — the per-tick driver hook simulations use
+// to transmit due work and pump retransmissions.
+func (n *Network) Run(t temporal.Tick, tick func(temporal.Tick)) {
+	for n.Now() < t {
+		now := n.Step()
+		if tick != nil {
+			tick(now)
+		}
+	}
+}

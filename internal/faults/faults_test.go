@@ -1,0 +1,244 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// collect attaches a recording handler and returns the received messages.
+func collect(n *Network, id NodeID) *[]Message {
+	var got []Message
+	n.Attach(id, func(m Message) { got = append(got, m) })
+	return &got
+}
+
+func TestPerfectNetworkDelivers(t *testing.T) {
+	n := New(Config{Seed: 1})
+	got := collect(n, "b")
+	n.Send("a", "b", 10, "hello")
+	n.Step()
+	if len(*got) != 1 || (*got)[0].Payload != "hello" {
+		t.Fatalf("got %v", *got)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]uint64, Stats) {
+		n := New(Config{Seed: 42, DropRate: 0.3, DelayMin: 1, DelayMax: 4, DupRate: 0.1})
+		var got []uint64
+		n.Attach("b", func(m Message) { got = append(got, m.ID) })
+		for i := 0; i < 50; i++ {
+			n.Send("a", "b", 8, i)
+			n.Step()
+		}
+		for i := 0; i < 10; i++ {
+			n.Step()
+		}
+		return got, n.Stats()
+	}
+	g1, s1 := run()
+	g2, s2 := run()
+	if len(g1) != len(g2) || s1 != s2 {
+		t.Fatalf("runs differ: %d/%d messages, %+v vs %+v", len(g1), len(g2), s1, s2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("delivery order differs at %d: %d vs %d", i, g1[i], g2[i])
+		}
+	}
+}
+
+func TestDropRateLosesRoughlyThatFraction(t *testing.T) {
+	n := New(Config{Seed: 7, DropRate: 0.3})
+	got := collect(n, "b")
+	const N = 2000
+	for i := 0; i < N; i++ {
+		n.Send("a", "b", 1, i)
+		n.Step()
+	}
+	n.Step()
+	lost := N - len(*got)
+	if lost < N/5 || lost > N/2 {
+		t.Fatalf("lost %d of %d at p=0.3", lost, N)
+	}
+}
+
+func TestConnectedMatchesSendOutcome(t *testing.T) {
+	n := New(Config{Seed: 9, DropRate: 0.4})
+	got := collect(n, "b")
+	delivered := map[uint64]bool{}
+	n.Attach("b", func(m Message) { delivered[m.ID] = true })
+	_ = got
+	type sent struct {
+		id uint64
+		ok bool
+	}
+	var sends []sent
+	for i := 0; i < 200; i++ {
+		pred := n.Connected("a", "b", n.Now())
+		id, ok := n.Send("a", "b", 1, i)
+		if ok != pred {
+			t.Fatalf("tick %d: Connected=%v but Send accepted=%v", i, pred, ok)
+		}
+		sends = append(sends, sent{id, ok})
+		n.Step()
+	}
+	n.Step()
+	for _, s := range sends {
+		if s.ok != delivered[s.id] {
+			t.Fatalf("message %d: accepted=%v delivered=%v", s.id, s.ok, delivered[s.id])
+		}
+	}
+}
+
+func TestPartitionBlocksCrossTraffic(t *testing.T) {
+	n := New(Config{Seed: 1})
+	gotB := collect(n, "b")
+	gotC := collect(n, "c")
+	n.AddPartition(Partition{Start: 5, End: 10, GroupA: []NodeID{"a", "c"}})
+	for i := 0; i < 15; i++ {
+		now := n.Now()
+		_, okB := n.Send("a", "b", 1, i) // cross-cut during [5,10)
+		_, okC := n.Send("a", "c", 1, i) // same side, always fine
+		inPart := now >= 5 && now < 10
+		if okB == inPart || !okC {
+			t.Fatalf("tick %d: cross=%v same=%v", now, okB, okC)
+		}
+		n.Step()
+	}
+	n.Step()
+	if len(*gotB) != 10 || len(*gotC) != 15 {
+		t.Fatalf("b got %d (want 10), c got %d (want 15)", len(*gotB), len(*gotC))
+	}
+}
+
+func TestCrashDropsTrafficAndHeals(t *testing.T) {
+	n := New(Config{Seed: 1})
+	got := collect(n, "b")
+	n.AddCrash(Crash{Node: "b", Down: 3, Up: 6})
+	for i := 0; i < 10; i++ {
+		n.Send("a", "b", 1, int(n.Now()))
+		n.Step()
+	}
+	n.Step()
+	// Sends at ticks 3,4,5 are refused (node down) and the tick-2 send is
+	// lost in flight (due at 3, inside the crash); 6 survive.
+	if len(*got) != 6 {
+		t.Fatalf("delivered %d, want 6", len(*got))
+	}
+	for _, m := range *got {
+		at := m.Payload.(int)
+		if at >= 2 && at < 6 {
+			t.Fatalf("message sent at tick %d should be lost", at)
+		}
+	}
+	if !n.Crashed("b", 4) || n.Crashed("b", 6) {
+		t.Fatal("Crashed window wrong")
+	}
+}
+
+// A crashed sender cannot transmit either.
+func TestCrashedSenderSilent(t *testing.T) {
+	n := New(Config{Seed: 1})
+	got := collect(n, "b")
+	n.AddCrash(Crash{Node: "a", Down: 0, Up: 5})
+	if _, ok := n.Send("a", "b", 1, "x"); ok {
+		t.Fatal("crashed sender accepted")
+	}
+	n.Step()
+	if len(*got) != 0 {
+		t.Fatal("message from crashed sender delivered")
+	}
+}
+
+// A message in flight when its destination crashes at the delivery tick is
+// lost.
+func TestCrashAtDeliveryTickLosesInflight(t *testing.T) {
+	n := New(Config{Seed: 1, DelayMin: 3, DelayMax: 3})
+	got := collect(n, "b")
+	n.AddCrash(Crash{Node: "b", Down: 2, Up: 8})
+	n.Send("a", "b", 1, "x") // sent at 0, due at 3 — inside the crash
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	if len(*got) != 0 {
+		t.Fatal("message delivered to crashed node")
+	}
+}
+
+func TestDelaySpreadReorders(t *testing.T) {
+	n := New(Config{Seed: 3, DelayMin: 1, DelayMax: 8})
+	var got []int
+	n.Attach("b", func(m Message) { got = append(got, m.Payload.(int)) })
+	for i := 0; i < 40; i++ {
+		n.Send("a", "b", 1, i)
+		n.Step()
+	}
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	if len(got) != 40 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("randomized delays should reorder some messages")
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(Config{Seed: 5, DupRate: 0.5})
+	got := collect(n, "b")
+	const N = 200
+	for i := 0; i < N; i++ {
+		n.Send("a", "b", 1, i)
+		n.Step()
+	}
+	n.Step()
+	st := n.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates injected at DupRate=0.5")
+	}
+	if len(*got) != N+st.Duplicated {
+		t.Fatalf("delivered %d, want %d originals + %d dups", len(*got), N, st.Duplicated)
+	}
+}
+
+func TestRunDrivesUntilTick(t *testing.T) {
+	n := New(Config{Seed: 1})
+	var ticks []temporal.Tick
+	n.Run(5, func(now temporal.Tick) { ticks = append(ticks, now) })
+	if n.Now() != 5 || len(ticks) != 5 || ticks[0] != 1 || ticks[4] != 5 {
+		t.Fatalf("now=%d ticks=%v", n.Now(), ticks)
+	}
+}
+
+func TestOutageIsPureFunction(t *testing.T) {
+	n := New(Config{Seed: 11, DropRate: 0.5})
+	for tt := temporal.Tick(0); tt < 100; tt++ {
+		if n.Connected("a", "b", tt) != n.Connected("a", "b", tt) {
+			t.Fatal("Connected not stable")
+		}
+	}
+	// Different nodes see independent outages: they should disagree somewhere.
+	same := true
+	for tt := temporal.Tick(0); tt < 100; tt++ {
+		if n.Connected("x", "b", tt) != n.Connected("x", "c", tt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("outage should depend on the destination node")
+	}
+}

@@ -1,0 +1,211 @@
+package faults
+
+import "github.com/mostdb/most/internal/temporal"
+
+// This file adds reliable, acknowledged, at-least-once transfer on top of
+// the faulty Network: every application payload travels in a frame with a
+// transfer ID, the receiver acknowledges every frame (acks ride the same
+// faulty network), and the sender retransmits unacknowledged frames on a
+// per-transfer timeout with exponential backoff and a retry cap.  Receipt
+// is idempotent: duplicates — injected by the network or caused by a lost
+// ack — are detected by transfer ID and suppressed before the application
+// sees them, turning at-least-once transmission into exactly-once delivery.
+
+// RetryPolicy tunes the retransmission behavior of an Endpoint.
+type RetryPolicy struct {
+	// Timeout is the initial per-transfer ack timeout in ticks.
+	Timeout temporal.Tick
+	// Backoff multiplies the timeout after every retransmission
+	// (exponential backoff); values < 2 keep the timeout constant.
+	Backoff temporal.Tick
+	// MaxTimeout caps the backed-off timeout (0 = uncapped), so a long
+	// outage does not push the next probe past the outage's end.
+	MaxTimeout temporal.Tick
+	// MaxRetries caps retransmissions per transfer (not counting the first
+	// send); when exhausted the transfer is abandoned.  Negative = retry
+	// forever.
+	MaxRetries int
+	// AckBytes sizes acknowledgment messages for the traffic counters.
+	AckBytes int
+}
+
+// DefaultRetryPolicy retries every 2 ticks, doubling up to 8, at most 25
+// times — enough to ride out the partitions the experiments script.
+var DefaultRetryPolicy = RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 8, MaxRetries: 25, AckBytes: 16}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Timeout < 1 {
+		p.Timeout = 1
+	}
+	if p.Backoff < 1 {
+		p.Backoff = 1
+	}
+	if p.AckBytes <= 0 {
+		p.AckBytes = 16
+	}
+	return p
+}
+
+// frame carries one application payload with its transfer ID.
+type frame struct {
+	TID     uint64
+	Payload any
+}
+
+// ack acknowledges receipt of a frame.
+type ack struct {
+	TID uint64
+}
+
+// TransferStats counts an endpoint's reliable-transfer activity.
+type TransferStats struct {
+	Sent       int // transfers initiated
+	Retries    int // retransmissions
+	Acked      int // transfers completed (ack received)
+	Abandoned  int // transfers dropped after MaxRetries
+	AcksSent   int // acknowledgments transmitted
+	DupsSeen   int // duplicate frames suppressed by the dedup filter
+	Delivered  int // distinct frames handed to OnDeliver
+	RetryBytes int // bytes spent on retransmissions alone
+}
+
+type pendingTransfer struct {
+	tid       uint64
+	to        NodeID
+	bytes     int
+	payload   any
+	retries   int
+	timeout   temporal.Tick
+	nextRetry temporal.Tick
+}
+
+// Endpoint is one node's reliable transfer agent: a sender with
+// retransmission state and a receiver with an idempotence filter, sharing
+// the node's network handler.  Drive it by calling Tick once per simulation
+// tick (after Network.Step) so due retransmissions go out.
+//
+// An Endpoint's volatile state (pending transfers, dedup filter) is lost if
+// the node is scripted to crash only in the sense that the agent stays
+// silent while down (Tick does nothing); state survives restart, modeling
+// an agent that logs its send queue durably.  Applications that need
+// crash-durable state proper layer a WAL underneath (see internal/most).
+type Endpoint struct {
+	net    *Network
+	id     NodeID
+	policy RetryPolicy
+
+	// OnDeliver receives each distinct frame exactly once, in delivery
+	// order.  Set before any traffic arrives.
+	OnDeliver func(from NodeID, tid uint64, payload any)
+	// OnAcked, if set, observes each transfer completion.
+	OnAcked func(tid uint64)
+
+	nextTID uint64
+	pending map[uint64]*pendingTransfer
+	order   []uint64 // pending TIDs in send order, for deterministic retransmission
+	seen    map[NodeID]map[uint64]bool
+	stats   TransferStats
+}
+
+// NewEndpoint attaches a reliable transfer agent to the node.  It replaces
+// the node's network handler.
+func NewEndpoint(net *Network, id NodeID, policy RetryPolicy) *Endpoint {
+	e := &Endpoint{
+		net:     net,
+		id:      id,
+		policy:  policy.normalized(),
+		pending: map[uint64]*pendingTransfer{},
+		seen:    map[NodeID]map[uint64]bool{},
+	}
+	net.Attach(id, e.handle)
+	return e
+}
+
+// handle demultiplexes the node's incoming traffic.
+func (e *Endpoint) handle(m Message) {
+	switch p := m.Payload.(type) {
+	case ack:
+		if _, ok := e.pending[p.TID]; ok {
+			delete(e.pending, p.TID)
+			e.stats.Acked++
+			if e.OnAcked != nil {
+				e.OnAcked(p.TID)
+			}
+		}
+	case frame:
+		// Always (re-)acknowledge: the previous ack may have been lost.
+		e.stats.AcksSent++
+		e.net.Send(e.id, m.From, e.policy.AckBytes, ack{TID: p.TID})
+		seen := e.seen[m.From]
+		if seen == nil {
+			seen = map[uint64]bool{}
+			e.seen[m.From] = seen
+		}
+		if seen[p.TID] {
+			e.stats.DupsSeen++
+			return
+		}
+		seen[p.TID] = true
+		e.stats.Delivered++
+		if e.OnDeliver != nil {
+			e.OnDeliver(m.From, p.TID, p.Payload)
+		}
+	}
+}
+
+// Send starts a reliable transfer and returns its transfer ID.  The payload
+// is retransmitted until acknowledged or abandoned.
+func (e *Endpoint) Send(to NodeID, bytes int, payload any) uint64 {
+	e.nextTID++
+	tid := e.nextTID
+	now := e.net.Now()
+	e.pending[tid] = &pendingTransfer{
+		tid: tid, to: to, bytes: bytes, payload: payload,
+		timeout:   e.policy.Timeout,
+		nextRetry: now.Add(e.policy.Timeout),
+	}
+	e.order = append(e.order, tid)
+	e.stats.Sent++
+	e.net.Send(e.id, to, bytes, frame{TID: tid, Payload: payload})
+	return tid
+}
+
+// Tick retransmits every pending transfer whose timeout has elapsed.  Call
+// once per simulation tick.  A crashed node stays silent.
+func (e *Endpoint) Tick() {
+	now := e.net.Now()
+	if e.net.Crashed(e.id, now) {
+		return
+	}
+	live := e.order[:0]
+	for _, tid := range e.order {
+		p, ok := e.pending[tid]
+		if !ok {
+			continue // acked
+		}
+		if now >= p.nextRetry {
+			if e.policy.MaxRetries >= 0 && p.retries >= e.policy.MaxRetries {
+				delete(e.pending, tid)
+				e.stats.Abandoned++
+				continue
+			}
+			p.retries++
+			e.stats.Retries++
+			e.stats.RetryBytes += p.bytes
+			e.net.Send(e.id, p.to, p.bytes, frame{TID: p.tid, Payload: p.payload})
+			p.timeout *= e.policy.Backoff
+			if e.policy.MaxTimeout > 0 && p.timeout > e.policy.MaxTimeout {
+				p.timeout = e.policy.MaxTimeout
+			}
+			p.nextRetry = now.Add(p.timeout)
+		}
+		live = append(live, tid)
+	}
+	e.order = live
+}
+
+// Outstanding returns the number of unacknowledged transfers.
+func (e *Endpoint) Outstanding() int { return len(e.pending) }
+
+// Stats returns a snapshot of the transfer counters.
+func (e *Endpoint) Stats() TransferStats { return e.stats }

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// pump drives the network and both endpoints until tick t.
+func pump(n *Network, t temporal.Tick, eps ...*Endpoint) {
+	n.Run(t, func(temporal.Tick) {
+		for _, e := range eps {
+			e.Tick()
+		}
+	})
+}
+
+func TestReliableDeliversThroughHeavyLoss(t *testing.T) {
+	n := New(Config{Seed: 21, DropRate: 0.5})
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: 40})
+	var got []any
+	recv := NewEndpoint(n, "cli", DefaultRetryPolicy)
+	recv.OnDeliver = func(_ NodeID, _ uint64, p any) { got = append(got, p) }
+
+	const N = 50
+	for i := 0; i < N; i++ {
+		sender.Send("cli", 64, i)
+	}
+	pump(n, 200, sender, recv)
+
+	if len(got) != N {
+		t.Fatalf("delivered %d of %d", len(got), N)
+	}
+	st := sender.Stats()
+	if st.Retries == 0 {
+		t.Fatal("50% loss must force retries")
+	}
+	if st.Acked != N || st.Abandoned != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sender.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", sender.Outstanding())
+	}
+}
+
+func TestExactlyOnceUnderDuplication(t *testing.T) {
+	n := New(Config{Seed: 8, DropRate: 0.3, DupRate: 0.3, DelayMin: 1, DelayMax: 3})
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: 60})
+	seen := map[any]int{}
+	recv := NewEndpoint(n, "cli", DefaultRetryPolicy)
+	recv.OnDeliver = func(_ NodeID, _ uint64, p any) { seen[p]++ }
+
+	const N = 40
+	for i := 0; i < N; i++ {
+		sender.Send("cli", 64, i)
+	}
+	pump(n, 300, sender, recv)
+
+	for i := 0; i < N; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("payload %d delivered %d times", i, seen[i])
+		}
+	}
+	if recv.Stats().DupsSeen == 0 {
+		t.Fatal("duplicates should have reached (and been suppressed by) the receiver")
+	}
+}
+
+func TestBackoffGrowsAndIsCapped(t *testing.T) {
+	// A receiver that never answers: watch retransmission spacing.
+	n := New(Config{Seed: 1})
+	n.Attach("cli", func(Message) {}) // swallow frames, no acks
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 8, MaxRetries: 5})
+
+	var resendTicks []temporal.Tick
+	n.Attach("cli", func(m Message) { resendTicks = append(resendTicks, n.Now()) })
+	sender.Send("cli", 10, "x")
+	pump(n, 100, sender)
+
+	// First copy at ~1 plus retries at timeouts 2,4,8,8,8 after each send.
+	if len(resendTicks) != 6 {
+		t.Fatalf("transmissions = %d (%v), want 1+5", len(resendTicks), resendTicks)
+	}
+	gaps := []temporal.Tick{}
+	for i := 1; i < len(resendTicks); i++ {
+		gaps = append(gaps, resendTicks[i]-resendTicks[i-1])
+	}
+	want := []temporal.Tick{2, 4, 8, 8, 8}
+	for i, g := range gaps {
+		if g != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+	if st := sender.Stats(); st.Abandoned != 1 || st.Retries != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetriesRideOutPartition(t *testing.T) {
+	n := New(Config{Seed: 13})
+	n.AddPartition(Partition{Start: 2, End: 30, GroupA: []NodeID{"srv"}})
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 6, MaxRetries: 30})
+	var got []any
+	recv := NewEndpoint(n, "cli", DefaultRetryPolicy)
+	recv.OnDeliver = func(_ NodeID, _ uint64, p any) { got = append(got, p) }
+
+	pump(n, 2, sender, recv) // let the clock enter the partition window
+	sender.Send("cli", 64, "update")
+	pump(n, 60, sender, recv)
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d through partition", len(got))
+	}
+	if sender.Stats().Retries == 0 {
+		t.Fatal("partition must force retries")
+	}
+}
+
+func TestCrashedSenderPausesRetransmission(t *testing.T) {
+	n := New(Config{Seed: 2})
+	n.AddCrash(Crash{Node: "srv", Down: 1, Up: 20})
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: 50})
+	var got []any
+	recv := NewEndpoint(n, "cli", DefaultRetryPolicy)
+	recv.OnDeliver = func(_ NodeID, _ uint64, p any) { got = append(got, p) }
+
+	// Send at tick 0 (alive); the frame is in flight when the node dies is
+	// fine — but the loss case is a send right before the crash being
+	// dropped and every retry until restart staying silent.
+	n.AddPartition(Partition{Start: 0, End: 1, GroupA: []NodeID{"srv"}}) // first copy lost
+	sender.Send("cli", 64, "v")
+	pump(n, 40, sender, recv)
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want recovery after restart", len(got))
+	}
+	st := sender.Stats()
+	if st.Retries == 0 {
+		t.Fatal("expected post-restart retransmission")
+	}
+}
+
+func TestAckLossTriggersResendButNotRedelivery(t *testing.T) {
+	// Partition the ack direction only: impossible directly (partitions are
+	// symmetric), so use heavy loss targeted at the sender: outages are
+	// per-destination, so acks to "srv" drop while frames to "cli" flow.
+	n := New(Config{Seed: 31, DropRate: 0.0})
+	// Simulate ack loss with a custom schedule: crash nothing, but use a
+	// one-way trick — deliver frames, then drop acks by partitioning after
+	// the frame arrives.  Simpler: high DropRate and a seed under which the
+	// first ack drops; assert exactly-once delivery regardless.
+	n = New(Config{Seed: 33, DropRate: 0.45})
+	sender := NewEndpoint(n, "srv", RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: 60})
+	deliveries := 0
+	recv := NewEndpoint(n, "cli", DefaultRetryPolicy)
+	recv.OnDeliver = func(NodeID, uint64, any) { deliveries++ }
+
+	for i := 0; i < 30; i++ {
+		sender.Send("cli", 64, i)
+	}
+	pump(n, 300, sender, recv)
+
+	if deliveries != 30 {
+		t.Fatalf("deliveries = %d, want exactly 30", deliveries)
+	}
+	if recv.Stats().AcksSent <= 30 && recv.Stats().DupsSeen == 0 {
+		t.Skipf("seed produced no ack loss; acks=%d dups=%d", recv.Stats().AcksSent, recv.Stats().DupsSeen)
+	}
+	if sender.Stats().Acked != 30 {
+		t.Fatalf("acked = %d", sender.Stats().Acked)
+	}
+}

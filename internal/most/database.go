@@ -5,6 +5,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/motion"
@@ -102,6 +103,11 @@ type Database struct {
 	logMu     sync.Mutex
 	log       []Update
 	listeners []Listener
+
+	// wal, when attached, receives every class definition, clock advance,
+	// and explicit update inside the respective commit critical section, so
+	// WAL order equals commit order.  See wal.go.
+	wal atomic.Pointer[WAL]
 }
 
 // shardSeed is the process-wide seed for the shard hash.
@@ -145,6 +151,9 @@ func (db *Database) Advance(d temporal.Tick) temporal.Tick {
 	db.clockMu.Lock()
 	defer db.clockMu.Unlock()
 	db.now = db.now.Add(d)
+	if w := db.wal.Load(); w != nil {
+		w.appendClock(db.now)
+	}
 	return db.now
 }
 
@@ -156,6 +165,9 @@ func (db *Database) DefineClass(c *Class) error {
 		return fmt.Errorf("most: class %s already defined", c.Name())
 	}
 	db.classes[c.Name()] = c
+	if w := db.wal.Load(); w != nil {
+		w.appendClass(c)
+	}
 	return nil
 }
 
@@ -182,6 +194,11 @@ func (db *Database) appendLog(u Update) []Listener {
 	db.logMu.Lock()
 	db.log = append(db.log, u)
 	ls := db.listeners
+	if w := db.wal.Load(); w != nil {
+		// Written before the shard lock is released: the WAL sees updates
+		// in commit order, and a crash after this point loses nothing.
+		w.appendUpdate(u)
+	}
 	db.logMu.Unlock()
 	return ls
 }

@@ -61,6 +61,12 @@ func (db *Database) SnapshotJSON() ([]byte, error) {
 	defer db.unlockAllRead()
 	db.metaMu.RLock()
 	defer db.metaMu.RUnlock()
+	return json.MarshalIndent(db.snapshotDTOLocked(), "", "  ")
+}
+
+// snapshotDTOLocked builds the snapshot DTO.  Callers must hold the full
+// read lock (lockAllRead) plus metaMu; see SnapshotJSON and Checkpoint.
+func (db *Database) snapshotDTOLocked() snapshotDTO {
 	dto := snapshotDTO{Now: db.now}
 
 	objects := map[ObjectID]*Object{}
@@ -76,15 +82,7 @@ func (db *Database) SnapshotJSON() ([]byte, error) {
 	}
 	sort.Strings(classNames)
 	for _, name := range classNames {
-		c := db.classes[name]
-		cd := classDTO{Name: c.name, Spatial: c.spatial}
-		for _, a := range c.attrs {
-			if c.spatial && (a.Name == XPosition || a.Name == YPosition || a.Name == ZPosition) {
-				continue // implicit
-			}
-			cd.Attrs = append(cd.Attrs, attrDTO{Name: a.Name, Dynamic: a.Kind == Dynamic})
-		}
-		dto.Classes = append(dto.Classes, cd)
+		dto.Classes = append(dto.Classes, encodeClass(db.classes[name]))
 	}
 
 	ids := make([]string, 0, len(objects))
@@ -93,27 +91,90 @@ func (db *Database) SnapshotJSON() ([]byte, error) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		o := objects[ObjectID(id)]
-		od := objectDTO{ID: id, Class: o.class.name}
-		if len(o.statics) > 0 {
-			od.Statics = map[string]valueDTO{}
-			for k, v := range o.statics {
-				od.Statics[k] = encodeValue(v)
-			}
-		}
-		if len(o.dynamics) > 0 {
-			od.Dynamics = map[string]dynDTO{}
-			for k, d := range o.dynamics {
-				od.Dynamics[k] = dynDTO{
-					Value:      d.Value,
-					UpdateTime: d.UpdateTime,
-					Function:   d.Function.String(),
-				}
-			}
-		}
-		dto.Objects = append(dto.Objects, od)
+		dto.Objects = append(dto.Objects, encodeObject(objects[ObjectID(id)]))
 	}
-	return json.MarshalIndent(dto, "", "  ")
+	return dto
+}
+
+// encodeClass renders a class as its DTO (implicit POSITION attributes
+// elided).
+func encodeClass(c *Class) classDTO {
+	cd := classDTO{Name: c.name, Spatial: c.spatial}
+	for _, a := range c.attrs {
+		if c.spatial && (a.Name == XPosition || a.Name == YPosition || a.Name == ZPosition) {
+			continue // implicit
+		}
+		cd.Attrs = append(cd.Attrs, attrDTO{Name: a.Name, Dynamic: a.Kind == Dynamic})
+	}
+	return cd
+}
+
+// decodeClass rebuilds a class from its DTO.
+func decodeClass(cd classDTO) (*Class, error) {
+	attrs := make([]AttrDef, 0, len(cd.Attrs))
+	for _, a := range cd.Attrs {
+		kind := Static
+		if a.Dynamic {
+			kind = Dynamic
+		}
+		attrs = append(attrs, AttrDef{Name: a.Name, Kind: kind})
+	}
+	return NewClass(cd.Name, cd.Spatial, attrs...)
+}
+
+// encodeObject renders one object revision as its DTO.
+func encodeObject(o *Object) objectDTO {
+	od := objectDTO{ID: string(o.id), Class: o.class.name}
+	if len(o.statics) > 0 {
+		od.Statics = map[string]valueDTO{}
+		for k, v := range o.statics {
+			od.Statics[k] = encodeValue(v)
+		}
+	}
+	if len(o.dynamics) > 0 {
+		od.Dynamics = map[string]dynDTO{}
+		for k, d := range o.dynamics {
+			od.Dynamics[k] = dynDTO{
+				Value:      d.Value,
+				UpdateTime: d.UpdateTime,
+				Function:   d.Function.String(),
+			}
+		}
+	}
+	return od
+}
+
+// decodeObject rebuilds an object revision from its DTO, resolving the
+// class by name in db.
+func decodeObject(db *Database, od objectDTO) (*Object, error) {
+	cls, ok := db.Class(od.Class)
+	if !ok {
+		return nil, fmt.Errorf("most: object %s references unknown class %s", od.ID, od.Class)
+	}
+	o, err := NewObject(ObjectID(od.ID), cls)
+	if err != nil {
+		return nil, err
+	}
+	for k, vd := range od.Statics {
+		v, err := decodeValue(vd)
+		if err != nil {
+			return nil, fmt.Errorf("most: object %s attribute %s: %w", od.ID, k, err)
+		}
+		if o, err = o.WithStatic(k, v); err != nil {
+			return nil, err
+		}
+	}
+	for k, dd := range od.Dynamics {
+		f, err := motion.ParseFunc(dd.Function)
+		if err != nil {
+			return nil, fmt.Errorf("most: object %s attribute %s: %w", od.ID, k, err)
+		}
+		attr := motion.DynamicAttr{Value: dd.Value, UpdateTime: dd.UpdateTime, Function: f}
+		if o, err = o.WithDynamic(k, attr); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
 }
 
 func encodeValue(v Value) valueDTO {
@@ -167,15 +228,7 @@ func LoadSnapshotJSON(data []byte) (*Database, error) {
 	db := NewDatabase()
 	db.Advance(dto.Now)
 	for _, cd := range dto.Classes {
-		attrs := make([]AttrDef, 0, len(cd.Attrs))
-		for _, a := range cd.Attrs {
-			kind := Static
-			if a.Dynamic {
-				kind = Dynamic
-			}
-			attrs = append(attrs, AttrDef{Name: a.Name, Kind: kind})
-		}
-		c, err := NewClass(cd.Name, cd.Spatial, attrs...)
+		c, err := decodeClass(cd)
 		if err != nil {
 			return nil, err
 		}
@@ -184,32 +237,9 @@ func LoadSnapshotJSON(data []byte) (*Database, error) {
 		}
 	}
 	for _, od := range dto.Objects {
-		cls, ok := db.Class(od.Class)
-		if !ok {
-			return nil, fmt.Errorf("most: object %s references unknown class %s", od.ID, od.Class)
-		}
-		o, err := NewObject(ObjectID(od.ID), cls)
+		o, err := decodeObject(db, od)
 		if err != nil {
 			return nil, err
-		}
-		for k, vd := range od.Statics {
-			v, err := decodeValue(vd)
-			if err != nil {
-				return nil, fmt.Errorf("most: object %s attribute %s: %w", od.ID, k, err)
-			}
-			if o, err = o.WithStatic(k, v); err != nil {
-				return nil, err
-			}
-		}
-		for k, dd := range od.Dynamics {
-			f, err := motion.ParseFunc(dd.Function)
-			if err != nil {
-				return nil, fmt.Errorf("most: object %s attribute %s: %w", od.ID, k, err)
-			}
-			attr := motion.DynamicAttr{Value: dd.Value, UpdateTime: dd.UpdateTime, Function: f}
-			if o, err = o.WithDynamic(k, attr); err != nil {
-				return nil, err
-			}
 		}
 		if err := db.Insert(o); err != nil {
 			return nil, err

@@ -1,0 +1,457 @@
+package most
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file gives the MOST database crash recovery: an append-only
+// write-ahead log of explicit updates, periodic snapshots (checkpoints),
+// and a replay path that reconstructs an identical database state.  The
+// paper assumes the DBMS simply survives ("the database is updated"); a
+// serving system must make that true when the machine hosting it does not.
+//
+// # Log format
+//
+// One record per line:
+//
+//	crc32hex<space>json\n
+//
+// where crc32hex is the IEEE CRC-32 of the JSON payload in fixed-width
+// hex.  Records are of three kinds, mirroring the three ways database
+// state changes:
+//
+//   - "class"  — a DefineClass, carrying the class schema;
+//   - "clock"  — an Advance, carrying the absolute new tick;
+//   - "update" — one explicit update (§2.3), carrying the update kind,
+//     the object id, the attribute, and the full post-image of the object
+//     revision (nil for deletes).  Post-images make replay idempotent in
+//     value: installing the recorded revision reproduces the exact object
+//     state regardless of how the mutation computed it.
+//
+// Records are written inside the database's commit critical sections
+// (appendLog under logMu, DefineClass under metaMu, Advance under the
+// exclusive clock lock), so WAL order equals commit order; replaying the
+// records in sequence through the normal mutation paths therefore rebuilds
+// a byte-identical SnapshotJSON.
+//
+// # Failure safety
+//
+// Replay verifies each record's CRC and stops at the first corrupt,
+// truncated, or inapplicable record, returning everything recovered up to
+// that point plus a RecoveryReport — a partially torn tail (the common
+// crash artifact) costs only the torn suffix, never a panic.
+
+// walRecord is one WAL entry.
+type walRecord struct {
+	Seq    uint64         `json:"seq"`
+	Kind   string         `json:"kind"` // "class" | "clock" | "update"
+	Now    *temporal.Tick `json:"now,omitempty"`
+	Class  *classDTO      `json:"class,omitempty"`
+	Update *walUpdate     `json:"update,omitempty"`
+}
+
+// walUpdate serializes one explicit update with its post-image.
+type walUpdate struct {
+	Tick   temporal.Tick `json:"tick"`
+	Kind   UpdateKind    `json:"kind"`
+	Object string        `json:"object"`
+	Attr   string        `json:"attr,omitempty"`
+	After  *objectDTO    `json:"after,omitempty"`
+}
+
+// WAL is an append-only write-ahead log.  Attach one to a Database with
+// AttachWAL; every subsequent class definition, clock advance, and explicit
+// update is appended before the operation returns.  Safe for concurrent use
+// (the database appends from whatever goroutine commits).
+//
+// A write error marks the WAL broken: further appends are dropped and Err
+// returns the first failure.  The database keeps serving — losing the log
+// degrades durability, not availability — but callers should treat a
+// non-nil Err as "stop trusting this log".
+type WAL struct {
+	mu   sync.Mutex
+	w    io.Writer
+	file *os.File // non-nil when opened by path; enables Checkpoint truncation
+	seq  uint64
+	err  error
+}
+
+// NewWAL wraps an arbitrary writer (e.g. a bytes.Buffer in tests or an
+// already-open file).  If w implements interface{ Reset() } the WAL can be
+// checkpointed.
+func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
+
+// OpenWAL opens (creating if needed) a file-backed WAL in append mode.  An
+// existing log is preserved — reopening after a crash resumes where the
+// torn tail ends.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("most: open wal: %w", err)
+	}
+	// Resume the sequence counter past the existing records.
+	n, err := countLines(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("most: open wal: %w", err)
+	}
+	return &WAL{w: f, file: f, seq: uint64(n)}, nil
+}
+
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	r := bufio.NewReader(f)
+	for {
+		_, err := r.ReadString('\n')
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
+}
+
+// Records returns the number of records appended through this handle (for
+// file-backed WALs, including those already on disk when opened).
+func (w *WAL) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Err returns the first append failure, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Sync flushes a file-backed WAL to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.file == nil {
+		return nil
+	}
+	return w.file.Sync()
+}
+
+// Close closes a file-backed WAL.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.file == nil {
+		return nil
+	}
+	return w.file.Close()
+}
+
+// append frames, checksums, and writes one record.  Errors are sticky.
+func (w *WAL) append(rec walRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.seq++
+	rec.Seq = w.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		w.err = fmt.Errorf("most: wal encode: %w", err)
+		return
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if _, err := w.w.Write(line); err != nil {
+		w.err = fmt.Errorf("most: wal append: %w", err)
+	}
+}
+
+// reset truncates the log after a checkpoint.  Only file-backed WALs and
+// writers with a Reset method (bytes.Buffer) support it.
+func (w *WAL) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.file != nil:
+		if err := w.file.Truncate(0); err != nil {
+			return fmt.Errorf("most: wal truncate: %w", err)
+		}
+		if _, err := w.file.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("most: wal truncate: %w", err)
+		}
+	default:
+		r, ok := w.w.(interface{ Reset() })
+		if !ok {
+			return fmt.Errorf("most: this WAL's writer cannot be truncated")
+		}
+		r.Reset()
+	}
+	w.seq = 0
+	w.err = nil
+	return nil
+}
+
+func (w *WAL) appendClass(c *Class) {
+	cd := encodeClass(c)
+	w.append(walRecord{Kind: "class", Class: &cd})
+}
+
+func (w *WAL) appendClock(now temporal.Tick) {
+	w.append(walRecord{Kind: "clock", Now: &now})
+}
+
+func (w *WAL) appendUpdate(u Update) {
+	wu := walUpdate{Tick: u.Tick, Kind: u.Kind, Object: string(u.Object), Attr: u.Attr}
+	if u.After != nil {
+		od := encodeObject(u.After)
+		wu.After = &od
+	}
+	w.append(walRecord{Kind: "update", Update: &wu})
+}
+
+// AttachWAL starts logging the database to w.  If the database already
+// holds state and the log is empty, a base image (classes, clock, one
+// insert per live object) is written first so the log alone reconstructs
+// the current state; if the log already has records — reopened after a
+// crash, or freshly checkpointed — the base image is skipped, because the
+// log (plus its checkpoint snapshot) already represents the state.
+//
+// Attach at most one WAL per database, before or between commits; the
+// attachment itself quiesces in-flight commits.
+func (db *Database) AttachWAL(w *WAL) error {
+	if w == nil {
+		return fmt.Errorf("most: nil WAL")
+	}
+	// Quiesce every commit path so the base image and the attach point are
+	// one atomic cut: clock + all shards block updates and Advance, metaMu
+	// blocks DefineClass.
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	if !db.wal.CompareAndSwap(nil, w) {
+		return fmt.Errorf("most: database already has a WAL attached")
+	}
+	if w.Records() > 0 {
+		return w.Err()
+	}
+	empty := db.now == 0 && len(db.classes) == 0
+	for i := range db.shards {
+		empty = empty && len(db.shards[i].objects) == 0
+	}
+	if empty {
+		return w.Err()
+	}
+	dto := db.snapshotDTOLocked()
+	for i := range dto.Classes {
+		w.append(walRecord{Kind: "class", Class: &dto.Classes[i]})
+	}
+	w.appendClock(dto.Now)
+	for i := range dto.Objects {
+		w.append(walRecord{Kind: "update", Update: &walUpdate{
+			Tick: dto.Now, Kind: UpdateInsert, Object: dto.Objects[i].ID, After: &dto.Objects[i],
+		}})
+	}
+	return w.Err()
+}
+
+// Checkpoint writes a consistent snapshot of the current state to snapPath
+// (atomically, via a temp file and rename) and truncates the attached WAL:
+// recovery then needs only the snapshot plus the post-checkpoint log tail.
+// Commits are quiesced for the duration, exactly like SnapshotJSON.
+func (db *Database) Checkpoint(snapPath string) error {
+	w := db.wal.Load()
+	if w == nil {
+		return fmt.Errorf("most: no WAL attached")
+	}
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	data, err := json.MarshalIndent(db.snapshotDTOLocked(), "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := snapPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	return w.reset()
+}
+
+// RecoveryReport describes how a recovery went.
+type RecoveryReport struct {
+	// Records is the number of WAL records successfully applied.
+	Records int
+	// Truncated is true when replay stopped before the end of the log —
+	// the tail was corrupt, torn, or inapplicable.  The returned database
+	// holds everything up to the failure point.
+	Truncated bool
+	// BadLine is the 1-based line number of the first bad record (0 when
+	// !Truncated).
+	BadLine int
+	// Reason says why replay stopped (empty when !Truncated).
+	Reason string
+}
+
+// Recover rebuilds a database from an optional checkpoint snapshot and a
+// WAL.  A nil/empty snapshot means the log starts from an empty database.
+// Corrupt or truncated logs are not an error: replay keeps everything up
+// to the first bad record and reports the damage.  An unreadable snapshot
+// IS an error — there is no safe prefix to fall back to.
+func Recover(snapshot, wal []byte) (*Database, *RecoveryReport, error) {
+	var db *Database
+	if len(snapshot) > 0 {
+		var err error
+		db, err = LoadSnapshotJSON(snapshot)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		db = NewDatabase()
+	}
+	rep := &RecoveryReport{}
+	stop := func(line int, reason string) {
+		rep.Truncated = true
+		rep.BadLine = line
+		rep.Reason = reason
+	}
+	lines := bytes.Split(wal, []byte("\n"))
+	for i, line := range lines {
+		if len(line) == 0 {
+			if i == len(lines)-1 {
+				break // trailing newline
+			}
+			stop(i+1, "empty record")
+			break
+		}
+		rec, err := parseWALLine(line)
+		if err != nil {
+			stop(i+1, err.Error())
+			break
+		}
+		if err := db.applyWALRecord(rec); err != nil {
+			stop(i+1, err.Error())
+			break
+		}
+		rep.Records++
+	}
+	return db, rep, nil
+}
+
+// RecoverFiles is Recover over a snapshot path (missing file = no
+// checkpoint) and a WAL path (missing file = empty log).
+func RecoverFiles(snapPath, walPath string) (*Database, *RecoveryReport, error) {
+	snap, err := os.ReadFile(snapPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	wal, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	return Recover(snap, wal)
+}
+
+func parseWALLine(line []byte) (walRecord, error) {
+	var rec walRecord
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return rec, fmt.Errorf("bad frame")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("bad checksum field")
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return rec, fmt.Errorf("checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("bad record json: %v", err)
+	}
+	return rec, nil
+}
+
+// applyWALRecord replays one record through the normal mutation paths.
+func (db *Database) applyWALRecord(rec walRecord) error {
+	switch rec.Kind {
+	case "class":
+		if rec.Class == nil {
+			return fmt.Errorf("class record without class")
+		}
+		c, err := decodeClass(*rec.Class)
+		if err != nil {
+			return err
+		}
+		return db.DefineClass(c)
+	case "clock":
+		if rec.Now == nil {
+			return fmt.Errorf("clock record without tick")
+		}
+		if *rec.Now < db.Now() {
+			return fmt.Errorf("clock record runs backwards (%d < %d)", *rec.Now, db.Now())
+		}
+		db.Advance(*rec.Now - db.Now())
+		return nil
+	case "update":
+		u := rec.Update
+		if u == nil {
+			return fmt.Errorf("update record without update")
+		}
+		switch u.Kind {
+		case UpdateInsert:
+			if u.After == nil {
+				return fmt.Errorf("insert of %s without post-image", u.Object)
+			}
+			o, err := decodeObject(db, *u.After)
+			if err != nil {
+				return err
+			}
+			return db.Insert(o)
+		case UpdateDelete:
+			return db.Delete(ObjectID(u.Object))
+		case UpdateStatic, UpdateDynamic:
+			if u.After == nil {
+				return fmt.Errorf("update of %s without post-image", u.Object)
+			}
+			o, err := decodeObject(db, *u.After)
+			if err != nil {
+				return err
+			}
+			// Install the recorded post-image wholesale: replay reproduces
+			// the exact revision the original mutation computed.
+			return db.mutate(ObjectID(u.Object), u.Kind, u.Attr, func(*Object, temporal.Tick) (*Object, error) {
+				return o, nil
+			})
+		default:
+			return fmt.Errorf("unknown update kind %d", u.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+}

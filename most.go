@@ -22,7 +22,11 @@
 //     WHERE-clause decomposition and index-assisted rewriting;
 //   - a simulator for the mobile distributed architecture: per-vehicle
 //     computers, query classification, ship-objects versus broadcast-query
-//     strategies, and immediate versus delayed answer delivery.
+//     strategies, and immediate versus delayed answer delivery;
+//   - fault tolerance: a write-ahead log making the database
+//     crash-recoverable (AttachWAL, Recover, Checkpoint), and — in the
+//     distributed simulation — deterministic fault injection with
+//     acknowledged, idempotent retransmission of answers and updates.
 //
 // # Concurrency
 //
@@ -40,6 +44,8 @@
 package mostdb
 
 import (
+	"io"
+
 	"github.com/mostdb/most/internal/dist"
 	"github.com/mostdb/most/internal/ftl"
 	"github.com/mostdb/most/internal/ftl/eval"
@@ -183,6 +189,38 @@ func NewDatabase() *Database { return most.NewDatabase() }
 // for concurrent callers; the returned Database is safe for concurrent
 // use.
 func LoadSnapshotJSON(data []byte) (*Database, error) { return most.LoadSnapshotJSON(data) }
+
+// WAL is an append-only write-ahead log of committed database updates.
+// Attach one with Database.AttachWAL to make a database crash-recoverable:
+// every commit is logged before it becomes visible, and Recover replays the
+// log into a byte-identical database.  Safe for use by one attached
+// Database.
+type WAL = most.WAL
+
+// RecoveryReport describes the outcome of a WAL replay: how many records
+// applied cleanly and whether a torn or corrupted tail was truncated.
+type RecoveryReport = most.RecoveryReport
+
+// NewWAL returns a write-ahead log that appends records to w.
+func NewWAL(w io.Writer) *WAL { return most.NewWAL(w) }
+
+// OpenWAL opens (or creates) a file-backed write-ahead log, positioned to
+// append after any existing records.
+func OpenWAL(path string) (*WAL, error) { return most.OpenWAL(path) }
+
+// Recover rebuilds a database from an optional snapshot plus a WAL byte
+// stream.  Corrupted or truncated logs fail safe: replay stops at the
+// first bad record, the report says what was truncated, and the database
+// reflects every record before it.  Never panics on hostile input.
+func Recover(snapshot, wal []byte) (*Database, *RecoveryReport, error) {
+	return most.Recover(snapshot, wal)
+}
+
+// RecoverFiles is Recover reading the snapshot and WAL from files; either
+// path may be empty.
+func RecoverFiles(snapPath, walPath string) (*Database, *RecoveryReport, error) {
+	return most.RecoverFiles(snapPath, walPath)
+}
 
 // NewClass declares an object class (§2.1).  Safe for concurrent callers.
 func NewClass(name string, spatial bool, attrs ...AttrDef) (*Class, error) {
