@@ -123,12 +123,18 @@ func (s *Sim) Nodes() []most.ObjectID { return s.order }
 
 // deliver simulates one message of the given size to a destination node,
 // applying the disconnection probability.  It reports delivery success.
-func (s *Sim) deliver(dst *Node, bytes int) bool {
+// The message is charged to both the shared network counters and tc, the
+// issuing query's private counters — concurrent queries therefore see only
+// their own traffic in ObjectQueryResult.Traffic, while NetStats still
+// aggregates everything.
+func (s *Sim) deliver(dst *Node, bytes int, tc *Counters) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.net.send(bytes)
+	tc.send(bytes)
 	if dst.Disconnected || s.rng.Float64() < s.PDisconnect {
 		s.net.Dropped++
+		tc.Dropped++
 		return false
 	}
 	return true
@@ -226,7 +232,10 @@ const (
 	BroadcastQuery
 )
 
-// ObjectQueryResult carries the answer and the traffic it cost.
+// ObjectQueryResult carries the answer and the traffic it cost.  Traffic is
+// accumulated per query as its messages are sent, so it stays correct when
+// queries are issued concurrently (NetStats, by contrast, aggregates the
+// whole simulation).
 type ObjectQueryResult struct {
 	Relation *eval.Relation
 	Traffic  Counters
@@ -242,7 +251,7 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 	if !ok {
 		return nil, fmt.Errorf("dist: no node %s", issuer)
 	}
-	before := s.NetStats()
+	var traffic Counters
 
 	switch strat {
 	case ShipObjects:
@@ -253,11 +262,11 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 			n := s.nodes[id]
 			if id != issuer {
 				// The request reaches the remote node...
-				if !s.deliver(n, s.Cost.QueryBytes) {
+				if !s.deliver(n, s.Cost.QueryBytes, &traffic) {
 					continue
 				}
 				// ...and its object ships back to the issuer.
-				if !s.deliver(issuerNode, s.Cost.ObjectBytes) {
+				if !s.deliver(issuerNode, s.Cost.ObjectBytes, &traffic) {
 					continue
 				}
 			}
@@ -270,14 +279,14 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 		if err != nil {
 			return nil, err
 		}
-		return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.NetStats())}, nil
+		return &ObjectQueryResult{Relation: rel, Traffic: traffic}, nil
 
 	case BroadcastQuery:
 		merged := eval.NewRelation(q.Targets...)
 		for _, id := range s.order {
 			n := s.nodes[id]
 			if id != issuer {
-				if !s.deliver(n, s.Cost.QueryBytes) {
+				if !s.deliver(n, s.Cost.QueryBytes, &traffic) {
 					continue
 				}
 			}
@@ -291,14 +300,14 @@ func (s *Sim) RunObjectQuery(issuer most.ObjectID, q *ftl.Query, horizon tempora
 			for _, tup := range rel.Tuples() {
 				// Only satisfying nodes reply (one tuple message each).
 				if id != issuer {
-					if !s.deliver(issuerNode, s.Cost.TupleBytes) {
+					if !s.deliver(issuerNode, s.Cost.TupleBytes, &traffic) {
 						continue
 					}
 				}
 				merged.Add(tup.Vals, tup.Times)
 			}
 		}
-		return &ObjectQueryResult{Relation: merged, Traffic: diff(before, s.NetStats())}, nil
+		return &ObjectQueryResult{Relation: merged, Traffic: traffic}, nil
 
 	default:
 		return nil, fmt.Errorf("dist: unknown strategy %d", strat)
@@ -314,16 +323,16 @@ func (s *Sim) RunRelationshipQuery(issuer most.ObjectID, q *ftl.Query, horizon t
 	if !ok {
 		return nil, fmt.Errorf("dist: no node %s", issuer)
 	}
-	before := s.NetStats()
+	var traffic Counters
 	universe := map[most.ObjectID]*most.Object{}
 	var ids []most.ObjectID
 	for _, id := range s.order {
 		n := s.nodes[id]
 		if id != issuer {
-			if !s.deliver(n, s.Cost.QueryBytes) {
+			if !s.deliver(n, s.Cost.QueryBytes, &traffic) {
 				continue
 			}
-			if !s.deliver(issuerNode, s.Cost.ObjectBytes) {
+			if !s.deliver(issuerNode, s.Cost.ObjectBytes, &traffic) {
 				continue
 			}
 		}
@@ -336,15 +345,7 @@ func (s *Sim) RunRelationshipQuery(issuer most.ObjectID, q *ftl.Query, horizon t
 	if err != nil {
 		return nil, err
 	}
-	return &ObjectQueryResult{Relation: rel, Traffic: diff(before, s.NetStats())}, nil
-}
-
-func diff(before, after Counters) Counters {
-	return Counters{
-		Messages: after.Messages - before.Messages,
-		Bytes:    after.Bytes - before.Bytes,
-		Dropped:  after.Dropped - before.Dropped,
-	}
+	return &ObjectQueryResult{Relation: rel, Traffic: traffic}, nil
 }
 
 // ContinuousTraffic compares the two strategies for a *continuous* object

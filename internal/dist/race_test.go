@@ -20,6 +20,7 @@ func TestSimConcurrentQueries(t *testing.T) {
 	q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`)
 
 	var wg sync.WaitGroup
+	perQuery := make([]Counters, 8)
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -30,10 +31,14 @@ func TestSimConcurrentQueries(t *testing.T) {
 				if i%2 == 0 {
 					strat = BroadcastQuery
 				}
-				if _, err := s.RunObjectQuery(issuer, q, 10, strat); err != nil {
+				res, err := s.RunObjectQuery(issuer, q, 10, strat)
+				if err != nil {
 					t.Error(err)
 					return
 				}
+				perQuery[g].Messages += res.Traffic.Messages
+				perQuery[g].Bytes += res.Traffic.Bytes
+				perQuery[g].Dropped += res.Traffic.Dropped
 				s.Advance(1)
 				_ = s.NetStats()
 				_ = s.Now()
@@ -48,6 +53,18 @@ func TestSimConcurrentQueries(t *testing.T) {
 	}
 	if net.Dropped == 0 {
 		t.Fatalf("PDisconnect=0.2 dropped nothing over %d messages", net.Messages)
+	}
+	// Per-query Traffic must attribute each query exactly its own messages:
+	// the per-goroutine sums add back up to the shared counters, with no
+	// double counting across concurrent issuers.
+	var sum Counters
+	for _, c := range perQuery {
+		sum.Messages += c.Messages
+		sum.Bytes += c.Bytes
+		sum.Dropped += c.Dropped
+	}
+	if sum != net {
+		t.Fatalf("per-query traffic %+v does not sum to shared counters %+v", sum, net)
 	}
 }
 

@@ -195,8 +195,11 @@ func (db *Database) appendLog(u Update) []Listener {
 	db.log = append(db.log, u)
 	ls := db.listeners
 	if w := db.wal.Load(); w != nil {
-		// Written before the shard lock is released: the WAL sees updates
-		// in commit order, and a crash after this point loses nothing.
+		// Written before the shard lock is released, so the WAL sees
+		// updates in commit order.  The append only reaches the OS page
+		// cache: a process crash after this point loses nothing, but
+		// surviving a machine crash (power loss) additionally requires
+		// WAL.Sync — callers choose how often to pay for that.
 		w.appendUpdate(u)
 	}
 	db.logMu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 
@@ -49,7 +50,14 @@ import (
 // Replay verifies each record's CRC and stops at the first corrupt,
 // truncated, or inapplicable record, returning everything recovered up to
 // that point plus a RecoveryReport — a partially torn tail (the common
-// crash artifact) costs only the torn suffix, never a panic.
+// crash artifact) costs only the torn suffix, never a panic.  OpenWAL
+// truncates any torn tail before appending, so a log reopened after a
+// crash stays recoverable end to end.
+//
+// Appends buffer in the OS page cache; they survive a process crash as-is,
+// but power-loss durability requires explicit WAL.Sync calls.  Checkpoint
+// fsyncs its snapshot (and the containing directory) before truncating the
+// log, so a checkpoint never trades a durable log for a volatile snapshot.
 
 // walRecord is one WAL entry.
 type walRecord struct {
@@ -91,39 +99,51 @@ type WAL struct {
 // checkpointed.
 func NewWAL(w io.Writer) *WAL { return &WAL{w: w} }
 
-// OpenWAL opens (creating if needed) a file-backed WAL in append mode.  An
-// existing log is preserved — reopening after a crash resumes where the
-// torn tail ends.
+// OpenWAL opens (creating if needed) a file-backed WAL for appending.  An
+// existing log is preserved, except that a torn tail — a half-written final
+// record with no trailing newline, the usual artifact of a crash mid-append —
+// is truncated away first.  Appending onto the fragment would otherwise merge
+// the new record into the same line, corrupting it too and cutting recovery
+// off at that point.  The torn record itself was never durably committed, so
+// dropping it is the correct outcome.
 func OpenWAL(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("most: open wal: %w", err)
 	}
-	// Resume the sequence counter past the existing records.
-	n, err := countLines(path)
+	end, n, err := scanRecords(f)
 	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("most: open wal: %w", err)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("most: open wal: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("most: open wal: %w", err)
 	}
 	return &WAL{w: f, file: f, seq: uint64(n)}, nil
 }
 
-func countLines(path string) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
+// scanRecords finds the byte offset just past the last newline-terminated
+// record and the number of such records.  Anything beyond end is a torn
+// fragment.
+func scanRecords(f *os.File) (end int64, n int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
 	}
-	defer f.Close()
-	n := 0
 	r := bufio.NewReader(f)
 	for {
-		_, err := r.ReadString('\n')
+		line, err := r.ReadString('\n')
 		if err == io.EOF {
-			return n, nil
+			return end, n, nil
 		}
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
+		end += int64(len(line))
 		n++
 	}
 }
@@ -293,11 +313,37 @@ func (db *Database) Checkpoint(snapPath string) error {
 	if err != nil {
 		return err
 	}
+	// The WAL may only be truncated once the snapshot that replaces it is
+	// durable: fsync the temp file before the rename, and fsync the
+	// directory after, so a power loss at any point leaves either the old
+	// (snapshot, log) pair or the new one — never a missing snapshot with
+	// an already-empty log.
 	tmp := snapPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	if err := tf.Close(); err != nil {
 		return fmt.Errorf("most: checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, snapPath); err != nil {
+		return fmt.Errorf("most: checkpoint: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(snapPath)); err == nil {
+		serr := dir.Sync()
+		dir.Close()
+		if serr != nil {
+			return fmt.Errorf("most: checkpoint: %w", serr)
+		}
+	} else {
 		return fmt.Errorf("most: checkpoint: %w", err)
 	}
 	return w.reset()

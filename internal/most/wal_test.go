@@ -225,6 +225,78 @@ func TestRecoverTornTail(t *testing.T) {
 	}
 }
 
+// Reopening a crash-torn WAL file must repair the tail before appending:
+// records written after the reopen land on their own lines and survive
+// recovery, instead of being merged into the torn fragment and lost.
+func TestOpenWALRepairsTornTailBeforeAppending(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "most.wal")
+
+	w, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, c := newTestDB(t)
+	if err := db.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	buildScript(t, db, c)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" mid-append: chop the final record in half, leaving no
+	// trailing newline.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	last := lines[len(lines)-1]
+	torn := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+	torn = append(torn, last[:len(last)/2]...)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the torn fragment must be truncated away and the sequence
+	// counter resumed at the surviving record count.
+	w2, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got, want := w2.Records(), uint64(len(lines)-1); got != want {
+		t.Fatalf("reopened WAL resumed at seq %d, want %d", got, want)
+	}
+
+	// Recover the surviving prefix and keep committing into the same log.
+	db2, rep, err := RecoverFiles(filepath.Join(dir, "none.snap"), walPath)
+	if err != nil || rep.Truncated {
+		t.Fatalf("post-repair recovery: err=%v rep=%+v", err, rep)
+	}
+	if err := db2.AttachWAL(w2); err != nil {
+		t.Fatal(err)
+	}
+	db2.Advance(7)
+	insertCar(t, db2, c2class(t, db2), "reborn", geom.Point{X: 3}, geom.Vector{Y: -2})
+
+	// The post-reopen records must recover too — nothing silently discarded.
+	db3, rep, err := RecoverFiles(filepath.Join(dir, "none.snap"), walPath)
+	if err != nil || rep.Truncated {
+		t.Fatalf("second recovery: err=%v rep=%+v", err, rep)
+	}
+	if !bytes.Equal(snap(t, db3), snap(t, db2)) {
+		t.Fatal("recovery after reopen-and-append differs from live state")
+	}
+	if db3.Now() != db2.Now() {
+		t.Fatalf("clock = %d, want %d", db3.Now(), db2.Now())
+	}
+	if _, ok := db3.Get("reborn"); !ok {
+		t.Fatal("post-reopen insert lost")
+	}
+}
+
 func TestRecoverCorruptMiddleStopsThere(t *testing.T) {
 	var buf bytes.Buffer
 	db, c := newTestDB(t)
