@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel faults fuzzwal
+.PHONY: check fmt vet build test race bench parallel faults fuzzwal fuzzftl cover obs
+
+# Checked-in coverage floor for `make cover`: total statement coverage under
+# the race detector must not fall below this.
+COVER_FLOOR := 78.0
 
 check: fmt vet build test
 
@@ -40,3 +44,22 @@ faults:
 # partial-recovery report, never a panic.
 fuzzwal:
 	$(GO) test ./internal/most -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s
+
+# Fuzz the FTL parse-then-evaluate pipeline: accepted inputs must evaluate
+# without panics, keep satisfaction sets normalized and windowed, survive
+# the Normalize rewrite unchanged, and partition the window against NOT f.
+fuzzftl:
+	$(GO) test ./internal/ftl/eval -run='^$$' -fuzz=FuzzFTLEval -fuzztime=10s
+
+# Race-mode coverage with a checked-in floor: fails if total statement
+# coverage drops below COVER_FLOOR.
+cover:
+	$(GO) test -race -short -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v got="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit !(got+0 >= floor+0) }' || \
+		{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Observability-overhead benchmark; writes BENCH_obs.json.
+obs:
+	$(GO) run ./cmd/mostbench -obs

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel] [-faults]
+//	mostbench [-quick] [-only E3,E7] [-parallel] [-faults] [-obs] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
 // machine-readable results to BENCH_parallel.json.  With -faults it runs
 // the fault-tolerance sweep (loss × partition × crashes; legacy vs reliable
 // delivery, staleness marking, WAL recovery) and writes BENCH_faults.json.
+// With -obs it measures the observability instrumentation overhead on the
+// parallel benchmark and writes BENCH_obs.json, including a full metrics
+// snapshot from an instrumented three-query-type scenario.
+//
+// -http addr serves the observability endpoints for the duration of the
+// run: /obs (metrics + trace snapshot), /debug/vars (expvar), and
+// /debug/pprof/* (net/http/pprof profiling).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 
 	"github.com/mostdb/most/internal/experiments"
+	"github.com/mostdb/most/internal/obs"
 )
 
 func main() {
@@ -28,7 +36,32 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
 	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
 	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
+	obsBench := flag.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
+	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		reg := obs.New()
+		obs.Serve(*httpAddr, "mostbench", reg)
+		experiments.Instrument(reg)
+		fmt.Fprintf(os.Stderr, "mostbench: observability endpoints on http://%s/obs and /debug/pprof/\n", *httpAddr)
+	}
+
+	if *obsBench {
+		rep := experiments.ObsBench(*quick)
+		fmt.Println(rep.Table().Render())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_obs.json")
+		return
+	}
 
 	if *faultsSweep {
 		rep := experiments.FaultsBench(*quick)

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	mostsim [-n 200] [-p 0.1] [-seed 1]
+//	mostsim [-n 200] [-p 0.1] [-seed 1] [-http :6060]
+//
+// -http addr serves the observability endpoints for the duration of the
+// run: /obs (metrics snapshot with dist.* traffic counters), /debug/vars
+// (expvar), and /debug/pprof/* (net/http/pprof profiling).
 package main
 
 import (
@@ -17,16 +21,26 @@ import (
 	mostdb "github.com/mostdb/most"
 	"github.com/mostdb/most/internal/dist"
 	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 200, "number of mobile nodes")
 	p := flag.Float64("p", 0.1, "per-delivery disconnection probability")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.New()
+		obs.Serve(*httpAddr, "mostsim", reg)
+		fmt.Fprintf(os.Stderr, "mostsim: observability endpoints on http://%s/obs and /debug/pprof/\n", *httpAddr)
+	}
 
 	build := func() *mostdb.Sim {
 		sim := mostdb.NewSim(*seed)
+		sim.Instrument(reg)
 		vehicles, err := mostdb.NewClass("Vehicles", true)
 		if err != nil {
 			fail(err)

@@ -67,6 +67,10 @@ type Sim struct {
 	// object cannot continuously update its position").  Set it before
 	// issuing queries.
 	PDisconnect float64
+
+	// obsv holds the pre-resolved observability instruments (see obs.go);
+	// nil means uninstrumented.  Set via Instrument before issuing queries.
+	obsv *simObs
 }
 
 // NewSim returns an empty simulation with the default cost model.
@@ -135,8 +139,10 @@ func (s *Sim) deliver(dst *Node, bytes int, tc *Counters) bool {
 	if dst.Disconnected || s.rng.Float64() < s.PDisconnect {
 		s.net.Dropped++
 		tc.Dropped++
+		s.obsv.sent(bytes, true)
 		return false
 	}
+	s.obsv.sent(bytes, false)
 	return true
 }
 

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/temporal"
+
+	"github.com/mostdb/most/internal/ftl/eval"
+)
+
+// simObs is the simulation's pre-resolved instrument set.  Sim.deliver is
+// the single choke point every simulated message passes through, so the
+// metrics here see exactly the traffic the Counters see.
+//
+// Metric names:
+//
+//	dist.messages / dist.bytes / dist.dropped   network traffic
+//	dist.retries                                reliable-layer retransmissions
+//	dist.stale_answers                          tuples marked uncertain by staleness annotation
+type simObs struct {
+	messages *obs.Counter
+	bytes    *obs.Counter
+	dropped  *obs.Counter
+	retries  *obs.Counter
+	stale    *obs.Counter
+}
+
+// Instrument attaches an observability registry to the simulation.  Call it
+// before issuing queries from multiple goroutines (like PDisconnect, the
+// attachment itself is not synchronized against in-flight queries).
+// Instrument(nil) detaches.
+func (s *Sim) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.obsv = nil
+		return
+	}
+	s.obsv = &simObs{
+		messages: reg.Counter("dist.messages"),
+		bytes:    reg.Counter("dist.bytes"),
+		dropped:  reg.Counter("dist.dropped"),
+		retries:  reg.Counter("dist.retries"),
+		stale:    reg.Counter("dist.stale_answers"),
+	}
+}
+
+func (o *simObs) sent(bytes int, dropped bool) {
+	if o == nil {
+		return
+	}
+	o.messages.Inc()
+	o.bytes.Add(int64(bytes))
+	if dropped {
+		o.dropped.Inc()
+	}
+}
+
+func (o *simObs) retried(n int) {
+	if o == nil {
+		return
+	}
+	o.retries.Add(int64(n))
+}
+
+func (o *simObs) staleMarked(n int) {
+	if o == nil {
+		return
+	}
+	o.stale.Add(int64(n))
+}
+
+// AnnotateStaleness is the free function of the same name run through the
+// simulation's instrumentation: tuples marked uncertain are counted under
+// dist.stale_answers.
+func (s *Sim) AnnotateStaleness(db *most.Database, answers []eval.Answer, now, bound temporal.Tick) ([]AnnotatedAnswer, int) {
+	out, marked := AnnotateStaleness(db, answers, now, bound)
+	s.obsv.staleMarked(marked)
+	return out, marked
+}

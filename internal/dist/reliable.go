@@ -155,6 +155,7 @@ func (s *Sim) ReliableDeliverAnswer(net *faults.Network, server, client faults.N
 	stats.RetryBytes = ss.RetryBytes
 	stats.Abandoned = ss.Abandoned
 	stats.Duplicates = cli.Stats().DupsSeen
+	s.obsv.retried(stats.Retries)
 	for i, a := range sorted {
 		if a.Interval.End < from || a.Interval.Start > to {
 			continue // display window outside the simulation

@@ -36,7 +36,7 @@ func E1QueryTypes() *Table {
 		panic(err)
 	}
 
-	engine := query.NewEngine(db)
+	engine := newEngine(db)
 	q := ftl.MustParse(`
 		RETRIEVE o FROM Objects o
 		WHERE [x <- SPEED(o.X.POSITION)]

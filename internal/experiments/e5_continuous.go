@@ -56,7 +56,7 @@ func E5ContinuousVsPerTick(quick bool) *Table {
 				if err := db.Insert(car); err != nil {
 					panic(err)
 				}
-				engine := query.NewEngine(db)
+				engine := newEngine(db)
 				q := ftl.MustParse(`
 					RETRIEVE m FROM Motels m, Vehicles c
 					WHERE DIST(m, c) <= 5 AND m.AVAILABLE = TRUE`)

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestObsBenchReport(t *testing.T) {
+	rep := ObsBench(true)
+	if len(rep.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range rep.Results {
+		if r.DisabledNs <= 0 || r.EnabledNs <= 0 {
+			t.Errorf("objects=%d: non-positive timings %d/%d", r.Objects, r.DisabledNs, r.EnabledNs)
+		}
+	}
+	for _, root := range []string{"query.instantaneous", "query.continuous", "query.persistent"} {
+		tr, ok := rep.Snapshot.Traces[root]
+		if !ok || len(tr.Children) == 0 {
+			t.Errorf("snapshot missing a non-empty %q trace", root)
+		}
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ObsReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Errorf("JSON round-trip lost results")
+	}
+	tbl := rep.Table().Render()
+	if !strings.Contains(tbl, "OBS") || !strings.Contains(tbl, "overhead") {
+		t.Errorf("table missing expected headers:\n%s", tbl)
+	}
+}

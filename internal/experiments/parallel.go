@@ -50,7 +50,7 @@ func ParallelBench(quick bool) *ParallelReport {
 		if err != nil {
 			panic(err)
 		}
-		e := query.NewEngine(db)
+		e := newEngine(db)
 		q := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE Eventually INSIDE(o, P)`)
 		opts := query.Options{
 			Horizon: 200,

@@ -391,21 +391,33 @@ func (c *Context) evalInside(n ftl.Inside) (*Relation, error) {
 	var candidates map[most.ObjectID]bool
 	if c.InsideCandidates != nil {
 		if pg, err := c.resolveRegion(n.Region); err == nil {
+			probe := c.Span.Child("index_probe")
 			candidates = map[most.ObjectID]bool{}
 			for _, id := range c.InsideCandidates(pg, c.Window()) {
 				candidates[id] = true
 			}
+			probe.Annotate("candidates", int64(len(candidates)))
+			probe.End()
 		}
 	}
+	falseHits := c.Obs.Counter("index.false_hits")
+	skipped := c.Obs.Counter("index.skipped_instantiations")
 	return c.evalAtom(n, func(en env) (temporal.Set, error) {
 		if candidates != nil {
 			if v, ok := n.Obj.(ftl.Var); ok {
 				if val, ok := c.lookupVar(en, v.Name); ok && val.Kind == ValObj && !candidates[val.Obj] {
+					skipped.Inc()
 					return temporal.Set{}, nil
 				}
 			}
 		}
-		return c.insideSet(n.Obj, n.Region, en)
+		set, err := c.insideSet(n.Obj, n.Region, en)
+		// A candidate that turns out never to be inside is a false hit of
+		// the index probe (the strip cover over-approximates trajectories).
+		if err == nil && candidates != nil && set.IsEmpty() {
+			falseHits.Inc()
+		}
+		return set, err
 	})
 }
 

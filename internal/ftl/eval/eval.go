@@ -35,9 +35,17 @@ func EvalQuery(q *ftl.Query, c *Context) (*Relation, error) {
 			return nil, errf("target variable %q has no FROM binding", tgt)
 		}
 	}
+	sub := c.Span.Child("subformula_eval")
 	rel, err := c.EvalFormula(q.Where)
+	sub.End()
 	if err != nil {
 		return nil, err
 	}
-	return rel.Expand(q.Targets, c.Domains)
+	asm := c.Span.Child("answer_assembly")
+	out, err := rel.Expand(q.Targets, c.Domains)
+	if out != nil {
+		asm.Annotate("tuples", int64(out.Len()))
+	}
+	asm.End()
+	return out, err
 }

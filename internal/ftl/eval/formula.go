@@ -12,6 +12,7 @@ import (
 // satisfied within the evaluation window.  This is the appendix algorithm,
 // computed "inductively, for each subformula g in increasing lengths".
 func (c *Context) EvalFormula(f ftl.Formula) (*Relation, error) {
+	c.Obs.Counter("eval.subformulas").Inc()
 	w := c.Window()
 	switch n := f.(type) {
 	case ftl.BoolLit:

@@ -53,6 +53,7 @@ func solveInstantiations[T any](c *Context, cols []string, solve func(en env, va
 	if total == 0 {
 		return nil
 	}
+	c.Obs.Counter("eval.instantiations").Add(int64(total))
 
 	nw := c.workers()
 	if nw > total {

@@ -8,6 +8,7 @@ import (
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
 	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/temporal"
 )
 
@@ -57,6 +58,16 @@ type Context struct {
 	// GOMAXPROCS.  Results are merged in instantiation order, so the answer
 	// relation is identical at every setting.
 	Parallelism int
+
+	// Obs receives evaluation metrics (sub-formula counts, instantiations,
+	// index probes and false hits).  Nil disables instrumentation at the
+	// cost of one branch per hook.
+	Obs *obs.Registry
+
+	// Span, when non-nil, is the stage span the evaluation hangs its
+	// sub-spans (index_probe, ...) off.  Annotations and children may be
+	// added from the evaluator's worker goroutines.
+	Span *obs.Span
 }
 
 // Window returns the evaluation window [Now, Now+Horizon].

@@ -1,0 +1,54 @@
+package ftl
+
+// Normalize is the engine's rewrite stage: a conservative,
+// semantics-preserving simplification applied between parsing and
+// evaluation.  It performs
+//
+//   - implication desugaring:   f IMPLIES g   =>  (NOT f) OR g
+//   - double-negation removal:  NOT NOT f     =>  f
+//   - negated-literal folding:  NOT TRUE      =>  FALSE (and vice versa)
+//
+// recursing into every sub-formula.  The pass deliberately stops short of
+// aggressive TRUE/FALSE short-circuiting: folding `f AND FALSE` to FALSE
+// could change the free-variable set of a sub-formula and therefore the
+// column layout of intermediate relations in the evaluator.  Each rewrite
+// here preserves free variables exactly, so evaluating Normalize(f) is
+// always equivalent to evaluating f (a property FuzzFTLEval checks).
+func Normalize(f Formula) Formula {
+	switch n := f.(type) {
+	case And:
+		return And{L: Normalize(n.L), R: Normalize(n.R)}
+	case Or:
+		return Or{L: Normalize(n.L), R: Normalize(n.R)}
+	case Implies:
+		return Or{L: Normalize(Not{F: n.L}), R: Normalize(n.R)}
+	case Not:
+		inner := Normalize(n.F)
+		switch g := inner.(type) {
+		case Not:
+			return g.F
+		case BoolLit:
+			return BoolLit{V: !g.V}
+		}
+		return Not{F: inner}
+	case Until:
+		return Until{L: Normalize(n.L), R: Normalize(n.R), Within: n.Within}
+	case Nexttime:
+		return Nexttime{F: Normalize(n.F)}
+	case Eventually:
+		return Eventually{F: Normalize(n.F), Within: n.Within, After: n.After}
+	case Always:
+		return Always{F: Normalize(n.F), For: n.For}
+	case Assign:
+		return Assign{Var: n.Var, Term: n.Term, Body: Normalize(n.Body)}
+	default:
+		// Atoms (Compare, Inside, Outside, WithinSphere, BoolLit) are leaves.
+		return f
+	}
+}
+
+// NormalizeQuery returns a copy of q with its WHERE clause normalized.
+func NormalizeQuery(q Query) Query {
+	q.Where = Normalize(q.Where)
+	return q
+}

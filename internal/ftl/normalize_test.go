@@ -1,0 +1,71 @@
+package ftl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	a := Inside{Obj: Var{Name: "o"}, Region: Var{Name: "P"}}
+	b := Compare{Op: "<", L: AttrRef{Obj: Var{Name: "o"}, Path: []string{"PRICE"}}, R: Num{V: 5}}
+	cases := []struct {
+		name string
+		in   Formula
+		want Formula
+	}{
+		{"implies", Implies{L: a, R: b}, Or{L: Not{F: a}, R: b}},
+		{"double-neg", Not{F: Not{F: a}}, a},
+		{"quad-neg", Not{F: Not{F: Not{F: Not{F: a}}}}, a},
+		{"not-true", Not{F: BoolLit{V: true}}, BoolLit{V: false}},
+		{"not-false", Not{F: BoolLit{V: false}}, BoolLit{V: true}},
+		{"implies-to-demorgan-input", Not{F: Implies{L: a, R: b}},
+			Not{F: Or{L: Not{F: a}, R: b}}},
+		{"nested-temporal",
+			Always{F: Implies{L: a, R: Eventually{F: Not{F: Not{F: b}}}}},
+			Always{F: Or{L: Not{F: a}, R: Eventually{F: b}}}},
+		{"assign-body",
+			Assign{Var: "d", Term: DistOf{A: Var{Name: "o"}, B: Var{Name: "p"}},
+				Body: Implies{L: a, R: b}},
+			Assign{Var: "d", Term: DistOf{A: Var{Name: "o"}, B: Var{Name: "p"}},
+				Body: Or{L: Not{F: a}, R: b}}},
+		{"atom-unchanged", b, b},
+		{"until-recurses", Until{L: Not{F: Not{F: a}}, R: b}, Until{L: a, R: b}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Normalize(c.in)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("Normalize(%s)\n got %s\nwant %s", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestNormalizePreservesFreeVars(t *testing.T) {
+	srcs := []string{
+		"RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P) IMPLIES o.PRICE < 5",
+		"RETRIEVE o FROM Vehicles o WHERE NOT (NOT INSIDE(o, P))",
+		"RETRIEVE o, p FROM Vehicles o, Vehicles p WHERE ALWAYS (DIST(o, p) < 3 IMPLIES INSIDE(o, P))",
+		"RETRIEVE o FROM Vehicles o WHERE [d <- DIST(o, o)] (d < 1 IMPLIES INSIDE(o, P))",
+	}
+	for _, src := range srcs {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		before := FreeVars(q.Where)
+		after := FreeVars(Normalize(q.Where))
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("%q: free vars changed %v -> %v", src, before, after)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := Always{F: Implies{L: Not{F: Not{F: BoolLit{V: true}}}, R: Inside{Obj: Var{Name: "o"}, Region: Var{Name: "P"}}}}
+	once := Normalize(f)
+	twice := Normalize(once)
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("not idempotent:\n once %s\ntwice %s", once, twice)
+	}
+}

@@ -1,0 +1,270 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the kinetic solvers against a dense time-sampling oracle
+// and against hand-picked boundary and tangency configurations.  The
+// sampling oracle evaluates the instantaneous predicate at 1000 uniform
+// times and requires the closed-form interval set to agree everywhere
+// except within a hair of an interval endpoint, where the instantaneous
+// test is legitimately ambiguous at floating-point resolution.
+
+// checkAgainstOracle samples pred over [lo,hi] and compares with
+// set.Contains, skipping samples within tol of any interval endpoint.
+func checkAgainstOracle(t *testing.T, name string, set RealSet, pred func(float64) bool, lo, hi float64) {
+	t.Helper()
+	const samples = 1000
+	const tol = 1e-6
+	nearEndpoint := func(x float64) bool {
+		for _, iv := range set.Intervals() {
+			if math.Abs(x-iv.Lo) < tol || math.Abs(x-iv.Hi) < tol {
+				return true
+			}
+		}
+		return false
+	}
+	mismatches := 0
+	for i := 0; i <= samples; i++ {
+		x := lo + (hi-lo)*float64(i)/samples
+		if nearEndpoint(x) {
+			continue
+		}
+		if set.Contains(x) != pred(x) {
+			mismatches++
+			if mismatches <= 3 {
+				t.Errorf("%s: at t=%.9f solver says %v, oracle says %v (set %v)",
+					name, x, set.Contains(x), pred(x), set.Intervals())
+			}
+		}
+	}
+	if mismatches > 3 {
+		t.Errorf("%s: %d total mismatches", name, mismatches)
+	}
+}
+
+func TestInsideTimesOracleRandom(t *testing.T) {
+	polys := []Polygon{
+		RectPolygon(-5, -5, 5, 5),
+		mustPoly(Point{X: 0, Y: 6}, Point{X: -6, Y: -4}, Point{X: 6, Y: -4}), // triangle
+		// Concave "C" shape: entry and exit through the same gap.
+		mustPoly(
+			Point{X: -4, Y: -4}, Point{X: 4, Y: -4}, Point{X: 4, Y: -2},
+			Point{X: -2, Y: -2}, Point{X: -2, Y: 2}, Point{X: 4, Y: 2},
+			Point{X: 4, Y: 4}, Point{X: -4, Y: 4},
+		),
+	}
+	r := rand.New(rand.NewSource(99))
+	for pi, pg := range polys {
+		for trial := 0; trial < 40; trial++ {
+			m := MovingPoint{
+				P: Point{X: r.Float64()*30 - 15, Y: r.Float64()*30 - 15},
+				V: Vector{X: r.Float64()*4 - 2, Y: r.Float64()*4 - 2},
+				T: r.Float64() * 4,
+			}
+			lo, hi := 0.0, 20.0
+			set := InsideTimes(m, pg, lo, hi)
+			checkAgainstOracle(t, "InsideTimes", set,
+				func(x float64) bool { return pg.Contains(m.At(x)) }, lo, hi)
+			// OutsideTimes must be the exact complement away from endpoints.
+			out := OutsideTimes(m, pg, lo, hi)
+			checkAgainstOracle(t, "OutsideTimes", out,
+				func(x float64) bool { return !pg.Contains(m.At(x)) }, lo, hi)
+			_ = pi
+		}
+	}
+}
+
+func TestInsideTimesBoundaryAndTangency(t *testing.T) {
+	sq := RectPolygon(0, 0, 10, 10)
+	cases := []struct {
+		name  string
+		m     MovingPoint
+		lo    float64
+		hi    float64
+		empty bool       // expected emptiness
+		span  [2]float64 // expected single interval when !empty (approx)
+	}{
+		{
+			// Path grazes the top edge y=10 exactly: boundary counts as
+			// inside, so the tangent stretch is satisfied.
+			name: "tangent-to-edge",
+			m:    MovingPoint{P: Point{X: -5, Y: 10}, V: Vector{X: 1}},
+			lo:   0, hi: 20, span: [2]float64{5, 15},
+		},
+		{
+			// Path grazing a single corner: the line x+y=20 meets the
+			// square only at (10, 10), a degenerate touch point at t=2.
+			name: "corner-graze",
+			m:    MovingPoint{P: Point{X: 8, Y: 12}, V: Vector{X: 1, Y: -1}},
+			lo:   0, hi: 20, span: [2]float64{2, 2},
+		},
+		{
+			// Collinear with the bottom edge: enters at x=0, leaves at x=10.
+			name: "collinear-with-edge",
+			m:    MovingPoint{P: Point{X: -3, Y: 0}, V: Vector{X: 1}},
+			lo:   0, hi: 20, span: [2]float64{3, 13},
+		},
+		{
+			// Parallel to an edge just outside: never inside.
+			name: "parallel-outside",
+			m:    MovingPoint{P: Point{X: -3, Y: 10.001}, V: Vector{X: 1}},
+			lo:   0, hi: 20, empty: true,
+		},
+		{
+			// Static on the boundary.
+			name: "static-on-boundary",
+			m:    MovingPoint{P: Point{X: 10, Y: 5}},
+			lo:   0, hi: 20, span: [2]float64{0, 20},
+		},
+		{
+			// Window entirely before the crossing.
+			name: "window-misses-crossing",
+			m:    MovingPoint{P: Point{X: -100, Y: 5}, V: Vector{X: 1}},
+			lo:   0, hi: 50, empty: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			set := InsideTimes(tc.m, sq, tc.lo, tc.hi)
+			if tc.empty {
+				if !set.IsEmpty() {
+					t.Fatalf("want empty, got %v", set.Intervals())
+				}
+				return
+			}
+			ivs := set.Intervals()
+			if len(ivs) != 1 {
+				t.Fatalf("want one interval, got %v", ivs)
+			}
+			const tol = 1e-6
+			if math.Abs(ivs[0].Lo-tc.span[0]) > tol || math.Abs(ivs[0].Hi-tc.span[1]) > tol {
+				t.Fatalf("want [%g, %g], got [%g, %g]", tc.span[0], tc.span[1], ivs[0].Lo, ivs[0].Hi)
+			}
+		})
+	}
+}
+
+func TestDistWithinTimesOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		a := MovingPoint{
+			P: Point{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10},
+			V: Vector{X: r.Float64()*4 - 2, Y: r.Float64()*4 - 2},
+			T: r.Float64() * 3,
+		}
+		b := MovingPoint{
+			P: Point{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10},
+			V: Vector{X: r.Float64()*4 - 2, Y: r.Float64()*4 - 2},
+		}
+		rad := r.Float64() * 8
+		lo, hi := 0.0, 15.0
+		set := DistWithinTimes(a, b, rad, lo, hi)
+		checkAgainstOracle(t, "DistWithinTimes", set,
+			func(x float64) bool { return a.At(x).Sub(b.At(x)).Norm() <= rad }, lo, hi)
+	}
+}
+
+func TestDistWithinTimesTangency(t *testing.T) {
+	// Closest approach exactly equals the radius: the parallel movers stay
+	// at distance 3 forever, so DIST <= 3 holds everywhere and DIST <= 2.999
+	// nowhere.
+	a := MovingPoint{P: Point{Y: 3}, V: Vector{X: 1}}
+	b := MovingPoint{P: Point{}, V: Vector{X: 1}}
+	if got := DistWithinTimes(a, b, 3, 0, 10); got.IsEmpty() {
+		t.Errorf("tangent distance should satisfy <=: got empty")
+	}
+	if got := DistWithinTimes(a, b, 2.999, 0, 10); !got.IsEmpty() {
+		t.Errorf("sub-tangent radius should be empty, got %v", got.Intervals())
+	}
+	// Head-on tangency at a single instant: passing at closest approach 0
+	// with radius 0 yields the touch instant alone.
+	c := MovingPoint{P: Point{X: -5}, V: Vector{X: 1}}
+	d := MovingPoint{P: Point{X: 5}, V: Vector{X: -1}}
+	got := DistWithinTimes(c, d, 0, 0, 10)
+	ivs := got.Intervals()
+	if len(ivs) != 1 || math.Abs(ivs[0].Lo-5) > 1e-9 || math.Abs(ivs[0].Hi-5) > 1e-9 {
+		t.Errorf("touch instant: want [5,5], got %v", ivs)
+	}
+}
+
+func TestWithinSphereTimesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(2)
+		pts := make([]MovingPoint, n)
+		for i := range pts {
+			pts[i] = MovingPoint{
+				P: Point{X: r.Float64()*10 - 5, Y: r.Float64()*10 - 5},
+				V: Vector{X: r.Float64()*2 - 1, Y: r.Float64()*2 - 1},
+			}
+		}
+		rad := 1 + r.Float64()*4
+		lo, hi := 0.0, 10.0
+		set := WithinSphereTimes(rad, pts, lo, hi, 1000)
+		// The bisection solver is approximate; use a wider endpoint margin.
+		const tol = 1e-2
+		nearEndpoint := func(x float64) bool {
+			for _, iv := range set.Intervals() {
+				if math.Abs(x-iv.Lo) < tol || math.Abs(x-iv.Hi) < tol {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i <= 1000; i++ {
+			x := lo + (hi-lo)*float64(i)/1000
+			if nearEndpoint(x) {
+				continue
+			}
+			cur := make([]Point, n)
+			for j, p := range pts {
+				cur[j] = p.At(x)
+			}
+			want := MinEnclosingBall(cur).Radius <= rad
+			if set.Contains(x) != want {
+				t.Errorf("trial %d: at t=%.4f solver %v oracle %v (r=%.3f, set %v)",
+					trial, x, set.Contains(x), want, rad, set.Intervals())
+				break
+			}
+		}
+	}
+}
+
+func TestWithinSphereTimesTwoPointsMatchesClosedForm(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a := MovingPoint{
+			P: Point{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10},
+			V: Vector{X: r.Float64()*2 - 1, Y: r.Float64()*2 - 1},
+		}
+		b := MovingPoint{
+			P: Point{X: r.Float64()*20 - 10, Y: r.Float64()*20 - 10},
+			V: Vector{X: r.Float64()*2 - 1, Y: r.Float64()*2 - 1},
+		}
+		rad := r.Float64() * 5
+		got := WithinSphereTimes(rad, []MovingPoint{a, b}, 0, 10, 0)
+		want := DistWithinTimes(a, b, 2*rad, 0, 10)
+		gi, wi := got.Intervals(), want.Intervals()
+		if len(gi) != len(wi) {
+			t.Fatalf("trial %d: %v vs %v", trial, gi, wi)
+		}
+		for i := range gi {
+			if math.Abs(gi[i].Lo-wi[i].Lo) > 1e-9 || math.Abs(gi[i].Hi-wi[i].Hi) > 1e-9 {
+				t.Fatalf("trial %d: %v vs %v", trial, gi, wi)
+			}
+		}
+	}
+}
+
+func mustPoly(vs ...Point) Polygon {
+	pg, err := NewPolygon(vs...)
+	if err != nil {
+		panic(err)
+	}
+	return pg
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
@@ -41,6 +42,10 @@ type MotionIndex struct {
 	slice   float64
 	tree    *rtree.Tree[spanStrip]
 	objects map[most.ObjectID][]motionRecord
+
+	// obsv holds the pre-resolved observability instruments (see obs.go);
+	// nil means uninstrumented.
+	obsv atomic.Pointer[ixObs]
 }
 
 // NewMotionIndex returns an empty motion index covering [base, base+T).
@@ -93,6 +98,7 @@ func (ix *MotionIndex) Insert(id most.ObjectID, pos motion.Position) error {
 		return fmt.Errorf("index: object %s already indexed", id)
 	}
 	ix.insertFrom(id, pos, float64(ix.base))
+	ix.obsv.Load().insert(1)
 	return nil
 }
 
@@ -143,6 +149,7 @@ func (ix *MotionIndex) InsertBatch(entries []MotionEntry) error {
 			ix.objects[id] = append(ix.objects[id], recs[i]...)
 		}
 		ix.mu.Unlock()
+		ix.obsv.Load().insert(chunkEnd - start)
 	}
 	return nil
 }
@@ -232,6 +239,7 @@ func (ix *MotionIndex) Update(id most.ObjectID, pos motion.Position, t temporal.
 		start = float64(ix.base)
 	}
 	ix.insertFrom(id, pos, start)
+	ix.obsv.Load().update()
 	return nil
 }
 
@@ -251,6 +259,7 @@ func (ix *MotionIndex) CandidatesInRect(r geom.Rect, t0, t1 float64) []most.Obje
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ix.obsv.Load().probe(len(out))
 	return out
 }
 
@@ -289,6 +298,7 @@ func (ix *MotionIndex) InsidePolygonDuring(pg geom.Polygon, t0, t1 float64) []Co
 	for _, id := range ids {
 		out = append(out, ContinuousAnswer{ID: id, Times: hits[id]})
 	}
+	ix.obsv.Load().probe(len(out))
 	return out
 }
 
@@ -316,4 +326,5 @@ func (ix *MotionIndex) Rebuild(base temporal.Tick, positions map[most.ObjectID]m
 	}
 	ix.tree = rtree.New[spanStrip](3, 16)
 	ix.tree.BulkLoad(rects, vals)
+	ix.obsv.Load().rebuild()
 }

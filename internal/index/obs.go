@@ -1,0 +1,70 @@
+package index
+
+import (
+	"github.com/mostdb/most/internal/obs"
+)
+
+// ixObs is the motion index's pre-resolved instrument set, held behind an
+// atomic pointer so probes pay one load plus a nil branch when
+// observability is off.
+//
+// Metric names:
+//
+//	index.probes        CandidatesInRect / InsidePolygonDuring calls
+//	index.candidates    distinct ids returned across all probes
+//	index.inserts       objects inserted (Insert and InsertBatch)
+//	index.updates       trajectory replacements (Update)
+//	index.rebuilds      full window rebuilds
+type ixObs struct {
+	probes     *obs.Counter
+	candidates *obs.Counter
+	inserts    *obs.Counter
+	updates    *obs.Counter
+	rebuilds   *obs.Counter
+}
+
+func (o *ixObs) probe(n int) {
+	if o == nil {
+		return
+	}
+	o.probes.Inc()
+	o.candidates.Add(int64(n))
+}
+
+func (o *ixObs) insert(n int) {
+	if o == nil {
+		return
+	}
+	o.inserts.Add(int64(n))
+}
+
+func (o *ixObs) update() {
+	if o == nil {
+		return
+	}
+	o.updates.Inc()
+}
+
+func (o *ixObs) rebuild() {
+	if o == nil {
+		return
+	}
+	o.rebuilds.Inc()
+}
+
+// Instrument attaches an observability registry to the index, recording
+// probes, returned candidates, inserts, updates, and rebuilds.
+// Instrument(nil) detaches.  Safe to call concurrently with probes.
+func (ix *MotionIndex) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		ix.obsv.Store(nil)
+		return
+	}
+	ix.obsv.Store(&ixObs{
+		probes:     reg.Counter("index.probes"),
+		candidates: reg.Counter("index.candidates"),
+		inserts:    reg.Counter("index.inserts"),
+		updates:    reg.Counter("index.updates"),
+		rebuilds:   reg.Counter("index.rebuilds"),
+	})
+}

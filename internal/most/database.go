@@ -108,6 +108,10 @@ type Database struct {
 	// and explicit update inside the respective commit critical section, so
 	// WAL order equals commit order.  See wal.go.
 	wal atomic.Pointer[WAL]
+
+	// obsv holds the pre-resolved observability instruments (see obs.go);
+	// nil means uninstrumented.
+	obsv atomic.Pointer[dbObs]
 }
 
 // shardSeed is the process-wide seed for the shard hash.
@@ -208,6 +212,8 @@ func (db *Database) appendLog(u Update) []Listener {
 
 // Insert adds a new object.
 func (db *Database) Insert(o *Object) error {
+	dob := db.obsv.Load()
+	t0 := dob.start()
 	db.clockMu.RLock()
 	s := db.shardFor(o.id)
 	s.mu.Lock()
@@ -230,12 +236,15 @@ func (db *Database) Insert(o *Object) error {
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
+	dob.commitDone(t0)
 	notify(ls, u)
 	return nil
 }
 
 // Delete removes an object.
 func (db *Database) Delete(id ObjectID) error {
+	dob := db.obsv.Load()
+	t0 := dob.start()
 	db.clockMu.RLock()
 	s := db.shardFor(id)
 	s.mu.Lock()
@@ -259,6 +268,7 @@ func (db *Database) Delete(id ObjectID) error {
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
+	dob.commitDone(t0)
 	notify(ls, u)
 	return nil
 }
@@ -273,6 +283,8 @@ func notify(ls []Listener, u Update) {
 // as an explicit update, under the locking discipline described on
 // Database.
 func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, fn func(o *Object, now temporal.Tick) (*Object, error)) error {
+	dob := db.obsv.Load()
+	t0 := dob.start()
 	db.clockMu.RLock()
 	now := db.now
 	s := db.shardFor(id)
@@ -294,6 +306,7 @@ func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, fn func(o 
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
+	dob.commitDone(t0)
 	notify(ls, u)
 	return nil
 }
@@ -353,6 +366,7 @@ func (db *Database) Snapshot() map[ObjectID]*Object {
 		}
 		s.mu.RUnlock()
 	}
+	db.obsv.Load().snapshotDone(len(out))
 	return out
 }
 

@@ -11,7 +11,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
+	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/temporal"
 )
 
@@ -92,6 +94,13 @@ type WAL struct {
 	file *os.File // non-nil when opened by path; enables Checkpoint truncation
 	seq  uint64
 	err  error
+
+	// Observability instruments (nil when uninstrumented); set via
+	// WAL.Instrument in obs.go, read under mu.
+	appends  *obs.Counter
+	appendNs *obs.Histogram
+	syncs    *obs.Counter
+	syncNs   *obs.Histogram
 }
 
 // NewWAL wraps an arbitrary writer (e.g. a bytes.Buffer in tests or an
@@ -170,7 +179,14 @@ func (w *WAL) Sync() error {
 	if w.file == nil {
 		return nil
 	}
-	return w.file.Sync()
+	var t0 time.Time
+	if w.syncNs != nil {
+		t0 = time.Now()
+	}
+	err := w.file.Sync()
+	w.syncs.Inc()
+	w.syncNs.Since(t0)
+	return err
 }
 
 // Close closes a file-backed WAL.
@@ -190,6 +206,10 @@ func (w *WAL) append(rec walRecord) {
 	if w.err != nil {
 		return
 	}
+	var t0 time.Time
+	if w.appendNs != nil {
+		t0 = time.Now()
+	}
 	w.seq++
 	rec.Seq = w.seq
 	payload, err := json.Marshal(rec)
@@ -204,7 +224,10 @@ func (w *WAL) append(rec walRecord) {
 	line = append(line, '\n')
 	if _, err := w.w.Write(line); err != nil {
 		w.err = fmt.Errorf("most: wal append: %w", err)
+		return
 	}
+	w.appends.Inc()
+	w.appendNs.Since(t0)
 }
 
 // reset truncates the log after a checkpoint.  Only file-backed WALs and
@@ -272,6 +295,11 @@ func (db *Database) AttachWAL(w *WAL) error {
 	defer db.metaMu.RUnlock()
 	if !db.wal.CompareAndSwap(nil, w) {
 		return fmt.Errorf("most: database already has a WAL attached")
+	}
+	// An already-instrumented database extends its instrumentation to the
+	// newly attached log.
+	if o := db.obsv.Load(); o != nil {
+		w.Instrument(o.reg)
 	}
 	if w.Records() > 0 {
 		return w.Err()

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers every instrument type from many
+// goroutines while snapshots are taken concurrently.  Run under -race
+// (make race / make cover) this pins down the lock-free claims.
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	const workers = 16
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			h := r.Histogram("shared.hist")
+			g := r.Gauge("shared.gauge")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				g.Set(int64(w))
+				// Lazy lookups racing against creation.
+				r.Counter("shared.counter").Add(0)
+			}
+		}(w)
+	}
+	// Concurrent span trees: each goroutine owns its own root, but all file
+	// into the same registry under the same name.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := r.StartSpan("query.instantaneous")
+				st := sp.Child("stage")
+				st.Annotate("n", 1)
+				st.End()
+				sp.End()
+			}
+		}()
+	}
+	// Snapshot readers racing the writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := r.Snapshot()
+				if s.Counters["shared.counter"] < 0 {
+					t.Error("counter went negative")
+				}
+				var decoded Snapshot
+				if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+					t.Errorf("concurrent String() produced invalid JSON: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", got, workers*perWorker)
+	}
+	tr, ok := r.Snapshot().Traces["query.instantaneous"]
+	if !ok {
+		t.Fatal("no trace retained after concurrent runs")
+	}
+	if _, ok := tr.Find("stage"); !ok {
+		t.Fatalf("retained trace lost its child: %+v", tr)
+	}
+}
+
+// TestConcurrentChildSpans checks that sibling sub-spans may be opened from
+// parallel workers (the engine's parallel sub-formula evaluation does this).
+func TestConcurrentChildSpans(t *testing.T) {
+	r := New()
+	root := r.StartSpan("query.continuous")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.Child("worker")
+				c.Annotate("i", int64(i))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	ss := root.Snapshot()
+	if len(ss.Children) != 8*100 {
+		t.Fatalf("children = %d, want 800", len(ss.Children))
+	}
+}

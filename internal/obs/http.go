@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// This file wires a registry into the standard diagnostic endpoints:
+//
+//	/obs            the registry snapshot as indented JSON
+//	/debug/vars     expvar (including any published registries)
+//	/debug/pprof/   net/http/pprof profiles (cpu, heap, goroutine, ...)
+//
+// The commands accept `-http :6060` and serve this mux, so a long
+// benchmark or simulation can be profiled and watched live.
+
+// Handler returns an http.Handler serving the registry snapshot as
+// indented JSON.  Works on a nil registry (serves an empty snapshot).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data := marshalIndent(r.Snapshot())
+		w.Write(data)
+	})
+}
+
+// NewServeMux builds the diagnostic mux for a registry.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/obs", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve publishes the registry under name in expvar and serves the
+// diagnostic mux on addr in a background goroutine.  Intended for command
+// wiring (`-http :6060`); errors from the listener are delivered on the
+// returned channel.
+func Serve(addr, name string, r *Registry) <-chan error {
+	Publish(name, r)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- http.ListenAndServe(addr, NewServeMux(r))
+	}()
+	return errc
+}
+
+func marshalIndent(s Snapshot) []byte {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return append(data, '\n')
+}
+
+// Publish registers the registry as an expvar.Var under name, so it shows
+// up in /debug/vars.  Safe to call more than once (later calls with an
+// already-used name are ignored, matching expvar's publish-once model).
+func Publish(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r)
+}

@@ -1,0 +1,369 @@
+// Package obs is the engine's observability layer: named atomic counters,
+// gauges, lock-free log-scale histograms, and a tracer producing per-query
+// span trees with monotonic timings.  It has no dependencies outside the
+// standard library and is designed so that a *disabled* registry costs one
+// nil-check branch on every hook: all methods are nil-safe on both the
+// registry and the instruments it hands out, so hot paths hold pre-resolved
+// (possibly nil) *Counter/*Histogram pointers and never allocate or lock
+// when observability is off.
+//
+// A Registry snapshot serializes to JSON and implements expvar.Var, so it
+// plugs into /debug/vars alongside the runtime's own metrics; see http.go
+// for the ready-made mux that also wires net/http/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.  The zero value is
+// ready to use; a nil *Counter ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.  No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.  No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (a level, not a rate).  A nil
+// *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.  No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n.  No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i counts observations v
+// with 2^i <= v < 2^(i+1) (bucket 0 also absorbs v <= 1).  64 buckets cover
+// the full int64 range, so the layout never reallocates and Observe is a
+// single atomic add — safe from any number of goroutines with no lock.
+const histBuckets = 64
+
+// Histogram is a lock-free histogram with fixed log2-scale buckets,
+// intended for latencies in nanoseconds.  The zero value is ready to use; a
+// nil *Histogram ignores observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v < 2 {
+		return 0
+	}
+	return bits.Len64(uint64(v)) - 1
+}
+
+// Observe records one value.  No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Since records the nanoseconds elapsed since t0, skipping zero times (the
+// marker Registry.Start returns when observability is disabled).
+func (h *Histogram) Since(t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 for a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// value <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialized state of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     int64    `json:"p50"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram.  Quantiles are upper bounds read off the
+// log-scale buckets (within 2x of the true value by construction).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		if n := h.buckets[i].Load(); n > 0 {
+			counts[i] = n
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), Count: n})
+		}
+	}
+	s.P50 = bucketQuantile(counts[:], s.Count, 0.50)
+	s.P99 = bucketQuantile(counts[:], s.Count, 0.99)
+	return s
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i >= 62 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64
+	}
+	return int64(1)<<(i+1) - 1
+}
+
+// bucketQuantile returns the upper bound of the bucket holding quantile q.
+func bucketQuantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if float64(rank) < q*float64(total) { // ceil: the rank-th smallest covers quantile q
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range counts {
+		seen += n
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(counts) - 1)
+}
+
+// Registry names and owns a process's instruments.  Look-ups lazily create;
+// hot paths should resolve once and keep the returned pointer.  All methods
+// are safe for concurrent use, and every method is a cheap no-op on a nil
+// *Registry — "disabled" is spelled `var reg *obs.Registry = nil`.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	traceMu sync.Mutex
+	traces  map[string]*Span // latest completed trace per root-span name
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		traces:   map[string]*Span{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.  Returns nil
+// (a valid, inert counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Start returns the current time when the registry is enabled and the zero
+// Time otherwise, so disabled paths skip the clock read entirely; pair with
+// Histogram.Since.
+func (r *Registry) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Snapshot is the full serialized state of a registry: every counter,
+// gauge, and histogram by name, plus the latest completed span tree per
+// root-span name.  This is the schema BENCH_obs.json and /obs serve.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Traces     map[string]SpanSnapshot      `json:"traces,omitempty"`
+}
+
+// Snapshot captures the registry's current state.  Counters and histograms
+// keep updating concurrently; the snapshot is per-instrument atomic.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Traces:     map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	r.traceMu.Lock()
+	roots := make(map[string]*Span, len(r.traces))
+	for k, v := range r.traces {
+		roots[k] = v
+	}
+	r.traceMu.Unlock()
+	for k, v := range roots {
+		s.Traces[k] = v.Snapshot()
+	}
+	return s
+}
+
+// String renders the snapshot as compact JSON; Registry therefore satisfies
+// expvar.Var and can be published straight into /debug/vars.
+func (r *Registry) String() string {
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
+}
+
+// CounterNames returns the sorted names of all registered counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("q.total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("q.total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("pool.size")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 100, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("hist count = %d, want 6", h.Count())
+	}
+	snap := h.Snapshot()
+	if snap.Count != 6 || snap.Sum != 1+2+3+100+1000+(1<<40) {
+		t.Fatalf("bad hist snapshot: %+v", snap)
+	}
+	if snap.P50 < 3 || snap.P50 > 7 {
+		t.Fatalf("p50 = %d, want within [3, 7]", snap.P50)
+	}
+	if snap.P99 < 1<<40 {
+		t.Fatalf("p99 = %d, want >= 2^40", snap.P99)
+	}
+	var total int64
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1023, 9}, {1024, 10}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestNilSafety is the contract the hot paths rely on: every operation on a
+// nil registry, nil instrument, or nil span is a no-op, so a disabled
+// observability layer costs only the nil checks.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	if r.Counter("x").Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(5)
+	r.Histogram("h").Since(r.Start())
+	if !r.Start().IsZero() {
+		t.Fatal("nil registry Start should return the zero time")
+	}
+	sp := r.StartSpan("q")
+	sp.Annotate("k", 1)
+	child := sp.Child("stage")
+	child.End()
+	sp.End()
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Fatal("nil span should be inert")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Traces) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	if r.String() == "" {
+		t.Fatal("nil registry String should still render JSON")
+	}
+	if r.CounterNames() != nil {
+		t.Fatal("nil registry has no counter names")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(-7)
+	r.Histogram("c").Observe(1500)
+	sp := r.StartSpan("query")
+	sp.Child("stage").End()
+	sp.End()
+
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	if decoded.Counters["a"] != 2 || decoded.Gauges["b"] != -7 {
+		t.Fatalf("bad decoded snapshot: %+v", decoded)
+	}
+	if decoded.Histograms["c"].Count != 1 {
+		t.Fatalf("histogram missing from snapshot: %+v", decoded.Histograms)
+	}
+	tr, ok := decoded.Traces["query"]
+	if !ok || len(tr.Children) != 1 || tr.Children[0].Name != "stage" {
+		t.Fatalf("trace missing or malformed: %+v", decoded.Traces)
+	}
+}
+
+func TestHistogramSince(t *testing.T) {
+	r := New()
+	h := r.Histogram("d")
+	t0 := r.Start()
+	if t0.IsZero() {
+		t.Fatal("enabled registry Start returned zero time")
+	}
+	time.Sleep(time.Millisecond)
+	h.Since(t0)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() < int64(time.Millisecond)/2 {
+		t.Fatalf("recorded %dns, want roughly >= 0.5ms", h.Sum())
+	}
+	// A zero start (disabled marker) records nothing.
+	h.Since(time.Time{})
+	if h.Count() != 1 {
+		t.Fatal("zero start time must be ignored")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("hits").Add(3)
+	sp := r.StartSpan("q")
+	sp.End()
+	srv := httptest.NewServer(NewServeMux(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return b.String()
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/obs")), &snap); err != nil {
+		t.Fatalf("/obs is not JSON: %v", err)
+	}
+	if snap.Counters["hits"] != 3 {
+		t.Fatalf("/obs counters = %+v", snap.Counters)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+	if body := get("/debug/vars"); !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatal("expvar endpoint did not return JSON")
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := New()
+	Publish("obs_test_registry", r)
+	Publish("obs_test_registry", r) // must not panic
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the tracer: per-query span trees with monotonic timings.
+// A root span is opened with Registry.StartSpan, stages hang off it with
+// Span.Child, and Span.End closes a span (filing root spans back into the
+// registry, which retains the latest completed trace per root name).  Every
+// method is nil-safe, so an uninstrumented path pays one branch per hook
+// and never reads the clock.
+//
+// Durations come from time.Time's monotonic reading, so spans are immune to
+// wall-clock steps.  Spans may be created from concurrent goroutines (a
+// parent's child list is mutex-guarded); a single span's Child/Annotate/End
+// calls are expected from one goroutine at a time, which every caller in
+// this module satisfies (each concurrent query evaluation owns its own span
+// tree).
+
+// Span is one timed node of a trace tree.
+type Span struct {
+	name  string
+	start time.Time
+	reg   *Registry // non-nil on root spans only; End files the trace
+
+	mu       sync.Mutex
+	dur      time.Duration
+	done     bool
+	attrs    map[string]int64
+	children []*Span
+}
+
+// StartSpan opens a root span.  Returns nil — a valid, inert span — on a
+// nil registry, so callers thread the result through unconditionally.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), reg: r}
+}
+
+// Child opens a sub-span.  Nil-safe: a nil parent returns a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a named integer to the span (candidate counts, rows,
+// message tallies).  No-op on a nil receiver.
+func (s *Span) Annotate(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]int64{}
+	}
+	s.attrs[key] += v
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its monotonic duration.  Ending a root
+// span files the completed trace into its registry.  Idempotent; no-op on
+// a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.reg != nil {
+		s.reg.keepTrace(s)
+	}
+}
+
+// Duration returns the span's closed duration (0 while open or nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// keepTrace retains the completed root span as the latest trace under its
+// name.  Keeping one trace per name bounds memory no matter how many
+// queries run, while guaranteeing a snapshot shows every query type that
+// ever executed.
+func (r *Registry) keepTrace(root *Span) {
+	r.traceMu.Lock()
+	if r.traces == nil {
+		r.traces = map[string]*Span{}
+	}
+	r.traces[root.name] = root
+	r.traceMu.Unlock()
+}
+
+// SpanSnapshot is the serialized form of a span tree.
+type SpanSnapshot struct {
+	Name       string           `json:"name"`
+	OffsetNs   int64            `json:"offset_ns"` // start offset from the parent span's start
+	DurationNs int64            `json:"duration_ns"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []SpanSnapshot   `json:"children,omitempty"`
+}
+
+// Snapshot serializes the span tree rooted at s.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshotFrom(s.start)
+}
+
+func (s *Span) snapshotFrom(parentStart time.Time) SpanSnapshot {
+	s.mu.Lock()
+	out := SpanSnapshot{
+		Name:       s.name,
+		OffsetNs:   s.start.Sub(parentStart).Nanoseconds(),
+		DurationNs: s.dur.Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]int64, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	children := append([]*Span{}, s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshotFrom(s.start))
+	}
+	return out
+}
+
+// Find returns the first descendant span (depth-first, including s itself)
+// with the given name, or the zero snapshot.  Test helper for asserting
+// stage structure.
+func (ss SpanSnapshot) Find(name string) (SpanSnapshot, bool) {
+	if ss.Name == name {
+		return ss, true
+	}
+	for _, c := range ss.Children {
+		if got, ok := c.Find(name); ok {
+			return got, true
+		}
+	}
+	return SpanSnapshot{}, false
+}

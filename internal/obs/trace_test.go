@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	root := r.StartSpan("query.instantaneous")
+	parse := root.Child("parse")
+	time.Sleep(time.Millisecond)
+	parse.End()
+	eval := root.Child("subformula_eval")
+	probe := eval.Child("index_probe")
+	probe.Annotate("candidates", 12)
+	probe.Annotate("candidates", 3)
+	probe.End()
+	eval.End()
+	root.End()
+
+	if root.Duration() <= 0 {
+		t.Fatal("closed root span has no duration")
+	}
+	ss := root.Snapshot()
+	if ss.Name != "query.instantaneous" || len(ss.Children) != 2 {
+		t.Fatalf("bad root snapshot: %+v", ss)
+	}
+	p, ok := ss.Find("parse")
+	if !ok || p.DurationNs < int64(time.Millisecond)/2 {
+		t.Fatalf("parse span missing or too short: %+v", p)
+	}
+	ip, ok := ss.Find("index_probe")
+	if !ok {
+		t.Fatal("index_probe span missing")
+	}
+	if ip.Attrs["candidates"] != 15 {
+		t.Fatalf("Annotate should accumulate: attrs = %+v", ip.Attrs)
+	}
+	if _, ok := ss.Find("no-such-span"); ok {
+		t.Fatal("Find invented a span")
+	}
+	// Children start at or after the root span starts.
+	for _, c := range ss.Children {
+		if c.OffsetNs < 0 {
+			t.Fatalf("negative child offset: %+v", c)
+		}
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("q")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatal("second End changed the recorded duration")
+	}
+}
+
+func TestKeepTraceLatestPerName(t *testing.T) {
+	r := New()
+	first := r.StartSpan("query.continuous")
+	first.Annotate("gen", 1)
+	first.End()
+	second := r.StartSpan("query.continuous")
+	second.Annotate("gen", 2)
+	second.End()
+	other := r.StartSpan("query.persistent")
+	other.End()
+
+	snap := r.Snapshot()
+	if len(snap.Traces) != 2 {
+		t.Fatalf("want 2 retained traces, got %d", len(snap.Traces))
+	}
+	if snap.Traces["query.continuous"].Attrs["gen"] != 2 {
+		t.Fatalf("retained trace is not the latest: %+v", snap.Traces["query.continuous"])
+	}
+	if _, ok := snap.Traces["query.persistent"]; !ok {
+		t.Fatal("persistent trace was dropped")
+	}
+}
+
+func TestOpenSpanNotRetained(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("q")
+	if len(r.Snapshot().Traces) != 0 {
+		t.Fatal("an open span must not appear in the snapshot")
+	}
+	sp.End()
+	if len(r.Snapshot().Traces) != 1 {
+		t.Fatal("ended root span should be retained")
+	}
+}

@@ -47,7 +47,7 @@ func (e *Engine) Continuous(q *ftl.Query, opts Options) (*Continuous, error) {
 	for _, b := range q.Bindings {
 		cq.classes[b.Class] = true
 	}
-	rel, err := e.InstantaneousRelation(q, opts)
+	rel, err := cq.evaluate()
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +119,19 @@ func (cq *Continuous) relevant(u most.Update) bool {
 	return cq.classes[class]
 }
 
+// evaluate runs one full evaluation of the query under the continuous
+// query's own root span and metrics.
+func (cq *Continuous) evaluate() (*eval.Relation, error) {
+	e := cq.engine
+	reg := e.reg()
+	reg.Counter("query.continuous").Inc()
+	sp := reg.StartSpan("query.continuous")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.continuous_ns").Since(t0)
+	return e.evalRelation(cq.query, cq.opts, e.db.Now(), sp)
+}
+
 // reevaluate recomputes Answer(CQ) from the current state.  Concurrent
 // calls coalesce: if an evaluation is already in flight it is marked
 // pending and this call returns immediately; the in-flight evaluation then
@@ -139,7 +152,8 @@ func (cq *Continuous) reevaluate() {
 		// The version is read before the snapshot, so the evaluated state is
 		// at least as new as v and the install guard stays conservative.
 		v := cq.engine.db.Version()
-		rel, err := cq.engine.InstantaneousRelation(cq.query, cq.opts)
+		cq.engine.reg().Counter("query.continuous.reevals").Inc()
+		rel, err := cq.evaluate()
 		cq.mu.Lock()
 		if cq.cancelled {
 			cq.evaluating = false

@@ -29,6 +29,7 @@ import (
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/index"
 	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/temporal"
 )
 
@@ -80,6 +81,11 @@ type Engine struct {
 	// Evals counts full query evaluations, for the experiments comparing
 	// evaluate-once against per-tick reevaluation.
 	evals int
+
+	// obsReg is the engine's observability registry; nil (the default)
+	// disables every hook at the cost of one branch.  Held atomically so
+	// Instrument may race with running queries.
+	obsReg atomic.Pointer[obs.Registry]
 }
 
 // NewEngine returns an engine bound to db, subscribed to its updates.
@@ -91,6 +97,20 @@ func NewEngine(db *most.Database) *Engine {
 	}
 	db.Subscribe(e.onUpdate)
 	return e
+}
+
+// Instrument attaches an observability registry to the engine: every query
+// evaluation then records per-type counters, latency histograms, and a span
+// tree per root stage (parse, rewrite, snapshot, bind, index_probe,
+// subformula_eval, answer_assembly).  Instrument(nil) detaches.  Safe to
+// call concurrently with running queries.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.obsReg.Store(reg)
+}
+
+// reg returns the attached registry (nil when uninstrumented).
+func (e *Engine) reg() *obs.Registry {
+	return e.obsReg.Load()
 }
 
 // Evaluations returns the number of full FTL evaluations performed.
@@ -106,30 +126,59 @@ func (e *Engine) countEval() {
 	e.mu.Unlock()
 }
 
-// context builds an eval context over the current database state.
-func (e *Engine) context(q *ftl.Query, opts Options, now temporal.Tick) (*eval.Context, error) {
+// context builds an eval context over the current database state, hanging
+// stage spans (snapshot, bind) off sp when tracing is enabled.
+func (e *Engine) context(q *ftl.Query, opts Options, now temporal.Tick, sp *obs.Span) (*eval.Context, error) {
 	// Snapshot is a copy-on-read view: the evaluator works off immutable
 	// object revisions, so updaters keep committing while the query runs.
+	snap := sp.Child("snapshot")
+	objects := e.db.Snapshot()
+	snap.Annotate("objects", int64(len(objects)))
+	snap.End()
 	ctx := &eval.Context{
 		Now:             now,
 		Horizon:         opts.horizon(),
-		Objects:         e.db.Snapshot(),
+		Objects:         objects,
 		Regions:         opts.Regions,
 		Params:          opts.Params,
 		Domains:         map[string][]eval.Val{},
 		MaxAssignStates: opts.MaxAssignStates,
 		BisectSamples:   opts.BisectSamples,
 		Parallelism:     opts.Parallelism,
+		Obs:             e.reg(),
+		Span:            sp,
 	}
 	if ix := opts.MotionIndex; ix != nil {
 		ctx.InsideCandidates = func(pg geom.Polygon, w temporal.Interval) []most.ObjectID {
 			return ix.CandidatesInRect(pg.Bounds(), float64(w.Start), float64(w.End))
 		}
 	}
-	if err := ctx.BindDomains(q, eval.IDsOf(e.db)); err != nil {
+	bind := sp.Child("bind")
+	err := ctx.BindDomains(q, eval.IDsOf(e.db))
+	bind.End()
+	if err != nil {
 		return nil, err
 	}
 	return ctx, nil
+}
+
+// evalRelation is the shared evaluation path behind all three query types:
+// rewrite (ftl.Normalize), context construction, and the FTL evaluation
+// itself, all recorded as child stages of sp.
+func (e *Engine) evalRelation(q *ftl.Query, opts Options, now temporal.Tick, sp *obs.Span) (*eval.Relation, error) {
+	rw := sp.Child("rewrite")
+	nq := ftl.NormalizeQuery(*q)
+	rw.End()
+	ctx, err := e.context(&nq, opts, now, sp)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := eval.EvalQuery(&nq, ctx)
+	if err != nil {
+		return nil, err
+	}
+	e.countEval()
+	return rel, nil
 }
 
 // Row is one presented answer instantiation.
@@ -140,15 +189,39 @@ type Row []eval.Val
 // entry tick (§2.3, §3.5).
 func (e *Engine) Instantaneous(q *ftl.Query, opts Options) ([]Row, error) {
 	now := e.db.Now()
-	ctx, err := e.context(q, opts, now)
+	rel, err := e.InstantaneousRelation(q, opts)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := eval.EvalQuery(q, ctx)
+	var rows []Row
+	for _, vals := range rel.At(now) {
+		rows = append(rows, Row(vals))
+	}
+	return rows, nil
+}
+
+// Query parses, normalizes, and evaluates src as an instantaneous query.
+// This is the text entry point; the parse is recorded as the first stage of
+// the query's span tree.
+func (e *Engine) Query(src string, opts Options) ([]Row, error) {
+	reg := e.reg()
+	reg.Counter("query.instantaneous").Inc()
+	sp := reg.StartSpan("query.instantaneous")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.instantaneous_ns").Since(t0)
+
+	ps := sp.Child("parse")
+	q, err := ftl.Parse(src)
+	ps.End()
 	if err != nil {
 		return nil, err
 	}
-	e.countEval()
+	now := e.db.Now()
+	rel, err := e.evalRelation(q, opts, now, sp)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
 	for _, vals := range rel.At(now) {
 		rows = append(rows, Row(vals))
@@ -159,16 +232,13 @@ func (e *Engine) Instantaneous(q *ftl.Query, opts Options) ([]Row, error) {
 // InstantaneousRelation evaluates q at the current time and returns the
 // full Answer relation (every instantiation with its interval set).
 func (e *Engine) InstantaneousRelation(q *ftl.Query, opts Options) (*eval.Relation, error) {
-	ctx, err := e.context(q, opts, e.db.Now())
-	if err != nil {
-		return nil, err
-	}
-	rel, err := eval.EvalQuery(q, ctx)
-	if err != nil {
-		return nil, err
-	}
-	e.countEval()
-	return rel, nil
+	reg := e.reg()
+	reg.Counter("query.instantaneous").Inc()
+	sp := reg.StartSpan("query.instantaneous")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.instantaneous_ns").Since(t0)
+	return e.evalRelation(q, opts, e.db.Now(), sp)
 }
 
 // onUpdate reevaluates registered queries after an explicit update (§2.3:

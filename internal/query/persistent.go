@@ -101,6 +101,7 @@ func (pq *Persistent) reevaluate() {
 	pq.evaluating = true
 	pq.mu.Unlock()
 	for {
+		pq.engine.reg().Counter("query.persistent.reevals").Inc()
 		err := pq.evalOnce()
 		pq.mu.Lock()
 		if err != nil {
@@ -120,11 +121,25 @@ func (pq *Persistent) reevaluate() {
 
 func (pq *Persistent) evalOnce() error {
 	e := pq.engine
+	reg := e.reg()
+	reg.Counter("query.persistent").Inc()
+	sp := reg.StartSpan("query.persistent")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.persistent_ns").Since(t0)
+
 	// Version before History: the replayed log is at least as new as v.
 	v := e.db.Version()
+	hist := sp.Child("synthesize_history")
 	h := e.db.History()
 	horizonEnd := pq.anchor.Add(pq.opts.horizon())
 	objects := synthesizeHistory(h, pq.anchor, horizonEnd)
+	hist.Annotate("objects", int64(len(objects)))
+	hist.End()
+
+	rw := sp.Child("rewrite")
+	nq := ftl.NormalizeQuery(*pq.query)
+	rw.End()
 
 	ctx := &eval.Context{
 		Now:             pq.anchor,
@@ -136,11 +151,16 @@ func (pq *Persistent) evalOnce() error {
 		MaxAssignStates: pq.opts.MaxAssignStates,
 		BisectSamples:   pq.opts.BisectSamples,
 		Parallelism:     pq.opts.Parallelism,
+		Obs:             reg,
+		Span:            sp,
 	}
-	if err := ctx.BindDomains(pq.query, eval.IDsOf(e.db)); err != nil {
+	bind := sp.Child("bind")
+	err := ctx.BindDomains(&nq, eval.IDsOf(e.db))
+	bind.End()
+	if err != nil {
 		return err
 	}
-	rel, err := eval.EvalQuery(pq.query, ctx)
+	rel, err := eval.EvalQuery(&nq, ctx)
 	if err != nil {
 		return err
 	}

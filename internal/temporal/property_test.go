@@ -1,0 +1,197 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file checks the interval algebra point-wise: every set operation
+// must agree, tick for tick, with the boolean combination of Contains over
+// a probe window straddling all generated intervals, and every result must
+// satisfy the appendix normalization invariant (sorted, disjoint,
+// non-consecutive).  set_test.go checks algebraic laws; this checks the
+// semantics those laws are about.
+
+// probe is the window brute-force membership is sampled over.  randomSet
+// draws intervals from [-40, 71], so probe strictly contains every
+// generated tick plus a margin on both sides.
+var probe = Interval{Start: -60, End: 90}
+
+func TestPointwiseSemantics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	type binop struct {
+		name string
+		op   func(a, b Set) Set
+		want func(inA, inB bool) bool
+	}
+	for _, bo := range []binop{
+		{"Union", Set.Union, func(a, b bool) bool { return a || b }},
+		{"Intersect", Set.Intersect, func(a, b bool) bool { return a && b }},
+		{"Subtract", Set.Subtract, func(a, b bool) bool { return a && !b }},
+	} {
+		bo := bo
+		prop := func(seedA, seedB int64) bool {
+			a := randomSet(rand.New(rand.NewSource(seedA)))
+			b := randomSet(rand.New(rand.NewSource(seedB)))
+			got := bo.op(a, b)
+			if !got.Normalized() {
+				return false
+			}
+			for tk := probe.Start; tk <= probe.End; tk++ {
+				if got.Contains(tk) != bo.want(a.Contains(tk), b.Contains(tk)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("%s: %v", bo.name, err)
+		}
+	}
+}
+
+func TestPointwiseComplementAndClip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	complement := func(seed int64, loRaw, lenRaw uint8) bool {
+		a := randomSet(rand.New(rand.NewSource(seed)))
+		w := Interval{Start: Tick(int(loRaw)%80 - 40), End: 0}
+		w.End = w.Start + Tick(lenRaw%60)
+		got := a.ComplementWithin(w)
+		if !got.Normalized() {
+			return false
+		}
+		for tk := probe.Start; tk <= probe.End; tk++ {
+			want := w.Contains(tk) && !a.Contains(tk)
+			if got.Contains(tk) != want {
+				return false
+			}
+		}
+		// Complement is an involution within the window.
+		return got.ComplementWithin(w).Equal(a.Clip(w))
+	}
+	if err := quick.Check(complement, cfg); err != nil {
+		t.Errorf("ComplementWithin: %v", err)
+	}
+
+	clip := func(seed int64, loRaw, lenRaw uint8) bool {
+		a := randomSet(rand.New(rand.NewSource(seed)))
+		w := Interval{Start: Tick(int(loRaw)%80 - 40), End: 0}
+		w.End = w.Start + Tick(lenRaw%60)
+		got := a.Clip(w)
+		if !got.Normalized() {
+			return false
+		}
+		for tk := probe.Start; tk <= probe.End; tk++ {
+			if got.Contains(tk) != (a.Contains(tk) && w.Contains(tk)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(clip, cfg); err != nil {
+		t.Errorf("Clip: %v", err)
+	}
+}
+
+func TestPointwiseShift(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64, dRaw int8) bool {
+		a := randomSet(rand.New(rand.NewSource(seed)))
+		d := Tick(dRaw % 20)
+		got := a.Shift(d)
+		if !got.Normalized() {
+			return false
+		}
+		// t is in shift(a, d) iff t-d is in a.
+		for tk := probe.Start; tk <= probe.End; tk++ {
+			if got.Contains(tk) != a.Contains(tk-d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("Shift: %v", err)
+	}
+}
+
+func TestCardinalityPartition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// |a| == |a ∩ b| + |a - b|, and cardinality equals the brute count.
+	prop := func(seedA, seedB int64) bool {
+		a := randomSet(rand.New(rand.NewSource(seedA)))
+		b := randomSet(rand.New(rand.NewSource(seedB)))
+		if a.Cardinality() != a.Intersect(b).Cardinality()+a.Subtract(b).Cardinality() {
+			return false
+		}
+		var count Tick
+		for tk := probe.Start; tk <= probe.End; tk++ {
+			if a.Contains(tk) {
+				count++
+			}
+		}
+		return count == a.Cardinality()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextAtOrAfterMatchesScan(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(seed int64, fromRaw int8) bool {
+		a := randomSet(rand.New(rand.NewSource(seed)))
+		from := Tick(fromRaw)
+		got, ok := a.NextAtOrAfter(from)
+		for tk := from; tk <= probe.End; tk++ {
+			if a.Contains(tk) {
+				return ok && got == tk
+			}
+		}
+		// Nothing in the probe window at or after from; any remaining
+		// member would be outside the generated range.
+		return !ok
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSetNormalizesArbitraryInput(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// NewSet must normalize arbitrary (overlapping, unordered, invalid)
+	// input without changing membership.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8)
+		ivs := make([]Interval, 0, n)
+		for i := 0; i < n; i++ {
+			s := Tick(r.Intn(100) - 40)
+			e := s + Tick(r.Intn(25)-5) // sometimes invalid (End < Start)
+			ivs = append(ivs, Interval{Start: s, End: e})
+		}
+		got := NewSet(ivs...)
+		if !got.Normalized() {
+			return false
+		}
+		for tk := probe.Start; tk <= probe.End; tk++ {
+			want := false
+			for _, iv := range ivs {
+				if iv.Valid() && iv.Contains(tk) {
+					want = true
+					break
+				}
+			}
+			if got.Contains(tk) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
