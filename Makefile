@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel faults fuzzwal fuzzftl cover obs
+.PHONY: check fmt vet build test race bench parallel delta faults fuzzwal fuzzftl cover obs
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
@@ -34,6 +34,10 @@ bench:
 # Sequential-vs-parallel evaluation sweep; writes BENCH_parallel.json.
 parallel:
 	$(GO) run ./cmd/mostbench -parallel
+
+# Delta-maintenance vs full-reevaluation sweep; writes BENCH_delta.json.
+delta:
+	$(GO) run ./cmd/mostbench -delta
 
 # Fault-tolerance sweep (loss x partition x crashes; legacy vs reliable
 # delivery, staleness marking, WAL recovery); writes BENCH_faults.json.

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel] [-faults] [-obs] [-http :6060]
+//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-obs] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
-// machine-readable results to BENCH_parallel.json.  With -faults it runs
+// machine-readable results to BENCH_parallel.json.  With -delta it runs
+// the continuous-query maintenance benchmark (per-object delta patches vs
+// full reevaluation per update) and writes BENCH_delta.json.  With -faults it runs
 // the fault-tolerance sweep (loss × partition × crashes; legacy vs reliable
 // delivery, staleness marking, WAL recovery) and writes BENCH_faults.json.
 // With -obs it measures the observability instrumentation overhead on the
@@ -35,6 +37,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
 	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
+	deltaBench := flag.Bool("delta", false, "benchmark delta maintenance vs full reevaluation and write BENCH_delta.json")
 	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
 	obsBench := flag.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
 	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
@@ -76,6 +79,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_faults.json")
+		return
+	}
+
+	if *deltaBench {
+		rep := experiments.DeltaBench(*quick)
+		fmt.Println(rep.Table().Render())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_delta.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_delta.json")
 		return
 	}
 

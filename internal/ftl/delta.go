@@ -1,0 +1,199 @@
+package ftl
+
+import (
+	"math"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// DeltaAnalysis classifies a query for per-object incremental maintenance
+// of its materialized answer (§3.5: "reevaluation has to occur only if the
+// motion vector of the car changes" — and, with this analysis, only for the
+// instantiations that bind the changed object).
+//
+// The evaluator computes every tuple's satisfaction set per instantiation:
+// atoms are solved with all variables bound, and the combining operators
+// (AND/OR/NOT/UNTIL/the bounded modalities/the assignment quantifier) act
+// tuple-by-tuple.  A tuple's set therefore depends only on the objects the
+// tuple binds — except where the pipeline mixes instantiations:
+//
+//   - answer assembly projects the formula relation to the RETRIEVE
+//     targets, unioning times over the projected-away variables, so a tuple
+//     of the answer can depend on objects it no longer names.  A binding
+//     variable is maintainable only if it is a target.
+//   - the assignment quantifier [x <- t] f builds x's domain from t's
+//     values over all instantiations of t's free variables; when two
+//     FROM-bound variables meet under one assignment, a change to either
+//     object can shift the other's tuples.  Such variables are coupled and
+//     not maintainable.
+//
+// Bounded/Depth capture the window-validity side: a tuple recomputed with
+// window [a, a+h] agrees with a fresh evaluation at a later tick t (for
+// membership at t) only when t+Depth <= a+h, and only when every temporal
+// operator has a finite lookahead.  Unbounded EVENTUALLY/ALWAYS/UNTIL (and
+// EVENTUALLY AFTER, whose lookahead is the whole window) force full
+// reevaluation regardless of which variables changed.
+type DeltaAnalysis struct {
+	// Bounded reports whether every temporal operator in the formula has a
+	// finite, constant lookahead.
+	Bounded bool
+	// Depth is the maximal lookahead in ticks: how far beyond a tick t the
+	// formula's truth at t can depend on the future.  Meaningful only when
+	// Bounded.
+	Depth temporal.Tick
+	// Maintainable maps each FROM-bound variable to whether the answer
+	// tuples binding it can be patched per object.
+	Maintainable map[string]bool
+}
+
+// AnalyzeDelta classifies a (normalized) query for delta maintenance.
+func AnalyzeDelta(q *Query) DeltaAnalysis {
+	depth, bounded := formulaDepth(q.Where)
+	a := DeltaAnalysis{Bounded: bounded, Depth: depth, Maintainable: map[string]bool{}}
+	targets := map[string]bool{}
+	for _, t := range q.Targets {
+		targets[t] = true
+	}
+	fromVars := map[string]bool{}
+	for _, b := range q.Bindings {
+		fromVars[b.Var] = true
+		a.Maintainable[b.Var] = targets[b.Var]
+	}
+	markCoupled(q.Where, fromVars, a.Maintainable)
+	return a
+}
+
+// markCoupled clears Maintainable for every FROM-bound variable that shares
+// an assignment quantifier with another FROM-bound variable.
+func markCoupled(f Formula, fromVars map[string]bool, maintainable map[string]bool) {
+	switch n := f.(type) {
+	case Assign:
+		var shared []string
+		for _, v := range FreeVars(n) {
+			if fromVars[v] {
+				shared = append(shared, v)
+			}
+		}
+		if len(shared) >= 2 {
+			for _, v := range shared {
+				maintainable[v] = false
+			}
+		}
+		markCoupled(n.Body, fromVars, maintainable)
+	case And:
+		markCoupled(n.L, fromVars, maintainable)
+		markCoupled(n.R, fromVars, maintainable)
+	case Or:
+		markCoupled(n.L, fromVars, maintainable)
+		markCoupled(n.R, fromVars, maintainable)
+	case Implies:
+		markCoupled(n.L, fromVars, maintainable)
+		markCoupled(n.R, fromVars, maintainable)
+	case Not:
+		markCoupled(n.F, fromVars, maintainable)
+	case Until:
+		markCoupled(n.L, fromVars, maintainable)
+		markCoupled(n.R, fromVars, maintainable)
+	case Nexttime:
+		markCoupled(n.F, fromVars, maintainable)
+	case Eventually:
+		markCoupled(n.F, fromVars, maintainable)
+	case Always:
+		markCoupled(n.F, fromVars, maintainable)
+	}
+}
+
+// formulaDepth returns the formula's maximal temporal lookahead and whether
+// it is finite.  Only literal numeric bounds count as finite: a bound given
+// by a parameter or arithmetic is treated as unbounded, which is merely
+// conservative (the fallback path evaluates it exactly).
+func formulaDepth(f Formula) (temporal.Tick, bool) {
+	switch n := f.(type) {
+	case BoolLit, Compare, Inside, Outside, WithinSphere:
+		return 0, true
+	case And:
+		return maxDepth(n.L, n.R)
+	case Or:
+		return maxDepth(n.L, n.R)
+	case Implies:
+		return maxDepth(n.L, n.R)
+	case Not:
+		return formulaDepth(n.F)
+	case Nexttime:
+		d, ok := formulaDepth(n.F)
+		if !ok {
+			return 0, false
+		}
+		return d.Add(1), true
+	case Eventually:
+		if n.Within == nil {
+			// EVENTUALLY and EVENTUALLY AFTER both look ahead to the end of
+			// the window.
+			return 0, false
+		}
+		b, ok := literalBound(n.Within)
+		if !ok {
+			return 0, false
+		}
+		d, ok := formulaDepth(n.F)
+		if !ok {
+			return 0, false
+		}
+		return b.Add(d), true
+	case Always:
+		if n.For == nil {
+			return 0, false
+		}
+		b, ok := literalBound(n.For)
+		if !ok {
+			return 0, false
+		}
+		d, ok := formulaDepth(n.F)
+		if !ok {
+			return 0, false
+		}
+		return b.Add(d), true
+	case Until:
+		if n.Within == nil {
+			return 0, false
+		}
+		b, ok := literalBound(n.Within)
+		if !ok {
+			return 0, false
+		}
+		d, ok := maxDepth(n.L, n.R)
+		if !ok {
+			return 0, false
+		}
+		return b.Add(d), true
+	case Assign:
+		return formulaDepth(n.Body)
+	default:
+		return 0, false
+	}
+}
+
+func maxDepth(l, r Formula) (temporal.Tick, bool) {
+	dl, ok := formulaDepth(l)
+	if !ok {
+		return 0, false
+	}
+	dr, ok := formulaDepth(r)
+	if !ok {
+		return 0, false
+	}
+	if dr > dl {
+		return dr, true
+	}
+	return dl, true
+}
+
+// literalBound resolves a temporal bound expression when it is a
+// non-negative numeric literal, rounded exactly as the evaluator rounds it.
+func literalBound(e Expr) (temporal.Tick, bool) {
+	n, ok := e.(Num)
+	if !ok || n.V < 0 {
+		return 0, false
+	}
+	return temporal.Tick(math.Round(n.V)), true
+}

@@ -1,0 +1,86 @@
+package ftl
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func analyze(t *testing.T, src string) DeltaAnalysis {
+	t.Helper()
+	q := NormalizeQuery(*MustParse(src))
+	return AnalyzeDelta(&q)
+}
+
+func TestAnalyzeDeltaDepth(t *testing.T) {
+	cases := []struct {
+		src     string
+		bounded bool
+		depth   temporal.Tick
+	}{
+		{`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P)`, true, 0},
+		{`RETRIEVE o FROM Vehicles o WHERE o.PRICE <= 100`, true, 0},
+		{`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 30 INSIDE(o, P)`, true, 30},
+		{`RETRIEVE o FROM Vehicles o WHERE ALWAYS FOR 10 INSIDE(o, P)`, true, 10},
+		{`RETRIEVE o FROM Vehicles o WHERE NEXTTIME INSIDE(o, P)`, true, 1},
+		{`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN 5 ALWAYS FOR 7 INSIDE(o, P)`, true, 12},
+		{`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P) UNTIL WITHIN 4 OUTSIDE(o, P)`, true, 4},
+		{`RETRIEVE o FROM Vehicles o
+			WHERE EVENTUALLY WITHIN 3 INSIDE(o, P) AND ALWAYS FOR 9 OUTSIDE(o, Q)`, true, 9},
+		{`RETRIEVE o FROM Vehicles o WHERE NOT EVENTUALLY WITHIN 6 INSIDE(o, P)`, true, 6},
+		{`RETRIEVE o FROM Vehicles o WHERE [x <- o.X.POSITION] EVENTUALLY WITHIN 8 o.X.POSITION >= x`, true, 8},
+		// Unbounded operators.
+		{`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY INSIDE(o, P)`, false, 0},
+		{`RETRIEVE o FROM Vehicles o WHERE ALWAYS INSIDE(o, P)`, false, 0},
+		{`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P) UNTIL OUTSIDE(o, P)`, false, 0},
+		{`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY AFTER 5 INSIDE(o, P)`, false, 0},
+		// Non-literal bound: conservatively unbounded.
+		{`RETRIEVE o FROM Vehicles o WHERE EVENTUALLY WITHIN c INSIDE(o, P)`, false, 0},
+	}
+	for _, c := range cases {
+		a := analyze(t, c.src)
+		if a.Bounded != c.bounded {
+			t.Errorf("%s: Bounded = %v, want %v", c.src, a.Bounded, c.bounded)
+			continue
+		}
+		if c.bounded && a.Depth != c.depth {
+			t.Errorf("%s: Depth = %d, want %d", c.src, a.Depth, c.depth)
+		}
+	}
+}
+
+func TestAnalyzeDeltaMaintainable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want map[string]bool
+	}{
+		// Single binding, target: maintainable.
+		{`RETRIEVE o FROM Vehicles o WHERE INSIDE(o, P)`,
+			map[string]bool{"o": true}},
+		// Both bindings are targets: both maintainable.
+		{`RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE ALWAYS FOR 10 DIST(o, n) <= 40`,
+			map[string]bool{"o": true, "n": true}},
+		// A binding projected away by answer assembly is not maintainable
+		// (answer tuples depend on objects they no longer name): the E5
+		// motels shape.
+		{`RETRIEVE m FROM Motels m, Vehicles c WHERE DIST(m, c) <= 5 AND m.AVAILABLE = TRUE`,
+			map[string]bool{"m": true, "c": false}},
+		// Two FROM variables under one assignment quantifier are coupled:
+		// neither is maintainable, even though both are targets.
+		{`RETRIEVE o, n FROM Vehicles o, Vehicles n
+			WHERE [x <- SPEED(o.X.POSITION)] EVENTUALLY WITHIN 20 SPEED(n.X.POSITION) >= x`,
+			map[string]bool{"o": false, "n": false}},
+		// A single-variable assignment does not couple anything.
+		{`RETRIEVE o FROM Vehicles o
+			WHERE [x <- o.X.POSITION] EVENTUALLY WITHIN 8 o.X.POSITION >= x`,
+			map[string]bool{"o": true}},
+	}
+	for _, c := range cases {
+		a := analyze(t, c.src)
+		for v, want := range c.want {
+			if a.Maintainable[v] != want {
+				t.Errorf("%s: Maintainable[%q] = %v, want %v", c.src, v, a.Maintainable[v], want)
+			}
+		}
+	}
+}

@@ -25,6 +25,25 @@ func (c *Context) BindDomains(q *ftl.Query, idsOf func(class string) []most.Obje
 	return nil
 }
 
+// EvalQueryPinned evaluates q with the FROM-bound variable pin restricted
+// to the single value val, returning Answer(CQ) limited to the tuples whose
+// pin column equals val.  It reuses the whole atom/term machinery (and the
+// motion index, via the context's candidate hook) but enumerates only the
+// pinned object's instantiations — the per-object entry point behind the
+// query engine's delta maintenance.  The context is not modified.
+func EvalQueryPinned(q *ftl.Query, c *Context, pin string, val Val) (*Relation, error) {
+	if _, ok := c.Domains[pin]; !ok {
+		return nil, errf("pinned variable %q has no FROM binding", pin)
+	}
+	pc := *c
+	pc.Domains = make(map[string][]Val, len(c.Domains))
+	for k, dom := range c.Domains {
+		pc.Domains[k] = dom
+	}
+	pc.Domains[pin] = []Val{val}
+	return EvalQuery(q, &pc)
+}
+
 // EvalQuery evaluates a full query and returns Answer(CQ): a relation over
 // the target variables whose tuples carry, per instantiation, the interval
 // set during which the instantiation satisfies the WHERE formula (§3.5).

@@ -43,6 +43,60 @@ func (r *Relation) Add(vals []Val, times temporal.Set) {
 	r.tuples[key] = &Tuple{Vals: cp, Times: times}
 }
 
+// Clone returns a copy sharing no mutable state with r: patching one never
+// changes the other.  Value slices and satisfaction sets are shared — both
+// are immutable throughout this package (Add replaces a tuple's set rather
+// than mutating it).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		Cols:   append([]string(nil), r.Cols...),
+		tuples: make(map[string]*Tuple, len(r.tuples)),
+	}
+	for k, t := range r.tuples {
+		out.tuples[k] = &Tuple{Vals: t.Vals, Times: t.Times}
+	}
+	return out
+}
+
+// DeleteWhere removes every tuple whose col column equals v, returning the
+// number of tuples removed.
+func (r *Relation) DeleteWhere(col string, v Val) (int, error) {
+	idx := -1
+	for i, c := range r.Cols {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, errf("delete column %q not in relation %v", col, r.Cols)
+	}
+	n := 0
+	for k, t := range r.tuples {
+		if t.Vals[idx] == v {
+			delete(r.tuples, k)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// InsertFrom adds every tuple of src (whose columns must be a permutation
+// of r's) into r, unioning satisfaction sets on collision.
+func (r *Relation) InsertFrom(src *Relation) error {
+	aligned, err := src.Project(r.Cols)
+	if err != nil {
+		return err
+	}
+	if len(aligned.Cols) != len(src.Cols) {
+		return errf("insert columns %v do not match relation %v", src.Cols, r.Cols)
+	}
+	for _, t := range aligned.tuples {
+		r.Add(t.Vals, t.Times)
+	}
+	return nil
+}
+
 // Len returns the number of distinct instantiations.
 func (r *Relation) Len() int { return len(r.tuples) }
 

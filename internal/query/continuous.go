@@ -15,11 +15,18 @@ import (
 // — the paper's central efficiency claim for continuous queries ("our query
 // processing algorithm facilitates a single evaluation of the query;
 // reevaluation has to occur only if the motion vector of the car changes").
+//
+// Maintenance is incremental where the query shape allows it: an update to
+// object o patches only the tuples binding o (see delta.go), falling back
+// to a full reevaluation for non-decomposable queries, unbounded temporal
+// operators, errored state, or when the evaluation window has drifted too
+// far from the last full anchor.
 type Continuous struct {
 	id     int
 	engine *Engine
 	query  *ftl.Query
 	opts   Options
+	plan   deltaPlan
 
 	mu        sync.Mutex
 	answer    *eval.Relation
@@ -29,15 +36,25 @@ type Continuous struct {
 
 	// version is the database version (update-log length) the materialized
 	// answer reflects; installs are monotonic in it, so a slow evaluation
-	// finishing late never overwrites a newer answer.  evaluating/pending
-	// coalesce concurrent maintenance: one goroutine evaluates at a time and
-	// re-runs once if updates arrived meanwhile, instead of queueing a full
-	// reevaluation per update.
-	version    uint64
-	evaluating bool
-	pending    bool
+	// finishing late never overwrites a newer answer.  anchor is the
+	// database time of the last full evaluation: every tuple's satisfaction
+	// set was computed over a window starting no earlier than anchor, so
+	// with a bounded formula the answer stays presentable through
+	// anchor+horizon-depth (after which drain re-anchors with a full run).
+	version uint64
+	anchor  temporal.Tick
 
-	// vars the query depends on: used to skip irrelevant updates.
+	// evaluating serializes maintenance: exactly one goroutine drains at a
+	// time.  queue holds delta-maintainable updates awaiting application;
+	// needFull coalesces every other update into one full reevaluation.
+	// This generalizes the previous evaluating/pending scheme: K queued
+	// updates to distinct objects become K cheap per-object patches in one
+	// round instead of K full joins.
+	evaluating bool
+	needFull   bool
+	queue      []most.Update
+
+	// classes the query ranges over: used to skip irrelevant updates.
 	classes map[string]bool
 }
 
@@ -47,16 +64,32 @@ func (e *Engine) Continuous(q *ftl.Query, opts Options) (*Continuous, error) {
 	for _, b := range q.Bindings {
 		cq.classes[b.Class] = true
 	}
-	rel, err := cq.evaluate()
-	if err != nil {
-		return nil, err
-	}
-	cq.answer = rel
+	cq.plan = newDeltaPlan(q)
+
+	// Register before the initial evaluation, holding the maintenance loop
+	// (evaluating=true), so an update committed between the initial
+	// snapshot and the map insertion is queued and applied by the drain
+	// below instead of being lost: the update's log append either precedes
+	// the Version read (and is in the evaluated snapshot) or follows the
+	// map insertion (and its onUpdate finds the handle).
+	cq.evaluating = true
 	e.mu.Lock()
 	e.nextID++
 	cq.id = e.nextID
 	e.continuous[cq.id] = cq
 	e.mu.Unlock()
+	v := e.db.Version()
+	rel, now, err := cq.evaluate()
+	if err != nil {
+		e.mu.Lock()
+		delete(e.continuous, cq.id)
+		e.mu.Unlock()
+		return nil, err
+	}
+	cq.mu.Lock()
+	cq.answer, cq.version, cq.anchor = rel, v, now
+	cq.mu.Unlock()
+	cq.drain()
 	return cq, nil
 }
 
@@ -86,12 +119,18 @@ func (cq *Continuous) Current(t temporal.Tick) ([]Row, error) {
 }
 
 // Subscribe registers a listener invoked with the new Answer(CQ) after
-// every maintenance reevaluation.  Coupled with an action this is a
-// temporal trigger (§2.3).
-func (cq *Continuous) Subscribe(fn func(*eval.Relation)) {
+// every maintenance round (full reevaluation or delta patch).  Coupled
+// with an action this is a temporal trigger (§2.3).  On a cancelled handle
+// it reports errUnregistered, consistent with Answer, and the listener is
+// dropped.
+func (cq *Continuous) Subscribe(fn func(*eval.Relation)) error {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
+	if cq.cancelled {
+		return errUnregistered
+	}
 	cq.listeners = append(cq.listeners, fn)
+	return nil
 }
 
 // Cancel unregisters the query ("until cancelled", §2.3).
@@ -107,21 +146,17 @@ func (cq *Continuous) Cancel() {
 // relevant reports whether an update may change Answer(CQ).  Updates to
 // objects of classes the query does not range over cannot affect it.
 func (cq *Continuous) relevant(u most.Update) bool {
-	var class string
-	switch {
-	case u.After != nil:
-		class = u.After.Class().Name()
-	case u.Before != nil:
-		class = u.Before.Class().Name()
-	default:
+	class := updateClass(u)
+	if class == "" {
 		return true
 	}
 	return cq.classes[class]
 }
 
 // evaluate runs one full evaluation of the query under the continuous
-// query's own root span and metrics.
-func (cq *Continuous) evaluate() (*eval.Relation, error) {
+// query's own root span and metrics, returning the relation and the tick
+// it was anchored at.
+func (cq *Continuous) evaluate() (*eval.Relation, temporal.Tick, error) {
 	e := cq.engine
 	reg := e.reg()
 	reg.Counter("query.continuous").Inc()
@@ -129,57 +164,122 @@ func (cq *Continuous) evaluate() (*eval.Relation, error) {
 	defer sp.End()
 	t0 := reg.Start()
 	defer reg.Histogram("query.continuous_ns").Since(t0)
-	return e.evalRelation(cq.query, cq.opts, e.db.Now(), sp)
+	now := e.db.Now()
+	rel, err := e.evalRelation(cq.query, cq.opts, now, sp)
+	return rel, now, err
 }
 
-// reevaluate recomputes Answer(CQ) from the current state.  Concurrent
-// calls coalesce: if an evaluation is already in flight it is marked
-// pending and this call returns immediately; the in-flight evaluation then
-// runs one more round, which covers every update that arrived while it was
-// working.  Installs are version-stamped so a stale result never replaces
-// a newer one.  With a single caller this reduces to exactly one
-// evaluation per call, i.e. the sequential semantics.
-func (cq *Continuous) reevaluate() {
+// maintain folds one relevant update into the maintenance state and, if no
+// other goroutine is draining, drains.  Concurrent calls coalesce exactly
+// as reevaluate used to: one goroutine works at a time and the others just
+// deposit their update.  With a single caller this reduces to one delta
+// patch (or one full reevaluation) per call — the sequential semantics.
+func (cq *Continuous) maintain(u most.Update) {
 	cq.mu.Lock()
+	if cq.cancelled {
+		cq.mu.Unlock()
+		return
+	}
+	switch {
+	case cq.needFull:
+		// A full reevaluation is already scheduled; it covers this update.
+	case cq.deltable(u):
+		cq.queue = append(cq.queue, u)
+	default:
+		if !cq.opts.DisableDelta {
+			cq.engine.reg().Counter("query.continuous.fallback").Inc()
+		}
+		cq.needFull = true
+		cq.queue = nil
+	}
 	if cq.evaluating {
-		cq.pending = true
 		cq.mu.Unlock()
 		return
 	}
 	cq.evaluating = true
 	cq.mu.Unlock()
+	cq.drain()
+}
+
+// deltable reports whether u can be applied as a per-object patch.  Callers
+// hold cq.mu.
+func (cq *Continuous) deltable(u most.Update) bool {
+	if cq.opts.DisableDelta {
+		return false
+	}
+	return cq.plan.deltable(u, cq.opts.horizon())
+}
+
+// drain runs maintenance rounds until no work is queued.  The caller must
+// have won the evaluating flag.  Each round applies the queued updates as
+// per-object deltas, or runs one full reevaluation when a fallback
+// condition holds: needFull was set, the materialized state is errored or
+// missing, the clock has advanced past the last full anchor's validity
+// (now > anchor+horizon-depth), or the delta application itself failed.
+func (cq *Continuous) drain() {
 	for {
-		// The version is read before the snapshot, so the evaluated state is
-		// at least as new as v and the install guard stays conservative.
-		v := cq.engine.db.Version()
-		cq.engine.reg().Counter("query.continuous.reevals").Inc()
-		rel, err := cq.evaluate()
 		cq.mu.Lock()
 		if cq.cancelled {
-			cq.evaluating = false
-			cq.pending = false
+			cq.evaluating, cq.needFull, cq.queue = false, false, nil
 			cq.mu.Unlock()
 			return
 		}
-		var ls []func(*eval.Relation)
-		if v >= cq.version {
-			cq.version = v
-			cq.answer, cq.err = rel, err
-			if err == nil {
-				ls = append([]func(*eval.Relation){}, cq.listeners...)
-			}
-		}
-		again := cq.pending
-		cq.pending = false
-		if !again {
+		full := cq.needFull
+		batch := cq.queue
+		cq.needFull, cq.queue = false, nil
+		if !full && len(batch) == 0 {
 			cq.evaluating = false
-		}
-		cq.mu.Unlock()
-		for _, fn := range ls {
-			fn(rel)
-		}
-		if !again {
+			cq.mu.Unlock()
 			return
 		}
+		if !full && (cq.err != nil || cq.answer == nil) {
+			full = true
+		}
+		anchor := cq.anchor
+		cq.mu.Unlock()
+		if !full && cq.engine.db.Now() > anchor.Add(cq.opts.horizon()-cq.plan.analysis.Depth) {
+			// Unchanged tuples are no longer presentable this far past the
+			// anchor: re-anchor the whole relation.
+			full = true
+		}
+		if full {
+			cq.runFull()
+			continue
+		}
+		if !cq.runDelta(batch) {
+			cq.runFull()
+		}
+	}
+}
+
+// runFull recomputes Answer(CQ) from the current state and installs it
+// under the version guard, so a slow evaluation finishing late never
+// overwrites a newer answer.
+func (cq *Continuous) runFull() {
+	e := cq.engine
+	reg := e.reg()
+	reg.Counter("query.continuous.reevals").Inc()
+	reg.Counter("query.continuous.full").Inc()
+	// The version is read before the snapshot, so the evaluated state is
+	// at least as new as v and the install guard stays conservative.
+	v := e.db.Version()
+	rel, now, err := cq.evaluate()
+	cq.mu.Lock()
+	if cq.cancelled {
+		cq.mu.Unlock()
+		return
+	}
+	var ls []func(*eval.Relation)
+	if v >= cq.version {
+		cq.version = v
+		cq.answer, cq.err = rel, err
+		cq.anchor = now
+		if err == nil {
+			ls = append([]func(*eval.Relation){}, cq.listeners...)
+		}
+	}
+	cq.mu.Unlock()
+	for _, fn := range ls {
+		fn(rel)
 	}
 }

@@ -1,0 +1,205 @@
+package query
+
+import (
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// deltaPlan is the per-registration decomposability classification: which
+// updates can be folded into the materialized Answer(CQ) by recomputing
+// only the touched object's instantiations.  Computed once from the
+// normalized query at registration; immutable afterwards.
+type deltaPlan struct {
+	analysis ftl.DeltaAnalysis
+	// varsByClass lists the FROM-bound variables ranging over each class:
+	// an update to an object of class C is covered by re-pinning each of
+	// C's variables to that object.
+	varsByClass map[string][]string
+}
+
+func newDeltaPlan(q *ftl.Query) deltaPlan {
+	nq := ftl.NormalizeQuery(*q)
+	p := deltaPlan{
+		analysis:    ftl.AnalyzeDelta(&nq),
+		varsByClass: map[string][]string{},
+	}
+	for _, b := range nq.Bindings {
+		p.varsByClass[b.Class] = append(p.varsByClass[b.Class], b.Var)
+	}
+	return p
+}
+
+// deltable reports whether the update can be applied as a per-object
+// delta: the formula's lookahead must be finite and fit the horizon, and
+// every variable ranging over the updated object's class must be
+// maintainable (a RETRIEVE target, uncoupled by assignment quantifiers).
+func (p deltaPlan) deltable(u most.Update, horizon temporal.Tick) bool {
+	if !p.analysis.Bounded || p.analysis.Depth > horizon {
+		return false
+	}
+	class := updateClass(u)
+	if class == "" {
+		return false
+	}
+	vars := p.varsByClass[class]
+	if len(vars) == 0 {
+		return false
+	}
+	for _, v := range vars {
+		if !p.analysis.Maintainable[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// updateClass names the class of the object an update touches ("" when the
+// update carries no revision).
+func updateClass(u most.Update) string {
+	switch {
+	case u.After != nil:
+		return u.After.Class().Name()
+	case u.Before != nil:
+		return u.Before.Class().Name()
+	}
+	return ""
+}
+
+// pinnedContext builds the minimal evaluation context for a one-variable
+// query pinned to a single object: the variable's domain is the object
+// itself, so the context carries only that object's revision — no database
+// snapshot, no all-ids domain bind.  Mirrors Engine.context otherwise.
+func (e *Engine) pinnedContext(opts Options, now temporal.Tick, sp *obs.Span, pin string, id most.ObjectID, o *most.Object) *eval.Context {
+	ctx := &eval.Context{
+		Now:             now,
+		Horizon:         opts.horizon(),
+		Objects:         map[most.ObjectID]*most.Object{id: o},
+		Regions:         opts.Regions,
+		Params:          opts.Params,
+		Domains:         map[string][]eval.Val{pin: {eval.ObjVal(id)}},
+		MaxAssignStates: opts.MaxAssignStates,
+		BisectSamples:   opts.BisectSamples,
+		Parallelism:     opts.Parallelism,
+		Obs:             e.reg(),
+		Span:            sp,
+	}
+	if ix := opts.MotionIndex; ix != nil {
+		ctx.InsideCandidates = func(pg geom.Polygon, w temporal.Interval) []most.ObjectID {
+			return ix.CandidatesInRect(pg.Bounds(), float64(w.Start), float64(w.End))
+		}
+	}
+	return ctx
+}
+
+// runDelta applies one batch of queued updates as per-object patches: each
+// distinct touched object has its Answer(CQ) tuples recomputed from the
+// current state — one pinned evaluation per variable of its class — and
+// spliced into a copy of the materialized relation (remove the object's
+// old tuples, insert the recomputed ones).  Reading the *current* state
+// makes the patch idempotent: a later update to the same object queued
+// behind this round is absorbed, and recomputing in any order converges.
+// Returns false when the batch cannot be applied and the caller must fall
+// back to a full reevaluation.
+func (cq *Continuous) runDelta(batch []most.Update) bool {
+	e := cq.engine
+	reg := e.reg()
+	sp := reg.StartSpan("query.continuous.delta")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.continuous.delta_ns").Since(t0)
+
+	// Distinct touched objects, in arrival order.
+	seen := map[most.ObjectID]bool{}
+	ids := make([]most.ObjectID, 0, len(batch))
+	for _, u := range batch {
+		if !seen[u.Object] {
+			seen[u.Object] = true
+			ids = append(ids, u.Object)
+		}
+	}
+
+	// Version before the snapshot, as in runFull, so the install stamp is
+	// conservative.
+	v := e.db.Version()
+	now := e.db.Now()
+	nq := ftl.NormalizeQuery(*cq.query)
+	// Single-binding fast path: a pinned evaluation of a one-variable query
+	// touches only the pinned object, so the context can carry just that
+	// object instead of a full database snapshot and all-ids domain — this
+	// is what keeps per-update maintenance cost independent of fleet size.
+	single := ""
+	if len(nq.Bindings) == 1 {
+		single = nq.Bindings[0].Var
+	}
+	var ctx *eval.Context
+	if single == "" {
+		full, err := e.context(&nq, cq.opts, now, sp)
+		if err != nil {
+			reg.Counter("query.continuous.fallback").Inc()
+			return false
+		}
+		ctx = full
+	}
+	replacements := make(map[most.ObjectID][]*eval.Relation, len(ids))
+	for _, id := range ids {
+		o, ok := e.db.Get(id)
+		if !ok {
+			// Object deleted: removal only.
+			continue
+		}
+		for _, pin := range cq.plan.varsByClass[o.Class().Name()] {
+			ectx := ctx
+			if single != "" {
+				ectx = e.pinnedContext(cq.opts, now, sp, pin, id, o)
+			}
+			rel, err := eval.EvalQueryPinned(&nq, ectx, pin, eval.ObjVal(id))
+			if err != nil {
+				reg.Counter("query.continuous.fallback").Inc()
+				return false
+			}
+			e.countEval()
+			replacements[id] = append(replacements[id], rel)
+		}
+	}
+
+	cq.mu.Lock()
+	if cq.cancelled {
+		cq.mu.Unlock()
+		return true // drain observes cancellation and stops
+	}
+	if cq.err != nil || cq.answer == nil {
+		cq.mu.Unlock()
+		return false
+	}
+	patched := cq.answer.Clone()
+	for _, id := range ids {
+		ov := eval.ObjVal(id)
+		for _, col := range patched.Cols {
+			if _, err := patched.DeleteWhere(col, ov); err != nil {
+				cq.mu.Unlock()
+				return false
+			}
+		}
+		for _, rel := range replacements[id] {
+			if err := patched.InsertFrom(rel); err != nil {
+				cq.mu.Unlock()
+				return false
+			}
+		}
+	}
+	if v > cq.version {
+		cq.version = v
+	}
+	cq.answer = patched
+	reg.Counter("query.continuous.delta").Add(int64(len(ids)))
+	ls := append([]func(*eval.Relation){}, cq.listeners...)
+	cq.mu.Unlock()
+	for _, fn := range ls {
+		fn(patched)
+	}
+	return true
+}

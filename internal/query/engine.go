@@ -56,6 +56,11 @@ type Options struct {
 	// identical at every setting (results merge in deterministic
 	// instantiation order); only the wall-clock time changes.
 	Parallelism int
+	// DisableDelta forces continuous queries registered with these options
+	// to maintain their answer by full reevaluation only, never per-object
+	// patches.  A measurement/debugging knob (mostbench -delta uses it as
+	// the baseline); the answers are identical either way.
+	DisableDelta bool
 }
 
 // DefaultHorizon is the query expiry used when Options.Horizon is zero.
@@ -241,14 +246,15 @@ func (e *Engine) InstantaneousRelation(q *ftl.Query, opts Options) (*eval.Relati
 	return e.evalRelation(q, opts, e.db.Now(), sp)
 }
 
-// onUpdate reevaluates registered queries after an explicit update (§2.3:
+// onUpdate maintains registered queries after an explicit update (§2.3:
 // "a continuous query CQ has to be reevaluated when an update occurs that
-// may change the set of tuples Answer(CQ)").  Independent queries
-// reevaluate concurrently on a pool bounded by GOMAXPROCS.  With a single
-// updater, onUpdate returns only once every registered query reflects the
-// update — exactly the sequential semantics; under concurrent updaters a
-// reevaluation already in flight absorbs this update instead (see
-// Continuous.reevaluate).
+// may change the set of tuples Answer(CQ)").  Independent queries maintain
+// concurrently on a pool bounded by GOMAXPROCS.  With a single updater,
+// onUpdate returns only once every registered query reflects the update —
+// exactly the sequential semantics; under concurrent updaters, work
+// already in flight absorbs this update instead: a burst of K updates to
+// distinct objects drains as K per-object patches in one round rather
+// than K full joins (see Continuous.maintain/drain).
 func (e *Engine) onUpdate(u most.Update) {
 	e.mu.Lock()
 	cqs := make([]*Continuous, 0, len(e.continuous))
@@ -265,11 +271,14 @@ func (e *Engine) onUpdate(u most.Update) {
 	work := make([]func(), 0, len(cqs)+len(pqs))
 	for _, cq := range cqs {
 		if cq.relevant(u) {
-			work = append(work, cq.reevaluate)
+			cq := cq
+			work = append(work, func() { cq.maintain(u) })
 		}
 	}
 	for _, pq := range pqs {
-		work = append(work, pq.reevaluate)
+		if pq.relevant(u) {
+			work = append(work, pq.reevaluate)
+		}
 	}
 	runBounded(work)
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/index"
 	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/temporal"
 	"github.com/mostdb/most/internal/workload"
 )
@@ -195,10 +196,17 @@ func runOracle(t *testing.T, seed int64, ticks temporal.Tick) {
 	}
 	maintainIndex(db, ix)
 	e := NewEngine(db)
+	reg := obs.New()
+	e.Instrument(reg)
 
 	qInside := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE Eventually INSIDE(o, P)`)
 	qWithin := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE Eventually WITHIN 30 INSIDE(o, P)`)
 	qDist := ftl.MustParse(`RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE ALWAYS FOR 10 DIST(o, n) <= 40`)
+	// Assignment-coupled pair query: both variables are targets, but they
+	// share an assignment quantifier, so delta maintenance must refuse it
+	// (structural fallback) and keep full-reevaluating.
+	qCoupled := ftl.MustParse(`RETRIEVE o, n FROM Vehicles o, Vehicles n
+		WHERE [x <- SPEED(o.X.POSITION)] EVENTUALLY WITHIN 10 SPEED(n.X.POSITION) >= x + 1`)
 	qSpeed := ftl.MustParse(`RETRIEVE o FROM Vehicles o WHERE [x <- SPEED(o.X.POSITION)] EVENTUALLY SPEED(o.X.POSITION) >= 2 * x`)
 
 	mkOpts := func(accelerated bool) Options {
@@ -218,6 +226,7 @@ func runOracle(t *testing.T, seed int64, ticks temporal.Tick) {
 		{"inside-indexed", qInside, mkOpts(true)},
 		{"within-parallel", qWithin, Options{Horizon: horizon, Regions: region, Parallelism: -1}},
 		{"dist-pairs", qDist, mkOpts(false)},
+		{"coupled-fallback", qCoupled, mkOpts(false)},
 	}
 	regs := make([]*Continuous, len(cqs))
 	for i, c := range cqs {
@@ -314,6 +323,20 @@ func runOracle(t *testing.T, seed int64, ticks temporal.Tick) {
 
 		if divergences > 5 {
 			t.Fatalf("aborting after %d divergences", divergences)
+		}
+	}
+
+	// The run must have exercised both maintenance paths: per-object patches
+	// (qWithin and qDist are decomposable and bounded) and fallbacks to full
+	// reevaluation (qInside is unbounded, qCoupled is assignment-coupled).
+	snap := reg.Snapshot()
+	for _, c := range []string{
+		"query.continuous.delta",
+		"query.continuous.full",
+		"query.continuous.fallback",
+	} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", c, snap.Counters[c])
 		}
 	}
 }

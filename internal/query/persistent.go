@@ -41,19 +41,34 @@ type Persistent struct {
 	version    uint64
 	evaluating bool
 	pending    bool
+
+	// classes the query ranges over: used to skip irrelevant updates.
+	classes map[string]bool
 }
 
 // Persistent registers a persistent query anchored at the current time.
 func (e *Engine) Persistent(q *ftl.Query, opts Options) (*Persistent, error) {
-	pq := &Persistent{engine: e, query: q, opts: opts, anchor: e.db.Now()}
-	if err := pq.evalOnce(); err != nil {
-		return nil, err
+	pq := &Persistent{engine: e, query: q, opts: opts, anchor: e.db.Now(), classes: map[string]bool{}}
+	for _, b := range q.Bindings {
+		pq.classes[b.Class] = true
 	}
+	// Register before the initial evaluation, holding the coalescing loop
+	// (evaluating=true), so an update committed between the initial replay
+	// and the map insertion marks the handle pending and is replayed by the
+	// drain below instead of being lost.
+	pq.evaluating = true
 	e.mu.Lock()
 	e.nextID++
 	pq.id = e.nextID
 	e.persistent[pq.id] = pq
 	e.mu.Unlock()
+	if err := pq.evalOnce(); err != nil {
+		e.mu.Lock()
+		delete(e.persistent, pq.id)
+		e.mu.Unlock()
+		return nil, err
+	}
+	pq.drainPending()
 	return pq, nil
 }
 
@@ -72,11 +87,16 @@ func (pq *Persistent) Current() ([]Row, error) {
 }
 
 // Subscribe registers a listener invoked with the new answer after each
-// reevaluation.
-func (pq *Persistent) Subscribe(fn func([]Row)) {
+// reevaluation.  On a cancelled handle it reports errUnregistered,
+// consistent with Current, and the listener is dropped.
+func (pq *Persistent) Subscribe(fn func([]Row)) error {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
+	if pq.cancelled {
+		return errUnregistered
+	}
 	pq.listeners = append(pq.listeners, fn)
+	return nil
 }
 
 // Cancel unregisters the query.
@@ -89,32 +109,49 @@ func (pq *Persistent) Cancel() {
 	pq.mu.Unlock()
 }
 
+// relevant reports whether an update may change the answer.  The logged
+// history of a class the query does not range over cannot.
+func (pq *Persistent) relevant(u most.Update) bool {
+	class := updateClass(u)
+	if class == "" {
+		return true
+	}
+	return pq.classes[class]
+}
+
 // reevaluate replays the query against the updated history.  Concurrent
-// calls coalesce exactly as in Continuous.reevaluate.
+// calls coalesce exactly as in Continuous: one goroutine evaluates at a
+// time and re-runs while updates keep arriving.
 func (pq *Persistent) reevaluate() {
 	pq.mu.Lock()
+	pq.pending = true
 	if pq.evaluating {
-		pq.pending = true
 		pq.mu.Unlock()
 		return
 	}
 	pq.evaluating = true
 	pq.mu.Unlock()
+	pq.drainPending()
+}
+
+// drainPending runs reevaluation rounds while the handle is marked pending.
+// The caller must have won the evaluating flag.
+func (pq *Persistent) drainPending() {
 	for {
-		pq.engine.reg().Counter("query.persistent.reevals").Inc()
-		err := pq.evalOnce()
 		pq.mu.Lock()
-		if err != nil {
-			pq.err = err
-		}
 		again := pq.pending && !pq.cancelled
 		pq.pending = false
 		if !again {
 			pq.evaluating = false
+			pq.mu.Unlock()
+			return
 		}
 		pq.mu.Unlock()
-		if !again {
-			return
+		pq.engine.reg().Counter("query.persistent.reevals").Inc()
+		if err := pq.evalOnce(); err != nil {
+			pq.mu.Lock()
+			pq.err = err
+			pq.mu.Unlock()
 		}
 	}
 }

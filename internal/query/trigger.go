@@ -31,7 +31,9 @@ func (e *Engine) NewTrigger(q *ftl.Query, opts Options, action func([]Row)) (*Tr
 		return nil, err
 	}
 	tr := &Trigger{cq: cq, action: action, armed: map[string]bool{}}
-	cq.Subscribe(func(*eval.Relation) { tr.Poll(e.db.Now()) })
+	if err := cq.Subscribe(func(*eval.Relation) { tr.Poll(e.db.Now()) }); err != nil {
+		return nil, err
+	}
 	tr.Poll(e.db.Now())
 	return tr, nil
 }
