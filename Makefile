@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel delta faults fuzzwal fuzzftl cover obs
+.PHONY: check fmt vet build test race bench parallel delta faults fuzzwal fuzzftl fuzzwire cover obs server
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
@@ -54,6 +54,16 @@ fuzzwal:
 # the Normalize rewrite unchanged, and partition the window against NOT f.
 fuzzftl:
 	$(GO) test ./internal/ftl/eval -run='^$$' -fuzz=FuzzFTLEval -fuzztime=10s
+
+# Fuzz the wire-frame decoder: hostile bytes must never panic, never
+# over-allocate past the payload bound, and accepted frames must round-trip.
+fuzzwire:
+	$(GO) test ./internal/wire -run='^$$' -fuzz=FuzzWireDecode -fuzztime=10s
+
+# Network-service throughput sweep (concurrent pipelining clients over
+# loopback TCP); writes BENCH_server.json.
+server:
+	$(GO) run ./cmd/mostbench -server -quick
 
 # Race-mode coverage with a checked-in floor: fails if total statement
 # coverage drops below COVER_FLOOR.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-obs] [-http :6060]
+//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-obs] [-server] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
@@ -15,7 +15,9 @@
 // delivery, staleness marking, WAL recovery) and writes BENCH_faults.json.
 // With -obs it measures the observability instrumentation overhead on the
 // parallel benchmark and writes BENCH_obs.json, including a full metrics
-// snapshot from an instrumented three-query-type scenario.
+// snapshot from an instrumented three-query-type scenario.  With -server
+// it benchmarks the TCP network service (concurrent pipelining clients
+// committing update batches over loopback) and writes BENCH_server.json.
 //
 // -http addr serves the observability endpoints for the duration of the
 // run: /obs (metrics + trace snapshot), /debug/vars (expvar), and
@@ -40,6 +42,7 @@ func main() {
 	deltaBench := flag.Bool("delta", false, "benchmark delta maintenance vs full reevaluation and write BENCH_delta.json")
 	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
 	obsBench := flag.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
+	serverBench := flag.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
 	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -48,6 +51,22 @@ func main() {
 		obs.Serve(*httpAddr, "mostbench", reg)
 		experiments.Instrument(reg)
 		fmt.Fprintf(os.Stderr, "mostbench: observability endpoints on http://%s/obs and /debug/pprof/\n", *httpAddr)
+	}
+
+	if *serverBench {
+		rep := experiments.ServerBench(*quick)
+		fmt.Println(rep.Table().Render())
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_server.json")
+		return
 	}
 
 	if *obsBench {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mostql [-n 100] [-seed 1] [-horizon 500]
+//	mostql -connect host:7654        # drive a remote mostserver instead
 //
 // Commands:
 //
@@ -43,7 +44,13 @@ func main() {
 	n := flag.Int("n", 100, "fleet size")
 	seed := flag.Int64("seed", 1, "workload seed")
 	horizon := flag.Int64("horizon", 500, "query expiry horizon (ticks)")
+	connect := flag.String("connect", "", "address of a mostserver to drive instead of an in-process database")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect, *horizon)
+		return
+	}
 
 	db, err := mostdb.Fleet(mostdb.FleetSpec{
 		N:        *n,

@@ -1,0 +1,562 @@
+// Package client is the Go client for the MOST network service
+// (internal/server): one TCP connection carrying pipelined requests and
+// server-push continuous-query notifications, demultiplexed by request ID.
+//
+// # Reliability
+//
+// Every client carries a ClientID and stamps each request with a
+// connection-independent request ID.  When a call fails on a transport
+// error, the client redials and retransmits the same request ID; the
+// server's idempotence cache recognizes IDs it has already executed and
+// replays the stored response instead of applying the request again.
+// At-least-once retransmission plus idempotent receipt is exactly-once
+// application — the internal/faults reliable-delivery semantics (PR 2) on
+// a real socket.  Server-reported errors (OpError) are not retried: the
+// request was received and refused.
+//
+// # Subscriptions
+//
+// Subscribe registers a continuous query and returns a Subscription
+// mirroring the in-process query.Continuous handle: the server pushes the
+// full materialized Answer(CQ) after every maintenance round, the handle
+// stores the newest answer, and presentation at a tick is a local lookup
+// (wire.RowsAt) — no round trip per tick, the paper's continuous-query
+// contract preserved across the network boundary.  A subscription dies
+// with its connection: after a reconnect the caller re-subscribes (the
+// new initial answer resynchronizes it).
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/wire"
+)
+
+// Errors the client reports.
+var (
+	// ErrClosed marks calls on a closed client.
+	ErrClosed = errors.New("client: closed")
+	// ErrConnLost marks a subscription ended by a transport failure.
+	ErrConnLost = errors.New("client: connection lost")
+	// ErrSubClosed marks a subscription ended by the server.
+	ErrSubClosed = errors.New("client: subscription closed by server")
+)
+
+// errTransport wraps failures worth a retry on a fresh connection.
+type errTransport struct{ err error }
+
+func (e errTransport) Error() string { return e.err.Error() }
+func (e errTransport) Unwrap() error { return e.err }
+
+// Option configures a client.
+type Option func(*Client)
+
+// WithTimeout sets the per-call timeout (default 10s).
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.callTimeout = d } }
+
+// WithRetries sets how many times a call is retransmitted after transport
+// errors before giving up (default 3).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithClientID fixes the client identity used for idempotent retries
+// (default: random).
+func WithClientID(id string) Option { return func(c *Client) { c.id = id } }
+
+// WithMaxPayload bounds inbound frame payloads (default
+// wire.DefaultMaxPayload).
+func WithMaxPayload(n int) Option { return func(c *Client) { c.maxPayload = n } }
+
+// WithDialer replaces the TCP dialer, e.g. with one wrapping connections
+// in a fault injector (internal/faults.WrapConn).
+func WithDialer(dial func(addr string) (net.Conn, error)) Option {
+	return func(c *Client) { c.dial = dial }
+}
+
+// Client is a MOST network client.  Safe for concurrent use; concurrent
+// calls pipeline on one connection.
+type Client struct {
+	addr        string
+	id          string
+	dial        func(addr string) (net.Conn, error)
+	callTimeout time.Duration
+	retries     int
+	backoff     time.Duration
+	maxPayload  int
+
+	writeMu sync.Mutex // serializes frame writes to conn
+
+	mu      sync.Mutex
+	conn    net.Conn
+	gen     uint64 // connection generation, to ignore stale readLoop failures
+	nextID  uint64
+	pending map[uint64]chan wire.Frame
+	subs    map[uint64]*Subscription
+	orphans map[uint64]wire.Notify // notifies that beat their SubscribeResp
+	closed  bool
+}
+
+// Dial connects to a mostserver at addr.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		id:          randomID(),
+		dial:        func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, 10*time.Second) },
+		callTimeout: 10 * time.Second,
+		retries:     3,
+		backoff:     50 * time.Millisecond,
+		maxPayload:  wire.DefaultMaxPayload,
+		pending:     map[uint64]chan wire.Frame{},
+		subs:        map[uint64]*Subscription{},
+		orphans:     map[uint64]wire.Notify{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "client-unidentified"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// connectLocked dials and performs the Hello handshake synchronously on
+// the raw connection, publishing it (and starting the read loop) only once
+// the server has acknowledged the client identity — so no request can
+// reach the socket before the idempotence cache is bound.  Callers hold
+// c.mu for the duration.
+func (c *Client) connectLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	conn, err := c.dial(c.addr)
+	if err != nil {
+		return errTransport{err}
+	}
+	id := c.reserveIDLocked()
+	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id})
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Now().Add(c.callTimeout))
+	if err := wire.WriteFrame(conn, f); err != nil {
+		conn.Close()
+		return errTransport{err}
+	}
+	resp, err := wire.NewDecoder(conn, c.maxPayload).Next()
+	if err != nil {
+		conn.Close()
+		return errTransport{err}
+	}
+	conn.SetDeadline(time.Time{})
+	if resp.Op == wire.OpError {
+		conn.Close()
+		var e wire.ErrorResp
+		_ = wire.Unmarshal(resp, &e)
+		return fmt.Errorf("client: hello rejected: %s", e.Msg)
+	}
+	var hello wire.HelloResp
+	if err := wire.Unmarshal(resp, &hello); err != nil {
+		conn.Close()
+		return err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		conn.Close()
+		return fmt.Errorf("client: server speaks protocol %d, want %d", hello.Version, wire.ProtocolVersion)
+	}
+	c.conn = conn
+	c.gen++
+	go c.readLoop(conn, c.gen)
+	return nil
+}
+
+func (c *Client) reserveIDLocked() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+func awaitFrame(ch <-chan wire.Frame, timeout time.Duration) (wire.Frame, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, errTransport{ErrConnLost}
+		}
+		return f, nil
+	case <-t.C:
+		return wire.Frame{}, fmt.Errorf("client: call timed out after %s", timeout)
+	}
+}
+
+// writeFrame serializes one frame write under the write deadline.
+func (c *Client) writeFrame(conn net.Conn, f wire.Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(c.callTimeout))
+	return wire.WriteFrame(conn, f)
+}
+
+// readLoop demultiplexes inbound frames for one connection generation.
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	dec := wire.NewDecoder(conn, c.maxPayload)
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			c.mu.Lock()
+			if c.gen == gen {
+				c.teardownConnLocked(conn, err)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch f.Op {
+		case wire.OpNotify:
+			var n wire.Notify
+			if wire.Unmarshal(f, &n) != nil {
+				continue
+			}
+			c.mu.Lock()
+			sub, ok := c.subs[n.SubID]
+			if !ok {
+				if len(c.orphans) < 64 {
+					c.orphans[n.SubID] = n
+				}
+			}
+			c.mu.Unlock()
+			if ok {
+				sub.deliver(n)
+			}
+		case wire.OpSubClosed:
+			var sc wire.SubClosed
+			if wire.Unmarshal(f, &sc) != nil {
+				continue
+			}
+			c.mu.Lock()
+			sub, ok := c.subs[sc.SubID]
+			delete(c.subs, sc.SubID)
+			c.mu.Unlock()
+			if ok {
+				reason := sc.Reason
+				if reason == "" {
+					reason = "server closed subscription"
+				}
+				sub.fail(fmt.Errorf("%w: %s", ErrSubClosed, reason))
+			}
+		default:
+			c.mu.Lock()
+			ch, ok := c.pending[f.ID]
+			if ok {
+				delete(c.pending, f.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		}
+	}
+}
+
+// teardownConnLocked fails everything bound to the broken connection.
+// Callers hold c.mu.
+func (c *Client) teardownConnLocked(conn net.Conn, cause error) {
+	conn.Close()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	subs := c.subs
+	c.subs = map[uint64]*Subscription{}
+	c.orphans = map[uint64]wire.Notify{}
+	for _, sub := range subs {
+		go sub.fail(fmt.Errorf("%w: %v", ErrConnLost, cause))
+	}
+}
+
+// call executes one request, retransmitting on transport errors under the
+// same request ID so the server's idempotence cache can suppress double
+// application.
+func (c *Client) call(op wire.Opcode, payload, out any) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	id := c.reserveIDLocked()
+	c.mu.Unlock()
+
+	req, err := wire.Encode(op, id, payload)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff << (attempt - 1))
+		}
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			if resp.Op == wire.OpError {
+				var e wire.ErrorResp
+				_ = wire.Unmarshal(resp, &e)
+				return fmt.Errorf("server: %s", e.Msg)
+			}
+			if out != nil {
+				return wire.Unmarshal(resp, out)
+			}
+			return nil
+		}
+		lastErr = err
+		var te errTransport
+		if !errors.As(err, &te) {
+			return err
+		}
+	}
+	return fmt.Errorf("client: %s failed after %d attempts: %w", op, c.retries+1, lastErr)
+}
+
+// roundTrip sends req on the current connection (dialing if needed) and
+// waits for its response.
+func (c *Client) roundTrip(req wire.Frame) (wire.Frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Frame{}, ErrClosed
+	}
+	if c.conn == nil {
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return wire.Frame{}, err
+		}
+	}
+	conn := c.conn
+	ch := make(chan wire.Frame, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	if err := c.writeFrame(conn, req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.teardownConnLocked(conn, err)
+		c.mu.Unlock()
+		return wire.Frame{}, errTransport{err}
+	}
+	f, err := awaitFrame(ch, c.callTimeout)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	return f, nil
+}
+
+// Close tears the client down; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	if conn != nil {
+		c.teardownConnLocked(conn, ErrClosed)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// ---- typed calls ----
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error { return c.call(wire.OpPing, nil, nil) }
+
+// Query evaluates src as an instantaneous query; horizon <= 0 uses the
+// server default.  It returns the server's evaluation tick and the
+// satisfied instantiations.
+func (c *Client) Query(src string, horizon temporal.Tick) (temporal.Tick, [][]wire.Value, error) {
+	var resp wire.QueryResp
+	if err := c.call(wire.OpQuery, wire.QueryReq{Src: src, Horizon: horizon}, &resp); err != nil {
+		return 0, nil, err
+	}
+	return resp.Now, resp.Rows, nil
+}
+
+// UpdateBatch applies explicit updates in order, exactly once.
+func (c *Client) UpdateBatch(ops []wire.UpdateOp) (wire.UpdateBatchResp, error) {
+	var resp wire.UpdateBatchResp
+	err := c.call(wire.OpUpdateBatch, wire.UpdateBatchReq{Ops: ops}, &resp)
+	return resp, err
+}
+
+// SetMotion updates one object's motion vector.
+func (c *Client) SetMotion(id string, vx, vy float64) error {
+	_, err := c.UpdateBatch([]wire.UpdateOp{{Op: wire.OpSetMotion, ID: id, VX: vx, VY: vy}})
+	return err
+}
+
+// Advance moves the server clock forward by d ticks.
+func (c *Client) Advance(d temporal.Tick) (temporal.Tick, error) {
+	var resp wire.AdvanceResp
+	err := c.call(wire.OpAdvance, wire.AdvanceReq{D: d}, &resp)
+	return resp.Now, err
+}
+
+// Objects lists objects with their positions at the server's current tick.
+func (c *Client) Objects(class string) (wire.ObjectsResp, error) {
+	var resp wire.ObjectsResp
+	err := c.call(wire.OpObjects, wire.ObjectsReq{Class: class}, &resp)
+	return resp, err
+}
+
+// SnapshotSave serializes the server's database state.
+func (c *Client) SnapshotSave() ([]byte, error) {
+	var resp wire.SnapshotResp
+	if err := c.call(wire.OpSnapshotSave, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// SnapshotLoad replaces the server's database.  Every live subscription on
+// the server (any client's) ends with a SubClosed push.
+func (c *Client) SnapshotLoad(data []byte) (wire.SnapshotLoadResp, error) {
+	var resp wire.SnapshotLoadResp
+	err := c.call(wire.OpSnapshotLoad, wire.SnapshotLoadReq{Data: data}, &resp)
+	return resp, err
+}
+
+// ---- subscriptions ----
+
+// Subscription is the client half of a server-maintained continuous
+// query.
+type Subscription struct {
+	c     *Client
+	subID uint64
+
+	mu     sync.Mutex
+	answer []wire.AnswerRow
+	seq    uint64
+	err    error
+
+	updates chan struct{} // capacity-1 change signal
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Subscribe registers src as a continuous query on the server.
+func (c *Client) Subscribe(src string, horizon temporal.Tick) (*Subscription, error) {
+	var resp wire.SubscribeResp
+	if err := c.call(wire.OpSubscribe, wire.SubscribeReq{Src: src, Horizon: horizon}, &resp); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{
+		c:       c,
+		subID:   resp.SubID,
+		answer:  resp.Answer,
+		updates: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	c.mu.Lock()
+	orphan, hadOrphan := c.orphans[resp.SubID]
+	delete(c.orphans, resp.SubID)
+	if c.conn == nil || c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnLost
+	}
+	c.subs[resp.SubID] = sub
+	c.mu.Unlock()
+	if hadOrphan {
+		sub.deliver(orphan)
+	}
+	return sub, nil
+}
+
+// deliver installs a notification (monotonic in Seq).
+func (s *Subscription) deliver(n wire.Notify) {
+	s.mu.Lock()
+	if n.Seq > s.seq {
+		s.answer, s.seq = n.Answer, n.Seq
+	}
+	s.mu.Unlock()
+	select {
+	case s.updates <- struct{}{}:
+	default:
+	}
+}
+
+// fail terminates the subscription.
+func (s *Subscription) fail(err error) {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		s.mu.Unlock()
+		close(s.done)
+	})
+}
+
+// Answer returns the newest materialized answer with its server sequence
+// number (0 = the subscription's initial answer).
+func (s *Subscription) Answer() ([]wire.AnswerRow, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.answer, s.seq, s.err
+}
+
+// Current presents the rows satisfied at tick t from the newest answer —
+// a local lookup, mirroring query.Continuous.Current.
+func (s *Subscription) Current(t temporal.Tick) ([][]wire.Value, error) {
+	answer, _, err := s.Answer()
+	if err != nil {
+		return nil, err
+	}
+	return wire.RowsAt(answer, t), nil
+}
+
+// Updates signals after new notifications install (coalescing: one signal
+// may cover several).
+func (s *Subscription) Updates() <-chan struct{} { return s.updates }
+
+// Done closes when the subscription ends; Err then reports why.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Err reports the terminal error, nil while live.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close cancels the subscription on the server and ends the handle.
+func (s *Subscription) Close() error {
+	s.c.mu.Lock()
+	_, live := s.c.subs[s.subID]
+	delete(s.c.subs, s.subID)
+	s.c.mu.Unlock()
+	s.fail(errors.New("client: subscription closed"))
+	if !live {
+		return nil
+	}
+	return s.c.call(wire.OpUnsubscribe, wire.UnsubscribeReq{SubID: s.subID}, nil)
+}

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mostdb/most/internal/client"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/server"
+	"github.com/mostdb/most/internal/wire"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// startServer serves a small fleet for the socket-fault tests.
+func startServer(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	db, err := workload.Fleet(workload.FleetSpec{
+		N:        4,
+		Region:   geom.Rect{Max: geom.Point{X: 100, Y: 100}},
+		MaxSpeed: 2,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := query.NewEngine(db)
+	srv := server.New(db, eng, server.Config{Reg: reg})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+// TestConnKillExactlyOnce kills the client's connection immediately after a
+// mutating request has been fully written, forcing the client to redial and
+// retransmit the same request ID.  The server must apply the mutation
+// exactly once and answer the retry from its idempotence cache.
+func TestConnKillExactlyOnce(t *testing.T) {
+	reg := obs.New()
+	addr := startServer(t, reg)
+
+	// Measure the handshake size with a clean probe connection so the kill
+	// threshold lands on the first post-handshake frame.
+	// The probe uses the same ClientID so its handshake is byte-identical.
+	probe := &FaultyDialer{}
+	pc, err := client.Dial(addr, client.WithDialer(probe.Dial),
+		client.WithClientID("exactly-once-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.mu.Lock()
+	helloBytes := probe.Conns[0].written
+	probe.mu.Unlock()
+	pc.Close()
+
+	// First connection dies right after the first request past the
+	// handshake is on the wire; reconnects are clean.
+	d := &FaultyDialer{Scripts: []ConnScript{
+		{CloseAfterWrites: helloBytes + 1},
+		{},
+	}}
+	c, err := client.Dial(addr,
+		client.WithDialer(d.Dial),
+		client.WithClientID("exactly-once-test"),
+		client.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.UpdateBatch([]wire.UpdateOp{
+		{Op: wire.OpSetMotion, ID: "car-00000", VX: 1, VY: 0},
+	})
+	if err != nil {
+		t.Fatalf("batch through killed connection: %v", err)
+	}
+	if d.DialCount() < 2 {
+		t.Fatalf("dials = %d, want a reconnect", d.DialCount())
+	}
+
+	// Version counts committed explicit updates: exactly one for our batch,
+	// despite the retransmit.  A second clean batch lands at resp.Version+1.
+	resp2, err := c.UpdateBatch([]wire.UpdateOp{
+		{Op: wire.OpSetMotion, ID: "car-00001", VX: 0, VY: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Version != resp.Version+1 {
+		t.Fatalf("version went %d -> %d; retried batch applied more than once",
+			resp.Version, resp2.Version)
+	}
+	if hits := reg.Snapshot().Counters["server.dedup_hits"]; hits < 1 {
+		t.Fatalf("dedup_hits = %d, want >= 1 (retry should be answered from cache)", hits)
+	}
+}
+
+// TestConnCorruptionContained corrupts every read on the client side.  The
+// client must fail cleanly (no panic, no hang) and the server must keep
+// serving clean clients afterwards.
+func TestConnCorruptionContained(t *testing.T) {
+	addr := startServer(t, nil)
+
+	d := &FaultyDialer{Scripts: []ConnScript{{Seed: 42, CorruptRate: 1}}}
+	done := make(chan error, 1)
+	go func() {
+		c, err := client.Dial(addr,
+			client.WithDialer(d.Dial),
+			client.WithRetries(2),
+			client.WithTimeout(2*time.Second))
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		done <- c.Ping()
+	}()
+	select {
+	case err := <-done:
+		t.Logf("corrupted session outcome: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("client hung on a corrupted stream")
+	}
+	var corrupted int64
+	d.mu.Lock()
+	for _, fc := range d.Conns {
+		corrupted += fc.Corrupted
+	}
+	d.mu.Unlock()
+	if corrupted == 0 {
+		t.Fatal("script corrupted nothing; the test exercised no fault")
+	}
+
+	// Clean clients are unaffected.
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnReadKill cuts the connection while the client is waiting for a
+// response; the retry path must still deliver the answer.
+func TestConnReadKill(t *testing.T) {
+	addr := startServer(t, nil)
+	// Kill after the handshake response has been read, so the first real
+	// request's response is lost mid-wait.
+	probe := &FaultyDialer{}
+	pc, err := client.Dial(addr, client.WithDialer(probe.Dial),
+		client.WithClientID("read-kill-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.mu.Lock()
+	helloRead := probe.Conns[0].read
+	probe.mu.Unlock()
+	pc.Close()
+
+	d := &FaultyDialer{Scripts: []ConnScript{{CloseAfterReads: helloRead + 1}, {}}}
+	c, err := client.Dial(addr,
+		client.WithDialer(d.Dial),
+		client.WithClientID("read-kill-test"),
+		client.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		// A ping is idempotent anyway; what matters is a clean error, not
+		// a hang, if the retry budget is exhausted.
+		if !strings.Contains(err.Error(), "connection") && !strings.Contains(err.Error(), "EOF") {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	if d.DialCount() < 2 {
+		t.Fatalf("dials = %d, want a reconnect", d.DialCount())
+	}
+}

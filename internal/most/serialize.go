@@ -217,6 +217,22 @@ func decodeValue(d valueDTO) (Value, error) {
 	}
 }
 
+// EncodeObjectJSON serializes one object revision in the snapshot's object
+// encoding; the network layer ships inserts this way.
+func EncodeObjectJSON(o *Object) ([]byte, error) {
+	return json.Marshal(encodeObject(o))
+}
+
+// DecodeObjectJSON rebuilds an object from EncodeObjectJSON output,
+// resolving its class in db.
+func DecodeObjectJSON(db *Database, data []byte) (*Object, error) {
+	var od objectDTO
+	if err := json.Unmarshal(data, &od); err != nil {
+		return nil, fmt.Errorf("most: bad object encoding: %w", err)
+	}
+	return decodeObject(db, od)
+}
+
 // LoadSnapshotJSON rebuilds a database from a snapshot.  The restored
 // database starts a fresh history: its log begins with the snapshot's
 // objects inserted at the snapshot clock.

@@ -1,0 +1,209 @@
+package query_test
+
+// The loopback network oracle: the differential-oracle discipline of
+// oracle_test.go extended across the wire.  Two identical seeded fleets are
+// driven in lockstep — one in-process, one behind a real TCP server — with
+// every clock advance and motion update applied to both.  After every tick
+// the test demands bit-identical answers from both sides:
+//
+//   - instantaneous queries through client.Query against the in-process
+//     engine's rows (float64 values survive the JSON wire encoding exactly;
+//     the comparison keys use shortest-round-trip formatting);
+//   - the streamed continuous query's pushed Answer(CQ) against the
+//     in-process Continuous relation, including the notification stream:
+//     after each relevant update the subscription must converge to the
+//     in-process answer through server-push notifications alone.
+//
+// This lives in an external test package (query_test) because the server
+// imports internal/query; the oracle itself only drives public APIs.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mostdb/most/internal/client"
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/server"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/wire"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// canonRows renders presented rows as a sorted multiset key, mirroring
+// wire.CanonicalAnswers for interval-free row sets.
+func canonRows(rows [][]wire.Value) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte(0)
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x01")
+}
+
+func TestLoopbackOracle(t *testing.T) {
+	seeds := []int64{1, 2}
+	ticks := temporal.Tick(80)
+	if testing.Short() {
+		seeds = []int64{1}
+		ticks = 30
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runLoopbackOracle(t, seed, ticks)
+		})
+	}
+}
+
+func runLoopbackOracle(t *testing.T, seed int64, ticks temporal.Tick) {
+	const (
+		nVehicles = 6
+		horizon   = temporal.Tick(50)
+	)
+	spec := workload.FleetSpec{
+		N:        nVehicles,
+		Region:   geom.Rect{Max: geom.Point{X: 100, Y: 100}},
+		MaxSpeed: 2,
+		Seed:     seed,
+	}
+	regions := map[string]geom.Polygon{"P": geom.RectPolygon(20, 20, 70, 70)}
+	opts := query.Options{Horizon: horizon, Regions: regions}
+
+	servedDB, err := workload.Fleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDB, err := workload.Fleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(servedDB, query.NewEngine(servedDB), server.Config{BaseOptions: opts})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	localEng := query.NewEngine(localDB)
+	const cqSrc = `RETRIEVE o FROM Vehicles o WHERE Eventually INSIDE(o, P)`
+	const instSrc = `RETRIEVE o, n FROM Vehicles o, Vehicles n WHERE ALWAYS FOR 10 DIST(o, n) <= 40`
+	localCQ, err := localEng.Continuous(ftl.MustParse(cqSrc), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer localCQ.Cancel()
+	sub, err := c.Subscribe(cqSrc, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// awaitCQ polls the subscription until its pushed answer matches the
+	// in-process Answer(CQ) bit for bit; pump coalescing makes the exact
+	// notification count nondeterministic, so convergence — not frame
+	// count — is the contract.
+	awaitCQ := func(tk temporal.Tick) uint64 {
+		t.Helper()
+		rel, err := localCQ.Answer()
+		if err != nil {
+			t.Fatalf("tick %d: local answer: %v", tk, err)
+		}
+		want := wire.CanonicalAnswers(wire.FromRelation(rel))
+		deadline := time.After(10 * time.Second)
+		for {
+			ans, seq, err := sub.Answer()
+			if err != nil {
+				t.Fatalf("tick %d: remote answer: %v", tk, err)
+			}
+			if wire.CanonicalAnswers(ans) == want {
+				return seq
+			}
+			select {
+			case <-sub.Updates():
+			case <-deadline:
+				t.Fatalf("tick %d: remote Answer(CQ) never converged:\n  remote: %q\n  local:  %q",
+					tk, wire.CanonicalAnswers(ans), want)
+			}
+		}
+	}
+	awaitCQ(0)
+
+	rng := rand.New(rand.NewSource(seed * 7919))
+	vid := func(i int) string { return fmt.Sprintf("car-%05d", i) }
+	var lastSeq uint64
+
+	for tk := temporal.Tick(1); tk <= ticks; tk++ {
+		if _, err := c.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		localDB.Advance(1)
+
+		// Identical update streams on both sides, at least one per tick.
+		n := 1 + rng.Intn(2)
+		for j := 0; j < n; j++ {
+			id := rng.Intn(nVehicles)
+			v := geom.Vector{X: (rng.Float64() - 0.5) * 4, Y: (rng.Float64() - 0.5) * 4}
+			if rng.Intn(10) == 0 {
+				v = geom.Vector{}
+			}
+			if err := c.SetMotion(vid(id), v.X, v.Y); err != nil {
+				t.Fatal(err)
+			}
+			if err := localDB.SetMotion(most.ObjectID(vid(id)), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Instantaneous queries answer identically through the wire.
+		now, remoteRows, err := c.Query(instSrc, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if now != localDB.Now() {
+			t.Fatalf("tick %d: clocks diverged: remote %d, local %d", tk, now, localDB.Now())
+		}
+		localRows, err := localEng.Query(instSrc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := canonRows(remoteRows), canonRows(wireRows(localRows)); got != want {
+			t.Fatalf("tick %d: instantaneous answers diverged:\n  remote: %q\n  local:  %q", tk, got, want)
+		}
+
+		// The streamed Answer(CQ) converges to the in-process one.
+		lastSeq = awaitCQ(tk)
+	}
+	if lastSeq == 0 {
+		t.Fatal("subscription saw no pushed notifications over the whole run")
+	}
+}
+
+// wireRows converts engine rows to wire values for comparison.
+func wireRows(rows []query.Row) [][]wire.Value {
+	out := make([][]wire.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]wire.Value, len(r))
+		for j, v := range r {
+			vals[j] = wire.FromVal(v)
+		}
+		out[i] = vals
+	}
+	return out
+}

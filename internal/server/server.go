@@ -1,0 +1,422 @@
+// Package server is the MOST network service: a TCP server exposing a
+// most.Database and query.Engine over the internal/wire protocol, with
+// per-connection sessions, request pipelining, batched update application,
+// and server-push streaming of continuous-query notifications over
+// long-lived connections.
+//
+// # Sessions and backpressure
+//
+// Each accepted connection gets one session: a reader goroutine decoding
+// and dispatching requests in arrival order (the transport pipelines —
+// clients need not wait for one answer before sending the next request),
+// and a writer goroutine owning every write to the connection.  All
+// outbound frames pass through a bounded per-session queue.
+//
+// Continuous-query notifications must never let one slow client stall
+// commits or other sessions, so they take a three-stage path: the engine's
+// maintenance callback (which runs on the updater's commit path) only
+// stores the new answer in a per-subscription mailbox and sets a flag —
+// it never blocks and never serializes; a per-subscription pump goroutine
+// converts the latest answer to wire form and enqueues it, coalescing
+// rounds that arrive while the connection is backed up; and the writer
+// drains the queue to the socket.  If the pump cannot enqueue, or the
+// writer cannot complete a write, within Config.WriteBudget, the session
+// is a slow consumer: it is disconnected (counted in
+// server.slow_consumer_disconnects) and everyone else proceeds.
+//
+// # Idempotent retries
+//
+// A client that says Hello with a ClientID gets exactly-once application
+// of its mutating requests across reconnects: the server keeps a bounded
+// per-client cache of executed request IDs and their responses, so a
+// request retried after a connection failure is answered from the cache
+// instead of being applied twice — the reliable-delivery semantics of
+// internal/faults on a real socket.
+//
+// # Observability
+//
+// With Config.Reg set, the server maintains connection and subscription
+// gauges, frame counters, per-opcode latency histograms
+// (server.op_ns.<opcode>), pure apply-path latency (server.apply_ns), and
+// slow-consumer/dedup counters, all surfaced on the existing /obs +
+// /debug/pprof mux (obs.NewServeMux).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/wire"
+)
+
+// Config tunes a Server.  The zero value serves with sane defaults.
+type Config struct {
+	// MaxPayload bounds per-frame payload allocation (default
+	// wire.DefaultMaxPayload).
+	MaxPayload int
+	// OutQueue is the per-session outbound frame queue length (default 256).
+	OutQueue int
+	// WriteBudget is the slow-consumer budget: the longest a frame may wait
+	// to enter a session's queue, or a single write may take, before the
+	// session is disconnected (default 5s).
+	WriteBudget time.Duration
+	// DedupWindow is how many executed requests are remembered per client
+	// for idempotent retries (default 1024).
+	DedupWindow int
+	// BaseOptions seed every query evaluation: regions, index, parallelism.
+	// Per-request horizons override BaseOptions.Horizon.
+	BaseOptions query.Options
+	// Reg receives the server's metrics; nil disables instrumentation.
+	Reg *obs.Registry
+	// Name is the server identity reported in the Hello response.
+	Name string
+}
+
+func (c Config) normalized() Config {
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.OutQueue <= 0 {
+		c.OutQueue = 256
+	}
+	if c.WriteBudget <= 0 {
+		c.WriteBudget = 5 * time.Second
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 1024
+	}
+	if c.Name == "" {
+		c.Name = "mostserver"
+	}
+	return c
+}
+
+// state is the served database and engine; SnapshotLoad swaps it
+// atomically.
+type state struct {
+	db  *most.Database
+	eng *query.Engine
+}
+
+// Server serves a MOST database over TCP.
+type Server struct {
+	cfg Config
+	st  atomic.Pointer[state]
+	m   *metrics
+
+	nextSub atomic.Uint64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	dedupMu sync.Mutex
+	dedup   map[string]*dedupCache
+}
+
+// New returns a server over db and eng.  The engine must be bound to db.
+func New(db *most.Database, eng *query.Engine, cfg Config) *Server {
+	cfg = cfg.normalized()
+	srv := &Server{
+		cfg:      cfg,
+		m:        newMetrics(cfg.Reg),
+		sessions: map[*session]struct{}{},
+		dedup:    map[string]*dedupCache{},
+	}
+	srv.st.Store(&state{db: db, eng: eng})
+	return srv
+}
+
+// state returns the current database/engine pair.
+func (srv *Server) state() *state { return srv.st.Load() }
+
+// ListenAndServe listens on addr (e.g. ":7654", "127.0.0.1:0") and serves
+// until Shutdown.  It returns once the listener is installed; accept-loop
+// errors after Shutdown are swallowed.
+func (srv *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := srv.register(ln); err != nil {
+		return err
+	}
+	go srv.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listener address (nil before ListenAndServe/Serve).
+func (srv *Server) Addr() net.Addr {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.ln == nil {
+		return nil
+	}
+	return srv.ln.Addr()
+}
+
+// Serve accepts connections on ln until the listener fails or Shutdown
+// closes it.
+func (srv *Server) Serve(ln net.Listener) error {
+	if err := srv.register(ln); err != nil {
+		return err
+	}
+	return srv.acceptLoop(ln)
+}
+
+// register installs the listener so Addr and Shutdown see it.
+func (srv *Server) register(ln net.Listener) error {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	srv.ln = ln
+	return nil
+}
+
+func (srv *Server) acceptLoop(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if !srv.startSession(conn) {
+			conn.Close()
+			return nil
+		}
+	}
+}
+
+// startSession registers and launches a session; it refuses when the
+// server is shutting down.
+func (srv *Server) startSession(conn net.Conn) bool {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return false
+	}
+	s := newSession(srv, conn)
+	srv.sessions[s] = struct{}{}
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	srv.m.connectionsTotal.Inc()
+	srv.m.connections.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		defer srv.m.connections.Add(-1)
+		defer srv.dropSession(s)
+		s.run()
+	}()
+	return true
+}
+
+func (srv *Server) dropSession(s *session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s)
+	srv.mu.Unlock()
+}
+
+// Shutdown drains the server: it stops accepting, lets every session
+// finish the request it is executing and flush queued responses, then
+// closes the connections.  Sessions still busy when ctx expires are killed.
+func (srv *Server) Shutdown(ctx context.Context) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	ln := srv.ln
+	sessions := make([]*session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		srv.mu.Lock()
+		for s := range srv.sessions {
+			s.kill("server shutdown")
+		}
+		srv.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts the server down, giving sessions a short grace period to
+// drain before they are killed.
+func (srv *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// swapState installs a freshly loaded database, instruments it like the
+// original, and tears down every live subscription (their engine is gone).
+func (srv *Server) swapState(db *most.Database) {
+	eng := query.NewEngine(db)
+	if srv.cfg.Reg != nil {
+		db.Instrument(srv.cfg.Reg)
+		eng.Instrument(srv.cfg.Reg)
+	}
+	srv.st.Store(&state{db: db, eng: eng})
+	srv.mu.Lock()
+	sessions := make([]*session, 0, len(srv.sessions))
+	for s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range sessions {
+		s.closeSubs("database replaced")
+	}
+}
+
+// ---- idempotence cache ----
+
+// dedupEntry is one executed (or executing) request.  done is closed once
+// frame holds the response; a retry arriving mid-execution waits for it
+// instead of re-applying the request.
+type dedupEntry struct {
+	done  chan struct{}
+	frame wire.Frame
+}
+
+// dedupCache remembers the last cap mutating requests of one client.
+type dedupCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*dedupEntry
+	order   []uint64
+}
+
+// begin reserves request id.  It returns (entry, true) when the request
+// was already seen — the caller waits on entry.done and replays
+// entry.frame — or (entry, false) when the caller must execute the request
+// and finish the entry.
+func (c *dedupCache) begin(id uint64) (*dedupEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		return e, true
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	c.entries[id] = e
+	c.order = append(c.order, id)
+	for len(c.order) > c.cap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, evict)
+	}
+	return e, false
+}
+
+// finish publishes the response for a reserved entry.
+func (e *dedupEntry) finish(f wire.Frame) {
+	e.frame = f
+	close(e.done)
+}
+
+// dedupFor returns the cache for a client identity, creating it on first
+// use.  The caches live for the server's lifetime so retries survive
+// reconnects.
+func (srv *Server) dedupFor(clientID string) *dedupCache {
+	if clientID == "" {
+		return nil
+	}
+	srv.dedupMu.Lock()
+	defer srv.dedupMu.Unlock()
+	c, ok := srv.dedup[clientID]
+	if !ok {
+		c = &dedupCache{cap: srv.cfg.DedupWindow, entries: map[uint64]*dedupEntry{}}
+		srv.dedup[clientID] = c
+	}
+	return c
+}
+
+// ---- metrics ----
+
+// metrics holds the pre-resolved (possibly nil) obs instruments.
+type metrics struct {
+	reg              *obs.Registry
+	connections      *obs.Gauge
+	connectionsTotal *obs.Counter
+	subscriptions    *obs.Gauge
+	inflight         *obs.Gauge
+	framesIn         *obs.Counter
+	framesOut        *obs.Counter
+	errors           *obs.Counter
+	slowConsumers    *obs.Counter
+	notifies         *obs.Counter
+	notifyCoalesced  *obs.Counter
+	dedupHits        *obs.Counter
+	applyNs          *obs.Histogram
+
+	opMu sync.Mutex
+	opNs map[wire.Opcode]*obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:              reg,
+		connections:      reg.Gauge("server.connections"),
+		connectionsTotal: reg.Counter("server.connections_total"),
+		subscriptions:    reg.Gauge("server.subscriptions"),
+		inflight:         reg.Gauge("server.inflight_requests"),
+		framesIn:         reg.Counter("server.frames_in"),
+		framesOut:        reg.Counter("server.frames_out"),
+		errors:           reg.Counter("server.request_errors"),
+		slowConsumers:    reg.Counter("server.slow_consumer_disconnects"),
+		notifies:         reg.Counter("server.notifies"),
+		notifyCoalesced:  reg.Counter("server.notifies_coalesced"),
+		dedupHits:        reg.Counter("server.dedup_hits"),
+		applyNs:          reg.Histogram("server.apply_ns"),
+		opNs:             map[wire.Opcode]*obs.Histogram{},
+	}
+}
+
+// opHist returns the latency histogram for one request opcode.
+func (m *metrics) opHist(op wire.Opcode) *obs.Histogram {
+	if m.reg == nil {
+		return nil
+	}
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	h, ok := m.opNs[op]
+	if !ok {
+		h = m.reg.Histogram(fmt.Sprintf("server.op_ns.%s", op))
+		m.opNs[op] = h
+	}
+	return h
+}

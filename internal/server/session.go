@@ -1,0 +1,586 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/wire"
+)
+
+var (
+	errSessionClosed = errors.New("server: session closed")
+	errSlowConsumer  = errors.New("server: slow consumer")
+)
+
+// session is one connection's server-side state: a reader goroutine
+// dispatching pipelined requests in order, a writer goroutine owning the
+// socket, and one pump goroutine per live subscription.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	out        chan wire.Frame // all outbound frames
+	dead       chan struct{}   // closed by kill: stop everything now
+	flushc     chan struct{}   // closed by the reader on exit: flush and close
+	writerDone chan struct{}
+
+	killOnce sync.Once
+	draining sync.Once
+
+	mu         sync.Mutex
+	clientID   string
+	dedup      *dedupCache
+	subs       map[uint64]*serverSub
+	subsClosed bool
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:        srv,
+		conn:       conn,
+		out:        make(chan wire.Frame, srv.cfg.OutQueue),
+		dead:       make(chan struct{}),
+		flushc:     make(chan struct{}),
+		writerDone: make(chan struct{}),
+		subs:       map[uint64]*serverSub{},
+	}
+}
+
+// run is the session main loop; it returns when the connection is done.
+func (s *session) run() {
+	go s.writeLoop()
+	dec := wire.NewDecoder(bufio.NewReaderSize(s.conn, 64<<10), s.srv.cfg.MaxPayload)
+	for {
+		f, err := dec.Next()
+		if err != nil {
+			// EOF, the drain deadline, a kill, or a protocol violation: in
+			// every case the session winds down.  Protocol violations get a
+			// best-effort error frame first.
+			if errors.Is(err, wire.ErrBadFrame) || errors.Is(err, wire.ErrTooLarge) {
+				s.tryEnqueue(mustEncode(wire.OpError, 0, wire.ErrorResp{Msg: err.Error()}))
+			}
+			break
+		}
+		s.srv.m.framesIn.Inc()
+		s.handle(f)
+	}
+	s.closeSubs("")
+	close(s.flushc)
+	<-s.writerDone
+}
+
+// beginDrain stops the reader after its current request: subsequent reads
+// fail immediately, the reader exits, and the writer flushes the queue
+// before closing.  Responses already computed still reach the client.
+func (s *session) beginDrain() {
+	s.draining.Do(func() {
+		s.conn.SetReadDeadline(time.Now())
+	})
+}
+
+// kill tears the session down without flushing.
+func (s *session) kill(reason string) {
+	s.killOnce.Do(func() {
+		_ = reason
+		close(s.dead)
+		s.conn.Close()
+	})
+}
+
+// slowConsumer records and disconnects a session that cannot keep up.
+func (s *session) slowConsumer() {
+	s.srv.m.slowConsumers.Inc()
+	s.kill("slow consumer")
+}
+
+// writeLoop owns conn writes.  Every write carries the WriteBudget
+// deadline, so a stalled peer cannot hold the goroutine hostage.
+func (s *session) writeLoop() {
+	defer close(s.writerDone)
+	for {
+		select {
+		case f := <-s.out:
+			if !s.write(f) {
+				return
+			}
+		case <-s.dead:
+			return
+		case <-s.flushc:
+			// Reader exited: flush what is queued, then close.
+			for {
+				select {
+				case f := <-s.out:
+					if !s.write(f) {
+						return
+					}
+				case <-s.dead:
+					return
+				default:
+					s.conn.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *session) write(f wire.Frame) bool {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteBudget))
+	if err := wire.WriteFrame(s.conn, f); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.slowConsumer()
+		} else {
+			s.kill(err.Error())
+		}
+		return false
+	}
+	s.srv.m.framesOut.Inc()
+	return true
+}
+
+// enqueue queues an outbound frame, waiting at most WriteBudget; a full
+// queue past the budget marks the session a slow consumer.
+func (s *session) enqueue(f wire.Frame) error {
+	select {
+	case s.out <- f:
+		return nil
+	case <-s.dead:
+		return errSessionClosed
+	default:
+	}
+	t := time.NewTimer(s.srv.cfg.WriteBudget)
+	defer t.Stop()
+	select {
+	case s.out <- f:
+		return nil
+	case <-s.dead:
+		return errSessionClosed
+	case <-t.C:
+		s.slowConsumer()
+		return errSlowConsumer
+	}
+}
+
+// tryEnqueue queues a frame only if there is room right now.
+func (s *session) tryEnqueue(f wire.Frame) {
+	select {
+	case s.out <- f:
+	default:
+	}
+}
+
+// ---- request dispatch ----
+
+func mustEncode(op wire.Opcode, id uint64, payload any) wire.Frame {
+	f, err := wire.Encode(op, id, payload)
+	if err != nil {
+		// Payloads are our own types; failure to marshal them is a bug.
+		panic(err)
+	}
+	return f
+}
+
+func errFrame(id uint64, err error) wire.Frame {
+	return mustEncode(wire.OpError, id, wire.ErrorResp{Msg: err.Error()})
+}
+
+// handle executes one request and enqueues its response, recording the
+// per-opcode latency and the in-flight gauge.
+func (s *session) handle(f wire.Frame) {
+	m := s.srv.m
+	m.inflight.Add(1)
+	t0 := m.reg.Start()
+	resp := s.dispatch(f)
+	m.opHist(f.Op).Since(t0)
+	m.inflight.Add(-1)
+	if resp.Op == wire.OpError {
+		m.errors.Inc()
+	}
+	_ = s.enqueue(resp)
+}
+
+// dispatch routes one request.  Mutating opcodes pass through the client's
+// idempotence cache when a Hello established one.
+func (s *session) dispatch(f wire.Frame) wire.Frame {
+	switch f.Op {
+	case wire.OpUpdateBatch, wire.OpAdvance, wire.OpSnapshotLoad:
+		s.mu.Lock()
+		cache := s.dedup
+		s.mu.Unlock()
+		if cache == nil {
+			return s.execute(f)
+		}
+		e, replay := cache.begin(f.ID)
+		if replay {
+			s.srv.m.dedupHits.Inc()
+			<-e.done
+			return e.frame
+		}
+		resp := s.execute(f)
+		e.finish(resp)
+		return resp
+	default:
+		return s.execute(f)
+	}
+}
+
+func (s *session) execute(f wire.Frame) wire.Frame {
+	switch f.Op {
+	case wire.OpHello:
+		return s.handleHello(f)
+	case wire.OpPing:
+		return mustEncode(wire.OpResult, f.ID, nil)
+	case wire.OpQuery:
+		return s.handleQuery(f)
+	case wire.OpUpdateBatch:
+		return s.handleUpdateBatch(f)
+	case wire.OpAdvance:
+		return s.handleAdvance(f)
+	case wire.OpObjects:
+		return s.handleObjects(f)
+	case wire.OpSnapshotSave:
+		return s.handleSnapshotSave(f)
+	case wire.OpSnapshotLoad:
+		return s.handleSnapshotLoad(f)
+	case wire.OpSubscribe:
+		return s.handleSubscribe(f)
+	case wire.OpUnsubscribe:
+		return s.handleUnsubscribe(f)
+	default:
+		return errFrame(f.ID, fmt.Errorf("server: %s is not a request opcode", f.Op))
+	}
+}
+
+func (s *session) handleHello(f wire.Frame) wire.Frame {
+	var req wire.HelloReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	s.mu.Lock()
+	s.clientID = req.ClientID
+	s.dedup = s.srv.dedupFor(req.ClientID)
+	s.mu.Unlock()
+	return mustEncode(wire.OpResult, f.ID, wire.HelloResp{Server: s.srv.cfg.Name, Version: wire.ProtocolVersion})
+}
+
+func (s *session) handleQuery(f wire.Frame) wire.Frame {
+	var req wire.QueryReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	st := s.srv.state()
+	opts := s.srv.cfg.BaseOptions
+	if req.Horizon > 0 {
+		opts.Horizon = req.Horizon
+	}
+	rows, err := st.eng.Query(req.Src, opts)
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	evRows := make([][]eval.Val, len(rows))
+	for i, r := range rows {
+		evRows[i] = r
+	}
+	return mustEncode(wire.OpResult, f.ID, wire.QueryResp{Now: st.db.Now(), Rows: wire.FromRows(evRows)})
+}
+
+func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
+	var req wire.UpdateBatchReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	st := s.srv.state()
+	t0 := s.srv.m.reg.Start()
+	applied := 0
+	var failure error
+	for _, op := range req.Ops {
+		if err := applyOp(st, op); err != nil {
+			failure = fmt.Errorf("op %d (%s %s): %w", applied, op.Op, op.ID, err)
+			break
+		}
+		applied++
+	}
+	s.srv.m.applyNs.Since(t0)
+	if failure != nil {
+		return errFrame(f.ID, failure)
+	}
+	return mustEncode(wire.OpResult, f.ID, wire.UpdateBatchResp{
+		Applied: applied, Now: st.db.Now(), Version: st.db.Version(),
+	})
+}
+
+// applyOp applies one explicit update.  Continuous-query maintenance runs
+// synchronously inside the database call (the engine subscribes to
+// updates), so when the batch response goes out every registered query
+// already reflects it.
+func applyOp(st *state, op wire.UpdateOp) error {
+	switch op.Op {
+	case wire.OpSetMotion:
+		return st.db.SetMotion(most.ObjectID(op.ID), geom.Vector{X: op.VX, Y: op.VY})
+	case wire.OpSetStatic:
+		if op.Value == nil {
+			return errors.New("set_static without value")
+		}
+		v, err := mostValue(*op.Value)
+		if err != nil {
+			return err
+		}
+		return st.db.SetStatic(most.ObjectID(op.ID), op.Attr, v)
+	case wire.OpDelete:
+		return st.db.Delete(most.ObjectID(op.ID))
+	case wire.OpInsert:
+		o, err := most.DecodeObjectJSON(st.db, op.Object)
+		if err != nil {
+			return err
+		}
+		return st.db.Insert(o)
+	default:
+		return fmt.Errorf("unknown update op %q", op.Op)
+	}
+}
+
+func mostValue(v wire.Value) (most.Value, error) {
+	ev := v.Val()
+	switch ev.Kind {
+	case eval.ValNum:
+		return most.Float(ev.Num), nil
+	case eval.ValStr:
+		return most.Str(ev.Str), nil
+	case eval.ValBool:
+		return most.Bool(ev.Bool), nil
+	case eval.ValNull:
+		return most.Null(), nil
+	default:
+		return most.Value{}, fmt.Errorf("value kind %d has no static-attribute form", ev.Kind)
+	}
+}
+
+func (s *session) handleAdvance(f wire.Frame) wire.Frame {
+	var req wire.AdvanceReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	if req.D < 0 {
+		return errFrame(f.ID, errors.New("the clock cannot run backwards"))
+	}
+	now := s.srv.state().db.Advance(req.D)
+	return mustEncode(wire.OpResult, f.ID, wire.AdvanceResp{Now: now})
+}
+
+func (s *session) handleObjects(f wire.Frame) wire.Frame {
+	var req wire.ObjectsReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	st := s.srv.state()
+	now := st.db.Now()
+	objs := st.db.Objects(req.Class)
+	resp := wire.ObjectsResp{Now: now, Objects: make([]wire.ObjectInfo, 0, len(objs))}
+	for _, o := range objs {
+		info := wire.ObjectInfo{ID: string(o.ID()), Class: o.Class().Name()}
+		if p, err := o.PositionAt(now); err == nil {
+			info.HasPos, info.X, info.Y = true, p.X, p.Y
+		}
+		resp.Objects = append(resp.Objects, info)
+	}
+	return mustEncode(wire.OpResult, f.ID, resp)
+}
+
+func (s *session) handleSnapshotSave(f wire.Frame) wire.Frame {
+	data, err := s.srv.state().db.SnapshotJSON()
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	return mustEncode(wire.OpResult, f.ID, wire.SnapshotResp{Data: data})
+}
+
+func (s *session) handleSnapshotLoad(f wire.Frame) wire.Frame {
+	var req wire.SnapshotLoadReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	db, err := most.LoadSnapshotJSON(req.Data)
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	s.srv.swapState(db)
+	return mustEncode(wire.OpResult, f.ID, wire.SnapshotLoadResp{Now: db.Now(), Objects: db.Count()})
+}
+
+// ---- subscriptions ----
+
+// serverSub is one continuous-query subscription: the engine's maintenance
+// callback deposits the newest answer in the mailbox (latest/seq) and sets
+// the dirty flag; the pump converts and sends.  Rounds that arrive while
+// the pump or connection is busy coalesce — the newest answer supersedes
+// anything unsent.
+type serverSub struct {
+	id uint64
+	cq *query.Continuous
+
+	mu     sync.Mutex
+	latest *eval.Relation
+	seq    uint64
+
+	dirty chan struct{} // capacity 1
+	stop  chan struct{}
+}
+
+// onAnswer runs on the updater's commit path: store and signal, never
+// block.
+func (sub *serverSub) onAnswer(rel *eval.Relation) {
+	sub.mu.Lock()
+	sub.latest = rel
+	sub.seq++
+	sub.mu.Unlock()
+	select {
+	case sub.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// pump streams mailbox contents to the session until the subscription or
+// session ends.
+func (s *session) pump(sub *serverSub) {
+	var sent uint64
+	for {
+		select {
+		case <-sub.stop:
+			return
+		case <-s.dead:
+			return
+		case <-sub.dirty:
+			sub.mu.Lock()
+			rel, seq := sub.latest, sub.seq
+			sub.mu.Unlock()
+			if seq == sent || rel == nil {
+				continue
+			}
+			s.srv.m.notifies.Inc()
+			if seq > sent+1 {
+				s.srv.m.notifyCoalesced.Add(int64(seq - sent - 1))
+			}
+			n := wire.Notify{SubID: sub.id, Seq: seq, Answer: wire.FromRelation(rel)}
+			if err := s.enqueue(mustEncode(wire.OpNotify, 0, n)); err != nil {
+				return
+			}
+			sent = seq
+		}
+	}
+}
+
+func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
+	var req wire.SubscribeReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	st := s.srv.state()
+	q, err := ftl.Parse(req.Src)
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	opts := s.srv.cfg.BaseOptions
+	if req.Horizon > 0 {
+		opts.Horizon = req.Horizon
+	}
+	cq, err := st.eng.Continuous(q, opts)
+	if err != nil {
+		return errFrame(f.ID, err)
+	}
+	sub := &serverSub{
+		id:    s.srv.nextSub.Add(1),
+		cq:    cq,
+		dirty: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	if err := cq.Subscribe(sub.onAnswer); err != nil {
+		cq.Cancel()
+		return errFrame(f.ID, err)
+	}
+	s.mu.Lock()
+	if s.subsClosed {
+		s.mu.Unlock()
+		cq.Cancel()
+		return errFrame(f.ID, errSessionClosed)
+	}
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+	s.srv.m.subscriptions.Add(1)
+	go s.pump(sub)
+	// The initial answer is read after the listener is live, so any update
+	// racing the registration is covered either here or by a notify.
+	rel, err := cq.Answer()
+	if err != nil {
+		s.removeSub(sub.id, "", false)
+		return errFrame(f.ID, err)
+	}
+	return mustEncode(wire.OpResult, f.ID, wire.SubscribeResp{
+		SubID: sub.id, Now: st.db.Now(), Answer: wire.FromRelation(rel),
+	})
+}
+
+func (s *session) handleUnsubscribe(f wire.Frame) wire.Frame {
+	var req wire.UnsubscribeReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return errFrame(f.ID, err)
+	}
+	if !s.removeSub(req.SubID, "", false) {
+		return errFrame(f.ID, fmt.Errorf("no subscription %d", req.SubID))
+	}
+	return mustEncode(wire.OpResult, f.ID, nil)
+}
+
+// removeSub cancels one subscription; with push it also notifies the
+// client via OpSubClosed.
+func (s *session) removeSub(id uint64, reason string, push bool) bool {
+	s.mu.Lock()
+	sub, ok := s.subs[id]
+	if ok {
+		delete(s.subs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sub.cq.Cancel()
+	close(sub.stop)
+	s.srv.m.subscriptions.Add(-1)
+	if push {
+		s.tryEnqueue(mustEncode(wire.OpSubClosed, 0, wire.SubClosed{SubID: id, Reason: reason}))
+	}
+	return true
+}
+
+// closeSubs tears down every subscription; a non-empty reason is pushed to
+// the client (used when the database is replaced under live sessions).
+func (s *session) closeSubs(reason string) {
+	s.mu.Lock()
+	subs := make([]*serverSub, 0, len(s.subs))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = map[uint64]*serverSub{}
+	if reason == "" {
+		// Terminal teardown: refuse new subscriptions from here on.
+		s.subsClosed = true
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.cq.Cancel()
+		close(sub.stop)
+		s.srv.m.subscriptions.Add(-1)
+		if reason != "" {
+			s.tryEnqueue(mustEncode(wire.OpSubClosed, 0, wire.SubClosed{SubID: sub.id, Reason: reason}))
+		}
+	}
+}

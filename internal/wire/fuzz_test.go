@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary byte streams to the frame decoder and the
+// payload unmarshalers.  The invariants: the decoder never panics, never
+// allocates more than its configured payload bound per frame, consumes the
+// stream frame by frame until an error or EOF, and every frame it does
+// accept re-encodes to bytes that decode to an identical frame.
+func FuzzWireDecode(f *testing.F) {
+	// Seed corpus: valid frames of each shape, then classic hostile inputs.
+	ping, _ := AppendFrame(nil, Frame{Op: OpPing, ID: 1})
+	qf, _ := Encode(OpQuery, 2, QueryReq{Src: "RETRIEVE o FROM Vehicles o WHERE TRUE", Horizon: 50})
+	query, _ := AppendFrame(nil, qf)
+	nf, _ := Encode(OpNotify, 0, Notify{SubID: 3, Seq: 9, Answer: []AnswerRow{{Vals: []Value{{Kind: 1, Obj: "car-1"}}, Start: 0, End: 7}}})
+	notify, _ := AppendFrame(nil, nf)
+	two := append(append([]byte(nil), ping...), query...)
+
+	f.Add(ping)
+	f.Add(query)
+	f.Add(notify)
+	f.Add(two)
+	f.Add([]byte{})
+	f.Add([]byte("MW"))                                         // truncated header
+	f.Add(append([]byte(nil), ping[:HeaderSize]...))            // header only
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: mostserver\r\n\r\n")) // wrong protocol
+	huge := append([]byte(nil), ping...)
+	huge[12], huge[13], huge[14], huge[15] = 0xff, 0xff, 0xff, 0xff // 4 GiB length
+	f.Add(huge)
+
+	const maxPayload = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bytes.NewReader(data), maxPayload)
+		for {
+			fr, err := d.Next()
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF &&
+					!bytes.Contains([]byte(err.Error()), []byte("wire:")) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > maxPayload {
+				t.Fatalf("decoder returned %d payload bytes, bound is %d", len(fr.Payload), maxPayload)
+			}
+			// Accepted frames must re-encode losslessly.
+			buf, err := AppendFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame failed: %v", err)
+			}
+			fr2, err := NewDecoder(bytes.NewReader(buf), maxPayload).Next()
+			if err != nil {
+				t.Fatalf("re-decode of accepted frame failed: %v", err)
+			}
+			if fr2.Op != fr.Op || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatal("re-encoded frame differs")
+			}
+			// Payload unmarshaling must not panic either, whatever the bytes.
+			switch fr.Op {
+			case OpQuery:
+				var q QueryReq
+				_ = Unmarshal(fr, &q)
+			case OpUpdateBatch:
+				var u UpdateBatchReq
+				_ = Unmarshal(fr, &u)
+			case OpSubscribe:
+				var s SubscribeReq
+				_ = Unmarshal(fr, &s)
+			case OpNotify:
+				var n Notify
+				_ = Unmarshal(fr, &n)
+			}
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file defines the typed frame payloads and the conversions between
+// wire values and the evaluator's eval.Val.  Payloads are JSON for the
+// same reason the snapshot format is: the repo is dependency-free and the
+// encoding round-trips every value exactly (float64 via strconv's shortest
+// round-trippable form, ticks as int64 literals), which is what lets the
+// loopback oracle demand bit-identical answers.
+
+// HelloReq introduces a client.  ClientID keys the server's idempotence
+// cache: a request retried on a new connection under the same ClientID and
+// request ID is not applied twice (the PR-2 reliable-delivery semantics on
+// a real socket).  Empty disables retry deduplication.
+type HelloReq struct {
+	ClientID string `json:"client_id,omitempty"`
+}
+
+// HelloResp reports the server identity and protocol version.
+type HelloResp struct {
+	Server  string `json:"server"`
+	Version int    `json:"version"`
+}
+
+// QueryReq is an instantaneous FTL query.  Horizon <= 0 selects the
+// server's default.
+type QueryReq struct {
+	Src     string        `json:"src"`
+	Horizon temporal.Tick `json:"horizon,omitempty"`
+}
+
+// QueryResp carries the instantiations satisfied at evaluation time.
+type QueryResp struct {
+	Now  temporal.Tick `json:"now"`
+	Rows [][]Value     `json:"rows,omitempty"`
+}
+
+// Update op kinds for UpdateOp.Op.
+const (
+	OpSetMotion = "set_motion"
+	OpSetStatic = "set_static"
+	OpInsert    = "insert"
+	OpDelete    = "delete"
+)
+
+// UpdateOp is one explicit update in a batch.
+type UpdateOp struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// set_motion
+	VX float64 `json:"vx,omitempty"`
+	VY float64 `json:"vy,omitempty"`
+	// set_static
+	Attr  string `json:"attr,omitempty"`
+	Value *Value `json:"value,omitempty"`
+	// insert: an object in the snapshot encoding (most.EncodeObjectJSON)
+	Object json.RawMessage `json:"object,omitempty"`
+}
+
+// UpdateBatchReq applies explicit updates in order.  Application stops at
+// the first failing op; the response reports how many were applied.
+type UpdateBatchReq struct {
+	Ops []UpdateOp `json:"ops"`
+}
+
+// UpdateBatchResp acknowledges a batch.
+type UpdateBatchResp struct {
+	Applied int           `json:"applied"`
+	Now     temporal.Tick `json:"now"`
+	Version uint64        `json:"version"`
+}
+
+// AdvanceReq moves the clock forward by D ticks.
+type AdvanceReq struct {
+	D temporal.Tick `json:"d"`
+}
+
+// AdvanceResp reports the clock after the advance.
+type AdvanceResp struct {
+	Now temporal.Tick `json:"now"`
+}
+
+// ObjectsReq lists objects; Class == "" lists every object.
+type ObjectsReq struct {
+	Class string `json:"class,omitempty"`
+}
+
+// ObjectInfo is one object row with its position at the server's current
+// tick (X/Y meaningless when HasPos is false, e.g. non-spatial classes).
+type ObjectInfo struct {
+	ID     string  `json:"id"`
+	Class  string  `json:"class"`
+	HasPos bool    `json:"has_pos"`
+	X      float64 `json:"x,omitempty"`
+	Y      float64 `json:"y,omitempty"`
+}
+
+// ObjectsResp carries the object listing.
+type ObjectsResp struct {
+	Now     temporal.Tick `json:"now"`
+	Objects []ObjectInfo  `json:"objects,omitempty"`
+}
+
+// SnapshotResp carries a database snapshot (most.SnapshotJSON encoding).
+type SnapshotResp struct {
+	Data json.RawMessage `json:"data"`
+}
+
+// SnapshotLoadReq replaces the server's database with the snapshot.  Every
+// active subscription (all sessions) is closed with an OpSubClosed push.
+type SnapshotLoadReq struct {
+	Data json.RawMessage `json:"data"`
+}
+
+// SnapshotLoadResp acknowledges the swap.
+type SnapshotLoadResp struct {
+	Now     temporal.Tick `json:"now"`
+	Objects int           `json:"objects"`
+}
+
+// SubscribeReq registers a continuous query on the session's connection.
+type SubscribeReq struct {
+	Src     string        `json:"src"`
+	Horizon temporal.Tick `json:"horizon,omitempty"`
+}
+
+// SubscribeResp acknowledges a subscription with the initial materialized
+// Answer(CQ).
+type SubscribeResp struct {
+	SubID  uint64        `json:"sub_id"`
+	Now    temporal.Tick `json:"now"`
+	Answer []AnswerRow   `json:"answer,omitempty"`
+}
+
+// UnsubscribeReq cancels a subscription.
+type UnsubscribeReq struct {
+	SubID uint64 `json:"sub_id"`
+}
+
+// Notify is the server push after a maintenance round: the full new
+// Answer(CQ).  Seq increases by one per maintenance round on the server;
+// gaps mean rounds were coalesced while the connection was backed up (the
+// latest answer always supersedes skipped ones).
+type Notify struct {
+	SubID  uint64      `json:"sub_id"`
+	Seq    uint64      `json:"seq"`
+	Answer []AnswerRow `json:"answer,omitempty"`
+}
+
+// SubClosed is the server push ending a subscription (database replaced,
+// server drain, or query error); no further notifies follow.
+type SubClosed struct {
+	SubID  uint64 `json:"sub_id"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ErrorResp reports a failed request.
+type ErrorResp struct {
+	Msg string `json:"msg"`
+}
+
+// ---- values ----
+
+// Value is the wire form of eval.Val.
+type Value struct {
+	Kind uint8   `json:"k"`
+	Obj  string  `json:"o,omitempty"`
+	Num  float64 `json:"n,omitempty"`
+	Str  string  `json:"s,omitempty"`
+	Bool bool    `json:"b,omitempty"`
+}
+
+// FromVal converts an evaluator value.
+func FromVal(v eval.Val) Value {
+	return Value{Kind: uint8(v.Kind), Obj: string(v.Obj), Num: v.Num, Str: v.Str, Bool: v.Bool}
+}
+
+// Val converts back to an evaluator value.
+func (v Value) Val() eval.Val {
+	return eval.Val{Kind: eval.ValKind(v.Kind), Obj: most.ObjectID(v.Obj), Num: v.Num, Str: v.Str, Bool: v.Bool}
+}
+
+// String renders the value exactly as eval.Val does.
+func (v Value) String() string { return v.Val().String() }
+
+// FromRows converts presented rows.
+func FromRows(rows [][]eval.Val) [][]Value {
+	out := make([][]Value, len(rows))
+	for i, r := range rows {
+		vals := make([]Value, len(r))
+		for j, v := range r {
+			vals[j] = FromVal(v)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// AnswerRow is one (instantiation, maximal interval) answer tuple.
+type AnswerRow struct {
+	Vals  []Value       `json:"vals"`
+	Start temporal.Tick `json:"start"`
+	End   temporal.Tick `json:"end"`
+}
+
+// FromRelation flattens a materialized relation into answer rows in the
+// relation's canonical order (sorted by instantiation, then interval).
+func FromRelation(rel *eval.Relation) []AnswerRow {
+	if rel == nil {
+		return nil
+	}
+	answers := rel.Answers()
+	out := make([]AnswerRow, len(answers))
+	for i, a := range answers {
+		vals := make([]Value, len(a.Vals))
+		for j, v := range a.Vals {
+			vals[j] = FromVal(v)
+		}
+		out[i] = AnswerRow{Vals: vals, Start: a.Interval.Start, End: a.Interval.End}
+	}
+	return out
+}
+
+// RowsAt presents the answer rows whose interval contains t — the client
+// side of §3.5's per-tick presentation: between notifies, presentation is
+// a local lookup, no round trip.
+func RowsAt(answer []AnswerRow, t temporal.Tick) [][]Value {
+	var out [][]Value
+	for _, a := range answer {
+		if a.Start <= t && t <= a.End {
+			out = append(out, a.Vals)
+		}
+	}
+	return out
+}
+
+// CanonicalAnswers renders answer rows as a sorted, uniquely delimited
+// multiset string, the comparison key the loopback oracle uses to demand
+// bit-identical answers across the wire.
+func CanonicalAnswers(answer []AnswerRow) string {
+	keys := make([]string, len(answer))
+	for i, a := range answer {
+		var b strings.Builder
+		for _, v := range a.Vals {
+			b.WriteString(v.String())
+			b.WriteByte(0)
+		}
+		b.WriteString(strconv.FormatInt(int64(a.Start), 10))
+		b.WriteByte('-')
+		b.WriteString(strconv.FormatInt(int64(a.End), 10))
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}

@@ -1,0 +1,236 @@
+// Package wire is the MOST client/server wire protocol: a length-prefixed,
+// versioned frame codec carrying typed JSON payloads.  One frame is
+//
+//	magic   2 bytes  'M' 'W'
+//	version 1 byte   ProtocolVersion
+//	opcode  1 byte   Opcode
+//	id      8 bytes  big-endian request ID (0 on unsolicited pushes)
+//	length  4 bytes  big-endian payload length
+//	payload length bytes of JSON
+//
+// Requests carry a per-connection-unique ID; every response echoes the ID
+// of the request it answers, so a client may pipeline any number of
+// requests on one connection and match answers as they return.  Server
+// pushes (OpNotify, OpSubClosed) carry ID 0 and are routed by the
+// subscription ID inside the payload.
+//
+// The decoder is hostile-input safe: it validates the magic, version, and
+// payload bound before allocating, allocates at most MaxPayload bytes per
+// frame, and returns errors — it never panics on malformed, truncated, or
+// oversized input (FuzzWireDecode locks this in).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion is the wire protocol version this package speaks.  A
+// frame with any other version is rejected by the decoder.
+const ProtocolVersion = 1
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 16
+
+// DefaultMaxPayload bounds a frame's payload unless the decoder is
+// configured otherwise.  Snapshots are the largest legitimate payloads.
+const DefaultMaxPayload = 64 << 20
+
+// magic identifies a MOST wire frame.
+var magic = [2]byte{'M', 'W'}
+
+// Opcode discriminates frame payloads.
+type Opcode uint8
+
+// Request opcodes (client to server).
+const (
+	OpHello        Opcode = 1  // HelloReq: session setup, client identity
+	OpPing         Opcode = 2  // empty: liveness probe
+	OpQuery        Opcode = 3  // QueryReq: instantaneous FTL query
+	OpUpdateBatch  Opcode = 4  // UpdateBatchReq: batched explicit updates
+	OpAdvance      Opcode = 5  // AdvanceReq: advance the clock
+	OpObjects      Opcode = 6  // ObjectsReq: list objects with positions
+	OpSnapshotSave Opcode = 7  // empty: serialize the database state
+	OpSnapshotLoad Opcode = 8  // SnapshotLoadReq: replace the database state
+	OpSubscribe    Opcode = 9  // SubscribeReq: register a continuous query
+	OpUnsubscribe  Opcode = 10 // UnsubscribeReq: cancel a subscription
+)
+
+// Response and push opcodes (server to client).
+const (
+	OpResult    Opcode = 32 // payload depends on the request opcode
+	OpError     Opcode = 33 // ErrorResp
+	OpNotify    Opcode = 34 // Notify: new Answer(CQ) after maintenance (push)
+	OpSubClosed Opcode = 35 // SubClosed: server-side subscription teardown (push)
+)
+
+// String names the opcode for metrics and errors.
+func (o Opcode) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpPing:
+		return "ping"
+	case OpQuery:
+		return "query"
+	case OpUpdateBatch:
+		return "update_batch"
+	case OpAdvance:
+		return "advance"
+	case OpObjects:
+		return "objects"
+	case OpSnapshotSave:
+		return "snapshot_save"
+	case OpSnapshotLoad:
+		return "snapshot_load"
+	case OpSubscribe:
+		return "subscribe"
+	case OpUnsubscribe:
+		return "unsubscribe"
+	case OpResult:
+		return "result"
+	case OpError:
+		return "error"
+	case OpNotify:
+		return "notify"
+	case OpSubClosed:
+		return "sub_closed"
+	default:
+		return fmt.Sprintf("opcode(%d)", uint8(o))
+	}
+}
+
+// valid reports whether the opcode is one this protocol version defines.
+func (o Opcode) valid() bool {
+	return (o >= OpHello && o <= OpUnsubscribe) || (o >= OpResult && o <= OpSubClosed)
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Op      Opcode
+	ID      uint64
+	Payload []byte
+}
+
+// Decode errors.  ErrTooLarge and ErrBadFrame mark input that must not be
+// retried verbatim; io errors pass through unwrapped so callers can detect
+// EOF and timeouts.
+var (
+	ErrBadFrame = errors.New("wire: malformed frame")
+	ErrTooLarge = errors.New("wire: frame exceeds payload bound")
+)
+
+// AppendFrame serializes the frame onto buf and returns the extended
+// slice.  It refuses payloads beyond the uint32 range.
+func AppendFrame(buf []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > int(^uint32(0)) {
+		return nil, ErrTooLarge
+	}
+	var hdr [HeaderSize]byte
+	hdr[0], hdr[1] = magic[0], magic[1]
+	hdr[2] = ProtocolVersion
+	hdr[3] = byte(f.Op)
+	binary.BigEndian.PutUint64(hdr[4:12], f.ID)
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, f.Payload...), nil
+}
+
+// WriteFrame serializes the frame to w in one Write call, so concurrent
+// writers interleave only at frame granularity when w serializes writes.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Encode marshals payload as JSON into a frame.  A nil payload produces an
+// empty frame body.
+func Encode(op Opcode, id uint64, payload any) (Frame, error) {
+	f := Frame{Op: op, ID: id}
+	if payload != nil {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return Frame{}, fmt.Errorf("wire: encode %s: %w", op, err)
+		}
+		f.Payload = data
+	}
+	return f, nil
+}
+
+// Decoder reads frames from a stream with a hard payload bound.
+type Decoder struct {
+	r   io.Reader
+	max uint32
+}
+
+// NewDecoder returns a decoder over r.  maxPayload bounds per-frame
+// allocation; values <= 0 select DefaultMaxPayload.
+func NewDecoder(r io.Reader, maxPayload int) *Decoder {
+	max := uint32(DefaultMaxPayload)
+	if maxPayload > 0 && maxPayload <= int(^uint32(0)) {
+		max = uint32(maxPayload)
+	}
+	return &Decoder{r: r, max: max}
+}
+
+// Next reads one frame.  The header is fully validated before the payload
+// is allocated, so a hostile length field costs at most max bytes; any
+// violation returns an error wrapping ErrBadFrame or ErrTooLarge.  A clean
+// EOF at a frame boundary returns io.EOF; EOF inside a frame returns
+// io.ErrUnexpectedEOF.
+func (d *Decoder) Next() (Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
+		return Frame{}, err
+	}
+	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrBadFrame, hdr[:2])
+	}
+	if hdr[2] != ProtocolVersion {
+		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
+	}
+	op := Opcode(hdr[3])
+	if !op.valid() {
+		return Frame{}, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, hdr[3])
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > d.max {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, d.max)
+	}
+	f := Frame{Op: op, ID: binary.BigEndian.Uint64(hdr[4:12])}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(d.r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// Unmarshal decodes a frame payload into v with unknown fields tolerated
+// (forward compatibility within a protocol version).
+func Unmarshal(f Frame, v any) error {
+	if len(f.Payload) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrBadFrame, f.Op, err)
+	}
+	return nil
+}

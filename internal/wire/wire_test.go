@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpPing, ID: 1},
+		{Op: OpQuery, ID: 42, Payload: []byte(`{"src":"RETRIEVE o FROM Vehicles o WHERE TRUE"}`)},
+		{Op: OpNotify, ID: 0, Payload: bytes.Repeat([]byte("x"), 100000)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDecoder(&buf, 0)
+	for i, want := range frames {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %v/%d/%d bytes, want %v/%d/%d bytes",
+				i, got.Op, got.ID, len(got.Payload), want.Op, want.ID, len(want.Payload))
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("at end: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderRejectsMalformed(t *testing.T) {
+	valid, err := AppendFrame(nil, Frame{Op: OpPing, ID: 7, Payload: []byte("{}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(i int, b byte) []byte {
+		out := append([]byte(nil), valid...)
+		out[i] = b
+		return out
+	}
+	oversized := append([]byte(nil), valid[:HeaderSize]...)
+	binary.BigEndian.PutUint32(oversized[12:16], 1<<30)
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"bad magic", corrupt(0, 'X'), ErrBadFrame},
+		{"bad version", corrupt(2, 99), ErrBadFrame},
+		{"bad opcode", corrupt(3, 200), ErrBadFrame},
+		{"oversized", oversized, ErrTooLarge},
+		{"truncated header", valid[:5], io.ErrUnexpectedEOF},
+		{"truncated payload", valid[:len(valid)-1], io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(bytes.NewReader(tc.in), 1<<20)
+			_, err := d.Next()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecoderPayloadBound(t *testing.T) {
+	f := Frame{Op: OpQuery, ID: 1, Payload: bytes.Repeat([]byte("a"), 2048)}
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf), 1024)
+	if _, err := d.Next(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []eval.Val{
+		eval.ObjVal("car-00001"),
+		eval.NumVal(3.141592653589793),
+		eval.NumVal(-0.1),
+		eval.StrVal("hello\x00world"),
+		eval.BoolVal(true),
+		{},
+	}
+	for _, v := range vals {
+		got := FromVal(v).Val()
+		if got != v {
+			t.Fatalf("round trip changed %#v to %#v", v, got)
+		}
+	}
+}
+
+func TestRowsAtAndCanonical(t *testing.T) {
+	answer := []AnswerRow{
+		{Vals: []Value{FromVal(eval.ObjVal("a"))}, Start: 0, End: 10},
+		{Vals: []Value{FromVal(eval.ObjVal("b"))}, Start: 5, End: 5},
+	}
+	if rows := RowsAt(answer, 5); len(rows) != 2 {
+		t.Fatalf("at 5: %d rows, want 2", len(rows))
+	}
+	if rows := RowsAt(answer, temporal.Tick(11)); len(rows) != 0 {
+		t.Fatalf("at 11: %d rows, want 0", len(rows))
+	}
+	// Canonical form is order-independent.
+	rev := []AnswerRow{answer[1], answer[0]}
+	if CanonicalAnswers(answer) != CanonicalAnswers(rev) {
+		t.Fatal("canonical form depends on order")
+	}
+}

@@ -46,6 +46,7 @@ package mostdb
 import (
 	"io"
 
+	"github.com/mostdb/most/internal/client"
 	"github.com/mostdb/most/internal/dist"
 	"github.com/mostdb/most/internal/ftl"
 	"github.com/mostdb/most/internal/ftl/eval"
@@ -56,6 +57,7 @@ import (
 	"github.com/mostdb/most/internal/motion"
 	"github.com/mostdb/most/internal/query"
 	"github.com/mostdb/most/internal/relstore"
+	"github.com/mostdb/most/internal/server"
 	"github.com/mostdb/most/internal/temporal"
 	"github.com/mostdb/most/internal/workload"
 )
@@ -432,3 +434,38 @@ type MotelsSpec = workload.MotelsSpec
 // AddMotels inserts stationary motels into a database (§1).  Safe for
 // concurrent callers.
 func AddMotels(db *Database, spec MotelsSpec) error { return workload.AddMotels(db, spec) }
+
+// ---- network service ----
+
+// Server serves a Database and Engine over TCP using the internal/wire
+// protocol: pipelined requests, batched updates, snapshots, and server-push
+// streaming of continuous-query answer changes.  Safe for concurrent use.
+type Server = server.Server
+
+// ServerConfig tunes a Server; the zero value serves with sane defaults.
+type ServerConfig = server.Config
+
+// NewServer returns a network server over db and eng (eng must be bound to
+// db).  Start it with ListenAndServe or Serve; stop it with Shutdown.
+func NewServer(db *Database, eng *Engine, cfg ServerConfig) *Server {
+	return server.New(db, eng, cfg)
+}
+
+// Client is a network client for a Server: connection management,
+// idempotent retry of mutating requests across reconnects, and a Subscribe
+// API mirroring the in-process ContinuousQuery.  Safe for concurrent use.
+type Client = client.Client
+
+// ClientSubscription is a client-side continuous query: it holds the last
+// pushed Answer(CQ) and presents the rows current at any tick locally,
+// without a round trip.
+type ClientSubscription = client.Subscription
+
+// ClientOption configures Dial (client.WithTimeout, client.WithClientID,
+// client.WithRetries, ...).
+type ClientOption = client.Option
+
+// Dial connects to a Server at addr.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return client.Dial(addr, opts...)
+}
