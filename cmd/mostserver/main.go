@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	mostserver [-addr :7654] [-n 100] [-seed 1] [-horizon 500] [-http :6060]
+//	mostserver [-addr :7654] [-n 100] [-seed 1] [-horizon 500] [-http :6060] [-proto 2]
+//
+// -proto caps the wire protocol version the server offers during the Hello
+// handshake (PROTOCOL.md): 1 forces JSON payloads for every session, the
+// default offers the newest implemented version (currently 2, binary) and
+// lets each client negotiate down.
 //
 // With -http set, /obs, /debug/vars and /debug/pprof are served on that
 // address: connection and subscription gauges, per-opcode latency
@@ -34,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	horizon := flag.Int64("horizon", 500, "default query horizon (ticks)")
 	httpAddr := flag.String("http", "", "serve /obs and /debug/pprof on this address (e.g. :6060)")
+	proto := flag.Int("proto", 0, "highest wire protocol version to offer (1 = JSON only, 0 = newest)")
 	flag.Parse()
 
 	db, err := mostdb.Fleet(mostdb.FleetSpec{
@@ -64,8 +70,9 @@ func main() {
 				"downtown": mostdb.RectPolygon(400, 400, 600, 600),
 			},
 		},
-		Reg:  reg,
-		Name: "mostserver",
+		Reg:         reg,
+		Name:        "mostserver",
+		MaxProtocol: *proto,
 	})
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "mostserver:", err)

@@ -14,6 +14,17 @@
 // a real socket.  Server-reported errors (OpError) are not retried: the
 // request was received and refused.
 //
+// # Protocol versions
+//
+// The client speaks protocol version 1 (JSON payloads) and version 2 (the
+// compact binary codec, see PROTOCOL.md).  Each connection's Hello
+// handshake — always spoken at version 1 — advertises the client's
+// maximum (WithProtocol, default wire.MaxProtocolVersion) and adopts the
+// server's negotiated answer, so a v2 client downgrades gracefully
+// against a v1-only server and a v1 client is unaffected by a v2 server.
+// Negotiation is per-connection: a reconnect renegotiates, and requests
+// are encoded per attempt at that connection's version.
+//
 // # Subscriptions
 //
 // Subscribe registers a continuous query and returns a Subscription
@@ -79,6 +90,12 @@ func WithDialer(dial func(addr string) (net.Conn, error)) Option {
 	return func(c *Client) { c.dial = dial }
 }
 
+// WithProtocol caps the protocol version the client offers in the Hello
+// handshake (default wire.MaxProtocolVersion).  The negotiated version is
+// min(v, server max); 1 forces JSON payloads.  Values outside
+// [1, wire.MaxProtocolVersion] are clamped.
+func WithProtocol(v int) Option { return func(c *Client) { c.wantProto = v } }
+
 // Client is a MOST network client.  Safe for concurrent use; concurrent
 // calls pipeline on one connection.
 type Client struct {
@@ -89,11 +106,13 @@ type Client struct {
 	retries     int
 	backoff     time.Duration
 	maxPayload  int
+	wantProto   int // highest protocol version offered in Hello
 
 	writeMu sync.Mutex // serializes frame writes to conn
 
 	mu      sync.Mutex
 	conn    net.Conn
+	proto   uint8  // negotiated protocol version of the current connection
 	gen     uint64 // connection generation, to ignore stale readLoop failures
 	nextID  uint64
 	pending map[uint64]chan wire.Frame
@@ -112,12 +131,16 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		retries:     3,
 		backoff:     50 * time.Millisecond,
 		maxPayload:  wire.DefaultMaxPayload,
+		wantProto:   wire.MaxProtocolVersion,
 		pending:     map[uint64]chan wire.Frame{},
 		subs:        map[uint64]*Subscription{},
 		orphans:     map[uint64]wire.Notify{},
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.wantProto < wire.ProtocolV1 || c.wantProto > wire.MaxProtocolVersion {
+		c.wantProto = wire.MaxProtocolVersion
 	}
 	c.mu.Lock()
 	err := c.connectLocked()
@@ -150,7 +173,10 @@ func (c *Client) connectLocked() error {
 		return errTransport{err}
 	}
 	id := c.reserveIDLocked()
-	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id})
+	// Hello is always version 1, whatever we hope to negotiate: a v1-only
+	// server must be able to read it (and will ignore the max_version
+	// field, answering Version 1 — the graceful downgrade).
+	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id, MaxVersion: c.wantProto})
 	if err != nil {
 		conn.Close()
 		return err
@@ -177,13 +203,18 @@ func (c *Client) connectLocked() error {
 		conn.Close()
 		return err
 	}
-	if hello.Version != wire.ProtocolVersion {
+	if hello.Version == 0 {
+		// Pre-negotiation servers omit the field; they speak version 1.
+		hello.Version = wire.ProtocolV1
+	}
+	if hello.Version < wire.ProtocolV1 || hello.Version > c.wantProto {
 		conn.Close()
-		return fmt.Errorf("client: server speaks protocol %d, want %d", hello.Version, wire.ProtocolVersion)
+		return fmt.Errorf("client: server negotiated protocol %d, offered at most %d", hello.Version, c.wantProto)
 	}
 	c.conn = conn
+	c.proto = uint8(hello.Version)
 	c.gen++
-	go c.readLoop(conn, c.gen)
+	go c.readLoop(conn, c.gen, c.proto)
 	return nil
 }
 
@@ -215,8 +246,12 @@ func (c *Client) writeFrame(conn net.Conn, f wire.Frame) error {
 }
 
 // readLoop demultiplexes inbound frames for one connection generation.
-func (c *Client) readLoop(conn net.Conn, gen uint64) {
+// The decoder is pinned to the connection's negotiated protocol version:
+// a frame at any other version is a protocol violation that tears the
+// connection down.
+func (c *Client) readLoop(conn net.Conn, gen uint64, proto uint8) {
 	dec := wire.NewDecoder(conn, c.maxPayload)
+	dec.SetVersion(proto)
 	for {
 		f, err := dec.Next()
 		if err != nil {
@@ -295,7 +330,8 @@ func (c *Client) teardownConnLocked(conn net.Conn, cause error) {
 
 // call executes one request, retransmitting on transport errors under the
 // same request ID so the server's idempotence cache can suppress double
-// application.
+// application.  Payloads are encoded per attempt: a retry may land on a
+// fresh connection with a different negotiated protocol version.
 func (c *Client) call(op wire.Opcode, payload, out any) error {
 	c.mu.Lock()
 	if c.closed {
@@ -305,16 +341,12 @@ func (c *Client) call(op wire.Opcode, payload, out any) error {
 	id := c.reserveIDLocked()
 	c.mu.Unlock()
 
-	req, err := wire.Encode(op, id, payload)
-	if err != nil {
-		return err
-	}
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoff << (attempt - 1))
 		}
-		resp, err := c.roundTrip(req)
+		resp, err := c.roundTrip(op, id, payload)
 		if err == nil {
 			if resp.Op == wire.OpError {
 				var e wire.ErrorResp
@@ -335,9 +367,9 @@ func (c *Client) call(op wire.Opcode, payload, out any) error {
 	return fmt.Errorf("client: %s failed after %d attempts: %w", op, c.retries+1, lastErr)
 }
 
-// roundTrip sends req on the current connection (dialing if needed) and
-// waits for its response.
-func (c *Client) roundTrip(req wire.Frame) (wire.Frame, error) {
+// roundTrip encodes one request at the current connection's negotiated
+// protocol version (dialing if needed) and waits for its response.
+func (c *Client) roundTrip(op wire.Opcode, id uint64, payload any) (wire.Frame, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -349,14 +381,21 @@ func (c *Client) roundTrip(req wire.Frame) (wire.Frame, error) {
 			return wire.Frame{}, err
 		}
 	}
-	conn := c.conn
+	conn, proto := c.conn, c.proto
 	ch := make(chan wire.Frame, 1)
-	c.pending[req.ID] = ch
+	c.pending[id] = ch
 	c.mu.Unlock()
 
+	req, err := wire.EncodeFrame(proto, op, id, payload)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
 	if err := c.writeFrame(conn, req); err != nil {
 		c.mu.Lock()
-		delete(c.pending, req.ID)
+		delete(c.pending, id)
 		c.teardownConnLocked(conn, err)
 		c.mu.Unlock()
 		return wire.Frame{}, errTransport{err}
@@ -364,7 +403,7 @@ func (c *Client) roundTrip(req wire.Frame) (wire.Frame, error) {
 	f, err := awaitFrame(ch, c.callTimeout)
 	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, req.ID)
+		delete(c.pending, id)
 		c.mu.Unlock()
 		return wire.Frame{}, err
 	}
@@ -392,12 +431,23 @@ func (c *Client) Close() error {
 // Ping round-trips an empty frame.
 func (c *Client) Ping() error { return c.call(wire.OpPing, nil, nil) }
 
+// Protocol reports the negotiated protocol version of the current
+// connection (0 when disconnected).
+func (c *Client) Protocol() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0
+	}
+	return int(c.proto)
+}
+
 // Query evaluates src as an instantaneous query; horizon <= 0 uses the
 // server default.  It returns the server's evaluation tick and the
 // satisfied instantiations.
 func (c *Client) Query(src string, horizon temporal.Tick) (temporal.Tick, [][]wire.Value, error) {
 	var resp wire.QueryResp
-	if err := c.call(wire.OpQuery, wire.QueryReq{Src: src, Horizon: horizon}, &resp); err != nil {
+	if err := c.call(wire.OpQuery, &wire.QueryReq{Src: src, Horizon: horizon}, &resp); err != nil {
 		return 0, nil, err
 	}
 	return resp.Now, resp.Rows, nil
@@ -406,7 +456,7 @@ func (c *Client) Query(src string, horizon temporal.Tick) (temporal.Tick, [][]wi
 // UpdateBatch applies explicit updates in order, exactly once.
 func (c *Client) UpdateBatch(ops []wire.UpdateOp) (wire.UpdateBatchResp, error) {
 	var resp wire.UpdateBatchResp
-	err := c.call(wire.OpUpdateBatch, wire.UpdateBatchReq{Ops: ops}, &resp)
+	err := c.call(wire.OpUpdateBatch, &wire.UpdateBatchReq{Ops: ops}, &resp)
 	return resp, err
 }
 
@@ -419,14 +469,14 @@ func (c *Client) SetMotion(id string, vx, vy float64) error {
 // Advance moves the server clock forward by d ticks.
 func (c *Client) Advance(d temporal.Tick) (temporal.Tick, error) {
 	var resp wire.AdvanceResp
-	err := c.call(wire.OpAdvance, wire.AdvanceReq{D: d}, &resp)
+	err := c.call(wire.OpAdvance, &wire.AdvanceReq{D: d}, &resp)
 	return resp.Now, err
 }
 
 // Objects lists objects with their positions at the server's current tick.
 func (c *Client) Objects(class string) (wire.ObjectsResp, error) {
 	var resp wire.ObjectsResp
-	err := c.call(wire.OpObjects, wire.ObjectsReq{Class: class}, &resp)
+	err := c.call(wire.OpObjects, &wire.ObjectsReq{Class: class}, &resp)
 	return resp, err
 }
 
@@ -443,7 +493,7 @@ func (c *Client) SnapshotSave() ([]byte, error) {
 // the server (any client's) ends with a SubClosed push.
 func (c *Client) SnapshotLoad(data []byte) (wire.SnapshotLoadResp, error) {
 	var resp wire.SnapshotLoadResp
-	err := c.call(wire.OpSnapshotLoad, wire.SnapshotLoadReq{Data: data}, &resp)
+	err := c.call(wire.OpSnapshotLoad, &wire.SnapshotLoadReq{Data: data}, &resp)
 	return resp, err
 }
 
@@ -468,7 +518,7 @@ type Subscription struct {
 // Subscribe registers src as a continuous query on the server.
 func (c *Client) Subscribe(src string, horizon temporal.Tick) (*Subscription, error) {
 	var resp wire.SubscribeResp
-	if err := c.call(wire.OpSubscribe, wire.SubscribeReq{Src: src, Horizon: horizon}, &resp); err != nil {
+	if err := c.call(wire.OpSubscribe, &wire.SubscribeReq{Src: src, Horizon: horizon}, &resp); err != nil {
 		return nil, err
 	}
 	sub := &Subscription{
@@ -558,5 +608,5 @@ func (s *Subscription) Close() error {
 	if !live {
 		return nil
 	}
-	return s.c.call(wire.OpUnsubscribe, wire.UnsubscribeReq{SubID: s.subID}, nil)
+	return s.c.call(wire.OpUnsubscribe, &wire.UnsubscribeReq{SubID: s.subID}, nil)
 }

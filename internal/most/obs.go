@@ -18,6 +18,7 @@ import (
 //	db.snapshots            copy-on-read Snapshot() calls
 //	db.snapshot_objects     object revisions copied across all snapshots
 //	wal.appends / wal.append_ns   WAL record writes and their latency
+//	wal.flushes                   group-commit batch writes (syscalls)
 //	wal.syncs / wal.sync_ns       explicit fsyncs and their latency
 
 // dbObs is the database's pre-resolved instrument set.
@@ -88,6 +89,7 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 	}
 	w.appends = reg.Counter("wal.appends")
 	w.appendNs = reg.Histogram("wal.append_ns")
+	w.flushes = reg.Counter("wal.flushes")
 	w.syncs = reg.Counter("wal.syncs")
 	w.syncNs = reg.Histogram("wal.sync_ns")
 }

@@ -59,15 +59,19 @@ func TestLoopbackOracle(t *testing.T) {
 		seeds = []int64{1}
 		ticks = 30
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runLoopbackOracle(t, seed, ticks)
-		})
+	// The oracle runs at both protocol versions: the v2 binary codec must
+	// stay bit-identical to in-process evaluation exactly like v1 JSON.
+	for _, proto := range []int{1, 2} {
+		for _, seed := range seeds {
+			proto, seed := proto, seed
+			t.Run(fmt.Sprintf("proto=%d/seed=%d", proto, seed), func(t *testing.T) {
+				runLoopbackOracle(t, proto, seed, ticks)
+			})
+		}
 	}
 }
 
-func runLoopbackOracle(t *testing.T, seed int64, ticks temporal.Tick) {
+func runLoopbackOracle(t *testing.T, proto int, seed int64, ticks temporal.Tick) {
 	const (
 		nVehicles = 6
 		horizon   = temporal.Tick(50)
@@ -95,11 +99,14 @@ func runLoopbackOracle(t *testing.T, seed int64, ticks temporal.Tick) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := client.Dial(srv.Addr().String())
+	c, err := client.Dial(srv.Addr().String(), client.WithProtocol(proto))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	if got := c.Protocol(); got != proto {
+		t.Fatalf("negotiated protocol %d, want %d", got, proto)
+	}
 
 	localEng := query.NewEngine(localDB)
 	const cqSrc = `RETRIEVE o FROM Vehicles o WHERE Eventually INSIDE(o, P)`

@@ -4,6 +4,17 @@
 // and server-push streaming of continuous-query notifications over
 // long-lived connections.
 //
+// # Protocol versions
+//
+// The server speaks both wire encodings: protocol version 1 (JSON
+// payloads) and version 2 (the compact binary codec, see PROTOCOL.md).
+// Every session starts at version 1; the Hello handshake negotiates
+// min(client max, Config.MaxProtocol) and the session switches to the
+// negotiated version for all subsequent frames.  A frame carrying any
+// other version after negotiation is a protocol violation: the server
+// counts it (server.protocol_violations), pushes a best-effort error
+// frame, and disconnects the session.
+//
 // # Sessions and backpressure
 //
 // Each accepted connection gets one session: a reader goroutine decoding
@@ -62,6 +73,11 @@ type Config struct {
 	// MaxPayload bounds per-frame payload allocation (default
 	// wire.DefaultMaxPayload).
 	MaxPayload int
+	// MaxProtocol caps the protocol version the server negotiates in the
+	// Hello handshake: 1 forces JSON payloads for every session, 2 (the
+	// default) lets v2 clients use the binary codec while v1 clients keep
+	// working.  Values outside [1, wire.MaxProtocolVersion] are clamped.
+	MaxProtocol int
 	// OutQueue is the per-session outbound frame queue length (default 256).
 	OutQueue int
 	// WriteBudget is the slow-consumer budget: the longest a frame may wait
@@ -83,6 +99,9 @@ type Config struct {
 func (c Config) normalized() Config {
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.MaxProtocol <= 0 || c.MaxProtocol > wire.MaxProtocolVersion {
+		c.MaxProtocol = wire.MaxProtocolVersion
 	}
 	if c.OutQueue <= 0 {
 		c.OutQueue = 256
@@ -369,19 +388,20 @@ func (srv *Server) dedupFor(clientID string) *dedupCache {
 
 // metrics holds the pre-resolved (possibly nil) obs instruments.
 type metrics struct {
-	reg              *obs.Registry
-	connections      *obs.Gauge
-	connectionsTotal *obs.Counter
-	subscriptions    *obs.Gauge
-	inflight         *obs.Gauge
-	framesIn         *obs.Counter
-	framesOut        *obs.Counter
-	errors           *obs.Counter
-	slowConsumers    *obs.Counter
-	notifies         *obs.Counter
-	notifyCoalesced  *obs.Counter
-	dedupHits        *obs.Counter
-	applyNs          *obs.Histogram
+	reg                *obs.Registry
+	connections        *obs.Gauge
+	connectionsTotal   *obs.Counter
+	subscriptions      *obs.Gauge
+	inflight           *obs.Gauge
+	framesIn           *obs.Counter
+	framesOut          *obs.Counter
+	errors             *obs.Counter
+	slowConsumers      *obs.Counter
+	protocolViolations *obs.Counter
+	notifies           *obs.Counter
+	notifyCoalesced    *obs.Counter
+	dedupHits          *obs.Counter
+	applyNs            *obs.Histogram
 
 	opMu sync.Mutex
 	opNs map[wire.Opcode]*obs.Histogram
@@ -389,20 +409,21 @@ type metrics struct {
 
 func newMetrics(reg *obs.Registry) *metrics {
 	return &metrics{
-		reg:              reg,
-		connections:      reg.Gauge("server.connections"),
-		connectionsTotal: reg.Counter("server.connections_total"),
-		subscriptions:    reg.Gauge("server.subscriptions"),
-		inflight:         reg.Gauge("server.inflight_requests"),
-		framesIn:         reg.Counter("server.frames_in"),
-		framesOut:        reg.Counter("server.frames_out"),
-		errors:           reg.Counter("server.request_errors"),
-		slowConsumers:    reg.Counter("server.slow_consumer_disconnects"),
-		notifies:         reg.Counter("server.notifies"),
-		notifyCoalesced:  reg.Counter("server.notifies_coalesced"),
-		dedupHits:        reg.Counter("server.dedup_hits"),
-		applyNs:          reg.Histogram("server.apply_ns"),
-		opNs:             map[wire.Opcode]*obs.Histogram{},
+		reg:                reg,
+		connections:        reg.Gauge("server.connections"),
+		connectionsTotal:   reg.Counter("server.connections_total"),
+		subscriptions:      reg.Gauge("server.subscriptions"),
+		inflight:           reg.Gauge("server.inflight_requests"),
+		framesIn:           reg.Counter("server.frames_in"),
+		framesOut:          reg.Counter("server.frames_out"),
+		errors:             reg.Counter("server.request_errors"),
+		slowConsumers:      reg.Counter("server.slow_consumer_disconnects"),
+		protocolViolations: reg.Counter("server.protocol_violations"),
+		notifies:           reg.Counter("server.notifies"),
+		notifyCoalesced:    reg.Counter("server.notifies_coalesced"),
+		dedupHits:          reg.Counter("server.dedup_hits"),
+		applyNs:            reg.Histogram("server.apply_ns"),
+		opNs:               map[wire.Opcode]*obs.Histogram{},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mostdb/most/internal/ftl"
@@ -24,9 +25,21 @@ var (
 // session is one connection's server-side state: a reader goroutine
 // dispatching pipelined requests in order, a writer goroutine owning the
 // socket, and one pump goroutine per live subscription.
+//
+// The ingest hot path is allocation-free in steady state: the decoder
+// reuses one payload buffer per session (Decoder.NextReuse), update
+// batches decode into a reused request struct with object IDs resolved
+// through a per-session string interner, responses encode into pooled
+// buffers (wire.EncodePooled) that the writer recycles after the socket
+// write, and the writer serializes frames into one reusable buffer
+// instead of allocating per frame.
 type session struct {
 	srv  *Server
 	conn net.Conn
+
+	// proto is the session's negotiated protocol version: ProtocolV1 until
+	// a Hello negotiates higher.  Read by the reader, writer, and pumps.
+	proto atomic.Uint32
 
 	out        chan wire.Frame // all outbound frames
 	dead       chan struct{}   // closed by kill: stop everything now
@@ -36,6 +49,14 @@ type session struct {
 	killOnce sync.Once
 	draining sync.Once
 
+	// Reader-goroutine-only decode scratch (no locking needed): the reused
+	// update-batch request and the session's string interner.
+	reqUB  wire.UpdateBatchReq
+	intern wire.Interner
+
+	// Writer-goroutine-only frame serialization buffer.
+	wbuf []byte
+
 	mu         sync.Mutex
 	clientID   string
 	dedup      *dedupCache
@@ -44,7 +65,7 @@ type session struct {
 }
 
 func newSession(srv *Server, conn net.Conn) *session {
-	return &session{
+	s := &session{
 		srv:        srv,
 		conn:       conn,
 		out:        make(chan wire.Frame, srv.cfg.OutQueue),
@@ -52,21 +73,32 @@ func newSession(srv *Server, conn net.Conn) *session {
 		flushc:     make(chan struct{}),
 		writerDone: make(chan struct{}),
 		subs:       map[uint64]*serverSub{},
+		intern:     wire.Interner{},
 	}
+	s.proto.Store(wire.ProtocolV1)
+	return s
 }
 
 // run is the session main loop; it returns when the connection is done.
+//
+// The decoder is pinned to the session's protocol version at every frame:
+// before negotiation only version-1 frames are legal (Hello is always
+// spoken at v1), afterwards only the negotiated version — a frame carrying
+// any other version is a protocol violation that disconnects the session
+// after a best-effort error push.
 func (s *session) run() {
 	go s.writeLoop()
 	dec := wire.NewDecoder(bufio.NewReaderSize(s.conn, 64<<10), s.srv.cfg.MaxPayload)
 	for {
-		f, err := dec.Next()
+		dec.SetVersion(uint8(s.proto.Load()))
+		f, err := dec.NextReuse()
 		if err != nil {
 			// EOF, the drain deadline, a kill, or a protocol violation: in
 			// every case the session winds down.  Protocol violations get a
 			// best-effort error frame first.
-			if errors.Is(err, wire.ErrBadFrame) || errors.Is(err, wire.ErrTooLarge) {
-				s.tryEnqueue(mustEncode(wire.OpError, 0, wire.ErrorResp{Msg: err.Error()}))
+			if errors.Is(err, wire.ErrBadFrame) || errors.Is(err, wire.ErrFrameTooLarge) {
+				s.srv.m.protocolViolations.Inc()
+				s.tryEnqueue(s.enc(wire.OpError, 0, &wire.ErrorResp{Msg: err.Error()}))
 			}
 			break
 		}
@@ -133,14 +165,24 @@ func (s *session) writeLoop() {
 	}
 }
 
+// write serializes one frame into the session's reusable buffer, writes it
+// in one syscall, and recycles pool-backed payloads.
 func (s *session) write(f wire.Frame) bool {
+	buf, err := wire.AppendFrame(s.wbuf[:0], f)
+	if err != nil {
+		// Frames are produced by our own encoders; an unframeable one is a bug.
+		panic(err)
+	}
+	s.wbuf = buf[:0]
 	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteBudget))
-	if err := wire.WriteFrame(s.conn, f); err != nil {
+	_, werr := s.conn.Write(buf)
+	wire.Recycle(f)
+	if werr != nil {
 		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
+		if errors.As(werr, &ne) && ne.Timeout() {
 			s.slowConsumer()
 		} else {
-			s.kill(err.Error())
+			s.kill(werr.Error())
 		}
 		return false
 	}
@@ -181,8 +223,11 @@ func (s *session) tryEnqueue(f wire.Frame) {
 
 // ---- request dispatch ----
 
-func mustEncode(op wire.Opcode, id uint64, payload any) wire.Frame {
-	f, err := wire.Encode(op, id, payload)
+// enc encodes a response or push payload at the session's negotiated
+// protocol version, drawing v2 payload buffers from the encode pool (the
+// writer recycles them after the socket write).
+func (s *session) enc(op wire.Opcode, id uint64, payload any) wire.Frame {
+	f, err := wire.EncodePooled(uint8(s.proto.Load()), op, id, payload)
 	if err != nil {
 		// Payloads are our own types; failure to marshal them is a bug.
 		panic(err)
@@ -190,8 +235,8 @@ func mustEncode(op wire.Opcode, id uint64, payload any) wire.Frame {
 	return f
 }
 
-func errFrame(id uint64, err error) wire.Frame {
-	return mustEncode(wire.OpError, id, wire.ErrorResp{Msg: err.Error()})
+func (s *session) errFrame(id uint64, err error) wire.Frame {
+	return s.enc(wire.OpError, id, &wire.ErrorResp{Msg: err.Error()})
 }
 
 // handle executes one request and enqueues its response, recording the
@@ -224,14 +269,51 @@ func (s *session) dispatch(f wire.Frame) wire.Frame {
 		if replay {
 			s.srv.m.dedupHits.Inc()
 			<-e.done
-			return e.frame
+			return s.transcode(e.frame, f.Op)
 		}
 		resp := s.execute(f)
-		e.finish(resp)
+		// The cache owns a detached copy: the enqueued original may be
+		// pool-backed and is recycled by the writer after the socket write.
+		e.finish(resp.Detach())
 		return resp
 	default:
 		return s.execute(f)
 	}
+}
+
+// transcode re-frames a cached response at this session's negotiated
+// protocol version.  The dedup cache stores responses as encoded for the
+// session that executed them; a retry arriving on a reconnect that
+// negotiated a different version must still receive a frame its pinned
+// decoder accepts (PROTOCOL.md §5: replay encoding follows the retrying
+// connection).  reqOp selects the payload type of an OpResult frame.
+func (s *session) transcode(f wire.Frame, reqOp wire.Opcode) wire.Frame {
+	v := uint8(s.proto.Load())
+	if f.Version == v || (f.Version == 0 && v == wire.ProtocolV1) {
+		return f
+	}
+	var payload any
+	switch {
+	case f.Op == wire.OpError:
+		payload = &wire.ErrorResp{}
+	case reqOp == wire.OpUpdateBatch:
+		payload = &wire.UpdateBatchResp{}
+	case reqOp == wire.OpAdvance:
+		payload = &wire.AdvanceResp{}
+	case reqOp == wire.OpSnapshotLoad:
+		payload = &wire.SnapshotLoadResp{}
+	default:
+		return f
+	}
+	if err := wire.Unmarshal(f, payload); err != nil {
+		return s.errFrame(f.ID, err)
+	}
+	out, err := wire.EncodeFrame(v, f.Op, f.ID, payload)
+	if err != nil {
+		// Re-encoding our own payload types cannot fail.
+		panic(err)
+	}
+	return out
 }
 
 func (s *session) execute(f wire.Frame) wire.Frame {
@@ -239,7 +321,7 @@ func (s *session) execute(f wire.Frame) wire.Frame {
 	case wire.OpHello:
 		return s.handleHello(f)
 	case wire.OpPing:
-		return mustEncode(wire.OpResult, f.ID, nil)
+		return s.enc(wire.OpResult, f.ID, nil)
 	case wire.OpQuery:
 		return s.handleQuery(f)
 	case wire.OpUpdateBatch:
@@ -257,26 +339,38 @@ func (s *session) execute(f wire.Frame) wire.Frame {
 	case wire.OpUnsubscribe:
 		return s.handleUnsubscribe(f)
 	default:
-		return errFrame(f.ID, fmt.Errorf("server: %s is not a request opcode", f.Op))
+		return s.errFrame(f.ID, fmt.Errorf("server: %s is not a request opcode", f.Op))
 	}
 }
 
+// handleHello binds the client identity and negotiates the session
+// protocol version.  The response is always encoded at version 1 — the
+// client only switches encodings after reading it — and the session's
+// version changes just before the response is enqueued, so the next frame
+// the reader decodes is already held to the negotiated version.
 func (s *session) handleHello(f wire.Frame) wire.Frame {
 	var req wire.HelloReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	s.mu.Lock()
 	s.clientID = req.ClientID
 	s.dedup = s.srv.dedupFor(req.ClientID)
 	s.mu.Unlock()
-	return mustEncode(wire.OpResult, f.ID, wire.HelloResp{Server: s.srv.cfg.Name, Version: wire.ProtocolVersion})
+	v := wire.NegotiateVersion(req.MaxVersion, s.srv.cfg.MaxProtocol)
+	resp, err := wire.EncodeFrame(wire.ProtocolV1, wire.OpResult, f.ID,
+		&wire.HelloResp{Server: s.srv.cfg.Name, Version: int(v)})
+	if err != nil {
+		panic(err)
+	}
+	s.proto.Store(uint32(v))
+	return resp
 }
 
 func (s *session) handleQuery(f wire.Frame) wire.Frame {
 	var req wire.QueryReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	st := s.srv.state()
 	opts := s.srv.cfg.BaseOptions
@@ -285,45 +379,55 @@ func (s *session) handleQuery(f wire.Frame) wire.Frame {
 	}
 	rows, err := st.eng.Query(req.Src, opts)
 	if err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	evRows := make([][]eval.Val, len(rows))
 	for i, r := range rows {
 		evRows[i] = r
 	}
-	return mustEncode(wire.OpResult, f.ID, wire.QueryResp{Now: st.db.Now(), Rows: wire.FromRows(evRows)})
+	return s.enc(wire.OpResult, f.ID, &wire.QueryResp{Now: st.db.Now(), Rows: wire.FromRows(evRows)})
 }
 
+// handleUpdateBatch is the ingest hot path.  The request decodes into the
+// session's reused struct (slice capacity and interned object IDs carry
+// over between batches), is applied op by op, and the small fixed-size
+// acknowledgement encodes into a pooled buffer — zero steady-state
+// allocations end to end on the v2 decode path (TestIngestZeroAlloc).
 func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
-	var req wire.UpdateBatchReq
-	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+	req := &s.reqUB
+	// Zero the recycled op slots before decoding into them: v1 JSON omits
+	// zero-valued fields (omitempty), so a stale element would otherwise
+	// leak the previous batch's values into ops that legitimately carry
+	// zeros (e.g. a stop — SetMotion with a zero vector).
+	clear(req.Ops[:cap(req.Ops)])
+	req.Ops = req.Ops[:0]
+	if err := wire.UnmarshalInterned(f, req, s.intern); err != nil {
+		return s.errFrame(f.ID, err)
 	}
 	st := s.srv.state()
 	t0 := s.srv.m.reg.Start()
 	applied := 0
 	var failure error
-	for _, op := range req.Ops {
-		if err := applyOp(st, op); err != nil {
-			failure = fmt.Errorf("op %d (%s %s): %w", applied, op.Op, op.ID, err)
+	for i := range req.Ops {
+		if err := applyOp(st, &req.Ops[i]); err != nil {
+			failure = fmt.Errorf("op %d (%s %s): %w", applied, req.Ops[i].Op, req.Ops[i].ID, err)
 			break
 		}
 		applied++
 	}
 	s.srv.m.applyNs.Since(t0)
 	if failure != nil {
-		return errFrame(f.ID, failure)
+		return s.errFrame(f.ID, failure)
 	}
-	return mustEncode(wire.OpResult, f.ID, wire.UpdateBatchResp{
-		Applied: applied, Now: st.db.Now(), Version: st.db.Version(),
-	})
+	resp := wire.UpdateBatchResp{Applied: applied, Now: st.db.Now(), Version: st.db.Version()}
+	return s.enc(wire.OpResult, f.ID, &resp)
 }
 
 // applyOp applies one explicit update.  Continuous-query maintenance runs
 // synchronously inside the database call (the engine subscribes to
 // updates), so when the batch response goes out every registered query
 // already reflects it.
-func applyOp(st *state, op wire.UpdateOp) error {
+func applyOp(st *state, op *wire.UpdateOp) error {
 	switch op.Op {
 	case wire.OpSetMotion:
 		return st.db.SetMotion(most.ObjectID(op.ID), geom.Vector{X: op.VX, Y: op.VY})
@@ -368,19 +472,19 @@ func mostValue(v wire.Value) (most.Value, error) {
 func (s *session) handleAdvance(f wire.Frame) wire.Frame {
 	var req wire.AdvanceReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	if req.D < 0 {
-		return errFrame(f.ID, errors.New("the clock cannot run backwards"))
+		return s.errFrame(f.ID, errors.New("the clock cannot run backwards"))
 	}
 	now := s.srv.state().db.Advance(req.D)
-	return mustEncode(wire.OpResult, f.ID, wire.AdvanceResp{Now: now})
+	return s.enc(wire.OpResult, f.ID, &wire.AdvanceResp{Now: now})
 }
 
 func (s *session) handleObjects(f wire.Frame) wire.Frame {
 	var req wire.ObjectsReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	st := s.srv.state()
 	now := st.db.Now()
@@ -393,28 +497,28 @@ func (s *session) handleObjects(f wire.Frame) wire.Frame {
 		}
 		resp.Objects = append(resp.Objects, info)
 	}
-	return mustEncode(wire.OpResult, f.ID, resp)
+	return s.enc(wire.OpResult, f.ID, &resp)
 }
 
 func (s *session) handleSnapshotSave(f wire.Frame) wire.Frame {
 	data, err := s.srv.state().db.SnapshotJSON()
 	if err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
-	return mustEncode(wire.OpResult, f.ID, wire.SnapshotResp{Data: data})
+	return s.enc(wire.OpResult, f.ID, &wire.SnapshotResp{Data: data})
 }
 
 func (s *session) handleSnapshotLoad(f wire.Frame) wire.Frame {
 	var req wire.SnapshotLoadReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	db, err := most.LoadSnapshotJSON(req.Data)
 	if err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	s.srv.swapState(db)
-	return mustEncode(wire.OpResult, f.ID, wire.SnapshotLoadResp{Now: db.Now(), Objects: db.Count()})
+	return s.enc(wire.OpResult, f.ID, &wire.SnapshotLoadResp{Now: db.Now(), Objects: db.Count()})
 }
 
 // ---- subscriptions ----
@@ -434,6 +538,12 @@ type serverSub struct {
 
 	dirty chan struct{} // capacity 1
 	stop  chan struct{}
+
+	// scratch is the pump's reusable answer-row conversion buffer: one
+	// relation is converted per maintenance round, and the encode into the
+	// outbound frame completes before the next conversion, so the rows and
+	// their Vals arrays are recycled round over round.
+	scratch []wire.AnswerRow
 }
 
 // onAnswer runs on the updater's commit path: store and signal, never
@@ -470,8 +580,9 @@ func (s *session) pump(sub *serverSub) {
 			if seq > sent+1 {
 				s.srv.m.notifyCoalesced.Add(int64(seq - sent - 1))
 			}
-			n := wire.Notify{SubID: sub.id, Seq: seq, Answer: wire.FromRelation(rel)}
-			if err := s.enqueue(mustEncode(wire.OpNotify, 0, n)); err != nil {
+			sub.scratch = wire.AppendRelation(sub.scratch[:0], rel)
+			n := wire.Notify{SubID: sub.id, Seq: seq, Answer: sub.scratch}
+			if err := s.enqueue(s.enc(wire.OpNotify, 0, &n)); err != nil {
 				return
 			}
 			sent = seq
@@ -482,12 +593,12 @@ func (s *session) pump(sub *serverSub) {
 func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 	var req wire.SubscribeReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	st := s.srv.state()
 	q, err := ftl.Parse(req.Src)
 	if err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	opts := s.srv.cfg.BaseOptions
 	if req.Horizon > 0 {
@@ -495,7 +606,7 @@ func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 	}
 	cq, err := st.eng.Continuous(q, opts)
 	if err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	sub := &serverSub{
 		id:    s.srv.nextSub.Add(1),
@@ -505,13 +616,13 @@ func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 	}
 	if err := cq.Subscribe(sub.onAnswer); err != nil {
 		cq.Cancel()
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	s.mu.Lock()
 	if s.subsClosed {
 		s.mu.Unlock()
 		cq.Cancel()
-		return errFrame(f.ID, errSessionClosed)
+		return s.errFrame(f.ID, errSessionClosed)
 	}
 	s.subs[sub.id] = sub
 	s.mu.Unlock()
@@ -522,9 +633,9 @@ func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 	rel, err := cq.Answer()
 	if err != nil {
 		s.removeSub(sub.id, "", false)
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
-	return mustEncode(wire.OpResult, f.ID, wire.SubscribeResp{
+	return s.enc(wire.OpResult, f.ID, &wire.SubscribeResp{
 		SubID: sub.id, Now: st.db.Now(), Answer: wire.FromRelation(rel),
 	})
 }
@@ -532,12 +643,12 @@ func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 func (s *session) handleUnsubscribe(f wire.Frame) wire.Frame {
 	var req wire.UnsubscribeReq
 	if err := wire.Unmarshal(f, &req); err != nil {
-		return errFrame(f.ID, err)
+		return s.errFrame(f.ID, err)
 	}
 	if !s.removeSub(req.SubID, "", false) {
-		return errFrame(f.ID, fmt.Errorf("no subscription %d", req.SubID))
+		return s.errFrame(f.ID, fmt.Errorf("no subscription %d", req.SubID))
 	}
-	return mustEncode(wire.OpResult, f.ID, nil)
+	return s.enc(wire.OpResult, f.ID, nil)
 }
 
 // removeSub cancels one subscription; with push it also notifies the
@@ -556,7 +667,7 @@ func (s *session) removeSub(id uint64, reason string, push bool) bool {
 	close(sub.stop)
 	s.srv.m.subscriptions.Add(-1)
 	if push {
-		s.tryEnqueue(mustEncode(wire.OpSubClosed, 0, wire.SubClosed{SubID: id, Reason: reason}))
+		s.tryEnqueue(s.enc(wire.OpSubClosed, 0, &wire.SubClosed{SubID: id, Reason: reason}))
 	}
 	return true
 }
@@ -580,7 +691,7 @@ func (s *session) closeSubs(reason string) {
 		close(sub.stop)
 		s.srv.m.subscriptions.Add(-1)
 		if reason != "" {
-			s.tryEnqueue(mustEncode(wire.OpSubClosed, 0, wire.SubClosed{SubID: sub.id, Reason: reason}))
+			s.tryEnqueue(s.enc(wire.OpSubClosed, 0, &wire.SubClosed{SubID: sub.id, Reason: reason}))
 		}
 	}
 }

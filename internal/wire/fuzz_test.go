@@ -7,12 +7,18 @@ import (
 )
 
 // FuzzWireDecode feeds arbitrary byte streams to the frame decoder and the
-// payload unmarshalers.  The invariants: the decoder never panics, never
-// allocates more than its configured payload bound per frame, consumes the
-// stream frame by frame until an error or EOF, and every frame it does
-// accept re-encodes to bytes that decode to an identical frame.
+// payload unmarshalers of both protocol versions.  The invariants: the
+// decoder never panics, never allocates more than its configured payload
+// bound per frame, consumes the stream frame by frame until an error or
+// EOF, every frame it accepts re-encodes to bytes that decode to an
+// identical frame, and every v2 payload that decodes re-encodes to a
+// canonical byte string (decode∘encode is idempotent).  Hello payloads
+// additionally drive the negotiation state machine: whatever MaxVersion a
+// hostile client declares, the negotiated version stays in
+// [ProtocolV1, MaxProtocolVersion].
 func FuzzWireDecode(f *testing.F) {
-	// Seed corpus: valid frames of each shape, then classic hostile inputs.
+	// Seed corpus: valid frames of each shape in both encodings, then
+	// classic hostile inputs.
 	ping, _ := AppendFrame(nil, Frame{Op: OpPing, ID: 1})
 	qf, _ := Encode(OpQuery, 2, QueryReq{Src: "RETRIEVE o FROM Vehicles o WHERE TRUE", Horizon: 50})
 	query, _ := AppendFrame(nil, qf)
@@ -20,10 +26,32 @@ func FuzzWireDecode(f *testing.F) {
 	notify, _ := AppendFrame(nil, nf)
 	two := append(append([]byte(nil), ping...), query...)
 
+	qf2, _ := EncodeFrame(ProtocolV2, OpQuery, 2, &QueryReq{Src: "RETRIEVE o FROM Vehicles o WHERE TRUE", Horizon: 50})
+	query2, _ := AppendFrame(nil, qf2)
+	uf2, _ := EncodeFrame(ProtocolV2, OpUpdateBatch, 4, &UpdateBatchReq{Ops: []UpdateOp{
+		{Op: OpSetMotion, ID: "car-1", VX: 1.5, VY: -2},
+		{Op: OpDelete, ID: "car-2"},
+	}})
+	update2, _ := AppendFrame(nil, uf2)
+	nf2, _ := EncodeFrame(ProtocolV2, OpNotify, 0, &Notify{SubID: 3, Seq: 9, Answer: []AnswerRow{{Vals: []Value{{Kind: 1, Obj: "car-1"}}, Start: 0, End: 7}}})
+	notify2, _ := AppendFrame(nil, nf2)
+	mixed := append(append([]byte(nil), query...), update2...)
+
+	hello, _ := Encode(OpHello, 1, HelloReq{ClientID: "fuzz", MaxVersion: 2})
+	helloFrame, _ := AppendFrame(nil, hello)
+	helloHostile, _ := Encode(OpHello, 1, HelloReq{ClientID: "fuzz", MaxVersion: 999})
+	helloHostileFrame, _ := AppendFrame(nil, helloHostile)
+
 	f.Add(ping)
 	f.Add(query)
 	f.Add(notify)
 	f.Add(two)
+	f.Add(query2)
+	f.Add(update2)
+	f.Add(notify2)
+	f.Add(mixed)
+	f.Add(helloFrame)
+	f.Add(helloHostileFrame)
 	f.Add([]byte{})
 	f.Add([]byte("MW"))                                         // truncated header
 	f.Add(append([]byte(nil), ping[:HeaderSize]...))            // header only
@@ -47,7 +75,7 @@ func FuzzWireDecode(f *testing.F) {
 			if len(fr.Payload) > maxPayload {
 				t.Fatalf("decoder returned %d payload bytes, bound is %d", len(fr.Payload), maxPayload)
 			}
-			// Accepted frames must re-encode losslessly.
+			// Accepted frames must re-encode losslessly, version included.
 			buf, err := AppendFrame(nil, fr)
 			if err != nil {
 				t.Fatalf("re-encode of accepted frame failed: %v", err)
@@ -56,24 +84,61 @@ func FuzzWireDecode(f *testing.F) {
 			if err != nil {
 				t.Fatalf("re-decode of accepted frame failed: %v", err)
 			}
-			if fr2.Op != fr.Op || fr2.ID != fr.ID || !bytes.Equal(fr2.Payload, fr.Payload) {
+			if fr2.Op != fr.Op || fr2.ID != fr.ID || fr2.Version != fr.Version || !bytes.Equal(fr2.Payload, fr.Payload) {
 				t.Fatal("re-encoded frame differs")
 			}
-			// Payload unmarshaling must not panic either, whatever the bytes.
+			// Payload unmarshaling must not panic, whatever the bytes and
+			// whichever encoding the version byte selects.
 			switch fr.Op {
+			case OpHello:
+				var h HelloReq
+				if Unmarshal(fr, &h) == nil {
+					// Negotiation must map any advertised maximum into the
+					// implemented window.
+					for _, serverMax := range []int{-1, 0, 1, 2, 1000} {
+						v := NegotiateVersion(h.MaxVersion, serverMax)
+						if v < ProtocolV1 || v > MaxProtocolVersion {
+							t.Fatalf("NegotiateVersion(%d, %d) = %d, outside [1, %d]",
+								h.MaxVersion, serverMax, v, MaxProtocolVersion)
+						}
+					}
+				}
 			case OpQuery:
-				var q QueryReq
-				_ = Unmarshal(fr, &q)
+				checkPayload(t, fr, &QueryReq{}, &QueryReq{})
 			case OpUpdateBatch:
-				var u UpdateBatchReq
-				_ = Unmarshal(fr, &u)
+				checkPayload(t, fr, &UpdateBatchReq{}, &UpdateBatchReq{})
+			case OpAdvance:
+				checkPayload(t, fr, &AdvanceReq{}, &AdvanceReq{})
 			case OpSubscribe:
-				var s SubscribeReq
-				_ = Unmarshal(fr, &s)
+				checkPayload(t, fr, &SubscribeReq{}, &SubscribeReq{})
 			case OpNotify:
-				var n Notify
-				_ = Unmarshal(fr, &n)
+				checkPayload(t, fr, &Notify{}, &Notify{})
+			case OpSubClosed:
+				checkPayload(t, fr, &SubClosed{}, &SubClosed{})
 			}
 		}
 	})
+}
+
+// checkPayload unmarshals a fuzzed frame into a; if the payload is
+// accepted and the frame is v2, it checks decode∘encode idempotence: the
+// re-encoded bytes b1 must decode (into b) and re-encode to exactly b1.
+// This holds bit-for-bit even for NaN floats, since v2 carries IEEE-754
+// bits verbatim.
+func checkPayload(t *testing.T, fr Frame, a, b binaryPayload) {
+	t.Helper()
+	if err := Unmarshal(fr, a); err != nil || fr.Version != ProtocolV2 {
+		return
+	}
+	b1 := a.appendBinary(nil)
+	if err := Unmarshal(Frame{Op: fr.Op, Version: ProtocolV2, Payload: b1}, b); err != nil {
+		if len(b1) > 0 {
+			t.Fatalf("canonical re-encode of accepted %s payload does not decode: %v", fr.Op, err)
+		}
+		return
+	}
+	b2 := b.appendBinary(nil)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("%s payload not canonical after one decode/encode cycle:\n b1: %x\n b2: %x", fr.Op, b1, b2)
+	}
 }

@@ -12,21 +12,30 @@ import (
 )
 
 // This file defines the typed frame payloads and the conversions between
-// wire values and the evaluator's eval.Val.  Payloads are JSON for the
-// same reason the snapshot format is: the repo is dependency-free and the
-// encoding round-trips every value exactly (float64 via strconv's shortest
-// round-trippable form, ticks as int64 literals), which is what lets the
-// loopback oracle demand bit-identical answers.
+// wire values and the evaluator's eval.Val.  Each payload has two
+// encodings selected by the frame's protocol version: version 1 is JSON
+// (zero-dependency, unknown fields tolerated), version 2 is the compact
+// binary grammar of binary.go.  Both round-trip every value exactly
+// (float64 via IEEE-754 bits in v2 and strconv's shortest round-trippable
+// form in v1, ticks as int64), which is what lets the loopback oracle
+// demand bit-identical answers at either version.
 
 // HelloReq introduces a client.  ClientID keys the server's idempotence
 // cache: a request retried on a new connection under the same ClientID and
 // request ID is not applied twice (the PR-2 reliable-delivery semantics on
 // a real socket).  Empty disables retry deduplication.
+//
+// MaxVersion is the highest protocol version the client speaks; 0 (the
+// field absent — every pre-v2 client) means 1.  Hello frames themselves
+// are always version 1, so negotiation works against any peer.
 type HelloReq struct {
-	ClientID string `json:"client_id,omitempty"`
+	ClientID   string `json:"client_id,omitempty"`
+	MaxVersion int    `json:"max_version,omitempty"`
 }
 
-// HelloResp reports the server identity and protocol version.
+// HelloResp reports the server identity and the negotiated session
+// protocol version: min(HelloReq.MaxVersion, server's maximum).  Every
+// frame after this response carries exactly this version.
 type HelloResp struct {
 	Server  string `json:"server"`
 	Version int    `json:"version"`
@@ -216,19 +225,29 @@ type AnswerRow struct {
 // FromRelation flattens a materialized relation into answer rows in the
 // relation's canonical order (sorted by instantiation, then interval).
 func FromRelation(rel *eval.Relation) []AnswerRow {
+	return AppendRelation(nil, rel)
+}
+
+// AppendRelation is FromRelation into a caller-owned scratch slice: rows
+// are appended to dst (pass dst[:0] to reuse its capacity, including the
+// per-row Vals backing arrays), so a notification pump that converts one
+// relation per maintenance round stops allocating in steady state.
+func AppendRelation(dst []AnswerRow, rel *eval.Relation) []AnswerRow {
 	if rel == nil {
-		return nil
+		return dst
 	}
-	answers := rel.Answers()
-	out := make([]AnswerRow, len(answers))
-	for i, a := range answers {
-		vals := make([]Value, len(a.Vals))
-		for j, v := range a.Vals {
-			vals[j] = FromVal(v)
+	for _, a := range rel.Answers() {
+		var vals []Value
+		if n := len(dst); n < cap(dst) {
+			// Reuse the retired row slot's Vals array when rewriting in place.
+			vals = dst[:cap(dst)][n].Vals[:0]
 		}
-		out[i] = AnswerRow{Vals: vals, Start: a.Interval.Start, End: a.Interval.End}
+		for _, v := range a.Vals {
+			vals = append(vals, FromVal(v))
+		}
+		dst = append(dst, AnswerRow{Vals: vals, Start: a.Interval.Start, End: a.Interval.End})
 	}
-	return out
+	return dst
 }
 
 // RowsAt presents the answer rows whose interval contains t — the client

@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector instruments this build.
+// TestIngestZeroAlloc skips under race: instrumentation allocates.
+const raceEnabled = true

@@ -1,12 +1,27 @@
 // Package wire is the MOST client/server wire protocol: a length-prefixed,
-// versioned frame codec carrying typed JSON payloads.  One frame is
+// versioned frame codec carrying typed payloads.  One frame is
 //
 //	magic   2 bytes  'M' 'W'
-//	version 1 byte   ProtocolVersion
+//	version 1 byte   protocol version of the payload encoding (1 or 2)
 //	opcode  1 byte   Opcode
 //	id      8 bytes  big-endian request ID (0 on unsolicited pushes)
 //	length  4 bytes  big-endian payload length
-//	payload length bytes of JSON
+//	payload length bytes
+//
+// The 16-byte header is identical in every protocol version; the version
+// byte selects the payload encoding.  Version 1 payloads are JSON; version
+// 2 payloads are the compact binary encoding of binary.go (fixed-width
+// little-endian numbers, varint-prefixed strings, IEEE-754 float64 bits).
+// Both encodings round-trip every value exactly, which is what lets the
+// loopback oracle demand bit-identical answers across the wire.
+//
+// Sessions negotiate the version in the Hello handshake: Hello frames are
+// always version 1, the client advertises the highest version it speaks
+// (HelloReq.MaxVersion), and the server answers with the session version
+// (HelloResp.Version = min of the two) — every subsequent frame in either
+// direction carries exactly that version.  See PROTOCOL.md for the formal
+// specification: header layout, opcode table, payload grammars byte by
+// byte, and the negotiation state machine.
 //
 // Requests carry a per-connection-unique ID; every response echoes the ID
 // of the request it answers, so a client may pipeline any number of
@@ -15,9 +30,11 @@
 // subscription ID inside the payload.
 //
 // The decoder is hostile-input safe: it validates the magic, version, and
-// payload bound before allocating, allocates at most MaxPayload bytes per
-// frame, and returns errors — it never panics on malformed, truncated, or
-// oversized input (FuzzWireDecode locks this in).
+// payload bound before reading or allocating the payload, allocates at
+// most the configured bound per frame, and returns errors — it never
+// panics on malformed, truncated, or oversized input (FuzzWireDecode locks
+// this in).  A declared length beyond the bound fails with
+// ErrFrameTooLarge before a single payload byte is read.
 package wire
 
 import (
@@ -26,13 +43,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
-// ProtocolVersion is the wire protocol version this package speaks.  A
-// frame with any other version is rejected by the decoder.
-const ProtocolVersion = 1
+// Protocol versions.  V1 frames carry JSON payloads; V2 frames carry the
+// compact binary encoding.  The Hello handshake (always spoken at V1)
+// negotiates the session version.
+const (
+	// ProtocolV1 is the original JSON payload encoding.
+	ProtocolV1 = 1
+	// ProtocolV2 is the compact binary payload encoding.
+	ProtocolV2 = 2
+	// MaxProtocolVersion is the highest version this package implements.
+	MaxProtocolVersion = ProtocolV2
+)
 
-// HeaderSize is the fixed frame header length in bytes.
+// HeaderSize is the fixed frame header length in bytes, identical across
+// protocol versions.
 const HeaderSize = 16
 
 // DefaultMaxPayload bounds a frame's payload unless the decoder is
@@ -42,12 +69,13 @@ const DefaultMaxPayload = 64 << 20
 // magic identifies a MOST wire frame.
 var magic = [2]byte{'M', 'W'}
 
-// Opcode discriminates frame payloads.
+// Opcode discriminates frame payloads.  The opcode space is shared by both
+// protocol versions; only the payload encoding differs.
 type Opcode uint8
 
 // Request opcodes (client to server).
 const (
-	OpHello        Opcode = 1  // HelloReq: session setup, client identity
+	OpHello        Opcode = 1  // HelloReq: session setup, identity, version negotiation
 	OpPing         Opcode = 2  // empty: liveness probe
 	OpQuery        Opcode = 3  // QueryReq: instantaneous FTL query
 	OpUpdateBatch  Opcode = 4  // UpdateBatchReq: batched explicit updates
@@ -103,35 +131,85 @@ func (o Opcode) String() string {
 	}
 }
 
-// valid reports whether the opcode is one this protocol version defines.
+// valid reports whether the opcode is one this protocol defines.
 func (o Opcode) valid() bool {
 	return (o >= OpHello && o <= OpUnsubscribe) || (o >= OpResult && o <= OpSubClosed)
 }
 
-// Frame is one decoded protocol frame.
+// Frame is one decoded protocol frame.  Version is the payload encoding
+// (ProtocolV1 or ProtocolV2); the zero value encodes as ProtocolV1 so
+// pre-negotiation code paths stay valid.
 type Frame struct {
 	Op      Opcode
 	ID      uint64
+	Version uint8
 	Payload []byte
+
+	// pbuf, when non-nil, is the encode-pool slot backing Payload
+	// (EncodePooled); Recycle returns it.  The pointer travels with struct
+	// copies, so a frame must be Detach()ed before being retained past its
+	// write.
+	pbuf *[]byte
 }
 
-// Decode errors.  ErrTooLarge and ErrBadFrame mark input that must not be
-// retried verbatim; io errors pass through unwrapped so callers can detect
-// EOF and timeouts.
+// Decode errors.  ErrFrameTooLarge and ErrBadFrame mark input that must
+// not be retried verbatim; io errors pass through unwrapped so callers can
+// detect EOF and timeouts.
 var (
+	// ErrBadFrame marks a malformed header, an unknown opcode, a protocol
+	// version outside the decoder's accepted range, or an undecodable
+	// payload.
 	ErrBadFrame = errors.New("wire: malformed frame")
-	ErrTooLarge = errors.New("wire: frame exceeds payload bound")
+	// ErrFrameTooLarge marks a frame whose declared payload length exceeds
+	// the negotiated maximum.  The decoder rejects the frame before reading
+	// a single payload byte, so a hostile length field costs nothing.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds payload bound")
 )
 
+// ErrTooLarge is the former name of ErrFrameTooLarge.
+//
+// Deprecated: use ErrFrameTooLarge.
+var ErrTooLarge = ErrFrameTooLarge
+
+// NegotiateVersion computes the session protocol version from the client's
+// advertised maximum (HelloReq.MaxVersion; values < 1 mean a pre-v2 client
+// that did not send the field) and the server's configured maximum.  The
+// result is always a version both sides speak: min of the two maxima,
+// clamped to [ProtocolV1, MaxProtocolVersion].
+func NegotiateVersion(clientMax, serverMax int) uint8 {
+	if clientMax < ProtocolV1 {
+		clientMax = ProtocolV1
+	}
+	if serverMax < ProtocolV1 {
+		serverMax = ProtocolV1
+	}
+	v := clientMax
+	if serverMax < v {
+		v = serverMax
+	}
+	if v > MaxProtocolVersion {
+		v = MaxProtocolVersion
+	}
+	return uint8(v)
+}
+
 // AppendFrame serializes the frame onto buf and returns the extended
-// slice.  It refuses payloads beyond the uint32 range.
+// slice.  A zero Frame.Version encodes as ProtocolV1.  It refuses payloads
+// beyond the uint32 range and versions this package does not speak.
 func AppendFrame(buf []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > int(^uint32(0)) {
-		return nil, ErrTooLarge
+		return nil, fmt.Errorf("%w: %d byte payload", ErrFrameTooLarge, len(f.Payload))
+	}
+	v := f.Version
+	if v == 0 {
+		v = ProtocolV1
+	}
+	if v > MaxProtocolVersion {
+		return nil, fmt.Errorf("%w: cannot encode version %d", ErrBadFrame, v)
 	}
 	var hdr [HeaderSize]byte
 	hdr[0], hdr[1] = magic[0], magic[1]
-	hdr[2] = ProtocolVersion
+	hdr[2] = v
 	hdr[3] = byte(f.Op)
 	binary.BigEndian.PutUint64(hdr[4:12], f.ID)
 	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(f.Payload)))
@@ -150,69 +228,174 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// Encode marshals payload as JSON into a frame.  A nil payload produces an
-// empty frame body.
+// Encode marshals payload into a version-1 (JSON) frame.  A nil payload
+// produces an empty frame body.  For version-aware encoding use
+// EncodeFrame.
 func Encode(op Opcode, id uint64, payload any) (Frame, error) {
-	f := Frame{Op: op, ID: id}
-	if payload != nil {
+	return EncodeFrame(ProtocolV1, op, id, payload)
+}
+
+// EncodeFrame marshals payload at the given protocol version.  Version 1
+// marshals JSON; version 2 requires payload to be a pointer to one of this
+// package's payload types (or nil) and appends its binary form.
+func EncodeFrame(version uint8, op Opcode, id uint64, payload any) (Frame, error) {
+	f := Frame{Op: op, ID: id, Version: version}
+	if payload == nil {
+		return f, nil
+	}
+	switch version {
+	case 0, ProtocolV1:
+		f.Version = ProtocolV1
 		data, err := json.Marshal(payload)
 		if err != nil {
 			return Frame{}, fmt.Errorf("wire: encode %s: %w", op, err)
 		}
 		f.Payload = data
+	case ProtocolV2:
+		ba, ok := payload.(binaryPayload)
+		if !ok {
+			return Frame{}, fmt.Errorf("wire: encode %s: %T has no v2 binary form (pass a pointer to a wire payload type)", op, payload)
+		}
+		f.Payload = ba.appendBinary(nil)
+	default:
+		return Frame{}, fmt.Errorf("%w: cannot encode version %d", ErrBadFrame, version)
 	}
 	return f, nil
 }
 
-// Decoder reads frames from a stream with a hard payload bound.
-type Decoder struct {
-	r   io.Reader
-	max uint32
+// encBufPool recycles payload buffers between EncodePooled and Recycle so
+// the steady-state encode path performs no allocation.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// EncodePooled is EncodeFrame drawing the version-2 payload buffer from an
+// internal pool.  The returned frame must be handed to Recycle after its
+// last use (typically: after the socket write), or detached with
+// Frame.Detach if it is retained.  Version-1 frames are encoded normally
+// and Recycle is a no-op on them.
+func EncodePooled(version uint8, op Opcode, id uint64, payload any) (Frame, error) {
+	if version != ProtocolV2 || payload == nil {
+		return EncodeFrame(version, op, id, payload)
+	}
+	ba, ok := payload.(binaryPayload)
+	if !ok {
+		return Frame{}, fmt.Errorf("wire: encode %s: %T has no v2 binary form (pass a pointer to a wire payload type)", op, payload)
+	}
+	bp := encBufPool.Get().(*[]byte)
+	*bp = ba.appendBinary((*bp)[:0])
+	return Frame{Op: op, ID: id, Version: ProtocolV2, Payload: *bp, pbuf: bp}, nil
 }
 
-// NewDecoder returns a decoder over r.  maxPayload bounds per-frame
-// allocation; values <= 0 select DefaultMaxPayload.
+// Recycle returns a pooled frame's payload buffer to the encode pool.  The
+// frame (and any copy of it) must not be used afterwards.  Frames that are
+// not pool-backed are ignored.
+func Recycle(f Frame) {
+	if f.pbuf == nil {
+		return
+	}
+	encBufPool.Put(f.pbuf)
+}
+
+// Detach returns a frame safe to retain indefinitely: a pooled payload is
+// copied out of the pool buffer, a plain frame is returned unchanged.
+func (f Frame) Detach() Frame {
+	if f.pbuf == nil {
+		return f
+	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	f.pbuf = nil
+	return f
+}
+
+// Decoder reads frames from a stream with a hard payload bound and a
+// negotiable accepted-version window.
+type Decoder struct {
+	r          io.Reader
+	max        uint32
+	vmin, vmax uint8
+	hdr        [HeaderSize]byte
+	buf        []byte // NextReuse payload buffer, reused across frames
+}
+
+// NewDecoder returns a decoder over r accepting every protocol version
+// this package speaks (pin the session version with SetVersion after
+// negotiation).  maxPayload bounds per-frame allocation; values <= 0
+// select DefaultMaxPayload.
 func NewDecoder(r io.Reader, maxPayload int) *Decoder {
 	max := uint32(DefaultMaxPayload)
 	if maxPayload > 0 && maxPayload <= int(^uint32(0)) {
 		max = uint32(maxPayload)
 	}
-	return &Decoder{r: r, max: max}
+	return &Decoder{r: r, max: max, vmin: ProtocolV1, vmax: MaxProtocolVersion}
 }
 
-// Next reads one frame.  The header is fully validated before the payload
-// is allocated, so a hostile length field costs at most max bytes; any
-// violation returns an error wrapping ErrBadFrame or ErrTooLarge.  A clean
-// EOF at a frame boundary returns io.EOF; EOF inside a frame returns
-// io.ErrUnexpectedEOF.
+// SetVersion pins the decoder to exactly one accepted protocol version.
+// Sessions call it with ProtocolV1 before the handshake and with the
+// negotiated version after; any frame carrying another version is then a
+// protocol violation (ErrBadFrame) and the session disconnects.
+func (d *Decoder) SetVersion(v uint8) { d.vmin, d.vmax = v, v }
+
+// Reset redirects the decoder to a new stream, keeping its payload bound,
+// accepted versions, and internal buffers (so a pooled decoder stays
+// allocation-free).
+func (d *Decoder) Reset(r io.Reader) { d.r = r }
+
+// Next reads one frame whose payload is freshly allocated and safe to
+// retain.  The header is fully validated — magic, version window, opcode,
+// declared length against the payload bound — before the payload is read
+// or allocated, so a hostile length field fails with ErrFrameTooLarge at
+// zero cost; any other violation returns an error wrapping ErrBadFrame.
+// A clean EOF at a frame boundary returns io.EOF; EOF inside a frame
+// returns io.ErrUnexpectedEOF.
 func (d *Decoder) Next() (Frame, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(d.r, hdr[:1]); err != nil {
+	return d.next(false)
+}
+
+// NextReuse is Next with the payload backed by an internal buffer that is
+// overwritten by the following Next/NextReuse call.  It is the ingest hot
+// path: after warm-up no allocation occurs per frame.  The caller must
+// fully consume (or copy) the payload before decoding the next frame.
+func (d *Decoder) NextReuse() (Frame, error) {
+	return d.next(true)
+}
+
+func (d *Decoder) next(reuse bool) (Frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:1]); err != nil {
 		return Frame{}, err
 	}
-	if _, err := io.ReadFull(d.r, hdr[1:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.hdr[1:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return Frame{}, err
 	}
-	if hdr[0] != magic[0] || hdr[1] != magic[1] {
-		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrBadFrame, hdr[:2])
+	if d.hdr[0] != magic[0] || d.hdr[1] != magic[1] {
+		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrBadFrame, d.hdr[:2])
 	}
-	if hdr[2] != ProtocolVersion {
-		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
+	v := d.hdr[2]
+	if v < d.vmin || v > d.vmax {
+		if d.vmin == d.vmax {
+			return Frame{}, fmt.Errorf("%w: frame version %d, session negotiated %d", ErrBadFrame, v, d.vmin)
+		}
+		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
 	}
-	op := Opcode(hdr[3])
+	op := Opcode(d.hdr[3])
 	if !op.valid() {
-		return Frame{}, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, hdr[3])
+		return Frame{}, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, d.hdr[3])
 	}
-	n := binary.BigEndian.Uint32(hdr[12:16])
+	n := binary.BigEndian.Uint32(d.hdr[12:16])
 	if n > d.max {
-		return Frame{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, d.max)
+		return Frame{}, fmt.Errorf("%w: declared %d bytes, negotiated max %d", ErrFrameTooLarge, n, d.max)
 	}
-	f := Frame{Op: op, ID: binary.BigEndian.Uint64(hdr[4:12])}
+	f := Frame{Op: op, ID: binary.BigEndian.Uint64(d.hdr[4:12]), Version: v}
 	if n > 0 {
-		f.Payload = make([]byte, n)
+		if reuse {
+			if cap(d.buf) < int(n) {
+				d.buf = make([]byte, n)
+			}
+			f.Payload = d.buf[:n]
+		} else {
+			f.Payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(d.r, f.Payload); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -223,10 +406,41 @@ func (d *Decoder) Next() (Frame, error) {
 	return f, nil
 }
 
-// Unmarshal decodes a frame payload into v with unknown fields tolerated
-// (forward compatibility within a protocol version).
+// Unmarshal decodes a frame payload into v according to the frame's
+// protocol version: JSON for version 1 (unknown fields tolerated, for
+// forward compatibility within the version) and the binary grammar for
+// version 2 (v must be a pointer to the matching payload type).
 func Unmarshal(f Frame, v any) error {
+	return UnmarshalInterned(f, v, nil)
+}
+
+// UnmarshalInterned is Unmarshal with a string interner for the version-2
+// hot path: recurring strings (object IDs, attribute names) resolve to
+// previously allocated instances, so a steady-state update stream decodes
+// with zero allocations.  A nil Interner disables interning.
+func UnmarshalInterned(f Frame, v any, in Interner) error {
 	if len(f.Payload) == 0 {
+		return nil
+	}
+	if f.Version == ProtocolV2 {
+		bd, ok := v.(binaryPayload)
+		if !ok {
+			return fmt.Errorf("%w: %s payload: %T has no v2 binary form", ErrBadFrame, f.Op, v)
+		}
+		// The reader is pooled: passing &r through the interface method
+		// would force a heap allocation per decode otherwise.
+		r := binReaderPool.Get().(*binReader)
+		*r = binReader{data: f.Payload, in: in}
+		err := bd.decodeBinary(r)
+		off, n := r.off, len(r.data)
+		r.data = nil
+		binReaderPool.Put(r)
+		if err != nil {
+			return fmt.Errorf("%w: %s payload: %v", ErrBadFrame, f.Op, err)
+		}
+		if off != n {
+			return fmt.Errorf("%w: %s payload: %d trailing bytes", ErrBadFrame, f.Op, n-off)
+		}
 		return nil
 	}
 	if err := json.Unmarshal(f.Payload, v); err != nil {

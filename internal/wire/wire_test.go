@@ -60,7 +60,7 @@ func TestDecoderRejectsMalformed(t *testing.T) {
 		{"bad magic", corrupt(0, 'X'), ErrBadFrame},
 		{"bad version", corrupt(2, 99), ErrBadFrame},
 		{"bad opcode", corrupt(3, 200), ErrBadFrame},
-		{"oversized", oversized, ErrTooLarge},
+		{"oversized", oversized, ErrFrameTooLarge},
 		{"truncated header", valid[:5], io.ErrUnexpectedEOF},
 		{"truncated payload", valid[:len(valid)-1], io.ErrUnexpectedEOF},
 	}
@@ -72,6 +72,58 @@ func TestDecoderRejectsMalformed(t *testing.T) {
 				t.Fatalf("got %v, want %v", err, tc.want)
 			}
 		})
+	}
+}
+
+// A decoder pinned to a negotiated version must reject frames carrying any
+// other version — the mid-session protocol-violation disconnect.
+func TestDecoderPinnedVersionRejectsOthers(t *testing.T) {
+	v1, err := AppendFrame(nil, Frame{Op: OpPing, ID: 1, Version: ProtocolV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := AppendFrame(nil, Frame{Op: OpPing, ID: 2, Version: ProtocolV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(append(append([]byte(nil), v2...), v1...)), 0)
+	d.SetVersion(ProtocolV2)
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("pinned version rejected its own version: %v", err)
+	}
+	if _, err := d.Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("v1 frame on a v2-pinned decoder: got %v, want ErrBadFrame", err)
+	}
+}
+
+// tattletaleReader serves a frame header and fails the test if the decoder
+// asks for a single byte beyond it.
+type tattletaleReader struct {
+	t   *testing.T
+	hdr *bytes.Reader
+}
+
+func (r *tattletaleReader) Read(p []byte) (int, error) {
+	if r.hdr.Len() == 0 {
+		r.t.Fatal("decoder read past the header of an oversized frame")
+	}
+	return r.hdr.Read(p)
+}
+
+// The hostile-input regression for ErrFrameTooLarge: a frame declaring a
+// payload beyond the negotiated max must be rejected on the header alone —
+// no payload byte read, no payload byte allocated.
+func TestDecoderRejectsOversizedBeforeReadingPayload(t *testing.T) {
+	valid, err := AppendFrame(nil, Frame{Op: OpPing, ID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := append([]byte(nil), valid[:HeaderSize]...)
+	binary.BigEndian.PutUint32(hdr[12:16], 1<<31) // declare 2 GiB
+	d := NewDecoder(&tattletaleReader{t: t, hdr: bytes.NewReader(hdr)}, 1<<20)
+	_, err = d.Next()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
 	}
 }
 

@@ -45,6 +45,7 @@ package mostdb
 
 import (
 	"io"
+	"time"
 
 	"github.com/mostdb/most/internal/client"
 	"github.com/mostdb/most/internal/dist"
@@ -461,9 +462,26 @@ type Client = client.Client
 // without a round trip.
 type ClientSubscription = client.Subscription
 
-// ClientOption configures Dial (client.WithTimeout, client.WithClientID,
-// client.WithRetries, ...).
+// ClientOption configures Dial (WithTimeout, WithClientID, WithRetries,
+// WithProtocol, ...).
 type ClientOption = client.Option
+
+// WithTimeout bounds each round trip, including retries.
+func WithTimeout(d time.Duration) ClientOption { return client.WithTimeout(d) }
+
+// WithRetries caps reconnect-and-retransmit attempts per call.
+func WithRetries(n int) ClientOption { return client.WithRetries(n) }
+
+// WithClientID sets the client identity that keys the server's
+// idempotence cache; stable IDs give retried mutations exactly-once
+// application across reconnects.
+func WithClientID(id string) ClientOption { return client.WithClientID(id) }
+
+// WithProtocol caps the wire protocol version the client offers during the
+// Hello handshake (1 = JSON payloads, 2 = binary).  The session runs at
+// min(client, server); by default clients offer the newest version they
+// implement.  See PROTOCOL.md for the negotiation rules.
+func WithProtocol(v int) ClientOption { return client.WithProtocol(v) }
 
 // Dial connects to a Server at addr.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
