@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel delta faults fuzzwal fuzzftl fuzzwire cover obs server benchcmp
+.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
@@ -43,6 +43,18 @@ delta:
 # delivery, staleness marking, WAL recovery); writes BENCH_faults.json.
 faults:
 	$(GO) run ./cmd/mostbench -faults -quick
+
+# End-to-end chaos suite, always under the race detector: scripted
+# kill/restart, partition and churn scenarios against a live durable
+# server, asserting recovered state bit-identical to a differential
+# oracle and gap-free notification streams across every fault.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+
+# Live chaos benchmark: recovery-time and failover-latency percentiles,
+# written under the "chaos" key of BENCH_faults.json.
+chaosbench:
+	$(GO) run ./cmd/mostbench -chaos
 
 # Fuzz the WAL replay path: corrupted/truncated logs must fail safe with a
 # partial-recovery report, never a panic.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-obs] [-server] [-http :6060]
+//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-chaos] [-obs] [-server] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
@@ -13,6 +13,11 @@
 // full reevaluation per update) and writes BENCH_delta.json.  With -faults it runs
 // the fault-tolerance sweep (loss × partition × crashes; legacy vs reliable
 // delivery, staleness marking, WAL recovery) and writes BENCH_faults.json.
+// With -chaos it runs the live chaos scenarios (internal/chaos: real
+// durable server over TCP under kill/restart, partitions and churn) and
+// records recovery-time and failover-latency percentiles under the
+// "chaos" key of BENCH_faults.json, preserving any simulated sweep
+// already in the file.
 // With -obs it measures the observability instrumentation overhead on the
 // parallel benchmark and writes BENCH_obs.json, including a full metrics
 // snapshot from an instrumented three-query-type scenario.  With -server
@@ -41,6 +46,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
 	deltaBench := flag.Bool("delta", false, "benchmark delta maintenance vs full reevaluation and write BENCH_delta.json")
 	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
+	chaosBench := flag.Bool("chaos", false, "run the live chaos scenarios and record recovery/failover latency under the chaos key of BENCH_faults.json")
 	obsBench := flag.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
 	serverBench := flag.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
 	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
@@ -85,9 +91,29 @@ func main() {
 		return
 	}
 
-	if *faultsSweep {
-		rep := experiments.FaultsBench(*quick)
-		fmt.Println(rep.Table().Render())
+	if *faultsSweep || *chaosBench {
+		// The two fault benchmarks share BENCH_faults.json: -faults owns
+		// the simulated sweep, -chaos owns the live-injection "chaos" key.
+		// Running one preserves the other's half of an existing file.
+		rep := &experiments.FaultsReport{}
+		if prior, err := os.ReadFile("BENCH_faults.json"); err == nil {
+			_ = json.Unmarshal(prior, rep)
+		}
+		if *faultsSweep {
+			chaos := rep.Chaos
+			rep = experiments.FaultsBench(*quick)
+			rep.Chaos = chaos
+			fmt.Println(rep.Table().Render())
+		}
+		if *chaosBench {
+			chaos, err := experiments.ChaosBench(*quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mostbench: chaos scenario failed: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Chaos = chaos
+			fmt.Println(chaos.Table().Render())
+		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)

@@ -7,23 +7,35 @@
 //
 // Usage:
 //
-//	mostserver [-addr :7654] [-n 100] [-seed 1] [-horizon 500] [-http :6060] [-proto 2]
+//	mostserver [-addr :7654] [-n 100] [-seed 1] [-horizon 500] [-http :6060]
+//	           [-proto 2] [-wal DIR] [-checkpoint-every 256] [-max-inflight 0]
 //
 // -proto caps the wire protocol version the server offers during the Hello
 // handshake (PROTOCOL.md): 1 forces JSON payloads for every session, the
 // default offers the newest implemented version (currently 2, binary) and
 // lets each client negotiate down.
 //
-// With -http set, /obs, /debug/vars and /debug/pprof are served on that
-// address: connection and subscription gauges, per-opcode latency
-// histograms, slow-consumer and dedup counters, plus the engine's and
-// database's own instruments.
+// With -wal set the server is durable: every committed mutation is
+// write-ahead logged under DIR before its response is sent, and on startup
+// the database — plus the idempotence receipts that make client retries
+// exactly-once across a crash — is recovered from DIR's checkpoint and log.
+// The synthetic world seeds only a fresh directory; a recovered one keeps
+// its own state.  -checkpoint-every bounds replay time by checkpointing
+// after every N mutating requests (0 = only on clean shutdown).  A failed
+// recovery is fatal: the process reports the corruption and exits non-zero
+// rather than serving from a guess.
+//
+// With -http set, /obs, /debug/vars, /debug/pprof, /healthz and /readyz are
+// served on that address; /readyz answers 503 while recovering or draining.
+// -max-inflight > 0 sheds requests beyond that concurrency with a
+// retryable `overloaded` error instead of queueing without bound.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,30 +50,43 @@ func main() {
 	n := flag.Int("n", 100, "fleet size")
 	seed := flag.Int64("seed", 1, "workload seed")
 	horizon := flag.Int64("horizon", 500, "default query horizon (ticks)")
-	httpAddr := flag.String("http", "", "serve /obs and /debug/pprof on this address (e.g. :6060)")
+	httpAddr := flag.String("http", "", "serve /obs, /debug/pprof, /healthz, /readyz on this address (e.g. :6060)")
 	proto := flag.Int("proto", 0, "highest wire protocol version to offer (1 = JSON only, 0 = newest)")
+	walDir := flag.String("wal", "", "durable mode: write-ahead log and checkpoints under this directory")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after every N mutating requests (0 = only on clean shutdown; needs -wal)")
+	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this concurrency (0 = unbounded)")
 	flag.Parse()
 
-	db, err := mostdb.Fleet(mostdb.FleetSpec{
-		N:        *n,
-		Region:   mostdb.Rect(0, 0, 1000, 1000),
-		MaxSpeed: 3,
-		Seed:     *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mostserver:", err)
-		os.Exit(1)
-	}
-	if err := mostdb.AddMotels(db, mostdb.MotelsSpec{N: 30, Region: mostdb.Rect(0, 0, 1000, 1000), Seed: *seed}); err != nil {
-		fmt.Fprintln(os.Stderr, "mostserver:", err)
-		os.Exit(1)
-	}
-	eng := mostdb.NewEngine(db)
-
 	reg := obs.New()
-	db.Instrument(reg)
-	eng.Instrument(reg)
-	srv := mostdb.NewServer(db, eng, mostdb.ServerConfig{
+	health := &obs.Health{}
+	// The health endpoints come up before recovery so orchestrators can
+	// watch /readyz flip starting → recovering → ready.
+	if *httpAddr != "" {
+		obs.Publish("mostserver", reg)
+		mux := obs.NewServeMux(reg)
+		health.Mount(mux)
+		go http.ListenAndServe(*httpAddr, mux)
+	}
+
+	world := func() *mostdb.Database {
+		db, err := mostdb.Fleet(mostdb.FleetSpec{
+			N:        *n,
+			Region:   mostdb.Rect(0, 0, 1000, 1000),
+			MaxSpeed: 3,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mostserver:", err)
+			os.Exit(1)
+		}
+		if err := mostdb.AddMotels(db, mostdb.MotelsSpec{N: 30, Region: mostdb.Rect(0, 0, 1000, 1000), Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "mostserver:", err)
+			os.Exit(1)
+		}
+		return db
+	}
+
+	cfg := mostdb.ServerConfig{
 		BaseOptions: mostdb.QueryOptions{
 			Horizon: mostdb.Tick(*horizon),
 			Regions: map[string]mostdb.Polygon{
@@ -70,19 +95,51 @@ func main() {
 				"downtown": mostdb.RectPolygon(400, 400, 600, 600),
 			},
 		},
-		Reg:         reg,
-		Name:        "mostserver",
-		MaxProtocol: *proto,
-	})
+		Reg:             reg,
+		Name:            "mostserver",
+		MaxProtocol:     *proto,
+		Health:          health,
+		MaxInflight:     *maxInflight,
+		CheckpointEvery: *checkpointEvery,
+	}
+
+	var srv *mostdb.Server
+	if *walDir != "" {
+		durable, info, err := mostdb.NewDurableServer(*walDir, cfg, world)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mostserver: recovery from %s failed: %v\n", *walDir, err)
+			fmt.Fprintln(os.Stderr, "mostserver: refusing to serve partial state; inspect wal.log / checkpoint.json or move the directory aside to reseed")
+			os.Exit(1)
+		}
+		srv = durable
+		if info.Fresh {
+			fmt.Printf("mostserver: fresh durable start in %s (seeded world logged as base image)\n", *walDir)
+		} else {
+			records := 0
+			if info.Report != nil {
+				records = info.Report.Records
+				if info.Report.Truncated {
+					fmt.Fprintf(os.Stderr, "mostserver: wal replay stopped early (%s) — expected after a crash mid-checkpoint, state is complete\n", info.Report.Reason)
+				}
+			}
+			fmt.Printf("mostserver: recovered %d objects at tick %d from %s (%d wal records, %d receipts, %d partials) in %s\n",
+				info.Objects, info.Now, *walDir, records, info.Receipts, info.Partials, info.Elapsed.Round(time.Millisecond))
+		}
+	} else {
+		db := world()
+		eng := mostdb.NewEngine(db)
+		db.Instrument(reg)
+		eng.Instrument(reg)
+		srv = mostdb.NewServer(db, eng, cfg)
+	}
+
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "mostserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mostserver: %d vehicles + 30 motels on %s; clock at %d; horizon %d\n",
-		*n, srv.Addr(), db.Now(), *horizon)
+	fmt.Printf("mostserver: serving on %s; horizon %d\n", srv.Addr(), *horizon)
 	if *httpAddr != "" {
-		obs.Serve(*httpAddr, "mostserver", reg)
-		fmt.Printf("mostserver: observability on http://%s/obs and /debug/pprof/\n", *httpAddr)
+		fmt.Printf("mostserver: observability on http://%s/obs, /debug/pprof/, /healthz, /readyz\n", *httpAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

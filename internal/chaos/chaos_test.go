@@ -1,0 +1,51 @@
+package chaos
+
+// The chaos suite (run via `make chaos`, always under -race): each test is
+// one scripted scenario asserting that crashes, partitions and restarts
+// are invisible in committed state and notification streams.  Scenarios
+// are seeded; the loop runs each one at several seeds to vary the
+// workload and jitter schedules.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func seeds(t *testing.T) []int64 {
+	if testing.Short() {
+		return []int64{1}
+	}
+	return []int64{1, 7}
+}
+
+func runScenario(t *testing.T, name string, fn func(dir string, seed int64) (Result, error)) {
+	for _, seed := range seeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := fn(t.TempDir(), seed)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i, d := range res.Recoveries {
+				if d <= 0 || d > time.Minute {
+					t.Errorf("%s: implausible recovery time %s (restart %d)", name, d, i)
+				}
+			}
+			t.Logf("%s seed=%d: %d recoveries, %d failover probes, %d reconnects, %d resume rows",
+				name, seed, len(res.Recoveries), len(res.Failovers), res.Reconnects, res.ResumeRows)
+		})
+	}
+}
+
+func TestChaosKillRestart(t *testing.T) {
+	runScenario(t, "kill-restart", KillRestart)
+}
+
+func TestChaosPartition(t *testing.T) {
+	runScenario(t, "partition", Partition)
+}
+
+func TestChaosChurn(t *testing.T) {
+	runScenario(t, "churn", Churn)
+}

@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mostdb/most/internal/client"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/server"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/wire"
+)
+
+// watcher records one subscription's notification stream as the chaos
+// plays out, checking the two invariants a resumable stream owes its
+// consumer:
+//
+//	no gaps        — sequence numbers only move forward, and the stream
+//	                 ends converged to the server's ground-truth answer
+//	                 (anything missed during an outage arrived via the
+//	                 resume reconciliation)
+//	no regressions — a later sequence number never carries an answer the
+//	                 stream has already moved past (a resume replaying old
+//	                 state would show up here)
+//
+// Note the server pushes one notification per maintenance round, so two
+// consecutive rounds may carry identical content legitimately; duplicate
+// suppression is a property of the resume path specifically and is
+// asserted by the client package's reconciliation tests.
+type watcher struct {
+	sub  *client.Subscription
+	quit chan struct{}
+
+	mu        sync.Mutex
+	lastSeq   uint64
+	lastCanon string
+	lastAns   []wire.AnswerRow
+	violation error
+	ended     error
+}
+
+func watch(sub *client.Subscription) *watcher {
+	ans, seq, _ := sub.Answer()
+	w := &watcher{
+		sub:       sub,
+		quit:      make(chan struct{}),
+		lastSeq:   seq,
+		lastCanon: wire.CanonicalAnswers(ans),
+		lastAns:   ans,
+	}
+	go w.loop()
+	return w
+}
+
+func (w *watcher) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-w.sub.Done():
+			w.mu.Lock()
+			w.ended = w.sub.Err()
+			w.mu.Unlock()
+			return
+		case <-w.sub.Updates():
+			w.observe()
+		}
+	}
+}
+
+// observe folds the newest answer into the record.  Updates() coalesces,
+// so a jump of several sequence numbers is legitimate; only an adjacent
+// step can be checked for duplicate content.
+func (w *watcher) observe() {
+	ans, seq, err := w.sub.Answer()
+	if err != nil {
+		return
+	}
+	canon := wire.CanonicalAnswers(ans)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case seq < w.lastSeq:
+		w.fault(fmt.Errorf("sequence went backwards: %d after %d", seq, w.lastSeq))
+	case seq == w.lastSeq && canon != w.lastCanon:
+		w.fault(fmt.Errorf("answer changed without a sequence step at seq %d", seq))
+	}
+	if seq > w.lastSeq {
+		w.lastSeq, w.lastCanon, w.lastAns = seq, canon, ans
+	}
+}
+
+func (w *watcher) fault(err error) {
+	if w.violation == nil {
+		w.violation = err
+	}
+}
+
+// verify waits (bounded) for the stream to converge to the ground-truth
+// rows presented at tick now, then reports any recorded violation.
+// Convergence is the gap-freedom check: a lost notification would strand
+// the stream on a stale answer forever.  Comparison is at-a-tick
+// (wire.RowsAt), not raw answer bytes, because answer intervals are
+// anchored at each registration's own start time.
+func (w *watcher) verify(truth string, now temporal.Tick, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		w.observe() // the final delivery may have raced loop's last select
+		w.mu.Lock()
+		violation, ended, ans := w.violation, w.ended, w.lastAns
+		w.mu.Unlock()
+		if violation != nil {
+			return violation
+		}
+		if ended != nil {
+			return fmt.Errorf("stream ended during chaos: %w", ended)
+		}
+		if canonicalRowsAt(ans, now) == truth {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("stream never converged to ground truth (gap): stuck at seq %d", w.lastSeq)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// canonicalRowsAt renders the rows an answer presents at tick t in an
+// order-independent canonical form.
+func canonicalRowsAt(answer []wire.AnswerRow, t temporal.Tick) string {
+	rows := wire.RowsAt(answer, t)
+	keys := make([]string, len(rows))
+	for i, row := range rows {
+		var b strings.Builder
+		for _, v := range row {
+			b.WriteString(v.String())
+			b.WriteByte(0)
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+func (w *watcher) stop() {
+	select {
+	case <-w.quit:
+	default:
+		close(w.quit)
+	}
+}
+
+func counterValue(reg *obs.Registry, name string) int64 {
+	return reg.Counter(name).Value()
+}
+
+func shutdownServer(srv *server.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

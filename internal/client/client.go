@@ -25,6 +25,16 @@
 // Negotiation is per-connection: a reconnect renegotiates, and requests
 // are encoded per attempt at that connection's version.
 //
+// # Self-healing
+//
+// A lost connection is an event the client absorbs, not an error it
+// surfaces.  Calls retry on fresh connections under capped exponential
+// backoff with seeded jitter; each reconnect attempt increments the
+// client's session epoch, carried in the Hello, so the server can fence
+// the zombie predecessor session and tell a resumed client from a new one.
+// A server restart therefore looks, from the caller's side, like a brief
+// latency spike.
+//
 // # Subscriptions
 //
 // Subscribe registers a continuous query and returns a Subscription
@@ -32,9 +42,15 @@
 // full materialized Answer(CQ) after every maintenance round, the handle
 // stores the newest answer, and presentation at a tick is a local lookup
 // (wire.RowsAt) — no round trip per tick, the paper's continuous-query
-// contract preserved across the network boundary.  A subscription dies
-// with its connection: after a reconnect the caller re-subscribes (the
-// new initial answer resynchronizes it).
+// contract preserved across the network boundary.  A subscription survives
+// its connection: when the transport fails, the client parks it, heals the
+// connection in the background, and transparently re-registers the query,
+// reconciling the resumed answer against the last delivered one so the
+// notification stream stays gap-free (the reconciliation answer carries
+// anything missed while disconnected) and duplicate-free (an unchanged
+// answer is suppressed).  Sequence numbers keep increasing across resumes.
+// Only Client.Close — or a server-side refusal of the resumed query —
+// terminates a subscription.
 package client
 
 import (
@@ -42,10 +58,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	mathrand "math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/temporal"
 	"github.com/mostdb/most/internal/wire"
 )
@@ -65,6 +84,17 @@ type errTransport struct{ err error }
 
 func (e errTransport) Error() string { return e.err.Error() }
 func (e errTransport) Unwrap() error { return e.err }
+
+// ServerError is a request the server received and refused (an OpError
+// response).  Code, when non-empty, is one of the wire.Code* constants;
+// requests shed by admission control (wire.CodeOverloaded) are retried
+// automatically within the retry budget, every other ServerError is final.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
 
 // Option configures a client.
 type Option func(*Client)
@@ -96,28 +126,70 @@ func WithDialer(dial func(addr string) (net.Conn, error)) Option {
 // [1, wire.MaxProtocolVersion] are clamped.
 func WithProtocol(v int) Option { return func(c *Client) { c.wantProto = v } }
 
+// WithBackoff sets the retry/reconnect backoff schedule: delays double
+// from base and are capped at max (defaults 50ms and 2s), with ±25%
+// jitter applied so a fleet of clients does not reconnect in lockstep.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoff = base
+		}
+		if max > 0 {
+			c.maxBackoff = max
+		}
+	}
+}
+
+// WithJitterSeed fixes the backoff jitter seed (default: derived from the
+// ClientID), making retry schedules reproducible in tests and the chaos
+// harness.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.jitterSeed, c.jitterSeeded = seed, true }
+}
+
+// WithObs instruments the client: client.reconnects counts successful
+// re-establishments of a previously lost connection, and
+// client.resume_gap_rows counts answer rows delivered by subscription
+// resume reconciliation (changes that arrived while disconnected).
+func WithObs(reg *obs.Registry) Option { return func(c *Client) { c.reg = reg } }
+
 // Client is a MOST network client.  Safe for concurrent use; concurrent
 // calls pipeline on one connection.
 type Client struct {
-	addr        string
-	id          string
-	dial        func(addr string) (net.Conn, error)
-	callTimeout time.Duration
-	retries     int
-	backoff     time.Duration
-	maxPayload  int
-	wantProto   int // highest protocol version offered in Hello
+	addr         string
+	id           string
+	dial         func(addr string) (net.Conn, error)
+	callTimeout  time.Duration
+	retries      int
+	backoff      time.Duration
+	maxBackoff   time.Duration
+	jitterSeed   int64
+	jitterSeeded bool
+	maxPayload   int
+	wantProto    int // highest protocol version offered in Hello
+	reg          *obs.Registry
+
+	reconnects    *obs.Counter
+	resumeGapRows *obs.Counter
 
 	writeMu sync.Mutex // serializes frame writes to conn
+
+	jmu    sync.Mutex
+	jitter *mathrand.Rand
 
 	mu      sync.Mutex
 	conn    net.Conn
 	proto   uint8  // negotiated protocol version of the current connection
 	gen     uint64 // connection generation, to ignore stale readLoop failures
+	epoch   uint64 // session epoch, incremented per connection attempt
 	nextID  uint64
+	nextKey uint64 // client-side subscription keys (stable across resumes)
 	pending map[uint64]chan wire.Frame
-	subs    map[uint64]*Subscription
-	orphans map[uint64]wire.Notify // notifies that beat their SubscribeResp
+	subs    map[uint64]*Subscription // by current server subscription ID
+	parked  map[uint64]*Subscription // by key: awaiting resume after a teardown
+	orphans map[uint64]wire.Notify   // notifies that beat their SubscribeResp
+	resumed bool                     // last Hello's Resumed flag
+	healing bool
 	closed  bool
 }
 
@@ -130,10 +202,12 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		callTimeout: 10 * time.Second,
 		retries:     3,
 		backoff:     50 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
 		maxPayload:  wire.DefaultMaxPayload,
 		wantProto:   wire.MaxProtocolVersion,
 		pending:     map[uint64]chan wire.Frame{},
 		subs:        map[uint64]*Subscription{},
+		parked:      map[uint64]*Subscription{},
 		orphans:     map[uint64]wire.Notify{},
 	}
 	for _, o := range opts {
@@ -142,6 +216,15 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	if c.wantProto < wire.ProtocolV1 || c.wantProto > wire.MaxProtocolVersion {
 		c.wantProto = wire.MaxProtocolVersion
 	}
+	if c.maxBackoff < c.backoff {
+		c.maxBackoff = c.backoff
+	}
+	if !c.jitterSeeded {
+		c.jitterSeed = int64(crc32.ChecksumIEEE([]byte(c.id)))
+	}
+	c.jitter = mathrand.New(mathrand.NewSource(c.jitterSeed))
+	c.reconnects = c.reg.Counter("client.reconnects")
+	c.resumeGapRows = c.reg.Counter("client.resume_gap_rows")
 	c.mu.Lock()
 	err := c.connectLocked()
 	c.mu.Unlock()
@@ -173,10 +256,14 @@ func (c *Client) connectLocked() error {
 		return errTransport{err}
 	}
 	id := c.reserveIDLocked()
+	// Every connection attempt is a new session epoch: the server fences
+	// any lingering predecessor session of this client, and rejects this
+	// Hello (CodeStaleEpoch) if an even newer session has taken over.
+	c.epoch++
 	// Hello is always version 1, whatever we hope to negotiate: a v1-only
 	// server must be able to read it (and will ignore the max_version
 	// field, answering Version 1 — the graceful downgrade).
-	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id, MaxVersion: c.wantProto})
+	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id, MaxVersion: c.wantProto, Epoch: c.epoch})
 	if err != nil {
 		conn.Close()
 		return err
@@ -198,6 +285,7 @@ func (c *Client) connectLocked() error {
 		_ = wire.Unmarshal(resp, &e)
 		return fmt.Errorf("client: hello rejected: %s", e.Msg)
 	}
+
 	var hello wire.HelloResp
 	if err := wire.Unmarshal(resp, &hello); err != nil {
 		conn.Close()
@@ -211,11 +299,53 @@ func (c *Client) connectLocked() error {
 		conn.Close()
 		return fmt.Errorf("client: server negotiated protocol %d, offered at most %d", hello.Version, c.wantProto)
 	}
+	if c.gen > 0 {
+		c.reconnects.Inc()
+	}
 	c.conn = conn
 	c.proto = uint8(hello.Version)
+	c.resumed = hello.Resumed
 	c.gen++
 	go c.readLoop(conn, c.gen, c.proto)
 	return nil
+}
+
+// Resumed reports whether the server recognized this client's identity at
+// the current connection's Hello — its idempotence cache and epoch fence
+// were already bound, from an earlier connection or from durable recovery.
+func (c *Client) Resumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// Epoch returns the client's current session epoch.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// backoffDelay is the pause before retry/reconnect attempt (1-based):
+// exponential from the base, capped at the configured maximum, with ±25%
+// deterministic jitter so client fleets desynchronize without losing test
+// reproducibility.  Overflow-safe at any attempt count.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.backoff
+	for i := 1; i < attempt; i++ {
+		if d >= c.maxBackoff/2 {
+			d = c.maxBackoff
+			break
+		}
+		d *= 2
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	c.jmu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(d)/2 + 1))
+	c.jmu.Unlock()
+	return d - d/4 + j
 }
 
 func (c *Client) reserveIDLocked() uint64 {
@@ -309,8 +439,10 @@ func (c *Client) readLoop(conn net.Conn, gen uint64, proto uint8) {
 	}
 }
 
-// teardownConnLocked fails everything bound to the broken connection.
-// Callers hold c.mu.
+// teardownConnLocked unwinds a broken connection: in-flight calls fail
+// (their retry loop redials), and live subscriptions are parked for the
+// background heal goroutine to re-register — they only die if the client
+// itself is closed.  Callers hold c.mu.
 func (c *Client) teardownConnLocked(conn net.Conn, cause error) {
 	conn.Close()
 	if c.conn == conn {
@@ -323,9 +455,131 @@ func (c *Client) teardownConnLocked(conn net.Conn, cause error) {
 	subs := c.subs
 	c.subs = map[uint64]*Subscription{}
 	c.orphans = map[uint64]wire.Notify{}
-	for _, sub := range subs {
-		go sub.fail(fmt.Errorf("%w: %v", ErrConnLost, cause))
+	if c.closed {
+		for _, sub := range subs {
+			go sub.fail(fmt.Errorf("%w: %v", ErrConnLost, cause))
+		}
+		return
 	}
+	for _, sub := range subs {
+		c.parked[sub.key] = sub
+	}
+	c.startHealLocked()
+}
+
+// startHealLocked launches the single-flight heal goroutine when parked
+// subscriptions need a connection.  Callers hold c.mu.
+func (c *Client) startHealLocked() {
+	if c.healing || c.closed || len(c.parked) == 0 {
+		return
+	}
+	c.healing = true
+	go c.heal()
+}
+
+// heal reconnects under backoff and re-registers every parked
+// subscription.  It exits when nothing is parked or the client closes;
+// a connection lost mid-heal parks the subscriptions again and the loop
+// continues.
+func (c *Client) heal() {
+	for attempt := 1; ; attempt++ {
+		c.mu.Lock()
+		if c.closed || len(c.parked) == 0 {
+			c.healing = false
+			parked := c.drainParkedLocked()
+			c.mu.Unlock()
+			for _, sub := range parked {
+				sub.fail(fmt.Errorf("%w: client closed while resuming", ErrConnLost))
+			}
+			return
+		}
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				c.mu.Unlock()
+				time.Sleep(c.backoffDelay(attempt))
+				continue
+			}
+		}
+		parked := make([]*Subscription, 0, len(c.parked))
+		for _, sub := range c.parked {
+			parked = append(parked, sub)
+		}
+		c.mu.Unlock()
+
+		stalled := false
+		for _, sub := range parked {
+			if !c.resubscribe(sub) {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			time.Sleep(c.backoffDelay(attempt))
+			continue
+		}
+		c.mu.Lock()
+		done := len(c.parked) == 0
+		if done {
+			c.healing = false
+		}
+		c.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// drainParkedLocked empties the parked set (used when the client closes
+// while subscriptions await resume).  Callers hold c.mu.
+func (c *Client) drainParkedLocked() []*Subscription {
+	parked := make([]*Subscription, 0, len(c.parked))
+	for _, sub := range c.parked {
+		parked = append(parked, sub)
+	}
+	c.parked = map[uint64]*Subscription{}
+	return parked
+}
+
+// resubscribe re-registers one parked subscription on the healed
+// connection and reconciles its answer stream.  It returns false when the
+// attempt should be retried after backoff (transport failure), true when
+// the subscription was resumed, permanently rejected, or withdrawn.
+func (c *Client) resubscribe(sub *Subscription) bool {
+	var resp wire.SubscribeResp
+	err := c.call(wire.OpSubscribe, &wire.SubscribeReq{Src: sub.src, Horizon: sub.horizon}, &resp)
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) {
+			// The server evaluated and refused the query itself: resuming
+			// can never succeed, so the subscription ends.
+			c.mu.Lock()
+			delete(c.parked, sub.key)
+			c.mu.Unlock()
+			sub.fail(fmt.Errorf("%w: resume rejected: %v", ErrSubClosed, err))
+			return true
+		}
+		return false
+	}
+	c.mu.Lock()
+	if _, still := c.parked[sub.key]; !still || c.closed {
+		// Closed while the registration was in flight: withdraw it.
+		c.mu.Unlock()
+		_ = c.call(wire.OpUnsubscribe, &wire.UnsubscribeReq{SubID: resp.SubID}, nil)
+		return true
+	}
+	delete(c.parked, sub.key)
+	sub.subID = resp.SubID
+	c.subs[resp.SubID] = sub
+	orphan, hadOrphan := c.orphans[resp.SubID]
+	delete(c.orphans, resp.SubID)
+	c.mu.Unlock()
+	if rows, changed := sub.resumeReconcile(resp.Answer); changed {
+		c.resumeGapRows.Add(int64(rows))
+	}
+	if hadOrphan {
+		sub.deliver(orphan)
+	}
+	return true
 }
 
 // call executes one request, retransmitting on transport errors under the
@@ -344,14 +598,21 @@ func (c *Client) call(op wire.Opcode, payload, out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff << (attempt - 1))
+			time.Sleep(c.backoffDelay(attempt))
 		}
 		resp, err := c.roundTrip(op, id, payload)
 		if err == nil {
 			if resp.Op == wire.OpError {
 				var e wire.ErrorResp
 				_ = wire.Unmarshal(resp, &e)
-				return fmt.Errorf("server: %s", e.Msg)
+				serr := &ServerError{Code: e.Code, Msg: e.Msg}
+				if e.Code == wire.CodeOverloaded {
+					// Shed by admission control: transient by definition,
+					// so retried under backoff like a transport failure.
+					lastErr = serr
+					continue
+				}
+				return serr
 			}
 			if out != nil {
 				return wire.Unmarshal(resp, out)
@@ -410,7 +671,8 @@ func (c *Client) roundTrip(op wire.Opcode, id uint64, payload any) (wire.Frame, 
 	return f, nil
 }
 
-// Close tears the client down; in-flight calls fail.
+// Close tears the client down; in-flight calls fail and every
+// subscription — live or parked awaiting resume — ends.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -422,7 +684,11 @@ func (c *Client) Close() error {
 	if conn != nil {
 		c.teardownConnLocked(conn, ErrClosed)
 	}
+	parked := c.drainParkedLocked()
 	c.mu.Unlock()
+	for _, sub := range parked {
+		sub.fail(fmt.Errorf("%w: client closed", ErrConnLost))
+	}
 	return nil
 }
 
@@ -447,7 +713,7 @@ func (c *Client) Protocol() int {
 // satisfied instantiations.
 func (c *Client) Query(src string, horizon temporal.Tick) (temporal.Tick, [][]wire.Value, error) {
 	var resp wire.QueryResp
-	if err := c.call(wire.OpQuery, &wire.QueryReq{Src: src, Horizon: horizon}, &resp); err != nil {
+	if err := c.call(wire.OpQuery, &wire.QueryReq{Src: src, Horizon: horizon, DeadlineMS: c.deadlineMS()}, &resp); err != nil {
 		return 0, nil, err
 	}
 	return resp.Now, resp.Rows, nil
@@ -456,9 +722,14 @@ func (c *Client) Query(src string, horizon temporal.Tick) (temporal.Tick, [][]wi
 // UpdateBatch applies explicit updates in order, exactly once.
 func (c *Client) UpdateBatch(ops []wire.UpdateOp) (wire.UpdateBatchResp, error) {
 	var resp wire.UpdateBatchResp
-	err := c.call(wire.OpUpdateBatch, &wire.UpdateBatchReq{Ops: ops}, &resp)
+	err := c.call(wire.OpUpdateBatch, &wire.UpdateBatchReq{Ops: ops, DeadlineMS: c.deadlineMS()}, &resp)
 	return resp, err
 }
+
+// deadlineMS is the per-request deadline budget advertised to the server,
+// derived from the call timeout: past it, the response cannot be received
+// in time anyway, so the server may refuse instead of doing stale work.
+func (c *Client) deadlineMS() int64 { return int64(c.callTimeout / time.Millisecond) }
 
 // SetMotion updates one object's motion vector.
 func (c *Client) SetMotion(id string, vx, vy float64) error {
@@ -500,14 +771,21 @@ func (c *Client) SnapshotLoad(data []byte) (wire.SnapshotLoadResp, error) {
 // ---- subscriptions ----
 
 // Subscription is the client half of a server-maintained continuous
-// query.
+// query.  Its identity is the client-side key, not the server-side subID:
+// the subID changes every time the subscription is transparently
+// re-registered after a lost connection, while key, the answer stream,
+// and its sequence numbers continue uninterrupted.
 type Subscription struct {
-	c     *Client
-	subID uint64
+	c       *Client
+	key     uint64 // client-side identity, stable across resumes
+	src     string
+	horizon temporal.Tick
+	subID   uint64 // current server-side subscription ID
 
 	mu     sync.Mutex
 	answer []wire.AnswerRow
-	seq    uint64
+	seq    uint64 // effective sequence, monotonic across resumes
+	base   uint64 // offset added to server sequence numbers after a resume
 	err    error
 
 	updates chan struct{} // capacity-1 change signal
@@ -524,6 +802,8 @@ func (c *Client) Subscribe(src string, horizon temporal.Tick) (*Subscription, er
 	sub := &Subscription{
 		c:       c,
 		subID:   resp.SubID,
+		src:     src,
+		horizon: horizon,
 		answer:  resp.Answer,
 		updates: make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -535,6 +815,8 @@ func (c *Client) Subscribe(src string, horizon temporal.Tick) (*Subscription, er
 		c.mu.Unlock()
 		return nil, ErrConnLost
 	}
+	c.nextKey++
+	sub.key = c.nextKey
 	c.subs[resp.SubID] = sub
 	c.mu.Unlock()
 	if hadOrphan {
@@ -543,17 +825,44 @@ func (c *Client) Subscribe(src string, horizon temporal.Tick) (*Subscription, er
 	return sub, nil
 }
 
-// deliver installs a notification (monotonic in Seq).
+// deliver installs a notification (monotonic in effective sequence: the
+// server's per-registration sequence shifted by the resume base).
 func (s *Subscription) deliver(n wire.Notify) {
 	s.mu.Lock()
-	if n.Seq > s.seq {
-		s.answer, s.seq = n.Answer, n.Seq
+	if eff := s.base + n.Seq; eff > s.seq {
+		s.answer, s.seq = n.Answer, eff
 	}
 	s.mu.Unlock()
 	select {
 	case s.updates <- struct{}{}:
 	default:
 	}
+}
+
+// resumeReconcile folds the answer returned by a re-registration into the
+// stream.  An answer identical to the last delivered one is suppressed
+// (nothing changed while disconnected — no duplicate notification); a
+// different one is installed as the next step in the sequence, covering
+// every change missed during the outage in a single gap-free transition.
+// It reports the number of rows installed and whether anything changed.
+func (s *Subscription) resumeReconcile(answer []wire.AnswerRow) (int, bool) {
+	s.mu.Lock()
+	if wire.CanonicalAnswers(answer) == wire.CanonicalAnswers(s.answer) {
+		// The fresh registration restarts the server-side sequence at
+		// zero; rebase so its next notification lands at s.seq+1.
+		s.base = s.seq
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.seq++
+	s.base = s.seq
+	s.answer = answer
+	s.mu.Unlock()
+	select {
+	case s.updates <- struct{}{}:
+	default:
+	}
+	return len(answer), true
 }
 
 // fail terminates the subscription.
@@ -603,6 +912,7 @@ func (s *Subscription) Close() error {
 	s.c.mu.Lock()
 	_, live := s.c.subs[s.subID]
 	delete(s.c.subs, s.subID)
+	delete(s.c.parked, s.key)
 	s.c.mu.Unlock()
 	s.fail(errors.New("client: subscription closed"))
 	if !live {

@@ -53,9 +53,12 @@ type FaultsResult struct {
 }
 
 // FaultsReport is the payload mostbench -faults writes to BENCH_faults.json.
+// Chaos is filled by mostbench -chaos (the live end-to-end fault
+// injection), alongside or after the simulated sweep.
 type FaultsReport struct {
 	Seed    int64          `json:"seed"`
 	Results []FaultsResult `json:"results"`
+	Chaos   *ChaosReport   `json:"chaos,omitempty"`
 }
 
 const (

@@ -35,6 +35,21 @@ type Update struct {
 	// Before/After capture the object revisions around the update; Before
 	// is nil for inserts, After is nil for deletes.
 	Before, After *Object
+	// Prov, when non-nil, records which network request committed this
+	// update.  It rides into the WAL, which is what lets a restarted server
+	// tell how much of a partially applied request survived the crash.
+	Prov *Prov
+}
+
+// Prov identifies the network request an update was committed on behalf of:
+// the client identity, the client's request ID, and the index of the update
+// within that request.  The ...Prov mutation variants stamp it into the
+// update and the WAL record; recovery surfaces it through WALObserver so a
+// server can rebuild its idempotence state after a crash.
+type Prov struct {
+	Client string `json:"c,omitempty"`
+	Req    uint64 `json:"r,omitempty"`
+	Op     int    `json:"o,omitempty"`
 }
 
 // Listener observes explicit updates.  Listeners run synchronously on the
@@ -148,7 +163,12 @@ func (db *Database) Tick() temporal.Tick { return db.Advance(1) }
 // Advance moves the clock forward by d ticks and returns the new time.  It
 // waits for in-flight updates, so no update is ever stamped with a tick
 // other than the one its revisions were computed at.
-func (db *Database) Advance(d temporal.Tick) temporal.Tick {
+func (db *Database) Advance(d temporal.Tick) temporal.Tick { return db.advance(d, nil) }
+
+// AdvanceProv is Advance stamped with request provenance (see Prov).
+func (db *Database) AdvanceProv(d temporal.Tick, p *Prov) temporal.Tick { return db.advance(d, p) }
+
+func (db *Database) advance(d temporal.Tick, p *Prov) temporal.Tick {
 	if d < 0 {
 		panic("most: the clock cannot run backwards")
 	}
@@ -156,7 +176,7 @@ func (db *Database) Advance(d temporal.Tick) temporal.Tick {
 	defer db.clockMu.Unlock()
 	db.now = db.now.Add(d)
 	if w := db.wal.Load(); w != nil {
-		w.appendClock(db.now)
+		w.appendClock(db.now, p)
 	}
 	return db.now
 }
@@ -211,7 +231,12 @@ func (db *Database) appendLog(u Update) []Listener {
 }
 
 // Insert adds a new object.
-func (db *Database) Insert(o *Object) error {
+func (db *Database) Insert(o *Object) error { return db.insert(o, nil) }
+
+// InsertProv is Insert stamped with request provenance (see Prov).
+func (db *Database) InsertProv(o *Object, p *Prov) error { return db.insert(o, p) }
+
+func (db *Database) insert(o *Object, prov *Prov) error {
 	dob := db.obsv.Load()
 	t0 := dob.start()
 	db.clockMu.RLock()
@@ -232,7 +257,7 @@ func (db *Database) Insert(o *Object) error {
 	db.byClass[o.class.Name()] = append(db.byClass[o.class.Name()], o.id)
 	db.metaMu.Unlock()
 	s.objects[o.id] = o
-	u := Update{Tick: db.now, Kind: UpdateInsert, Object: o.id, After: o}
+	u := Update{Tick: db.now, Kind: UpdateInsert, Object: o.id, After: o, Prov: prov}
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
@@ -242,7 +267,12 @@ func (db *Database) Insert(o *Object) error {
 }
 
 // Delete removes an object.
-func (db *Database) Delete(id ObjectID) error {
+func (db *Database) Delete(id ObjectID) error { return db.delete(id, nil) }
+
+// DeleteProv is Delete stamped with request provenance (see Prov).
+func (db *Database) DeleteProv(id ObjectID, p *Prov) error { return db.delete(id, p) }
+
+func (db *Database) delete(id ObjectID, prov *Prov) error {
 	dob := db.obsv.Load()
 	t0 := dob.start()
 	db.clockMu.RLock()
@@ -264,7 +294,7 @@ func (db *Database) Delete(id ObjectID) error {
 		}
 	}
 	db.metaMu.Unlock()
-	u := Update{Tick: db.now, Kind: UpdateDelete, Object: id, Before: o}
+	u := Update{Tick: db.now, Kind: UpdateDelete, Object: id, Before: o, Prov: prov}
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
@@ -282,7 +312,7 @@ func notify(ls []Listener, u Update) {
 // mutate applies fn to the object's current revision and commits the result
 // as an explicit update, under the locking discipline described on
 // Database.
-func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, fn func(o *Object, now temporal.Tick) (*Object, error)) error {
+func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, prov *Prov, fn func(o *Object, now temporal.Tick) (*Object, error)) error {
 	dob := db.obsv.Load()
 	t0 := dob.start()
 	db.clockMu.RLock()
@@ -302,7 +332,7 @@ func (db *Database) mutate(id ObjectID, kind UpdateKind, attr string, fn func(o 
 		return err
 	}
 	s.objects[id] = next
-	u := Update{Tick: now, Kind: kind, Object: id, Attr: attr, Before: o, After: next}
+	u := Update{Tick: now, Kind: kind, Object: id, Attr: attr, Before: o, After: next, Prov: prov}
 	ls := db.appendLog(u)
 	s.mu.Unlock()
 	db.clockMu.RUnlock()
@@ -393,7 +423,12 @@ func (db *Database) Version() uint64 {
 
 // SetStatic explicitly updates a static attribute at the current time.
 func (db *Database) SetStatic(id ObjectID, attr string, v Value) error {
-	return db.mutate(id, UpdateStatic, attr, func(o *Object, _ temporal.Tick) (*Object, error) {
+	return db.SetStaticProv(id, attr, v, nil)
+}
+
+// SetStaticProv is SetStatic stamped with request provenance (see Prov).
+func (db *Database) SetStaticProv(id ObjectID, attr string, v Value, p *Prov) error {
+	return db.mutate(id, UpdateStatic, attr, p, func(o *Object, _ temporal.Tick) (*Object, error) {
 		return o.WithStatic(attr, v)
 	})
 }
@@ -402,7 +437,7 @@ func (db *Database) SetStatic(id ObjectID, attr string, v Value) error {
 // current time ("an explicit update of a dynamic attribute may change its
 // value sub-attribute, or its function sub-attribute, or both", §2.1).
 func (db *Database) SetDynamic(id ObjectID, attr string, a motion.DynamicAttr) error {
-	return db.mutate(id, UpdateDynamic, attr, func(o *Object, _ temporal.Tick) (*Object, error) {
+	return db.mutate(id, UpdateDynamic, attr, nil, func(o *Object, _ temporal.Tick) (*Object, error) {
 		return o.WithDynamic(attr, a)
 	})
 }
@@ -411,7 +446,7 @@ func (db *Database) SetDynamic(id ObjectID, attr string, a motion.DynamicAttr) e
 // installs a new function — the motion-vector update a vehicle's sensor
 // issues "when it senses a change in speed or direction" (§1).
 func (db *Database) UpdateFunction(id ObjectID, attr string, f motion.Func) error {
-	return db.mutate(id, UpdateDynamic, attr, func(o *Object, now temporal.Tick) (*Object, error) {
+	return db.mutate(id, UpdateDynamic, attr, nil, func(o *Object, now temporal.Tick) (*Object, error) {
 		cur, err := o.Dynamic(attr)
 		if err != nil {
 			return nil, err
@@ -423,7 +458,12 @@ func (db *Database) UpdateFunction(id ObjectID, attr string, f motion.Func) erro
 // SetMotion updates a spatial object's motion vector at the current time,
 // keeping its position continuous.
 func (db *Database) SetMotion(id ObjectID, v geom.Vector) error {
-	return db.mutate(id, UpdateDynamic, XPosition, func(o *Object, now temporal.Tick) (*Object, error) {
+	return db.SetMotionProv(id, v, nil)
+}
+
+// SetMotionProv is SetMotion stamped with request provenance (see Prov).
+func (db *Database) SetMotionProv(id ObjectID, v geom.Vector, p *Prov) error {
+	return db.mutate(id, UpdateDynamic, XPosition, p, func(o *Object, now temporal.Tick) (*Object, error) {
 		pos, err := o.Position()
 		if err != nil {
 			return nil, err

@@ -61,13 +61,21 @@ import (
 // fsyncs its snapshot (and the containing directory) before truncating the
 // log, so a checkpoint never trades a durable log for a volatile snapshot.
 
-// walRecord is one WAL entry.
+// walRecord is one WAL entry.  Beyond the original three kinds, "note" is
+// an opaque annotation that does not touch database state on replay (the
+// server logs executed-request receipts through it), and "reset" discards
+// everything recovered so far and restarts replay from an empty database
+// (written when the served database is wholesale replaced, so the log alone
+// reconstructs the post-replacement state even over a stale snapshot).
 type walRecord struct {
 	Seq    uint64         `json:"seq"`
-	Kind   string         `json:"kind"` // "class" | "clock" | "update"
+	Kind   string         `json:"kind"` // "class" | "clock" | "update" | "note" | "reset"
 	Now    *temporal.Tick `json:"now,omitempty"`
 	Class  *classDTO      `json:"class,omitempty"`
 	Update *walUpdate     `json:"update,omitempty"`
+	Prov   *Prov          `json:"prov,omitempty"`
+	Tag    string         `json:"tag,omitempty"`
+	Data   []byte         `json:"data,omitempty"`
 }
 
 // walUpdate serializes one explicit update with its post-image.
@@ -320,8 +328,8 @@ func (w *WAL) appendClass(c *Class) {
 	w.append(walRecord{Kind: "class", Class: &cd})
 }
 
-func (w *WAL) appendClock(now temporal.Tick) {
-	w.append(walRecord{Kind: "clock", Now: &now})
+func (w *WAL) appendClock(now temporal.Tick, p *Prov) {
+	w.append(walRecord{Kind: "clock", Now: &now, Prov: p})
 }
 
 func (w *WAL) appendUpdate(u Update) {
@@ -330,8 +338,22 @@ func (w *WAL) appendUpdate(u Update) {
 		od := encodeObject(u.After)
 		wu.After = &od
 	}
-	w.append(walRecord{Kind: "update", Update: &wu})
+	w.append(walRecord{Kind: "update", Update: &wu, Prov: u.Prov})
 }
+
+// AppendNote logs an opaque annotation record.  Notes do not change
+// database state on replay; WALObserver surfaces them during recovery.
+// The server uses notes to make its idempotence cache durable: one note
+// per executed mutating request, appended after the request's own records.
+func (w *WAL) AppendNote(tag string, data []byte) error {
+	w.append(walRecord{Kind: "note", Tag: tag, Data: data})
+	return w.Err()
+}
+
+// Reset truncates the log (after an external checkpoint equivalent), like
+// the truncation Checkpoint performs.  Callers own the proof that the
+// state the log represented is durable elsewhere.
+func (w *WAL) Reset() error { return w.reset() }
 
 // AttachWAL starts logging the database to w.  If the database already
 // holds state and the log is empty, a base image (classes, clock, one
@@ -371,16 +393,78 @@ func (db *Database) AttachWAL(w *WAL) error {
 	if empty {
 		return w.Err()
 	}
+	db.appendBaseImageLocked(w)
+	return w.Err()
+}
+
+// AttachWALNoBase attaches w without ever writing a base image, whatever
+// the database and log contents.  A durable server uses it when reopening
+// an empty post-checkpoint log next to a snapshot that already represents
+// the database: re-logging the state would make the snapshot and the log
+// redundantly overlap, breaking the next recovery's replay.
+func (db *Database) AttachWALNoBase(w *WAL) error {
+	if w == nil {
+		return fmt.Errorf("most: nil WAL")
+	}
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	if !db.wal.CompareAndSwap(nil, w) {
+		return fmt.Errorf("most: database already has a WAL attached")
+	}
+	if o := db.obsv.Load(); o != nil {
+		w.Instrument(o.reg)
+	}
+	return w.Err()
+}
+
+// appendBaseImageLocked re-logs the database's full current state (classes,
+// clock, one insert per live object).  Callers hold the full read quiesce.
+func (db *Database) appendBaseImageLocked(w *WAL) {
 	dto := db.snapshotDTOLocked()
 	for i := range dto.Classes {
 		w.append(walRecord{Kind: "class", Class: &dto.Classes[i]})
 	}
-	w.appendClock(dto.Now)
+	w.appendClock(dto.Now, nil)
 	for i := range dto.Objects {
 		w.append(walRecord{Kind: "update", Update: &walUpdate{
 			Tick: dto.Now, Kind: UpdateInsert, Object: dto.Objects[i].ID, After: &dto.Objects[i],
 		}})
 	}
+}
+
+// DetachWAL unhooks and returns the database's WAL (nil if none was
+// attached).  Subsequent commits stop logging; the caller typically hands
+// the WAL to a replacement database via RebaseWAL.
+func (db *Database) DetachWAL() *WAL { return db.wal.Swap(nil) }
+
+// RebaseWAL truncates w and re-logs this database's full state behind a
+// "reset" record, then attaches w.  Replaying the resulting log discards
+// everything accumulated before the reset — including a stale checkpoint
+// snapshot — so the log alone reconstructs exactly this database.  This is
+// the durable form of wholesale state replacement (SnapshotLoad): a crash
+// mid-rebase recovers to a prefix of the new state, which the retried
+// replacement request then overwrites.
+func (db *Database) RebaseWAL(w *WAL) error {
+	if w == nil {
+		return fmt.Errorf("most: nil WAL")
+	}
+	if err := w.reset(); err != nil {
+		return err
+	}
+	db.lockAllRead()
+	defer db.unlockAllRead()
+	db.metaMu.RLock()
+	defer db.metaMu.RUnlock()
+	if !db.wal.CompareAndSwap(nil, w) {
+		return fmt.Errorf("most: database already has a WAL attached")
+	}
+	if o := db.obsv.Load(); o != nil {
+		w.Instrument(o.reg)
+	}
+	w.append(walRecord{Kind: "reset"})
+	db.appendBaseImageLocked(w)
 	return w.Err()
 }
 
@@ -452,12 +536,29 @@ type RecoveryReport struct {
 	Reason string
 }
 
+// WALObserver watches a recovery replay.  Both callbacks are optional.
+// Note fires for every "note" record (which never touches database state);
+// Applied fires after every successfully replayed provenance-stamped record
+// with the database clock as of that record.  Together they let a durable
+// server rebuild its exactly-once state: notes carry completed-request
+// receipts, and Applied reveals how far a request that crashed mid-flight
+// got, so its retry can roll forward instead of re-applying.
+type WALObserver struct {
+	Note    func(tag string, data []byte)
+	Applied func(p Prov, now temporal.Tick)
+}
+
 // Recover rebuilds a database from an optional checkpoint snapshot and a
 // WAL.  A nil/empty snapshot means the log starts from an empty database.
 // Corrupt or truncated logs are not an error: replay keeps everything up
 // to the first bad record and reports the damage.  An unreadable snapshot
 // IS an error — there is no safe prefix to fall back to.
 func Recover(snapshot, wal []byte) (*Database, *RecoveryReport, error) {
+	return RecoverObserved(snapshot, wal, nil)
+}
+
+// RecoverObserved is Recover with a replay observer (see WALObserver).
+func RecoverObserved(snapshot, wal []byte, ob *WALObserver) (*Database, *RecoveryReport, error) {
 	var db *Database
 	if len(snapshot) > 0 {
 		var err error
@@ -488,8 +589,26 @@ func Recover(snapshot, wal []byte) (*Database, *RecoveryReport, error) {
 			stop(i+1, err.Error())
 			break
 		}
-		if err := db.applyWALRecord(rec); err != nil {
-			stop(i+1, err.Error())
+		switch rec.Kind {
+		case "reset":
+			// Wholesale state replacement: discard everything recovered so
+			// far (snapshot included) and rebuild from the records that
+			// follow — the base image the rebase logged.
+			db = NewDatabase()
+		case "note":
+			if ob != nil && ob.Note != nil {
+				ob.Note(rec.Tag, rec.Data)
+			}
+		default:
+			if err := db.applyWALRecord(rec); err != nil {
+				stop(i+1, err.Error())
+				break
+			}
+			if rec.Prov != nil && ob != nil && ob.Applied != nil {
+				ob.Applied(*rec.Prov, db.Now())
+			}
+		}
+		if rep.Truncated {
 			break
 		}
 		rep.Records++
@@ -500,6 +619,11 @@ func Recover(snapshot, wal []byte) (*Database, *RecoveryReport, error) {
 // RecoverFiles is Recover over a snapshot path (missing file = no
 // checkpoint) and a WAL path (missing file = empty log).
 func RecoverFiles(snapPath, walPath string) (*Database, *RecoveryReport, error) {
+	return RecoverFilesObserved(snapPath, walPath, nil)
+}
+
+// RecoverFilesObserved is RecoverFiles with a replay observer.
+func RecoverFilesObserved(snapPath, walPath string, ob *WALObserver) (*Database, *RecoveryReport, error) {
 	snap, err := os.ReadFile(snapPath)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
@@ -508,7 +632,7 @@ func RecoverFiles(snapPath, walPath string) (*Database, *RecoveryReport, error) 
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, err
 	}
-	return Recover(snap, wal)
+	return RecoverObserved(snap, wal, ob)
 }
 
 func parseWALLine(line []byte) (walRecord, error) {
@@ -566,9 +690,9 @@ func (db *Database) applyWALRecord(rec walRecord) error {
 			if err != nil {
 				return err
 			}
-			return db.Insert(o)
+			return db.insert(o, rec.Prov)
 		case UpdateDelete:
-			return db.Delete(ObjectID(u.Object))
+			return db.delete(ObjectID(u.Object), rec.Prov)
 		case UpdateStatic, UpdateDynamic:
 			if u.After == nil {
 				return fmt.Errorf("update of %s without post-image", u.Object)
@@ -579,7 +703,7 @@ func (db *Database) applyWALRecord(rec walRecord) error {
 			}
 			// Install the recorded post-image wholesale: replay reproduces
 			// the exact revision the original mutation computed.
-			return db.mutate(ObjectID(u.Object), u.Kind, u.Attr, func(*Object, temporal.Tick) (*Object, error) {
+			return db.mutate(ObjectID(u.Object), u.Kind, u.Attr, rec.Prov, func(*Object, temporal.Tick) (*Object, error) {
 				return o, nil
 			})
 		default:

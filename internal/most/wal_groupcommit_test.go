@@ -48,7 +48,7 @@ func TestWALGroupCommitCoalescesConcurrentAppends(t *testing.T) {
 
 	leaderDone := make(chan struct{})
 	go func() {
-		w.appendClock(1)
+		w.appendClock(1, nil)
 		close(leaderDone)
 	}()
 	<-g.entered // leader is inside Write with the first record
@@ -58,7 +58,7 @@ func TestWALGroupCommitCoalescesConcurrentAppends(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.appendClock(1)
+			w.appendClock(1, nil)
 		}()
 	}
 	// Wait until every follower has staged its record behind the leader.
@@ -120,14 +120,14 @@ func TestWALGroupCommitWriteErrorWakesFollowers(t *testing.T) {
 
 	leaderDone := make(chan struct{})
 	go func() {
-		w.appendClock(1)
+		w.appendClock(1, nil)
 		close(leaderDone)
 	}()
 	<-g.entered
 
 	followerDone := make(chan struct{})
 	go func() {
-		w.appendClock(1)
+		w.appendClock(1, nil)
 		close(followerDone)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
@@ -159,14 +159,14 @@ func TestWALGroupCommitWriteErrorWakesFollowers(t *testing.T) {
 		t.Fatal("write error not sticky")
 	}
 	// Subsequent appends are dropped, not deadlocked.
-	w.appendClock(2)
+	w.appendClock(2, nil)
 }
 
 func BenchmarkWALAppendSerial(b *testing.B) {
 	w := NewWAL(io.Discard)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		w.appendClock(temporal.Tick(1))
+		w.appendClock(temporal.Tick(1), nil)
 	}
 }
 
@@ -178,7 +178,7 @@ func BenchmarkWALAppendParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			w.appendClock(temporal.Tick(1))
+			w.appendClock(temporal.Tick(1), nil)
 		}
 	})
 }

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is a process lifecycle signal for load balancers and init systems,
+// served as the conventional pair of endpoints:
+//
+//	/healthz   liveness  — 200 whenever the process can answer at all
+//	/readyz    readiness — 200 only in StateReady; 503 while starting,
+//	           recovering a write-ahead log, or draining for shutdown
+//
+// All methods are safe on a nil *Health (they no-op / report ready), so
+// components can thread an optional health handle without nil checks.
+type Health struct {
+	state atomic.Int32
+}
+
+// HealthState is a coarse lifecycle phase.
+type HealthState int32
+
+const (
+	// StateStarting is the zero state: the process is up but not serving.
+	StateStarting HealthState = iota
+	// StateRecovering means durable state is being rebuilt (WAL replay);
+	// the listener may not be installed yet and requests would miss data.
+	StateRecovering
+	// StateReady means the service is accepting and answering requests.
+	StateReady
+	// StateDraining means shutdown has begun: in-flight work finishes but
+	// new traffic should go elsewhere.
+	StateDraining
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateRecovering:
+		return "recovering"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	default:
+		return "unknown"
+	}
+}
+
+// Set moves the health to state.
+func (h *Health) Set(state HealthState) {
+	if h == nil {
+		return
+	}
+	h.state.Store(int32(state))
+}
+
+// State returns the current lifecycle phase.
+func (h *Health) State() HealthState {
+	if h == nil {
+		return StateReady
+	}
+	return HealthState(h.state.Load())
+}
+
+// Ready reports whether the service should receive traffic.
+func (h *Health) Ready() bool { return h.State() == StateReady }
+
+// Mount installs /healthz and /readyz on mux.  Mounting a nil *Health
+// serves an always-live, always-ready pair.
+func (h *Health) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		st := h.State()
+		if st != StateReady {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write([]byte(st.String() + "\n"))
+	})
+}

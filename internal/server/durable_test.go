@@ -1,0 +1,463 @@
+package server
+
+// Crash-safety tests for the durable server: kill -9 (Abort) and restart
+// from the write-ahead log, idempotent retries straddling the crash,
+// partial-batch roll-forward, checkpoint + dedup sidecar recovery,
+// admission control, deadline refusal, epoch fencing, and health
+// lifecycle.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/mostdb/most/internal/client"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/wire"
+	"github.com/mostdb/most/internal/workload"
+)
+
+func seedFleet() *most.Database {
+	db, err := workload.Fleet(workload.FleetSpec{
+		N:        5,
+		Region:   geom.Rect{Max: geom.Point{X: 100, Y: 100}},
+		MaxSpeed: 2,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// startDurable recovers-or-seeds a durable server from dir and serves it
+// on addr ("" = fresh port).  The caller stops it (Abort or Shutdown).
+func startDurable(t *testing.T, dir, addr string, cfg Config) (*Server, *RecoveryInfo) {
+	t.Helper()
+	srv, info, err := NewDurable(dir, cfg, seedFleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if err := srv.ListenAndServe(addr); err != nil {
+		t.Fatal(err)
+	}
+	return srv, info
+}
+
+// rawConn is a hand-driven protocol-v1 connection with explicit control
+// over ClientID, request IDs and epochs — the knobs the crash tests need.
+type rawConn struct {
+	t   *testing.T
+	c   net.Conn
+	dec *wire.Decoder
+}
+
+// rawDial connects and says Hello; it returns the raw Hello response
+// frame so callers can assert rejections too.
+func rawDial(t *testing.T, addr, clientID string, epoch uint64) (*rawConn, wire.Frame) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rawConn{t: t, c: c, dec: wire.NewDecoder(c, wire.DefaultMaxPayload)}
+	f, err := wire.Encode(wire.OpHello, 1, wire.HelloReq{ClientID: clientID, MaxVersion: 1, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(c, f); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.dec.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, resp
+}
+
+func mustHello(t *testing.T, addr, clientID string, epoch uint64) (*rawConn, wire.HelloResp) {
+	t.Helper()
+	r, f := rawDial(t, addr, clientID, epoch)
+	if f.Op == wire.OpError {
+		var e wire.ErrorResp
+		_ = wire.Unmarshal(f, &e)
+		t.Fatalf("hello rejected: %s (%s)", e.Msg, e.Code)
+	}
+	var hello wire.HelloResp
+	if err := wire.Unmarshal(f, &hello); err != nil {
+		t.Fatal(err)
+	}
+	return r, hello
+}
+
+func (r *rawConn) call(op wire.Opcode, id uint64, payload any) wire.Frame {
+	r.t.Helper()
+	f, err := wire.Encode(op, id, payload)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if err := wire.WriteFrame(r.c, f); err != nil {
+		r.t.Fatal(err)
+	}
+	resp, err := r.dec.Next()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return resp
+}
+
+func (r *rawConn) update(id uint64, ops []wire.UpdateOp) wire.UpdateBatchResp {
+	r.t.Helper()
+	f := r.call(wire.OpUpdateBatch, id, &wire.UpdateBatchReq{Ops: ops})
+	if f.Op == wire.OpError {
+		var e wire.ErrorResp
+		_ = wire.Unmarshal(f, &e)
+		r.t.Fatalf("update %d refused: %s (%s)", id, e.Msg, e.Code)
+	}
+	var resp wire.UpdateBatchResp
+	if err := wire.Unmarshal(f, &resp); err != nil {
+		r.t.Fatal(err)
+	}
+	return resp
+}
+
+func (r *rawConn) snapshot() []byte {
+	r.t.Helper()
+	f := r.call(wire.OpSnapshotSave, 1<<40, nil)
+	var resp wire.SnapshotResp
+	if err := wire.Unmarshal(f, &resp); err != nil {
+		r.t.Fatal(err)
+	}
+	return resp.Data
+}
+
+func motionOp(car int, vx, vy float64) wire.UpdateOp {
+	return wire.UpdateOp{Op: wire.OpSetMotion, ID: vid(car), VX: vx, VY: vy}
+}
+
+// The satellite acceptance test: commit over TCP, hard-kill the server,
+// restart from the WAL, and prove (a) the committed state survived
+// byte-identically, and (b) a retry of an already-committed request is
+// replayed, not re-applied.
+func TestDurableCrashRestartExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	srv, info := startDurable(t, dir, "", Config{})
+	if !info.Fresh {
+		t.Fatal("expected fresh start")
+	}
+	addr := srv.Addr().String()
+
+	r1, hello := mustHello(t, addr, "alice", 1)
+	if hello.Resumed {
+		t.Fatal("fresh server claims a resumed session")
+	}
+	first := r1.update(1, []wire.UpdateOp{motionOp(0, 3, 1), motionOp(1, -2, 0)})
+	if first.Applied != 2 {
+		t.Fatalf("applied %d of 2", first.Applied)
+	}
+	before := r1.snapshot()
+	r1.c.Close()
+
+	srv.Abort() // kill -9: no drain, no checkpoint
+
+	srv2, info2 := startDurable(t, dir, addr, Config{})
+	defer srv2.Abort()
+	if info2.Fresh {
+		t.Fatal("restart treated a populated directory as fresh")
+	}
+	if info2.Receipts == 0 {
+		t.Fatal("no receipts recovered: retries would double-apply")
+	}
+
+	r2, hello2 := mustHello(t, addr, "alice", 2)
+	if !hello2.Resumed {
+		t.Fatal("recovered server did not report the client as resumed")
+	}
+	// The duplicate in-flight retry: same request ID, same payload.  It
+	// must be answered from the recovered receipt with the original
+	// response, not executed again.
+	replay := r2.update(1, []wire.UpdateOp{motionOp(0, 3, 1), motionOp(1, -2, 0)})
+	if replay.Version != first.Version || replay.Applied != first.Applied {
+		t.Fatalf("retry re-executed: got version %d applied %d, want %d/%d",
+			replay.Version, replay.Applied, first.Version, first.Applied)
+	}
+	after := r2.snapshot()
+	if string(before) != string(after) {
+		t.Fatal("recovered state differs from committed pre-crash state")
+	}
+	// A fresh mutation lands exactly one version past the original —
+	// nothing was double-applied in between.
+	probe := r2.update(2, []wire.UpdateOp{motionOp(2, 1, 1)})
+	if probe.Version != first.Version+1 {
+		t.Fatalf("version after restart+retry = %d, want %d", probe.Version, first.Version+1)
+	}
+}
+
+// A checkpoint plus its dedup sidecar must carry both the state and the
+// exactly-once receipts across a crash, even with the WAL truncated.
+func TestDurableCheckpointSidecarSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{})
+	addr := srv.Addr().String()
+
+	r1, _ := mustHello(t, addr, "alice", 1)
+	first := r1.update(1, []wire.UpdateOp{motionOp(0, 5, 5)})
+	r1.c.Close()
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Abort()
+
+	srv2, info := startDurable(t, dir, addr, Config{})
+	defer srv2.Abort()
+	if info.Receipts == 0 {
+		t.Fatal("sidecar receipts lost across checkpoint+crash")
+	}
+
+	// Restoring a checkpoint restarts the version counter, so sandwich the
+	// replay between two fresh probes: if the retry had re-executed, the
+	// second probe would land two versions past the first.
+	r2, _ := mustHello(t, addr, "alice", 2)
+	probeA := r2.update(2, []wire.UpdateOp{motionOp(1, 1, 0)})
+	replay := r2.update(1, []wire.UpdateOp{motionOp(0, 5, 5)})
+	if replay.Version != first.Version {
+		t.Fatalf("post-checkpoint retry not answered from receipt: version %d, want %d", replay.Version, first.Version)
+	}
+	probeB := r2.update(3, []wire.UpdateOp{motionOp(2, 1, 0)})
+	if probeB.Version != probeA.Version+1 {
+		t.Fatalf("replay applied %d mutations, want 0", probeB.Version-probeA.Version-1)
+	}
+}
+
+// A crash can land between a batch's WAL records and its receipt: the
+// recovered server holds a prefix of the batch.  The client's retry must
+// roll forward — apply only the unlogged suffix — so the batch still
+// lands exactly once.
+func TestDurablePartialBatchRollsForward(t *testing.T) {
+	dir := t.TempDir()
+
+	// Handcraft the crashed state: a WAL whose tail is two provenance-
+	// stamped ops of alice's three-op request 9, receipt never written.
+	db := most.NewDatabase()
+	w, err := most.OpenWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClass(workload.VehicleClass); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		o, err := most.NewObject(most.ObjectID(vid(i)), workload.VehicleClass)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := []wire.UpdateOp{motionOp(0, 1, 0), motionOp(1, 2, 0), motionOp(2, 3, 0)}
+	for i, op := range batch[:2] { // ...the third op never made the log
+		if err := db.SetMotionProv(most.ObjectID(op.ID), geom.Vector{X: op.VX}, &most.Prov{Client: "alice", Req: 9, Op: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, info := startDurable(t, dir, "", Config{})
+	defer srv.Abort()
+	if info.Partials != 1 {
+		t.Fatalf("recovered %d partials, want 1", info.Partials)
+	}
+
+	r, hello := mustHello(t, srv.Addr().String(), "alice", 1)
+	if !hello.Resumed {
+		t.Fatal("client with a recovered partial not reported as resumed")
+	}
+	base := r.update(8, []wire.UpdateOp{motionOp(4, 9, 9)})
+	retry := r.update(9, batch)
+	if retry.Applied != len(batch) {
+		t.Fatalf("retry applied %d of %d", retry.Applied, len(batch))
+	}
+	// Exactly one mutation beyond the probe: ops 0 and 1 were skipped
+	// (already in the log), only op 2 executed.
+	if retry.Version != base.Version+1 {
+		t.Fatalf("roll-forward applied %d ops, want 1", retry.Version-base.Version)
+	}
+}
+
+func TestAdmissionControlShedsAndClientRetries(t *testing.T) {
+	reg := obs.New()
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{MaxInflight: 1, Reg: reg})
+	defer srv.Abort()
+	addr := srv.Addr().String()
+
+	// Occupy the only slot, as a stuck in-flight request would.
+	srv.admit <- struct{}{}
+
+	r, _ := mustHello(t, addr, "raw", 1)
+	if f := r.call(wire.OpPing, 2, nil); f.Op == wire.OpError {
+		t.Fatal("ping must be exempt from admission control")
+	}
+	f := r.call(wire.OpUpdateBatch, 3, &wire.UpdateBatchReq{Ops: []wire.UpdateOp{motionOp(0, 1, 1)}})
+	if f.Op != wire.OpError {
+		t.Fatal("overloaded server executed instead of shedding")
+	}
+	var e wire.ErrorResp
+	_ = wire.Unmarshal(f, &e)
+	if e.Code != wire.CodeOverloaded {
+		t.Fatalf("shed code = %q, want %q", e.Code, wire.CodeOverloaded)
+	}
+	if reg.Counter("server.shed_requests").Value() == 0 {
+		t.Fatal("server.shed_requests not incremented")
+	}
+
+	// A real client rides out the shed window under backoff and lands the
+	// mutation once the slot frees.
+	release := time.AfterFunc(60*time.Millisecond, func() { <-srv.admit })
+	defer release.Stop()
+	c, err := client.Dial(addr,
+		client.WithClientID("patient"),
+		client.WithBackoff(2*time.Millisecond, 50*time.Millisecond),
+		client.WithRetries(50),
+		client.WithJitterSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.UpdateBatch([]wire.UpdateOp{motionOp(1, 2, 2)}); err != nil {
+		t.Fatalf("client did not retry through shedding: %v", err)
+	}
+}
+
+// A request whose deadline budget is spent is refused with a typed code
+// and — critically — never cached: the retry with a fresh budget must
+// execute, not replay the refusal.
+func TestDeadlineRefusalNotCached(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{})
+	defer srv.Abort()
+
+	r, _ := mustHello(t, srv.Addr().String(), "alice", 1)
+	// A batch bulky enough that decoding alone outlives a 1ms budget.
+	big := make([]wire.UpdateOp, 200000)
+	for i := range big {
+		big[i] = motionOp(0, float64(i), 0)
+	}
+	f := r.call(wire.OpUpdateBatch, 7, &wire.UpdateBatchReq{Ops: big, DeadlineMS: 1})
+	if f.Op != wire.OpError {
+		t.Skip("decode beat the 1ms deadline on this machine")
+	}
+	var e wire.ErrorResp
+	_ = wire.Unmarshal(f, &e)
+	if e.Code != wire.CodeDeadlineExceeded {
+		t.Fatalf("code = %q, want %q", e.Code, wire.CodeDeadlineExceeded)
+	}
+	resp := r.update(7, []wire.UpdateOp{motionOp(0, 4, 4)}) // same ID, fresh budget
+	if resp.Applied != 1 {
+		t.Fatal("retry after deadline refusal was replayed from cache instead of executed")
+	}
+}
+
+func TestEpochFencing(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{})
+	defer srv.Abort()
+	addr := srv.Addr().String()
+
+	a, helloA := mustHello(t, addr, "alice", 5)
+	if helloA.Resumed {
+		t.Fatal("first epoch reported resumed")
+	}
+
+	// An older epoch is a zombie predecessor: refused outright.
+	b, f := rawDial(t, addr, "alice", 4)
+	defer b.c.Close()
+	if f.Op != wire.OpError {
+		t.Fatal("stale epoch accepted")
+	}
+	var e wire.ErrorResp
+	_ = wire.Unmarshal(f, &e)
+	if e.Code != wire.CodeStaleEpoch {
+		t.Fatalf("code = %q, want %q", e.Code, wire.CodeStaleEpoch)
+	}
+
+	// A newer epoch resumes the identity and fences the old session.
+	c, helloC := mustHello(t, addr, "alice", 6)
+	defer c.c.Close()
+	if !helloC.Resumed {
+		t.Fatal("newer epoch not reported as resumed")
+	}
+	a.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := a.dec.Next(); err == nil {
+		t.Fatal("zombie session survived a newer epoch's Hello")
+	}
+}
+
+func TestHealthLifecycle(t *testing.T) {
+	h := &obs.Health{}
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{Health: h})
+	if got := h.State(); got != obs.StateReady {
+		t.Fatalf("state after serve = %v, want ready", got)
+	}
+
+	m := http.NewServeMux()
+	h.Mount(m)
+	resp := httptest.NewRecorder()
+	m.ServeHTTP(resp, httptest.NewRequest("GET", "/readyz", nil))
+	if resp.Code != 200 {
+		t.Fatalf("/readyz while ready = %d", resp.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.State(); got != obs.StateDraining {
+		t.Fatalf("state after shutdown = %v, want draining", got)
+	}
+	resp = httptest.NewRecorder()
+	m.ServeHTTP(resp, httptest.NewRequest("GET", "/readyz", nil))
+	if resp.Code != 503 {
+		t.Fatalf("/readyz while draining = %d, want 503", resp.Code)
+	}
+}
+
+// A corrupt checkpoint is a hard recovery error — the server must refuse
+// to start rather than serve from a guess (mostserver exits non-zero on
+// this path).
+func TestDurableRecoveryFailsOnCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startDurable(t, dir, "", Config{})
+	r, _ := mustHello(t, srv.Addr().String(), "alice", 1)
+	r.update(1, []wire.UpdateOp{motionOp(0, 1, 1)})
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Abort()
+
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewDurable(dir, Config{}, seedFleet); err == nil {
+		t.Fatal("recovery from a corrupt checkpoint must fail loudly")
+	}
+}

@@ -94,6 +94,20 @@ type Config struct {
 	Reg *obs.Registry
 	// Name is the server identity reported in the Hello response.
 	Name string
+	// MaxInflight caps requests executing concurrently across all sessions
+	// (admission control).  A request arriving with the cap exhausted is
+	// shed immediately with ErrorResp code "overloaded" — never queued,
+	// never executed, never entered into the idempotence cache — so an
+	// overloaded server stays responsive instead of collapsing.  0 (the
+	// default) disables shedding.  Hello and Ping are never shed.
+	MaxInflight int
+	// Health, when set, tracks the server lifecycle (recovering → ready →
+	// draining) for /healthz + /readyz (obs.Health.Mount).  Nil disables.
+	Health *obs.Health
+	// CheckpointEvery makes a durable server (NewDurable) checkpoint after
+	// every N mutating requests; 0 checkpoints only on explicit Checkpoint
+	// calls and clean Shutdown.  Ignored by plain New servers.
+	CheckpointEvery int
 }
 
 func (c Config) normalized() Config {
@@ -133,6 +147,9 @@ type Server struct {
 
 	nextSub atomic.Uint64
 
+	// admit is the admission-control semaphore (nil when MaxInflight <= 0).
+	admit chan struct{}
+
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[*session]struct{}
@@ -141,16 +158,43 @@ type Server struct {
 
 	dedupMu sync.Mutex
 	dedup   map[string]*dedupCache
+
+	// Epoch fencing: the newest session generation per ClientID, so a
+	// reconnecting client supersedes its zombie predecessor and a stale
+	// predecessor's Hello is rejected (wire.CodeStaleEpoch).
+	epochMu sync.Mutex
+	epochs  map[string]*clientEpoch
+
+	// Durability (zero on plain New servers; see durable.go).  commitMu
+	// orders mutating requests (shared) against checkpoints and WAL rebases
+	// (exclusive).
+	durable         bool
+	wal             *most.WAL
+	snapPath        string
+	dedupPath       string
+	checkpointEvery int
+	mutSince        atomic.Uint64
+	commitMu        sync.RWMutex
+
+	partialMu sync.Mutex
+	partial   map[string]map[uint64]int
+	recovered map[string]struct{}
 }
 
 // New returns a server over db and eng.  The engine must be bound to db.
 func New(db *most.Database, eng *query.Engine, cfg Config) *Server {
 	cfg = cfg.normalized()
 	srv := &Server{
-		cfg:      cfg,
-		m:        newMetrics(cfg.Reg),
-		sessions: map[*session]struct{}{},
-		dedup:    map[string]*dedupCache{},
+		cfg:       cfg,
+		m:         newMetrics(cfg.Reg),
+		sessions:  map[*session]struct{}{},
+		dedup:     map[string]*dedupCache{},
+		epochs:    map[string]*clientEpoch{},
+		partial:   map[string]map[uint64]int{},
+		recovered: map[string]struct{}{},
+	}
+	if cfg.MaxInflight > 0 {
+		srv.admit = make(chan struct{}, cfg.MaxInflight)
 	}
 	srv.st.Store(&state{db: db, eng: eng})
 	return srv
@@ -193,7 +237,8 @@ func (srv *Server) Serve(ln net.Listener) error {
 	return srv.acceptLoop(ln)
 }
 
-// register installs the listener so Addr and Shutdown see it.
+// register installs the listener so Addr and Shutdown see it, and marks the
+// service ready: recovery (if any) finished before the listener existed.
 func (srv *Server) register(ln net.Listener) error {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
@@ -202,6 +247,7 @@ func (srv *Server) register(ln net.Listener) error {
 		return errors.New("server: already shut down")
 	}
 	srv.ln = ln
+	srv.cfg.Health.Set(obs.StateReady)
 	return nil
 }
 
@@ -269,6 +315,7 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 		sessions = append(sessions, s)
 	}
 	srv.mu.Unlock()
+	srv.cfg.Health.Set(obs.StateDraining)
 	if ln != nil {
 		ln.Close()
 	}
@@ -282,6 +329,7 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		srv.finishDurable(true)
 		return nil
 	case <-ctx.Done():
 		srv.mu.Lock()
@@ -290,6 +338,7 @@ func (srv *Server) Shutdown(ctx context.Context) error {
 		}
 		srv.mu.Unlock()
 		<-done
+		srv.finishDurable(false)
 		return ctx.Err()
 	}
 }
@@ -367,6 +416,16 @@ func (e *dedupEntry) finish(f wire.Frame) {
 	close(e.done)
 }
 
+// remove forgets a reservation, so a later retry executes afresh.  Used
+// for requests that were reserved but never executed (deadline expired
+// before the handler ran): caching their rejection would replay it to a
+// retry arriving with a healthy budget.
+func (c *dedupCache) remove(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, id)
+}
+
 // dedupFor returns the cache for a client identity, creating it on first
 // use.  The caches live for the server's lifetime so retries survive
 // reconnects.
@@ -382,6 +441,34 @@ func (srv *Server) dedupFor(clientID string) *dedupCache {
 		srv.dedup[clientID] = c
 	}
 	return c
+}
+
+// fenceEpoch applies epoch fencing for a Hello.  It returns resumed (the
+// server recognizes this ClientID from an earlier session or from durable
+// recovery), the superseded predecessor session to kill (nil if none), and
+// ok=false when the Hello itself is the zombie: its epoch is lower than one
+// already seen, so a newer session of the same client has taken over.
+// Epoch 0 — every pre-resume client — opts out of fencing entirely.
+func (srv *Server) fenceEpoch(clientID string, epoch uint64, s *session) (resumed bool, zombie *session, ok bool) {
+	if clientID == "" || epoch == 0 {
+		return false, nil, true
+	}
+	srv.epochMu.Lock()
+	defer srv.epochMu.Unlock()
+	ce := srv.epochs[clientID]
+	switch {
+	case ce == nil:
+		srv.epochs[clientID] = &clientEpoch{epoch: epoch, sess: s}
+		// A durable restart empties the epoch table, but recovery knows
+		// which clients it rebuilt exactly-once state for.
+		return srv.wasRecovered(clientID), nil, true
+	case epoch < ce.epoch:
+		return false, nil, false
+	default:
+		zombie = ce.sess
+		ce.epoch, ce.sess = epoch, s
+		return true, zombie, true
+	}
 }
 
 // ---- metrics ----
@@ -401,6 +488,9 @@ type metrics struct {
 	notifies           *obs.Counter
 	notifyCoalesced    *obs.Counter
 	dedupHits          *obs.Counter
+	shedRequests       *obs.Counter
+	checkpoints        *obs.Counter
+	recoveryMs         *obs.Gauge
 	applyNs            *obs.Histogram
 
 	opMu sync.Mutex
@@ -422,6 +512,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		notifies:           reg.Counter("server.notifies"),
 		notifyCoalesced:    reg.Counter("server.notifies_coalesced"),
 		dedupHits:          reg.Counter("server.dedup_hits"),
+		shedRequests:       reg.Counter("server.shed_requests"),
+		checkpoints:        reg.Counter("server.checkpoints"),
+		recoveryMs:         reg.Gauge("server.recovery_ms"),
 		applyNs:            reg.Histogram("server.apply_ns"),
 		opNs:               map[wire.Opcode]*obs.Histogram{},
 	}

@@ -54,6 +54,14 @@ type session struct {
 	reqUB  wire.UpdateBatchReq
 	intern wire.Interner
 
+	// Reader-goroutine-only per-request state: when the request entered
+	// handling (deadline accounting), how many leading batch ops a retry of
+	// a crashed request must skip (recovery roll-forward), and the error
+	// code of the response being produced ("" for plain errors/successes).
+	reqStart    time.Time
+	rollForward int
+	lastCode    string
+
 	// Writer-goroutine-only frame serialization buffer.
 	wbuf []byte
 
@@ -240,9 +248,24 @@ func (s *session) errFrame(id uint64, err error) wire.Frame {
 }
 
 // handle executes one request and enqueues its response, recording the
-// per-opcode latency and the in-flight gauge.
+// per-opcode latency and the in-flight gauge.  Admission control runs
+// first: past MaxInflight the request is shed with a typed, retryable
+// error before it touches the idempotence cache or the database — Hello
+// and Ping always pass, so a client can still handshake under load.
 func (s *session) handle(f wire.Frame) {
 	m := s.srv.m
+	if s.srv.admit != nil && f.Op != wire.OpHello && f.Op != wire.OpPing {
+		select {
+		case s.srv.admit <- struct{}{}:
+			defer func() { <-s.srv.admit }()
+		default:
+			m.shedRequests.Inc()
+			_ = s.enqueue(s.enc(wire.OpError, f.ID,
+				&wire.ErrorResp{Msg: "server overloaded, retry later", Code: wire.CodeOverloaded}))
+			return
+		}
+	}
+	s.reqStart = time.Now()
 	m.inflight.Add(1)
 	t0 := m.reg.Start()
 	resp := s.dispatch(f)
@@ -254,14 +277,33 @@ func (s *session) handle(f wire.Frame) {
 	_ = s.enqueue(resp)
 }
 
+// deadlineExpired reports whether a request's per-attempt budget ran out
+// before its handler could start real work (e.g. while blocked behind a
+// checkpoint's commit lock).
+func (s *session) deadlineExpired(ms int64) bool {
+	return ms > 0 && time.Since(s.reqStart) > time.Duration(ms)*time.Millisecond
+}
+
+// deadlineFrame is the typed refusal for an expired budget.
+func (s *session) deadlineFrame(id uint64) wire.Frame {
+	s.lastCode = wire.CodeDeadlineExceeded
+	return s.enc(wire.OpError, id,
+		&wire.ErrorResp{Msg: "deadline expired before execution", Code: wire.CodeDeadlineExceeded})
+}
+
 // dispatch routes one request.  Mutating opcodes pass through the client's
-// idempotence cache when a Hello established one.
+// idempotence cache when a Hello established one, and through the durable
+// commit protocol on a durable server.
 func (s *session) dispatch(f wire.Frame) wire.Frame {
 	switch f.Op {
 	case wire.OpUpdateBatch, wire.OpAdvance, wire.OpSnapshotLoad:
 		s.mu.Lock()
 		cache := s.dedup
+		clientID := s.clientID
 		s.mu.Unlock()
+		if s.srv.durable {
+			return s.dispatchDurable(f, clientID, cache)
+		}
 		if cache == nil {
 			return s.execute(f)
 		}
@@ -271,7 +313,13 @@ func (s *session) dispatch(f wire.Frame) wire.Frame {
 			<-e.done
 			return s.transcode(e.frame, f.Op)
 		}
+		s.lastCode = ""
 		resp := s.execute(f)
+		if s.lastCode == wire.CodeDeadlineExceeded {
+			// Never executed: forget the reservation so a retry with a
+			// fresh budget runs instead of replaying the refusal.
+			cache.remove(f.ID)
+		}
 		// The cache owns a detached copy: the enqueued original may be
 		// pool-backed and is recycled by the writer after the socket write.
 		e.finish(resp.Detach())
@@ -281,6 +329,59 @@ func (s *session) dispatch(f wire.Frame) wire.Frame {
 	}
 }
 
+// dispatchDurable is the mutating path on a durable server: execute and
+// append the receipt note under the commit lock (shared — exclusive for
+// SnapshotLoad, which rebases the WAL), so a checkpoint can never separate
+// a request's WAL records from its receipt.  The cache and the WAL both
+// store the version-1 encoding of the response; transcode re-frames
+// replays for whatever version the retrying connection negotiated.
+func (s *session) dispatchDurable(f wire.Frame, clientID string, cache *dedupCache) wire.Frame {
+	var e *dedupEntry
+	if cache != nil {
+		var replay bool
+		e, replay = cache.begin(f.ID)
+		if replay {
+			s.srv.m.dedupHits.Inc()
+			<-e.done
+			return s.transcode(e.frame, f.Op)
+		}
+	}
+	exclusive := f.Op == wire.OpSnapshotLoad
+	if exclusive {
+		s.srv.commitMu.Lock()
+	} else {
+		s.srv.commitMu.RLock()
+	}
+	if skip, ok := s.srv.takePartial(clientID, f.ID); ok {
+		// This request crashed mid-flight in a previous server life and
+		// operations 0..skip were already applied (recovered from the WAL's
+		// provenance stamps): roll the retry forward past them.
+		s.rollForward = skip + 1
+	}
+	s.lastCode = ""
+	resp := s.execute(f)
+	s.rollForward = 0
+	var v1 wire.Frame
+	if e != nil {
+		v1 = s.transcodeTo(wire.ProtocolV1, resp, f.Op).Detach()
+		if s.lastCode == wire.CodeDeadlineExceeded {
+			cache.remove(f.ID)
+		} else {
+			s.srv.logReceipt(clientID, f.ID, v1)
+		}
+	}
+	if exclusive {
+		s.srv.commitMu.Unlock()
+	} else {
+		s.srv.commitMu.RUnlock()
+	}
+	if e != nil {
+		e.finish(v1)
+	}
+	s.srv.afterMutation()
+	return resp
+}
+
 // transcode re-frames a cached response at this session's negotiated
 // protocol version.  The dedup cache stores responses as encoded for the
 // session that executed them; a retry arriving on a reconnect that
@@ -288,7 +389,13 @@ func (s *session) dispatch(f wire.Frame) wire.Frame {
 // decoder accepts (PROTOCOL.md §5: replay encoding follows the retrying
 // connection).  reqOp selects the payload type of an OpResult frame.
 func (s *session) transcode(f wire.Frame, reqOp wire.Opcode) wire.Frame {
-	v := uint8(s.proto.Load())
+	return s.transcodeTo(uint8(s.proto.Load()), f, reqOp)
+}
+
+// transcodeTo re-frames f at protocol version v (see transcode; the
+// durable commit path also uses it to pin cached responses to version 1
+// regardless of the executing session's negotiated version).
+func (s *session) transcodeTo(v uint8, f wire.Frame, reqOp wire.Opcode) wire.Frame {
 	if f.Version == v || (f.Version == 0 && v == wire.ProtocolV1) {
 		return f
 	}
@@ -353,13 +460,30 @@ func (s *session) handleHello(f wire.Frame) wire.Frame {
 	if err := wire.Unmarshal(f, &req); err != nil {
 		return s.errFrame(f.ID, err)
 	}
+	resumed, zombie, ok := s.srv.fenceEpoch(req.ClientID, req.Epoch, s)
+	if !ok {
+		resp, err := wire.EncodeFrame(wire.ProtocolV1, wire.OpError, f.ID, &wire.ErrorResp{
+			Msg:  fmt.Sprintf("epoch %d superseded by a newer session of %q", req.Epoch, req.ClientID),
+			Code: wire.CodeStaleEpoch,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return resp
+	}
+	if zombie != nil && zombie != s {
+		// A newer epoch of the same client fences its predecessor: the old
+		// connection (possibly a half-dead socket the client abandoned) is
+		// killed so it cannot interleave stale writes.
+		zombie.kill("superseded by newer epoch")
+	}
 	s.mu.Lock()
 	s.clientID = req.ClientID
 	s.dedup = s.srv.dedupFor(req.ClientID)
 	s.mu.Unlock()
 	v := wire.NegotiateVersion(req.MaxVersion, s.srv.cfg.MaxProtocol)
 	resp, err := wire.EncodeFrame(wire.ProtocolV1, wire.OpResult, f.ID,
-		&wire.HelloResp{Server: s.srv.cfg.Name, Version: int(v)})
+		&wire.HelloResp{Server: s.srv.cfg.Name, Version: int(v), Resumed: resumed})
 	if err != nil {
 		panic(err)
 	}
@@ -371,6 +495,9 @@ func (s *session) handleQuery(f wire.Frame) wire.Frame {
 	var req wire.QueryReq
 	if err := wire.Unmarshal(f, &req); err != nil {
 		return s.errFrame(f.ID, err)
+	}
+	if s.deadlineExpired(req.DeadlineMS) {
+		return s.deadlineFrame(f.ID)
 	}
 	st := s.srv.state()
 	opts := s.srv.cfg.BaseOptions
@@ -398,18 +525,41 @@ func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
 	// Zero the recycled op slots before decoding into them: v1 JSON omits
 	// zero-valued fields (omitempty), so a stale element would otherwise
 	// leak the previous batch's values into ops that legitimately carry
-	// zeros (e.g. a stop — SetMotion with a zero vector).
+	// zeros (e.g. a stop — SetMotion with a zero vector).  DeadlineMS is
+	// omitempty too: without the reset, one deadline-bearing request would
+	// impose its budget on every later batch on the session.
 	clear(req.Ops[:cap(req.Ops)])
 	req.Ops = req.Ops[:0]
+	req.DeadlineMS = 0
 	if err := wire.UnmarshalInterned(f, req, s.intern); err != nil {
 		return s.errFrame(f.ID, err)
 	}
+	if s.deadlineExpired(req.DeadlineMS) {
+		return s.deadlineFrame(f.ID)
+	}
 	st := s.srv.state()
+	// On a durable server with an identified client, each op is stamped
+	// with provenance so a crash mid-batch is recoverable exactly-once; the
+	// plain path stays allocation-free.  skip > 0 replays a recovered
+	// partial batch: the first skip ops are already in the database.
+	durable := s.srv.durable
+	s.mu.Lock()
+	clientID := s.clientID
+	s.mu.Unlock()
+	skip := s.rollForward
 	t0 := s.srv.m.reg.Start()
 	applied := 0
 	var failure error
 	for i := range req.Ops {
-		if err := applyOp(st, &req.Ops[i]); err != nil {
+		if i < skip {
+			applied++
+			continue
+		}
+		var p *most.Prov
+		if durable && clientID != "" {
+			p = &most.Prov{Client: clientID, Req: f.ID, Op: i}
+		}
+		if err := applyOp(st, &req.Ops[i], p); err != nil {
 			failure = fmt.Errorf("op %d (%s %s): %w", applied, req.Ops[i].Op, req.Ops[i].ID, err)
 			break
 		}
@@ -427,10 +577,10 @@ func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
 // synchronously inside the database call (the engine subscribes to
 // updates), so when the batch response goes out every registered query
 // already reflects it.
-func applyOp(st *state, op *wire.UpdateOp) error {
+func applyOp(st *state, op *wire.UpdateOp, p *most.Prov) error {
 	switch op.Op {
 	case wire.OpSetMotion:
-		return st.db.SetMotion(most.ObjectID(op.ID), geom.Vector{X: op.VX, Y: op.VY})
+		return st.db.SetMotionProv(most.ObjectID(op.ID), geom.Vector{X: op.VX, Y: op.VY}, p)
 	case wire.OpSetStatic:
 		if op.Value == nil {
 			return errors.New("set_static without value")
@@ -439,15 +589,15 @@ func applyOp(st *state, op *wire.UpdateOp) error {
 		if err != nil {
 			return err
 		}
-		return st.db.SetStatic(most.ObjectID(op.ID), op.Attr, v)
+		return st.db.SetStaticProv(most.ObjectID(op.ID), op.Attr, v, p)
 	case wire.OpDelete:
-		return st.db.Delete(most.ObjectID(op.ID))
+		return st.db.DeleteProv(most.ObjectID(op.ID), p)
 	case wire.OpInsert:
 		o, err := most.DecodeObjectJSON(st.db, op.Object)
 		if err != nil {
 			return err
 		}
-		return st.db.Insert(o)
+		return st.db.InsertProv(o, p)
 	default:
 		return fmt.Errorf("unknown update op %q", op.Op)
 	}
@@ -477,7 +627,22 @@ func (s *session) handleAdvance(f wire.Frame) wire.Frame {
 	if req.D < 0 {
 		return s.errFrame(f.ID, errors.New("the clock cannot run backwards"))
 	}
-	now := s.srv.state().db.Advance(req.D)
+	if s.rollForward > 0 {
+		// A recovered partial advance already moved the clock before the
+		// crash; acknowledge with the current tick instead of advancing
+		// twice.
+		return s.enc(wire.OpResult, f.ID, &wire.AdvanceResp{Now: s.srv.state().db.Now()})
+	}
+	var p *most.Prov
+	if s.srv.durable {
+		s.mu.Lock()
+		clientID := s.clientID
+		s.mu.Unlock()
+		if clientID != "" {
+			p = &most.Prov{Client: clientID, Req: f.ID}
+		}
+	}
+	now := s.srv.state().db.AdvanceProv(req.D, p)
 	return s.enc(wire.OpResult, f.ID, &wire.AdvanceResp{Now: now})
 }
 
@@ -516,6 +681,21 @@ func (s *session) handleSnapshotLoad(f wire.Frame) wire.Frame {
 	db, err := most.LoadSnapshotJSON(req.Data)
 	if err != nil {
 		return s.errFrame(f.ID, err)
+	}
+	if s.srv.durable {
+		// Wholesale replacement on a durable server rebases the WAL onto
+		// the new database (a "reset" record plus a fresh base image), so
+		// the log alone reconstructs the post-replacement state even over a
+		// stale checkpoint snapshot.  dispatchDurable holds the commit lock
+		// exclusively here, so no concurrent commit can interleave with the
+		// rebase.
+		old := s.srv.state().db
+		w := old.DetachWAL()
+		if err := db.RebaseWAL(w); err != nil {
+			// Keep serving (and logging) the state we still have.
+			old.AttachWALNoBase(w)
+			return s.errFrame(f.ID, err)
+		}
 	}
 	s.srv.swapState(db)
 	return s.enc(wire.OpResult, f.ID, &wire.SnapshotLoadResp{Now: db.Now(), Objects: db.Count()})

@@ -290,12 +290,14 @@ func decodeAnswerRows(r *binReader, dst []AnswerRow) []AnswerRow {
 
 func (q *QueryReq) appendBinary(b []byte) []byte {
 	b = appendStr(b, q.Src)
-	return appendTick(b, q.Horizon)
+	b = appendTick(b, q.Horizon)
+	return appendI64(b, q.DeadlineMS)
 }
 
 func (q *QueryReq) decodeBinary(r *binReader) error {
 	q.Src = r.str()
 	q.Horizon = r.tick()
+	q.DeadlineMS = r.i64()
 	return r.err
 }
 
@@ -371,6 +373,7 @@ func (op *UpdateOp) decodeBinary(r *binReader) error {
 }
 
 func (u *UpdateBatchReq) appendBinary(b []byte) []byte {
+	b = appendI64(b, u.DeadlineMS)
 	b = appendU32(b, uint32(len(u.Ops)))
 	for i := range u.Ops {
 		b = u.Ops[i].appendBinary(b)
@@ -379,6 +382,7 @@ func (u *UpdateBatchReq) appendBinary(b []byte) []byte {
 }
 
 func (u *UpdateBatchReq) decodeBinary(r *binReader) error {
+	u.DeadlineMS = r.i64()
 	n := r.count(minUpdateOpSize)
 	if cap(u.Ops) < n {
 		u.Ops = make([]UpdateOp, n)
@@ -568,8 +572,13 @@ func (s *SubClosed) decodeBinary(r *binReader) error {
 	return r.err
 }
 
-func (e *ErrorResp) appendBinary(b []byte) []byte { return appendStr(b, e.Msg) }
+func (e *ErrorResp) appendBinary(b []byte) []byte {
+	b = appendStr(b, e.Msg)
+	return appendStr(b, e.Code)
+}
+
 func (e *ErrorResp) decodeBinary(r *binReader) error {
 	e.Msg = r.str()
+	e.Code = r.str()
 	return r.err
 }

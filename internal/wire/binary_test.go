@@ -67,8 +67,9 @@ func TestBinaryPayloadsMatchJSONPayloads(t *testing.T) {
 	val := Value{Kind: 2, Num: 99}
 
 	bothVersions(t, OpQuery, &QueryReq{Src: "RETRIEVE o FROM Vehicles o WHERE TRUE", Horizon: 50})
+	bothVersions(t, OpQuery, &QueryReq{Src: "RETRIEVE o FROM Vehicles o WHERE TRUE", Horizon: 50, DeadlineMS: 1500})
 	bothVersions(t, OpResult, &QueryResp{Now: 12, Rows: [][]Value{vals, {vals[0]}}})
-	bothVersions(t, OpUpdateBatch, &UpdateBatchReq{Ops: []UpdateOp{
+	bothVersions(t, OpUpdateBatch, &UpdateBatchReq{DeadlineMS: 250, Ops: []UpdateOp{
 		{Op: OpSetMotion, ID: "car-1", VX: 1.5, VY: -2.25},
 		{Op: OpSetStatic, ID: "car-2", Attr: "PRICE", Value: &val},
 		{Op: OpSetStatic, ID: "car-2", Attr: "FLAG"},
@@ -92,6 +93,7 @@ func TestBinaryPayloadsMatchJSONPayloads(t *testing.T) {
 	bothVersions(t, OpNotify, &Notify{SubID: 3, Seq: 41, Answer: rows})
 	bothVersions(t, OpSubClosed, &SubClosed{SubID: 3, Reason: "database replaced"})
 	bothVersions(t, OpError, &ErrorResp{Msg: "no such object"})
+	bothVersions(t, OpError, &ErrorResp{Msg: "shed by admission control", Code: CodeOverloaded})
 }
 
 // Float64 payloads must survive bit-exactly, including NaN payloads and
@@ -132,7 +134,7 @@ func TestBinaryUnknownUpdateOpRejected(t *testing.T) {
 // A hostile element count far beyond the actual payload must be rejected
 // by the count-vs-remaining check, not trigger a huge allocation.
 func TestBinaryHostileCountRejected(t *testing.T) {
-	buf := appendU32(nil, 1<<31) // one billion ops declared, zero bytes present
+	buf := appendU32(appendI64(nil, 0), 1<<31) // one billion ops declared, zero bytes present
 	f := Frame{Op: OpUpdateBatch, ID: 1, Version: ProtocolV2, Payload: buf}
 	var out UpdateBatchReq
 	err := Unmarshal(f, &out)

@@ -28,24 +28,41 @@ import (
 // MaxVersion is the highest protocol version the client speaks; 0 (the
 // field absent — every pre-v2 client) means 1.  Hello frames themselves
 // are always version 1, so negotiation works against any peer.
+//
+// Epoch stamps the client's session generation: a self-healing client
+// increments it on every reconnect attempt, so the server can tell a
+// resumed client from a new one and fence a zombie predecessor session
+// carrying a lower epoch.  0 (the field absent — every pre-resume client)
+// opts out of epoch tracking entirely.
 type HelloReq struct {
 	ClientID   string `json:"client_id,omitempty"`
 	MaxVersion int    `json:"max_version,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // HelloResp reports the server identity and the negotiated session
 // protocol version: min(HelloReq.MaxVersion, server's maximum).  Every
 // frame after this response carries exactly this version.
+//
+// Resumed is true when the server recognized the ClientID from an earlier,
+// lower-epoch session: the client's idempotence cache is still bound, and
+// re-registered subscriptions should reconcile rather than assume a fresh
+// server.
 type HelloResp struct {
 	Server  string `json:"server"`
 	Version int    `json:"version"`
+	Resumed bool   `json:"resumed,omitempty"`
 }
 
 // QueryReq is an instantaneous FTL query.  Horizon <= 0 selects the
-// server's default.
+// server's default.  DeadlineMS, when positive, is the caller's remaining
+// per-attempt budget in milliseconds: the server refuses (ErrorResp code
+// "deadline_exceeded") work whose budget expired while it queued for
+// admission, instead of computing an answer nobody is waiting for.
 type QueryReq struct {
-	Src     string        `json:"src"`
-	Horizon temporal.Tick `json:"horizon,omitempty"`
+	Src        string        `json:"src"`
+	Horizon    temporal.Tick `json:"horizon,omitempty"`
+	DeadlineMS int64         `json:"deadline_ms,omitempty"`
 }
 
 // QueryResp carries the instantiations satisfied at evaluation time.
@@ -78,8 +95,10 @@ type UpdateOp struct {
 
 // UpdateBatchReq applies explicit updates in order.  Application stops at
 // the first failing op; the response reports how many were applied.
+// DeadlineMS is the per-attempt budget, as on QueryReq.
 type UpdateBatchReq struct {
-	Ops []UpdateOp `json:"ops"`
+	Ops        []UpdateOp `json:"ops"`
+	DeadlineMS int64      `json:"deadline_ms,omitempty"`
 }
 
 // UpdateBatchResp acknowledges a batch.
@@ -173,9 +192,28 @@ type SubClosed struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// ErrorResp reports a failed request.
+// Machine-readable error codes for ErrorResp.Code.  Plain request failures
+// (bad query, unknown object) carry no code.
+const (
+	// CodeOverloaded marks a request shed by admission control; the
+	// request was NOT executed and a retry after backoff is safe and
+	// expected (the one server error clients retry).
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded marks a request whose DeadlineMS budget ran
+	// out before execution started; it was not executed, but the caller's
+	// own deadline has passed so a blind retry is pointless.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeStaleEpoch rejects a Hello carrying an epoch lower than one the
+	// server has already seen for that ClientID: a newer session of the
+	// same client has connected, and this one is a zombie.
+	CodeStaleEpoch = "stale_epoch"
+)
+
+// ErrorResp reports a failed request.  Code, when set, is one of the Code*
+// constants and tells programs how to react; Msg is for humans.
 type ErrorResp struct {
-	Msg string `json:"msg"`
+	Msg  string `json:"msg"`
+	Code string `json:"code,omitempty"`
 }
 
 // ---- values ----

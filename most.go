@@ -452,6 +452,20 @@ func NewServer(db *Database, eng *Engine, cfg ServerConfig) *Server {
 	return server.New(db, eng, cfg)
 }
 
+// ServerRecoveryInfo reports what NewDurableServer rebuilt from disk.
+type ServerRecoveryInfo = server.RecoveryInfo
+
+// NewDurableServer returns a crash-safe network server persisting every
+// committed mutation to a write-ahead log under dir, with periodic
+// checkpoints (ServerConfig.CheckpointEvery) bounding replay time.  On
+// startup it recovers the database — and the idempotence receipts that
+// make client retries exactly-once across a crash — from the checkpoint
+// and log; a fresh directory starts from seed() (nil seed = empty
+// database).  Stop it with Shutdown, which checkpoints before closing.
+func NewDurableServer(dir string, cfg ServerConfig, seed func() *Database) (*Server, *ServerRecoveryInfo, error) {
+	return server.NewDurable(dir, cfg, seed)
+}
+
 // Client is a network client for a Server: connection management,
 // idempotent retry of mutating requests across reconnects, and a Subscribe
 // API mirroring the in-process ContinuousQuery.  Safe for concurrent use.
@@ -482,6 +496,18 @@ func WithClientID(id string) ClientOption { return client.WithClientID(id) }
 // min(client, server); by default clients offer the newest version they
 // implement.  See PROTOCOL.md for the negotiation rules.
 func WithProtocol(v int) ClientOption { return client.WithProtocol(v) }
+
+// WithBackoff sets the client's retry/reconnect backoff schedule: delays
+// double from base up to max, with ±25% jitter to desynchronize fleets.
+func WithBackoff(base, max time.Duration) ClientOption { return client.WithBackoff(base, max) }
+
+// WithJitterSeed fixes the backoff jitter seed (default: derived from the
+// client ID) for reproducible retry schedules in tests.
+func WithJitterSeed(seed int64) ClientOption { return client.WithJitterSeed(seed) }
+
+// ClientServerError is a request the server received and refused; Code
+// distinguishes retryable shedding from final refusals.
+type ClientServerError = client.ServerError
 
 // Dial connects to a Server at addr.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
