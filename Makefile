@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp
+.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp city cityquick citycheck
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
 COVER_FLOOR := 78.0
 
-check: fmt vet build test
+check: fmt vet build test citycheck
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -96,3 +96,20 @@ cover:
 # Observability-overhead benchmark; writes BENCH_obs.json.
 obs:
 	$(GO) run ./cmd/mostbench -obs
+
+# City-scale application benchmark (E14): a seeded road-network city served
+# over loopback TCP — ≥100k objects, ≥1k continuous-query subscribers,
+# concurrent updaters and queriers; writes the SLO report to BENCH_city.json.
+# Takes a few minutes; use `make cityquick` while iterating.
+city:
+	$(GO) run ./cmd/mostbench -city
+
+# CI-sized city run: same pipeline, small city, seconds not minutes.
+cityquick:
+	$(GO) run ./cmd/mostbench -city -quick
+
+# Short-mode city differential correctness (one seed): the fast gate the
+# city benchmark rides on.  The full two-seed suite and the loopback city
+# oracle already run inside `make test`; this target is the quick repro.
+citycheck:
+	$(GO) test -short -count=1 -run 'TestCityCorrectnessOracle|TestCityDeterminism' ./internal/city/

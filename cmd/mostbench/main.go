@@ -1,10 +1,10 @@
-// mostbench regenerates every experiment table (E1..E13): the paper's
+// mostbench regenerates every experiment table (E1..E14): the paper's
 // quantitative claims, measured on this implementation.  See DESIGN.md for
 // the experiment index and EXPERIMENTS.md for claim-versus-measured.
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-parallel] [-delta] [-faults] [-chaos] [-obs] [-server] [-http :6060]
+//	mostbench [-quick] [-only E3,E7] [-out dir] [-parallel] [-delta] [-faults] [-chaos] [-obs] [-server] [-city] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
@@ -23,6 +23,13 @@
 // snapshot from an instrumented three-query-type scenario.  With -server
 // it benchmarks the TCP network service (concurrent pipelining clients
 // committing update batches over loopback) and writes BENCH_server.json.
+// With -city it runs the city-scale application benchmark (internal/city:
+// a seeded road-network city served over loopback TCP to concurrent CQ
+// subscribers, updaters and queriers) and writes the SLO report to
+// BENCH_city.json.
+//
+// -out dir redirects every BENCH_*.json to dir (default: the working
+// directory); the absolute path of each written file is printed.
 //
 // -http addr serves the observability endpoints for the duration of the
 // run: /obs (metrics + trace snapshot), /debug/vars (expvar), and
@@ -33,7 +40,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/mostdb/most/internal/experiments"
@@ -41,122 +50,128 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
-	only := flag.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
-	parallel := flag.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
-	deltaBench := flag.Bool("delta", false, "benchmark delta maintenance vs full reevaluation and write BENCH_delta.json")
-	faultsSweep := flag.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
-	chaosBench := flag.Bool("chaos", false, "run the live chaos scenarios and record recovery/failover latency under the chaos key of BENCH_faults.json")
-	obsBench := flag.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
-	serverBench := flag.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
-	httpAddr := flag.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the mode smoke tests can
+// drive every flag in-process.  It returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mostbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	only := fs.String("only", "", "comma-separated experiment ids (e.g. E3,E7); empty runs all")
+	outDir := fs.String("out", "", "directory for BENCH_*.json files (default: working directory)")
+	parallel := fs.Bool("parallel", false, "benchmark parallel vs sequential evaluation and write BENCH_parallel.json")
+	deltaBench := fs.Bool("delta", false, "benchmark delta maintenance vs full reevaluation and write BENCH_delta.json")
+	faultsSweep := fs.Bool("faults", false, "run the fault-tolerance sweep and write BENCH_faults.json")
+	chaosBench := fs.Bool("chaos", false, "run the live chaos scenarios and record recovery/failover latency under the chaos key of BENCH_faults.json")
+	obsBench := fs.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
+	serverBench := fs.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
+	cityBench := fs.Bool("city", false, "run the city-scale application benchmark and write BENCH_city.json")
+	httpAddr := fs.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "mostbench: %v\n", err)
+		return 1
+	}
+	// writeReport marshals a report into the output directory and prints
+	// the absolute path, so a sweep's artifacts are always locatable.
+	writeReport := func(name string, rep any) error {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if abs, err := filepath.Abs(path); err == nil {
+			path = abs
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+		return nil
+	}
 
 	if *httpAddr != "" {
 		reg := obs.New()
 		obs.Serve(*httpAddr, "mostbench", reg)
 		experiments.Instrument(reg)
-		fmt.Fprintf(os.Stderr, "mostbench: observability endpoints on http://%s/obs and /debug/pprof/\n", *httpAddr)
+		fmt.Fprintf(stderr, "mostbench: observability endpoints on http://%s/obs and /debug/pprof/\n", *httpAddr)
 	}
 
-	if *serverBench {
+	switch {
+	case *cityBench:
+		rep, err := experiments.CityBench(*quick)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_city.json", rep); err != nil {
+			return fail(err)
+		}
+		return 0
+
+	case *serverBench:
 		rep := experiments.ServerBench(*quick)
-		fmt.Println(rep.Table().Render())
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_server.json", rep); err != nil {
+			return fail(err)
 		}
-		if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote BENCH_server.json")
-		return
-	}
+		return 0
 
-	if *obsBench {
+	case *obsBench:
 		rep := experiments.ObsBench(*quick)
-		fmt.Println(rep.Table().Render())
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_obs.json", rep); err != nil {
+			return fail(err)
 		}
-		if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote BENCH_obs.json")
-		return
-	}
+		return 0
 
-	if *faultsSweep || *chaosBench {
+	case *faultsSweep || *chaosBench:
 		// The two fault benchmarks share BENCH_faults.json: -faults owns
 		// the simulated sweep, -chaos owns the live-injection "chaos" key.
 		// Running one preserves the other's half of an existing file.
 		rep := &experiments.FaultsReport{}
-		if prior, err := os.ReadFile("BENCH_faults.json"); err == nil {
+		if prior, err := os.ReadFile(filepath.Join(*outDir, "BENCH_faults.json")); err == nil {
 			_ = json.Unmarshal(prior, rep)
 		}
 		if *faultsSweep {
 			chaos := rep.Chaos
 			rep = experiments.FaultsBench(*quick)
 			rep.Chaos = chaos
-			fmt.Println(rep.Table().Render())
+			fmt.Fprintln(stdout, rep.Table().Render())
 		}
 		if *chaosBench {
 			chaos, err := experiments.ChaosBench(*quick)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mostbench: chaos scenario failed: %v\n", err)
-				os.Exit(1)
+				return fail(fmt.Errorf("chaos scenario failed: %w", err))
 			}
 			rep.Chaos = chaos
-			fmt.Println(chaos.Table().Render())
+			fmt.Fprintln(stdout, chaos.Table().Render())
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
+		if err := writeReport("BENCH_faults.json", rep); err != nil {
+			return fail(err)
 		}
-		if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote BENCH_faults.json")
-		return
-	}
+		return 0
 
-	if *deltaBench {
+	case *deltaBench:
 		rep := experiments.DeltaBench(*quick)
-		fmt.Println(rep.Table().Render())
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_delta.json", rep); err != nil {
+			return fail(err)
 		}
-		if err := os.WriteFile("BENCH_delta.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote BENCH_delta.json")
-		return
-	}
+		return 0
 
-	if *parallel {
+	case *parallel:
 		rep := experiments.ParallelBench(*quick)
-		fmt.Println(rep.Table().Render())
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_parallel.json", rep); err != nil {
+			return fail(err)
 		}
-		if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "mostbench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote BENCH_parallel.json")
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -166,15 +181,13 @@ func main() {
 		}
 	}
 	ran := 0
-	for _, tbl := range experiments.All(*quick) {
-		if len(want) > 0 && !want[tbl.ID] {
-			continue
-		}
-		fmt.Println(tbl.Render())
+	for _, tbl := range experiments.Run(want, *quick) {
+		fmt.Fprintln(stdout, tbl.Render())
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "mostbench: no experiment matches %q\n", *only)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mostbench: no experiment matches %q\n", *only)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,148 @@
+package city
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// Template kinds.
+const (
+	Instantaneous = "instantaneous"
+	ContinuousCQ  = "continuous"
+)
+
+// Template is one catalog entry: an FTL query instantiated from the
+// city's geometry.  Kind says how the benchmark drives it — evaluated
+// on demand (instantaneous) or registered once and maintained under
+// updates (continuous).
+type Template struct {
+	Family string // e.g. "range_district"
+	Name   string // family/instance, e.g. "range_district/D3"
+	Kind   string // Instantaneous or ContinuousCQ
+	Src    string // FTL source
+}
+
+// Catalog is the query workload derived from a city: templates plus the
+// named region polygons their INSIDE atoms reference.  A query engine
+// (or server) evaluating catalog templates must be configured with
+// exactly Regions.
+type Catalog struct {
+	Regions   map[string]geom.Polygon
+	Templates []Template
+}
+
+// Instantaneous returns the on-demand templates.
+func (cat *Catalog) Instantaneous() []Template { return cat.byKind(Instantaneous) }
+
+// Continuous returns the subscription templates.
+func (cat *Catalog) Continuous() []Template { return cat.byKind(ContinuousCQ) }
+
+func (cat *Catalog) byKind(kind string) []Template {
+	var out []Template
+	for _, t := range cat.Templates {
+		if t.Kind == kind {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Catalog derives the template catalog from the city's geometry,
+// deterministically (an independent stream of Spec.Seed picks which
+// districts, POIs, and buses are instantiated):
+//
+//   - range_district: which cars are in district D now (both kinds);
+//   - poi_approach: which cars reach the ring around POI p within w
+//     ticks — the proximity-to-POI alert (both kinds);
+//   - nearest_poi: the candidate stage of nearest-at-time — cars inside
+//     the ring around p now; the caller takes the distance argmin of
+//     the (small) candidate set (instantaneous);
+//   - trajectory_window: cars that stay inside D for the next w ticks
+//     (instantaneous);
+//   - corridor: cars that will touch both D_a and D_b within w ticks
+//     (continuous);
+//   - follow_bus: everything near tracked object t, expressed over the
+//     small Buses class so the join stays cheap at any city scale
+//     (continuous);
+//   - bus_meet: which buses are at a station POI now — a DIST join
+//     between two small classes (instantaneous).
+func (c *City) Catalog() *Catalog {
+	s := c.Spec
+	r := rand.New(rand.NewSource(s.Seed*1000003 + 4))
+	cat := &Catalog{Regions: map[string]geom.Polygon{}}
+	for _, d := range c.Districts {
+		cat.Regions[d.Name] = d.Poly
+	}
+	for _, p := range c.POIs {
+		cat.Regions[p.Region] = geom.RegularPolygon(p.Loc, s.NearRadius, 8)
+	}
+
+	wHalf := maxTick(1, s.Horizon/2)
+	wQuarter := maxTick(1, s.Horizon/4)
+	nd := min(4, len(c.Districts))
+	np := min(4, len(c.POIs))
+	districts := r.Perm(len(c.Districts))[:nd]
+	pois := r.Perm(len(c.POIs))[:np]
+
+	add := func(family, instance, kind, src string) {
+		cat.Templates = append(cat.Templates, Template{
+			Family: family,
+			Name:   family + "/" + instance,
+			Kind:   kind,
+			Src:    src,
+		})
+	}
+
+	for _, di := range districts {
+		d := c.Districts[di]
+		src := fmt.Sprintf("RETRIEVE o FROM Cars o WHERE INSIDE(o, %s)", d.Name)
+		add("range_district", d.Name, Instantaneous, src)
+		add("range_district", d.Name, ContinuousCQ, src)
+		add("trajectory_window", d.Name, Instantaneous,
+			fmt.Sprintf("RETRIEVE o FROM Cars o WHERE ALWAYS FOR %d INSIDE(o, %s)", wQuarter, d.Name))
+	}
+	for _, pi := range pois {
+		p := c.POIs[pi]
+		src := fmt.Sprintf("RETRIEVE o FROM Cars o WHERE EVENTUALLY WITHIN %d INSIDE(o, %s)", wHalf, p.Region)
+		add("poi_approach", p.Region, Instantaneous, src)
+		add("poi_approach", p.Region, ContinuousCQ, src)
+		add("nearest_poi", p.Region, Instantaneous,
+			fmt.Sprintf("RETRIEVE o FROM Cars o WHERE INSIDE(o, %s)", p.Region))
+	}
+	if len(c.Districts) >= 2 {
+		a := c.Districts[districts[0]]
+		b := c.Districts[districts[1%nd]]
+		if a.Name != b.Name {
+			add("corridor", a.Name+"_"+b.Name, ContinuousCQ,
+				fmt.Sprintf("RETRIEVE o FROM Cars o WHERE EVENTUALLY WITHIN %d INSIDE(o, %s) AND EVENTUALLY WITHIN %d INSIDE(o, %s)",
+					wHalf, a.Name, wHalf, b.Name))
+		}
+	}
+	if len(c.Buses) > 0 {
+		b := c.Buses[r.Intn(len(c.Buses))]
+		add("follow_bus", b.Plate, ContinuousCQ,
+			fmt.Sprintf(`RETRIEVE n FROM Buses n, Buses t WHERE t.PLATE = "%s" AND EVENTUALLY WITHIN %d DIST(n, t) <= %g`,
+				b.Plate, wQuarter, 2*s.Block))
+		add("bus_meet", "stations", Instantaneous,
+			fmt.Sprintf(`RETRIEVE b, p FROM Buses b, POIs p WHERE p.KIND = "station" AND DIST(b, p) <= %g`,
+				1.5*s.Block))
+	}
+	return cat
+}
+
+func maxTick(a, b temporal.Tick) temporal.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

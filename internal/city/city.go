@@ -1,0 +1,634 @@
+package city
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/workload"
+)
+
+// The three spatial classes a city scenario populates.
+var (
+	// CarClass is the mass population: commuters that follow roads.
+	CarClass = most.MustClass("Cars", true,
+		most.AttrDef{Name: "HOME", Kind: most.Static},
+	)
+	// BusClass is a small tracked fleet on fixed perimeter loops; its
+	// size is independent of Spec.Cars, so join templates over it stay
+	// cheap at any scale.
+	BusClass = most.MustClass("Buses", true,
+		most.AttrDef{Name: "PLATE", Kind: most.Static},
+		most.AttrDef{Name: "ROUTE", Kind: most.Static},
+	)
+	// POIClass holds the stationary points of interest.
+	POIClass = most.MustClass("POIs", true,
+		most.AttrDef{Name: "NAME", Kind: most.Static},
+		most.AttrDef{Name: "KIND", Kind: most.Static},
+		most.AttrDef{Name: "DISTRICT", Kind: most.Static},
+	)
+)
+
+// Spec parameterizes a city.  The zero value of every field except Seed
+// selects a documented default (withDefaults); generation is a pure
+// function of the complete Spec (see the package comment's seeding
+// contract).
+type Spec struct {
+	Seed int64
+
+	// Road network: GridW x GridH intersections spaced Block apart.
+	GridW, GridH int
+	Block        float64
+
+	// Districts tile the grid DistrictsX x DistrictsY; each carries a
+	// kind (downtown/residential/commercial/industrial) that weights
+	// where cars live and where they drive to.
+	DistrictsX, DistrictsY int
+	POIsPerDistrict        int
+
+	// Population.
+	Cars  int
+	Buses int
+
+	// Ticks is the schedule window departures are drawn from; Horizon
+	// is the query window the derived catalog templates use.
+	Ticks   temporal.Tick
+	Horizon temporal.Tick
+
+	// TurnProb is the probability a car switches street axis at an
+	// intersection when both axes still advance it toward its
+	// destination (higher = more motion-vector updates per trip).
+	TurnProb float64
+	// ReturnFrac is the fraction of cars that make a return trip after
+	// dwelling at their destination.
+	ReturnFrac float64
+
+	// Per-tick speed range cars draw from; buses run at the midpoint.
+	SpeedMin, SpeedMax float64
+
+	// NearRadius is the radius of the proximity ring polygon the
+	// catalog places around each POI.
+	NearRadius float64
+}
+
+func (s Spec) withDefaults() Spec {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&s.GridW, 24)
+	def(&s.GridH, 24)
+	deff(&s.Block, 100)
+	def(&s.DistrictsX, 4)
+	def(&s.DistrictsY, 4)
+	def(&s.POIsPerDistrict, 3)
+	def(&s.Cars, 2000)
+	def(&s.Buses, 24)
+	if s.Ticks == 0 {
+		s.Ticks = 120
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 60
+	}
+	deff(&s.TurnProb, 0.25)
+	deff(&s.ReturnFrac, 0.4)
+	deff(&s.SpeedMin, 15)
+	deff(&s.SpeedMax, 45)
+	deff(&s.NearRadius, 120)
+	return s
+}
+
+// District is one tile of the city with its kind and boundary polygon.
+type District struct {
+	Name   string // the region name range templates reference (D0, D1, ...)
+	Kind   string // downtown | residential | commercial | industrial
+	Bounds geom.Rect
+	Poly   geom.Polygon
+	// grid ranges (inclusive) of the intersections the district covers
+	gx0, gx1, gy0, gy1 int
+}
+
+// POI is a stationary point of interest on a road edge.
+type POI struct {
+	Name     string // object NAME attribute (poi-<district>-<i>)
+	Region   string // the proximity-ring region name (P0, P1, ...)
+	Kind     string
+	District string
+	Loc      geom.Point
+}
+
+// Car describes one commuter: origin/destination intersections, the
+// rush-hour departure, and (optionally) a return trip.
+type Car struct {
+	ID     most.ObjectID
+	Home   string // district name
+	Origin geom.Point
+	Dest   geom.Point
+	Depart temporal.Tick
+	Return temporal.Tick // 0 = one-way
+	Speed  float64
+}
+
+// BusLine is one fixed loop around a district perimeter.
+type BusLine struct {
+	Plate    string
+	District string
+	Start    geom.Point
+	Depart   temporal.Tick
+	Speed    float64
+}
+
+// City is a fully generated scenario: geometry, fleets, and the seeded
+// motion-vector schedule that drives them.
+type City struct {
+	Spec      Spec // normalized (defaults applied)
+	Districts []District
+	POIs      []POI
+	Cars      []Car
+	Buses     []BusLine
+	// Events is the complete update schedule over [1, Spec.Ticks+],
+	// sorted by (tick, object): every departure, re-route at an
+	// intersection, and arrival (zero vector = parked).
+	Events []workload.UpdateEvent
+}
+
+// Generate builds the city deterministically from spec (see the package
+// seeding contract).
+func Generate(spec Spec) (*City, error) {
+	s := spec.withDefaults()
+	if s.GridW < 2 || s.GridH < 2 {
+		return nil, fmt.Errorf("city: grid must be at least 2x2 intersections (got %dx%d)", s.GridW, s.GridH)
+	}
+	if s.DistrictsX > s.GridW-1 || s.DistrictsY > s.GridH-1 {
+		return nil, fmt.Errorf("city: %dx%d districts need at least %dx%d blocks",
+			s.DistrictsX, s.DistrictsY, s.DistrictsX, s.DistrictsY)
+	}
+	if s.SpeedMin <= 0 || s.SpeedMax < s.SpeedMin {
+		return nil, fmt.Errorf("city: invalid speed range [%g, %g]", s.SpeedMin, s.SpeedMax)
+	}
+	c := &City{Spec: s}
+
+	// Independent derived streams: layout, fleet, schedule.  Adding a
+	// consumer to one stream never perturbs the others.
+	layout := rand.New(rand.NewSource(s.Seed*1000003 + 1))
+	fleet := rand.New(rand.NewSource(s.Seed*1000003 + 2))
+
+	c.generateDistricts(layout)
+	c.generatePOIs(layout)
+	c.generateCars(fleet)
+	c.generateBuses()
+	c.generateEvents()
+	return c, nil
+}
+
+func (c *City) point(gx, gy int) geom.Point {
+	return geom.Point{X: float64(gx) * c.Spec.Block, Y: float64(gy) * c.Spec.Block}
+}
+
+// districtBoundary returns the i-th grid boundary when n blocks split
+// into parts districts.
+func boundary(i, parts, blocks int) int { return i * blocks / parts }
+
+func (c *City) generateDistricts(r *rand.Rand) {
+	s := c.Spec
+	bx, by := s.GridW-1, s.GridH-1
+	kinds := []string{"residential", "residential", "commercial", "industrial"}
+	cx, cy := s.DistrictsX/2, s.DistrictsY/2
+	for b := 0; b < s.DistrictsY; b++ {
+		for a := 0; a < s.DistrictsX; a++ {
+			d := District{
+				Name: fmt.Sprintf("D%d", len(c.Districts)),
+				gx0:  boundary(a, s.DistrictsX, bx),
+				gx1:  boundary(a+1, s.DistrictsX, bx),
+				gy0:  boundary(b, s.DistrictsY, by),
+				gy1:  boundary(b+1, s.DistrictsY, by),
+			}
+			if a == cx && b == cy {
+				d.Kind = "downtown"
+			} else {
+				d.Kind = kinds[r.Intn(len(kinds))]
+			}
+			lo := c.point(d.gx0, d.gy0)
+			hi := c.point(d.gx1, d.gy1)
+			d.Bounds = geom.Rect{Min: lo, Max: hi}
+			d.Poly = geom.RectPolygon(lo.X, lo.Y, hi.X, hi.Y)
+			c.Districts = append(c.Districts, d)
+		}
+	}
+}
+
+func (c *City) generatePOIs(r *rand.Rand) {
+	kinds := []string{"station", "fuel", "food", "park", "clinic"}
+	for di := range c.Districts {
+		d := &c.Districts[di]
+		for i := 0; i < c.Spec.POIsPerDistrict; i++ {
+			// A random road edge inside the district, a fractional
+			// offset along it: POIs sit on streets, not in blocks.
+			gx := d.gx0 + r.Intn(max(1, d.gx1-d.gx0))
+			gy := d.gy0 + r.Intn(max(1, d.gy1-d.gy0))
+			p := c.point(gx, gy)
+			frac := 0.2 + 0.6*r.Float64()
+			if r.Intn(2) == 0 {
+				p.X += frac * c.Spec.Block
+			} else {
+				p.Y += frac * c.Spec.Block
+			}
+			kind := kinds[0]
+			if i > 0 {
+				kind = kinds[r.Intn(len(kinds))]
+			}
+			c.POIs = append(c.POIs, POI{
+				Name:     fmt.Sprintf("poi-%d-%d", di, i),
+				Region:   fmt.Sprintf("P%d", len(c.POIs)),
+				Kind:     kind,
+				District: d.Name,
+				Loc:      p,
+			})
+		}
+	}
+}
+
+// homeWeight and destWeight steer commuting: people live in residential
+// districts and drive downtown/commercial.
+func homeWeight(kind string) int {
+	switch kind {
+	case "residential":
+		return 4
+	case "downtown":
+		return 2
+	default:
+		return 1
+	}
+}
+
+func destWeight(kind string) int {
+	switch kind {
+	case "downtown", "commercial":
+		return 3
+	default:
+		return 1
+	}
+}
+
+// pickWeighted picks an index from weights (sum > 0) using r.
+func pickWeighted(r *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := r.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return len(weights) - 1
+}
+
+// departure samples the rush-hour arrival curve: most cars leave around
+// the morning peak at ~28% of the window, the rest trickle out over the
+// first half.
+func departure(r *rand.Rand, ticks temporal.Tick) temporal.Tick {
+	T := float64(ticks)
+	var t float64
+	if r.Float64() < 0.7 {
+		t = r.NormFloat64()*0.10*T + 0.28*T
+	} else {
+		t = 1 + r.Float64()*0.5*T
+	}
+	if t < 1 {
+		t = 1
+	}
+	if t > 0.6*T {
+		t = 0.6 * T
+	}
+	return temporal.Tick(math.Round(t))
+}
+
+func (c *City) generateCars(r *rand.Rand) {
+	s := c.Spec
+	homes := make([]int, len(c.Districts))
+	dests := make([]int, len(c.Districts))
+	for i, d := range c.Districts {
+		homes[i] = homeWeight(d.Kind)
+		dests[i] = destWeight(d.Kind)
+	}
+	for i := 0; i < s.Cars; i++ {
+		hd := &c.Districts[pickWeighted(r, homes)]
+		gx := hd.gx0 + r.Intn(hd.gx1-hd.gx0+1)
+		gy := hd.gy0 + r.Intn(hd.gy1-hd.gy0+1)
+
+		// Destination: the intersection nearest a POI in a (usually
+		// different) attracting district.
+		poi := c.POIs[0]
+		for tries := 0; ; tries++ {
+			dd := pickWeighted(r, dests)
+			cand := c.poisOf(dd)
+			if len(cand) == 0 {
+				continue
+			}
+			poi = cand[r.Intn(len(cand))]
+			if poi.District != hd.Name || tries >= 3 {
+				break
+			}
+		}
+		dgx := int(math.Round(poi.Loc.X / s.Block))
+		dgy := int(math.Round(poi.Loc.Y / s.Block))
+
+		car := Car{
+			ID:     most.ObjectID(fmt.Sprintf("car-%06d", i)),
+			Home:   hd.Name,
+			Origin: c.point(gx, gy),
+			Dest:   c.point(dgx, dgy),
+			Depart: departure(r, s.Ticks),
+			Speed:  s.SpeedMin + r.Float64()*(s.SpeedMax-s.SpeedMin),
+		}
+		if r.Float64() < s.ReturnFrac {
+			// Dwell, then head home in the evening wave.
+			dwell := temporal.Tick(math.Round((0.2 + 0.2*r.Float64()) * float64(s.Ticks)))
+			car.Return = car.Depart + dwell
+		}
+		c.Cars = append(c.Cars, car)
+	}
+}
+
+// poisOf returns the POIs of district index di.
+func (c *City) poisOf(di int) []POI {
+	name := c.Districts[di].Name
+	var out []POI
+	for _, p := range c.POIs {
+		if p.District == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *City) generateBuses() {
+	s := c.Spec
+	speed := 0.5 * (s.SpeedMin + s.SpeedMax)
+	for i := 0; i < s.Buses; i++ {
+		d := c.Districts[i%len(c.Districts)]
+		c.Buses = append(c.Buses, BusLine{
+			Plate:    fmt.Sprintf("bus-%03d", i),
+			District: d.Name,
+			Start:    d.Bounds.Min,
+			Depart:   1 + temporal.Tick(i%5),
+			Speed:    speed,
+		})
+	}
+}
+
+// generateEvents compiles every trip to motion-vector updates.  Cars and
+// buses consume one private rand stream each (derived from Seed and the
+// unit's index), so a unit's route never depends on fleet size.
+func (c *City) generateEvents() {
+	var events []workload.UpdateEvent
+	for i := range c.Cars {
+		r := rand.New(rand.NewSource(c.Spec.Seed*1000003 + 10007*int64(i) + 3))
+		events = append(events, c.carEvents(&c.Cars[i], r)...)
+	}
+	for i := range c.Buses {
+		events = append(events, c.busEvents(&c.Buses[i])...)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Tick != events[j].Tick {
+			return events[i].Tick < events[j].Tick
+		}
+		return events[i].Object < events[j].Object
+	})
+	c.Events = events
+}
+
+// carEvents compiles one car's trip(s): a staircase route along the
+// grid, re-deciding the street axis at every intersection (TurnProb),
+// with consecutive same-direction blocks merged into a single segment —
+// a motion-vector update happens only when the vector actually changes,
+// the MOST premise.
+func (c *City) carEvents(car *Car, r *rand.Rand) []workload.UpdateEvent {
+	out := c.tripEvents(car.ID, car.Origin, car.Dest, car.Depart, car.Speed, r)
+	if car.Return > 0 {
+		back := car.Return
+		if len(out) > 0 {
+			if last := out[len(out)-1].Tick; back <= last {
+				back = last + 1
+			}
+		}
+		out = append(out, c.tripEvents(car.ID, car.Dest, car.Origin, back, car.Speed, r)...)
+	}
+	return out
+}
+
+// tripEvents walks the grid from origin to dest starting at depart.
+// Velocities are chosen so every segment lands exactly on its target
+// intersection at an integer tick; the trailing event parks the object
+// (zero vector).
+func (c *City) tripEvents(id most.ObjectID, origin, dest geom.Point, depart temporal.Tick, speed float64, r *rand.Rand) []workload.UpdateEvent {
+	s := c.Spec
+	gx := int(math.Round(origin.X / s.Block))
+	gy := int(math.Round(origin.Y / s.Block))
+	dgx := int(math.Round(dest.X / s.Block))
+	dgy := int(math.Round(dest.Y / s.Block))
+	if gx == dgx && gy == dgy {
+		return nil
+	}
+
+	// Walk intersections, merging straight runs.
+	type seg struct {
+		dx, dy  int // unit direction
+		nblocks int
+	}
+	var segs []seg
+	alongX := r.Intn(2) == 0
+	for gx != dgx || gy != dgy {
+		needX, needY := gx != dgx, gy != dgy
+		switch {
+		case needX && needY:
+			if r.Float64() < s.TurnProb {
+				alongX = !alongX
+			}
+		case needX:
+			alongX = true
+		default:
+			alongX = false
+		}
+		var dx, dy int
+		if alongX {
+			dx = sign(dgx - gx)
+		} else {
+			dy = sign(dgy - gy)
+		}
+		if n := len(segs); n > 0 && segs[n-1].dx == dx && segs[n-1].dy == dy {
+			segs[n-1].nblocks++
+		} else {
+			segs = append(segs, seg{dx: dx, dy: dy, nblocks: 1})
+		}
+		gx += dx
+		gy += dy
+	}
+
+	var out []workload.UpdateEvent
+	t := depart
+	for _, sg := range segs {
+		length := float64(sg.nblocks) * s.Block
+		dur := temporal.Tick(math.Ceil(length / speed))
+		if dur < 1 {
+			dur = 1
+		}
+		v := geom.Vector{
+			X: float64(sg.dx) * length / float64(dur),
+			Y: float64(sg.dy) * length / float64(dur),
+		}
+		out = append(out, workload.UpdateEvent{Tick: t, Object: id, Vector: v})
+		t += dur
+	}
+	out = append(out, workload.UpdateEvent{Tick: t, Object: id, Vector: geom.Vector{}})
+	return out
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// busEvents compiles one bus line: counter-clockwise laps of its
+// district perimeter for the whole window.
+func (c *City) busEvents(b *BusLine) []workload.UpdateEvent {
+	d := c.district(b.District)
+	w := d.Bounds.Max.X - d.Bounds.Min.X
+	h := d.Bounds.Max.Y - d.Bounds.Min.Y
+	legs := []struct {
+		dx, dy float64
+		length float64
+	}{
+		{1, 0, w}, {0, 1, h}, {-1, 0, w}, {0, -1, h},
+	}
+	var out []workload.UpdateEvent
+	t := b.Depart
+	id := most.ObjectID(b.Plate)
+	for t <= c.Spec.Ticks {
+		for _, leg := range legs {
+			dur := temporal.Tick(math.Ceil(leg.length / b.Speed))
+			if dur < 1 {
+				dur = 1
+			}
+			v := geom.Vector{
+				X: leg.dx * leg.length / float64(dur),
+				Y: leg.dy * leg.length / float64(dur),
+			}
+			out = append(out, workload.UpdateEvent{Tick: t, Object: id, Vector: v})
+			t += dur
+			if t > c.Spec.Ticks {
+				break
+			}
+		}
+	}
+	out = append(out, workload.UpdateEvent{Tick: t, Object: id, Vector: geom.Vector{}})
+	return out
+}
+
+func (c *City) district(name string) *District {
+	for i := range c.Districts {
+		if c.Districts[i].Name == name {
+			return &c.Districts[i]
+		}
+	}
+	panic("city: unknown district " + name)
+}
+
+// Database materializes the city at tick 0: every car parked at its
+// origin, every bus at its loop start, every POI stationary.
+func (c *City) Database() (*most.Database, error) {
+	db := most.NewDatabase()
+	for _, cls := range []*most.Class{CarClass, BusClass, POIClass} {
+		if err := db.DefineClass(cls); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Cars {
+		car := &c.Cars[i]
+		o, err := most.NewObject(car.ID, CarClass)
+		if err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("HOME", most.Str(car.Home)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithPosition(motion.MovingFrom(car.Origin, geom.Vector{}, 0)); err != nil {
+			return nil, err
+		}
+		if err := db.Insert(o); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Buses {
+		b := &c.Buses[i]
+		o, err := most.NewObject(most.ObjectID(b.Plate), BusClass)
+		if err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("PLATE", most.Str(b.Plate)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("ROUTE", most.Str(b.District)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithPosition(motion.MovingFrom(b.Start, geom.Vector{}, 0)); err != nil {
+			return nil, err
+		}
+		if err := db.Insert(o); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.POIs {
+		p := &c.POIs[i]
+		o, err := most.NewObject(most.ObjectID(p.Name), POIClass)
+		if err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("NAME", most.Str(p.Name)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("KIND", most.Str(p.Kind)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithStatic("DISTRICT", most.Str(p.District)); err != nil {
+			return nil, err
+		}
+		if o, err = o.WithPosition(motion.PositionAt(p.Loc, 0)); err != nil {
+			return nil, err
+		}
+		if err := db.Insert(o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Objects returns the total object population (cars + buses + POIs).
+func (c *City) Objects() int { return len(c.Cars) + len(c.Buses) + len(c.POIs) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package city
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// TestCityDeterminism is the seeding-contract regression: generating
+// the same Spec at the same seed twice yields byte-identical object
+// sets, event schedules, and query catalogs (hash-compare), and a
+// different seed yields a different city.
+func TestCityDeterminism(t *testing.T) {
+	spec := Spec{Seed: 42, Cars: 400, Buses: 8, GridW: 12, GridH: 12, DistrictsX: 3, DistrictsY: 3}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af, bf := a.Fingerprint(), b.Fingerprint(); af != bf {
+		t.Fatalf("same spec, different city fingerprints:\n  %s\n  %s", af, bf)
+	}
+	if af, bf := a.Catalog().Fingerprint(), b.Catalog().Fingerprint(); af != bf {
+		t.Fatalf("same spec, different catalog fingerprints:\n  %s\n  %s", af, bf)
+	}
+
+	spec.Seed = 43
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced an identical city")
+	}
+	if a.Catalog().Fingerprint() == c.Catalog().Fingerprint() {
+		t.Fatal("different seeds produced an identical catalog")
+	}
+}
+
+func TestCityInvariants(t *testing.T) {
+	c, err := Generate(Spec{Seed: 7, Cars: 300, Buses: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Objects(), len(c.Cars)+len(c.Buses)+len(c.POIs); got != want {
+		t.Fatalf("Objects() = %d, want %d", got, want)
+	}
+
+	// The event schedule is sorted by (tick, object) and per-object
+	// ticks strictly increase (a vector can change at most once per
+	// tick per object).
+	lastTick := map[string]temporal.Tick{}
+	for i, e := range c.Events {
+		if i > 0 {
+			prev := c.Events[i-1]
+			if e.Tick < prev.Tick || (e.Tick == prev.Tick && e.Object < prev.Object) {
+				t.Fatalf("events out of order at %d: %v after %v", i, e, prev)
+			}
+		}
+		if last, ok := lastTick[string(e.Object)]; ok && e.Tick <= last {
+			t.Fatalf("object %s has two events at tick <= %d", e.Object, e.Tick)
+		}
+		lastTick[string(e.Object)] = e.Tick
+		// Roads are axis-aligned; so is every velocity.
+		if e.Vector.X != 0 && e.Vector.Y != 0 {
+			t.Fatalf("event %v: velocity not axis-aligned", e)
+		}
+	}
+
+	// Districts tile the city exactly.
+	span := 0.0
+	for _, d := range c.Districts {
+		span += (d.Bounds.Max.X - d.Bounds.Min.X) * (d.Bounds.Max.Y - d.Bounds.Min.Y)
+	}
+	whole := float64(c.Spec.GridW-1) * c.Spec.Block * float64(c.Spec.GridH-1) * c.Spec.Block
+	if span != whole {
+		t.Fatalf("district areas sum to %g, city area is %g", span, whole)
+	}
+
+	// Every POI lies inside its district's bounds (it sits on one of
+	// the district's road edges).
+	for _, p := range c.POIs {
+		d := c.district(p.District)
+		if !d.Bounds.ContainsPoint(p.Loc) {
+			t.Fatalf("POI %s at %v outside district %s bounds %v", p.Name, p.Loc, p.District, d.Bounds)
+		}
+	}
+}
+
+// TestCatalogEvaluates parses and evaluates every template against the
+// generated database: broken FTL or a region/class mismatch fails here,
+// not at bench time.
+func TestCatalogEvaluates(t *testing.T) {
+	c, err := Generate(Spec{Seed: 3, Cars: 120, Buses: 4, GridW: 8, GridH: 8, DistrictsX: 2, DistrictsY: 2, Ticks: 40, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := c.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := c.Catalog()
+	if len(cat.Instantaneous()) == 0 || len(cat.Continuous()) == 0 {
+		t.Fatalf("catalog missing a kind: %d instantaneous, %d continuous",
+			len(cat.Instantaneous()), len(cat.Continuous()))
+	}
+	eng := query.NewEngine(db)
+	opts := query.Options{Horizon: c.Spec.Horizon, Regions: cat.Regions}
+	families := map[string]bool{}
+	for _, tpl := range cat.Templates {
+		families[tpl.Family] = true
+		q, err := ftl.Parse(tpl.Src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", tpl.Name, err, tpl.Src)
+		}
+		switch tpl.Kind {
+		case Instantaneous:
+			if _, err := eng.Instantaneous(q, opts); err != nil {
+				t.Fatalf("%s: eval: %v", tpl.Name, err)
+			}
+		case ContinuousCQ:
+			cq, err := eng.Continuous(q, opts)
+			if err != nil {
+				t.Fatalf("%s: register: %v", tpl.Name, err)
+			}
+			cq.Cancel()
+		default:
+			t.Fatalf("%s: unknown kind %q", tpl.Name, tpl.Kind)
+		}
+	}
+	for _, want := range []string{"range_district", "poi_approach", "nearest_poi", "trajectory_window", "corridor", "follow_bus", "bus_meet"} {
+		if !families[want] {
+			t.Fatalf("catalog lost family %q (have %v)", want, families)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Spec{
+		{Seed: 1, GridW: 1, GridH: 5},
+		{Seed: 1, GridW: 4, GridH: 4, DistrictsX: 9},
+		{Seed: 1, SpeedMin: -1, SpeedMax: 3},
+	}
+	for i, spec := range cases {
+		if _, err := Generate(spec); err == nil {
+			t.Fatalf("case %d: Generate(%+v) succeeded, want error", i, spec)
+		}
+	}
+}
+
+func ExampleGenerate() {
+	c, _ := Generate(Spec{Seed: 1, Cars: 100, Buses: 4, GridW: 8, GridH: 8, DistrictsX: 2, DistrictsY: 2})
+	fmt.Println(len(c.Districts), "districts,", len(c.POIs), "POIs,", len(c.Cars), "cars")
+	// Output: 4 districts, 12 POIs, 100 cars
+}

@@ -1,0 +1,40 @@
+// Package city generates a reproducible city-scale moving-object
+// scenario: a grid road network partitioned into districts, points of
+// interest placed on road edges, bus lines looping their district's
+// perimeter, and a population of cars that depart on a rush-hour
+// schedule, follow roads, and re-route at intersections.  It layers on
+// the primitives of internal/workload: the scenario compiles to a
+// *most.Database of parked objects plus a sorted []workload.UpdateEvent
+// motion-vector schedule that workload.Apply (or a network client)
+// replays.
+//
+// The package also derives a query catalog from the generated geometry
+// (Catalog): range-in-district, proximity-to-POI, trajectory-window,
+// nearest-at-time candidate, corridor, and follow-an-object templates,
+// each rendered as FTL source over the named region polygons the city
+// exports.  The catalog is what the application-centric benchmark
+// (experiments.CityBench, `mostbench -city`) and the differential
+// correctness suites instantiate.
+//
+// # Seeding contract
+//
+// Generation is a pure function of the Spec.  All randomness flows from
+// Spec.Seed through fixed derived streams (layout, fleet, schedule, and
+// catalog each consume an independent rand.Source whose seed is an
+// affine function of Spec.Seed), and iteration never ranges over maps,
+// so:
+//
+//   - the same Spec produces a byte-identical City — identical district
+//     and POI geometry, identical car/bus fleets and routes, and an
+//     identical update-event schedule, in identical order;
+//   - the derived Catalog is byte-identical too — same template names,
+//     same FTL sources, same region polygons;
+//   - City.Fingerprint and Catalog.Fingerprint hash exactly that state,
+//     so two generations can be compared with a string equality check
+//     (see TestCityDeterminism).
+//
+// Changing any Spec field (including the defaults applied by
+// withDefaults) or the generator code itself may change the output; the
+// contract is bit-reproducibility for a fixed (code version, Spec) pair,
+// which is what the benchmark reports and regression suites need.
+package city

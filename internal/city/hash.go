@@ -1,0 +1,67 @@
+package city
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Fingerprint returns a hex digest of the complete generated scenario:
+// district and POI geometry, the car and bus fleets (routes included,
+// via the event schedule), and every update event, all rendered
+// canonically with exact (hex float) number formatting.  Two cities
+// generated from the same Spec hash identically — the determinism
+// regression tests rely on this.
+func (c *City) Fingerprint() string {
+	h := sha256.New()
+	fp := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	fp("spec|%+v\n", c.Spec)
+	for _, d := range c.Districts {
+		fp("district|%s|%s|%s|%s\n", d.Name, d.Kind, hexPt(d.Bounds.Min.X, d.Bounds.Min.Y), hexPt(d.Bounds.Max.X, d.Bounds.Max.Y))
+	}
+	for _, p := range c.POIs {
+		fp("poi|%s|%s|%s|%s|%s\n", p.Name, p.Region, p.Kind, p.District, hexPt(p.Loc.X, p.Loc.Y))
+	}
+	for _, car := range c.Cars {
+		fp("car|%s|%s|%s|%s|%d|%d|%s\n", car.ID, car.Home,
+			hexPt(car.Origin.X, car.Origin.Y), hexPt(car.Dest.X, car.Dest.Y),
+			car.Depart, car.Return, hexF(car.Speed))
+	}
+	for _, b := range c.Buses {
+		fp("bus|%s|%s|%s|%d|%s\n", b.Plate, b.District, hexPt(b.Start.X, b.Start.Y), b.Depart, hexF(b.Speed))
+	}
+	for _, e := range c.Events {
+		fp("event|%d|%s|%s\n", e.Tick, e.Object, hexPt(e.Vector.X, e.Vector.Y))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns a hex digest of the catalog: every template
+// (name, kind, FTL source) and every region polygon vertex, with exact
+// number formatting.
+func (cat *Catalog) Fingerprint() string {
+	h := sha256.New()
+	for _, t := range cat.Templates {
+		fmt.Fprintf(h, "template|%s|%s|%s\n", t.Name, t.Kind, t.Src)
+	}
+	names := make([]string, 0, len(cat.Regions))
+	for name := range cat.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "region|%s", name)
+		for _, v := range cat.Regions[name].Vertices() {
+			io.WriteString(h, "|"+hexPt(v.X, v.Y))
+		}
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hexF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func hexPt(x, y float64) string { return hexF(x) + "," + hexF(y) }

@@ -1,0 +1,541 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mostdb/most/internal/city"
+	"github.com/mostdb/most/internal/client"
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
+	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/server"
+	"github.com/mostdb/most/internal/temporal"
+	"github.com/mostdb/most/internal/wire"
+)
+
+// CityQuerySLO is the service level observed for one instantaneous catalog
+// template under full load: queriers cycle the catalog against the live
+// server while updaters stream the city's motion schedule and every
+// subscriber's continuous query is maintained inline.
+type CityQuerySLO struct {
+	Template string `json:"template"`
+	Samples  int    `json:"samples"`
+	P50Ns    int64  `json:"p50_ns"`
+	P99Ns    int64  `json:"p99_ns"`
+	P999Ns   int64  `json:"p999_ns"`
+}
+
+// CityCQLatency is the continuous-query notification latency: how long
+// after a motion update commits (SetMotion acknowledged) every sentinel
+// subscriber has seen the changed Answer(CQ) pushed to it.  Measured with
+// a dedicated probe object whose flips deterministically toggle one row of
+// a sentinel query, so each sample is one update → one notification.
+type CityCQLatency struct {
+	Subscribers int   `json:"subscribers"`
+	Samples     int   `json:"samples"`
+	Missed      int   `json:"missed"`
+	P50Ns       int64 `json:"p50_ns"`
+	P99Ns       int64 `json:"p99_ns"`
+	P999Ns      int64 `json:"p999_ns"`
+}
+
+// CityReport is the payload mostbench -city writes to BENCH_city.json:
+// the application-centric SLO view of the whole stack — city workload in,
+// sustained update throughput, per-template query percentiles, CQ
+// notification latency, and the server's overload counters out.
+type CityReport struct {
+	Quick           bool             `json:"quick"`
+	Seed            int64            `json:"seed"`
+	Objects         int              `json:"objects"`
+	Cars            int              `json:"cars"`
+	Events          int              `json:"events"`
+	Subscribers     int              `json:"subscribers"`
+	SubscriberConns int              `json:"subscriber_conns"`
+	UpdaterConns    int              `json:"updater_conns"`
+	QuerierConns    int              `json:"querier_conns"`
+	TicksRun        int              `json:"ticks_run"`
+	UpdatesApplied  int              `json:"updates_applied"`
+	UpdatesPerSec   float64          `json:"updates_per_sec"`
+	QueriesRun      int              `json:"queries_run"`
+	GenerateMs      int64            `json:"generate_ms"`
+	BuildMs         int64            `json:"build_ms"`
+	SubscribeMs     int64            `json:"subscribe_ms"`
+	RunMs           int64            `json:"run_ms"`
+	Queries         []CityQuerySLO   `json:"queries"`
+	CQ              CityCQLatency    `json:"cq_notify"`
+	Server          map[string]int64 `json:"server_counters"`
+}
+
+// citySentinel is the probe rig for CQ notification latency.  The probe
+// object lives in its own class, parked outside the city grid near a
+// dedicated SENTINEL region; each tick the bench alternates its velocity
+// toward / away from the region, deterministically adding / removing its
+// row from the sentinel query's answer.  A separate class means probe
+// flips never touch the car subscribers' maintenance and car updates never
+// touch the sentinel's, so the samples isolate the notification path.
+const (
+	sentinelRegion = "SENTINEL"
+	sentinelProbe  = "probe-000"
+	sentinelWindow = temporal.Tick(5)
+	sentinelSpeed  = 100.0
+)
+
+var probeClass = most.MustClass("Probes", true)
+
+func sentinelSrc() string {
+	return fmt.Sprintf("RETRIEVE p FROM Probes p WHERE EVENTUALLY WITHIN %d INSIDE(p, %s)",
+		sentinelWindow, sentinelRegion)
+}
+
+// CityBench runs the city-scale application benchmark: a seeded road-network
+// city (internal/city) is generated, its database served over loopback TCP,
+// and three client populations drive it concurrently — subscribers holding
+// continuous queries from the city's catalog, updaters streaming the city's
+// motion schedule tick by tick, and queriers cycling the instantaneous
+// catalog templates.  The full run serves >=100k objects to >=1000
+// subscribers; quick mode shrinks everything for CI.  The motion replay is
+// capped at updateCap committed updates so the full run finishes in minutes:
+// per-update cost scales with the number of registered continuous queries
+// (every car CQ maintains inline on the commit path), which is exactly the
+// trade the report quantifies.
+func CityBench(quick bool) (*CityReport, error) {
+	spec := city.Spec{
+		Seed: 2026, Cars: 100_000, Buses: 48,
+		GridW: 48, GridH: 48, DistrictsX: 6, DistrictsY: 6, POIsPerDistrict: 4,
+		Ticks: 10, Horizon: 20, TurnProb: 0.12, ReturnFrac: 0.2,
+	}
+	subscribers, subConns := 1000, 25
+	updConns, qryConns := 16, 3
+	sentinelSubs := 8
+	// Every committed update maintains all ~1000 registered continuous
+	// queries inline (tens of microseconds each), so the sustainable update
+	// rate is cores/(CQs × per-CQ patch cost); the cap — spread evenly
+	// across ticks — keeps the full run to minutes on a small machine while
+	// still measuring that exact trade.  The measured window also stays
+	// inside every CQ's anchor validity (horizon − query depth = 10 ticks
+	// for the deepest catalog template): all subscribers register at the
+	// same instant, so letting the run cross the validity edge triggers a
+	// synchronized full-reevaluation storm that measures registration cost
+	// again rather than steady-state maintenance (E5/E12 cover that cost).
+	updateCap := 3_000
+	if quick {
+		spec.Cars, spec.Buses = 1500, 8
+		spec.GridW, spec.GridH, spec.DistrictsX, spec.DistrictsY, spec.POIsPerDistrict = 12, 12, 2, 2, 2
+		spec.Ticks = 18
+		subscribers, subConns = 24, 4
+		updConns, qryConns = 4, 2
+		sentinelSubs = 2
+		updateCap = 2_500
+	}
+	// Registration storms and contended queries run far past the client's
+	// default 10s call timeout when a thousand initial evaluations share
+	// the machine; the bench is not measuring call timeouts, so give every
+	// client plenty of rope.
+	callTimeout := client.WithTimeout(3 * time.Minute)
+
+	rep := &CityReport{Quick: quick, Seed: spec.Seed, Cars: spec.Cars,
+		Subscribers: subscribers, SubscriberConns: subConns,
+		UpdaterConns: updConns, QuerierConns: qryConns}
+
+	t0 := time.Now()
+	c, err := city.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	rep.GenerateMs = time.Since(t0).Milliseconds()
+	rep.Events = len(c.Events)
+
+	t0 = time.Now()
+	db, err := c.Database()
+	if err != nil {
+		return nil, fmt.Errorf("database: %w", err)
+	}
+	if err := insertProbe(db); err != nil {
+		return nil, err
+	}
+	rep.Objects = c.Objects() + 1
+	cat := c.Catalog()
+	regions := make(map[string]geom.Polygon, len(cat.Regions)+1)
+	for name, pg := range cat.Regions {
+		regions[name] = pg
+	}
+	// The sentinel box sits outside the city grid (all city geometry has
+	// non-negative coordinates), 100 units on a side.
+	regions[sentinelRegion] = geom.RectPolygon(-1550, -1550, -1450, -1450)
+	rep.BuildMs = time.Since(t0).Milliseconds()
+
+	reg := obs.New()
+	eng := query.NewEngine(db)
+	srv := server.New(db, eng, server.Config{
+		BaseOptions: query.Options{Horizon: spec.Horizon, Regions: regions},
+		Reg:         reg,
+		MaxInflight: 128,
+	})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	// ---- Subscribers: the catalog's continuous templates, weighted so the
+	// mass of the population holds delta-friendly single-binding queries
+	// (poi_approach, follow_bus) and only a handful hold the heavy
+	// large-answer ones (range_district, corridor) — the shape a real alert
+	// service has.
+	assign := subscriberMix(cat, subscribers)
+	t0 = time.Now()
+	subClients := make([]*client.Client, subConns)
+	subsPer := (len(assign) + subConns - 1) / subConns
+	var (
+		subWG  sync.WaitGroup
+		subErr atomic.Value
+	)
+	for w := 0; w < subConns; w++ {
+		lo := w * subsPer
+		hi := lo + subsPer
+		if hi > len(assign) {
+			hi = len(assign)
+		}
+		if lo >= hi {
+			break
+		}
+		w, lo, hi := w, lo, hi
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			cl, err := client.Dial(addr, client.WithClientID(fmt.Sprintf("city-sub-%d", w)), callTimeout)
+			if err != nil {
+				subErr.Store(fmt.Errorf("sub dial: %w", err))
+				return
+			}
+			subClients[w] = cl
+			for _, tpl := range assign[lo:hi] {
+				if _, err := cl.Subscribe(tpl.Src, spec.Horizon); err != nil {
+					subErr.Store(fmt.Errorf("subscribe %s: %w", tpl.Name, err))
+					return
+				}
+			}
+		}()
+	}
+	subWG.Wait()
+	defer func() {
+		for _, cl := range subClients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	}()
+	if err, _ := subErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	// Sentinel subscribers on their own connections.
+	sentClient, err := client.Dial(addr, client.WithClientID("city-sentinel"), callTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("sentinel dial: %w", err)
+	}
+	defer sentClient.Close()
+	sentSubs := make([]*client.Subscription, sentinelSubs)
+	sentSeqs := make([]uint64, sentinelSubs)
+	for i := range sentSubs {
+		sub, err := sentClient.Subscribe(sentinelSrc(), spec.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("sentinel subscribe: %w", err)
+		}
+		sentSubs[i] = sub
+		_, sentSeqs[i], _ = sub.Answer()
+	}
+	rep.SubscribeMs = time.Since(t0).Milliseconds()
+
+	// ---- Queriers: cycle the instantaneous catalog for the whole run.
+	insts := cat.Instantaneous()
+	var (
+		qMu   sync.Mutex
+		qLat  = map[string][]time.Duration{}
+		qStop atomic.Bool
+		qWG   sync.WaitGroup
+		qErr  atomic.Value
+	)
+	for w := 0; w < qryConns; w++ {
+		w := w
+		qWG.Add(1)
+		go func() {
+			defer qWG.Done()
+			cl, err := client.Dial(addr, client.WithClientID(fmt.Sprintf("city-query-%d", w)), callTimeout)
+			if err != nil {
+				qErr.Store(fmt.Errorf("querier dial: %w", err))
+				return
+			}
+			defer cl.Close()
+			for i := w; !qStop.Load(); i++ {
+				tpl := insts[i%len(insts)]
+				t0 := time.Now()
+				if _, _, err := cl.Query(tpl.Src, spec.Horizon); err != nil {
+					qErr.Store(fmt.Errorf("query %s: %w", tpl.Name, err))
+					return
+				}
+				d := time.Since(t0)
+				qMu.Lock()
+				qLat[tpl.Name] = append(qLat[tpl.Name], d)
+				qMu.Unlock()
+			}
+		}()
+	}
+
+	// ---- Updaters replay the motion schedule tick by tick, capped at
+	// updateCap committed updates.
+	coord, err := client.Dial(addr, client.WithClientID("city-coord"), callTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("coord dial: %w", err)
+	}
+	defer coord.Close()
+	updClients := make([]*client.Client, updConns)
+	for w := range updClients {
+		cl, err := client.Dial(addr, client.WithClientID(fmt.Sprintf("city-upd-%d", w)), callTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("updater dial: %w", err)
+		}
+		defer cl.Close()
+		updClients[w] = cl
+	}
+
+	byTick := make(map[temporal.Tick][]wire.UpdateOp)
+	for _, e := range c.Events {
+		byTick[e.Tick] = append(byTick[e.Tick], wire.UpdateOp{
+			Op: wire.OpSetMotion, ID: string(e.Object), VX: e.Vector.X, VY: e.Vector.Y,
+		})
+	}
+
+	perTick := updateCap / int(spec.Ticks)
+	if perTick < 1 {
+		perTick = 1
+	}
+
+	var cqLat []time.Duration
+	runStart := time.Now()
+	for tk := temporal.Tick(1); tk <= spec.Ticks && rep.UpdatesApplied < updateCap; tk++ {
+		if _, err := coord.Advance(1); err != nil {
+			return nil, fmt.Errorf("advance: %w", err)
+		}
+		ops := byTick[tk]
+		// A city tick carries far more motion events than the capped replay
+		// can afford; stride-sample so the applied subset spans the whole
+		// event list instead of favoring low-index objects.
+		if len(ops) > perTick {
+			stride := len(ops) / perTick
+			sampled := make([]wire.UpdateOp, 0, perTick)
+			for i := 0; i < len(ops) && len(sampled) < perTick; i += stride {
+				sampled = append(sampled, ops[i])
+			}
+			ops = sampled
+		}
+		var (
+			updWG  sync.WaitGroup
+			updErr atomic.Value
+		)
+		per := (len(ops) + updConns - 1) / updConns
+		for w := 0; w < updConns; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			if lo >= hi {
+				break
+			}
+			cl, part := updClients[w], ops[lo:hi]
+			updWG.Add(1)
+			go func() {
+				defer updWG.Done()
+				for len(part) > 0 {
+					n := 64
+					if n > len(part) {
+						n = len(part)
+					}
+					if _, err := cl.UpdateBatch(part[:n]); err != nil {
+						updErr.Store(fmt.Errorf("update batch: %w", err))
+						return
+					}
+					part = part[n:]
+				}
+			}()
+		}
+		updWG.Wait()
+		if err, _ := updErr.Load().(error); err != nil {
+			return nil, err
+		}
+		rep.UpdatesApplied += len(ops)
+		rep.TicksRun++
+
+		// Sentinel flip: toward the region on odd ticks, away on even.
+		vx := -sentinelSpeed
+		if tk%2 == 0 {
+			vx = sentinelSpeed
+		}
+		if err := coord.SetMotion(sentinelProbe, vx, 0); err != nil {
+			return nil, fmt.Errorf("sentinel flip: %w", err)
+		}
+		acked := time.Now()
+		for i, sub := range sentSubs {
+			seq, ok := awaitSeq(sub, sentSeqs[i], 15*time.Second)
+			if !ok {
+				rep.CQ.Missed++
+				continue
+			}
+			sentSeqs[i] = seq
+			cqLat = append(cqLat, time.Since(acked))
+		}
+	}
+	elapsed := time.Since(runStart)
+	rep.RunMs = elapsed.Milliseconds()
+	if elapsed > 0 {
+		rep.UpdatesPerSec = float64(rep.UpdatesApplied) / elapsed.Seconds()
+	}
+
+	qStop.Store(true)
+	qWG.Wait()
+	if err, _ := qErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	// ---- Roll up.
+	names := make([]string, 0, len(qLat))
+	for name := range qLat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lats := qLat[name]
+		rep.QueriesRun += len(lats)
+		rep.Queries = append(rep.Queries, CityQuerySLO{
+			Template: name,
+			Samples:  len(lats),
+			P50Ns:    pctDur(lats, 0.50).Nanoseconds(),
+			P99Ns:    pctDur(lats, 0.99).Nanoseconds(),
+			P999Ns:   pctDur(lats, 0.999).Nanoseconds(),
+		})
+	}
+	rep.CQ.Subscribers = sentinelSubs
+	rep.CQ.Samples = len(cqLat)
+	rep.CQ.P50Ns = pctDur(cqLat, 0.50).Nanoseconds()
+	rep.CQ.P99Ns = pctDur(cqLat, 0.99).Nanoseconds()
+	rep.CQ.P999Ns = pctDur(cqLat, 0.999).Nanoseconds()
+	rep.Server = map[string]int64{
+		"shed_requests":             reg.Counter("server.shed_requests").Value(),
+		"slow_consumer_disconnects": reg.Counter("server.slow_consumer_disconnects").Value(),
+		"request_errors":            reg.Counter("server.request_errors").Value(),
+		"notifies":                  reg.Counter("server.notifies").Value(),
+		"notifies_coalesced":        reg.Counter("server.notifies_coalesced").Value(),
+	}
+	return rep, nil
+}
+
+// insertProbe defines the probe class and parks the sentinel probe 350
+// units east of the sentinel region's center, so a flip toward the region
+// reaches it well inside the sentinel window and a flip away never does.
+func insertProbe(db *most.Database) error {
+	if err := db.DefineClass(probeClass); err != nil {
+		return err
+	}
+	o, err := most.NewObject(sentinelProbe, probeClass)
+	if err != nil {
+		return err
+	}
+	if o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: -1150, Y: -1500}, geom.Vector{}, 0)); err != nil {
+		return err
+	}
+	return db.Insert(o)
+}
+
+// subscriberMix spreads n subscribers over the catalog's continuous
+// templates: the heavy large-answer families (range_district, corridor)
+// get two subscribers each, everyone else round-robins over the
+// delta-friendly rest.
+func subscriberMix(cat *city.Catalog, n int) []city.Template {
+	conts := cat.Continuous()
+	var heavy, cheap []city.Template
+	for _, tpl := range conts {
+		switch tpl.Family {
+		case "range_district", "corridor":
+			heavy = append(heavy, tpl)
+		default:
+			cheap = append(cheap, tpl)
+		}
+	}
+	if len(cheap) == 0 {
+		cheap = conts
+	}
+	out := make([]city.Template, 0, n)
+	for _, tpl := range heavy {
+		for k := 0; k < 2 && len(out) < n; k++ {
+			out = append(out, tpl)
+		}
+	}
+	for i := 0; len(out) < n; i++ {
+		out = append(out, cheap[i%len(cheap)])
+	}
+	return out
+}
+
+// awaitSeq waits until the subscription's answer sequence advances past
+// prev, returning the new sequence.
+func awaitSeq(sub *client.Subscription, prev uint64, timeout time.Duration) (uint64, bool) {
+	deadline := time.After(timeout)
+	for {
+		_, seq, err := sub.Answer()
+		if err != nil {
+			return prev, false
+		}
+		if seq > prev {
+			return seq, true
+		}
+		select {
+		case <-sub.Updates():
+		case <-deadline:
+			return prev, false
+		}
+	}
+}
+
+func pctDur(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(p*float64(len(s)-1))]
+}
+
+// Table renders the city SLO report for the terminal.
+func (r *CityReport) Table() *Table {
+	t := &Table{
+		ID:      "CITY",
+		Title:   fmt.Sprintf("city-scale application SLOs (%d objects, %d CQ subscribers, loopback TCP)", r.Objects, r.Subscribers),
+		Claim:   "the full stack sustains city-scale motion updates while serving catalog queries and pushing CQ notifications at bounded latency",
+		Columns: []string{"metric", "value", "p50", "p99", "p999"},
+	}
+	t.AddRow("updates/s (sustained)", fmt.Sprintf("%.0f", r.UpdatesPerSec), "-", "-", "-")
+	t.AddRow("updates applied", itoa(r.UpdatesApplied), "-", "-", "-")
+	t.AddRow("ticks run", itoa(r.TicksRun), "-", "-", "-")
+	t.AddRow("queries run", itoa(r.QueriesRun), "-", "-", "-")
+	t.AddRow(fmt.Sprintf("cq notify (%d sentinels, %d missed)", r.CQ.Subscribers, r.CQ.Missed),
+		itoa(r.CQ.Samples)+" samples",
+		ns(time.Duration(r.CQ.P50Ns)), ns(time.Duration(r.CQ.P99Ns)), ns(time.Duration(r.CQ.P999Ns)))
+	for _, q := range r.Queries {
+		t.AddRow("query "+q.Template, itoa(q.Samples)+" samples",
+			ns(time.Duration(q.P50Ns)), ns(time.Duration(q.P99Ns)), ns(time.Duration(q.P999Ns)))
+	}
+	t.AddRow("server shed/slow/errors",
+		fmt.Sprintf("%d/%d/%d", r.Server["shed_requests"], r.Server["slow_consumer_disconnects"], r.Server["request_errors"]),
+		"-", "-", "-")
+	t.AddRow("notifies (coalesced)",
+		fmt.Sprintf("%d (%d)", r.Server["notifies"], r.Server["notifies_coalesced"]),
+		"-", "-", "-")
+	return t
+}

@@ -3,7 +3,9 @@
 // conceptual history diagram — so each experiment (E1..E10, the §7
 // future-work studies E11 and E12, and the robustness study E13) validates one of
 // the concrete claims its text makes; DESIGN.md maps each to the paper
-// section, and EXPERIMENTS.md records claim-versus-measured.
+// section, and EXPERIMENTS.md records claim-versus-measured.  E14
+// (CityBench, mostbench -city) is the application-centric capstone: the
+// whole stack serving a seeded city-scale workload over TCP.
 package experiments
 
 import (
@@ -68,24 +70,43 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// All runs every experiment (quick=true shrinks sweeps for CI-speed runs).
-func All(quick bool) []*Table {
-	return []*Table{
-		E1QueryTypes(),
-		E2UpdateTraffic(quick),
-		E3IndexVsScan(quick),
-		E4ContinuousIndex(quick),
-		E5ContinuousVsPerTick(quick),
-		E6UntilJoin(quick),
-		E7Decomposition(quick),
-		E8RewriteWithIndex(quick),
-		E9DistStrategies(quick),
-		E10ImmediateVsDelayed(quick),
-		E11IndexMechanisms(quick),
-		E12HorizonChoice(quick),
-		E13Faults(quick),
-	}
+// registry maps experiment IDs to their runners, in index order, so a
+// filtered run (mostbench -only) executes only the selected experiments
+// instead of computing every table and discarding most of them.
+var registry = []struct {
+	ID  string
+	Run func(quick bool) *Table
+}{
+	{"E1", func(bool) *Table { return E1QueryTypes() }},
+	{"E2", E2UpdateTraffic},
+	{"E3", E3IndexVsScan},
+	{"E4", E4ContinuousIndex},
+	{"E5", E5ContinuousVsPerTick},
+	{"E6", E6UntilJoin},
+	{"E7", E7Decomposition},
+	{"E8", E8RewriteWithIndex},
+	{"E9", E9DistStrategies},
+	{"E10", E10ImmediateVsDelayed},
+	{"E11", E11IndexMechanisms},
+	{"E12", E12HorizonChoice},
+	{"E13", E13Faults},
 }
+
+// Run executes the experiments whose IDs are in want (all of them when
+// want is empty), in index order.
+func Run(want map[string]bool, quick bool) []*Table {
+	var out []*Table
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		out = append(out, e.Run(quick))
+	}
+	return out
+}
+
+// All runs every experiment (quick=true shrinks sweeps for CI-speed runs).
+func All(quick bool) []*Table { return Run(nil, quick) }
 
 // timeIt measures fn over reps runs and returns the per-run duration.  A
 // collection runs first so garbage from fixture construction is not billed

@@ -25,8 +25,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/mostdb/most/internal/city"
 	"github.com/mostdb/most/internal/client"
 	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
 	"github.com/mostdb/most/internal/query"
@@ -213,4 +215,205 @@ func wireRows(rows []query.Row) [][]wire.Value {
 		out[i] = vals
 	}
 	return out
+}
+
+// TestLoopbackCityOracle runs the loopback oracle over a small city
+// scenario (internal/city): a seeded road-network city is replayed in
+// lockstep against a served and a local database, and every template of
+// the city's query catalog is answered three ways — remote client, local
+// engine, and a from-scratch naive evaluation — demanding bit-identical
+// presented rows each tick.  Every continuous template is additionally
+// subscribed remotely and must converge, through server-push
+// notifications alone, to the local Answer(CQ) after each tick's updates.
+func TestLoopbackCityOracle(t *testing.T) {
+	ticks := temporal.Tick(12)
+	if testing.Short() {
+		ticks = 6
+	}
+	spec := city.Spec{
+		Seed: 5, Cars: 60, Buses: 3,
+		GridW: 6, GridH: 6, DistrictsX: 2, DistrictsY: 2, POIsPerDistrict: 1,
+		Ticks: ticks, Horizon: 12,
+	}
+	cty, err := city.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedDB, err := cty.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localDB, err := cty.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := cty.Catalog()
+	opts := query.Options{Horizon: spec.Horizon, Regions: cat.Regions}
+
+	srv := server.New(servedDB, query.NewEngine(servedDB), server.Config{BaseOptions: opts})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	localEng := query.NewEngine(localDB)
+
+	// naive is the definitional from-scratch evaluation on the local
+	// database: fresh snapshot, no rewrite state, sequential.
+	naive := func(src string) *eval.Relation {
+		t.Helper()
+		q := ftl.MustParse(src)
+		ctx := &eval.Context{
+			Now:     localDB.Now(),
+			Horizon: spec.Horizon,
+			Objects: localDB.Snapshot(),
+			Regions: cat.Regions,
+			Domains: map[string][]eval.Val{},
+		}
+		if err := ctx.BindDomains(q, eval.IDsOf(localDB)); err != nil {
+			t.Fatalf("naive bind: %v", err)
+		}
+		rel, err := eval.EvalQuery(q, ctx)
+		if err != nil {
+			t.Fatalf("naive eval: %v", err)
+		}
+		return rel
+	}
+	naiveKey := func(src string) string {
+		var rows [][]wire.Value
+		for _, vals := range naive(src).At(localDB.Now()) {
+			row := make([]wire.Value, len(vals))
+			for j, v := range vals {
+				row[j] = wire.FromVal(v)
+			}
+			rows = append(rows, row)
+		}
+		return canonRows(rows)
+	}
+
+	type cityCQ struct {
+		tpl city.Template
+		cq  *query.Continuous
+		sub *client.Subscription
+	}
+	var cqs []cityCQ
+	for _, tpl := range cat.Continuous() {
+		cq, err := localEng.Continuous(ftl.MustParse(tpl.Src), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tpl.Name, err)
+		}
+		defer cq.Cancel()
+		sub, err := c.Subscribe(tpl.Src, spec.Horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", tpl.Name, err)
+		}
+		defer sub.Close()
+		cqs = append(cqs, cityCQ{tpl, cq, sub})
+	}
+	awaitCity := func(tk temporal.Tick, e cityCQ) {
+		t.Helper()
+		rel, err := e.cq.Answer()
+		if err != nil {
+			t.Fatalf("tick %d: %s: local answer: %v", tk, e.tpl.Name, err)
+		}
+		want := wire.CanonicalAnswers(wire.FromRelation(rel))
+		deadline := time.After(10 * time.Second)
+		for {
+			ans, _, err := e.sub.Answer()
+			if err != nil {
+				t.Fatalf("tick %d: %s: remote answer: %v", tk, e.tpl.Name, err)
+			}
+			if wire.CanonicalAnswers(ans) == want {
+				return
+			}
+			select {
+			case <-e.sub.Updates():
+			case <-deadline:
+				t.Fatalf("tick %d: CQ %s never converged:\n  remote: %q\n  local:  %q",
+					tk, e.tpl.Name, wire.CanonicalAnswers(ans), want)
+			}
+		}
+	}
+
+	byTick := map[temporal.Tick][]workload.UpdateEvent{}
+	for _, e := range cty.Events {
+		byTick[e.Tick] = append(byTick[e.Tick], e)
+	}
+	lastVec := map[most.ObjectID]geom.Vector{}
+	carStir := cty.Cars[0].ID
+	busStir := most.ObjectID(cty.Buses[0].Plate)
+
+	for tk := temporal.Tick(1); tk <= ticks; tk++ {
+		if _, err := c.Advance(1); err != nil {
+			t.Fatal(err)
+		}
+		localDB.Advance(1)
+
+		// Identical update streams both sides, with per-class stirrers so
+		// every continuous query re-anchors every tick (window alignment,
+		// see internal/city's correctness oracle).
+		evs := byTick[tk]
+		carsTouched, busesTouched := false, false
+		for _, e := range evs {
+			lastVec[e.Object] = e.Vector
+			if strings.HasPrefix(string(e.Object), "car-") {
+				carsTouched = true
+			} else {
+				busesTouched = true
+			}
+		}
+		if !carsTouched {
+			evs = append(evs, workload.UpdateEvent{Object: carStir, Vector: lastVec[carStir]})
+		}
+		if !busesTouched {
+			evs = append(evs, workload.UpdateEvent{Object: busStir, Vector: lastVec[busStir]})
+		}
+		for _, e := range evs {
+			if err := c.SetMotion(string(e.Object), e.Vector.X, e.Vector.Y); err != nil {
+				t.Fatal(err)
+			}
+			if err := localDB.SetMotion(e.Object, e.Vector); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Every instantaneous template answers identically three ways.
+		for _, tpl := range cat.Instantaneous() {
+			now, remoteRows, err := c.Query(tpl.Src, spec.Horizon)
+			if err != nil {
+				t.Fatalf("tick %d: %s: %v", tk, tpl.Name, err)
+			}
+			if now != localDB.Now() {
+				t.Fatalf("tick %d: clocks diverged: remote %d, local %d", tk, now, localDB.Now())
+			}
+			localRows, err := localEng.Query(tpl.Src, opts)
+			if err != nil {
+				t.Fatalf("tick %d: %s: %v", tk, tpl.Name, err)
+			}
+			remote, local, want := canonRows(remoteRows), canonRows(wireRows(localRows)), naiveKey(tpl.Src)
+			if remote != local || local != want {
+				t.Fatalf("tick %d: %s diverged:\n  remote: %q\n  local:  %q\n  naive:  %q",
+					tk, tpl.Name, remote, local, want)
+			}
+		}
+
+		// Every continuous template: the local Answer(CQ) presents exactly
+		// the naive rows, and the remote stream converges to the local
+		// answer bit for bit.
+		for _, e := range cqs {
+			rows, err := e.cq.Current(localDB.Now())
+			if err != nil {
+				t.Fatalf("tick %d: %s: %v", tk, e.tpl.Name, err)
+			}
+			if got, want := canonRows(wireRows(rows)), naiveKey(e.tpl.Src); got != want {
+				t.Fatalf("tick %d: CQ %s diverged from naive oracle:\n  engine: %q\n  naive:  %q",
+					tk, e.tpl.Name, got, want)
+			}
+			awaitCity(tk, e)
+		}
+	}
 }
