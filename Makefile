@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp city cityquick citycheck
+.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp city cityquick citycheck racequery
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
 COVER_FLOOR := 78.0
 
-check: fmt vet build test citycheck
+check: fmt vet build test citycheck racequery cityquick
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -105,11 +105,21 @@ city:
 	$(GO) run ./cmd/mostbench -city
 
 # CI-sized city run: same pipeline, small city, seconds not minutes.
+# Gated against the checked-in throughput baseline: the run fails if
+# sustained updates/sec drops below 75% of BENCH_city_baseline.json.
+# `make cityquick GATE=` skips the gate on noisy machines.
+GATE ?= -gate BENCH_city_baseline.json
 cityquick:
-	$(GO) run ./cmd/mostbench -city -quick
+	$(GO) run ./cmd/mostbench -city -quick $(GATE)
 
 # Short-mode city differential correctness (one seed): the fast gate the
 # city benchmark rides on.  The full two-seed suite and the loopback city
 # oracle already run inside `make test`; this target is the quick repro.
 citycheck:
 	$(GO) test -short -count=1 -run 'TestCityCorrectnessOracle|TestCityDeterminism' ./internal/city/
+
+# Race-detector pass over the shared-plan registration/cancel/drain races:
+# the cheap always-on slice of `make race` that guards continuous-query
+# subscription lifecycle.
+racequery:
+	$(GO) test -race -count=1 -run 'TestSubscribeCancelRace|TestSubscribeAfterCancel|TestRegistrationWindow' ./internal/query/

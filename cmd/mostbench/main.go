@@ -68,6 +68,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	obsBench := fs.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
 	serverBench := fs.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
 	cityBench := fs.Bool("city", false, "run the city-scale application benchmark and write BENCH_city.json")
+	cityGate := fs.String("gate", "", "with -city: baseline BENCH_city.json to gate against (fail if updates/sec drops below 75% of it)")
 	httpAddr := fs.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -111,6 +112,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, rep.Table().Render())
 		if err := writeReport("BENCH_city.json", rep); err != nil {
 			return fail(err)
+		}
+		if *cityGate != "" {
+			if err := gateCityThroughput(*cityGate, rep, stdout); err != nil {
+				return fail(err)
+			}
 		}
 		return 0
 
@@ -190,4 +196,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// gateCityThroughput compares the fresh city report's sustained update
+// throughput against a checked-in baseline report and fails when it drops
+// below 75% of the baseline — a CI tripwire for regressions on the
+// continuous-query maintenance hot path.  A faster run quietly passes;
+// refresh the baseline when the ceiling moves up for real.
+func gateCityThroughput(baselinePath string, rep *experiments.CityReport, stdout io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate: read baseline: %w", err)
+	}
+	var base experiments.CityReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("gate: parse baseline %s: %w", baselinePath, err)
+	}
+	if base.UpdatesPerSec <= 0 {
+		return fmt.Errorf("gate: baseline %s has no updates_per_sec", baselinePath)
+	}
+	if base.Quick != rep.Quick {
+		return fmt.Errorf("gate: baseline quick=%v but run quick=%v — modes are not comparable", base.Quick, rep.Quick)
+	}
+	const floor = 0.75
+	ratio := rep.UpdatesPerSec / base.UpdatesPerSec
+	fmt.Fprintf(stdout, "gate: %.0f updates/s vs baseline %.0f (%.2fx, floor %.2fx)\n",
+		rep.UpdatesPerSec, base.UpdatesPerSec, ratio, floor)
+	if ratio < floor {
+		return fmt.Errorf("gate: throughput regressed to %.2fx of baseline (floor %.2fx)", ratio, floor)
+	}
+	return nil
 }

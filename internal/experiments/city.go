@@ -70,6 +70,12 @@ type CityReport struct {
 	Queries         []CityQuerySLO   `json:"queries"`
 	CQ              CityCQLatency    `json:"cq_notify"`
 	Server          map[string]int64 `json:"server_counters"`
+	// Maintenance reports the engine's shared-plan counters: how many
+	// distinct plans the subscriber population canonicalized to, how many
+	// registrations joined an existing plan, and how dispatch classified
+	// the replayed updates (delta patch, full reevaluation, spatial skip,
+	// no-change suppression).
+	Maintenance map[string]int64 `json:"maintenance_counters"`
 }
 
 // citySentinel is the probe rig for CQ notification latency.  The probe
@@ -101,9 +107,9 @@ func sentinelSrc() string {
 // catalog templates.  The full run serves >=100k objects to >=1000
 // subscribers; quick mode shrinks everything for CI.  The motion replay is
 // capped at updateCap committed updates so the full run finishes in minutes:
-// per-update cost scales with the number of registered continuous queries
-// (every car CQ maintains inline on the commit path), which is exactly the
-// trade the report quantifies.
+// per-update cost scales with the number of *distinct* continuous plans
+// (subscribers sharing a plan key maintain one materialized answer), which
+// is exactly the trade the report quantifies.
 func CityBench(quick bool) (*CityReport, error) {
 	spec := city.Spec{
 		Seed: 2026, Cars: 100_000, Buses: 48,
@@ -113,17 +119,19 @@ func CityBench(quick bool) (*CityReport, error) {
 	subscribers, subConns := 1000, 25
 	updConns, qryConns := 16, 3
 	sentinelSubs := 8
-	// Every committed update maintains all ~1000 registered continuous
-	// queries inline (tens of microseconds each), so the sustainable update
-	// rate is cores/(CQs × per-CQ patch cost); the cap — spread evenly
-	// across ticks — keeps the full run to minutes on a small machine while
-	// still measuring that exact trade.  The measured window also stays
-	// inside every CQ's anchor validity (horizon − query depth = 10 ticks
-	// for the deepest catalog template): all subscribers register at the
-	// same instant, so letting the run cross the validity edge triggers a
-	// synchronized full-reevaluation storm that measures registration cost
-	// again rather than steady-state maintenance (E5/E12 cover that cost).
-	updateCap := 3_000
+	// The ~1000 subscribers canonicalize to roughly a dozen distinct shared
+	// plans, so a committed update maintains at most that many materialized
+	// answers inline — and the spatial relevance filter skips the plans
+	// whose guard regions the update's motion envelope provably misses.
+	// The cap — spread evenly across ticks — keeps the full run to minutes
+	// on a small machine while still measuring that exact trade.  The
+	// measured window also stays inside every CQ's anchor validity
+	// (horizon − query depth = 10 ticks for the deepest catalog template):
+	// all subscribers register at the same instant, so letting the run
+	// cross the validity edge triggers a synchronized full-reevaluation
+	// storm that measures registration cost again rather than steady-state
+	// maintenance (E5/E12 cover that cost).
+	updateCap := 50_000
 	if quick {
 		spec.Cars, spec.Buses = 1500, 8
 		spec.GridW, spec.GridH, spec.DistrictsX, spec.DistrictsY, spec.POIsPerDistrict = 12, 12, 2, 2, 2
@@ -131,7 +139,7 @@ func CityBench(quick bool) (*CityReport, error) {
 		subscribers, subConns = 24, 4
 		updConns, qryConns = 4, 2
 		sentinelSubs = 2
-		updateCap = 2_500
+		updateCap = 20_000
 	}
 	// Registration storms and contended queries run far past the client's
 	// default 10s call timeout when a thousand initial evaluations share
@@ -432,6 +440,17 @@ func CityBench(quick bool) (*CityReport, error) {
 		"request_errors":            reg.Counter("server.request_errors").Value(),
 		"notifies":                  reg.Counter("server.notifies").Value(),
 		"notifies_coalesced":        reg.Counter("server.notifies_coalesced").Value(),
+		"conv_hits":                 reg.Counter("server.conv_hits").Value(),
+		"conv_misses":               reg.Counter("server.conv_misses").Value(),
+	}
+	rep.Maintenance = map[string]int64{
+		"shared_plans":       reg.Counter("query.continuous.shared_plans").Value(),
+		"shared_hits":        reg.Counter("query.continuous.shared_hits").Value(),
+		"skipped_irrelevant": reg.Counter("query.continuous.skipped_irrelevant").Value(),
+		"delta":              reg.Counter("query.continuous.delta").Value(),
+		"full":               reg.Counter("query.continuous.full").Value(),
+		"fallback":           reg.Counter("query.continuous.fallback").Value(),
+		"suppressed":         reg.Counter("query.continuous.suppressed").Value(),
 	}
 	return rep, nil
 }
@@ -537,5 +556,12 @@ func (r *CityReport) Table() *Table {
 	t.AddRow("notifies (coalesced)",
 		fmt.Sprintf("%d (%d)", r.Server["notifies"], r.Server["notifies_coalesced"]),
 		"-", "-", "-")
+	if m := r.Maintenance; m != nil {
+		t.AddRow("shared plans (join hits)",
+			fmt.Sprintf("%d (%d)", m["shared_plans"], m["shared_hits"]), "-", "-", "-")
+		t.AddRow("maintenance delta/full/skipped/suppressed",
+			fmt.Sprintf("%d/%d/%d/%d", m["delta"], m["full"], m["skipped_irrelevant"], m["suppressed"]),
+			"-", "-", "-")
+	}
 	return t
 }

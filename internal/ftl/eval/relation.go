@@ -374,3 +374,28 @@ func (r *Relation) At(tick temporal.Tick) [][]Val {
 	}
 	return out
 }
+
+// Equal reports whether r and o hold exactly the same instantiations with
+// identical satisfaction sets (columns compared positionally).  Continuous
+// query maintenance uses it to suppress no-change installs: a reevaluation
+// that reproduces the previous answer need not fan out to listeners.
+func (r *Relation) Equal(o *Relation) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if len(r.Cols) != len(o.Cols) || len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	for i, c := range r.Cols {
+		if o.Cols[i] != c {
+			return false
+		}
+	}
+	for k, t := range r.tuples {
+		ot, ok := o.tuples[k]
+		if !ok || !t.Times.Equal(ot.Times) {
+			return false
+		}
+	}
+	return true
+}

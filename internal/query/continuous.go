@@ -5,102 +5,119 @@ import (
 
 	"github.com/mostdb/most/internal/ftl"
 	"github.com/mostdb/most/internal/ftl/eval"
-	"github.com/mostdb/most/internal/most"
 	"github.com/mostdb/most/internal/temporal"
 )
 
-// Continuous is a registered continuous query: Answer(CQ) is materialized
-// once at registration and maintained under explicit updates.  Between
-// updates, presentation at each clock tick is a lookup, not a reevaluation
-// — the paper's central efficiency claim for continuous queries ("our query
-// processing algorithm facilitates a single evaluation of the query;
-// reevaluation has to occur only if the motion vector of the car changes").
+// Continuous is a registered continuous query handle: Answer(CQ) is
+// materialized once at registration and maintained under explicit updates.
+// Between updates, presentation at each clock tick is a lookup, not a
+// reevaluation — the paper's central efficiency claim for continuous
+// queries ("our query processing algorithm facilitates a single evaluation
+// of the query; reevaluation has to occur only if the motion vector of the
+// car changes").
 //
-// Maintenance is incremental where the query shape allows it: an update to
-// object o patches only the tuples binding o (see delta.go), falling back
-// to a full reevaluation for non-decomposable queries, unbounded temporal
-// operators, errored state, or when the evaluation window has drifted too
-// far from the last full anchor.
+// Registrations that canonicalize to the same plan key (see planKey) share
+// one maintained sharedPlan: the handle carries only its own listeners and
+// cancellation state, while evaluation, delta maintenance, and the
+// version-guarded install live on the plan.  N subscribers to the same
+// query shape cost one maintenance per update, not N.
 type Continuous struct {
-	id     int
-	engine *Engine
-	query  *ftl.Query
-	opts   Options
-	plan   deltaPlan
+	sp *sharedPlan
 
 	mu        sync.Mutex
-	answer    *eval.Relation
-	err       error
 	listeners []func(*eval.Relation)
 	cancelled bool
-
-	// version is the database version (update-log length) the materialized
-	// answer reflects; installs are monotonic in it, so a slow evaluation
-	// finishing late never overwrites a newer answer.  anchor is the
-	// database time of the last full evaluation: every tuple's satisfaction
-	// set was computed over a window starting no earlier than anchor, so
-	// with a bounded formula the answer stays presentable through
-	// anchor+horizon-depth (after which drain re-anchors with a full run).
-	version uint64
-	anchor  temporal.Tick
-
-	// evaluating serializes maintenance: exactly one goroutine drains at a
-	// time.  queue holds delta-maintainable updates awaiting application;
-	// needFull coalesces every other update into one full reevaluation.
-	// This generalizes the previous evaluating/pending scheme: K queued
-	// updates to distinct objects become K cheap per-object patches in one
-	// round instead of K full joins.
-	evaluating bool
-	needFull   bool
-	queue      []most.Update
-
-	// classes the query ranges over: used to skip irrelevant updates.
-	classes map[string]bool
 }
 
-// Continuous registers a continuous query, evaluating it once.
+// Continuous registers a continuous query, evaluating it once — or, when a
+// plan with the same canonical key is already maintained, attaching to it
+// without any evaluation at all.
 func (e *Engine) Continuous(q *ftl.Query, opts Options) (*Continuous, error) {
-	cq := &Continuous{engine: e, query: q, opts: opts, classes: map[string]bool{}}
-	for _, b := range q.Bindings {
-		cq.classes[b.Class] = true
-	}
-	cq.plan = newDeltaPlan(q)
-
-	// Register before the initial evaluation, holding the maintenance loop
-	// (evaluating=true), so an update committed between the initial
-	// snapshot and the map insertion is queued and applied by the drain
-	// below instead of being lost: the update's log append either precedes
-	// the Version read (and is in the evaluated snapshot) or follows the
-	// map insertion (and its onUpdate finds the handle).
-	cq.evaluating = true
-	e.mu.Lock()
-	e.nextID++
-	cq.id = e.nextID
-	e.continuous[cq.id] = cq
-	e.mu.Unlock()
-	v := e.db.Version()
-	rel, now, err := cq.evaluate()
-	if err != nil {
+	key := planKey(q, opts)
+	h := &Continuous{}
+	for {
 		e.mu.Lock()
-		delete(e.continuous, cq.id)
+		if p, ok := e.plans[key]; ok {
+			p.mu.Lock()
+			p.subs = append(p.subs, h)
+			p.mu.Unlock()
+			h.sp = p
+			e.mu.Unlock()
+			<-p.ready
+			if p.initErr != nil {
+				// The creator's initial evaluation failed and removed the
+				// plan; retry (either creating it ourselves and observing
+				// the same error, or joining a fresh healthy plan).
+				h.sp = nil
+				continue
+			}
+			e.reg().Counter("query.continuous.shared_hits").Inc()
+			return h, nil
+		}
+
+		// Create the plan, registering it before the initial evaluation and
+		// holding the maintenance loop (evaluating=true), so an update
+		// committed between the initial snapshot and the map insertion is
+		// queued and applied by the drain below instead of being lost: the
+		// update's log append either precedes the Version read (and is in
+		// the evaluated snapshot) or follows the map insertion (and its
+		// onUpdate finds the plan).
+		p := newSharedPlan(e, key, q, opts)
+		p.evaluating = true
+		p.subs = []*Continuous{h}
+		h.sp = p
+		e.nextPlanID++
+		p.planID = e.nextPlanID
+		e.plans[key] = p
+		e.rebuildSnapshot()
 		e.mu.Unlock()
-		return nil, err
+		e.reg().Counter("query.continuous.shared_plans").Inc()
+
+		v := e.db.Version()
+		rel, now, err := p.evaluate()
+		if err != nil {
+			e.mu.Lock()
+			if e.plans[key] == p {
+				delete(e.plans, key)
+				e.rebuildSnapshot()
+			}
+			e.mu.Unlock()
+			e.reg().Counter("query.continuous.shared_plans").Add(-1)
+			p.mu.Lock()
+			p.removed = true
+			p.initErr = err
+			p.mu.Unlock()
+			close(p.ready)
+			return nil, err
+		}
+		p.mu.Lock()
+		p.answer, p.version, p.anchor = rel, v, now
+		p.storeValidity(now)
+		p.mu.Unlock()
+		close(p.ready)
+		p.drain()
+		return h, nil
 	}
-	cq.mu.Lock()
-	cq.answer, cq.version, cq.anchor = rel, v, now
-	cq.mu.Unlock()
-	cq.drain()
-	return cq, nil
 }
+
+// PlanID identifies the shared plan this handle is attached to: handles
+// with equal PlanIDs receive identical answer streams, so downstream
+// consumers (the server's push path) can convert each install once per
+// plan instead of once per subscriber.
+func (cq *Continuous) PlanID() uint64 { return cq.sp.planID }
 
 // Answer returns the materialized Answer(CQ) relation.
 func (cq *Continuous) Answer() (*eval.Relation, error) {
 	cq.mu.Lock()
-	defer cq.mu.Unlock()
 	if cq.cancelled {
+		cq.mu.Unlock()
 		return nil, errUnregistered
 	}
-	return cq.answer, cq.err
+	cq.mu.Unlock()
+	p := cq.sp
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.answer, p.err
 }
 
 // Current returns the instantiations presented at tick t: "the system
@@ -119,10 +136,12 @@ func (cq *Continuous) Current(t temporal.Tick) ([]Row, error) {
 }
 
 // Subscribe registers a listener invoked with the new Answer(CQ) after
-// every maintenance round (full reevaluation or delta patch).  Coupled
-// with an action this is a temporal trigger (§2.3).  On a cancelled handle
-// it reports errUnregistered, consistent with Answer, and the listener is
-// dropped.
+// every maintenance round that changes it (full reevaluation or delta
+// patch; no-change installs are suppressed).  Coupled with an action this
+// is a temporal trigger (§2.3).  On a cancelled handle it reports
+// errUnregistered, consistent with Answer, and the listener is dropped.
+// A listener added while a maintenance round is in flight observes the
+// next install.
 func (cq *Continuous) Subscribe(fn func(*eval.Relation)) error {
 	cq.mu.Lock()
 	defer cq.mu.Unlock()
@@ -133,153 +152,32 @@ func (cq *Continuous) Subscribe(fn func(*eval.Relation)) error {
 	return nil
 }
 
-// Cancel unregisters the query ("until cancelled", §2.3).
+// Cancel unregisters the handle ("until cancelled", §2.3).  The shared
+// plan stays alive while other handles remain attached; the last Cancel
+// removes it from the engine.
 func (cq *Continuous) Cancel() {
-	cq.engine.mu.Lock()
-	delete(cq.engine.continuous, cq.id)
-	cq.engine.mu.Unlock()
+	p := cq.sp
+	e := p.engine
+	e.mu.Lock()
+	p.mu.Lock()
+	for i, s := range p.subs {
+		if s == cq {
+			p.subs = append(p.subs[:i], p.subs[i+1:]...)
+			break
+		}
+	}
+	last := len(p.subs) == 0 && e.plans[p.key] == p
+	if last {
+		delete(e.plans, p.key)
+		p.removed = true
+		e.rebuildSnapshot()
+	}
+	p.mu.Unlock()
+	e.mu.Unlock()
+	if last {
+		e.reg().Counter("query.continuous.shared_plans").Add(-1)
+	}
 	cq.mu.Lock()
 	cq.cancelled = true
 	cq.mu.Unlock()
-}
-
-// relevant reports whether an update may change Answer(CQ).  Updates to
-// objects of classes the query does not range over cannot affect it.
-func (cq *Continuous) relevant(u most.Update) bool {
-	class := updateClass(u)
-	if class == "" {
-		return true
-	}
-	return cq.classes[class]
-}
-
-// evaluate runs one full evaluation of the query under the continuous
-// query's own root span and metrics, returning the relation and the tick
-// it was anchored at.
-func (cq *Continuous) evaluate() (*eval.Relation, temporal.Tick, error) {
-	e := cq.engine
-	reg := e.reg()
-	reg.Counter("query.continuous").Inc()
-	sp := reg.StartSpan("query.continuous")
-	defer sp.End()
-	t0 := reg.Start()
-	defer reg.Histogram("query.continuous_ns").Since(t0)
-	now := e.db.Now()
-	rel, err := e.evalRelation(cq.query, cq.opts, now, sp)
-	return rel, now, err
-}
-
-// maintain folds one relevant update into the maintenance state and, if no
-// other goroutine is draining, drains.  Concurrent calls coalesce exactly
-// as reevaluate used to: one goroutine works at a time and the others just
-// deposit their update.  With a single caller this reduces to one delta
-// patch (or one full reevaluation) per call — the sequential semantics.
-func (cq *Continuous) maintain(u most.Update) {
-	cq.mu.Lock()
-	if cq.cancelled {
-		cq.mu.Unlock()
-		return
-	}
-	switch {
-	case cq.needFull:
-		// A full reevaluation is already scheduled; it covers this update.
-	case cq.deltable(u):
-		cq.queue = append(cq.queue, u)
-	default:
-		if !cq.opts.DisableDelta {
-			cq.engine.reg().Counter("query.continuous.fallback").Inc()
-		}
-		cq.needFull = true
-		cq.queue = nil
-	}
-	if cq.evaluating {
-		cq.mu.Unlock()
-		return
-	}
-	cq.evaluating = true
-	cq.mu.Unlock()
-	cq.drain()
-}
-
-// deltable reports whether u can be applied as a per-object patch.  Callers
-// hold cq.mu.
-func (cq *Continuous) deltable(u most.Update) bool {
-	if cq.opts.DisableDelta {
-		return false
-	}
-	return cq.plan.deltable(u, cq.opts.horizon())
-}
-
-// drain runs maintenance rounds until no work is queued.  The caller must
-// have won the evaluating flag.  Each round applies the queued updates as
-// per-object deltas, or runs one full reevaluation when a fallback
-// condition holds: needFull was set, the materialized state is errored or
-// missing, the clock has advanced past the last full anchor's validity
-// (now > anchor+horizon-depth), or the delta application itself failed.
-func (cq *Continuous) drain() {
-	for {
-		cq.mu.Lock()
-		if cq.cancelled {
-			cq.evaluating, cq.needFull, cq.queue = false, false, nil
-			cq.mu.Unlock()
-			return
-		}
-		full := cq.needFull
-		batch := cq.queue
-		cq.needFull, cq.queue = false, nil
-		if !full && len(batch) == 0 {
-			cq.evaluating = false
-			cq.mu.Unlock()
-			return
-		}
-		if !full && (cq.err != nil || cq.answer == nil) {
-			full = true
-		}
-		anchor := cq.anchor
-		cq.mu.Unlock()
-		if !full && cq.engine.db.Now() > anchor.Add(cq.opts.horizon()-cq.plan.analysis.Depth) {
-			// Unchanged tuples are no longer presentable this far past the
-			// anchor: re-anchor the whole relation.
-			full = true
-		}
-		if full {
-			cq.runFull()
-			continue
-		}
-		if !cq.runDelta(batch) {
-			cq.runFull()
-		}
-	}
-}
-
-// runFull recomputes Answer(CQ) from the current state and installs it
-// under the version guard, so a slow evaluation finishing late never
-// overwrites a newer answer.
-func (cq *Continuous) runFull() {
-	e := cq.engine
-	reg := e.reg()
-	reg.Counter("query.continuous.reevals").Inc()
-	reg.Counter("query.continuous.full").Inc()
-	// The version is read before the snapshot, so the evaluated state is
-	// at least as new as v and the install guard stays conservative.
-	v := e.db.Version()
-	rel, now, err := cq.evaluate()
-	cq.mu.Lock()
-	if cq.cancelled {
-		cq.mu.Unlock()
-		return
-	}
-	var ls []func(*eval.Relation)
-	if v >= cq.version {
-		cq.version = v
-		cq.answer, cq.err = rel, err
-		cq.anchor = now
-		if err == nil {
-			ls = append([]func(*eval.Relation){}, cq.listeners...)
-		}
-	}
-	cq.mu.Unlock()
-	for _, fn := range ls {
-		fn(rel)
-	}
 }

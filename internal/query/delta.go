@@ -96,16 +96,18 @@ func (e *Engine) pinnedContext(opts Options, now temporal.Tick, sp *obs.Span, pi
 }
 
 // runDelta applies one batch of queued updates as per-object patches: each
-// distinct touched object has its Answer(CQ) tuples recomputed from the
+// distinct touched object has its answer tuples recomputed from the
 // current state — one pinned evaluation per variable of its class — and
 // spliced into a copy of the materialized relation (remove the object's
 // old tuples, insert the recomputed ones).  Reading the *current* state
 // makes the patch idempotent: a later update to the same object queued
 // behind this round is absorbed, and recomputing in any order converges.
-// Returns false when the batch cannot be applied and the caller must fall
-// back to a full reevaluation.
-func (cq *Continuous) runDelta(batch []most.Update) bool {
-	e := cq.engine
+// A patch that reproduces the installed relation exactly is not fanned
+// out (see runFull's no-change suppression).  Returns false when the
+// batch cannot be applied and the caller must fall back to a full
+// reevaluation.
+func (p *sharedPlan) runDelta(batch []most.Update) bool {
+	e := p.engine
 	reg := e.reg()
 	sp := reg.StartSpan("query.continuous.delta")
 	defer sp.End()
@@ -126,7 +128,7 @@ func (cq *Continuous) runDelta(batch []most.Update) bool {
 	// conservative.
 	v := e.db.Version()
 	now := e.db.Now()
-	nq := ftl.NormalizeQuery(*cq.query)
+	nq := ftl.NormalizeQuery(*p.query)
 	// Single-binding fast path: a pinned evaluation of a one-variable query
 	// touches only the pinned object, so the context can carry just that
 	// object instead of a full database snapshot and all-ids domain — this
@@ -137,7 +139,7 @@ func (cq *Continuous) runDelta(batch []most.Update) bool {
 	}
 	var ctx *eval.Context
 	if single == "" {
-		full, err := e.context(&nq, cq.opts, now, sp)
+		full, err := e.context(&nq, p.opts, now, sp)
 		if err != nil {
 			reg.Counter("query.continuous.fallback").Inc()
 			return false
@@ -151,10 +153,10 @@ func (cq *Continuous) runDelta(batch []most.Update) bool {
 			// Object deleted: removal only.
 			continue
 		}
-		for _, pin := range cq.plan.varsByClass[o.Class().Name()] {
+		for _, pin := range p.plan.varsByClass[o.Class().Name()] {
 			ectx := ctx
 			if single != "" {
-				ectx = e.pinnedContext(cq.opts, now, sp, pin, id, o)
+				ectx = e.pinnedContext(p.opts, now, sp, pin, id, o)
 			}
 			rel, err := eval.EvalQueryPinned(&nq, ectx, pin, eval.ObjVal(id))
 			if err != nil {
@@ -166,40 +168,45 @@ func (cq *Continuous) runDelta(batch []most.Update) bool {
 		}
 	}
 
-	cq.mu.Lock()
-	if cq.cancelled {
-		cq.mu.Unlock()
-		return true // drain observes cancellation and stops
+	p.mu.Lock()
+	if p.removed {
+		p.mu.Unlock()
+		return true // drain observes removal and stops
 	}
-	if cq.err != nil || cq.answer == nil {
-		cq.mu.Unlock()
+	if p.err != nil || p.answer == nil {
+		p.mu.Unlock()
 		return false
 	}
-	patched := cq.answer.Clone()
+	patched := p.answer.Clone()
 	for _, id := range ids {
 		ov := eval.ObjVal(id)
 		for _, col := range patched.Cols {
 			if _, err := patched.DeleteWhere(col, ov); err != nil {
-				cq.mu.Unlock()
+				p.mu.Unlock()
 				return false
 			}
 		}
 		for _, rel := range replacements[id] {
 			if err := patched.InsertFrom(rel); err != nil {
-				cq.mu.Unlock()
+				p.mu.Unlock()
 				return false
 			}
 		}
 	}
-	if v > cq.version {
-		cq.version = v
+	if v > p.version {
+		p.version = v
 	}
-	cq.answer = patched
 	reg.Counter("query.continuous.delta").Add(int64(len(ids)))
-	ls := append([]func(*eval.Relation){}, cq.listeners...)
-	cq.mu.Unlock()
-	for _, fn := range ls {
-		fn(patched)
+	if p.answer.Equal(patched) {
+		// The patch changed nothing: keep the installed relation object
+		// and do not fan out.
+		reg.Counter("query.continuous.suppressed").Inc()
+		p.mu.Unlock()
+		return true
 	}
+	p.answer = patched
+	subs := append([]*Continuous(nil), p.subs...)
+	p.mu.Unlock()
+	p.notify(subs, patched)
 	return true
 }

@@ -80,8 +80,14 @@ type Engine struct {
 
 	mu         sync.Mutex
 	nextID     int
-	continuous map[int]*Continuous
+	nextPlanID uint64
+	plans      map[string]*sharedPlan
 	persistent map[int]*Persistent
+
+	// snap is the pre-sorted registration snapshot onUpdate dispatches
+	// from, rebuilt under mu on every (un)registration: the per-update
+	// hot path never locks, allocates, or sorts.
+	snap atomic.Pointer[regSnapshot]
 
 	// Evals counts full query evaluations, for the experiments comparing
 	// evaluate-once against per-tick reevaluation.
@@ -93,13 +99,53 @@ type Engine struct {
 	obsReg atomic.Pointer[obs.Registry]
 }
 
+// regSnapshot is the immutable dispatch view of the registered queries.
+type regSnapshot struct {
+	plans      []*sharedPlan // sorted by planID
+	persistent []*Persistent // sorted by id
+	// maxHorizon is the widest horizon across plans: ROI motion envelopes
+	// are computed once per update over [tick, tick+maxHorizon], which is
+	// conservative (a wider envelope can only keep more plans relevant).
+	maxHorizon temporal.Tick
+	// roi is true when at least one plan can skip spatially irrelevant
+	// updates, so envelope computation is worth paying for at all.
+	roi bool
+}
+
+// rebuildSnapshot recomputes the dispatch snapshot.  Callers hold e.mu.
+func (e *Engine) rebuildSnapshot() {
+	s := &regSnapshot{}
+	if len(e.plans) > 0 {
+		s.plans = make([]*sharedPlan, 0, len(e.plans))
+		for _, p := range e.plans {
+			s.plans = append(s.plans, p)
+			if h := p.opts.horizon(); h > s.maxHorizon {
+				s.maxHorizon = h
+			}
+			if p.roi.any() {
+				s.roi = true
+			}
+		}
+		sort.Slice(s.plans, func(i, j int) bool { return s.plans[i].planID < s.plans[j].planID })
+	}
+	if len(e.persistent) > 0 {
+		s.persistent = make([]*Persistent, 0, len(e.persistent))
+		for _, pq := range e.persistent {
+			s.persistent = append(s.persistent, pq)
+		}
+		sort.Slice(s.persistent, func(i, j int) bool { return s.persistent[i].id < s.persistent[j].id })
+	}
+	e.snap.Store(s)
+}
+
 // NewEngine returns an engine bound to db, subscribed to its updates.
 func NewEngine(db *most.Database) *Engine {
 	e := &Engine{
 		db:         db,
-		continuous: map[int]*Continuous{},
+		plans:      map[string]*sharedPlan{},
 		persistent: map[int]*Persistent{},
 	}
+	e.snap.Store(&regSnapshot{})
 	db.Subscribe(e.onUpdate)
 	return e
 }
@@ -248,37 +294,73 @@ func (e *Engine) InstantaneousRelation(q *ftl.Query, opts Options) (*eval.Relati
 
 // onUpdate maintains registered queries after an explicit update (§2.3:
 // "a continuous query CQ has to be reevaluated when an update occurs that
-// may change the set of tuples Answer(CQ)").  Independent queries maintain
-// concurrently on a pool bounded by GOMAXPROCS.  With a single updater,
-// onUpdate returns only once every registered query reflects the update —
-// exactly the sequential semantics; under concurrent updaters, work
-// already in flight absorbs this update instead: a burst of K updates to
-// distinct objects drains as K per-object patches in one round rather
-// than K full joins (see Continuous.maintain/drain).
+// may change the set of tuples Answer(CQ)").  Dispatch runs off the
+// pre-sorted registration snapshot in three cheap stages — class filter,
+// then the plans' spatial relevance filter against the update's motion
+// envelope, then fan-out — so an update no registered query ranges over
+// costs a snapshot load and a scan, with no locking or allocation.
+// Independent plans maintain concurrently on a pool bounded by
+// GOMAXPROCS.  With a single updater, onUpdate returns only once every
+// registered query reflects the update — exactly the sequential
+// semantics; under concurrent updaters, work already in flight absorbs
+// this update instead: a burst of K updates to distinct objects drains as
+// K per-object patches in one round rather than K full joins (see
+// sharedPlan.maintain/drain).
 func (e *Engine) onUpdate(u most.Update) {
-	e.mu.Lock()
-	cqs := make([]*Continuous, 0, len(e.continuous))
-	for _, cq := range e.continuous {
-		cqs = append(cqs, cq)
+	s := e.snap.Load()
+	if len(s.plans) == 0 && len(s.persistent) == 0 {
+		return
 	}
-	pqs := make([]*Persistent, 0, len(e.persistent))
-	for _, pq := range e.persistent {
-		pqs = append(pqs, pq)
-	}
-	e.mu.Unlock()
-	sort.Slice(cqs, func(i, j int) bool { return cqs[i].id < cqs[j].id })
-	sort.Slice(pqs, func(i, j int) bool { return pqs[i].id < pqs[j].id })
-	work := make([]func(), 0, len(cqs)+len(pqs))
-	for _, cq := range cqs {
-		if cq.relevant(u) {
-			cq := cq
-			work = append(work, func() { cq.maintain(u) })
+	class := updateClass(u)
+	var pbuf [16]*sharedPlan
+	plans := pbuf[:0]
+	for _, p := range s.plans {
+		if class == "" || p.classes[class] {
+			plans = append(plans, p)
 		}
+	}
+	var qbuf [8]*Persistent
+	pqs := qbuf[:0]
+	for _, pq := range s.persistent {
+		if class == "" || pq.classes[class] {
+			pqs = append(pqs, pq)
+		}
+	}
+	if len(plans) > 0 && s.roi && class != "" {
+		if env, ok := motionEnvelope(u, u.Tick, u.Tick.Add(s.maxHorizon)); ok {
+			kept := plans[:0]
+			skipped := 0
+			for _, p := range plans {
+				if p.canSkip(class, u.Tick, env) {
+					skipped++
+					continue
+				}
+				kept = append(kept, p)
+			}
+			plans = kept
+			if skipped > 0 {
+				e.reg().Counter("query.continuous.skipped_irrelevant").Add(int64(skipped))
+			}
+		}
+	}
+	switch len(plans) + len(pqs) {
+	case 0:
+		return
+	case 1:
+		if len(plans) == 1 {
+			plans[0].maintain(u)
+		} else {
+			pqs[0].reevaluate()
+		}
+		return
+	}
+	work := make([]func(), 0, len(plans)+len(pqs))
+	for _, p := range plans {
+		p := p
+		work = append(work, func() { p.maintain(u) })
 	}
 	for _, pq := range pqs {
-		if pq.relevant(u) {
-			work = append(work, pq.reevaluate)
-		}
+		work = append(work, pq.reevaluate)
 	}
 	runBounded(work)
 }

@@ -61,10 +61,12 @@ func (e *Engine) Persistent(q *ftl.Query, opts Options) (*Persistent, error) {
 	e.nextID++
 	pq.id = e.nextID
 	e.persistent[pq.id] = pq
+	e.rebuildSnapshot()
 	e.mu.Unlock()
 	if err := pq.evalOnce(); err != nil {
 		e.mu.Lock()
 		delete(e.persistent, pq.id)
+		e.rebuildSnapshot()
 		e.mu.Unlock()
 		return nil, err
 	}
@@ -103,6 +105,7 @@ func (pq *Persistent) Subscribe(fn func([]Row)) error {
 func (pq *Persistent) Cancel() {
 	pq.engine.mu.Lock()
 	delete(pq.engine.persistent, pq.id)
+	pq.engine.rebuildSnapshot()
 	pq.engine.mu.Unlock()
 	pq.mu.Lock()
 	pq.cancelled = true

@@ -1,0 +1,255 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/mostdb/most/internal/ftl"
+	"github.com/mostdb/most/internal/ftl/eval"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// sharedPlan is one maintained continuous-query plan shared by every
+// subscriber handle whose registration canonicalizes to the same planKey.
+// The paper's evaluate-once-then-maintain discipline (§3.5) is applied per
+// *distinct* plan, not per registration: an update pays one delta patch or
+// one reevaluation here and the installed relation fans out to all
+// attached handles, making per-update maintenance cost proportional to the
+// number of distinct query shapes rather than the subscriber count.
+type sharedPlan struct {
+	key     string
+	planID  uint64
+	engine  *Engine
+	query   *ftl.Query // first registrant's query; sharers are canonically identical
+	opts    Options
+	plan    deltaPlan
+	roi     roiPlan
+	classes map[string]bool
+
+	// ready is closed once the creator's initial evaluation has installed
+	// (or failed with initErr, after removing the plan from the engine);
+	// joiners block on it so a returned handle always has an answer.
+	ready   chan struct{}
+	initErr error
+
+	mu         sync.Mutex
+	answer     *eval.Relation
+	err        error
+	version    uint64
+	anchor     temporal.Tick
+	evaluating bool
+	needFull   bool
+	queue      []most.Update
+	removed    bool
+	subs       []*Continuous
+
+	// validUntil is anchor+horizon-depth of the installed answer (the last
+	// tick it stays presentable at): the ROI filter may skip an update only
+	// while its tick is inside this window.  Updated on every full install;
+	// read lock-free by Engine.onUpdate.
+	validUntil atomic.Int64
+}
+
+func newSharedPlan(e *Engine, key string, q *ftl.Query, opts Options) *sharedPlan {
+	p := &sharedPlan{
+		key:     key,
+		engine:  e,
+		query:   q,
+		opts:    opts,
+		plan:    newDeltaPlan(q),
+		classes: map[string]bool{},
+		ready:   make(chan struct{}),
+	}
+	for _, b := range q.Bindings {
+		p.classes[b.Class] = true
+	}
+	p.roi = newROIPlan(q, opts, p.plan.analysis)
+	return p
+}
+
+// canSkip reports whether an update to class with the given motion
+// envelope provably cannot change any presentation of the installed
+// answer (see roiPlan for the full soundness argument).
+func (p *sharedPlan) canSkip(class string, tick temporal.Tick, env rect2) bool {
+	b, ok := p.roi.bounds[class]
+	if !ok {
+		return false
+	}
+	if int64(tick) > p.validUntil.Load() {
+		// Past the answer's validity: the update must be dispatched so the
+		// drain re-anchors, even if it is spatially irrelevant.
+		return false
+	}
+	return !env.intersects(b)
+}
+
+// evaluate runs one full evaluation of the plan's query under its own root
+// span and metrics, returning the relation and the tick it was anchored at.
+func (p *sharedPlan) evaluate() (*eval.Relation, temporal.Tick, error) {
+	e := p.engine
+	reg := e.reg()
+	reg.Counter("query.continuous").Inc()
+	sp := reg.StartSpan("query.continuous")
+	defer sp.End()
+	t0 := reg.Start()
+	defer reg.Histogram("query.continuous_ns").Since(t0)
+	now := e.db.Now()
+	rel, err := e.evalRelation(p.query, p.opts, now, sp)
+	return rel, now, err
+}
+
+// storeValidity records the installed answer's presentability window end.
+// Callers hold p.mu.
+func (p *sharedPlan) storeValidity(anchor temporal.Tick) {
+	p.validUntil.Store(int64(anchor.Add(p.opts.horizon() - p.plan.analysis.Depth)))
+}
+
+// maintain folds one relevant update into the maintenance state and, if no
+// other goroutine is draining, drains.  Concurrent calls coalesce: one
+// goroutine works at a time and the others just deposit their update.
+func (p *sharedPlan) maintain(u most.Update) {
+	p.mu.Lock()
+	if p.removed {
+		p.mu.Unlock()
+		return
+	}
+	// Classification is counted independently of scheduling: the fallback
+	// counter answers "how many updates could not be applied as deltas",
+	// including ones arriving while a full reevaluation was already
+	// pending (those used to be swallowed unclassified).
+	deltable := p.deltable(u)
+	if !deltable && !p.opts.DisableDelta {
+		p.engine.reg().Counter("query.continuous.fallback").Inc()
+	}
+	switch {
+	case p.needFull:
+		// A full reevaluation is already scheduled; it covers this update.
+	case deltable:
+		p.queue = append(p.queue, u)
+	default:
+		p.needFull = true
+		p.queue = nil
+	}
+	if p.evaluating {
+		p.mu.Unlock()
+		return
+	}
+	p.evaluating = true
+	p.mu.Unlock()
+	p.drain()
+}
+
+// deltable reports whether u can be applied as a per-object patch.  Callers
+// hold p.mu.
+func (p *sharedPlan) deltable(u most.Update) bool {
+	if p.opts.DisableDelta {
+		return false
+	}
+	return p.plan.deltable(u, p.opts.horizon())
+}
+
+// drain runs maintenance rounds until no work is queued.  The caller must
+// have won the evaluating flag.  Each round applies the queued updates as
+// per-object deltas, or runs one full reevaluation when a fallback
+// condition holds: needFull was set, the materialized state is errored or
+// missing, the clock has advanced past the last full anchor's validity, or
+// the delta application itself failed.
+func (p *sharedPlan) drain() {
+	for {
+		p.mu.Lock()
+		if p.removed {
+			p.evaluating, p.needFull, p.queue = false, false, nil
+			p.mu.Unlock()
+			return
+		}
+		full := p.needFull
+		batch := p.queue
+		p.needFull, p.queue = false, nil
+		if !full && len(batch) == 0 {
+			p.evaluating = false
+			p.mu.Unlock()
+			return
+		}
+		if !full && (p.err != nil || p.answer == nil) {
+			full = true
+		}
+		anchor := p.anchor
+		p.mu.Unlock()
+		if !full && p.engine.db.Now() > anchor.Add(p.opts.horizon()-p.plan.analysis.Depth) {
+			// Unchanged tuples are no longer presentable this far past the
+			// anchor: re-anchor the whole relation.
+			full = true
+		}
+		if full {
+			p.runFull()
+			continue
+		}
+		if !p.runDelta(batch) {
+			p.runFull()
+		}
+	}
+}
+
+// runFull recomputes the answer from the current state and installs it
+// under the version guard, so a slow evaluation finishing late never
+// overwrites a newer answer.  An install that reproduces the previous
+// relation exactly still advances version/anchor/validity but does not fan
+// out: same-class no-op updates stop producing spurious pushes to every
+// subscriber.
+func (p *sharedPlan) runFull() {
+	e := p.engine
+	reg := e.reg()
+	reg.Counter("query.continuous.reevals").Inc()
+	reg.Counter("query.continuous.full").Inc()
+	// The version is read before the snapshot, so the evaluated state is
+	// at least as new as v and the install guard stays conservative.
+	v := e.db.Version()
+	rel, now, err := p.evaluate()
+	p.mu.Lock()
+	if p.removed {
+		p.mu.Unlock()
+		return
+	}
+	var subs []*Continuous
+	if v >= p.version {
+		p.version = v
+		unchanged := err == nil && p.err == nil && p.answer != nil && p.answer.Equal(rel)
+		p.err = err
+		p.anchor = now
+		if err == nil {
+			p.storeValidity(now)
+		}
+		if unchanged {
+			reg.Counter("query.continuous.suppressed").Inc()
+			// Keep the old relation object: subscribers comparing answer
+			// identity (the server's shared row conversion) see no change.
+		} else {
+			p.answer = rel
+			if err == nil {
+				subs = append([]*Continuous(nil), p.subs...)
+			}
+		}
+		rel = p.answer
+	}
+	p.mu.Unlock()
+	p.notify(subs, rel)
+}
+
+// notify fans one installed relation out to the listeners of the given
+// subscriber handles.  Handle listener lists are snapshotted under each
+// handle's lock; invocations run lock-free.
+func (p *sharedPlan) notify(subs []*Continuous, rel *eval.Relation) {
+	for _, h := range subs {
+		h.mu.Lock()
+		if h.cancelled {
+			h.mu.Unlock()
+			continue
+		}
+		ls := append([]func(*eval.Relation){}, h.listeners...)
+		h.mu.Unlock()
+		for _, fn := range ls {
+			fn(rel)
+		}
+	}
+}

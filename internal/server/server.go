@@ -159,6 +159,13 @@ type Server struct {
 	dedupMu sync.Mutex
 	dedup   map[string]*dedupCache
 
+	// convs memoizes wire-row conversion per shared plan: every
+	// subscription on the same plan receives the same installed relation
+	// objects, so each install is converted to []wire.AnswerRow once and
+	// the rows are reused by all pumps (see planConv).
+	convMu sync.Mutex
+	convs  map[uint64]*planConv
+
 	// Epoch fencing: the newest session generation per ClientID, so a
 	// reconnecting client supersedes its zombie predecessor and a stale
 	// predecessor's Hello is rejected (wire.CodeStaleEpoch).
@@ -189,12 +196,17 @@ func New(db *most.Database, eng *query.Engine, cfg Config) *Server {
 		m:         newMetrics(cfg.Reg),
 		sessions:  map[*session]struct{}{},
 		dedup:     map[string]*dedupCache{},
+		convs:     map[uint64]*planConv{},
 		epochs:    map[string]*clientEpoch{},
 		partial:   map[string]map[uint64]int{},
 		recovered: map[string]struct{}{},
 	}
 	if cfg.MaxInflight > 0 {
 		srv.admit = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.Reg != nil {
+		db.Instrument(cfg.Reg)
+		eng.Instrument(cfg.Reg)
 	}
 	srv.st.Store(&state{db: db, eng: eng})
 	return srv
@@ -487,6 +499,8 @@ type metrics struct {
 	protocolViolations *obs.Counter
 	notifies           *obs.Counter
 	notifyCoalesced    *obs.Counter
+	convHits           *obs.Counter
+	convMisses         *obs.Counter
 	dedupHits          *obs.Counter
 	shedRequests       *obs.Counter
 	checkpoints        *obs.Counter
@@ -511,6 +525,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		protocolViolations: reg.Counter("server.protocol_violations"),
 		notifies:           reg.Counter("server.notifies"),
 		notifyCoalesced:    reg.Counter("server.notifies_coalesced"),
+		convHits:           reg.Counter("server.conv_hits"),
+		convMisses:         reg.Counter("server.conv_misses"),
 		dedupHits:          reg.Counter("server.dedup_hits"),
 		shedRequests:       reg.Counter("server.shed_requests"),
 		checkpoints:        reg.Counter("server.checkpoints"),

@@ -10,6 +10,7 @@ import (
 	"github.com/mostdb/most/internal/client"
 	"github.com/mostdb/most/internal/geom"
 	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/motion"
 	"github.com/mostdb/most/internal/obs"
 	"github.com/mostdb/most/internal/query"
 	"github.com/mostdb/most/internal/wire"
@@ -130,6 +131,26 @@ func TestServerRoundTrip(t *testing.T) {
 	}
 }
 
+// parkedInsert builds an OpInsert for a fresh vehicle parked at (x, y).
+func parkedInsert(t *testing.T, id string, x, y float64) wire.UpdateOp {
+	t.Helper()
+	o, err := most.NewObject(most.ObjectID(id), workload.VehicleClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o, err = o.WithStatic("PRICE", most.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	if o, err = o.WithPosition(motion.MovingFrom(geom.Point{X: x, Y: y}, geom.Vector{}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := most.EncodeObjectJSON(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.UpdateOp{Op: wire.OpInsert, ID: id, Object: data}
+}
+
 func TestServerSubscription(t *testing.T) {
 	srv, addr := startTestServer(t, 6, Config{})
 	c, err := client.Dial(addr)
@@ -147,8 +168,12 @@ func TestServerSubscription(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A relevant update triggers a maintenance round and a push.
-	if err := c.SetMotion(vid(0), 1.5, 1.5); err != nil {
+	// A deterministically answer-changing update triggers a maintenance
+	// round and a push: inserting a fresh vehicle parked inside P adds a
+	// tuple no matter where the existing fleet is.  (A motion change on an
+	// existing car is no longer guaranteed to push — it may be skipped as
+	// spatially irrelevant or suppressed as a no-change install.)
+	if _, err := c.UpdateBatch([]wire.UpdateOp{parkedInsert(t, "car-fresh", 25, 25)}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.After(5 * time.Second)

@@ -719,11 +719,67 @@ type serverSub struct {
 	dirty chan struct{} // capacity 1
 	stop  chan struct{}
 
-	// scratch is the pump's reusable answer-row conversion buffer: one
-	// relation is converted per maintenance round, and the encode into the
-	// outbound frame completes before the next conversion, so the rows and
-	// their Vals arrays are recycled round over round.
-	scratch []wire.AnswerRow
+	// conv is the plan-wide conversion memo shared with every other
+	// subscription on the same engine plan: an install is converted to
+	// wire rows once per plan, not once per subscriber.
+	conv *planConv
+}
+
+// planConv memoizes the wire-row conversion of one shared plan's installed
+// relations.  The engine shares one maintained plan across subscriptions
+// that canonicalize to the same planKey and installs each changed answer
+// as a fresh relation object (no-change rounds keep the old object), so
+// relation identity is a sound memo key: with N subscribers on one plan,
+// each install is converted once and all pumps encode the same rows.
+type planConv struct {
+	refs int // guarded by Server.convMu
+
+	mu   sync.Mutex
+	rel  *eval.Relation
+	rows []wire.AnswerRow
+}
+
+// rowsFor returns the wire rows of rel, converting only when rel is not
+// the memoized relation.  The returned slice is shared across pumps and
+// must be treated as immutable.
+func (pc *planConv) rowsFor(rel *eval.Relation, m *metrics) []wire.AnswerRow {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.rel != rel {
+		pc.rows = wire.AppendRelation(nil, rel)
+		pc.rel = rel
+		m.convMisses.Inc()
+	} else {
+		m.convHits.Inc()
+	}
+	return pc.rows
+}
+
+// acquireConv returns the refcounted conversion memo for a plan.
+func (srv *Server) acquireConv(planID uint64) *planConv {
+	srv.convMu.Lock()
+	defer srv.convMu.Unlock()
+	pc, ok := srv.convs[planID]
+	if !ok {
+		pc = &planConv{}
+		srv.convs[planID] = pc
+	}
+	pc.refs++
+	return pc
+}
+
+// releaseConv drops one reference; the last release frees the memo.
+func (srv *Server) releaseConv(planID uint64) {
+	srv.convMu.Lock()
+	defer srv.convMu.Unlock()
+	pc, ok := srv.convs[planID]
+	if !ok {
+		return
+	}
+	pc.refs--
+	if pc.refs <= 0 {
+		delete(srv.convs, planID)
+	}
 }
 
 // onAnswer runs on the updater's commit path: store and signal, never
@@ -760,8 +816,8 @@ func (s *session) pump(sub *serverSub) {
 			if seq > sent+1 {
 				s.srv.m.notifyCoalesced.Add(int64(seq - sent - 1))
 			}
-			sub.scratch = wire.AppendRelation(sub.scratch[:0], rel)
-			n := wire.Notify{SubID: sub.id, Seq: seq, Answer: sub.scratch}
+			rows := sub.conv.rowsFor(rel, s.srv.m)
+			n := wire.Notify{SubID: sub.id, Seq: seq, Answer: rows}
 			if err := s.enqueue(s.enc(wire.OpNotify, 0, &n)); err != nil {
 				return
 			}
@@ -793,15 +849,18 @@ func (s *session) handleSubscribe(f wire.Frame) wire.Frame {
 		cq:    cq,
 		dirty: make(chan struct{}, 1),
 		stop:  make(chan struct{}),
+		conv:  s.srv.acquireConv(cq.PlanID()),
 	}
 	if err := cq.Subscribe(sub.onAnswer); err != nil {
 		cq.Cancel()
+		s.srv.releaseConv(cq.PlanID())
 		return s.errFrame(f.ID, err)
 	}
 	s.mu.Lock()
 	if s.subsClosed {
 		s.mu.Unlock()
 		cq.Cancel()
+		s.srv.releaseConv(cq.PlanID())
 		return s.errFrame(f.ID, errSessionClosed)
 	}
 	s.subs[sub.id] = sub
@@ -844,6 +903,7 @@ func (s *session) removeSub(id uint64, reason string, push bool) bool {
 		return false
 	}
 	sub.cq.Cancel()
+	s.srv.releaseConv(sub.cq.PlanID())
 	close(sub.stop)
 	s.srv.m.subscriptions.Add(-1)
 	if push {
@@ -868,6 +928,7 @@ func (s *session) closeSubs(reason string) {
 	s.mu.Unlock()
 	for _, sub := range subs {
 		sub.cq.Cancel()
+		s.srv.releaseConv(sub.cq.PlanID())
 		close(sub.stop)
 		s.srv.m.subscriptions.Add(-1)
 		if reason != "" {
