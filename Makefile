@@ -4,13 +4,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp city cityquick citycheck racequery
+.PHONY: check fmt vet build test race bench parallel delta faults chaos chaosbench fuzzwal fuzzftl fuzzwire cover obs server benchcmp city cityquick citycheck racequery cluster clusterquick
 
 # Checked-in coverage floor for `make cover`: total statement coverage under
 # the race detector must not fall below this.
 COVER_FLOOR := 78.0
 
-check: fmt vet build test citycheck racequery cityquick
+check: fmt vet build test citycheck racequery cityquick cluster clusterquick
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -111,6 +111,25 @@ city:
 GATE ?= -gate BENCH_city_baseline.json
 cityquick:
 	$(GO) run ./cmd/mostbench -city -quick $(GATE)
+
+# Cluster gates, always under the race detector: the 3-node loopback
+# differential oracle (cluster answer streams bit-identical to a single
+# node over the city replay) plus the cluster chaos scenario (node
+# kill/restart and partitions injected mid-handoff, exactly-once checked
+# against the single-node oracle).
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestClusterChaos' ./internal/chaos/
+
+# CI-sized cluster benchmark: the same seeded city replayed against one
+# node and a 3-node cluster; writes BENCH_cluster.json.  Gated against
+# the checked-in baseline: fails if aggregate cluster updates/sec drops
+# below 75% of BENCH_cluster_baseline.json or below the single-node
+# phase (partitioning must pay for itself).  `make clusterquick CGATE=`
+# skips the gate on noisy machines.
+CGATE ?= -gate BENCH_cluster_baseline.json
+clusterquick:
+	$(GO) run ./cmd/mostbench -cluster -quick $(CGATE)
 
 # Short-mode city differential correctness (one seed): the fast gate the
 # city benchmark rides on.  The full two-seed suite and the loopback city

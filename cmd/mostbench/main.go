@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mostbench [-quick] [-only E3,E7] [-out dir] [-parallel] [-delta] [-faults] [-chaos] [-obs] [-server] [-city] [-http :6060]
+//	mostbench [-quick] [-only E3,E7] [-out dir] [-parallel] [-delta] [-faults] [-chaos] [-obs] [-server] [-city] [-cluster] [-http :6060]
 //
 // With -parallel it instead runs the parallel-evaluation benchmark
 // (sequential vs worker-pool at 1k/10k/100k objects) and writes the
@@ -26,7 +26,10 @@
 // With -city it runs the city-scale application benchmark (internal/city:
 // a seeded road-network city served over loopback TCP to concurrent CQ
 // subscribers, updaters and queriers) and writes the SLO report to
-// BENCH_city.json.
+// BENCH_city.json.  With -cluster it replays the same city against a
+// single node and a 3-node spatially partitioned cluster (internal/cluster:
+// zone routing, object handoff, scatter-gather queries and merged CQs) and
+// writes the throughput comparison to BENCH_cluster.json.
 //
 // -out dir redirects every BENCH_*.json to dir (default: the working
 // directory); the absolute path of each written file is printed.
@@ -68,7 +71,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	obsBench := fs.Bool("obs", false, "measure observability overhead and write BENCH_obs.json")
 	serverBench := fs.Bool("server", false, "benchmark the TCP network service and write BENCH_server.json")
 	cityBench := fs.Bool("city", false, "run the city-scale application benchmark and write BENCH_city.json")
-	cityGate := fs.String("gate", "", "with -city: baseline BENCH_city.json to gate against (fail if updates/sec drops below 75% of it)")
+	clusterBench := fs.Bool("cluster", false, "benchmark the spatially partitioned cluster vs a single node and write BENCH_cluster.json")
+	cityGate := fs.String("gate", "", "with -city/-cluster: baseline report to gate against (fail if updates/sec drops below 75% of it)")
 	httpAddr := fs.String("http", "", "serve /obs, /debug/vars and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -104,6 +108,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *clusterBench:
+		rep, err := experiments.ClusterBench(*quick)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, rep.Table().Render())
+		if err := writeReport("BENCH_cluster.json", rep); err != nil {
+			return fail(err)
+		}
+		if *cityGate != "" {
+			if err := gateClusterThroughput(*cityGate, rep, stdout); err != nil {
+				return fail(err)
+			}
+		}
+		return 0
+
 	case *cityBench:
 		rep, err := experiments.CityBench(*quick)
 		if err != nil {
@@ -196,6 +216,39 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// gateClusterThroughput gates the cluster benchmark the same way the city
+// gate works: aggregate cluster updates/sec must stay within 75% of the
+// checked-in baseline, and partitioning must still be a win — a cluster
+// run slower than its own single-node phase means routing or handoff
+// overhead ate the parallelism.
+func gateClusterThroughput(baselinePath string, rep *experiments.ClusterReport, stdout io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate: read baseline: %w", err)
+	}
+	var base experiments.ClusterReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("gate: parse baseline %s: %w", baselinePath, err)
+	}
+	if base.UpdatesPerSec <= 0 {
+		return fmt.Errorf("gate: baseline %s has no updates_per_sec", baselinePath)
+	}
+	if base.Quick != rep.Quick {
+		return fmt.Errorf("gate: baseline quick=%v but run quick=%v — modes are not comparable", base.Quick, rep.Quick)
+	}
+	const floor = 0.75
+	ratio := rep.UpdatesPerSec / base.UpdatesPerSec
+	fmt.Fprintf(stdout, "gate: cluster %.0f updates/s vs baseline %.0f (%.2fx, floor %.2fx); speedup over single node %.2fx\n",
+		rep.UpdatesPerSec, base.UpdatesPerSec, ratio, floor, rep.Speedup)
+	if ratio < floor {
+		return fmt.Errorf("gate: cluster throughput regressed to %.2fx of baseline (floor %.2fx)", ratio, floor)
+	}
+	if rep.Speedup < 1 {
+		return fmt.Errorf("gate: cluster is %.2fx of single-node throughput — partitioning no longer pays for itself", rep.Speedup)
+	}
+	return nil
 }
 
 // gateCityThroughput compares the fresh city report's sustained update

@@ -9,6 +9,19 @@
 //
 //	mostserver [-addr :7654] [-n 100] [-seed 1] [-horizon 500] [-http :6060]
 //	           [-proto 2] [-wal DIR] [-checkpoint-every 256] [-max-inflight 0]
+//	           [-zone x0,y0,x1,y1] [-peers addr=x0,y0,x1,y1;...]
+//	           [-advertise host:port] [-replicated Class,...]
+//
+// With -zone set the process serves one cluster node: it owns the given
+// rectangle of the plane, and -peers lists every other node's address and
+// zone.  All nodes must be started with equivalent maps (same rectangles,
+// same addresses).  The node seeds the same synthetic world, prunes it to
+// the objects inside its zone, and from then on hands objects crossing a
+// zone seam to the owning peer (PROTOCOL.md §7); -advertise is the address
+// peers and the zone map know this node by (default: 127.0.0.1-qualified
+// -addr), and -replicated names classes kept whole on every node instead
+// of partitioned.  Combine with -wal for a crash-safe node: a recovered
+// shard keeps its objects and quarantines any that were mid-handoff.
 //
 // -proto caps the wire protocol version the server offers during the Hello
 // handshake (PROTOCOL.md): 1 forces JSON payloads for every session, the
@@ -38,11 +51,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	mostdb "github.com/mostdb/most"
+	"github.com/mostdb/most/internal/cluster"
 	"github.com/mostdb/most/internal/obs"
+	"github.com/mostdb/most/internal/wire"
 )
 
 func main() {
@@ -55,7 +72,62 @@ func main() {
 	walDir := flag.String("wal", "", "durable mode: write-ahead log and checkpoints under this directory")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "checkpoint after every N mutating requests (0 = only on clean shutdown; needs -wal)")
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this concurrency (0 = unbounded)")
+	zoneFlag := flag.String("zone", "", "cluster mode: the rectangle this node owns, as x0,y0,x1,y1")
+	peersFlag := flag.String("peers", "", "cluster mode: peer zones, as addr=x0,y0,x1,y1 entries separated by ';'")
+	advertise := flag.String("advertise", "", "cluster mode: address peers know this node by (default: 127.0.0.1-qualified -addr)")
+	replicatedFlag := flag.String("replicated", "", "cluster mode: comma-separated classes kept whole on every node")
 	flag.Parse()
+
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mostserver: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	var node *cluster.Node
+	var zoneMap *cluster.ZoneMap
+	selfAddr := ""
+	if *zoneFlag != "" {
+		selfAddr = *advertise
+		if selfAddr == "" {
+			selfAddr = *addr
+			if strings.HasPrefix(selfAddr, ":") {
+				selfAddr = "127.0.0.1" + selfAddr
+			}
+		}
+		own, err := parseZone(*zoneFlag, selfAddr)
+		if err != nil {
+			fatalf("-zone: %v", err)
+		}
+		zones := []wire.Zone{own}
+		if *peersFlag != "" {
+			for _, entry := range strings.Split(*peersFlag, ";") {
+				peerAddr, rect, ok := strings.Cut(strings.TrimSpace(entry), "=")
+				if !ok {
+					fatalf("-peers: entry %q is not addr=x0,y0,x1,y1", entry)
+				}
+				z, err := parseZone(rect, peerAddr)
+				if err != nil {
+					fatalf("-peers: entry %q: %v", entry, err)
+				}
+				zones = append(zones, z)
+			}
+		}
+		var replicated []string
+		for _, c := range strings.Split(*replicatedFlag, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				replicated = append(replicated, c)
+			}
+		}
+		zoneMap, err = cluster.NewMap(zones, replicated)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// The per-boot nonce keeps this incarnation's peer request IDs
+		// distinct from a previous process's recovered receipts.
+		node = cluster.NewNode(fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano()), nil)
+		node.Install(zoneMap)
+	} else if *peersFlag != "" || *advertise != "" || *replicatedFlag != "" {
+		fatalf("-peers/-advertise/-replicated need -zone")
+	}
 
 	reg := obs.New()
 	health := &obs.Health{}
@@ -102,8 +174,13 @@ func main() {
 		MaxInflight:     *maxInflight,
 		CheckpointEvery: *checkpointEvery,
 	}
+	if node != nil {
+		cfg.Cluster = node
+		cfg.PeerMaxPayload = 64 << 20
+	}
 
 	var srv *mostdb.Server
+	fresh := true
 	if *walDir != "" {
 		durable, info, err := mostdb.NewDurableServer(*walDir, cfg, world)
 		if err != nil {
@@ -112,6 +189,7 @@ func main() {
 			os.Exit(1)
 		}
 		srv = durable
+		fresh = info.Fresh
 		if info.Fresh {
 			fmt.Printf("mostserver: fresh durable start in %s (seeded world logged as base image)\n", *walDir)
 		} else {
@@ -133,6 +211,27 @@ func main() {
 		srv = mostdb.NewServer(db, eng, cfg)
 	}
 
+	if node != nil {
+		node.Bind(srv, selfAddr)
+		if fresh {
+			// Shard bootstrap: the seeded world is built whole on every
+			// node, then pruned to the objects this zone owns.
+			if err := node.Prune(); err != nil {
+				fatalf("prune shard: %v", err)
+			}
+			fmt.Printf("mostserver: cluster node %s owns zone %s (%d zones in map)\n", selfAddr, *zoneFlag, len(zoneMap.Zones))
+		} else {
+			// A recovered shard may hold objects that were mid-handoff at
+			// the crash: freeze them and re-offer to the zone owner rather
+			// than accept writes on possibly-released copies.
+			q, err := node.Quarantine()
+			if err != nil {
+				fatalf("quarantine recovered shard: %v", err)
+			}
+			fmt.Printf("mostserver: cluster node %s recovered; %d out-of-zone objects quarantined for re-handoff\n", selfAddr, q)
+		}
+	}
+
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "mostserver:", err)
 		os.Exit(1)
@@ -152,4 +251,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mostserver: shutdown:", err)
 		os.Exit(1)
 	}
+}
+
+// parseZone parses "x0,y0,x1,y1" into a zone owned by addr.
+func parseZone(rect, addr string) (wire.Zone, error) {
+	parts := strings.Split(strings.TrimSpace(rect), ",")
+	if len(parts) != 4 {
+		return wire.Zone{}, fmt.Errorf("want x0,y0,x1,y1, got %q", rect)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return wire.Zone{}, fmt.Errorf("coordinate %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	return wire.Zone{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3], Addr: addr}, nil
 }

@@ -89,9 +89,15 @@ func (e errTransport) Unwrap() error { return e.err }
 // response).  Code, when non-empty, is one of the wire.Code* constants;
 // requests shed by admission control (wire.CodeOverloaded) are retried
 // automatically within the retry budget, every other ServerError is final.
+// Addr accompanies wire.CodeWrongZone: the address of the cluster node
+// that owns the rejected object, for the caller to redirect to.  For a
+// mixed batch Addr is empty and Redirects (when present) names the owner
+// of each op instead, so the caller can regroup in one step.
 type ServerError struct {
-	Code string
-	Msg  string
+	Code      string
+	Msg       string
+	Addr      string
+	Redirects []string
 }
 
 func (e *ServerError) Error() string { return "server: " + e.Msg }
@@ -147,6 +153,22 @@ func WithJitterSeed(seed int64) Option {
 	return func(c *Client) { c.jitterSeed, c.jitterSeeded = seed, true }
 }
 
+// WithResolver installs an address resolver consulted before every
+// reconnect (never the initial dial): it receives the previous address and
+// returns the one to dial next.  A cluster router uses this so a healing
+// subscription re-resolves the node that now owns its objects via the zone
+// map, instead of redialing a fixed address that may have lost them (or
+// died for good).  Errors and empty returns fall back to the previous
+// address.
+func WithResolver(resolve func(prev string) (string, error)) Option {
+	return func(c *Client) { c.resolve = resolve }
+}
+
+// WithPeer marks the connection as cluster-internal in its Hello: the
+// server (when configured with a PeerMaxPayload) raises the frame bound so
+// bulk handoff transfers fit.  Ordinary clients never set this.
+func WithPeer() Option { return func(c *Client) { c.peer = true } }
+
 // WithObs instruments the client: client.reconnects counts successful
 // re-establishments of a previously lost connection, and
 // client.resume_gap_rows counts answer rows delivered by subscription
@@ -167,6 +189,8 @@ type Client struct {
 	jitterSeeded bool
 	maxPayload   int
 	wantProto    int // highest protocol version offered in Hello
+	peer         bool
+	resolve      func(prev string) (string, error)
 	reg          *obs.Registry
 
 	reconnects    *obs.Counter
@@ -251,6 +275,15 @@ func (c *Client) connectLocked() error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.resolve != nil && c.gen > 0 {
+		// Reconnect: the party we should talk to may have moved (a cluster
+		// rebalance, a replacement node).  Re-resolve; failures keep the
+		// previous address so healing still works when the resolver's own
+		// source is down.
+		if addr, err := c.resolve(c.addr); err == nil && addr != "" {
+			c.addr = addr
+		}
+	}
 	conn, err := c.dial(c.addr)
 	if err != nil {
 		return errTransport{err}
@@ -263,7 +296,7 @@ func (c *Client) connectLocked() error {
 	// Hello is always version 1, whatever we hope to negotiate: a v1-only
 	// server must be able to read it (and will ignore the max_version
 	// field, answering Version 1 — the graceful downgrade).
-	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id, MaxVersion: c.wantProto, Epoch: c.epoch})
+	f, err := wire.Encode(wire.OpHello, id, wire.HelloReq{ClientID: c.id, MaxVersion: c.wantProto, Epoch: c.epoch, Peer: c.peer})
 	if err != nil {
 		conn.Close()
 		return err
@@ -605,7 +638,7 @@ func (c *Client) call(op wire.Opcode, payload, out any) error {
 			if resp.Op == wire.OpError {
 				var e wire.ErrorResp
 				_ = wire.Unmarshal(resp, &e)
-				serr := &ServerError{Code: e.Code, Msg: e.Msg}
+				serr := &ServerError{Code: e.Code, Msg: e.Msg, Addr: e.Addr, Redirects: e.Redirects}
 				if e.Code == wire.CodeOverloaded {
 					// Shed by admission control: transient by definition,
 					// so retried under backoff like a transport failure.
@@ -765,6 +798,34 @@ func (c *Client) SnapshotSave() ([]byte, error) {
 func (c *Client) SnapshotLoad(data []byte) (wire.SnapshotLoadResp, error) {
 	var resp wire.SnapshotLoadResp
 	err := c.call(wire.OpSnapshotLoad, &wire.SnapshotLoadReq{Data: data}, &resp)
+	return resp, err
+}
+
+// ---- cluster calls ----
+
+// ZoneMap fetches the cluster topology from a cluster node.
+func (c *Client) ZoneMap() (wire.ZoneMapResp, error) {
+	var resp wire.ZoneMapResp
+	err := c.call(wire.OpZoneMap, nil, &resp)
+	return resp, err
+}
+
+// Handoff transfers one object's motion record to this node (peer-to-peer
+// use by cluster nodes).  Retries retransmit the same request ID, so the
+// receiver's idempotence cache plus the version fence give exactly-once
+// application however often the transfer is redelivered.
+func (c *Client) Handoff(req *wire.HandoffReq) (wire.HandoffResp, error) {
+	var resp wire.HandoffResp
+	err := c.call(wire.OpHandoff, req, &resp)
+	return resp, err
+}
+
+// Forward relays an update batch to this node on behalf of req.Origin
+// (peer-to-peer use).  The receiver executes it under the origin identity
+// and request ID, preserving cluster-wide idempotence.
+func (c *Client) Forward(req *wire.ForwardReq) (wire.UpdateBatchResp, error) {
+	var resp wire.UpdateBatchResp
+	err := c.call(wire.OpForward, req, &resp)
 	return resp, err
 }
 

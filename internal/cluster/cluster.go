@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/mostdb/most/internal/geom"
+	"github.com/mostdb/most/internal/most"
+	"github.com/mostdb/most/internal/query"
+	"github.com/mostdb/most/internal/server"
+)
+
+// Config parameterizes a loopback cluster (Start).  Production
+// deployments wire the same pieces by hand — cmd/mostserver's -zone and
+// -peers flags run one Node per process; Start exists for tests,
+// benchmarks, and the chaos harness, which want N nodes in one process.
+type Config struct {
+	Nodes        int       // node count (each serves on 127.0.0.1:0)
+	GridX, GridY int       // zone grid tiling Bounds
+	Bounds       geom.Rect // the plane the zones cover
+	Replicated   []string  // classes kept in full on every node
+
+	// Seed builds the full world; every node builds it identically and
+	// prunes down to its shard, so class definitions (and replicated
+	// objects) exist everywhere without a schema-transfer protocol.
+	Seed func() (*most.Database, error)
+
+	// Opts configures each node's query engine (horizon, regions).
+	Opts query.Options
+
+	// Durable, when set, runs every node on a write-ahead log under
+	// Dir/node<i>, checkpointing every CheckpointEvery mutations.
+	Durable         bool
+	Dir             string
+	CheckpointEvery int
+
+	// Dial, when non-nil, carries the inter-node (peer) connections —
+	// the chaos harness wraps it in partition gates.  Router connections
+	// take their own dialer at NewRouter time.
+	Dial func(addr string) (net.Conn, error)
+
+	// PeerMaxPayload is the raised frame bound peer sessions negotiate
+	// (0 = 64 MiB).  Handoff frames carry whole motion records and may
+	// exceed the client-facing default.
+	PeerMaxPayload int
+}
+
+// Cluster is a running set of nodes, one server each, sharing a static
+// zone map.
+type Cluster struct {
+	cfg   Config
+	zm    *ZoneMap
+	addrs []string
+	nodes []*Node
+	srvs  []*server.Server
+	boots int // restart counter, keeps per-boot peer identities distinct
+}
+
+// Start listens on every node's port first (so the zone map can name
+// real addresses), builds and installs the map, seeds and prunes each
+// node's shard, and only then begins serving.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.Seed == nil {
+		return nil, fmt.Errorf("cluster: config needs a Seed world")
+	}
+	if cfg.PeerMaxPayload == 0 {
+		cfg.PeerMaxPayload = 64 << 20
+	}
+	c := &Cluster{cfg: cfg}
+	lns := make([]net.Listener, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		lns[i] = ln
+		c.addrs = append(c.addrs, ln.Addr().String())
+	}
+	zm, err := NewGridMap(cfg.Bounds, cfg.GridX, cfg.GridY, c.addrs, cfg.Replicated)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.zm = zm
+	for i := 0; i < cfg.Nodes; i++ {
+		node, srv, err := c.startNode(i, true)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		c.srvs = append(c.srvs, srv)
+		go srv.Serve(lns[i])
+	}
+	return c, nil
+}
+
+// startNode builds node i: its hooks, server (durable or not), zone map
+// installation, and — on a fresh database only — the bootstrap prune.
+func (c *Cluster) startNode(i int, fresh bool) (*Node, *server.Server, error) {
+	node := NewNode(fmt.Sprintf("b%d-%d", c.boots, i), c.cfg.Dial)
+	scfg := server.Config{
+		Name:            fmt.Sprintf("node%d", i),
+		BaseOptions:     c.cfg.Opts,
+		Cluster:         node,
+		PeerMaxPayload:  c.cfg.PeerMaxPayload,
+		CheckpointEvery: c.cfg.CheckpointEvery,
+	}
+	var srv *server.Server
+	prune := true
+	if c.cfg.Durable {
+		s, info, err := server.NewDurable(c.nodeDir(i), scfg, func() *most.Database {
+			db, err := c.cfg.Seed()
+			if err != nil {
+				panic(fmt.Sprintf("cluster: seed node %d: %v", i, err))
+			}
+			return db
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		srv = s
+		// A recovered shard is already pruned — and may legitimately hold
+		// objects whose position has left its zones (handoffs interrupted
+		// by the crash).  Those must transfer, not vanish: the first
+		// rebalance barrier hands them off.
+		prune = info.Fresh
+	} else {
+		db, err := c.cfg.Seed()
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: seed node %d: %w", i, err)
+		}
+		srv = server.New(db, query.NewEngine(db), scfg)
+	}
+	node.Bind(srv, c.addrs[i])
+	node.Install(c.zm)
+	if fresh && prune {
+		if err := node.Prune(); err != nil {
+			return nil, nil, err
+		}
+	} else if c.cfg.Durable && !prune {
+		// Recovered shard: every out-of-zone object it still holds may
+		// have been mid-handoff at the crash — freeze and re-offer them
+		// instead of accepting writes on possibly-released copies.
+		if _, err := node.Quarantine(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return node, srv, nil
+}
+
+func (c *Cluster) nodeDir(i int) string {
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("node%d", i))
+}
+
+// Addrs returns the node addresses in zone-map order.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Node returns node i's hook object (handoff counters, zone map).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// ZoneMap returns the cluster's (static) zone map.
+func (c *Cluster) ZoneMap() *ZoneMap { return c.zm }
+
+// Router connects a new router to the cluster.  dial carries the
+// client-side connections (nil = TCP).
+func (c *Cluster) Router(dial func(addr string) (net.Conn, error)) (*Router, error) {
+	c.boots++
+	return NewRouter(c.addrs[0], fmt.Sprintf("r%d", c.boots), dial)
+}
+
+// Kill hard-stops node i as a crash would: no drain, no checkpoint.  Its
+// peers' in-flight handoffs toward it ride their retry loops until
+// Restart brings it back.
+func (c *Cluster) Kill(i int) {
+	c.srvs[i].Abort()
+	c.nodes[i].closePeers()
+}
+
+// Restart recovers node i from its durable directory and serves again on
+// the same address.  The node comes back with empty fences and
+// tombstones — the crash-recovery argument in the package comment is
+// exactly about healing that loss.
+func (c *Cluster) Restart(i int) error {
+	if !c.cfg.Durable {
+		return fmt.Errorf("cluster: restart requires a durable cluster")
+	}
+	c.boots++
+	node, srv, err := c.startNode(i, false)
+	if err != nil {
+		return err
+	}
+	node.Install(c.zm)
+	// Rebinding the port a killed server just held can race the kernel's
+	// release; retry briefly (same discipline as the chaos harness).
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", c.addrs[i])
+		if err == nil {
+			break
+		}
+		if attempt > 200 {
+			return fmt.Errorf("cluster: rebind %s: %w", c.addrs[i], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.nodes[i] = node
+	c.srvs[i] = srv
+	go srv.Serve(ln)
+	return nil
+}
+
+// Checkpoint forces a durable checkpoint on every node.
+func (c *Cluster) Checkpoint() error {
+	for i, srv := range c.srvs {
+		if err := srv.Checkpoint(); err != nil {
+			return fmt.Errorf("cluster: checkpoint node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close aborts every node and closes peer connections.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.closePeers()
+		}
+	}
+	for _, s := range c.srvs {
+		if s != nil {
+			s.Abort()
+		}
+	}
+}
+
+// Scrub removes a durable cluster's data directory.
+func Scrub(dir string) error { return os.RemoveAll(dir) }

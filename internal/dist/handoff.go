@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"sort"
+
+	"github.com/mostdb/most/internal/faults"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// This file models internal/cluster's version-fenced object handoff at the
+// simulation level, over the same fault-injecting network the delivery and
+// propagation models use.  The live cluster has two idempotence layers and
+// both appear here with a faithful analog:
+//
+//   - the transport layer retries a transfer under one identity until it is
+//     acknowledged or abandoned (live: the peer client's request ID and the
+//     receiver's receipt replay; here: the Endpoint's transfer ID and its
+//     dedup filter), and
+//   - the handoff layer re-offers an abandoned transfer under a *fresh*
+//     identity (live: the next rebalance barrier or the in-doubt retry loop
+//     minting a new request; here: a new Send), where only the version
+//     fence stands between a stale re-offer and a double apply.
+//
+// The receiver applies an offer only when its version beats the object's
+// fence; anything at or below the fence is acknowledged — releasing the
+// sender — without touching state.  The tests script ack-eating partitions
+// and stale re-offers against this model to pin the edge cases the
+// end-to-end chaos suite can only hit probabilistically: a duplicate
+// acknowledgement must never double-apply, and a reordered (stale) offer
+// must never regress the object's state.
+
+// HandoffSpec is one scripted fenced transfer offer: at tick At the sender
+// offers Object's state under Version.
+type HandoffSpec struct {
+	Object  string
+	Version uint64
+	State   int
+	At      temporal.Tick
+}
+
+// OwnedState is what the receiver holds for one object.
+type OwnedState struct {
+	Version uint64
+	State   int
+}
+
+// HandoffStats counts one handoff run.
+type HandoffStats struct {
+	Offered      int // scripted offers sent (re-offers not included)
+	Applied      int // offers whose version beat the fence: state installed
+	FenceRejects int // offers acknowledged without applying (version <= fence)
+	DupFrames    int // retransmitted frames the transfer layer suppressed
+	Retries      int // transport-level retransmissions
+	Abandoned    int // transfers dropped after the transport retry cap
+	ReOffers     int // abandoned transfers re-offered under a fresh identity
+	Released     int // acknowledgements received by the sender
+}
+
+// RunHandoffs drives a scripted sequence of fenced transfers from one node
+// to another until the network reaches tick until, and returns the
+// receiver's final per-object state alongside the counters.  When reOffer
+// is set, a transfer the transport abandons is immediately re-sent under a
+// fresh transfer ID — the model of the cluster's next-barrier retry, which
+// is exactly the path where the version fence (not transport dedup) must
+// provide idempotence.
+func RunHandoffs(net *faults.Network, from, to faults.NodeID, policy faults.RetryPolicy, script []HandoffSpec, reOffer bool, until temporal.Tick) (HandoffStats, map[string]OwnedState) {
+	stats := HandoffStats{}
+	state := map[string]OwnedState{}
+	fence := map[string]uint64{}
+
+	receiver := faults.NewEndpoint(net, to, policy)
+	receiver.OnDeliver = func(_ faults.NodeID, _ uint64, payload any) {
+		h, ok := payload.(HandoffSpec)
+		if !ok {
+			return
+		}
+		if h.Version <= fence[h.Object] {
+			stats.FenceRejects++
+			return
+		}
+		fence[h.Object] = h.Version
+		state[h.Object] = OwnedState{Version: h.Version, State: h.State}
+		stats.Applied++
+	}
+
+	sender := faults.NewEndpoint(net, from, policy)
+	inflight := map[uint64]HandoffSpec{}
+	var order []uint64 // send order; the endpoint abandons oldest-first
+	sender.OnAcked = func(tid uint64) {
+		if _, ok := inflight[tid]; ok {
+			delete(inflight, tid)
+			stats.Released++
+		}
+	}
+
+	sorted := append([]HandoffSpec{}, script...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	next := 0
+	offerDue := func(now temporal.Tick) {
+		for next < len(sorted) && sorted[next].At <= now {
+			h := sorted[next]
+			next++
+			tid := sender.Send(to, 64, h)
+			inflight[tid] = h
+			order = append(order, tid)
+			stats.Offered++
+		}
+	}
+
+	offerDue(net.Now())
+	abandoned := 0
+	for net.Now() < until {
+		net.Step()
+		offerDue(net.Now())
+		sender.Tick()
+		receiver.Tick()
+		// The endpoint abandons exhausted transfers oldest-first; mirror
+		// that scan to learn which offers died, and re-offer them under a
+		// fresh transfer ID if asked.
+		if a := sender.Stats().Abandoned; a > abandoned {
+			dropped := a - abandoned
+			abandoned = a
+			live := order[:0]
+			for _, tid := range order {
+				h, pending := inflight[tid]
+				if pending && dropped > 0 {
+					dropped--
+					delete(inflight, tid)
+					if reOffer {
+						nt := sender.Send(to, 64, h)
+						inflight[nt] = h
+						live = append(live, nt)
+						stats.ReOffers++
+					}
+					continue
+				}
+				if pending {
+					live = append(live, tid)
+				}
+			}
+			order = live
+		}
+	}
+
+	ss := sender.Stats()
+	stats.Retries = ss.Retries
+	stats.Abandoned = ss.Abandoned
+	stats.DupFrames = receiver.Stats().DupsSeen
+	return stats, state
+}

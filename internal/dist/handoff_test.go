@@ -1,0 +1,176 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/mostdb/most/internal/faults"
+	"github.com/mostdb/most/internal/temporal"
+)
+
+// These tests pin the two idempotence layers of the fenced-handoff model
+// (handoff.go) under scripted faults.  Each scenario is fully
+// deterministic: the partition windows are chosen around the known
+// one-tick transit delay and the retry policy's timeouts, so the exact
+// sequence of frames, retransmissions, abandonments and re-offers is
+// forced, not sampled.
+
+const (
+	sender   = faults.NodeID("zoneA")
+	receiver = faults.NodeID("zoneB")
+)
+
+// TestHandoffLostAckSameTID drops the acknowledgment after the state
+// transfer applied: the sender retransmits under the same transfer ID, the
+// receiver's dedup filter suppresses the duplicate frame, and the re-sent
+// ack releases the sender.  Exactly one apply, despite the wire seeing the
+// transfer twice.
+func TestHandoffLostAckSameTID(t *testing.T) {
+	net := faults.New(faults.Config{Seed: 1})
+	// Offer goes out at tick 1 and lands at tick 2; the partition opens at
+	// exactly tick 2, so the state transfer is applied but its ack — sent
+	// from inside the partition window — is lost, as is every retransmit
+	// until the window closes.
+	net.AddPartition(faults.Partition{Start: 2, End: 8, GroupA: []faults.NodeID{sender}})
+	policy := faults.RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: -1}
+
+	stats, state := RunHandoffs(net, sender, receiver, policy,
+		[]HandoffSpec{{Object: "car-1", Version: 1, State: 7, At: 1}},
+		false, 14)
+
+	if stats.Applied != 1 {
+		t.Fatalf("applied %d times, want exactly 1 (double-apply on duplicate ack path)", stats.Applied)
+	}
+	if stats.DupFrames == 0 {
+		t.Fatalf("no duplicate frame suppressed: the lost-ack retransmit never reached the dedup filter (stats %+v)", stats)
+	}
+	if stats.Retries == 0 {
+		t.Fatalf("no retransmissions: the ack was not actually lost (stats %+v)", stats)
+	}
+	if stats.Released != 1 {
+		t.Fatalf("sender released %d times, want 1 (stats %+v)", stats.Released, stats)
+	}
+	if stats.FenceRejects != 0 || stats.ReOffers != 0 {
+		t.Fatalf("same-TID retry must be absorbed below the fence, got %+v", stats)
+	}
+	if got := state["car-1"]; got != (OwnedState{Version: 1, State: 7}) {
+		t.Fatalf("receiver holds %+v, want version 1 state 7", got)
+	}
+}
+
+// TestHandoffAbandonedReofferFenceRejected forces the transport to give up
+// (tight retry cap inside a long partition) so the handoff layer re-offers
+// the same transfer under a fresh transfer ID.  The receiver already
+// applied the original frame, and the fresh ID sails past the dedup
+// filter — only the version fence stands between the re-offer and a
+// double apply.  The fence must reject it while still acknowledging, so
+// the sender is released.
+func TestHandoffAbandonedReofferFenceRejected(t *testing.T) {
+	net := faults.New(faults.Config{Seed: 1})
+	net.AddPartition(faults.Partition{Start: 2, End: 12, GroupA: []faults.NodeID{sender}})
+	// One retransmission, then abandon: the original transfer dies at tick
+	// 5, well inside the partition, and every re-offer until tick 12 dies
+	// the same way.  The first post-heal re-offer is the one that lands.
+	policy := faults.RetryPolicy{Timeout: 2, Backoff: 1, MaxRetries: 1}
+
+	stats, state := RunHandoffs(net, sender, receiver, policy,
+		[]HandoffSpec{{Object: "car-2", Version: 3, State: 11, At: 1}},
+		true, 18)
+
+	if stats.Applied != 1 {
+		t.Fatalf("applied %d times, want exactly 1 (fence failed on fresh-TID re-offer)", stats.Applied)
+	}
+	if stats.FenceRejects == 0 {
+		t.Fatalf("no fence rejection: the re-offer never exercised the version fence (stats %+v)", stats)
+	}
+	if stats.Abandoned == 0 || stats.ReOffers == 0 {
+		t.Fatalf("scenario did not abandon and re-offer as scripted (stats %+v)", stats)
+	}
+	if stats.DupFrames != 0 {
+		t.Fatalf("dedup filter caught the re-offer (%+v) — fresh TIDs must bypass it so the fence is what is tested", stats)
+	}
+	if stats.Released != 1 {
+		t.Fatalf("sender released %d times, want 1: a fence rejection must still acknowledge (stats %+v)", stats.Released, stats)
+	}
+	if got := state["car-2"]; got != (OwnedState{Version: 3, State: 11}) {
+		t.Fatalf("receiver holds %+v, want version 3 state 11", got)
+	}
+}
+
+// TestHandoffStaleOfferAfterNewerVersion models the amnesiac-sender
+// reorder: version 1 is offered and applied, version 2 supersedes it, and
+// then version 1 is offered again (a recovered sender whose fences were
+// lost re-offering from its quarantine).  The stale offer must be
+// acknowledged — it is the only way the confused sender ever releases —
+// but must not regress the receiver's state.
+func TestHandoffStaleOfferAfterNewerVersion(t *testing.T) {
+	net := faults.New(faults.Config{Seed: 1})
+
+	stats, state := RunHandoffs(net, sender, receiver, faults.DefaultRetryPolicy,
+		[]HandoffSpec{
+			{Object: "car-3", Version: 1, State: 100, At: 1},
+			{Object: "car-3", Version: 2, State: 200, At: 3},
+			{Object: "car-3", Version: 1, State: 100, At: 5}, // stale re-offer
+		},
+		false, 10)
+
+	if stats.Applied != 2 {
+		t.Fatalf("applied %d times, want 2 (v1 then v2)", stats.Applied)
+	}
+	if stats.FenceRejects != 1 {
+		t.Fatalf("fence rejected %d offers, want exactly 1 (the stale v1)", stats.FenceRejects)
+	}
+	if stats.Released != 3 {
+		t.Fatalf("released %d transfers, want all 3 acknowledged (stale offers included)", stats.Released)
+	}
+	if got := state["car-3"]; got != (OwnedState{Version: 2, State: 200}) {
+		t.Fatalf("receiver regressed to %+v, want version 2 state 200", got)
+	}
+}
+
+// TestHandoffSeededSoak runs many versioned transfers per object through
+// a lossy, delaying, duplicating network with retry-forever transport.
+// Delay variance reorders offers freely; whatever order frames land in,
+// the fence must leave each object at its highest offered version and
+// every transfer must eventually release its sender.
+func TestHandoffSeededSoak(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		net := faults.New(faults.Config{
+			Seed:     seed,
+			DropRate: 0.15,
+			DelayMin: 1, DelayMax: 3,
+			DupRate: 0.1,
+		})
+		policy := faults.RetryPolicy{Timeout: 2, Backoff: 2, MaxTimeout: 8, MaxRetries: -1}
+
+		const objects, versions = 5, 4
+		var script []HandoffSpec
+		for o := 0; o < objects; o++ {
+			for v := 1; v <= versions; v++ {
+				script = append(script, HandoffSpec{
+					Object:  string(rune('a' + o)),
+					Version: uint64(v),
+					State:   o*100 + v,
+					At:      temporal.Tick(1 + v*4 + o),
+				})
+			}
+		}
+
+		stats, state := RunHandoffs(net, sender, receiver, policy, script, false, 160)
+
+		if stats.Released != len(script) {
+			t.Fatalf("seed %d: released %d of %d transfers — retry-forever transport left offers hanging (stats %+v)",
+				seed, stats.Released, len(script), stats)
+		}
+		if stats.Applied+stats.FenceRejects < len(script) {
+			t.Fatalf("seed %d: only %d offers reached a verdict, want >= %d (stats %+v)",
+				seed, stats.Applied+stats.FenceRejects, len(script), stats)
+		}
+		for o := 0; o < objects; o++ {
+			id := string(rune('a' + o))
+			want := OwnedState{Version: versions, State: o*100 + versions}
+			if got := state[id]; got != want {
+				t.Fatalf("seed %d: object %s settled at %+v, want %+v", seed, id, got, want)
+			}
+		}
+	}
+}

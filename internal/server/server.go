@@ -108,7 +108,76 @@ type Config struct {
 	// every N mutating requests; 0 checkpoints only on explicit Checkpoint
 	// calls and clean Shutdown.  Ignored by plain New servers.
 	CheckpointEvery int
+	// Cluster, when set, makes this server one node of a spatially
+	// partitioned cluster (internal/cluster): updates are gated on zone
+	// ownership, OpZoneMap/OpHandoff/OpForward are served, and every
+	// committed mutation triggers a handoff scan.  Nil (the default) keeps
+	// single-node behavior exactly as before.
+	Cluster ClusterHooks
+	// PeerMaxPayload raises the decoder's per-frame payload bound for
+	// sessions that identify as cluster peers (HelloReq.Peer), so bulk
+	// handoff frames can exceed the client-facing MaxPayload cap without
+	// loosening the hostile-input limit for ordinary connections.  0 keeps
+	// peers at MaxPayload.
+	PeerMaxPayload int
 }
+
+// ClusterHooks is how a cluster node (internal/cluster) plugs into the
+// server's request path.  All methods are called from session goroutines
+// and must be safe for concurrent use.  The interface lives here, and the
+// implementation in internal/cluster, so server does not import cluster.
+type ClusterHooks interface {
+	// RouteOp classifies one update op: owned reports whether this node
+	// may apply it (it owns the object's zone, the class is replicated, or
+	// the op is positionless).  When owned is false, addr is the owning
+	// node's address ("" when unknown).  frozen reports an object mid-
+	// handoff: the caller must reject with a retryable error rather than
+	// apply or relay.
+	RouteOp(op *wire.UpdateOp) (addr string, owned, frozen bool)
+	// ZoneMap returns the cluster topology served to OpZoneMap requests.
+	ZoneMap() *wire.ZoneMapResp
+	// Handoff applies an incoming object transfer (receiver side), fenced
+	// by req.Version so duplicates acknowledge without re-applying.  prov
+	// (non-nil on a durable node) stamps the apply for crash recovery.
+	Handoff(req *wire.HandoffReq, prov *most.Prov) (*wire.HandoffResp, error)
+	// Relay forwards a whole batch to the owning node on behalf of the
+	// origin client (used when every op in a client batch belongs to one
+	// foreign node).  The response or error is returned verbatim.
+	Relay(addr string, req *wire.ForwardReq) (*wire.UpdateBatchResp, error)
+	// AfterCommit runs on the session goroutine after a mutation commits:
+	// touched lists the object IDs written by the batch (nil after a clock
+	// advance, meaning scan everything).  The node checks each for zone
+	// exits and hands off movers before the call returns, so a quiesced
+	// cluster has no undelivered handoffs.
+	AfterCommit(touched []string)
+}
+
+// RelayError carries a typed failure from a relayed batch back to the
+// origin client with its machine-readable code (and redirect address)
+// intact, so retry semantics survive the extra hop.
+type RelayError struct {
+	Code string
+	Msg  string
+	Addr string
+}
+
+func (e *RelayError) Error() string { return e.Msg }
+
+// WithCommitLock runs fn holding the durable commit lock shared, so a
+// cluster node's out-of-band local mutations (deleting an object once its
+// handoff is acknowledged) cannot interleave with a checkpoint's
+// snapshot/WAL truncation.  On a non-durable server the lock is a
+// formality and fn just runs.
+func (srv *Server) WithCommitLock(fn func()) {
+	srv.commitMu.RLock()
+	defer srv.commitMu.RUnlock()
+	fn()
+}
+
+// DB returns the server's live database — the current one, tracking any
+// snapshot-load swap.  Cluster nodes read through this instead of caching
+// the pointer NewDurable built.
+func (srv *Server) DB() *most.Database { return srv.state().db }
 
 func (c Config) normalized() Config {
 	if c.MaxPayload <= 0 {

@@ -57,10 +57,24 @@ type session struct {
 	// Reader-goroutine-only per-request state: when the request entered
 	// handling (deadline accounting), how many leading batch ops a retry of
 	// a crashed request must skip (recovery roll-forward), and the error
-	// code of the response being produced ("" for plain errors/successes).
+	// code of the response being produced ("" for plain errors/successes;
+	// any typed code means the request was refused without executing, so
+	// its dedup reservation must be forgotten rather than replayed).
 	reqStart    time.Time
 	rollForward int
 	lastCode    string
+
+	// Reader-goroutine-only cluster state: peer marks a session that
+	// identified as another node (HelloReq.Peer — gets the raised decoder
+	// bound); inForward/forwardOrigin are set while executing a relayed
+	// batch on behalf of the origin client (the batch may not be relayed
+	// again — one hop only); touched/scanAll accumulate what the request
+	// mutated so the post-dispatch handoff scan knows where to look.
+	peer          bool
+	inForward     bool
+	forwardOrigin string
+	touched       []string
+	scanAll       bool
 
 	// Writer-goroutine-only frame serialization buffer.
 	wbuf []byte
@@ -97,7 +111,15 @@ func newSession(srv *Server, conn net.Conn) *session {
 func (s *session) run() {
 	go s.writeLoop()
 	dec := wire.NewDecoder(bufio.NewReaderSize(s.conn, 64<<10), s.srv.cfg.MaxPayload)
+	peerRaised := false
 	for {
+		if s.peer && !peerRaised && s.srv.cfg.PeerMaxPayload > 0 {
+			// The session identified as a cluster peer in its Hello: raise
+			// the frame bound so bulk handoff transfers fit.  Ordinary
+			// connections keep the hostile-input cap.
+			dec.SetMax(s.srv.cfg.PeerMaxPayload)
+			peerRaised = true
+		}
 		dec.SetVersion(uint8(s.proto.Load()))
 		f, err := dec.NextReuse()
 		if err != nil {
@@ -268,7 +290,21 @@ func (s *session) handle(f wire.Frame) {
 	s.reqStart = time.Now()
 	m.inflight.Add(1)
 	t0 := m.reg.Start()
+	s.touched = s.touched[:0]
+	s.scanAll = false
 	resp := s.dispatch(f)
+	if hooks := s.srv.cfg.Cluster; hooks != nil && (s.scanAll || len(s.touched) > 0) {
+		// Handoff scan: runs after the commit lock is released (no lock is
+		// held across the peer network calls) but before the response is
+		// enqueued, so when a caller's request returns, every zone exit it
+		// caused has already been transferred — a quiesced cluster has no
+		// handoffs in flight.
+		if s.scanAll {
+			hooks.AfterCommit(nil)
+		} else {
+			hooks.AfterCommit(s.touched)
+		}
+	}
 	m.opHist(f.Op).Since(t0)
 	m.inflight.Add(-1)
 	if resp.Op == wire.OpError {
@@ -291,16 +327,27 @@ func (s *session) deadlineFrame(id uint64) wire.Frame {
 		&wire.ErrorResp{Msg: "deadline expired before execution", Code: wire.CodeDeadlineExceeded})
 }
 
+// reqClientID is the identity mutations execute under: the session's
+// Hello-bound client, or — while executing a relayed batch — the origin
+// client the owning node acts on behalf of, so idempotence and provenance
+// stay keyed to the real author cluster-wide.
+func (s *session) reqClientID() string {
+	if s.inForward {
+		return s.forwardOrigin
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clientID
+}
+
 // dispatch routes one request.  Mutating opcodes pass through the client's
 // idempotence cache when a Hello established one, and through the durable
 // commit protocol on a durable server.
 func (s *session) dispatch(f wire.Frame) wire.Frame {
 	switch f.Op {
-	case wire.OpUpdateBatch, wire.OpAdvance, wire.OpSnapshotLoad:
-		s.mu.Lock()
-		cache := s.dedup
-		clientID := s.clientID
-		s.mu.Unlock()
+	case wire.OpUpdateBatch, wire.OpAdvance, wire.OpSnapshotLoad, wire.OpHandoff:
+		clientID := s.reqClientID()
+		cache := s.srv.dedupFor(clientID)
 		if s.srv.durable {
 			return s.dispatchDurable(f, clientID, cache)
 		}
@@ -315,9 +362,10 @@ func (s *session) dispatch(f wire.Frame) wire.Frame {
 		}
 		s.lastCode = ""
 		resp := s.execute(f)
-		if s.lastCode == wire.CodeDeadlineExceeded {
-			// Never executed: forget the reservation so a retry with a
-			// fresh budget runs instead of replaying the refusal.
+		if s.lastCode != "" {
+			// Refused without executing (deadline expired, wrong zone,
+			// mid-handoff): forget the reservation so a retry runs afresh
+			// instead of replaying the refusal.
 			cache.remove(f.ID)
 		}
 		// The cache owns a detached copy: the enqueued original may be
@@ -364,7 +412,7 @@ func (s *session) dispatchDurable(f wire.Frame, clientID string, cache *dedupCac
 	var v1 wire.Frame
 	if e != nil {
 		v1 = s.transcodeTo(wire.ProtocolV1, resp, f.Op).Detach()
-		if s.lastCode == wire.CodeDeadlineExceeded {
+		if s.lastCode != "" {
 			cache.remove(f.ID)
 		} else {
 			s.srv.logReceipt(clientID, f.ID, v1)
@@ -409,6 +457,8 @@ func (s *session) transcodeTo(v uint8, f wire.Frame, reqOp wire.Opcode) wire.Fra
 		payload = &wire.AdvanceResp{}
 	case reqOp == wire.OpSnapshotLoad:
 		payload = &wire.SnapshotLoadResp{}
+	case reqOp == wire.OpHandoff:
+		payload = &wire.HandoffResp{}
 	default:
 		return f
 	}
@@ -445,6 +495,12 @@ func (s *session) execute(f wire.Frame) wire.Frame {
 		return s.handleSubscribe(f)
 	case wire.OpUnsubscribe:
 		return s.handleUnsubscribe(f)
+	case wire.OpZoneMap:
+		return s.handleZoneMap(f)
+	case wire.OpHandoff:
+		return s.handleHandoff(f)
+	case wire.OpForward:
+		return s.handleForward(f)
 	default:
 		return s.errFrame(f.ID, fmt.Errorf("server: %s is not a request opcode", f.Op))
 	}
@@ -481,6 +537,7 @@ func (s *session) handleHello(f wire.Frame) wire.Frame {
 	s.clientID = req.ClientID
 	s.dedup = s.srv.dedupFor(req.ClientID)
 	s.mu.Unlock()
+	s.peer = req.Peer
 	v := wire.NegotiateVersion(req.MaxVersion, s.srv.cfg.MaxProtocol)
 	resp, err := wire.EncodeFrame(wire.ProtocolV1, wire.OpResult, f.ID,
 		&wire.HelloResp{Server: s.srv.cfg.Name, Version: int(v), Resumed: resumed})
@@ -538,14 +595,18 @@ func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
 		return s.deadlineFrame(f.ID)
 	}
 	st := s.srv.state()
+	hooks := s.srv.cfg.Cluster
+	if hooks != nil {
+		if rf, done := s.gateBatch(f, req, hooks); done {
+			return rf
+		}
+	}
 	// On a durable server with an identified client, each op is stamped
 	// with provenance so a crash mid-batch is recoverable exactly-once; the
 	// plain path stays allocation-free.  skip > 0 replays a recovered
 	// partial batch: the first skip ops are already in the database.
 	durable := s.srv.durable
-	s.mu.Lock()
-	clientID := s.clientID
-	s.mu.Unlock()
+	clientID := s.reqClientID()
 	skip := s.rollForward
 	t0 := s.srv.m.reg.Start()
 	applied := 0
@@ -562,6 +623,9 @@ func (s *session) handleUpdateBatch(f wire.Frame) wire.Frame {
 		if err := applyOp(st, &req.Ops[i], p); err != nil {
 			failure = fmt.Errorf("op %d (%s %s): %w", applied, req.Ops[i].Op, req.Ops[i].ID, err)
 			break
+		}
+		if hooks != nil && req.Ops[i].ID != "" {
+			s.touched = append(s.touched, req.Ops[i].ID)
 		}
 		applied++
 	}
@@ -635,14 +699,20 @@ func (s *session) handleAdvance(f wire.Frame) wire.Frame {
 	}
 	var p *most.Prov
 	if s.srv.durable {
-		s.mu.Lock()
-		clientID := s.clientID
-		s.mu.Unlock()
-		if clientID != "" {
+		if clientID := s.reqClientID(); clientID != "" {
 			p = &most.Prov{Client: clientID, Req: f.ID}
 		}
 	}
 	now := s.srv.state().db.AdvanceProv(req.D, p)
+	if s.srv.cfg.Cluster != nil && req.D == 0 {
+		// A zero-tick advance is the cluster's rebalance barrier: the router
+		// sends one to every node once all clocks agree, and only then does
+		// the full handoff scan run.  Scanning during a real advance would
+		// evaluate zone ownership while nodes sit at different ticks — the
+		// ownership function is not yet well defined and eager transfers can
+		// ping-pong between neighbors until the clocks catch up.
+		s.scanAll = true
+	}
 	return s.enc(wire.OpResult, f.ID, &wire.AdvanceResp{Now: now})
 }
 
@@ -699,6 +769,172 @@ func (s *session) handleSnapshotLoad(f wire.Frame) wire.Frame {
 	}
 	s.srv.swapState(db)
 	return s.enc(wire.OpResult, f.ID, &wire.SnapshotLoadResp{Now: db.Now(), Objects: db.Count()})
+}
+
+// ---- cluster ----
+
+// gateBatch enforces zone ownership on a cluster node before any op is
+// applied (rejections are therefore always safe to retry elsewhere).  It
+// returns (frame, true) when the batch was handled — relayed to the owner
+// or refused — and (_, false) when every op is this node's to apply.
+func (s *session) gateBatch(f wire.Frame, req *wire.UpdateBatchReq, hooks ClusterHooks) (wire.Frame, bool) {
+	foreignAddr := ""
+	foreign := 0
+	for i := range req.Ops {
+		addr, owned, frozen := hooks.RouteOp(&req.Ops[i])
+		if frozen {
+			// Mid-handoff: ownership is in flight.  Refuse with the one
+			// retryable code — by the retry the transfer has resolved and
+			// the op either applies here or redirects to the new owner.
+			s.lastCode = wire.CodeOverloaded
+			return s.enc(wire.OpError, f.ID, &wire.ErrorResp{
+				Msg:  fmt.Sprintf("object %s is mid-handoff, retry", req.Ops[i].ID),
+				Code: wire.CodeOverloaded,
+			}), true
+		}
+		if owned {
+			continue
+		}
+		foreign++
+		if foreign == 1 {
+			foreignAddr = addr
+		} else if addr != foreignAddr {
+			foreignAddr = "" // mixed destinations: cannot answer with one redirect
+		}
+	}
+	if foreign == 0 {
+		return wire.Frame{}, false
+	}
+	if foreign == len(req.Ops) && foreignAddr != "" && !s.inForward {
+		// The whole batch belongs to one other node: relay it on behalf of
+		// the origin client instead of bouncing it back.  A relayed batch
+		// is never relayed again (one hop); if ownership moved meanwhile
+		// the owner's redirect propagates to the client.
+		return s.relayBatch(f, req, hooks, foreignAddr), true
+	}
+	s.lastCode = wire.CodeWrongZone
+	var redirects []string
+	if foreign < len(req.Ops) || foreignAddr == "" {
+		// Mixed owned/foreign batch (or foreign ops spread over several
+		// owners): a single redirect address would misroute part of the
+		// batch.  Instead answer with per-op owners so the router can
+		// regroup the whole batch in one step; Addr stays empty.
+		foreignAddr = ""
+		redirects = make([]string, len(req.Ops))
+		for i := range req.Ops {
+			if addr, owned, _ := hooks.RouteOp(&req.Ops[i]); !owned {
+				redirects[i] = addr
+			}
+		}
+	}
+	return s.enc(wire.OpError, f.ID, &wire.ErrorResp{
+		Msg:       "update addressed to a zone this node does not own",
+		Code:      wire.CodeWrongZone,
+		Addr:      foreignAddr,
+		Redirects: redirects,
+	}), true
+}
+
+// relayBatch forwards a whole client batch to the owning node.  The remote
+// executes it under the origin's identity and request ID, so cluster-wide
+// idempotence is preserved even when the client later retries the same
+// request directly at the owner.
+func (s *session) relayBatch(f wire.Frame, req *wire.UpdateBatchReq, hooks ClusterHooks, addr string) wire.Frame {
+	resp, err := hooks.Relay(addr, &wire.ForwardReq{Origin: s.reqClientID(), ReqID: f.ID, Ops: req.Ops})
+	if err != nil {
+		var re *RelayError
+		if errors.As(err, &re) {
+			s.lastCode = re.Code
+			return s.enc(wire.OpError, f.ID, &wire.ErrorResp{Msg: re.Msg, Code: re.Code, Addr: re.Addr})
+		}
+		// Transport failure: the owner may or may not have applied the
+		// batch, but its receipt is keyed (origin, request ID), so telling
+		// the client to retry is safe — a duplicate replays the receipt.
+		s.lastCode = wire.CodeOverloaded
+		return s.enc(wire.OpError, f.ID, &wire.ErrorResp{
+			Msg:  fmt.Sprintf("relay to %s failed: %v", addr, err),
+			Code: wire.CodeOverloaded,
+		})
+	}
+	return s.enc(wire.OpResult, f.ID, resp)
+}
+
+func (s *session) handleZoneMap(f wire.Frame) wire.Frame {
+	hooks := s.srv.cfg.Cluster
+	if hooks == nil {
+		return s.errFrame(f.ID, errors.New("server: not a cluster node"))
+	}
+	return s.enc(wire.OpResult, f.ID, hooks.ZoneMap())
+}
+
+// handleHandoff applies an incoming object transfer.  It sits in the
+// mutating dispatch set, so on a durable node the response is receipted in
+// the WAL: a sender retrying after the receiver crashed replays the
+// receipt instead of re-applying (exactly-once across crash-during-
+// handoff), and the version fence inside the hook covers retries that
+// arrive under a fresh identity.
+func (s *session) handleHandoff(f wire.Frame) wire.Frame {
+	hooks := s.srv.cfg.Cluster
+	if hooks == nil {
+		return s.errFrame(f.ID, errors.New("server: not a cluster node"))
+	}
+	var req wire.HandoffReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return s.errFrame(f.ID, err)
+	}
+	if s.rollForward > 0 {
+		// The apply committed before a crash (recovered from WAL
+		// provenance); only the acknowledgement was lost.  Re-ack.
+		return s.enc(wire.OpResult, f.ID, &wire.HandoffResp{Accepted: true, Now: s.srv.state().db.Now()})
+	}
+	var p *most.Prov
+	if s.srv.durable {
+		if id := s.reqClientID(); id != "" {
+			p = &most.Prov{Client: id, Req: f.ID}
+		}
+	}
+	resp, err := hooks.Handoff(&req, p)
+	if err != nil {
+		return s.errFrame(f.ID, err)
+	}
+	if resp.Accepted {
+		// The arrival might itself sit outside this node's zones (a stale
+		// copy bounced back after a crash): let the post-dispatch scan
+		// re-check it and forward it onward if so.
+		s.touched = append(s.touched, req.ID)
+	}
+	return s.enc(wire.OpResult, f.ID, resp)
+}
+
+// handleForward executes a relayed batch on behalf of the origin client:
+// the inner UpdateBatch is re-dispatched under (Origin, ReqID), reusing
+// the exact dedup, durability, and roll-forward machinery a direct request
+// would hit.  One hop only — a forwarded batch that still isn't ours
+// answers with a redirect, never another relay.
+func (s *session) handleForward(f wire.Frame) wire.Frame {
+	if s.srv.cfg.Cluster == nil {
+		return s.errFrame(f.ID, errors.New("server: not a cluster node"))
+	}
+	var req wire.ForwardReq
+	if err := wire.Unmarshal(f, &req); err != nil {
+		return s.errFrame(f.ID, err)
+	}
+	if s.inForward {
+		return s.errFrame(f.ID, errors.New("server: forward loop"))
+	}
+	inner, err := wire.EncodeFrame(uint8(s.proto.Load()), wire.OpUpdateBatch, req.ReqID,
+		&wire.UpdateBatchReq{Ops: req.Ops})
+	if err != nil {
+		panic(err)
+	}
+	s.inForward = true
+	s.forwardOrigin = req.Origin
+	resp := s.dispatch(inner)
+	s.inForward = false
+	s.forwardOrigin = ""
+	// The response frame answers the Forward request, not the inner batch.
+	resp.ID = f.ID
+	return resp
 }
 
 // ---- subscriptions ----

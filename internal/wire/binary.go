@@ -574,11 +574,145 @@ func (s *SubClosed) decodeBinary(r *binReader) error {
 
 func (e *ErrorResp) appendBinary(b []byte) []byte {
 	b = appendStr(b, e.Msg)
-	return appendStr(b, e.Code)
+	b = appendStr(b, e.Code)
+	b = appendStr(b, e.Addr)
+	// The redirects block is optional-trailing: omitted entirely (not even
+	// a zero count) on the overwhelmingly common redirect-free error, so
+	// pre-cluster frames and new redirect-free frames are byte-identical.
+	if len(e.Redirects) > 0 {
+		b = appendU32(b, uint32(len(e.Redirects)))
+		for _, a := range e.Redirects {
+			b = appendStr(b, a)
+		}
+	}
+	return b
 }
 
 func (e *ErrorResp) decodeBinary(r *binReader) error {
 	e.Msg = r.str()
 	e.Code = r.str()
+	e.Addr = r.str()
+	e.Redirects = nil
+	if r.err == nil && r.remaining() > 0 {
+		n := r.count(1) // each element is at least a 1-byte string header
+		if n > 0 {
+			e.Redirects = make([]string, n)
+			for i := range e.Redirects {
+				e.Redirects[i] = r.str()
+			}
+		}
+	}
+	return r.err
+}
+
+// ---- cluster payloads ----
+
+// Minimum encoded zone size: u32 id + 4 f64 bounds + empty addr string.
+const minZoneSize = 4 + 4*8 + 1
+
+func (z *Zone) appendBinary(b []byte) []byte {
+	b = appendU32(b, uint32(z.ID))
+	b = appendF64(b, z.MinX)
+	b = appendF64(b, z.MinY)
+	b = appendF64(b, z.MaxX)
+	b = appendF64(b, z.MaxY)
+	return appendStr(b, z.Addr)
+}
+
+func (z *Zone) decodeBinary(r *binReader) error {
+	z.ID = int(r.u32())
+	z.MinX = r.f64()
+	z.MinY = r.f64()
+	z.MaxX = r.f64()
+	z.MaxY = r.f64()
+	z.Addr = r.internedStr()
+	return r.err
+}
+
+func (m *ZoneMapResp) appendBinary(b []byte) []byte {
+	b = appendU64(b, m.Epoch)
+	b = appendU32(b, uint32(len(m.Zones)))
+	for i := range m.Zones {
+		b = m.Zones[i].appendBinary(b)
+	}
+	b = appendU32(b, uint32(len(m.Replicated)))
+	for _, c := range m.Replicated {
+		b = appendStr(b, c)
+	}
+	return b
+}
+
+func (m *ZoneMapResp) decodeBinary(r *binReader) error {
+	m.Epoch = r.u64()
+	n := r.count(minZoneSize)
+	if cap(m.Zones) < n {
+		m.Zones = make([]Zone, n)
+	}
+	m.Zones = m.Zones[:n]
+	for i := range m.Zones {
+		if err := m.Zones[i].decodeBinary(r); err != nil {
+			return err
+		}
+	}
+	k := r.count(1)
+	if cap(m.Replicated) < k {
+		m.Replicated = make([]string, k)
+	}
+	m.Replicated = m.Replicated[:k]
+	for i := range m.Replicated {
+		m.Replicated[i] = r.internedStr()
+	}
+	return r.err
+}
+
+func (h *HandoffReq) appendBinary(b []byte) []byte {
+	b = appendStr(b, h.ID)
+	b = appendU64(b, h.Version)
+	b = appendStr(b, h.From)
+	return appendBytes(b, h.Object)
+}
+
+func (h *HandoffReq) decodeBinary(r *binReader) error {
+	h.ID = r.internedStr()
+	h.Version = r.u64()
+	h.From = r.internedStr()
+	h.Object = json.RawMessage(r.strBytes())
+	return r.err
+}
+
+func (h *HandoffResp) appendBinary(b []byte) []byte {
+	b = appendBool(b, h.Accepted)
+	return appendTick(b, h.Now)
+}
+
+func (h *HandoffResp) decodeBinary(r *binReader) error {
+	h.Accepted = r.boolean()
+	h.Now = r.tick()
+	return r.err
+}
+
+func (f *ForwardReq) appendBinary(b []byte) []byte {
+	b = appendStr(b, f.Origin)
+	b = appendU64(b, f.ReqID)
+	b = appendU32(b, uint32(len(f.Ops)))
+	for i := range f.Ops {
+		b = f.Ops[i].appendBinary(b)
+	}
+	return b
+}
+
+func (f *ForwardReq) decodeBinary(r *binReader) error {
+	f.Origin = r.internedStr()
+	f.ReqID = r.u64()
+	n := r.count(minUpdateOpSize)
+	if cap(f.Ops) < n {
+		f.Ops = make([]UpdateOp, n)
+	}
+	f.Ops = f.Ops[:n]
+	for i := range f.Ops {
+		if err := f.Ops[i].decodeBinary(r); err != nil {
+			return err
+		}
+	}
 	return r.err
 }

@@ -37,6 +37,17 @@ func FuzzWireDecode(f *testing.F) {
 	notify2, _ := AppendFrame(nil, nf2)
 	mixed := append(append([]byte(nil), query...), update2...)
 
+	zf2, _ := EncodeFrame(ProtocolV2, OpZoneMap, 5, &ZoneMapResp{Epoch: 1, Zones: []Zone{
+		{ID: 0, MinX: 0, MinY: 0, MaxX: 100, MaxY: 100, Addr: "127.0.0.1:1"},
+	}, Replicated: []string{"POIs"}})
+	zonemap2, _ := AppendFrame(nil, zf2)
+	hf2, _ := EncodeFrame(ProtocolV2, OpHandoff, 6, &HandoffReq{ID: "car-1", Version: 3, From: "127.0.0.1:1", Object: []byte(`{"id":"car-1"}`)})
+	handoff2, _ := AppendFrame(nil, hf2)
+	ff2, _ := EncodeFrame(ProtocolV2, OpForward, 7, &ForwardReq{Origin: "cli-9", ReqID: 44, Ops: []UpdateOp{
+		{Op: OpSetMotion, ID: "car-1", VX: 0.5, VY: 0.5},
+	}})
+	forward2, _ := AppendFrame(nil, ff2)
+
 	hello, _ := Encode(OpHello, 1, HelloReq{ClientID: "fuzz", MaxVersion: 2})
 	helloFrame, _ := AppendFrame(nil, hello)
 	helloHostile, _ := Encode(OpHello, 1, HelloReq{ClientID: "fuzz", MaxVersion: 999})
@@ -50,6 +61,9 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(update2)
 	f.Add(notify2)
 	f.Add(mixed)
+	f.Add(zonemap2)
+	f.Add(handoff2)
+	f.Add(forward2)
 	f.Add(helloFrame)
 	f.Add(helloHostileFrame)
 	f.Add([]byte{})
@@ -115,6 +129,12 @@ func FuzzWireDecode(f *testing.F) {
 				checkPayload(t, fr, &Notify{}, &Notify{})
 			case OpSubClosed:
 				checkPayload(t, fr, &SubClosed{}, &SubClosed{})
+			case OpZoneMap:
+				checkPayload(t, fr, &ZoneMapResp{}, &ZoneMapResp{})
+			case OpHandoff:
+				checkPayload(t, fr, &HandoffReq{}, &HandoffReq{})
+			case OpForward:
+				checkPayload(t, fr, &ForwardReq{}, &ForwardReq{})
 			}
 		}
 	})

@@ -34,10 +34,16 @@ import (
 // resumed client from a new one and fence a zombie predecessor session
 // carrying a lower epoch.  0 (the field absent — every pre-resume client)
 // opts out of epoch tracking entirely.
+// Peer marks the connection as cluster-internal (another node's router or
+// handoff client).  Peer sessions may carry bulk frames (object state
+// transfers) larger than the client-facing payload cap, so the server
+// raises the decoder bound for them (Config.PeerMaxPayload) after the
+// handshake; ordinary connections keep the hostile-input limit.
 type HelloReq struct {
 	ClientID   string `json:"client_id,omitempty"`
 	MaxVersion int    `json:"max_version,omitempty"`
 	Epoch      uint64 `json:"epoch,omitempty"`
+	Peer       bool   `json:"peer,omitempty"`
 }
 
 // HelloResp reports the server identity and the negotiated session
@@ -207,13 +213,89 @@ const (
 	// server has already seen for that ClientID: a newer session of the
 	// same client has connected, and this one is a zombie.
 	CodeStaleEpoch = "stale_epoch"
+	// CodeWrongZone rejects an update addressed to an object this node
+	// does not own.  The request was NOT executed; ErrorResp.Addr names
+	// the owning node when known, and the caller should redirect there.
+	CodeWrongZone = "wrong_zone"
 )
 
 // ErrorResp reports a failed request.  Code, when set, is one of the Code*
-// constants and tells programs how to react; Msg is for humans.
+// constants and tells programs how to react; Msg is for humans.  Addr
+// accompanies CodeWrongZone: the address of the node believed to own the
+// rejected object ("" when unknown — the caller should refresh the zone
+// map and retry by position).
 type ErrorResp struct {
 	Msg  string `json:"msg"`
 	Code string `json:"code,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	// Redirects accompanies a CodeWrongZone refusal of a mixed batch:
+	// element i names the node that owns the batch's op i ("" when the
+	// refusing node owns it, or when the owner is unknown).  It lets a
+	// router regroup a stale batch in one step instead of probing
+	// ownership op by op.
+	Redirects []string `json:"redirects,omitempty"`
+}
+
+// ---- cluster payloads (PROTOCOL.md §7) ----
+
+// Zone is one rectangular region of the partitioned plane and the address
+// of the node that owns the moving objects inside it.
+type Zone struct {
+	ID   int     `json:"id"`
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+	Addr string  `json:"addr"`
+}
+
+// ZoneMapResp answers OpZoneMap (the request carries no payload): the full
+// cluster topology.  Epoch increases whenever the map changes (zone split,
+// node replacement) so routers can detect a stale cache.  Replicated lists
+// the object classes present on every node (small shared datasets — POIs,
+// bus fleets — that joins may reference); updates to those classes are
+// broadcast rather than routed.
+type ZoneMapResp struct {
+	Epoch      uint64   `json:"epoch"`
+	Zones      []Zone   `json:"zones"`
+	Replicated []string `json:"replicated,omitempty"`
+}
+
+// HandoffReq transfers ownership of one moving object between nodes when
+// its trajectory crosses a zone boundary.  Object is the full motion
+// record in the snapshot encoding (most.EncodeObjectJSON), which is all
+// the state a deterministic CQ engine needs to rebuild the object's
+// in-flight continuous-query contributions on the receiver.
+//
+// Version is the transfer fence: the receiver remembers the highest
+// version accepted per object ID and acknowledges-without-applying any
+// transfer at or below it, so retried and reordered handoffs (crash
+// during handoff, duplicate delivery) apply exactly once.
+type HandoffReq struct {
+	ID      string          `json:"id"`
+	Version uint64          `json:"version"`
+	From    string          `json:"from,omitempty"`
+	Object  json.RawMessage `json:"object"`
+}
+
+// HandoffResp acknowledges a transfer.  Accepted is false when the version
+// fence already covered this transfer (a duplicate); either way the sender
+// may release the object — the receiver durably owns it.
+type HandoffResp struct {
+	Accepted bool          `json:"accepted"`
+	Now      temporal.Tick `json:"now"`
+}
+
+// ForwardReq relays an update batch to the owning node on behalf of the
+// origin client.  The receiving node executes it exactly as if the client
+// had sent UpdateBatch directly: idempotence is keyed on (Origin, ReqID),
+// so a batch that raced a zone crossing — rejected here, retried there —
+// still applies at most once cluster-wide.  The response is a plain
+// UpdateBatchResp (or ErrorResp).
+type ForwardReq struct {
+	Origin string     `json:"origin"`
+	ReqID  uint64     `json:"req_id"`
+	Ops    []UpdateOp `json:"ops"`
 }
 
 // ---- values ----

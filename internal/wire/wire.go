@@ -85,6 +85,13 @@ const (
 	OpSnapshotLoad Opcode = 8  // SnapshotLoadReq: replace the database state
 	OpSubscribe    Opcode = 9  // SubscribeReq: register a continuous query
 	OpUnsubscribe  Opcode = 10 // UnsubscribeReq: cancel a subscription
+
+	// Cluster opcodes (PROTOCOL.md §7).  ZoneMap is spoken by ordinary
+	// clients discovering the cluster topology; Handoff and Forward are
+	// node-to-node, carried on peer sessions (HelloReq.Peer).
+	OpZoneMap Opcode = 11 // empty request: fetch the cluster zone map
+	OpHandoff Opcode = 12 // HandoffReq: transfer a moving object between nodes
+	OpForward Opcode = 13 // ForwardReq: relay a batch to the owning node
 )
 
 // Response and push opcodes (server to client).
@@ -118,6 +125,12 @@ func (o Opcode) String() string {
 		return "subscribe"
 	case OpUnsubscribe:
 		return "unsubscribe"
+	case OpZoneMap:
+		return "zone_map"
+	case OpHandoff:
+		return "handoff"
+	case OpForward:
+		return "forward"
 	case OpResult:
 		return "result"
 	case OpError:
@@ -133,7 +146,7 @@ func (o Opcode) String() string {
 
 // valid reports whether the opcode is one this protocol defines.
 func (o Opcode) valid() bool {
-	return (o >= OpHello && o <= OpUnsubscribe) || (o >= OpResult && o <= OpSubClosed)
+	return (o >= OpHello && o <= OpForward) || (o >= OpResult && o <= OpSubClosed)
 }
 
 // Frame is one decoded protocol frame.  Version is the payload encoding
@@ -333,6 +346,17 @@ func NewDecoder(r io.Reader, maxPayload int) *Decoder {
 // negotiated version after; any frame carrying another version is then a
 // protocol violation (ErrBadFrame) and the session disconnects.
 func (d *Decoder) SetVersion(v uint8) { d.vmin, d.vmax = v, v }
+
+// SetMax renegotiates the decoder's per-frame payload bound mid-stream.
+// Sessions use it to raise the limit for authenticated cluster peers
+// (bulk handoff frames exceed the client-facing cap) without loosening
+// the hostile-input bound applied to ordinary connections; values <= 0
+// are ignored.
+func (d *Decoder) SetMax(maxPayload int) {
+	if maxPayload > 0 && maxPayload <= int(^uint32(0)) {
+		d.max = uint32(maxPayload)
+	}
+}
 
 // Reset redirects the decoder to a new stream, keeping its payload bound,
 // accepted versions, and internal buffers (so a pooled decoder stays
